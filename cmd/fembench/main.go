@@ -1,0 +1,86 @@
+// Command fembench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	fembench -list
+//	fembench -exp table2,fig6a
+//	fembench -exp all -queries 10 -scale 1.0 -v
+//
+// Each experiment prints a table whose rows mirror the corresponding
+// artefact in the paper (see EXPERIMENTS.md for the mapping and the
+// paper-vs-measured discussion).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		exps    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		queries = flag.Int("queries", 5, "queries per data point (paper: 100)")
+		scale   = flag.Float64("scale", 1.0, "workload scale multiplier")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		verbose = flag.Bool("v", false, "progress output")
+		dataDir = flag.String("datadir", "", "directory for file-backed databases (default: temp)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Doc)
+		}
+		return
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.Queries = *queries
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.DataDir = *dataDir
+	if *verbose {
+		cfg.Verbose = os.Stderr
+	}
+
+	var ids []string
+	if strings.EqualFold(*exps, "all") {
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	start := time.Now()
+	failed := 0
+	for _, id := range ids {
+		fn, ok := bench.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			failed++
+			continue
+		}
+		t0 := time.Now()
+		tab, err := fn(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed++
+			continue
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("   (regenerated in %v)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("done: %d experiment(s) in %v\n", len(ids)-failed, time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

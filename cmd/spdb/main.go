@@ -1,0 +1,211 @@
+// Command spdb is the shortest-path database shell: it loads or generates
+// a graph into the embedded relational engine and answers shortest-path
+// queries with any of the paper's five algorithms, or runs raw SQL against
+// the graph tables.
+//
+// Examples:
+//
+//	spdb -gen power:20000:3 -alg BSEG -lthd 20 -s 17 -t 4711
+//	spdb -load graph.csv -alg BSDJ -random 10
+//	spdb -gen random:5000:15000 -sql "SELECT COUNT(*) FROM TEdges"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rdb"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "spdb: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseGen(spec string, seed int64) (*graph.Graph, error) {
+	parts := strings.Split(spec, ":")
+	kind := parts[0]
+	num := func(i int, def int64) int64 {
+		if i < len(parts) {
+			v, err := strconv.ParseInt(parts[i], 10, 64)
+			if err == nil {
+				return v
+			}
+		}
+		return def
+	}
+	switch kind {
+	case "power":
+		return graph.Power(num(1, 10000), int(num(2, 3)), seed), nil
+	case "random":
+		return graph.Random(num(1, 10000), int(num(2, 30000)), seed), nil
+	case "dblp":
+		return graph.DBLPLike(float64(num(1, 1))/100.0, seed), nil
+	case "web":
+		return graph.GoogleWebLike(float64(num(1, 1))/100.0, seed), nil
+	case "lj":
+		return graph.LiveJournalLike(float64(num(1, 1))/1000.0, seed), nil
+	}
+	return nil, fmt.Errorf("unknown generator %q (power|random|dblp|web|lj)", kind)
+}
+
+func parseAlg(s string) (core.Algorithm, error) {
+	switch strings.ToUpper(s) {
+	case "DJ":
+		return core.AlgDJ, nil
+	case "BDJ":
+		return core.AlgBDJ, nil
+	case "BSDJ":
+		return core.AlgBSDJ, nil
+	case "BBFS":
+		return core.AlgBBFS, nil
+	case "BSEG":
+		return core.AlgBSEG, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (DJ|BDJ|BSDJ|BBFS|BSEG)", s)
+}
+
+func parseStrategy(s string) (core.IndexStrategy, error) {
+	switch strings.ToLower(s) {
+	case "clustered", "cluindex":
+		return core.ClusteredIndex, nil
+	case "index", "secondary":
+		return core.SecondaryIndex, nil
+	case "noindex", "none":
+		return core.NoIndex, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q (clustered|index|noindex)", s)
+}
+
+func main() {
+	var (
+		gen         = flag.String("gen", "", "generate a graph: power:N:D | random:N:M | dblp:PCT | web:PCT | lj:PERMILLE")
+		load        = flag.String("load", "", "load a CSV graph (fid,tid,cost)")
+		algName     = flag.String("alg", "BSDJ", "algorithm: DJ|BDJ|BSDJ|BBFS|BSEG")
+		s           = flag.Int64("s", -1, "source node")
+		t           = flag.Int64("t", -1, "target node")
+		random      = flag.Int("random", 0, "run N random queries instead of -s/-t")
+		lthd        = flag.Int64("lthd", 0, "build SegTable with this threshold (required for BSEG)")
+		strategy    = flag.String("strategy", "clustered", "index strategy: clustered|index|noindex")
+		profile     = flag.String("profile", "dbmsx", "engine profile: dbmsx|postgres")
+		traditional = flag.Bool("tsql", false, "use traditional SQL (no window function / MERGE)")
+		seed        = flag.Int64("seed", 42, "generator seed")
+		sqlStmt     = flag.String("sql", "", "run one SQL statement against the loaded graph and exit")
+		showStats   = flag.Bool("stats", true, "print per-query statistics")
+		showPath    = flag.Bool("path", true, "print the recovered path")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	switch {
+	case *gen != "":
+		g, err = parseGen(*gen, *seed)
+	case *load != "":
+		g, err = graph.LoadFile(*load)
+	default:
+		fail("need -gen or -load (try -gen power:10000:3)")
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges, wmin=%d\n", g.N, g.M(), g.WMin())
+
+	prof := rdb.ProfileDBMSX
+	if strings.HasPrefix(strings.ToLower(*profile), "post") {
+		prof = rdb.ProfilePostgreSQL9
+	}
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		fail("%v", err)
+	}
+	db, err := rdb.Open(rdb.Options{Profile: prof})
+	if err != nil {
+		fail("%v", err)
+	}
+	defer db.Close()
+	eng := core.NewEngine(db, core.Options{Strategy: strat, TraditionalSQL: *traditional})
+	if err := eng.LoadGraph(g); err != nil {
+		fail("load: %v", err)
+	}
+
+	if *sqlStmt != "" {
+		runSQL(db, *sqlStmt)
+		return
+	}
+
+	alg, err := parseAlg(*algName)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *lthd > 0 || alg == core.AlgBSEG {
+		th := *lthd
+		if th <= 0 {
+			th = 20
+		}
+		st, err := eng.BuildSegTable(th)
+		if err != nil {
+			fail("segtable: %v", err)
+		}
+		fmt.Printf("%s\n", st)
+	}
+
+	runOne := func(s, t int64) {
+		p, qs, err := eng.ShortestPath(alg, s, t)
+		if err != nil {
+			fail("query: %v", err)
+		}
+		if !p.Found {
+			fmt.Printf("%d -> %d: no path\n", s, t)
+			return
+		}
+		fmt.Printf("%d -> %d: distance %d (%d hops)\n", s, t, p.Length, len(p.Nodes)-1)
+		if *showPath {
+			fmt.Printf("  path: %v\n", p.Nodes)
+		}
+		if *showStats {
+			fmt.Printf("  %s\n", qs)
+		}
+	}
+
+	if *random > 0 {
+		for _, q := range graph.RandomQueries(g, *random, *seed+1) {
+			runOne(q[0], q[1])
+		}
+		return
+	}
+	if *s < 0 || *t < 0 {
+		fail("need -s and -t (or -random N)")
+	}
+	runOne(*s, *t)
+}
+
+func runSQL(db *rdb.DB, stmt string) {
+	upper := strings.ToUpper(strings.TrimSpace(stmt))
+	if strings.HasPrefix(upper, "SELECT") {
+		rows, err := db.Query(stmt)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Println(strings.Join(rows.Columns, "\t"))
+		for _, r := range rows.Data {
+			parts := make([]string, len(r))
+			for i, v := range r {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, "\t"))
+		}
+		fmt.Printf("(%d rows)\n", rows.Len())
+		return
+	}
+	res, err := db.Exec(stmt)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
+}

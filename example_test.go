@@ -1,0 +1,71 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Example demonstrates the library end to end: build a deterministic
+// graph, load it into the embedded relational engine, construct the
+// SegTable index and answer a query with bi-directional set Dijkstra and
+// with SegTable-accelerated search.
+func Example() {
+	db, err := repro.Open(repro.DBOptions{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	// A small deterministic chain with a shortcut: 0-1-2-3 plus 0->2.
+	g, err := repro.NewGraph(4, []repro.Edge{
+		{From: 0, To: 1, Weight: 4},
+		{From: 1, To: 2, Weight: 4},
+		{From: 0, To: 2, Weight: 5},
+		{From: 2, To: 3, Weight: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	eng := repro.NewEngine(db, repro.EngineOptions{})
+	if err := eng.LoadGraph(g); err != nil {
+		panic(err)
+	}
+	if _, err := eng.BuildSegTable(6); err != nil {
+		panic(err)
+	}
+
+	for _, alg := range []repro.Algorithm{repro.AlgBSDJ, repro.AlgBSEG} {
+		path, _, err := eng.ShortestPath(alg, 0, 3)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%v: distance=%d path=%v\n", alg, path.Length, path.Nodes)
+	}
+	// Output:
+	// BSDJ: distance=6 path=[0 2 3]
+	// BSEG: distance=6 path=[0 2 3]
+}
+
+// Example_segTableMaintenance shows incremental index maintenance: after
+// inserting a cheaper edge, SegTable-accelerated queries see the new
+// shortest path without a rebuild.
+func Example_segTableMaintenance() {
+	db, _ := repro.Open(repro.DBOptions{})
+	defer db.Close()
+	g, _ := repro.NewGraph(3, []repro.Edge{
+		{From: 0, To: 1, Weight: 9},
+		{From: 1, To: 2, Weight: 9},
+	})
+	eng := repro.NewEngine(db, repro.EngineOptions{})
+	_ = eng.LoadGraph(g)
+	_, _ = eng.BuildSegTable(30)
+
+	before, _, _ := eng.ShortestPath(repro.AlgBSEG, 0, 2)
+	_, _ = eng.InsertEdge(0, 2, 5) // a direct shortcut
+	after, _, _ := eng.ShortestPath(repro.AlgBSEG, 0, 2)
+	fmt.Printf("before=%d after=%d\n", before.Length, after.Length)
+	// Output:
+	// before=18 after=5
+}

@@ -1,0 +1,56 @@
+// Quickstart: load a small power-law graph into the embedded relational
+// engine, build the SegTable index, and answer one shortest-path query
+// with each algorithm.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// An in-memory database with the default (DBMS-X) profile: window
+	// functions + MERGE available.
+	db, err := repro.Open(repro.DBOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// A Barabási–Albert power-law graph: 5000 nodes, average degree ~3,
+	// edge weights uniform in [1,100] — the paper's Power5kN3d.
+	g := repro.PowerGraph(5000, 3, 42)
+	fmt.Printf("graph: %d nodes, %d edges\n", g.N, g.M())
+
+	eng := repro.NewEngine(db, repro.EngineOptions{})
+	if err := eng.LoadGraph(g); err != nil {
+		log.Fatal(err)
+	}
+
+	// Pre-compute local shortest segments up to distance 20.
+	st, err := eng.BuildSegTable(20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: %s\n\n", st)
+
+	s, t := int64(17), int64(4711)
+	for _, alg := range []repro.Algorithm{repro.AlgDJ, repro.AlgBDJ, repro.AlgBSDJ, repro.AlgBBFS, repro.AlgBSEG} {
+		path, stats, err := eng.ShortestPath(alg, s, t)
+		if err != nil {
+			log.Fatalf("%v: %v", alg, err)
+		}
+		if !path.Found {
+			fmt.Printf("%-5v no path\n", alg)
+			continue
+		}
+		fmt.Printf("%-5v distance=%-4d hops=%-3d expansions=%-5d statements=%-5d time=%v\n",
+			alg, path.Length, len(path.Nodes)-1, stats.Expansions, stats.Statements, stats.Total)
+	}
+
+	// The in-memory reference agrees:
+	ref := repro.MDJ(g, s, t)
+	fmt.Printf("\nin-memory Dijkstra reference: distance=%d visited=%d\n", ref.Distance, ref.Visited)
+}

@@ -1,0 +1,98 @@
+// Road-network scenario: transportation networks are the paper's other
+// motivating workload. This example builds a weighted grid road network
+// (4-connected, travel times as weights), compares the relational
+// algorithms against each other and against the in-memory baselines, and
+// shows where the set-at-a-time evaluation pays off.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro"
+)
+
+// buildGrid creates a w×h 4-connected grid with random travel times.
+func buildGrid(w, h int, seed int64) *repro.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	id := func(x, y int) int64 { return int64(y*w + x) }
+	var edges []repro.Edge
+	addBoth := func(a, b int64) {
+		// Travel times 1..100, independent per direction (one-way speeds).
+		edges = append(edges, repro.Edge{From: a, To: b, Weight: 1 + rng.Int63n(100)})
+		edges = append(edges, repro.Edge{From: b, To: a, Weight: 1 + rng.Int63n(100)})
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				addBoth(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				addBoth(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	g, err := repro.NewGraph(int64(w*h), edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+func main() {
+	const w, h = 45, 45
+	g := buildGrid(w, h, 3)
+	fmt.Printf("road network: %dx%d grid, %d junctions, %d road segments\n", w, h, g.N, g.M())
+
+	db, err := repro.Open(repro.DBOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	eng := repro.NewEngine(db, repro.EngineOptions{})
+	if err := eng.LoadGraph(g); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.BuildSegTable(40); err != nil {
+		log.Fatal(err)
+	}
+
+	// Route from the north-west corner to the south-east corner.
+	s, t := int64(0), int64(w*h-1)
+	fmt.Printf("\nrouting junction %d -> junction %d:\n\n", s, t)
+	type result struct {
+		name string
+		dist int64
+		time time.Duration
+		note string
+	}
+	var results []result
+
+	for _, alg := range []repro.Algorithm{repro.AlgBDJ, repro.AlgBSDJ, repro.AlgBBFS, repro.AlgBSEG} {
+		path, stats, err := eng.ShortestPath(alg, s, t)
+		if err != nil {
+			log.Fatalf("%v: %v", alg, err)
+		}
+		results = append(results, result{
+			name: alg.String(), dist: path.Length, time: stats.Total,
+			note: fmt.Sprintf("%d expansions, %d visited junctions", stats.Expansions, stats.VisitedRows),
+		})
+	}
+	t0 := time.Now()
+	ref := repro.MDJ(g, s, t)
+	results = append(results, result{name: "MDJ (in-memory)", dist: ref.Distance, time: time.Since(t0),
+		note: fmt.Sprintf("%d visited junctions", ref.Visited)})
+	t1 := time.Now()
+	ref2 := repro.MBDJ(g, s, t)
+	results = append(results, result{name: "MBDJ (in-memory)", dist: ref2.Distance, time: time.Since(t1),
+		note: fmt.Sprintf("%d visited junctions", ref2.Visited)})
+
+	for _, r := range results {
+		fmt.Printf("  %-18s travel time %-6d in %-12v (%s)\n", r.name, r.dist, r.time.Round(time.Microsecond), r.note)
+	}
+	fmt.Println("\nAll approaches agree on the optimal travel time; the set-at-a-time")
+	fmt.Println("methods (BSDJ/BSEG) need far fewer round trips to the database than")
+	fmt.Println("node-at-a-time BDJ — the paper's central observation.")
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps runner tests fast.
+func tinyConfig() Config {
+	return Config{Queries: 2, Seed: 7, Scale: 0.05}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 24 {
+		t.Fatalf("expected 24 experiments, got %d", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.Fn == nil {
+			t.Errorf("%s: nil runner", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if _, ok := Lookup(e.ID); !ok {
+			t.Errorf("Lookup(%s) failed", e.ID)
+		}
+		if _, ok := Lookup(strings.ToUpper(e.ID)); !ok {
+			t.Errorf("Lookup(%s) should be case-insensitive", e.ID)
+		}
+	}
+	if _, ok := Lookup("does-not-exist"); ok {
+		t.Error("Lookup of unknown id should fail")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := &Table{
+		ID:     "X",
+		Title:  "demo",
+		Header: []string{"a", "longcolumn"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	out := tab.Format()
+	if !strings.Contains(out, "== X: demo ==") {
+		t.Errorf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "longcolumn") {
+		t.Errorf("missing header: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Errorf("expected 5 lines, got %d: %q", len(lines), out)
+	}
+}
+
+// runAndCheck executes a runner and sanity-checks its output shape.
+func runAndCheck(t *testing.T, id string, wantCols int) *Table {
+	t.Helper()
+	fn, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("unknown experiment %s", id)
+	}
+	tab, err := fn(tinyConfig())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tab.Header) != wantCols {
+		t.Fatalf("%s: expected %d columns, got %d (%v)", id, wantCols, len(tab.Header), tab.Header)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s: no rows", id)
+	}
+	for _, r := range tab.Rows {
+		if len(r) != wantCols {
+			t.Fatalf("%s: row arity %d != %d: %v", id, len(r), wantCols, r)
+		}
+	}
+	return tab
+}
+
+func TestRunTable2(t *testing.T) { runAndCheck(t, "table2", 7) }
+func TestRunFig6b(t *testing.T)  { runAndCheck(t, "fig6b", 4) }
+func TestRunFig6c(t *testing.T)  { runAndCheck(t, "fig6c", 4) }
+func TestRunFig6d(t *testing.T)  { runAndCheck(t, "fig6d", 3) }
+func TestRunFig7c(t *testing.T)  { runAndCheck(t, "fig7c", 5) }
+func TestRunFig8c(t *testing.T)  { runAndCheck(t, "fig8c", 4) }
+func TestRunFig8d(t *testing.T)  { runAndCheck(t, "fig8d", 4) }
+func TestRunFig9a(t *testing.T)  { runAndCheck(t, "fig9a", 5) }
+func TestRunFig9f(t *testing.T)  { runAndCheck(t, "fig9f", 3) }
+func TestRunFig9h(t *testing.T)  { runAndCheck(t, "fig9h", 3) }
+func TestRunAblation(t *testing.T) {
+	runAndCheck(t, "ablation-pruning", 5)
+	runAndCheck(t, "ablation-direction", 5)
+}
+
+func TestRunFig8b(t *testing.T) { runAndCheck(t, "fig8b", 3) }
+func TestRunFig9g(t *testing.T) { runAndCheck(t, "fig9g", 3) }
+func TestRunFig7a(t *testing.T) { runAndCheck(t, "fig7a", 4) }
+func TestRunFig9b(t *testing.T) { runAndCheck(t, "fig9b", 6) }

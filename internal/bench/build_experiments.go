@@ -1,0 +1,323 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rdb"
+)
+
+// RunFig9a regenerates Fig 9(a): SegTable size (encoding number) vs lthd
+// on Power graphs.
+func RunFig9a(cfg Config) (*Table, error) {
+	lthds := []int64{10, 20, 30, 40}
+	t := &Table{
+		ID:     "Fig9a",
+		Title:  "SegTable encoding number vs lthd, Power graphs",
+		Header: []string{"|V|", "lthd=10", "lthd=20", "lthd=30", "lthd=40"},
+	}
+	for _, n := range cfg.smallPowerSizes() {
+		cfg.logf("fig9a: |V|=%d", n)
+		g := graph.Power(n, 3, cfg.Seed)
+		setup, err := makeEngine(g, rdb.Options{}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, lthd := range lthds {
+			st, err := setup.eng.BuildSegTable(lthd)
+			if err != nil {
+				setup.close()
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%d", st.EncodingNumber()))
+		}
+		setup.close()
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RunFig9b regenerates Fig 9(b): SegTable size vs lthd on the real-like
+// datasets (GoogleWeb's skewed degrees make it more lthd-sensitive).
+func RunFig9b(cfg Config) (*Table, error) {
+	lthds := []int64{2, 4, 6, 8, 10}
+	t := &Table{
+		ID:     "Fig9b",
+		Title:  "SegTable encoding number vs lthd, real-like graphs",
+		Header: []string{"dataset", "lthd=2", "lthd=4", "lthd=6", "lthd=8", "lthd=10"},
+	}
+	for _, ds := range cfg.realLikeGraphs() {
+		cfg.logf("fig9b: %s |V|=%d", ds.Name, ds.G.N)
+		setup, err := makeEngine(ds.G, rdb.Options{}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%s(|V|=%d)", ds.Name, ds.G.N)}
+		for _, lthd := range lthds {
+			st, err := setup.eng.BuildSegTable(lthd)
+			if err != nil {
+				setup.close()
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%d", st.EncodingNumber()))
+		}
+		setup.close()
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RunFig9c regenerates Fig 9(c): SegTable construction time vs lthd on
+// Power graphs.
+func RunFig9c(cfg Config) (*Table, error) {
+	lthds := []int64{10, 20, 30, 40}
+	t := &Table{
+		ID:     "Fig9c",
+		Title:  "SegTable construction time (ms) vs lthd, Power graphs",
+		Header: []string{"|V|", "lthd=10", "lthd=20", "lthd=30", "lthd=40"},
+	}
+	for _, n := range cfg.smallPowerSizes() {
+		cfg.logf("fig9c: |V|=%d", n)
+		g := graph.Power(n, 3, cfg.Seed)
+		setup, err := makeEngine(g, rdb.Options{}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, lthd := range lthds {
+			st, err := setup.eng.BuildSegTable(lthd)
+			if err != nil {
+				setup.close()
+				return nil, err
+			}
+			row = append(row, ms(st.BuildTime))
+		}
+		setup.close()
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RunFig9d regenerates Fig 9(d): construction time vs lthd on real-like
+// datasets.
+func RunFig9d(cfg Config) (*Table, error) {
+	lthds := []int64{2, 4, 6, 8}
+	t := &Table{
+		ID:     "Fig9d",
+		Title:  "SegTable construction time (ms) vs lthd, real-like graphs",
+		Header: []string{"dataset", "lthd=2", "lthd=4", "lthd=6", "lthd=8"},
+	}
+	for _, ds := range cfg.realLikeGraphs() {
+		cfg.logf("fig9d: %s |V|=%d", ds.Name, ds.G.N)
+		setup, err := makeEngine(ds.G, rdb.Options{}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%s(|V|=%d)", ds.Name, ds.G.N)}
+		for _, lthd := range lthds {
+			st, err := setup.eng.BuildSegTable(lthd)
+			if err != nil {
+				setup.close()
+				return nil, err
+			}
+			row = append(row, ms(st.BuildTime))
+		}
+		setup.close()
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RunFig9e regenerates Fig 9(e): construction time on the PostgreSQL
+// profile (no MERGE; UPDATE+INSERT emulation).
+func RunFig9e(cfg Config) (*Table, error) {
+	lthds := []int64{10, 20, 30}
+	t := &Table{
+		ID:     "Fig9e",
+		Title:  "SegTable construction time (ms) vs lthd on PostgreSQL profile, Power graphs",
+		Header: []string{"|V|", "lthd=10", "lthd=20", "lthd=30"},
+	}
+	sizes := cfg.smallPowerSizes()
+	for _, n := range sizes[:3] {
+		cfg.logf("fig9e: |V|=%d", n)
+		g := graph.Power(n, 3, cfg.Seed)
+		setup, err := makeEngine(g, rdb.Options{Profile: rdb.ProfilePostgreSQL9}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, lthd := range lthds {
+			st, err := setup.eng.BuildSegTable(lthd)
+			if err != nil {
+				setup.close()
+				return nil, err
+			}
+			row = append(row, ms(st.BuildTime))
+		}
+		setup.close()
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RunFig9f regenerates Fig 9(f): construction time with new vs traditional
+// SQL features.
+func RunFig9f(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Fig9f",
+		Title:  "SegTable construction time (ms), NSQL vs TSQL (lthd=20), Power graphs",
+		Header: []string{"|V|", "NSQL", "TSQL"},
+	}
+	for _, n := range cfg.smallPowerSizes() {
+		cfg.logf("fig9f: |V|=%d", n)
+		g := graph.Power(n, 3, cfg.Seed)
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, traditional := range []bool{false, true} {
+			setup, err := makeEngine(g, rdb.Options{}, core.Options{TraditionalSQL: traditional})
+			if err != nil {
+				return nil, err
+			}
+			st, err := setup.eng.BuildSegTable(20)
+			setup.close()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(st.BuildTime))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RunFig9g regenerates Fig 9(g): construction time vs buffer size on a
+// file-backed database with simulated disk latency.
+func RunFig9g(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Fig9g",
+		Title:  "SegTable(3) construction time (ms) vs buffer size (pages), LiveJournal-like, simulated disk",
+		Header: []string{"buffer pages", "time", "pool misses"},
+	}
+	s := cfg.Scale
+	if s <= 0 {
+		s = 1
+	}
+	g := graph.LiveJournalLike(0.001*s, cfg.Seed)
+	for _, pages := range []int{128, 256, 512, 1024} {
+		cfg.logf("fig9g: pages=%d |V|=%d", pages, g.N)
+		dbo := rdb.Options{
+			Path:               cfg.fileDBPath("fig9g"),
+			BufferPoolPages:    pages,
+			SimulatedIOLatency: 15 * time.Microsecond,
+		}
+		setup, err := makeEngine(g, dbo, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		setup.db.ResetStats()
+		st, err := setup.eng.BuildSegTable(3)
+		if err != nil {
+			setup.close()
+			return nil, err
+		}
+		dbst := setup.db.Stats()
+		setup.close()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", pages), ms(st.BuildTime), fmt.Sprintf("%d", dbst.Pool.Misses)})
+	}
+	return t, nil
+}
+
+// RunFig9h regenerates Fig 9(h): construction time vs graph scale on
+// LiveJournal-like graphs.
+func RunFig9h(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Fig9h",
+		Title:  "SegTable(3) construction time (ms) vs graph scale, LiveJournal-like",
+		Header: []string{"|V|", "time", "encoding number"},
+	}
+	s := cfg.Scale
+	if s <= 0 {
+		s = 1
+	}
+	for _, frac := range []float64{0.001, 0.002, 0.003, 0.004} {
+		g := graph.LiveJournalLike(frac*s, cfg.Seed)
+		cfg.logf("fig9h: |V|=%d", g.N)
+		setup, err := makeEngine(g, rdb.Options{}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		st, err := setup.eng.BuildSegTable(3)
+		setup.close()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", g.N), ms(st.BuildTime), fmt.Sprintf("%d", st.EncodingNumber())})
+	}
+	return t, nil
+}
+
+// RunAblationPruning measures the Theorem-1 pruning rule's effect on BSDJ
+// (beyond the paper's experiments; DESIGN.md §5).
+func RunAblationPruning(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "AblationPruning",
+		Title:  "BSDJ with/without Theorem-1 pruning, Random graphs",
+		Header: []string{"|V|", "pruned time", "pruned visited", "unpruned time", "unpruned visited"},
+	}
+	for i, base := range []int64{10000, 20000} {
+		n := cfg.scale(base)
+		cfg.logf("ablation-pruning: |V|=%d", n)
+		g := graph.RandomDegree(n, 3, cfg.Seed)
+		queries := graph.RandomQueries(g, cfg.queries(), cfg.Seed+int64(i))
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, disable := range []bool{false, true} {
+			setup, err := makeEngine(g, rdb.Options{}, core.Options{DisablePruning: disable})
+			if err != nil {
+				return nil, err
+			}
+			a, err := runQueries(setup.eng, core.AlgBSDJ, queries)
+			setup.close()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(a.Time), f1(a.Visited))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RunAblationDirection compares the fewer-frontier direction policy (§4.1)
+// against strict alternation.
+func RunAblationDirection(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "AblationDirection",
+		Title:  "BSDJ direction policy: fewer-frontier vs strict alternation, LiveJournal-like",
+		Header: []string{"|V|", "fewer-frontier time", "ff exps", "alternate time", "alt exps"},
+	}
+	s := cfg.Scale
+	if s <= 0 {
+		s = 1
+	}
+	g := graph.LiveJournalLike(0.004*s, cfg.Seed)
+	queries := graph.RandomQueries(g, cfg.queries(), cfg.Seed)
+	row := []string{fmt.Sprintf("%d", g.N)}
+	for _, alternate := range []bool{false, true} {
+		setup, err := makeEngine(g, rdb.Options{}, core.Options{AlternateDirections: alternate})
+		if err != nil {
+			return nil, err
+		}
+		a, err := runQueries(setup.eng, core.AlgBSDJ, queries)
+		setup.close()
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, ms(a.Time), f1(a.Exps))
+	}
+	t.Rows = append(t.Rows, row)
+	return t, nil
+}

@@ -1,0 +1,557 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rdb"
+)
+
+// powerSizes are the Table-2 / Fig-6 x-axis points: the paper uses Power
+// graphs of 20k..100k nodes; the harness defaults to 1/10 of that.
+func (c Config) powerSizes() []int64 {
+	var out []int64
+	for _, base := range []int64{2000, 4000, 6000, 8000, 10000} {
+		out = append(out, c.scale(base))
+	}
+	return out
+}
+
+// smallPowerSizes are the Fig-7(c)/8 x-axis points (paper: 100k..500k).
+func (c Config) smallPowerSizes() []int64 {
+	var out []int64
+	for _, base := range []int64{1000, 2000, 3000, 4000, 5000} {
+		out = append(out, c.scale(base))
+	}
+	return out
+}
+
+// RunTable2 regenerates Table 2: expansions and time for DJ, BDJ and BSDJ
+// on Power graphs. DJ is run on the two smallest sizes only (the paper
+// itself reports ">600s" beyond its smallest size).
+func RunTable2(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Table2",
+		Title:  "Exps (# expansions) and Time (ms/query) on Power graphs",
+		Header: []string{"|V|", "DJ Exps", "DJ Time", "BDJ Exps", "BDJ Time", "BSDJ Exps", "BSDJ Time"},
+	}
+	for i, n := range cfg.powerSizes() {
+		cfg.logf("table2: |V|=%d", n)
+		g := graph.Power(n, 3, cfg.Seed)
+		setup, err := makeEngine(g, rdb.Options{}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		queries := graph.RandomQueries(g, cfg.queries(), cfg.Seed+int64(i))
+		row := []string{fmt.Sprintf("%d", n)}
+		if i < 2 {
+			a, err := runQueries(setup.eng, core.AlgDJ, queries[:min(2, len(queries))])
+			if err != nil {
+				setup.close()
+				return nil, err
+			}
+			row = append(row, f1(a.Exps), ms(a.Time))
+		} else {
+			row = append(row, ">", ">") // beyond the DJ time budget, as in the paper
+		}
+		for _, alg := range []core.Algorithm{core.AlgBDJ, core.AlgBSDJ} {
+			a, err := runQueries(setup.eng, alg, queries)
+			if err != nil {
+				setup.close()
+				return nil, err
+			}
+			row = append(row, f1(a.Exps), ms(a.Time))
+		}
+		setup.close()
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RunFig6a regenerates Fig 6(a): BDJ vs BSDJ query time vs graph scale.
+func RunFig6a(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Fig6a",
+		Title:  "Query time (ms) vs graph scale, Power graphs, BDJ vs BSDJ",
+		Header: []string{"|V|", "BDJ", "BSDJ"},
+	}
+	for i, n := range cfg.powerSizes() {
+		cfg.logf("fig6a: |V|=%d", n)
+		g := graph.Power(n, 3, cfg.Seed)
+		setup, err := makeEngine(g, rdb.Options{}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		queries := graph.RandomQueries(g, cfg.queries(), cfg.Seed+int64(i))
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, alg := range []core.Algorithm{core.AlgBDJ, core.AlgBSDJ} {
+			a, err := runQueries(setup.eng, alg, queries)
+			if err != nil {
+				setup.close()
+				return nil, err
+			}
+			row = append(row, ms(a.Time))
+		}
+		setup.close()
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RunFig6b regenerates Fig 6(b): BSDJ query time split into the PE (path
+// expansion), SC (statistics collection) and FPR (full path recovery)
+// phases.
+func RunFig6b(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Fig6b",
+		Title:  "BSDJ query time (ms) by phase, Power graphs",
+		Header: []string{"|V|", "PE", "SC", "FPR"},
+	}
+	for i, n := range cfg.powerSizes() {
+		cfg.logf("fig6b: |V|=%d", n)
+		g := graph.Power(n, 3, cfg.Seed)
+		setup, err := makeEngine(g, rdb.Options{}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		queries := graph.RandomQueries(g, cfg.queries(), cfg.Seed+int64(i))
+		a, err := runQueries(setup.eng, core.AlgBSDJ, queries)
+		setup.close()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), ms(a.PE), ms(a.SC), ms(a.FPR)})
+	}
+	return t, nil
+}
+
+// RunFig6c regenerates Fig 6(c): F/E/M operator times with the operators
+// translated into separate SQL statements.
+func RunFig6c(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Fig6c",
+		Title:  "BSDJ query time (ms) by operator (separate statements), Power graphs",
+		Header: []string{"|V|", "F-operator", "E-operator", "M-operator"},
+	}
+	for i, n := range cfg.powerSizes() {
+		cfg.logf("fig6c: |V|=%d", n)
+		g := graph.Power(n, 3, cfg.Seed)
+		setup, err := makeEngine(g, rdb.Options{}, core.Options{SeparateOperators: true})
+		if err != nil {
+			return nil, err
+		}
+		queries := graph.RandomQueries(g, cfg.queries(), cfg.Seed+int64(i))
+		a, err := runQueries(setup.eng, core.AlgBSDJ, queries)
+		setup.close()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), ms(a.FOp), ms(a.EOp), ms(a.MOp)})
+	}
+	return t, nil
+}
+
+// RunFig6d regenerates Fig 6(d): new SQL features (window + MERGE) vs the
+// traditional formulation.
+func RunFig6d(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Fig6d",
+		Title:  "BSDJ query time (ms): NSQL (window+MERGE) vs TSQL, Power graphs",
+		Header: []string{"|V|", "NSQL", "TSQL"},
+	}
+	for i, n := range cfg.powerSizes() {
+		cfg.logf("fig6d: |V|=%d", n)
+		g := graph.Power(n, 3, cfg.Seed)
+		queries := graph.RandomQueries(g, cfg.queries(), cfg.Seed+int64(i))
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, traditional := range []bool{false, true} {
+			setup, err := makeEngine(g, rdb.Options{}, core.Options{TraditionalSQL: traditional})
+			if err != nil {
+				return nil, err
+			}
+			a, err := runQueries(setup.eng, core.AlgBSDJ, queries)
+			setup.close()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(a.Time))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RunFig7a regenerates Fig 7(a): BSDJ vs BBFS vs BSEG(3) on
+// LiveJournal-like graphs of growing size.
+func RunFig7a(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Fig7a",
+		Title:  "Query time (ms) on LiveJournal-like graphs (scaled)",
+		Header: []string{"|V|", "BSDJ", "BBFS", "BSEG(3)"},
+	}
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	for i, s := range []float64{0.002, 0.004, 0.006, 0.008} {
+		g := graph.LiveJournalLike(s*scale, cfg.Seed)
+		cfg.logf("fig7a: |V|=%d", g.N)
+		setup, err := makeEngine(g, rdb.Options{}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := setup.eng.BuildSegTable(3); err != nil {
+			setup.close()
+			return nil, err
+		}
+		queries := graph.RandomQueries(g, cfg.queries(), cfg.Seed+int64(i))
+		row := []string{fmt.Sprintf("%d", g.N)}
+		for _, alg := range []core.Algorithm{core.AlgBSDJ, core.AlgBBFS, core.AlgBSEG} {
+			a, err := runQueries(setup.eng, alg, queries)
+			if err != nil {
+				setup.close()
+				return nil, err
+			}
+			row = append(row, ms(a.Time))
+		}
+		setup.close()
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RunFig7b regenerates Fig 7(b): BBFS, BSDJ and BSEG at several lthd on
+// Random graphs.
+func RunFig7b(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Fig7b",
+		Title:  "Query time (ms) on Random graphs (avg degree 3)",
+		Header: []string{"|V|", "BBFS", "BSDJ", "BSEG(3)", "BSEG(5)", "BSEG(7)"},
+	}
+	for i, base := range []int64{10000, 20000, 30000, 40000} {
+		n := cfg.scale(base)
+		cfg.logf("fig7b: |V|=%d", n)
+		g := graph.RandomDegree(n, 3, cfg.Seed)
+		setup, err := makeEngine(g, rdb.Options{}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		queries := graph.RandomQueries(g, cfg.queries(), cfg.Seed+int64(i))
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, alg := range []core.Algorithm{core.AlgBBFS, core.AlgBSDJ} {
+			a, err := runQueries(setup.eng, alg, queries)
+			if err != nil {
+				setup.close()
+				return nil, err
+			}
+			row = append(row, ms(a.Time))
+		}
+		for _, lthd := range []int64{3, 5, 7} {
+			if _, err := setup.eng.BuildSegTable(lthd); err != nil {
+				setup.close()
+				return nil, err
+			}
+			a, err := runQueries(setup.eng, core.AlgBSEG, queries)
+			if err != nil {
+				setup.close()
+				return nil, err
+			}
+			row = append(row, ms(a.Time))
+		}
+		setup.close()
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RunTable3 regenerates Table 3: time, expansions and visited nodes for
+// BSDJ, BBFS and BSEG(5) on Random graphs.
+func RunTable3(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "Table3",
+		Title: "Time (ms), Exps and Vst (visited nodes) on Random graphs",
+		Header: []string{"|V|",
+			"BSDJ Time", "BSDJ Exps", "BSDJ Vst",
+			"BBFS Time", "BBFS Exps", "BBFS Vst",
+			"BSEG Time", "BSEG Exps", "BSEG Vst"},
+	}
+	for i, base := range []int64{10000, 20000, 30000, 40000} {
+		n := cfg.scale(base)
+		cfg.logf("table3: |V|=%d", n)
+		g := graph.RandomDegree(n, 3, cfg.Seed)
+		setup, err := makeEngine(g, rdb.Options{}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := setup.eng.BuildSegTable(5); err != nil {
+			setup.close()
+			return nil, err
+		}
+		queries := graph.RandomQueries(g, cfg.queries(), cfg.Seed+int64(i))
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, alg := range []core.Algorithm{core.AlgBSDJ, core.AlgBBFS, core.AlgBSEG} {
+			a, err := runQueries(setup.eng, alg, queries)
+			if err != nil {
+				setup.close()
+				return nil, err
+			}
+			row = append(row, ms(a.Time), f1(a.Exps), f1(a.Visited))
+		}
+		setup.close()
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RunFig7c regenerates Fig 7(c): BSEG query time vs the index threshold
+// lthd on Power graphs.
+func RunFig7c(cfg Config) (*Table, error) {
+	lthds := []int64{10, 30, 40, 50}
+	t := &Table{
+		ID:     "Fig7c",
+		Title:  "BSEG query time (ms) vs lthd, Power graphs",
+		Header: []string{"|V|", "lthd=10", "lthd=30", "lthd=40", "lthd=50"},
+	}
+	for i, n := range cfg.smallPowerSizes() {
+		cfg.logf("fig7c: |V|=%d", n)
+		g := graph.Power(n, 3, cfg.Seed)
+		setup, err := makeEngine(g, rdb.Options{}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		queries := graph.RandomQueries(g, cfg.queries(), cfg.Seed+int64(i))
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, lthd := range lthds {
+			if _, err := setup.eng.BuildSegTable(lthd); err != nil {
+				setup.close()
+				return nil, err
+			}
+			a, err := runQueries(setup.eng, core.AlgBSEG, queries)
+			if err != nil {
+				setup.close()
+				return nil, err
+			}
+			row = append(row, ms(a.Time))
+		}
+		setup.close()
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// realLikeGraphs returns the two real-dataset analogs used by Fig 7(d) and
+// Fig 9(b)/9(d).
+func (c Config) realLikeGraphs() []struct {
+	Name string
+	G    *graph.Graph
+} {
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	return []struct {
+		Name string
+		G    *graph.Graph
+	}{
+		{"GoogleWeb~", graph.GoogleWebLike(0.004*s, c.Seed)},
+		{"DBLP~", graph.DBLPLike(0.01*s, c.Seed)},
+	}
+}
+
+// RunFig7d regenerates Fig 7(d): BSEG query time vs lthd on the real-like
+// datasets.
+func RunFig7d(cfg Config) (*Table, error) {
+	lthds := []int64{2, 4, 6, 8, 10}
+	t := &Table{
+		ID:     "Fig7d",
+		Title:  "BSEG query time (ms) vs lthd, real-like graphs",
+		Header: []string{"dataset", "lthd=2", "lthd=4", "lthd=6", "lthd=8", "lthd=10"},
+	}
+	for _, ds := range cfg.realLikeGraphs() {
+		cfg.logf("fig7d: %s |V|=%d", ds.Name, ds.G.N)
+		setup, err := makeEngine(ds.G, rdb.Options{}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		queries := graph.RandomQueries(ds.G, cfg.queries(), cfg.Seed)
+		row := []string{fmt.Sprintf("%s(|V|=%d)", ds.Name, ds.G.N)}
+		for _, lthd := range lthds {
+			if _, err := setup.eng.BuildSegTable(lthd); err != nil {
+				setup.close()
+				return nil, err
+			}
+			a, err := runQueries(setup.eng, core.AlgBSEG, queries)
+			if err != nil {
+				setup.close()
+				return nil, err
+			}
+			row = append(row, ms(a.Time))
+		}
+		setup.close()
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RunFig8a regenerates Fig 8(a): BBFS vs BSEG(20) on the PostgreSQL
+// profile (window functions available, MERGE emulated by UPDATE+INSERT).
+func RunFig8a(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Fig8a",
+		Title:  "Query time (ms) on PostgreSQL profile, Power graphs",
+		Header: []string{"|V|", "BBFS", "BSEG(20)"},
+	}
+	for i, n := range cfg.smallPowerSizes() {
+		cfg.logf("fig8a: |V|=%d", n)
+		g := graph.Power(n, 3, cfg.Seed)
+		setup, err := makeEngine(g, rdb.Options{Profile: rdb.ProfilePostgreSQL9}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := setup.eng.BuildSegTable(20); err != nil {
+			setup.close()
+			return nil, err
+		}
+		queries := graph.RandomQueries(g, cfg.queries(), cfg.Seed+int64(i))
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, alg := range []core.Algorithm{core.AlgBBFS, core.AlgBSEG} {
+			a, err := runQueries(setup.eng, alg, queries)
+			if err != nil {
+				setup.close()
+				return nil, err
+			}
+			row = append(row, ms(a.Time))
+		}
+		setup.close()
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RunFig8b regenerates Fig 8(b): query time vs buffer-pool size on a
+// file-backed database with simulated disk latency.
+func RunFig8b(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Fig8b",
+		Title:  "BSEG(3) query time (ms) vs buffer size (pages), LiveJournal-like, simulated disk",
+		Header: []string{"buffer pages", "time", "pool misses/query"},
+	}
+	s := cfg.Scale
+	if s <= 0 {
+		s = 1
+	}
+	// Deliberately smaller than the other LiveJournal experiments: every
+	// page miss pays simulated latency and the database is rebuilt per
+	// pool size, so this sweep is the harness's most expensive point.
+	g := graph.LiveJournalLike(0.0015*s, cfg.Seed)
+	queries := graph.RandomQueries(g, cfg.queries(), cfg.Seed)
+	for _, pages := range []int{128, 256, 512, 1024, 2048} {
+		cfg.logf("fig8b: pages=%d |V|=%d", pages, g.N)
+		dbo := rdb.Options{
+			Path:               cfg.fileDBPath("fig8b"),
+			BufferPoolPages:    pages,
+			SimulatedIOLatency: 15 * time.Microsecond,
+		}
+		setup, err := makeEngine(g, dbo, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := setup.eng.BuildSegTable(3); err != nil {
+			setup.close()
+			return nil, err
+		}
+		setup.db.ResetStats()
+		a, err := runQueries(setup.eng, core.AlgBSEG, queries)
+		if err != nil {
+			setup.close()
+			return nil, err
+		}
+		st := setup.db.Stats()
+		setup.close()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", pages), ms(a.Time),
+			fmt.Sprintf("%.0f", float64(st.Pool.Misses)/float64(len(queries))),
+		})
+	}
+	return t, nil
+}
+
+// RunFig8c regenerates Fig 8(c): the NoIndex / Index / CluIndex physical
+// designs.
+func RunFig8c(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Fig8c",
+		Title:  "BSEG(20) query time (ms) by index strategy, Power graphs",
+		Header: []string{"|V|", "NoIndex", "Index", "CluIndex"},
+	}
+	for i, n := range cfg.smallPowerSizes() {
+		cfg.logf("fig8c: |V|=%d", n)
+		g := graph.Power(n, 3, cfg.Seed)
+		queries := graph.RandomQueries(g, cfg.queries(), cfg.Seed+int64(i))
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, strat := range []core.IndexStrategy{core.NoIndex, core.SecondaryIndex, core.ClusteredIndex} {
+			setup, err := makeEngine(g, rdb.Options{}, core.Options{Strategy: strat})
+			if err != nil {
+				return nil, err
+			}
+			if _, err := setup.eng.BuildSegTable(20); err != nil {
+				setup.close()
+				return nil, err
+			}
+			a, err := runQueries(setup.eng, core.AlgBSEG, queries)
+			setup.close()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(a.Time))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RunFig8d regenerates Fig 8(d): the relational BSEG against the in-memory
+// baselines MDJ and MBDJ.
+func RunFig8d(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Fig8d",
+		Title:  "Query time (ms): in-memory MDJ/MBDJ vs relational BSEG(20), Power graphs",
+		Header: []string{"|V|", "MDJ", "BSEG(20)", "MBDJ"},
+	}
+	for i, n := range cfg.smallPowerSizes() {
+		cfg.logf("fig8d: |V|=%d", n)
+		g := graph.Power(n, 3, cfg.Seed)
+		queries := graph.RandomQueries(g, cfg.queries(), cfg.Seed+int64(i))
+
+		mdjTime, mbdjTime := time.Duration(0), time.Duration(0)
+		for _, q := range queries {
+			t0 := time.Now()
+			graph.MDJ(g, q[0], q[1])
+			mdjTime += time.Since(t0)
+			t1 := time.Now()
+			graph.MBDJ(g, q[0], q[1])
+			mbdjTime += time.Since(t1)
+		}
+		mdjTime /= time.Duration(len(queries))
+		mbdjTime /= time.Duration(len(queries))
+
+		setup, err := makeEngine(g, rdb.Options{}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := setup.eng.BuildSegTable(20); err != nil {
+			setup.close()
+			return nil, err
+		}
+		a, err := runQueries(setup.eng, core.AlgBSEG, queries)
+		setup.close()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n), ms(mdjTime), ms(a.Time), ms(mbdjTime)})
+	}
+	return t, nil
+}

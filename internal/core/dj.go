@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// dj implements Algorithm 1: single-directional Dijkstra over the FEM
+// framework, one frontier node per iteration, located by the Listing 2(2)
+// statement and expanded by Listing 2(3,4).
+//
+// One deliberate deviation from the paper's pseudo-code: Algorithm 1 line
+// 5 breaks when the expansion affects zero tuples, but an expansion can
+// legitimately affect nothing while unfinalized nodes (and the target)
+// remain — e.g. when every neighbor of the frontier already holds a
+// smaller distance. We instead terminate when no frontier candidate is
+// left or the target is finalized, which is the sound reading; see
+// EXPERIMENTS.md.
+func (e *Engine) dj(s, t int64) (Path, *QueryStats, error) {
+	qs := &QueryStats{Algorithm: "DJ"}
+	start := time.Now()
+	defer func() { qs.Total = time.Since(start) }()
+
+	if err := e.resetVisited(qs); err != nil {
+		return Path{}, qs, err
+	}
+	// Listing 2(1): initialize TVisited with the source node.
+	if _, err := e.exec(qs, &qs.PE, nil,
+		fmt.Sprintf("INSERT INTO %s (nid, d2s, p2s, f, d2t, p2t, b) VALUES (?, 0, ?, 0, %d, %d, 1)",
+			TblVisited, MaxDist, NoParent),
+		s, s); err != nil {
+		return Path{}, qs, err
+	}
+	if s == t {
+		return Path{Found: true, Length: 0, Nodes: []int64{s}}, qs, nil
+	}
+
+	xp := e.buildExpand(fwdDir(), TblEdges, "q.nid = ?", 1, false)
+	midQ := fmt.Sprintf(
+		"SELECT TOP 1 nid FROM %[1]s WHERE f = 0 AND d2s = (SELECT MIN(d2s) FROM %[1]s WHERE f = 0)",
+		TblVisited)
+	finalizeQ := fmt.Sprintf("UPDATE %s SET f = 1 WHERE nid = ?", TblVisited)
+	targetQ := fmt.Sprintf("SELECT nid FROM %s WHERE f = 1 AND nid = ?", TblVisited)
+
+	limit := e.maxIters()
+	found := false
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			return Path{}, qs, fmt.Errorf("core: DJ exceeded %d iterations (s=%d t=%d)", limit, s, t)
+		}
+		// Listing 2(2): locate the next node to be expanded.
+		mid, null, err := e.queryInt(qs, &qs.SC, midQ)
+		if err != nil {
+			return Path{}, qs, err
+		}
+		if null {
+			break // no candidate left: t unreachable
+		}
+		// Listing 2(3,4): E and M operators for the frontier node.
+		if _, err := e.runExpand(qs, xp, []any{mid}, 0, 4*MaxDist); err != nil {
+			return Path{}, qs, err
+		}
+		qs.ForwardExpansions++
+		// Listing 3(2): finalize the frontier node.
+		if _, err := e.exec(qs, &qs.PE, &qs.FOp, finalizeQ, mid); err != nil {
+			return Path{}, qs, err
+		}
+		// Listing 3(1): detect termination.
+		tq, err := e.db.Query(targetQ, t)
+		qs.Statements++
+		if err != nil {
+			return Path{}, qs, err
+		}
+		if tq.Len() > 0 {
+			found = true
+			break
+		}
+	}
+	qs.Expansions = qs.ForwardExpansions
+
+	vc, err := e.visitedCount(qs)
+	if err != nil {
+		return Path{}, qs, err
+	}
+	qs.VisitedRows = vc
+	if !found {
+		return Path{Found: false}, qs, nil
+	}
+
+	dist, null, err := e.queryInt(qs, &qs.FPR,
+		fmt.Sprintf("SELECT d2s FROM %s WHERE nid = ?", TblVisited), t)
+	if err != nil {
+		return Path{}, qs, err
+	}
+	if null {
+		return Path{}, qs, fmt.Errorf("core: DJ finalized target without a distance")
+	}
+	nodes, err := e.recoverForward(qs, s, t, false)
+	if err != nil {
+		return Path{}, qs, err
+	}
+	return Path{Found: true, Length: dist, Nodes: nodes}, qs, nil
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rdb"
+)
+
+// MaxDist is the sentinel for "not yet reached" distances stored in
+// TVisited (d2s/d2t). Sums of two sentinels stay far below int64 overflow.
+const MaxDist = int64(1) << 50
+
+// NoParent marks an unset p2s/p2t link.
+const NoParent = int64(-1)
+
+// Algorithm selects one of the paper's five relational path finders.
+type Algorithm int
+
+// The implemented approaches (§5.1 "Implementation Details"):
+const (
+	// AlgDJ is the single-directional relational Dijkstra (Algorithm 1).
+	AlgDJ Algorithm = iota
+	// AlgBDJ is the bi-directional relational Dijkstra (node-at-a-time).
+	AlgBDJ
+	// AlgBSDJ is the bi-directional set Dijkstra (set-at-a-time, §4.1).
+	AlgBSDJ
+	// AlgBBFS is the bi-directional breadth-first relaxation.
+	AlgBBFS
+	// AlgBSEG is the selective expansion over SegTable (Algorithm 2, §4.3).
+	AlgBSEG
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgDJ:
+		return "DJ"
+	case AlgBDJ:
+		return "BDJ"
+	case AlgBSDJ:
+		return "BSDJ"
+	case AlgBBFS:
+		return "BBFS"
+	case AlgBSEG:
+		return "BSEG"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// IndexStrategy is the physical design axis of Fig 8(c).
+type IndexStrategy int
+
+// Index strategies for TEdges(fid)/TOutSegs(fid)/TInSegs(tid)/TVisited(nid).
+const (
+	// ClusteredIndex stores each table as a B+tree on its key (CluIndex).
+	ClusteredIndex IndexStrategy = iota
+	// SecondaryIndex keeps heaps plus non-clustered B+tree indexes (Index).
+	SecondaryIndex
+	// NoIndex keeps bare heaps; every probe is a scan.
+	NoIndex
+)
+
+func (s IndexStrategy) String() string {
+	switch s {
+	case ClusteredIndex:
+		return "CluIndex"
+	case SecondaryIndex:
+		return "Index"
+	case NoIndex:
+		return "NoIndex"
+	}
+	return fmt.Sprintf("IndexStrategy(%d)", int(s))
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Strategy picks the physical design (default ClusteredIndex).
+	Strategy IndexStrategy
+	// TraditionalSQL replaces the window function + MERGE statements with
+	// the pre-2003 formulation (aggregate + join-back, UPDATE + INSERT):
+	// the paper's TSQL baseline of Fig 6(d) and Fig 9(f).
+	TraditionalSQL bool
+	// SeparateOperators runs F, E and M as distinct SQL statements and
+	// times them individually (Fig 6(c)). Slightly slower than the fused
+	// MERGE form.
+	SeparateOperators bool
+	// DisablePruning turns off the Theorem-1 bound in expansions
+	// (ablation; the paper always prunes).
+	DisablePruning bool
+	// AlternateDirections replaces the paper's fewer-frontier direction
+	// policy with strict alternation (ablation of the §4.1 heuristic).
+	AlternateDirections bool
+	// Lthd is the SegTable index threshold (must match the built index;
+	// set by BuildSegTable).
+	Lthd int64
+	// MaxIterations caps FEM iterations as a safety net (default 16 times
+	// the node count).
+	MaxIterations int
+}
+
+// Engine runs the relational algorithms against one database. It keeps
+// only scalar state between statements — the RDB carries all per-node data.
+//
+// An Engine is not safe for concurrent queries: every query shares the
+// TVisited working table, matching the paper's single JDBC session. Open
+// one database (and engine) per concurrent client instead.
+type Engine struct {
+	db   *rdb.DB
+	opts Options
+
+	wmin  int64
+	nodes int
+	edges int
+
+	segBuilt bool
+	segLthd  int64
+}
+
+// NewEngine wraps db. Call LoadGraph before running queries.
+func NewEngine(db *rdb.DB, opts Options) *Engine {
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = 1 << 30 // replaced by 16*n after LoadGraph
+	}
+	return &Engine{db: db, opts: opts}
+}
+
+// DB exposes the underlying database.
+func (e *Engine) DB() *rdb.DB { return e.db }
+
+// Options returns the engine configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// WMin returns the minimal edge weight of the loaded graph.
+func (e *Engine) WMin() int64 { return e.wmin }
+
+// Nodes returns the loaded node count.
+func (e *Engine) Nodes() int { return e.nodes }
+
+// Edges returns the loaded edge count.
+func (e *Engine) Edges() int { return e.edges }
+
+// SegLthd returns the threshold of the built SegTable (0 when absent).
+func (e *Engine) SegLthd() int64 {
+	if !e.segBuilt {
+		return 0
+	}
+	return e.segLthd
+}
+
+// exec runs a write statement, charging its latency to the given phase
+// accumulators (any of which may be nil).
+func (e *Engine) exec(qs *QueryStats, phase *time.Duration, op *time.Duration, q string, args ...any) (int64, error) {
+	t0 := time.Now()
+	res, err := e.db.Exec(q, args...)
+	dt := time.Since(t0)
+	if qs != nil {
+		qs.Statements++
+	}
+	if phase != nil {
+		*phase += dt
+	}
+	if op != nil {
+		*op += dt
+	}
+	if err != nil {
+		return 0, err
+	}
+	return res.RowsAffected, nil
+}
+
+// queryInt runs a scalar query with the same accounting.
+func (e *Engine) queryInt(qs *QueryStats, phase *time.Duration, q string, args ...any) (int64, bool, error) {
+	t0 := time.Now()
+	v, null, err := e.db.QueryInt(q, args...)
+	dt := time.Since(t0)
+	if qs != nil {
+		qs.Statements++
+	}
+	if phase != nil {
+		*phase += dt
+	}
+	return v, null, err
+}
+
+// ShortestPath runs the selected algorithm from s to t.
+func (e *Engine) ShortestPath(alg Algorithm, s, t int64) (Path, *QueryStats, error) {
+	if e.nodes == 0 {
+		return Path{}, nil, fmt.Errorf("core: no graph loaded")
+	}
+	if s < 0 || t < 0 || int(s) >= e.nodes || int(t) >= e.nodes {
+		return Path{}, nil, fmt.Errorf("core: node out of range (n=%d)", e.nodes)
+	}
+	switch alg {
+	case AlgDJ:
+		return e.dj(s, t)
+	case AlgBDJ:
+		return e.bidirectional(specBDJ(), s, t)
+	case AlgBSDJ:
+		return e.bidirectional(specBSDJ(), s, t)
+	case AlgBBFS:
+		return e.bidirectional(specBBFS(), s, t)
+	case AlgBSEG:
+		if !e.segBuilt {
+			return Path{}, nil, fmt.Errorf("core: BSEG requires BuildSegTable first")
+		}
+		return e.bidirectional(specBSEG(e.segLthd), s, t)
+	}
+	return Path{}, nil, fmt.Errorf("core: unknown algorithm %v", alg)
+}
+
+func (e *Engine) maxIters() int {
+	cap := e.opts.MaxIterations
+	if cap == 1<<30 && e.nodes > 0 {
+		cap = 16*e.nodes + 1024
+	}
+	return cap
+}

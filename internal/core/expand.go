@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+)
+
+// direction captures the column/table asymmetry between forward expansion
+// (from s along outgoing edges, maintaining d2s/p2s/f) and backward
+// expansion (from t along incoming edges, maintaining d2t/p2t/b) — §4.1's
+// extension of TVisited.
+type direction struct {
+	forward bool
+	dist    string // d2s / d2t
+	par     string // p2s / p2t
+	sign    string // f / b
+	joinCol string // edge column matched against q.nid (fid fwd, tid bwd)
+	newCol  string // edge column of the newly expanded node
+}
+
+func fwdDir() direction {
+	return direction{forward: true, dist: "d2s", par: "p2s", sign: "f", joinCol: "fid", newCol: "tid"}
+}
+
+func bwdDir() direction {
+	return direction{forward: false, dist: "d2t", par: "p2t", sign: "b", joinCol: "tid", newCol: "fid"}
+}
+
+// insertValues renders the 7-column TVisited insert list for a newly
+// discovered node: its own direction gets (cost, parent, sign=0), the other
+// direction the MaxDist sentinel with sign=1 (not a candidate until
+// relaxed from that side).
+func (d direction) insertValues(prefix string) string {
+	if d.forward {
+		return fmt.Sprintf("(%[1]s.nid, %[1]s.cost, %[1]s.par, 0, %[2]d, %[3]d, 1)", prefix, MaxDist, NoParent)
+	}
+	return fmt.Sprintf("(%[1]s.nid, %[2]d, %[3]d, 1, %[1]s.cost, %[1]s.par, 0)", prefix, MaxDist, NoParent)
+}
+
+// insertSelectList is the same shape for INSERT ... SELECT (no parens).
+func (d direction) insertSelectList(prefix string) string {
+	if d.forward {
+		return fmt.Sprintf("%[1]s.nid, %[1]s.cost, %[1]s.par, 0, %[2]d, %[3]d, 1", prefix, MaxDist, NoParent)
+	}
+	return fmt.Sprintf("%[1]s.nid, %[2]d, %[3]d, 1, %[1]s.cost, %[1]s.par, 0", prefix, MaxDist, NoParent)
+}
+
+// expandSQL carries the pre-rendered statements for one (direction,
+// edge-table, frontier, dialect) combination. Statements are rendered once
+// per query, then re-parsed per execution by the engine — matching the
+// paper's client, which ships SQL text through JDBC every iteration.
+type expandSQL struct {
+	dir direction
+
+	// NSQL fused: window function + MERGE in a single statement
+	// (Listing 2(3,4) / Listing 4(2) of the paper).
+	fused string
+
+	// Materialized E-operator (separate-operator and no-MERGE paths).
+	clearExpand string
+	insExpand   string // window-function form
+
+	// Traditional E-operator: aggregate + join-back (pre-SQL:2003).
+	clearCost   string
+	insCost     string
+	insExpandTr string
+
+	// M-operator alternatives.
+	mMerge  string // MERGE from TExpand
+	mUpdate string // UPDATE ... FROM TExpand
+	mInsert string // INSERT ... WHERE NOT EXISTS
+
+	frontierArgs int // number of ? placeholders in the frontier predicate
+	prune        bool
+}
+
+// buildExpand renders the expansion statements. frontier is a predicate
+// over the alias q (e.g. "q.f = 2" or "q.nid = ?"); frontierArgs counts its
+// placeholders. prune appends the Theorem-1 bound
+// "out.cost + q.<dist> + ? < ?" with two more placeholders.
+func (e *Engine) buildExpand(d direction, edgeTbl, frontier string, frontierArgs int, prune bool) *expandSQL {
+	x := &expandSQL{dir: d, frontierArgs: frontierArgs, prune: prune}
+	pruneSQL := ""
+	if prune {
+		pruneSQL = fmt.Sprintf(" AND out.cost + q.%s + ? < ?", d.dist)
+	}
+
+	// The windowed expansion source (E-operator): all candidate expansions
+	// joined from the frontier, keeping only the cheapest per new node via
+	// ROW_NUMBER — the SQL:2003 feature that also carries the parent along
+	// without a second join.
+	windowSrc := fmt.Sprintf(
+		"SELECT nid, par, cost FROM ("+
+			"SELECT out.%s, q.nid, out.cost + q.%s, "+
+			"ROW_NUMBER() OVER (PARTITION BY out.%s ORDER BY out.cost + q.%s) "+
+			"FROM %s q, %s out "+
+			"WHERE q.nid = out.%s AND %s%s"+
+			") tmp (nid, par, cost, rn) WHERE rn = 1",
+		d.newCol, d.dist, d.newCol, d.dist, TblVisited, edgeTbl, d.joinCol, frontier, pruneSQL)
+
+	x.fused = fmt.Sprintf(
+		"MERGE INTO %s AS target USING (%s) AS source (nid, par, cost) "+
+			"ON (target.nid = source.nid) "+
+			"WHEN MATCHED AND target.%s > source.cost THEN UPDATE SET %s = source.cost, %s = source.par, %s = 0 "+
+			"WHEN NOT MATCHED THEN INSERT (nid, d2s, p2s, f, d2t, p2t, b) VALUES %s",
+		TblVisited, windowSrc, d.dist, d.dist, d.par, d.sign, d.insertValues("source"))
+
+	x.clearExpand = "DELETE FROM " + TblExpand
+	x.insExpand = fmt.Sprintf("INSERT INTO %s (nid, par, cost) %s", TblExpand, windowSrc)
+
+	// Traditional two-step E-operator: aggregate the minimal cost per new
+	// node, then join back to find a parent achieving it (§3.3's discussion
+	// of why the direct translation is verbose and slow).
+	x.clearCost = "DELETE FROM " + TblExpCost
+	x.insCost = fmt.Sprintf(
+		"INSERT INTO %s (nid, cost) "+
+			"SELECT out.%s, MIN(out.cost + q.%s) FROM %s q, %s out "+
+			"WHERE q.nid = out.%s AND %s%s GROUP BY out.%s",
+		TblExpCost, d.newCol, d.dist, TblVisited, edgeTbl, d.joinCol, frontier, pruneSQL, d.newCol)
+	x.insExpandTr = fmt.Sprintf(
+		"INSERT INTO %s (nid, par, cost) "+
+			"SELECT ec.nid, MIN(q.nid), ec.cost FROM %s q, %s out, %s ec "+
+			"WHERE q.nid = out.%s AND %s%s AND ec.nid = out.%s AND out.cost + q.%s = ec.cost "+
+			"GROUP BY ec.nid, ec.cost",
+		TblExpand, TblVisited, edgeTbl, TblExpCost, d.joinCol, frontier, pruneSQL, d.newCol, d.dist)
+
+	x.mMerge = fmt.Sprintf(
+		"MERGE INTO %s AS target USING %s AS source ON (target.nid = source.nid) "+
+			"WHEN MATCHED AND target.%s > source.cost THEN UPDATE SET %s = source.cost, %s = source.par, %s = 0 "+
+			"WHEN NOT MATCHED THEN INSERT (nid, d2s, p2s, f, d2t, p2t, b) VALUES %s",
+		TblVisited, TblExpand, d.dist, d.dist, d.par, d.sign, d.insertValues("source"))
+	x.mUpdate = fmt.Sprintf(
+		"UPDATE %s SET %s = s.cost, %s = s.par, %s = 0 FROM %s s "+
+			"WHERE %s.nid = s.nid AND %s.%s > s.cost",
+		TblVisited, d.dist, d.par, d.sign, TblExpand, TblVisited, TblVisited, d.dist)
+	x.mInsert = fmt.Sprintf(
+		"INSERT INTO %s (nid, d2s, p2s, f, d2t, p2t, b) SELECT %s FROM %s s "+
+			"WHERE NOT EXISTS (SELECT nid FROM %s v WHERE v.nid = s.nid)",
+		TblVisited, d.insertSelectList("s"), TblExpand, TblVisited)
+	return x
+}
+
+// runExpand executes one E+M round, returning the number of affected
+// TVisited rows (the SQLCA count Algorithm 1/2 read). The statement shape
+// depends on the dialect and engine profile:
+//
+//	NSQL, MERGE available, fused:     1 statement  (window + MERGE)
+//	NSQL, MERGE available, separate:  3 statements (clear, E-insert, MERGE)
+//	NSQL, no MERGE (PostgreSQL 9.0):  4 statements (clear, E-insert, UPDATE, INSERT)
+//	TSQL:                             6 statements (aggregate E ×2 + UPDATE, INSERT)
+func (e *Engine) runExpand(qs *QueryStats, x *expandSQL, frontierArgs []any, lOther, minCost int64) (int64, error) {
+	if len(frontierArgs) != x.frontierArgs {
+		return 0, fmt.Errorf("core: expansion expects %d frontier args, got %d", x.frontierArgs, len(frontierArgs))
+	}
+	var pruneArgs []any
+	if x.prune {
+		bound := minCost
+		if e.opts.DisablePruning || bound >= MaxDist {
+			bound = 4 * MaxDist // effectively unbounded
+		}
+		pruneArgs = []any{lOther, bound}
+	}
+	eArgs := append(append([]any{}, frontierArgs...), pruneArgs...)
+
+	useTraditional := e.opts.TraditionalSQL
+	useMerge := e.db.Profile().SupportsMerge && !useTraditional
+	fusedOK := useMerge && !e.opts.SeparateOperators && e.db.Profile().SupportsWindow
+
+	if fusedOK {
+		return e.exec(qs, &qs.PE, &qs.EOp, x.fused, eArgs...)
+	}
+
+	// Materialize the E-operator output.
+	if _, err := e.exec(qs, &qs.PE, &qs.EOp, x.clearExpand); err != nil {
+		return 0, err
+	}
+	if !useTraditional && e.db.Profile().SupportsWindow {
+		if _, err := e.exec(qs, &qs.PE, &qs.EOp, x.insExpand, eArgs...); err != nil {
+			return 0, err
+		}
+	} else {
+		if _, err := e.exec(qs, &qs.PE, &qs.EOp, x.clearCost); err != nil {
+			return 0, err
+		}
+		if _, err := e.exec(qs, &qs.PE, &qs.EOp, x.insCost, eArgs...); err != nil {
+			return 0, err
+		}
+		// insExpandTr contains the frontier+prune placeholders once more.
+		if _, err := e.exec(qs, &qs.PE, &qs.EOp, x.insExpandTr, eArgs...); err != nil {
+			return 0, err
+		}
+	}
+
+	// Apply the M-operator.
+	if useMerge {
+		return e.exec(qs, &qs.PE, &qs.MOp, x.mMerge)
+	}
+	upd, err := e.exec(qs, &qs.PE, &qs.MOp, x.mUpdate)
+	if err != nil {
+		return 0, err
+	}
+	ins, err := e.exec(qs, &qs.PE, &qs.MOp, x.mInsert)
+	if err != nil {
+		return 0, err
+	}
+	return upd + ins, nil
+}

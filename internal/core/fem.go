@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// femSpec parameterizes the generic bi-directional FEM loop. The four
+// bi-directional algorithms differ only in (i) the frontier-selection rule
+// (the F-operator), (ii) the edge source (TEdges vs SegTable) and (iii)
+// whether the lf/lb bounds participate in termination — exactly the axes
+// §4 varies.
+type femSpec struct {
+	name    string
+	edgeFwd string
+	edgeBwd string
+	// frontier renders the F-operator sign update for a direction; k is
+	// the 1-based expansion counter of that direction (used by BSEG's
+	// d2s <= k*lthd rule). The statement must set sign=2 on the selected
+	// frontier and report the frontier size as its affected count.
+	frontier func(d direction, k int) (string, []any)
+	// trackL enables the lf+lb >= minCost termination (Dijkstra-family);
+	// BBFS leaves bounds at zero and terminates by exhaustion.
+	trackL bool
+	prune  bool
+	// smallerL picks the direction with the smaller frontier distance
+	// (classic bi-directional Dijkstra) instead of the fewer-frontier rule
+	// of §4.1. Node-at-a-time BDJ needs this: its frontier counts are
+	// always 1, so the fewer-frontier rule would never switch direction.
+	smallerL bool
+}
+
+// specBDJ: bi-directional Dijkstra, one frontier node per expansion.
+func specBDJ() femSpec {
+	return femSpec{
+		name:    "BDJ",
+		edgeFwd: TblEdges,
+		edgeBwd: TblEdges,
+		frontier: func(d direction, _ int) (string, []any) {
+			q := fmt.Sprintf(
+				"UPDATE %[1]s SET %[2]s = 2 WHERE %[2]s = 0 AND nid = "+
+					"(SELECT TOP 1 nid FROM %[1]s WHERE %[2]s = 0 AND %[3]s = "+
+					"(SELECT MIN(%[3]s) FROM %[1]s WHERE %[2]s = 0))",
+				TblVisited, d.sign, d.dist)
+			return q, nil
+		},
+		trackL:   true,
+		prune:    false, // pruning is introduced with the set variant (§4.1)
+		smallerL: true,
+	}
+}
+
+// specBSDJ: bi-directional set Dijkstra — all nodes at the minimal
+// distance become the frontier together (§4.1's RDB-friendly batch rule).
+func specBSDJ() femSpec {
+	return femSpec{
+		name:    "BSDJ",
+		edgeFwd: TblEdges,
+		edgeBwd: TblEdges,
+		frontier: func(d direction, _ int) (string, []any) {
+			q := fmt.Sprintf(
+				"UPDATE %[1]s SET %[2]s = 2 WHERE %[2]s = 0 AND %[3]s = "+
+					"(SELECT MIN(%[3]s) FROM %[1]s WHERE %[2]s = 0)",
+				TblVisited, d.sign, d.dist)
+			return q, nil
+		},
+		trackL: true,
+		prune:  true,
+	}
+}
+
+// specBBFS: bi-directional BFS — every candidate expands every round.
+func specBBFS() femSpec {
+	return femSpec{
+		name:    "BBFS",
+		edgeFwd: TblEdges,
+		edgeBwd: TblEdges,
+		frontier: func(d direction, _ int) (string, []any) {
+			q := fmt.Sprintf("UPDATE %[1]s SET %[2]s = 2 WHERE %[2]s = 0", TblVisited, d.sign)
+			return q, nil
+		},
+		trackL: false,
+		prune:  true,
+	}
+}
+
+// specBSEG: selective expansion over SegTable (Listing 4(1)): candidates
+// within k*lthd expand together with the minimal one.
+func specBSEG(lthd int64) femSpec {
+	return femSpec{
+		name:    "BSEG",
+		edgeFwd: TblOutSegs,
+		edgeBwd: TblInSegs,
+		frontier: func(d direction, k int) (string, []any) {
+			q := fmt.Sprintf(
+				"UPDATE %[1]s SET %[2]s = 2 WHERE %[2]s = 0 AND (%[3]s <= ? OR %[3]s = "+
+					"(SELECT MIN(%[3]s) FROM %[1]s WHERE %[2]s = 0))",
+				TblVisited, d.sign, d.dist)
+			return q, []any{int64(k) * lthd}
+		},
+		trackL: true,
+		prune:  true,
+	}
+}
+
+// bidirectional runs the generic FEM loop of Algorithm 2: initialize
+// TVisited with s and t, repeatedly pick the direction with the smaller
+// frontier, run F (sign update), E+M (expansion), collect lf/lb/minCost,
+// and stop when lf + lb >= minCost or either search exhausts (§4.1's
+// termination; exhaustion of one side finalizes that side's distances, so
+// minCost is then exact).
+func (e *Engine) bidirectional(spec femSpec, s, t int64) (Path, *QueryStats, error) {
+	qs := &QueryStats{Algorithm: spec.name}
+	start := time.Now()
+	defer func() {
+		qs.Total = time.Since(start)
+	}()
+
+	if err := e.resetVisited(qs); err != nil {
+		return Path{}, qs, err
+	}
+	if s == t {
+		return Path{Found: true, Length: 0, Nodes: []int64{s}}, qs, nil
+	}
+	// Initialize with the two endpoints (line 1 of Algorithm 2).
+	if _, err := e.exec(qs, &qs.PE, nil,
+		fmt.Sprintf("INSERT INTO %s (nid, d2s, p2s, f, d2t, p2t, b) VALUES (?, 0, ?, 0, ?, %d, 1), (?, ?, %d, 1, 0, ?, 0)",
+			TblVisited, NoParent, NoParent),
+		s, s, MaxDist, t, MaxDist, t); err != nil {
+		return Path{}, qs, err
+	}
+
+	fwd, bwd := fwdDir(), bwdDir()
+	xpF := e.buildExpand(fwd, spec.edgeFwd, "q.f = 2", 0, spec.prune)
+	xpB := e.buildExpand(bwd, spec.edgeBwd, "q.b = 2", 0, spec.prune)
+	resetF := fmt.Sprintf("UPDATE %s SET f = 1 WHERE f = 2", TblVisited)
+	resetB := fmt.Sprintf("UPDATE %s SET b = 1 WHERE b = 2", TblVisited)
+	minSumQ := fmt.Sprintf("SELECT MIN(d2s + d2t) FROM %s", TblVisited)
+	minFQ := fmt.Sprintf("SELECT MIN(d2s) FROM %s WHERE f = 0", TblVisited)
+	minBQ := fmt.Sprintf("SELECT MIN(d2t) FROM %s WHERE b = 0", TblVisited)
+
+	var lf, lb int64
+	nf, nb := int64(1), int64(1)
+	candF, candB := true, true
+	kf, kb := 0, 0
+	minCost := int64(4 * MaxDist)
+	limit := e.maxIters()
+
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			return Path{}, qs, fmt.Errorf("core: %s exceeded %d iterations (s=%d t=%d)", spec.name, limit, s, t)
+		}
+		// Statistics collection: current best meeting cost (line 16).
+		mc, null, err := e.queryInt(qs, &qs.SC, minSumQ)
+		if err != nil {
+			return Path{}, qs, err
+		}
+		if !null {
+			minCost = mc
+		}
+		pathFound := minCost < MaxDist
+		if spec.trackL && pathFound && lf+lb >= minCost {
+			break
+		}
+		if !candF && !candB {
+			break
+		}
+		var forward bool
+		switch {
+		case e.opts.AlternateDirections:
+			forward = candF && (!candB || iter%2 == 0)
+		case spec.smallerL:
+			forward = candF && (!candB || lf <= lb)
+		default:
+			// The paper's §4.1 policy: expand the direction with fewer
+			// frontier nodes to limit intermediate results.
+			forward = candF && (!candB || nf <= nb)
+		}
+		var d direction
+		var xp *expandSQL
+		var reset, minQ string
+		var lOther int64
+		var k int
+		if forward {
+			d, xp, reset, minQ, lOther = fwd, xpF, resetF, minFQ, lb
+			kf++
+			k = kf
+		} else {
+			d, xp, reset, minQ, lOther = bwd, xpB, resetB, minBQ, lf
+			kb++
+			k = kb
+		}
+
+		// F-operator: select and mark the frontier (Listing 4(1)).
+		fq, fargs := spec.frontier(d, k)
+		cnt, err := e.exec(qs, &qs.PE, &qs.FOp, fq, fargs...)
+		if err != nil {
+			return Path{}, qs, err
+		}
+		if cnt == 0 {
+			// This side is exhausted: its distances are final, so minCost
+			// is exact; the loop re-checks at the top.
+			if forward {
+				candF = false
+				kf--
+			} else {
+				candB = false
+				kb--
+			}
+			continue
+		}
+
+		// E + M operators (Listing 4(2)).
+		if _, err := e.runExpand(qs, xp, nil, lOther, minCost); err != nil {
+			return Path{}, qs, err
+		}
+		if forward {
+			qs.ForwardExpansions++
+		} else {
+			qs.BackwardExpansions++
+		}
+
+		// Mark the frontier as expanded (Listing 4(3)).
+		if _, err := e.exec(qs, &qs.PE, &qs.FOp, reset); err != nil {
+			return Path{}, qs, err
+		}
+
+		// Collect the latest minimal distance (Listing 4(4)).
+		l, lnull, err := e.queryInt(qs, &qs.SC, minQ)
+		if err != nil {
+			return Path{}, qs, err
+		}
+		if forward {
+			if lnull {
+				candF = false
+			} else {
+				lf = l
+			}
+			nf = cnt
+		} else {
+			if lnull {
+				candB = false
+			} else {
+				lb = l
+			}
+			nb = cnt
+		}
+	}
+	qs.Expansions = qs.ForwardExpansions + qs.BackwardExpansions
+
+	vc, err := e.visitedCount(qs)
+	if err != nil {
+		return Path{}, qs, err
+	}
+	qs.VisitedRows = vc
+
+	if minCost >= MaxDist {
+		return Path{Found: false}, qs, nil
+	}
+	nodes, err := e.recoverBidirectional(qs, s, t, minCost, spec.edgeFwd != TblEdges)
+	if err != nil {
+		return Path{}, qs, err
+	}
+	return Path{Found: true, Length: minCost, Nodes: nodes}, qs, nil
+}

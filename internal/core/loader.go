@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Table names used throughout (paper §2.1, §3.3, §4.2).
+const (
+	TblNodes   = "TNodes"
+	TblEdges   = "TEdges"
+	TblVisited = "TVisited"
+	TblOutSegs = "TOutSegs"
+	TblInSegs  = "TInSegs"
+	TblExpand  = "TExpand"  // materialized E-operator output (non-fused paths)
+	TblExpCost = "TExpCost" // TSQL intermediate: per-node minimal cost
+	TblSeg     = "TSeg"     // SegTable construction working set
+)
+
+const insertBatch = 400
+
+// LoadGraph creates the relational representation of g (Figure 1 of the
+// paper) under the engine's index strategy and bulk-loads it, then creates
+// the per-query working tables.
+func (e *Engine) LoadGraph(g *graph.Graph) error {
+	db := e.db
+	stmts := []string{
+		fmt.Sprintf("CREATE TABLE %s (nid INT PRIMARY KEY)", TblNodes),
+		fmt.Sprintf("CREATE TABLE %s (fid INT, tid INT, cost INT)", TblEdges),
+	}
+	switch e.opts.Strategy {
+	case ClusteredIndex:
+		stmts = append(stmts,
+			fmt.Sprintf("CREATE CLUSTERED INDEX tedges_fid ON %s (fid)", TblEdges),
+			fmt.Sprintf("CREATE INDEX tedges_tid ON %s (tid)", TblEdges),
+		)
+	case SecondaryIndex:
+		stmts = append(stmts,
+			fmt.Sprintf("CREATE INDEX tedges_fid ON %s (fid)", TblEdges),
+			fmt.Sprintf("CREATE INDEX tedges_tid ON %s (tid)", TblEdges),
+		)
+	case NoIndex:
+		// bare heap
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			return err
+		}
+	}
+	if err := e.createVisitedTables(); err != nil {
+		return err
+	}
+
+	// Bulk-load nodes.
+	var sb strings.Builder
+	flushNodes := func() error {
+		if sb.Len() == 0 {
+			return nil
+		}
+		q := fmt.Sprintf("INSERT INTO %s (nid) VALUES %s", TblNodes, sb.String())
+		sb.Reset()
+		_, err := db.Exec(q)
+		return err
+	}
+	count := 0
+	for nid := int64(0); nid < g.N; nid++ {
+		if count > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "(%d)", nid)
+		count++
+		if count == insertBatch {
+			if err := flushNodes(); err != nil {
+				return err
+			}
+			count = 0
+		}
+	}
+	if err := flushNodes(); err != nil {
+		return err
+	}
+
+	// Bulk-load edges.
+	count = 0
+	flushEdges := func() error {
+		if sb.Len() == 0 {
+			return nil
+		}
+		q := fmt.Sprintf("INSERT INTO %s (fid, tid, cost) VALUES %s", TblEdges, sb.String())
+		sb.Reset()
+		_, err := db.Exec(q)
+		return err
+	}
+	for _, ed := range g.Edges {
+		if count > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "(%d,%d,%d)", ed.From, ed.To, ed.Weight)
+		count++
+		if count == insertBatch {
+			if err := flushEdges(); err != nil {
+				return err
+			}
+			count = 0
+		}
+	}
+	if err := flushEdges(); err != nil {
+		return err
+	}
+
+	wmin, null, err := db.QueryInt(fmt.Sprintf("SELECT MIN(cost) FROM %s", TblEdges))
+	if err != nil {
+		return err
+	}
+	if null || wmin < 1 {
+		wmin = 1
+	}
+	e.wmin = wmin
+	e.nodes = int(g.N)
+	e.edges = g.M()
+	return nil
+}
+
+// createVisitedTables creates TVisited and the expansion scratch tables
+// under the engine's index strategy. TVisited carries both directions'
+// state (§4.1): d2s/p2s/f forward, d2t/p2t/b backward.
+func (e *Engine) createVisitedTables() error {
+	db := e.db
+	var stmts []string
+	switch e.opts.Strategy {
+	case ClusteredIndex:
+		stmts = append(stmts,
+			fmt.Sprintf("CREATE TABLE %s (nid INT PRIMARY KEY, d2s INT, p2s INT, f INT, d2t INT, p2t INT, b INT)", TblVisited),
+			fmt.Sprintf("CREATE TABLE %s (nid INT PRIMARY KEY, par INT, cost INT)", TblExpand),
+			fmt.Sprintf("CREATE TABLE %s (nid INT PRIMARY KEY, cost INT)", TblExpCost),
+		)
+	case SecondaryIndex:
+		stmts = append(stmts,
+			fmt.Sprintf("CREATE TABLE %s (nid INT, d2s INT, p2s INT, f INT, d2t INT, p2t INT, b INT)", TblVisited),
+			fmt.Sprintf("CREATE UNIQUE INDEX tvisited_nid ON %s (nid)", TblVisited),
+			fmt.Sprintf("CREATE TABLE %s (nid INT, par INT, cost INT)", TblExpand),
+			fmt.Sprintf("CREATE UNIQUE INDEX texpand_nid ON %s (nid)", TblExpand),
+			fmt.Sprintf("CREATE TABLE %s (nid INT, cost INT)", TblExpCost),
+			fmt.Sprintf("CREATE UNIQUE INDEX texpcost_nid ON %s (nid)", TblExpCost),
+		)
+	case NoIndex:
+		stmts = append(stmts,
+			fmt.Sprintf("CREATE TABLE %s (nid INT, d2s INT, p2s INT, f INT, d2t INT, p2t INT, b INT)", TblVisited),
+			fmt.Sprintf("CREATE TABLE %s (nid INT, par INT, cost INT)", TblExpand),
+			fmt.Sprintf("CREATE TABLE %s (nid INT, cost INT)", TblExpCost),
+		)
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resetVisited clears the per-query working tables (counted in PE since
+// the paper's per-query setup happens inside the measured loop).
+func (e *Engine) resetVisited(qs *QueryStats) error {
+	for _, tbl := range []string{TblVisited, TblExpand, TblExpCost} {
+		if _, err := e.exec(qs, nil, nil, "DELETE FROM "+tbl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// visitedCount reads |TVisited| for the search-space metric (Table 3).
+func (e *Engine) visitedCount(qs *QueryStats) (int, error) {
+	v, _, err := e.queryInt(qs, nil, fmt.Sprintf("SELECT COUNT(*) FROM %s", TblVisited))
+	return int(v), err
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Prim's minimal spanning tree via the FEM framework (§3.1's second
+// worked example): each node carries (w, p2s, f) where w is the cheapest
+// edge weight connecting it to the growing tree, p2s that edge's tree-side
+// endpoint, and f the membership flag. The frontier rule picks all
+// candidates at the minimal connection weight (set-at-a-time, like BSDJ);
+// the E-operator offers each neighbour the connecting edge's weight (not a
+// cumulative distance); the M-operator keeps the cheaper offer and discards
+// nodes already in the tree.
+//
+// The graph is treated as undirected using the out-edge table; for the
+// generators in this repository every undirected dataset stores both
+// directions. Disconnected graphs yield a spanning forest.
+
+// MSTEdge is one selected tree edge.
+type MSTEdge struct {
+	From, To int64
+	Weight   int64
+}
+
+// MSTResult reports a spanning forest computation.
+type MSTResult struct {
+	Edges       []MSTEdge
+	TotalWeight int64
+	Components  int
+	Iterations  int
+	Statements  int
+	Time        time.Duration
+}
+
+// MinimumSpanningForest computes a minimal spanning forest with FEM
+// iterations over the loaded graph.
+func (e *Engine) MinimumSpanningForest() (*MSTResult, error) {
+	if e.nodes == 0 {
+		return nil, fmt.Errorf("core: no graph loaded")
+	}
+	qs := &QueryStats{Algorithm: "MST"}
+	start := time.Now()
+	db := e.db
+
+	// Working table: reuse TVisited's shape, with d2s as the connection
+	// weight. All nodes start as non-candidates (f = 3); component roots
+	// are promoted one at a time.
+	if err := e.resetVisited(qs); err != nil {
+		return nil, err
+	}
+	if _, err := e.exec(qs, nil, nil, fmt.Sprintf(
+		"INSERT INTO %s (nid, d2s, p2s, f, d2t, p2t, b) SELECT nid, %d, %d, 3, 0, 0, 0 FROM %s",
+		TblVisited, MaxDist, NoParent, TblNodes)); err != nil {
+		return nil, err
+	}
+
+	// One node per iteration (§3.1: "select a node u with u.f = false and
+	// the minimal edge weight"). Adopting all minimum-weight candidates at
+	// once would be unsound: adding one candidate can cheapen another's
+	// connection below the shared minimum.
+	frontierQ := fmt.Sprintf(
+		"UPDATE %[1]s SET f = 2 WHERE f = 0 AND nid = "+
+			"(SELECT TOP 1 nid FROM %[1]s WHERE f = 0 AND d2s = "+
+			"(SELECT MIN(d2s) FROM %[1]s WHERE f = 0))",
+		TblVisited)
+	resetQ := fmt.Sprintf("UPDATE %s SET f = 1 WHERE f = 2", TblVisited)
+	// Offer each neighbour of the frontier its cheapest connecting edge;
+	// nodes already in the tree (f = 1) or on the frontier (f = 2) are
+	// discarded, matching §3.1's "expanded nodes can be discarded directly
+	// if they have been included".
+	expandQ := fmt.Sprintf(
+		"MERGE INTO %[1]s AS target USING ("+
+			"SELECT nid, par, cost FROM ("+
+			"SELECT out.tid, q.nid, out.cost, "+
+			"ROW_NUMBER() OVER (PARTITION BY out.tid ORDER BY out.cost) "+
+			"FROM %[1]s q, %[2]s out WHERE q.nid = out.fid AND q.f = 2"+
+			") tmp (nid, par, cost, rn) WHERE rn = 1"+
+			") AS source (nid, par, cost) ON (target.nid = source.nid) "+
+			"WHEN MATCHED AND target.f = 0 AND target.d2s > source.cost "+
+			"THEN UPDATE SET d2s = source.cost, p2s = source.par "+
+			"WHEN MATCHED AND target.f = 3 "+
+			"THEN UPDATE SET d2s = source.cost, p2s = source.par, f = 0",
+		TblVisited, TblEdges)
+	rootQ := fmt.Sprintf("SELECT TOP 1 nid FROM %s WHERE f = 3", TblVisited)
+	promoteQ := fmt.Sprintf("UPDATE %s SET f = 1, d2s = 0 WHERE nid = ?", TblVisited)
+
+	res := &MSTResult{}
+	limit := e.maxIters()
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			return nil, fmt.Errorf("core: MST exceeded %d iterations", limit)
+		}
+		cnt, err := e.exec(qs, &qs.PE, &qs.FOp, frontierQ)
+		if err != nil {
+			return nil, err
+		}
+		if cnt == 0 {
+			// Component finished (or first iteration): promote a new root.
+			root, null, err := e.queryInt(qs, &qs.SC, rootQ)
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				break // every node is in the forest
+			}
+			if _, err := e.exec(qs, &qs.PE, nil, promoteQ, root); err != nil {
+				return nil, err
+			}
+			res.Components++
+			// Expand from the root alone.
+			if _, err := e.exec(qs, &qs.PE, nil,
+				fmt.Sprintf("UPDATE %s SET f = 2 WHERE nid = ?", TblVisited), root); err != nil {
+				return nil, err
+			}
+			cnt = 1
+		}
+		res.Iterations++
+		if _, err := e.runMSTExpand(qs, expandQ); err != nil {
+			return nil, err
+		}
+		if _, err := e.exec(qs, &qs.PE, &qs.FOp, resetQ); err != nil {
+			return nil, err
+		}
+	}
+
+	// Collect tree edges: every non-root member's (p2s, nid, d2s).
+	rows, err := db.Query(fmt.Sprintf(
+		"SELECT p2s, nid, d2s FROM %s WHERE f = 1 AND d2s > 0 AND p2s <> %d",
+		TblVisited, NoParent))
+	qs.Statements++
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows.Data {
+		res.Edges = append(res.Edges, MSTEdge{From: r[0].I, To: r[1].I, Weight: r[2].I})
+		res.TotalWeight += r[2].I
+	}
+	res.Statements = qs.Statements
+	res.Time = time.Since(start)
+	return res, nil
+}
+
+// runMSTExpand runs the MST merge, falling back to UPDATE+INSERT-free
+// emulation on profiles without MERGE (two UPDATEs suffice since every
+// node pre-exists in the working table).
+func (e *Engine) runMSTExpand(qs *QueryStats, mergeQ string) (int64, error) {
+	if e.db.Profile().SupportsMerge && !e.opts.TraditionalSQL {
+		return e.exec(qs, &qs.PE, &qs.EOp, mergeQ)
+	}
+	// Materialize offers, then apply with two UPDATE...FROM statements.
+	if _, err := e.exec(qs, &qs.PE, &qs.EOp, "DELETE FROM "+TblExpand); err != nil {
+		return 0, err
+	}
+	insQ := fmt.Sprintf(
+		"INSERT INTO %s (nid, par, cost) SELECT nid, par, cost FROM ("+
+			"SELECT out.tid, q.nid, out.cost, "+
+			"ROW_NUMBER() OVER (PARTITION BY out.tid ORDER BY out.cost) "+
+			"FROM %s q, %s out WHERE q.nid = out.fid AND q.f = 2"+
+			") tmp (nid, par, cost, rn) WHERE rn = 1",
+		TblExpand, TblVisited, TblEdges)
+	if _, err := e.exec(qs, &qs.PE, &qs.EOp, insQ); err != nil {
+		return 0, err
+	}
+	upd1 := fmt.Sprintf(
+		"UPDATE %[1]s SET d2s = s.cost, p2s = s.par FROM %[2]s s "+
+			"WHERE %[1]s.nid = s.nid AND %[1]s.f = 0 AND %[1]s.d2s > s.cost",
+		TblVisited, TblExpand)
+	n1, err := e.exec(qs, &qs.PE, &qs.MOp, upd1)
+	if err != nil {
+		return 0, err
+	}
+	upd2 := fmt.Sprintf(
+		"UPDATE %[1]s SET d2s = s.cost, p2s = s.par, f = 0 FROM %[2]s s "+
+			"WHERE %[1]s.nid = s.nid AND %[1]s.f = 3",
+		TblVisited, TblExpand)
+	n2, err := e.exec(qs, &qs.PE, &qs.MOp, upd2)
+	if err != nil {
+		return 0, err
+	}
+	return n1 + n2, nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Reachability via the FEM framework (§3.1 cites it as the simplest graph
+// search query). Nodes carry only the visited flag; the frontier is every
+// newly discovered node; expansion inserts unseen successors. Iterations
+// equal the BFS depth at which t is found.
+
+// ReachResult reports one reachability test.
+type ReachResult struct {
+	Reachable  bool
+	Hops       int // BFS depth at which t appeared (0 when s == t)
+	Visited    int
+	Iterations int
+	Statements int
+	Time       time.Duration
+}
+
+// Reachable reports whether t is reachable from s following directed edges.
+func (e *Engine) Reachable(s, t int64) (*ReachResult, error) {
+	if e.nodes == 0 {
+		return nil, fmt.Errorf("core: no graph loaded")
+	}
+	if s < 0 || t < 0 || int(s) >= e.nodes || int(t) >= e.nodes {
+		return nil, fmt.Errorf("core: node out of range (n=%d)", e.nodes)
+	}
+	qs := &QueryStats{Algorithm: "Reach"}
+	start := time.Now()
+	res := &ReachResult{}
+
+	if err := e.resetVisited(qs); err != nil {
+		return nil, err
+	}
+	if s == t {
+		res.Reachable = true
+		res.Visited = 1
+		res.Statements = qs.Statements
+		res.Time = time.Since(start)
+		return res, nil
+	}
+	// d2s doubles as the BFS depth.
+	if _, err := e.exec(qs, &qs.PE, nil, fmt.Sprintf(
+		"INSERT INTO %s (nid, d2s, p2s, f, d2t, p2t, b) VALUES (?, 0, ?, 0, 0, 0, 0)",
+		TblVisited), s, s); err != nil {
+		return nil, err
+	}
+
+	frontierQ := fmt.Sprintf("UPDATE %s SET f = 2 WHERE f = 0", TblVisited)
+	resetQ := fmt.Sprintf("UPDATE %s SET f = 1 WHERE f = 2", TblVisited)
+	// Only NOT MATCHED inserts: reachability never revisits a node.
+	expandQ := fmt.Sprintf(
+		"MERGE INTO %[1]s AS target USING ("+
+			"SELECT nid, par, d FROM ("+
+			"SELECT out.tid, q.nid, q.d2s + 1, "+
+			"ROW_NUMBER() OVER (PARTITION BY out.tid ORDER BY q.d2s) "+
+			"FROM %[1]s q, %[2]s out WHERE q.nid = out.fid AND q.f = 2"+
+			") tmp (nid, par, d, rn) WHERE rn = 1"+
+			") AS source (nid, par, d) ON (target.nid = source.nid) "+
+			"WHEN NOT MATCHED THEN INSERT (nid, d2s, p2s, f, d2t, p2t, b) "+
+			"VALUES (source.nid, source.d, source.par, 0, 0, 0, 0)",
+		TblVisited, TblEdges)
+	targetQ := fmt.Sprintf("SELECT d2s FROM %s WHERE nid = ?", TblVisited)
+
+	limit := e.maxIters()
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			return nil, fmt.Errorf("core: reachability exceeded %d iterations", limit)
+		}
+		cnt, err := e.exec(qs, &qs.PE, &qs.FOp, frontierQ)
+		if err != nil {
+			return nil, err
+		}
+		if cnt == 0 {
+			break
+		}
+		res.Iterations++
+		if _, err := e.runReachExpand(qs, expandQ); err != nil {
+			return nil, err
+		}
+		if _, err := e.exec(qs, &qs.PE, &qs.FOp, resetQ); err != nil {
+			return nil, err
+		}
+		d, null, err := e.queryInt(qs, &qs.SC, targetQ, t)
+		if err != nil {
+			return nil, err
+		}
+		if !null {
+			res.Reachable = true
+			res.Hops = int(d)
+			break
+		}
+	}
+	vc, err := e.visitedCount(qs)
+	if err != nil {
+		return nil, err
+	}
+	res.Visited = vc
+	res.Statements = qs.Statements
+	res.Time = time.Since(start)
+	return res, nil
+}
+
+// runReachExpand applies the reachability expansion, with the INSERT-only
+// fallback for profiles without MERGE.
+func (e *Engine) runReachExpand(qs *QueryStats, mergeQ string) (int64, error) {
+	if e.db.Profile().SupportsMerge && !e.opts.TraditionalSQL {
+		return e.exec(qs, &qs.PE, &qs.EOp, mergeQ)
+	}
+	insQ := fmt.Sprintf(
+		"INSERT INTO %[1]s (nid, d2s, p2s, f, d2t, p2t, b) "+
+			"SELECT tmp.nid, tmp.d, tmp.par, 0, 0, 0, 0 FROM ("+
+			"SELECT out.tid, q.nid, q.d2s + 1, "+
+			"ROW_NUMBER() OVER (PARTITION BY out.tid ORDER BY q.d2s) "+
+			"FROM %[1]s q, %[2]s out WHERE q.nid = out.fid AND q.f = 2"+
+			") tmp (nid, par, d, rn) "+
+			"WHERE tmp.rn = 1 AND NOT EXISTS (SELECT nid FROM %[1]s v WHERE v.nid = tmp.nid)",
+		TblVisited, TblEdges)
+	return e.exec(qs, &qs.PE, &qs.EOp, insQ)
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Path recovery (the FPR phase of Fig 6(b)): walk the p2s links from the
+// meeting node back to s, and the p2t links forward to t, one SELECT per
+// hop (Listing 3(3)). Under BSEG each hop is a pre-computed segment whose
+// interior nodes are unfolded through the SegTable's pid chains.
+
+// recoverForward returns the node sequence s..x following p2s links.
+func (e *Engine) recoverForward(qs *QueryStats, s, x int64, segs bool) ([]int64, error) {
+	q := fmt.Sprintf("SELECT p2s FROM %s WHERE nid = ?", TblVisited)
+	var rev []int64
+	cur := x
+	guard := e.nodes + 2
+	for step := 0; ; step++ {
+		if step > guard {
+			return nil, fmt.Errorf("core: p2s chain longer than node count (cycle?)")
+		}
+		rev = append(rev, cur)
+		if cur == s {
+			break
+		}
+		p, null, err := e.queryInt(qs, &qs.FPR, q, cur)
+		if err != nil {
+			return nil, err
+		}
+		if null || p == NoParent {
+			return nil, fmt.Errorf("core: broken p2s chain at node %d", cur)
+		}
+		if segs && p != cur {
+			// Unfold the segment p -> cur through TOutSegs pid links.
+			interior, err := e.unfoldOutSegment(qs, p, cur)
+			if err != nil {
+				return nil, err
+			}
+			// interior is p..cur exclusive of both ends, reversed order.
+			rev = append(rev, interior...)
+		}
+		cur = p
+	}
+	// Reverse into s..x order.
+	out := make([]int64, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out, nil
+}
+
+// unfoldOutSegment returns the interior nodes of the shortest segment
+// u -> v recorded in TOutSegs, in reverse order (closest-to-v first).
+// Every prefix of a shortest segment is itself a recorded segment, so the
+// pid chain (u,v) -> (u,pre(v)) -> ... terminates at u.
+func (e *Engine) unfoldOutSegment(qs *QueryStats, u, v int64) ([]int64, error) {
+	q := fmt.Sprintf("SELECT pid FROM %s WHERE fid = ? AND tid = ?", TblOutSegs)
+	var out []int64
+	cur := v
+	guard := e.nodes + 2
+	for step := 0; ; step++ {
+		if step > guard {
+			return nil, fmt.Errorf("core: TOutSegs pid chain for (%d,%d) does not terminate", u, v)
+		}
+		p, null, err := e.queryInt(qs, &qs.FPR, q, u, cur)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			return nil, fmt.Errorf("core: missing TOutSegs entry (%d,%d)", u, cur)
+		}
+		if p == u {
+			return out, nil
+		}
+		out = append(out, p)
+		cur = p
+	}
+}
+
+// recoverBackward returns the node sequence x..t following p2t links
+// (excluding x itself).
+func (e *Engine) recoverBackward(qs *QueryStats, x, t int64, segs bool) ([]int64, error) {
+	q := fmt.Sprintf("SELECT p2t FROM %s WHERE nid = ?", TblVisited)
+	var out []int64
+	cur := x
+	guard := e.nodes + 2
+	for step := 0; ; step++ {
+		if step > guard {
+			return nil, fmt.Errorf("core: p2t chain longer than node count (cycle?)")
+		}
+		if cur == t {
+			return out, nil
+		}
+		p, null, err := e.queryInt(qs, &qs.FPR, q, cur)
+		if err != nil {
+			return nil, err
+		}
+		if null || p == NoParent {
+			return nil, fmt.Errorf("core: broken p2t chain at node %d", cur)
+		}
+		if segs && p != cur {
+			interior, err := e.unfoldInSegment(qs, cur, p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, interior...)
+		}
+		out = append(out, p)
+		cur = p
+	}
+}
+
+// unfoldInSegment returns the interior nodes of the shortest segment
+// u -> v recorded in TInSegs (path from u to v), in path order, excluding
+// both endpoints. TInSegs pid is the successor of fid, and every suffix of
+// a shortest segment is recorded, so (u,v) -> (pid,v) -> ... reaches v.
+func (e *Engine) unfoldInSegment(qs *QueryStats, u, v int64) ([]int64, error) {
+	q := fmt.Sprintf("SELECT pid FROM %s WHERE fid = ? AND tid = ?", TblInSegs)
+	var out []int64
+	cur := u
+	guard := e.nodes + 2
+	for step := 0; ; step++ {
+		if step > guard {
+			return nil, fmt.Errorf("core: TInSegs pid chain for (%d,%d) does not terminate", u, v)
+		}
+		p, null, err := e.queryInt(qs, &qs.FPR, q, cur, v)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			return nil, fmt.Errorf("core: missing TInSegs entry (%d,%d)", cur, v)
+		}
+		if p == v {
+			return out, nil
+		}
+		out = append(out, p)
+		cur = p
+	}
+}
+
+// recoverBidirectional locates a node on the optimal path (Listing 4(6))
+// and concatenates the two half-paths (lines 17-20 of Algorithm 2).
+func (e *Engine) recoverBidirectional(qs *QueryStats, s, t, minCost int64, segs bool) ([]int64, error) {
+	meet, null, err := e.queryInt(qs, &qs.FPR,
+		fmt.Sprintf("SELECT TOP 1 nid FROM %s WHERE d2s + d2t = ?", TblVisited), minCost)
+	if err != nil {
+		return nil, err
+	}
+	if null {
+		return nil, fmt.Errorf("core: no meeting node for minCost=%d", minCost)
+	}
+	p0, err := e.recoverForward(qs, s, meet, segs)
+	if err != nil {
+		return nil, err
+	}
+	p1, err := e.recoverBackward(qs, meet, t, segs)
+	if err != nil {
+		return nil, err
+	}
+	return append(p0, p1...), nil
+}

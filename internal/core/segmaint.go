@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Incremental SegTable maintenance for edge insertions — the paper's third
+// future-work item ("the pre-computed results, such as SegTable, should be
+// maintained incrementally").
+//
+// Soundness: weights are positive, so a new shortest path within lthd that
+// uses the new edge (u,v) exactly once decomposes into a pre-existing
+// shortest prefix x -> u (possibly empty), the edge, and a pre-existing
+// shortest suffix v -> y (possibly empty). Both halves are within lthd,
+// hence already recorded in the SegTable (or trivial). Four MERGE
+// statements per direction — one per {x = u, x != u} x {y = v, y != v}
+// combination — therefore cover every improved pair. Edge deletions can
+// lengthen distances and are not incrementally maintainable this way; use
+// BuildSegTable to rebuild after deletions.
+
+// MaintStats reports one incremental maintenance step.
+type MaintStats struct {
+	Affected   int64 // SegTable rows inserted or improved
+	Statements int
+	Time       time.Duration
+}
+
+// InsertEdge adds a (from, to, weight) edge to TEdges and, when a SegTable
+// is built, incrementally maintains TOutSegs and TInSegs.
+func (e *Engine) InsertEdge(from, to, weight int64) (*MaintStats, error) {
+	if e.nodes == 0 {
+		return nil, fmt.Errorf("core: no graph loaded")
+	}
+	if from < 0 || to < 0 || int(from) >= e.nodes || int(to) >= e.nodes {
+		return nil, fmt.Errorf("core: node out of range (n=%d)", e.nodes)
+	}
+	if weight < 1 {
+		return nil, fmt.Errorf("core: edge weight must be positive, got %d", weight)
+	}
+	st := &MaintStats{}
+	start := time.Now()
+	qs := &QueryStats{Algorithm: "SegMaint"}
+
+	if _, err := e.exec(qs, nil, nil, fmt.Sprintf(
+		"INSERT INTO %s (fid, tid, cost) VALUES (?, ?, ?)", TblEdges), from, to, weight); err != nil {
+		return nil, err
+	}
+	e.edges++
+	if weight < e.wmin {
+		e.wmin = weight
+	}
+	if !e.segBuilt {
+		st.Statements = qs.Statements
+		st.Time = time.Since(start)
+		return st, nil
+	}
+
+	affected, err := e.maintainDirection(qs, from, to, weight, true)
+	if err != nil {
+		return nil, err
+	}
+	st.Affected += affected
+	affected, err = e.maintainDirection(qs, from, to, weight, false)
+	if err != nil {
+		return nil, err
+	}
+	st.Affected += affected
+	st.Statements = qs.Statements
+	st.Time = time.Since(start)
+	return st, nil
+}
+
+// maintainDirection updates TOutSegs (forward=true) or TInSegs with the
+// consequences of the new edge (u, v, w).
+func (e *Engine) maintainDirection(qs *QueryStats, u, v, w int64, forward bool) (int64, error) {
+	lthd := e.segLthd
+	var total int64
+
+	// mergeInto builds the MERGE skeleton for one candidate-pair source.
+	target := TblOutSegs
+	if !forward {
+		target = TblInSegs
+	}
+	mergeInto := func(srcSelect string, args ...any) (int64, error) {
+		q := fmt.Sprintf(
+			"MERGE INTO %s AS target USING (%s) AS source (fid, tid, pid, cost) "+
+				"ON (target.fid = source.fid AND target.tid = source.tid) "+
+				"WHEN MATCHED AND target.cost > source.cost THEN UPDATE SET cost = source.cost, pid = source.pid "+
+				"WHEN NOT MATCHED THEN INSERT (fid, tid, pid, cost) VALUES (source.fid, source.tid, source.pid, source.cost)",
+			target, srcSelect)
+		if !e.db.Profile().SupportsMerge {
+			return e.mergelessMaintain(qs, target, srcSelect, args)
+		}
+		return e.exec(qs, nil, nil, q, args...)
+	}
+
+	// pid semantics: TOutSegs.pid = predecessor of tid on the path;
+	// TInSegs.pid = successor of fid on the path.
+	if forward {
+		// 1) the pair (u, v) itself: pid = u.
+		n, err := mergeInto("SELECT ?, ?, ?, ?", u, v, u, w)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+		// 2) x != u, y = v: prefixes x -> u from TInSegs (clustered on tid).
+		n, err = mergeInto(fmt.Sprintf(
+			"SELECT a.fid, ?, ?, a.cost + ? FROM %s a WHERE a.tid = ? AND a.fid <> ? AND a.cost + ? <= ?",
+			TblInSegs), v, u, w, u, v, w, lthd)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+		// 3) x = u, y != v: suffixes v -> y from TOutSegs (clustered on fid).
+		n, err = mergeInto(fmt.Sprintf(
+			"SELECT ?, b.tid, b.pid, b.cost + ? FROM %s b WHERE b.fid = ? AND b.tid <> ? AND b.cost + ? <= ?",
+			TblOutSegs), u, w, v, u, w, lthd)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+		// 4) x != u, y != v: both halves, deduped to the cheapest per pair.
+		n, err = mergeInto(fmt.Sprintf(
+			"SELECT fid, tid, pid, cost FROM ("+
+				"SELECT a.fid, b.tid, b.pid, a.cost + ? + b.cost, "+
+				"ROW_NUMBER() OVER (PARTITION BY a.fid, b.tid ORDER BY a.cost + b.cost) "+
+				"FROM %s a, %s b "+
+				"WHERE a.tid = ? AND b.fid = ? AND a.fid <> ? AND b.tid <> ? AND a.fid <> b.tid "+
+				"AND a.cost + b.cost + ? <= ?"+
+				") tmp (fid, tid, pid, cost, rn) WHERE rn = 1",
+			TblInSegs, TblOutSegs), w, u, v, v, u, w, lthd)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+		return total, nil
+	}
+
+	// TInSegs: rows (fid=x, tid=y, pid=successor of x, cost).
+	// 1) the pair (u, v): successor of u is v.
+	n, err := mergeInto("SELECT ?, ?, ?, ?", u, v, v, w)
+	if err != nil {
+		return 0, err
+	}
+	total += n
+	// 2) x != u, y = v: prefixes x -> u keep their successor pid.
+	n, err = mergeInto(fmt.Sprintf(
+		"SELECT a.fid, ?, a.pid, a.cost + ? FROM %s a WHERE a.tid = ? AND a.fid <> ? AND a.cost + ? <= ?",
+		TblInSegs), v, w, u, v, w, lthd)
+	if err != nil {
+		return 0, err
+	}
+	total += n
+	// 3) x = u, y != v: successor of u is v on every u -> v -> y path.
+	n, err = mergeInto(fmt.Sprintf(
+		"SELECT ?, b.tid, ?, b.cost + ? FROM %s b WHERE b.fid = ? AND b.tid <> ? AND b.cost + ? <= ?",
+		TblOutSegs), u, v, w, v, u, w, lthd)
+	if err != nil {
+		return 0, err
+	}
+	total += n
+	// 4) x != u, y != v: successor comes from the prefix half.
+	n, err = mergeInto(fmt.Sprintf(
+		"SELECT fid, tid, pid, cost FROM ("+
+			"SELECT a.fid, b.tid, a.pid, a.cost + ? + b.cost, "+
+			"ROW_NUMBER() OVER (PARTITION BY a.fid, b.tid ORDER BY a.cost + b.cost) "+
+			"FROM %s a, %s b "+
+			"WHERE a.tid = ? AND b.fid = ? AND a.fid <> ? AND b.tid <> ? AND a.fid <> b.tid "+
+			"AND a.cost + b.cost + ? <= ?"+
+			") tmp (fid, tid, pid, cost, rn) WHERE rn = 1",
+		TblInSegs, TblOutSegs), w, u, v, v, u, w, lthd)
+	if err != nil {
+		return 0, err
+	}
+	total += n
+	return total, nil
+}
+
+// mergelessMaintain emulates the maintenance MERGE with UPDATE + INSERT on
+// profiles without MERGE support.
+func (e *Engine) mergelessMaintain(qs *QueryStats, target, srcSelect string, args []any) (int64, error) {
+	if _, ok := e.db.Catalog().Get("TSegMaint"); !ok {
+		for _, q := range []string{
+			"CREATE TABLE TSegMaint (fid INT, tid INT, pid INT, cost INT)",
+			"CREATE UNIQUE CLUSTERED INDEX tsegmaint_key ON TSegMaint (fid, tid)",
+		} {
+			if _, err := e.db.Exec(q); err != nil {
+				return 0, err
+			}
+			qs.Statements++
+		}
+	}
+	if _, err := e.exec(qs, nil, nil, "DELETE FROM TSegMaint"); err != nil {
+		return 0, err
+	}
+	insQ := fmt.Sprintf("INSERT INTO TSegMaint (fid, tid, pid, cost) %s", srcSelect)
+	if _, err := e.exec(qs, nil, nil, insQ, args...); err != nil {
+		return 0, err
+	}
+	updQ := fmt.Sprintf(
+		"UPDATE %[1]s SET cost = s.cost, pid = s.pid FROM TSegMaint s "+
+			"WHERE %[1]s.fid = s.fid AND %[1]s.tid = s.tid AND %[1]s.cost > s.cost", target)
+	n1, err := e.exec(qs, nil, nil, updQ)
+	if err != nil {
+		return 0, err
+	}
+	ins2Q := fmt.Sprintf(
+		"INSERT INTO %[1]s (fid, tid, pid, cost) SELECT s.fid, s.tid, s.pid, s.cost FROM TSegMaint s "+
+			"WHERE NOT EXISTS (SELECT fid FROM %[1]s g WHERE g.fid = s.fid AND g.tid = s.tid)", target)
+	n2, err := e.exec(qs, nil, nil, ins2Q)
+	if err != nil {
+		return 0, err
+	}
+	return n1 + n2, nil
+}

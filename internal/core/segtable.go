@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// BuildSegTable constructs the SegTable index of Definition 4: TOutSegs
+// holds every pre-computed shortest segment (u,v) with δ(u,v) <= lthd plus
+// the original edges not dominated by a segment; TInSegs is the symmetric
+// incoming-direction table. Construction itself runs through the FEM
+// framework (§4.2): all nodes start as sources in a working table TSeg
+// keyed on (src, nid), bounded multi-source set-Dijkstra expands until the
+// minimal unfinalized distance exceeds lthd, and a final MERGE folds in the
+// remaining original edges.
+func (e *Engine) BuildSegTable(lthd int64) (*SegTableStats, error) {
+	if e.nodes == 0 {
+		return nil, fmt.Errorf("core: no graph loaded")
+	}
+	if lthd < 1 {
+		return nil, fmt.Errorf("core: lthd must be positive, got %d", lthd)
+	}
+	st := &SegTableStats{Lthd: lthd}
+	start := time.Now()
+	qs := &QueryStats{Algorithm: "SegBuild"} // reuse the statement counter
+
+	db := e.db
+	// (Re)create the index tables under the engine's strategy.
+	for _, tbl := range []string{TblOutSegs, TblInSegs, TblSeg} {
+		if _, ok := db.Catalog().Get(tbl); ok {
+			if _, err := db.Exec("DROP TABLE " + tbl); err != nil {
+				return nil, err
+			}
+			qs.Statements++
+		}
+	}
+	stmts := []string{
+		fmt.Sprintf("CREATE TABLE %s (fid INT, tid INT, pid INT, cost INT)", TblOutSegs),
+		fmt.Sprintf("CREATE TABLE %s (fid INT, tid INT, pid INT, cost INT)", TblInSegs),
+	}
+	switch e.opts.Strategy {
+	case ClusteredIndex:
+		stmts = append(stmts,
+			fmt.Sprintf("CREATE CLUSTERED INDEX toutsegs_fid ON %s (fid)", TblOutSegs),
+			fmt.Sprintf("CREATE CLUSTERED INDEX tinsegs_tid ON %s (tid)", TblInSegs),
+		)
+	case SecondaryIndex:
+		stmts = append(stmts,
+			fmt.Sprintf("CREATE INDEX toutsegs_fid ON %s (fid)", TblOutSegs),
+			fmt.Sprintf("CREATE INDEX tinsegs_tid ON %s (tid)", TblInSegs),
+		)
+	case NoIndex:
+		// bare heaps; probes degrade to scans, as Fig 8(c) measures.
+	}
+	// The construction working set always gets a clustered (src, nid) key:
+	// the paper's construction assumes the intermediate results are
+	// indexed ("we build indices over the relational tables for ...
+	// intermediate results").
+	stmts = append(stmts,
+		fmt.Sprintf("CREATE TABLE %s (src INT, nid INT, dist INT, par INT, f INT)", TblSeg),
+		fmt.Sprintf("CREATE UNIQUE CLUSTERED INDEX tseg_key ON %s (src, nid)", TblSeg),
+	)
+	for _, q := range stmts {
+		if _, err := db.Exec(q); err != nil {
+			return nil, err
+		}
+		qs.Statements++
+	}
+
+	// Forward pass: shortest segments in the outgoing direction. par holds
+	// pre(v), the predecessor of v on the path src -> v, which becomes
+	// TOutSegs.pid (Definition 4(1)).
+	itF, err := e.segPass(qs, lthd, true)
+	if err != nil {
+		return nil, err
+	}
+	// Backward pass over incoming edges. par holds the successor of v on
+	// the path v -> src, which becomes TInSegs.pid.
+	itB, err := e.segPass(qs, lthd, false)
+	if err != nil {
+		return nil, err
+	}
+	st.Iterations = itF + itB
+
+	outCnt, _, err := db.QueryInt(fmt.Sprintf("SELECT COUNT(*) FROM %s", TblOutSegs))
+	if err != nil {
+		return nil, err
+	}
+	inCnt, _, err := db.QueryInt(fmt.Sprintf("SELECT COUNT(*) FROM %s", TblInSegs))
+	if err != nil {
+		return nil, err
+	}
+	qs.Statements += 2
+	st.OutSegs = int(outCnt)
+	st.InSegs = int(inCnt)
+	st.Statements = qs.Statements
+	st.BuildTime = time.Since(start)
+	e.segBuilt = true
+	e.segLthd = lthd
+	e.opts.Lthd = lthd
+	return st, nil
+}
+
+// segPass runs one direction of the construction and materializes the
+// segment table plus the original-edge merge.
+func (e *Engine) segPass(qs *QueryStats, lthd int64, forward bool) (int, error) {
+	db := e.db
+	if _, err := e.exec(qs, nil, nil, "DELETE FROM "+TblSeg); err != nil {
+		return 0, err
+	}
+	// Every node is a source at distance 0 from itself.
+	if _, err := e.exec(qs, nil, nil, fmt.Sprintf(
+		"INSERT INTO %s (src, nid, dist, par, f) SELECT nid, nid, 0, nid, 0 FROM %s",
+		TblSeg, TblNodes)); err != nil {
+		return 0, err
+	}
+
+	joinCol, newCol := "fid", "tid"
+	if !forward {
+		joinCol, newCol = "tid", "fid"
+	}
+	// F-operator (construction rule of §4.2): candidates below k*wmin, or
+	// the global minimum, expand together.
+	frontierQ := fmt.Sprintf(
+		"UPDATE %[1]s SET f = 2 WHERE f = 0 AND (dist < ? OR dist = (SELECT MIN(dist) FROM %[1]s WHERE f = 0))",
+		TblSeg)
+	resetQ := fmt.Sprintf("UPDATE %s SET f = 1 WHERE f = 2", TblSeg)
+
+	useMerge := db.Profile().SupportsMerge && !e.opts.TraditionalSQL
+	useWindow := db.Profile().SupportsWindow && !e.opts.TraditionalSQL
+
+	// E-operator source: the cheapest in-bound expansion per (src, node).
+	var expandSrc string
+	if useWindow {
+		expandSrc = fmt.Sprintf(
+			"SELECT src, nid, par, cost FROM ("+
+				"SELECT q.src, out.%s, q.nid, out.cost + q.dist, "+
+				"ROW_NUMBER() OVER (PARTITION BY q.src, out.%s ORDER BY out.cost + q.dist) "+
+				"FROM %s q, %s out WHERE q.nid = out.%s AND q.f = 2 AND out.cost + q.dist <= ?"+
+				") tmp (src, nid, par, cost, rn) WHERE rn = 1",
+			newCol, newCol, TblSeg, TblEdges, joinCol)
+	}
+
+	var iterations int
+	k := int64(0)
+	limit := e.maxIters()
+	for {
+		k++
+		if int(k) > limit {
+			return 0, fmt.Errorf("core: SegTable construction exceeded %d iterations", limit)
+		}
+		cnt, err := e.exec(qs, nil, nil, frontierQ, k*e.wmin)
+		if err != nil {
+			return 0, err
+		}
+		if cnt == 0 {
+			break
+		}
+		iterations++
+		if useMerge {
+			mergeQ := fmt.Sprintf(
+				"MERGE INTO %s AS target USING (%s) AS source (src, nid, par, cost) "+
+					"ON (target.src = source.src AND target.nid = source.nid) "+
+					"WHEN MATCHED AND target.dist > source.cost THEN UPDATE SET dist = source.cost, par = source.par, f = 0 "+
+					"WHEN NOT MATCHED THEN INSERT (src, nid, dist, par, f) VALUES (source.src, source.nid, source.cost, source.par, 0)",
+				TblSeg, expandSrc)
+			if _, err := e.exec(qs, nil, nil, mergeQ, lthd); err != nil {
+				return 0, err
+			}
+		} else {
+			if err := e.segExpandNoMerge(qs, joinCol, newCol, useWindow, lthd); err != nil {
+				return 0, err
+			}
+		}
+		if _, err := e.exec(qs, nil, nil, resetQ); err != nil {
+			return 0, err
+		}
+	}
+
+	// Materialize the segments (Definition 4(1)) ...
+	target := TblOutSegs
+	if !forward {
+		target = TblInSegs
+	}
+	var insQ string
+	if forward {
+		insQ = fmt.Sprintf(
+			"INSERT INTO %s (fid, tid, pid, cost) SELECT src, nid, par, dist FROM %s WHERE src <> nid",
+			target, TblSeg)
+	} else {
+		// Backward pass computed paths nid -> src; store as (fid=nid,
+		// tid=src, pid=successor of nid).
+		insQ = fmt.Sprintf(
+			"INSERT INTO %s (fid, tid, pid, cost) SELECT nid, src, par, dist FROM %s WHERE src <> nid",
+			target, TblSeg)
+	}
+	if _, err := e.exec(qs, nil, nil, insQ); err != nil {
+		return 0, err
+	}
+
+	// ... and fold in the remaining original edges (Definition 4(2)): an
+	// edge is discarded when a recorded segment already dominates it; a
+	// cheaper parallel edge updates the recorded cost.
+	pid := "source.fid"
+	if !forward {
+		pid = "source.tid" // successor of fid on the single-edge path
+	}
+	if useMerge {
+		edgeMerge := fmt.Sprintf(
+			"MERGE INTO %s AS target USING %s AS source "+
+				"ON (target.fid = source.fid AND target.tid = source.tid) "+
+				"WHEN MATCHED AND target.cost > source.cost THEN UPDATE SET cost = source.cost, pid = %s "+
+				"WHEN NOT MATCHED THEN INSERT (fid, tid, pid, cost) VALUES (source.fid, source.tid, %s, source.cost)",
+			target, TblEdges, pid, pid)
+		if _, err := e.exec(qs, nil, nil, edgeMerge); err != nil {
+			return 0, err
+		}
+	} else {
+		updQ := fmt.Sprintf(
+			"UPDATE %[1]s SET cost = s.cost, pid = %[2]s FROM %[3]s s "+
+				"WHERE %[1]s.fid = s.fid AND %[1]s.tid = s.tid AND %[1]s.cost > s.cost",
+			target, pidRef(forward), TblEdges)
+		if _, err := e.exec(qs, nil, nil, updQ); err != nil {
+			return 0, err
+		}
+		insEdgeQ := fmt.Sprintf(
+			"INSERT INTO %[1]s (fid, tid, pid, cost) SELECT s.fid, s.tid, %[2]s, s.cost FROM %[3]s s "+
+				"WHERE NOT EXISTS (SELECT fid FROM %[1]s g WHERE g.fid = s.fid AND g.tid = s.tid)",
+			target, pidRef(forward), TblEdges)
+		if _, err := e.exec(qs, nil, nil, insEdgeQ); err != nil {
+			return 0, err
+		}
+	}
+	return iterations, nil
+}
+
+func pidRef(forward bool) string {
+	if forward {
+		return "s.fid"
+	}
+	return "s.tid"
+}
+
+// segExpandNoMerge emulates the construction MERGE with UPDATE + INSERT
+// (PostgreSQL 9.0 profile) or additionally replaces the window function
+// with aggregate + join-back (TSQL). The expansion lands in scratch tables
+// keyed (src, nid).
+func (e *Engine) segExpandNoMerge(qs *QueryStats, joinCol, newCol string, useWindow bool, lthd int64) error {
+	db := e.db
+	// Lazily create the wide scratch table for construction (src, nid).
+	if _, ok := db.Catalog().Get("TSegExpand"); !ok {
+		for _, q := range []string{
+			"CREATE TABLE TSegExpand (src INT, nid INT, par INT, cost INT)",
+			"CREATE UNIQUE CLUSTERED INDEX tsegexpand_key ON TSegExpand (src, nid)",
+			"CREATE TABLE TSegExpCost (src INT, nid INT, cost INT)",
+			"CREATE UNIQUE CLUSTERED INDEX tsegexpcost_key ON TSegExpCost (src, nid)",
+		} {
+			if _, err := db.Exec(q); err != nil {
+				return err
+			}
+			qs.Statements++
+		}
+	}
+	if _, err := e.exec(qs, nil, nil, "DELETE FROM TSegExpand"); err != nil {
+		return err
+	}
+	if useWindow {
+		insQ := fmt.Sprintf(
+			"INSERT INTO TSegExpand (src, nid, par, cost) "+
+				"SELECT src, nid, par, cost FROM ("+
+				"SELECT q.src, out.%s, q.nid, out.cost + q.dist, "+
+				"ROW_NUMBER() OVER (PARTITION BY q.src, out.%s ORDER BY out.cost + q.dist) "+
+				"FROM %s q, %s out WHERE q.nid = out.%s AND q.f = 2 AND out.cost + q.dist <= ?"+
+				") tmp (src, nid, par, cost, rn) WHERE rn = 1",
+			newCol, newCol, TblSeg, TblEdges, joinCol)
+		if _, err := e.exec(qs, nil, nil, insQ, lthd); err != nil {
+			return err
+		}
+	} else {
+		if _, err := e.exec(qs, nil, nil, "DELETE FROM TSegExpCost"); err != nil {
+			return err
+		}
+		aggQ := fmt.Sprintf(
+			"INSERT INTO TSegExpCost (src, nid, cost) "+
+				"SELECT q.src, out.%s, MIN(out.cost + q.dist) FROM %s q, %s out "+
+				"WHERE q.nid = out.%s AND q.f = 2 AND out.cost + q.dist <= ? GROUP BY q.src, out.%s",
+			newCol, TblSeg, TblEdges, joinCol, newCol)
+		if _, err := e.exec(qs, nil, nil, aggQ, lthd); err != nil {
+			return err
+		}
+		backQ := fmt.Sprintf(
+			"INSERT INTO TSegExpand (src, nid, par, cost) "+
+				"SELECT ec.src, ec.nid, MIN(q.nid), ec.cost FROM %s q, %s out, TSegExpCost ec "+
+				"WHERE q.nid = out.%s AND q.f = 2 AND out.cost + q.dist <= ? "+
+				"AND ec.src = q.src AND ec.nid = out.%s AND out.cost + q.dist = ec.cost "+
+				"GROUP BY ec.src, ec.nid, ec.cost",
+			TblSeg, TblEdges, joinCol, newCol)
+		if _, err := e.exec(qs, nil, nil, backQ, lthd); err != nil {
+			return err
+		}
+	}
+	updQ := fmt.Sprintf(
+		"UPDATE %[1]s SET dist = s.cost, par = s.par, f = 0 FROM TSegExpand s "+
+			"WHERE %[1]s.src = s.src AND %[1]s.nid = s.nid AND %[1]s.dist > s.cost",
+		TblSeg)
+	if _, err := e.exec(qs, nil, nil, updQ); err != nil {
+		return err
+	}
+	insQ := fmt.Sprintf(
+		"INSERT INTO %[1]s (src, nid, dist, par, f) "+
+			"SELECT s.src, s.nid, s.cost, s.par, 0 FROM TSegExpand s "+
+			"WHERE NOT EXISTS (SELECT nid FROM %[1]s v WHERE v.src = s.src AND v.nid = s.nid)",
+		TblSeg)
+	if _, err := e.exec(qs, nil, nil, insQ); err != nil {
+		return err
+	}
+	return nil
+}

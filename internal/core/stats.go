@@ -1,0 +1,78 @@
+// Package core implements the paper's contribution: the relational FEM
+// (Frontier-select / Expand / Merge) framework and the five shortest-path
+// algorithms built on it — DJ (Algorithm 1), BDJ, BSDJ (bi-directional set
+// Dijkstra), BBFS, and BSEG (Algorithm 2, selective expansion over the
+// SegTable index) — plus the SegTable construction of §4.2. All graph work
+// happens in SQL against rdb.DB; the Go side only holds scalar loop state,
+// exactly like the paper's JDBC client.
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Phase identifies the paper's Fig 6(b) decomposition of a query.
+type Phase int
+
+// Query phases.
+const (
+	PhasePE  Phase = iota // path expansion (F/E/M statements)
+	PhaseSC               // statistics collection (mins, counts, termination)
+	PhaseFPR              // full path recovery
+)
+
+// QueryStats aggregates one shortest-path discovery, covering every metric
+// the paper reports: expansions (Table 2/3), statement counts, visited-node
+// counts (Table 3), phase split (Fig 6(b)) and operator split (Fig 6(c)).
+type QueryStats struct {
+	Algorithm string
+	// Expansions counts E-operator executions (forward + backward).
+	Expansions         int
+	ForwardExpansions  int
+	BackwardExpansions int
+	// Statements counts SQL statements issued.
+	Statements int
+	// VisitedRows is |TVisited| when the search stops (search space).
+	VisitedRows int
+	// Phase timings (Fig 6(b)).
+	PE, SC, FPR time.Duration
+	// Operator timings (Fig 6(c); populated when SeparateOperators is on,
+	// where F, E and M run as distinct statements).
+	FOp, EOp, MOp time.Duration
+	// Total wall time of the query.
+	Total time.Duration
+}
+
+func (q *QueryStats) String() string {
+	return fmt.Sprintf("%s: exps=%d (f=%d b=%d) stmts=%d visited=%d total=%v [PE=%v SC=%v FPR=%v]",
+		q.Algorithm, q.Expansions, q.ForwardExpansions, q.BackwardExpansions,
+		q.Statements, q.VisitedRows, q.Total.Round(time.Microsecond),
+		q.PE.Round(time.Microsecond), q.SC.Round(time.Microsecond), q.FPR.Round(time.Microsecond))
+}
+
+// Path is a discovered shortest path.
+type Path struct {
+	Found  bool
+	Length int64
+	Nodes  []int64 // s..t inclusive; nil when !Found
+}
+
+// SegTableStats reports one SegTable construction (§5.3's metrics).
+type SegTableStats struct {
+	Lthd       int64
+	OutSegs    int // rows in TOutSegs (pre-computed segments + edges)
+	InSegs     int
+	Iterations int
+	Statements int
+	BuildTime  time.Duration
+}
+
+func (s *SegTableStats) String() string {
+	return fmt.Sprintf("SegTable(lthd=%d): out=%d in=%d iters=%d stmts=%d time=%v",
+		s.Lthd, s.OutSegs, s.InSegs, s.Iterations, s.Statements, s.BuildTime.Round(time.Millisecond))
+}
+
+// EncodingNumber is the index-size metric of Fig 9(a)/9(b): the total
+// number of encoded segment tuples.
+func (s *SegTableStats) EncodingNumber() int { return s.OutSegs + s.InSegs }

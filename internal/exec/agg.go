@@ -1,0 +1,352 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/record"
+)
+
+// aggKind enumerates supported aggregate functions.
+type aggKind int
+
+const (
+	aggMin aggKind = iota
+	aggMax
+	aggSum
+	aggCount
+	aggAvg
+)
+
+// aggSpec is one aggregate to compute.
+type aggSpec struct {
+	kind aggKind
+	arg  scalarFn // nil for COUNT(*)
+}
+
+func aggKindOf(name string) (aggKind, error) {
+	switch name {
+	case "MIN":
+		return aggMin, nil
+	case "MAX":
+		return aggMax, nil
+	case "SUM":
+		return aggSum, nil
+	case "COUNT":
+		return aggCount, nil
+	case "AVG":
+		return aggAvg, nil
+	}
+	return 0, fmt.Errorf("exec: unknown aggregate %s", name)
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count   int64
+	sumI    int64
+	sumF    float64
+	isFloat bool
+	minmax  record.Value
+	has     bool
+}
+
+func (a *aggState) add(kind aggKind, v record.Value) {
+	switch kind {
+	case aggCount:
+		if v.Null {
+			return // COUNT(expr) skips NULLs; COUNT(*) feeds a constant 1
+		}
+		a.count++
+	case aggSum, aggAvg:
+		if v.Null {
+			return
+		}
+		a.count++
+		if v.Typ == record.TFloat {
+			a.isFloat = true
+			a.sumF += v.F
+		} else {
+			a.sumI += v.I
+		}
+		a.has = true
+	case aggMin:
+		if v.Null {
+			return
+		}
+		if !a.has || record.Compare(v, a.minmax) < 0 {
+			a.minmax = v
+			a.has = true
+		}
+	case aggMax:
+		if v.Null {
+			return
+		}
+		if !a.has || record.Compare(v, a.minmax) > 0 {
+			a.minmax = v
+			a.has = true
+		}
+	}
+}
+
+func (a *aggState) result(kind aggKind) record.Value {
+	switch kind {
+	case aggCount:
+		return record.Int(a.count)
+	case aggSum:
+		if !a.has {
+			return record.Value{Null: true, Typ: record.TInt}
+		}
+		if a.isFloat {
+			return record.Float(a.sumF + float64(a.sumI))
+		}
+		return record.Int(a.sumI)
+	case aggAvg:
+		if !a.has {
+			return record.Value{Null: true, Typ: record.TFloat}
+		}
+		return record.Float((a.sumF + float64(a.sumI)) / float64(a.count))
+	case aggMin, aggMax:
+		if !a.has {
+			return record.Value{Null: true, Typ: record.TInt}
+		}
+		return a.minmax
+	}
+	return record.Value{Null: true}
+}
+
+// Aggregate hash-aggregates its input. Output rows are
+// [group values..., aggregate results...]. With no GROUP BY, exactly one
+// row is produced even for empty input (SQL semantics: MIN of nothing is
+// NULL, COUNT of nothing is 0) — the paper's termination checks rely on
+// `SELECT MIN(d2s) ...` returning a NULL row when no candidates remain.
+type Aggregate struct {
+	Input    Node
+	GroupFns []scalarFn
+	Specs    []aggSpec
+	out      []record.Row
+	pos      int
+}
+
+// Open implements Node: drains the input and computes all groups.
+func (a *Aggregate) Open(ctx *Ctx) error {
+	a.out = nil
+	a.pos = 0
+	type group struct {
+		keys   []record.Value
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string // deterministic output order (first-seen)
+
+	if err := a.Input.Open(ctx); err != nil {
+		return err
+	}
+	defer a.Input.Close()
+	for {
+		r, err := a.Input.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		keys := make([]record.Value, len(a.GroupFns))
+		for i, f := range a.GroupFns {
+			v, err := f(ctx, r)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		kstr := string(record.EncodeKey(nil, keys...))
+		g, ok := groups[kstr]
+		if !ok {
+			g = &group{keys: keys, states: make([]aggState, len(a.Specs))}
+			groups[kstr] = g
+			order = append(order, kstr)
+		}
+		for i, spec := range a.Specs {
+			var v record.Value
+			if spec.arg != nil {
+				v, err = spec.arg(ctx, r)
+				if err != nil {
+					return err
+				}
+			} else {
+				v = record.Int(1) // COUNT(*)
+			}
+			g.states[i].add(spec.kind, v)
+		}
+	}
+	if len(groups) == 0 && len(a.GroupFns) == 0 {
+		// Global aggregate over empty input: one row of defaults.
+		row := make(record.Row, len(a.Specs))
+		for i, spec := range a.Specs {
+			var st aggState
+			row[i] = st.result(spec.kind)
+		}
+		a.out = []record.Row{row}
+		return nil
+	}
+	for _, k := range order {
+		g := groups[k]
+		row := make(record.Row, 0, len(g.keys)+len(a.Specs))
+		row = append(row, g.keys...)
+		for i, spec := range a.Specs {
+			row = append(row, g.states[i].result(spec.kind))
+		}
+		a.out = append(a.out, row)
+	}
+	return nil
+}
+
+// Next implements Node.
+func (a *Aggregate) Next(*Ctx) (record.Row, error) {
+	if a.pos >= len(a.out) {
+		return nil, nil
+	}
+	r := a.out[a.pos]
+	a.pos++
+	return r, nil
+}
+
+// Close implements Node.
+func (a *Aggregate) Close() { a.out = nil }
+
+// --- window ------------------------------------------------------------------
+
+// windowSpec is one compiled window function (ROW_NUMBER or RANK).
+type windowSpec struct {
+	name      string // "ROW_NUMBER" or "RANK"
+	partFns   []scalarFn
+	orderFns  []scalarFn
+	orderDesc []bool
+}
+
+// Window materializes its input and appends one column per window function:
+// output rows are [input columns..., window results...]. This implements
+// the SQL:2003 feature the paper highlights: ROW_NUMBER() OVER (PARTITION
+// BY x ORDER BY y) lets the E-operator keep the cheapest expansion per node
+// while carrying the non-aggregate p2s column along.
+type Window struct {
+	Input Node
+	Specs []windowSpec
+	out   []record.Row
+	pos   int
+}
+
+// Open implements Node.
+func (w *Window) Open(ctx *Ctx) error {
+	w.pos = 0
+	rows, err := runPlan(w.Input, ctx)
+	if err != nil {
+		return err
+	}
+	results := make([][]int64, len(w.Specs))
+	for si, spec := range w.Specs {
+		res, err := computeWindow(ctx, rows, spec)
+		if err != nil {
+			return err
+		}
+		results[si] = res
+	}
+	w.out = make([]record.Row, len(rows))
+	for i, r := range rows {
+		nr := make(record.Row, 0, len(r)+len(w.Specs))
+		nr = append(nr, r...)
+		for si := range w.Specs {
+			nr = append(nr, record.Int(results[si][i]))
+		}
+		w.out[i] = nr
+	}
+	return nil
+}
+
+func computeWindow(ctx *Ctx, rows []record.Row, spec windowSpec) ([]int64, error) {
+	type keyed struct {
+		idx   int
+		pkey  string
+		okeys []record.Value
+	}
+	ks := make([]keyed, len(rows))
+	for i, r := range rows {
+		pvals := make([]record.Value, len(spec.partFns))
+		for j, f := range spec.partFns {
+			v, err := f(ctx, r)
+			if err != nil {
+				return nil, err
+			}
+			pvals[j] = v
+		}
+		ovals := make([]record.Value, len(spec.orderFns))
+		for j, f := range spec.orderFns {
+			v, err := f(ctx, r)
+			if err != nil {
+				return nil, err
+			}
+			ovals[j] = v
+		}
+		ks[i] = keyed{idx: i, pkey: string(record.EncodeKey(nil, pvals...)), okeys: ovals}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		if ks[a].pkey != ks[b].pkey {
+			return ks[a].pkey < ks[b].pkey
+		}
+		for j := range ks[a].okeys {
+			c := record.Compare(ks[a].okeys[j], ks[b].okeys[j])
+			if c != 0 {
+				if spec.orderDesc[j] {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return ks[a].idx < ks[b].idx // deterministic tie-break
+	})
+	out := make([]int64, len(rows))
+	var num, rank int64
+	var prevP string
+	first := true
+	var prevO []record.Value
+	for _, k := range ks {
+		if first || k.pkey != prevP {
+			num, rank = 0, 0
+			prevO = nil
+		}
+		num++
+		if spec.name == "RANK" {
+			if prevO == nil || !orderEqual(prevO, k.okeys) {
+				rank = num
+			}
+			out[k.idx] = rank
+		} else {
+			out[k.idx] = num
+		}
+		prevP = k.pkey
+		prevO = k.okeys
+		first = false
+	}
+	return out, nil
+}
+
+func orderEqual(a, b []record.Value) bool {
+	for i := range a {
+		if record.Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Next implements Node.
+func (w *Window) Next(*Ctx) (record.Row, error) {
+	if w.pos >= len(w.out) {
+		return nil, nil
+	}
+	r := w.out[w.pos]
+	w.pos++
+	return r, nil
+}
+
+// Close implements Node.
+func (w *Window) Close() { w.out = nil }

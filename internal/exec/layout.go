@@ -1,0 +1,128 @@
+// Package exec contains the planner and Volcano-style executors that turn
+// parsed SQL into answers over the table layer: scans, index probes,
+// nested-loop and hash joins, hash aggregation, the ROW_NUMBER window
+// function, sorting, and the DML/MERGE drivers.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/record"
+)
+
+// BoundCol is one column visible in a row flowing through the executor.
+type BoundCol struct {
+	Qual string // table alias ("" for synthetic columns)
+	Name string
+}
+
+// Layout names the columns of rows produced by a plan node.
+type Layout struct {
+	Cols []BoundCol
+}
+
+// NewLayout builds a layout qualifying every column with qual.
+func NewLayout(qual string, names []string) *Layout {
+	l := &Layout{Cols: make([]BoundCol, len(names))}
+	for i, n := range names {
+		l.Cols[i] = BoundCol{Qual: qual, Name: n}
+	}
+	return l
+}
+
+// Concat returns a layout of a's columns followed by b's.
+func Concat(a, b *Layout) *Layout {
+	out := &Layout{Cols: make([]BoundCol, 0, len(a.Cols)+len(b.Cols))}
+	out.Cols = append(out.Cols, a.Cols...)
+	out.Cols = append(out.Cols, b.Cols...)
+	return out
+}
+
+// Resolve finds the ordinal of qual.name (qual may be empty). It reports an
+// error for ambiguous or missing columns.
+func (l *Layout) Resolve(qual, name string) (int, error) {
+	found := -1
+	for i, c := range l.Cols {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if qual != "" && !strings.EqualFold(c.Qual, qual) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("exec: ambiguous column %s", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("exec: unknown column %s.%s", qual, name)
+	}
+	return found, nil
+}
+
+// Has reports whether qual.name resolves uniquely in this layout.
+func (l *Layout) Has(qual, name string) bool {
+	_, err := l.Resolve(qual, name)
+	return err == nil
+}
+
+// HasQual reports whether any column carries the given qualifier.
+func (l *Layout) HasQual(qual string) bool {
+	for _, c := range l.Cols {
+		if strings.EqualFold(c.Qual, qual) {
+			return true
+		}
+	}
+	return false
+}
+
+// Env is a chain of layouts for correlated name resolution: a scan inside a
+// join or subquery sees its own layout first, then each enclosing row.
+type Env struct {
+	Lay    *Layout
+	Parent *Env
+}
+
+// resolution is the result of resolving a column through an env chain.
+type resolution struct {
+	levelsUp int // 0 = current layout, 1 = parent row on the ctx stack, ...
+	idx      int
+}
+
+func (e *Env) resolve(qual, name string) (resolution, error) {
+	level := 0
+	for env := e; env != nil; env = env.Parent {
+		if env.Lay != nil && env.Lay.Has(qual, name) {
+			idx, err := env.Lay.Resolve(qual, name)
+			if err != nil {
+				return resolution{}, err
+			}
+			return resolution{levelsUp: level, idx: idx}, nil
+		}
+		level++
+	}
+	return resolution{}, fmt.Errorf("exec: unknown column %s.%s", qual, name)
+}
+
+// Ctx carries statement-scoped execution state: parameter values and the
+// stack of outer rows for correlated evaluation. stack[len-1] is the row of
+// the immediately enclosing env level.
+type Ctx struct {
+	Params []record.Value
+	stack  []record.Row
+}
+
+// Push makes row visible as the next outer level.
+func (c *Ctx) Push(row record.Row) { c.stack = append(c.stack, row) }
+
+// Pop removes the innermost outer row.
+func (c *Ctx) Pop() { c.stack = c.stack[:len(c.stack)-1] }
+
+// Outer returns the row levelsUp levels above the current one (levelsUp>=1).
+func (c *Ctx) Outer(levelsUp int) record.Row {
+	return c.stack[len(c.stack)-levelsUp]
+}
+
+// StackDepth reports the current correlation depth (tests).
+func (c *Ctx) StackDepth() int { return len(c.stack) }

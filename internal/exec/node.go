@@ -1,0 +1,238 @@
+package exec
+
+import (
+	"repro/internal/record"
+	"repro/internal/table"
+)
+
+// Node is a Volcano-style plan operator. Open may be called again after
+// Close (nested-loop joins re-open their inner side per outer row).
+type Node interface {
+	Open(ctx *Ctx) error
+	Next(ctx *Ctx) (record.Row, error) // nil, nil == end of stream
+	Close()
+}
+
+// runPlan drains a plan into a materialized slice.
+func runPlan(n Node, ctx *Ctx) ([]record.Row, error) {
+	if err := n.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer n.Close()
+	var out []record.Row
+	for {
+		r, err := n.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}
+
+// planHasRow reports whether a plan yields at least one row (EXISTS).
+func planHasRow(n Node, ctx *Ctx) (bool, error) {
+	if err := n.Open(ctx); err != nil {
+		return false, err
+	}
+	defer n.Close()
+	r, err := n.Next(ctx)
+	if err != nil {
+		return false, err
+	}
+	return r != nil, nil
+}
+
+// --- SeqScan -----------------------------------------------------------------
+
+// SeqScan reads every row of a table, applying an optional residual filter.
+type SeqScan struct {
+	Table    *table.Table
+	Residual scalarFn // may be nil
+	it       *table.Iterator
+}
+
+// Open implements Node.
+func (s *SeqScan) Open(*Ctx) error {
+	s.it = s.Table.Scan()
+	return nil
+}
+
+// Next implements Node.
+func (s *SeqScan) Next(ctx *Ctx) (record.Row, error) {
+	for s.it.Next() {
+		row := s.it.Row()
+		if s.Residual != nil {
+			v, err := s.Residual(ctx, row)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		return row, nil
+	}
+	return nil, s.it.Err()
+}
+
+// Close implements Node.
+func (s *SeqScan) Close() { s.it = nil }
+
+// --- IndexEqScan ----------------------------------------------------------------
+
+// IndexEqScan probes an index (or the clustered tree) with equality values
+// computed at Open time; probe expressions may reference parameters and
+// outer rows, which is how index-nested-loop joins and correlated EXISTS
+// probes are realized.
+type IndexEqScan struct {
+	Table    *table.Table
+	Index    *table.Index // nil => clustered index
+	KeyFns   []scalarFn
+	Residual scalarFn // may be nil
+
+	tit *table.Iterator
+	iit *table.IndexIterator
+}
+
+// Open implements Node.
+func (s *IndexEqScan) Open(ctx *Ctx) error {
+	vals := make([]record.Value, len(s.KeyFns))
+	for i, f := range s.KeyFns {
+		v, err := f(ctx, nil)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+	if s.Index == nil {
+		s.tit = s.Table.ScanClusteredPrefix(vals)
+	} else {
+		s.iit = s.Table.LookupEq(s.Index, vals)
+	}
+	return nil
+}
+
+// Next implements Node.
+func (s *IndexEqScan) Next(ctx *Ctx) (record.Row, error) {
+	for {
+		var row record.Row
+		if s.tit != nil {
+			if !s.tit.Next() {
+				return nil, s.tit.Err()
+			}
+			row = s.tit.Row()
+		} else {
+			if !s.iit.Next() {
+				return nil, s.iit.Err()
+			}
+			row = s.iit.Row()
+		}
+		if s.Residual != nil {
+			v, err := s.Residual(ctx, row)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		return row, nil
+	}
+}
+
+// Close implements Node.
+func (s *IndexEqScan) Close() { s.tit, s.iit = nil, nil }
+
+// --- Filter / Project -----------------------------------------------------------
+
+// Filter drops rows failing the predicate.
+type Filter struct {
+	Input Node
+	Pred  scalarFn
+}
+
+// Open implements Node.
+func (f *Filter) Open(ctx *Ctx) error { return f.Input.Open(ctx) }
+
+// Next implements Node.
+func (f *Filter) Next(ctx *Ctx) (record.Row, error) {
+	for {
+		r, err := f.Input.Next(ctx)
+		if err != nil || r == nil {
+			return r, err
+		}
+		v, err := f.Pred(ctx, r)
+		if err != nil {
+			return nil, err
+		}
+		if v.Truthy() {
+			return r, nil
+		}
+	}
+}
+
+// Close implements Node.
+func (f *Filter) Close() { f.Input.Close() }
+
+// Project computes output columns from input rows.
+type Project struct {
+	Input Node
+	Fns   []scalarFn
+}
+
+// Open implements Node.
+func (p *Project) Open(ctx *Ctx) error { return p.Input.Open(ctx) }
+
+// Next implements Node.
+func (p *Project) Next(ctx *Ctx) (record.Row, error) {
+	r, err := p.Input.Next(ctx)
+	if err != nil || r == nil {
+		return nil, err
+	}
+	out := make(record.Row, len(p.Fns))
+	for i, f := range p.Fns {
+		v, err := f(ctx, r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Close implements Node.
+func (p *Project) Close() { p.Input.Close() }
+
+// --- ValuesNode -------------------------------------------------------------------
+
+// ValuesNode emits a fixed set of rows (SELECT without FROM emits one empty
+// row so constant projections work).
+type ValuesNode struct {
+	Rows []record.Row
+	pos  int
+}
+
+// Open implements Node.
+func (v *ValuesNode) Open(*Ctx) error {
+	v.pos = 0
+	return nil
+}
+
+// Next implements Node.
+func (v *ValuesNode) Next(*Ctx) (record.Row, error) {
+	if v.pos >= len(v.Rows) {
+		return nil, nil
+	}
+	r := v.Rows[v.pos]
+	v.pos++
+	return r, nil
+}
+
+// Close implements Node.
+func (v *ValuesNode) Close() {}
+
+// RunPlanPublic drains a plan into a materialized slice (rdb facade entry).
+func RunPlanPublic(n Node, ctx *Ctx) ([]record.Row, error) { return runPlan(n, ctx) }

@@ -1,0 +1,809 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/record"
+	"repro/internal/sql"
+	"repro/internal/table"
+)
+
+// Planner translates parsed statements into executable plans against a
+// catalog. Planning is rule-based: equality predicates on index prefixes
+// become index probes (index-nested-loop joins when the probe references
+// the outer side), remaining equi-joins become hash joins, and everything
+// else falls back to filtered scans — the same menu a 2011-era RDBMS would
+// pick from for the paper's statements.
+type Planner struct {
+	cat *table.Catalog
+}
+
+// NewPlanner creates a planner over cat.
+func NewPlanner(cat *table.Catalog) *Planner { return &Planner{cat: cat} }
+
+// Catalog returns the planner's catalog.
+func (p *Planner) Catalog() *table.Catalog { return p.cat }
+
+// Select plans a top-level query.
+func (p *Planner) Select(st *sql.SelectStmt) (Node, *Layout, error) {
+	c := &compiler{planner: p}
+	return p.planSelect(st, nil, c, nil)
+}
+
+// splitConjuncts flattens a WHERE tree into AND-ed conjuncts.
+func splitConjuncts(e sql.Expr) []sql.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sql.Binary); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []sql.Expr{e}
+}
+
+func andAll(conjs []sql.Expr) sql.Expr {
+	var out sql.Expr
+	for _, c := range conjs {
+		if out == nil {
+			out = c
+		} else {
+			out = &sql.Binary{Op: "AND", L: out, R: c}
+		}
+	}
+	return out
+}
+
+// schemaNames lists a table's column names.
+func schemaNames(t *table.Table) []string {
+	names := make([]string, t.Schema.Len())
+	for i, c := range t.Schema.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// planSelect plans one query block. outerEnv is the enclosing environment
+// for correlated references; usedOuter (when non-nil) is set if the block
+// references it.
+func (p *Planner) planSelect(st *sql.SelectStmt, outerEnv *Env, c *compiler, usedOuter *bool) (Node, *Layout, error) {
+	conjuncts := splitConjuncts(st.Where)
+	var cur Node
+	var curLay *Layout
+
+	if len(st.From) == 0 {
+		cur = &ValuesNode{Rows: []record.Row{{}}}
+		curLay = &Layout{}
+	} else {
+		for i, ref := range st.From {
+			if i == 0 {
+				n, lay, err := p.planTableAccess(ref, &conjuncts, outerEnv, c, usedOuter)
+				if err != nil {
+					return nil, nil, err
+				}
+				cur, curLay = n, lay
+				continue
+			}
+			n, lay, err := p.planJoin(cur, curLay, ref, &conjuncts, outerEnv, c, usedOuter)
+			if err != nil {
+				return nil, nil, err
+			}
+			cur, curLay = n, lay
+		}
+	}
+	curEnv := &Env{Lay: curLay, Parent: outerEnv}
+
+	// Leftover conjuncts become a post-join filter.
+	if len(conjuncts) > 0 {
+		pred, err := c.compileExpr(andAll(conjuncts), curEnv, usedOuter)
+		if err != nil {
+			return nil, nil, err
+		}
+		cur = &Filter{Input: cur, Pred: pred}
+	}
+
+	items := st.Items
+	needAgg := len(st.GroupBy) > 0 || hasAggregate(st.Having)
+	for _, it := range items {
+		if !it.Star && hasAggregate(it.Expr) {
+			needAgg = true
+		}
+	}
+	for _, ob := range st.OrderBy {
+		if hasAggregate(ob.Expr) {
+			needAgg = true
+		}
+	}
+
+	orderBy := st.OrderBy
+	if needAgg {
+		var err error
+		cur, curEnv, items, orderBy, err = p.planAggregate(st, cur, curEnv, c, usedOuter)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		needWin := false
+		for _, it := range items {
+			if !it.Star && hasWindow(it.Expr) {
+				needWin = true
+			}
+		}
+		if needWin {
+			var err error
+			cur, curEnv, items, err = p.planWindow(items, cur, curEnv, curLay, c, usedOuter)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// ORDER BY (compiled against the pre-projection layout).
+	if len(orderBy) > 0 {
+		keys := make([]scalarFn, len(orderBy))
+		desc := make([]bool, len(orderBy))
+		for i, ob := range orderBy {
+			f, err := c.compileExpr(ob.Expr, curEnv, usedOuter)
+			if err != nil {
+				return nil, nil, err
+			}
+			keys[i] = f
+			desc[i] = ob.Desc
+		}
+		cur = &Sort{Input: cur, Keys: keys, Desc: desc}
+	}
+
+	// TOP / LIMIT.
+	limitExpr := st.Top
+	if limitExpr == nil {
+		limitExpr = st.Limit
+	}
+	if limitExpr != nil {
+		f, err := c.compileExpr(limitExpr, &Env{Lay: &Layout{}, Parent: outerEnv}, usedOuter)
+		if err != nil {
+			return nil, nil, err
+		}
+		cur = &Limit{Input: cur, N: f}
+	}
+
+	// Projection. Output names come from the ORIGINAL select items (the
+	// aggregate/window rewrite replaces expressions with internal $agg/$win
+	// references whose names must not leak to clients).
+	var fns []scalarFn
+	outLay := &Layout{}
+	anon := 0
+	for i, it := range items {
+		if it.Star {
+			for idx, col := range curEnv.Lay.Cols {
+				i := idx
+				fns = append(fns, func(_ *Ctx, row record.Row) (record.Value, error) {
+					return row[i], nil
+				})
+				outLay.Cols = append(outLay.Cols, col)
+			}
+			continue
+		}
+		f, err := c.compileExpr(it.Expr, curEnv, usedOuter)
+		if err != nil {
+			return nil, nil, err
+		}
+		fns = append(fns, f)
+		name := it.Alias
+		if name == "" {
+			orig := it.Expr
+			if i < len(st.Items) && !st.Items[i].Star {
+				orig = st.Items[i].Expr
+			}
+			if cr, ok := orig.(*sql.ColumnRef); ok && cr.Table != "$agg" && cr.Table != "$win" {
+				name = cr.Name
+			} else if fc, ok := orig.(*sql.FuncCall); ok {
+				name = strings.ToLower(fc.Name)
+			} else {
+				name = fmt.Sprintf("_c%d", anon)
+				anon++
+			}
+		}
+		outLay.Cols = append(outLay.Cols, BoundCol{Name: name})
+	}
+	cur = &Project{Input: cur, Fns: fns}
+
+	if st.Distinct {
+		cur = &Distinct{Input: cur}
+	}
+	return cur, outLay, nil
+}
+
+// planTableAccess plans a base-table or derived-table reference with its
+// applicable conjuncts. accEnv is what the table can see besides itself
+// (the accumulated join row and/or enclosing query rows).
+func (p *Planner) planTableAccess(ref *sql.TableRef, remaining *[]sql.Expr, accEnv *Env, c *compiler, usedOuter *bool) (Node, *Layout, error) {
+	if ref.Sub != nil {
+		node, subLay, err := p.planSelect(ref.Sub, accEnv, c, usedOuter)
+		if err != nil {
+			return nil, nil, err
+		}
+		lay, err := derivedLayout(ref, subLay)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Apply conjuncts that compile against the derived layout.
+		node, err = p.attachResiduals(node, lay, remaining, accEnv, c, usedOuter)
+		if err != nil {
+			return nil, nil, err
+		}
+		return node, lay, nil
+	}
+	t, ok := p.cat.Get(ref.Table)
+	if !ok {
+		return nil, nil, fmt.Errorf("exec: unknown table %q", ref.Table)
+	}
+	lay := NewLayout(ref.Name(), schemaNames(t))
+	tableEnv := &Env{Lay: lay, Parent: accEnv}
+
+	// Try to find an index probe among the remaining conjuncts.
+	node := p.chooseAccessPath(t, ref.Name(), lay, tableEnv, remaining, c, usedOuter)
+	var err error
+	node, err = p.attachResidualsToScan(node, tableEnv, remaining, c, usedOuter)
+	if err != nil {
+		return nil, nil, err
+	}
+	return node, lay, nil
+}
+
+// derivedLayout renames a subquery's output columns per the alias list.
+func derivedLayout(ref *sql.TableRef, subLay *Layout) (*Layout, error) {
+	names := make([]string, len(subLay.Cols))
+	for i, col := range subLay.Cols {
+		names[i] = col.Name
+	}
+	if len(ref.SubCols) > 0 {
+		if len(ref.SubCols) != len(names) {
+			return nil, fmt.Errorf("exec: derived table %s lists %d columns, query returns %d",
+				ref.Name(), len(ref.SubCols), len(names))
+		}
+		names = ref.SubCols
+	}
+	return NewLayout(ref.Name(), names), nil
+}
+
+// chooseAccessPath selects an index probe if some equality conjuncts cover
+// an index prefix with expressions that do not depend on the table itself.
+// Preference: clustered, then unique secondary, then other secondary.
+func (p *Planner) chooseAccessPath(t *table.Table, qual string, lay *Layout, tableEnv *Env, remaining *[]sql.Expr, c *compiler, usedOuter *bool) Node {
+	type candidate struct {
+		ix   *table.Index // nil = clustered
+		cols []int
+		pref int
+	}
+	var cands []candidate
+	if clu := t.Clustered(); clu != nil {
+		cands = append(cands, candidate{ix: nil, cols: clu.Cols, pref: 0})
+	}
+	for _, ix := range t.Secondary {
+		pref := 2
+		if ix.Unique {
+			pref = 1
+		}
+		cands = append(cands, candidate{ix: ix, cols: ix.Cols, pref: pref})
+	}
+	var best *candidate
+	var bestFns []scalarFn
+	var bestUsed []int
+	bestLen, bestPref := 0, 99
+	for ci := range cands {
+		cand := &cands[ci]
+		fns, used := p.matchIndexPrefix(t, qual, lay, tableEnv, cand.cols, *remaining, c, usedOuter)
+		if len(fns) == 0 {
+			continue
+		}
+		if len(fns) > bestLen || (len(fns) == bestLen && cand.pref < bestPref) {
+			best, bestFns, bestUsed, bestLen, bestPref = cand, fns, used, len(fns), cand.pref
+		}
+	}
+	if best == nil {
+		return &SeqScan{Table: t}
+	}
+	removeConjuncts(remaining, bestUsed)
+	return &IndexEqScan{Table: t, Index: best.ix, KeyFns: bestFns}
+}
+
+// matchIndexPrefix finds equality conjuncts `col = expr` covering a prefix
+// of idxCols where expr does not reference the table. Returns the probe
+// functions and the indices of the consumed conjuncts.
+func (p *Planner) matchIndexPrefix(t *table.Table, qual string, lay *Layout, tableEnv *Env, idxCols []int, conjuncts []sql.Expr, c *compiler, usedOuter *bool) ([]scalarFn, []int) {
+	var fns []scalarFn
+	var used []int
+	for _, colOrd := range idxCols {
+		colName := t.Schema.Columns[colOrd].Name
+		found := false
+		for ci, conj := range conjuncts {
+			if intsContain(used, ci) {
+				continue
+			}
+			b, ok := conj.(*sql.Binary)
+			if !ok || b.Op != "=" {
+				continue
+			}
+			var probe sql.Expr
+			if isColRefTo(b.L, qual, colName, lay) && !exprRefsQual(b.R, qual, lay) {
+				probe = b.R
+			} else if isColRefTo(b.R, qual, colName, lay) && !exprRefsQual(b.L, qual, lay) {
+				probe = b.L
+			} else {
+				continue
+			}
+			fn, err := c.compileExpr(probe, tableEnv, usedOuter)
+			if err != nil {
+				continue
+			}
+			fns = append(fns, fn)
+			used = append(used, ci)
+			found = true
+			break
+		}
+		if !found {
+			break
+		}
+	}
+	return fns, used
+}
+
+func isColRefTo(e sql.Expr, qual, name string, lay *Layout) bool {
+	cr, ok := e.(*sql.ColumnRef)
+	if !ok {
+		return false
+	}
+	if !strings.EqualFold(cr.Name, name) {
+		return false
+	}
+	if cr.Table == "" {
+		return lay.Has("", cr.Name)
+	}
+	return strings.EqualFold(cr.Table, qual)
+}
+
+func intsContain(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func removeConjuncts(remaining *[]sql.Expr, used []int) {
+	if len(used) == 0 {
+		return
+	}
+	var out []sql.Expr
+	for i, e := range *remaining {
+		if !intsContain(used, i) {
+			out = append(out, e)
+		}
+	}
+	*remaining = out
+}
+
+// attachResidualsToScan moves every remaining conjunct that compiles in
+// tableEnv into the scan's residual filter.
+func (p *Planner) attachResidualsToScan(node Node, tableEnv *Env, remaining *[]sql.Expr, c *compiler, usedOuter *bool) (Node, error) {
+	var keep []sql.Expr
+	var resid []sql.Expr
+	for _, conj := range *remaining {
+		if _, err := c.compileExpr(conj, tableEnv, usedOuter); err != nil {
+			keep = append(keep, conj)
+			continue
+		}
+		resid = append(resid, conj)
+	}
+	*remaining = keep
+	if len(resid) == 0 {
+		return node, nil
+	}
+	pred, err := c.compileExpr(andAll(resid), tableEnv, usedOuter)
+	if err != nil {
+		return nil, err
+	}
+	switch n := node.(type) {
+	case *SeqScan:
+		n.Residual = pred
+		return n, nil
+	case *IndexEqScan:
+		n.Residual = pred
+		return n, nil
+	default:
+		return &Filter{Input: node, Pred: pred}, nil
+	}
+}
+
+// attachResiduals wraps a non-scan node with a filter for conjuncts that
+// compile against its layout.
+func (p *Planner) attachResiduals(node Node, lay *Layout, remaining *[]sql.Expr, accEnv *Env, c *compiler, usedOuter *bool) (Node, error) {
+	env := &Env{Lay: lay, Parent: accEnv}
+	var keep []sql.Expr
+	var resid []sql.Expr
+	for _, conj := range *remaining {
+		if _, err := c.compileExpr(conj, env, usedOuter); err != nil {
+			keep = append(keep, conj)
+			continue
+		}
+		resid = append(resid, conj)
+	}
+	*remaining = keep
+	if len(resid) == 0 {
+		return node, nil
+	}
+	pred, err := c.compileExpr(andAll(resid), env, usedOuter)
+	if err != nil {
+		return nil, err
+	}
+	return &Filter{Input: node, Pred: pred}, nil
+}
+
+// planJoin extends the accumulated left-deep plan with one more table.
+func (p *Planner) planJoin(acc Node, accLay *Layout, ref *sql.TableRef, remaining *[]sql.Expr, outerEnv *Env, c *compiler, usedOuter *bool) (Node, *Layout, error) {
+	accEnv := &Env{Lay: accLay, Parent: outerEnv}
+
+	if ref.Sub == nil {
+		t, ok := p.cat.Get(ref.Table)
+		if !ok {
+			return nil, nil, fmt.Errorf("exec: unknown table %q", ref.Table)
+		}
+		lay := NewLayout(ref.Name(), schemaNames(t))
+		tableEnv := &Env{Lay: lay, Parent: accEnv}
+
+		// Try index-nested-loop: probes may reference the accumulated row.
+		inner := p.chooseAccessPath(t, ref.Name(), lay, tableEnv, remaining, c, usedOuter)
+		if ie, ok := inner.(*IndexEqScan); ok {
+			var err error
+			inner, err = p.attachResidualsToScan(ie, tableEnv, remaining, c, usedOuter)
+			if err != nil {
+				return nil, nil, err
+			}
+			return &NestedLoopJoin{Outer: acc, Inner: inner}, Concat(accLay, lay), nil
+		}
+
+		// Hash join on an equality conjunct split across the two sides.
+		standaloneEnv := &Env{Lay: lay, Parent: outerEnv}
+		lk, rk, used := p.findHashKeys(accEnv, standaloneEnv, *remaining, c, usedOuter)
+		if len(lk) > 0 {
+			removeConjuncts(remaining, used)
+			scan := &SeqScan{Table: t}
+			right, err := p.attachResidualsToScan(scan, standaloneEnv, remaining, c, usedOuter)
+			if err != nil {
+				return nil, nil, err
+			}
+			join := &HashJoin{Left: acc, Right: right, LeftKeys: lk, RightKeys: rk}
+			combined := Concat(accLay, lay)
+			node, err := p.attachResiduals(join, combined, remaining, outerEnv, c, usedOuter)
+			if err != nil {
+				return nil, nil, err
+			}
+			return node, combined, nil
+		}
+
+		// Fallback: nested loop with residuals on the inner scan (which can
+		// see the accumulated row through the ctx stack).
+		scan := &SeqScan{Table: t}
+		innerN, err := p.attachResidualsToScan(scan, tableEnv, remaining, c, usedOuter)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &NestedLoopJoin{Outer: acc, Inner: innerN}, Concat(accLay, lay), nil
+	}
+
+	// Derived table on the right: plan it standalone, then hash join if an
+	// equality conjunct applies, else nested loop over a cached materialize.
+	node, subLay, err := p.planSelect(ref.Sub, outerEnv, c, usedOuter)
+	if err != nil {
+		return nil, nil, err
+	}
+	lay, err := derivedLayout(ref, subLay)
+	if err != nil {
+		return nil, nil, err
+	}
+	standaloneEnv := &Env{Lay: lay, Parent: outerEnv}
+	node, err = p.attachResiduals(node, lay, remaining, outerEnv, c, usedOuter)
+	if err != nil {
+		return nil, nil, err
+	}
+	accEnv2 := &Env{Lay: accLay, Parent: outerEnv}
+	lk, rk, used := p.findHashKeys(accEnv2, standaloneEnv, *remaining, c, usedOuter)
+	combined := Concat(accLay, lay)
+	if len(lk) > 0 {
+		removeConjuncts(remaining, used)
+		join := &HashJoin{Left: acc, Right: node, LeftKeys: lk, RightKeys: rk}
+		out, err := p.attachResiduals(join, combined, remaining, outerEnv, c, usedOuter)
+		if err != nil {
+			return nil, nil, err
+		}
+		return out, combined, nil
+	}
+	join := &NestedLoopJoin{Outer: acc, Inner: &CachedMaterialize{Input: node}}
+	out, err := p.attachResiduals(join, combined, remaining, outerEnv, c, usedOuter)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, combined, nil
+}
+
+// findHashKeys looks for equality conjuncts with one side compiling in the
+// left env and the other in the right env.
+func (p *Planner) findHashKeys(leftEnv, rightEnv *Env, conjuncts []sql.Expr, c *compiler, usedOuter *bool) (lk, rk []scalarFn, used []int) {
+	for ci, conj := range conjuncts {
+		b, ok := conj.(*sql.Binary)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		lf, lerr := c.compileExpr(b.L, leftEnv, usedOuter)
+		rf, rerr := c.compileExpr(b.R, rightEnv, usedOuter)
+		if lerr == nil && rerr == nil && !exprRefsLayout(b.L, rightEnv.Lay) && !exprRefsLayout(b.R, leftEnv.Lay) {
+			lk = append(lk, lf)
+			rk = append(rk, rf)
+			used = append(used, ci)
+			continue
+		}
+		lf2, lerr2 := c.compileExpr(b.R, leftEnv, usedOuter)
+		rf2, rerr2 := c.compileExpr(b.L, rightEnv, usedOuter)
+		if lerr2 == nil && rerr2 == nil && !exprRefsLayout(b.R, rightEnv.Lay) && !exprRefsLayout(b.L, leftEnv.Lay) {
+			lk = append(lk, lf2)
+			rk = append(rk, rf2)
+			used = append(used, ci)
+		}
+	}
+	return lk, rk, used
+}
+
+// exprRefsLayout reports whether e references any column of lay.
+func exprRefsLayout(e sql.Expr, lay *Layout) bool {
+	switch ex := e.(type) {
+	case nil:
+		return false
+	case *sql.Literal, *sql.Param:
+		return false
+	case *sql.ColumnRef:
+		return lay.Has(ex.Table, ex.Name)
+	case *sql.Unary:
+		return exprRefsLayout(ex.E, lay)
+	case *sql.Binary:
+		return exprRefsLayout(ex.L, lay) || exprRefsLayout(ex.R, lay)
+	case *sql.IsNull:
+		return exprRefsLayout(ex.E, lay)
+	case *sql.FuncCall:
+		for _, a := range ex.Args {
+			if exprRefsLayout(a, lay) {
+				return true
+			}
+		}
+		return false
+	case *sql.InList:
+		if exprRefsLayout(ex.E, lay) {
+			return true
+		}
+		for _, it := range ex.Items {
+			if exprRefsLayout(it, lay) {
+				return true
+			}
+		}
+		return false
+	}
+	return true // subqueries: conservative
+}
+
+// CachedMaterialize runs its input once and replays the result on
+// subsequent Opens (for nested-loop joins over derived tables).
+type CachedMaterialize struct {
+	Input Node
+	rows  []record.Row
+	valid bool
+	pos   int
+}
+
+// Open implements Node.
+func (m *CachedMaterialize) Open(ctx *Ctx) error {
+	if !m.valid {
+		rows, err := runPlan(m.Input, ctx)
+		if err != nil {
+			return err
+		}
+		m.rows = rows
+		m.valid = true
+	}
+	m.pos = 0
+	return nil
+}
+
+// Next implements Node.
+func (m *CachedMaterialize) Next(*Ctx) (record.Row, error) {
+	if m.pos >= len(m.rows) {
+		return nil, nil
+	}
+	r := m.rows[m.pos]
+	m.pos++
+	return r, nil
+}
+
+// Close implements Node.
+func (m *CachedMaterialize) Close() {}
+
+// planAggregate rewrites the query block around a hash aggregate. Returns
+// the new plan, env, rewritten select items and order-by list.
+func (p *Planner) planAggregate(st *sql.SelectStmt, input Node, inEnv *Env, c *compiler, usedOuter *bool) (Node, *Env, []sql.SelectItem, []sql.OrderItem, error) {
+	groupKeys := make(map[string]int, len(st.GroupBy))
+	groupFns := make([]scalarFn, len(st.GroupBy))
+	for i, g := range st.GroupBy {
+		f, err := c.compileExpr(g, inEnv, usedOuter)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		groupFns[i] = f
+		groupKeys[exprKey(g)] = i
+	}
+	var aggCalls []*sql.FuncCall
+
+	rewrite := func(e sql.Expr) (sql.Expr, error) {
+		return rewriteForAgg(e, groupKeys, &aggCalls)
+	}
+
+	items := make([]sql.SelectItem, len(st.Items))
+	for i, it := range st.Items {
+		if it.Star {
+			return nil, nil, nil, nil, fmt.Errorf("exec: SELECT * not allowed with GROUP BY")
+		}
+		ne, err := rewrite(it.Expr)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		items[i] = sql.SelectItem{Expr: ne, Alias: it.Alias}
+	}
+	var having sql.Expr
+	if st.Having != nil {
+		ne, err := rewrite(st.Having)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		having = ne
+	}
+	orderBy := make([]sql.OrderItem, len(st.OrderBy))
+	for i, ob := range st.OrderBy {
+		ne, err := rewrite(ob.Expr)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		orderBy[i] = sql.OrderItem{Expr: ne, Desc: ob.Desc}
+	}
+
+	specs := make([]aggSpec, len(aggCalls))
+	for i, call := range aggCalls {
+		kind, err := aggKindOf(call.Name)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		var arg scalarFn
+		if !call.Star {
+			if len(call.Args) != 1 {
+				return nil, nil, nil, nil, fmt.Errorf("exec: %s takes one argument", call.Name)
+			}
+			arg, err = c.compileExpr(call.Args[0], inEnv, usedOuter)
+			if err != nil {
+				return nil, nil, nil, nil, err
+			}
+		}
+		specs[i] = aggSpec{kind: kind, arg: arg}
+	}
+
+	postLay := &Layout{}
+	for i := range st.GroupBy {
+		postLay.Cols = append(postLay.Cols, BoundCol{Qual: "$grp", Name: fmt.Sprintf("g%d", i)})
+	}
+	for i := range aggCalls {
+		postLay.Cols = append(postLay.Cols, BoundCol{Qual: "$agg", Name: fmt.Sprintf("a%d", i)})
+	}
+	node := Node(&Aggregate{Input: input, GroupFns: groupFns, Specs: specs})
+	env := &Env{Lay: postLay, Parent: inEnv.Parent}
+	if having != nil {
+		pred, err := c.compileExpr(having, env, usedOuter)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		node = &Filter{Input: node, Pred: pred}
+	}
+	return node, env, items, orderBy, nil
+}
+
+// rewriteForAgg replaces group-by expressions with $grp references and
+// aggregate calls with $agg references.
+func rewriteForAgg(e sql.Expr, groupKeys map[string]int, aggs *[]*sql.FuncCall) (sql.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	if gi, ok := groupKeys[exprKey(e)]; ok {
+		return &sql.ColumnRef{Table: "$grp", Name: fmt.Sprintf("g%d", gi)}, nil
+	}
+	switch ex := e.(type) {
+	case *sql.Literal, *sql.Param, *sql.Subquery, *sql.Exists:
+		return e, nil
+	case *sql.ColumnRef:
+		return nil, fmt.Errorf("exec: column %s must appear in GROUP BY or an aggregate", ex.Name)
+	case *sql.Unary:
+		inner, err := rewriteForAgg(ex.E, groupKeys, aggs)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.Unary{Op: ex.Op, E: inner}, nil
+	case *sql.Binary:
+		l, err := rewriteForAgg(ex.L, groupKeys, aggs)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteForAgg(ex.R, groupKeys, aggs)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.Binary{Op: ex.Op, L: l, R: r}, nil
+	case *sql.IsNull:
+		inner, err := rewriteForAgg(ex.E, groupKeys, aggs)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.IsNull{Not: ex.Not, E: inner}, nil
+	case *sql.FuncCall:
+		if ex.Window != nil {
+			return nil, fmt.Errorf("exec: window function %s cannot be combined with GROUP BY", ex.Name)
+		}
+		if !isAggregateName(ex.Name) {
+			return nil, fmt.Errorf("exec: unknown function %s", ex.Name)
+		}
+		idx := len(*aggs)
+		*aggs = append(*aggs, ex)
+		return &sql.ColumnRef{Table: "$agg", Name: fmt.Sprintf("a%d", idx)}, nil
+	}
+	return e, nil
+}
+
+// planWindow materializes window-function results as appended columns and
+// rewrites select items to reference them.
+func (p *Planner) planWindow(items []sql.SelectItem, input Node, inEnv *Env, inLay *Layout, c *compiler, usedOuter *bool) (Node, *Env, []sql.SelectItem, error) {
+	var winCalls []*sql.FuncCall
+	newItems := make([]sql.SelectItem, len(items))
+	for i, it := range items {
+		if it.Star {
+			newItems[i] = it
+			continue
+		}
+		ne, err := collectWindows(it.Expr, &winCalls)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		newItems[i] = sql.SelectItem{Expr: ne, Alias: it.Alias}
+	}
+	specs := make([]windowSpec, len(winCalls))
+	for i, call := range winCalls {
+		if call.Name != "ROW_NUMBER" && call.Name != "RANK" {
+			return nil, nil, nil, fmt.Errorf("exec: unsupported window function %s", call.Name)
+		}
+		spec := windowSpec{name: call.Name}
+		for _, pe := range call.Window.PartitionBy {
+			f, err := c.compileExpr(pe, inEnv, usedOuter)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			spec.partFns = append(spec.partFns, f)
+		}
+		for _, oe := range call.Window.OrderBy {
+			f, err := c.compileExpr(oe.Expr, inEnv, usedOuter)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			spec.orderFns = append(spec.orderFns, f)
+			spec.orderDesc = append(spec.orderDesc, oe.Desc)
+		}
+		specs[i] = spec
+	}
+	extLay := &Layout{Cols: append([]BoundCol(nil), inLay.Cols...)}
+	for i := range winCalls {
+		extLay.Cols = append(extLay.Cols, BoundCol{Qual: "$win", Name: fmt.Sprintf("w%d", i)})
+	}
+	node := &Window{Input: input, Specs: specs}
+	return node, &Env{Lay: extLay, Parent: inEnv.Parent}, newItems, nil
+}

@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/record"
+)
+
+// Sort materializes its input and orders it by the key functions.
+type Sort struct {
+	Input Node
+	Keys  []scalarFn
+	Desc  []bool
+	out   []record.Row
+	pos   int
+}
+
+// Open implements Node.
+func (s *Sort) Open(ctx *Ctx) error {
+	s.pos = 0
+	rows, err := runPlan(s.Input, ctx)
+	if err != nil {
+		return err
+	}
+	type keyed struct {
+		row  record.Row
+		keys []record.Value
+	}
+	ks := make([]keyed, len(rows))
+	for i, r := range rows {
+		kv := make([]record.Value, len(s.Keys))
+		for j, f := range s.Keys {
+			v, err := f(ctx, r)
+			if err != nil {
+				return err
+			}
+			kv[j] = v
+		}
+		ks[i] = keyed{row: r, keys: kv}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		for j := range s.Keys {
+			c := record.Compare(ks[a].keys[j], ks[b].keys[j])
+			if c != 0 {
+				if s.Desc[j] {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	s.out = make([]record.Row, len(rows))
+	for i := range ks {
+		s.out[i] = ks[i].row
+	}
+	return nil
+}
+
+// Next implements Node.
+func (s *Sort) Next(*Ctx) (record.Row, error) {
+	if s.pos >= len(s.out) {
+		return nil, nil
+	}
+	r := s.out[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Close implements Node.
+func (s *Sort) Close() { s.out = nil }
+
+// Limit emits at most N rows; N is an expression (TOP ?/LIMIT ?) evaluated
+// at Open.
+type Limit struct {
+	Input Node
+	N     scalarFn
+	left  int64
+}
+
+// Open implements Node.
+func (l *Limit) Open(ctx *Ctx) error {
+	v, err := l.N(ctx, nil)
+	if err != nil {
+		return err
+	}
+	if v.Null || v.Typ != record.TInt || v.I < 0 {
+		return fmt.Errorf("exec: TOP/LIMIT requires a non-negative integer, got %s", v)
+	}
+	l.left = v.I
+	return l.Input.Open(ctx)
+}
+
+// Next implements Node.
+func (l *Limit) Next(ctx *Ctx) (record.Row, error) {
+	if l.left <= 0 {
+		return nil, nil
+	}
+	r, err := l.Input.Next(ctx)
+	if err != nil || r == nil {
+		return r, err
+	}
+	l.left--
+	return r, nil
+}
+
+// Close implements Node.
+func (l *Limit) Close() { l.Input.Close() }
+
+// Distinct removes duplicate rows (by order-preserving key encoding of the
+// whole row).
+type Distinct struct {
+	Input Node
+	seen  map[string]struct{}
+}
+
+// Open implements Node.
+func (d *Distinct) Open(ctx *Ctx) error {
+	d.seen = make(map[string]struct{})
+	return d.Input.Open(ctx)
+}
+
+// Next implements Node.
+func (d *Distinct) Next(ctx *Ctx) (record.Row, error) {
+	for {
+		r, err := d.Input.Next(ctx)
+		if err != nil || r == nil {
+			return r, err
+		}
+		key := string(record.EncodeKey(nil, r...))
+		if _, dup := d.seen[key]; dup {
+			continue
+		}
+		d.seen[key] = struct{}{}
+		return r, nil
+	}
+}
+
+// Close implements Node.
+func (d *Distinct) Close() {
+	d.Input.Close()
+	d.seen = nil
+}

@@ -1,0 +1,179 @@
+// Package graph provides the workload substrate: an in-memory weighted
+// directed graph model, deterministic generators matching the paper's
+// datasets (uniform Random graphs, Barabási–Albert Power graphs, and
+// synthetic analogs of the DBLP / GoogleWeb / LiveJournal snapshots), CSV
+// persistence, and the in-memory baselines MDJ (Dijkstra) and MBDJ
+// (bi-directional Dijkstra) that Fig 8(d) compares against.
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Edge is one weighted directed edge.
+type Edge struct {
+	From, To int64
+	Weight   int64
+}
+
+// Graph is a weighted directed graph with node ids 0..N-1. Out and In
+// adjacency lists are both kept: forward search expands outgoing edges,
+// backward search incoming ones.
+type Graph struct {
+	N     int64
+	Edges []Edge
+	out   [][]halfEdge
+	in    [][]halfEdge
+	wmin  int64
+}
+
+type halfEdge struct {
+	to int64
+	w  int64
+}
+
+// New builds a graph from an edge list over n nodes.
+func New(n int64, edges []Edge) (*Graph, error) {
+	g := &Graph{N: n, Edges: edges}
+	g.out = make([][]halfEdge, n)
+	g.in = make([][]halfEdge, n)
+	g.wmin = 1 << 62
+	for _, e := range edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.From, e.To, n)
+		}
+		if e.Weight < 0 {
+			return nil, fmt.Errorf("graph: negative weight %d on (%d,%d)", e.Weight, e.From, e.To)
+		}
+		g.out[e.From] = append(g.out[e.From], halfEdge{to: e.To, w: e.Weight})
+		g.in[e.To] = append(g.in[e.To], halfEdge{to: e.From, w: e.Weight})
+		if e.Weight < g.wmin {
+			g.wmin = e.Weight
+		}
+	}
+	if len(edges) == 0 {
+		g.wmin = 1
+	}
+	return g, nil
+}
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.Edges) }
+
+// WMin returns the minimal edge weight (1 when the graph has no edges).
+func (g *Graph) WMin() int64 { return g.wmin }
+
+// OutDegree returns a node's out-degree.
+func (g *Graph) OutDegree(u int64) int { return len(g.out[u]) }
+
+// OutEdges visits u's outgoing edges.
+func (g *Graph) OutEdges(u int64, fn func(v, w int64)) {
+	for _, e := range g.out[u] {
+		fn(e.to, e.w)
+	}
+}
+
+// InEdges visits u's incoming edges.
+func (g *Graph) InEdges(u int64, fn func(v, w int64)) {
+	for _, e := range g.in[u] {
+		fn(e.to, e.w)
+	}
+}
+
+// WriteCSV streams the graph as "fid,tid,cost" lines preceded by a header
+// comment carrying the node count.
+func (g *Graph) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes=%d edges=%d\n", g.N, len(g.Edges)); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d\n", e.From, e.To, e.Weight); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the WriteCSV format.
+func ReadCSV(r io.Reader) (*Graph, error) {
+	br := bufio.NewScanner(r)
+	br.Buffer(make([]byte, 1<<20), 1<<20)
+	var n int64 = -1
+	var edges []Edge
+	var maxID int64
+	for br.Scan() {
+		line := strings.TrimSpace(br.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if i := strings.Index(line, "nodes="); i >= 0 {
+				rest := line[i+len("nodes="):]
+				if j := strings.IndexAny(rest, " \t"); j >= 0 {
+					rest = rest[:j]
+				}
+				v, err := strconv.ParseInt(rest, 10, 64)
+				if err == nil {
+					n = v
+				}
+			}
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("graph: bad CSV line %q", line)
+		}
+		f, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad fid in %q", line)
+		}
+		t, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad tid in %q", line)
+		}
+		w, err := strconv.ParseInt(strings.TrimSpace(parts[2]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad cost in %q", line)
+		}
+		edges = append(edges, Edge{From: f, To: t, Weight: w})
+		if f > maxID {
+			maxID = f
+		}
+		if t > maxID {
+			maxID = t
+		}
+	}
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = maxID + 1
+	}
+	return New(n, edges)
+}
+
+// SaveFile writes the graph to path in CSV form.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return g.WriteCSV(f)
+}
+
+// LoadFile reads a CSV graph from path.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}

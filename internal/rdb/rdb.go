@@ -1,0 +1,375 @@
+// Package rdb is the embedded database facade: it owns the storage stack
+// (disk manager, buffer pool, catalog) and exposes the statement-at-a-time
+// interface the paper's client uses over JDBC — Exec with SQLCA-style
+// affected-row counts, Query with positional ? parameters, and per-engine
+// feature profiles (DBMS-x supports MERGE, PostgreSQL 9.0 does not).
+package rdb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/record"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/table"
+)
+
+// Profile models the feature set of the emulated DBMS.
+type Profile struct {
+	Name string
+	// SupportsMerge gates the SQL:2008 MERGE statement.
+	SupportsMerge bool
+	// SupportsWindow gates SQL:2003 window functions.
+	SupportsWindow bool
+}
+
+// ProfileDBMSX models the commercial system in the paper: both new SQL
+// features available.
+var ProfileDBMSX = Profile{Name: "DBMS-X", SupportsMerge: true, SupportsWindow: true}
+
+// ProfilePostgreSQL9 models PostgreSQL 9.0: window functions but no MERGE
+// (the paper substitutes an UPDATE followed by an INSERT).
+var ProfilePostgreSQL9 = Profile{Name: "PostgreSQL9", SupportsMerge: false, SupportsWindow: true}
+
+// Options configures an engine instance.
+type Options struct {
+	// Path locates the backing file; empty means an in-memory page store.
+	Path string
+	// BufferPoolPages bounds the cache (default 4096 pages = 32 MiB).
+	BufferPoolPages int
+	// SimulatedIOLatency is charged per physical page transfer to model
+	// spinning-disk cost in buffer-size experiments. Zero for most runs.
+	SimulatedIOLatency time.Duration
+	// Profile selects the emulated DBMS feature set (default DBMS-X).
+	Profile Profile
+}
+
+// Stats aggregates engine activity since Open or the last ResetStats.
+type Stats struct {
+	Statements   uint64
+	ParsePlanDur time.Duration
+	ExecDur      time.Duration
+	Pool         storage.PoolStats
+	IO           storage.IOStats
+}
+
+// DB is one embedded database instance. Statements execute one at a time
+// under an internal mutex, mirroring the paper's single JDBC session.
+type DB struct {
+	mu      sync.Mutex
+	disk    storage.DiskManager
+	pool    *storage.BufferPool
+	cat     *table.Catalog
+	planner *exec.Planner
+	profile Profile
+
+	stmts    uint64
+	parseDur time.Duration
+	execDur  time.Duration
+	baseIO   storage.IOStats
+	closed   bool
+}
+
+// Open creates a fresh database.
+func Open(opts Options) (*DB, error) {
+	if opts.BufferPoolPages == 0 {
+		opts.BufferPoolPages = 4096
+	}
+	if opts.Profile.Name == "" {
+		opts.Profile = ProfileDBMSX
+	}
+	var disk storage.DiskManager
+	var err error
+	if opts.Path == "" {
+		disk = storage.NewMemDiskManager(opts.SimulatedIOLatency)
+	} else {
+		disk, err = storage.NewFileDiskManager(opts.Path, opts.SimulatedIOLatency)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pool := storage.NewBufferPool(disk, opts.BufferPoolPages)
+	cat := table.NewCatalog(pool)
+	return &DB{
+		disk:    disk,
+		pool:    pool,
+		cat:     cat,
+		planner: exec.NewPlanner(cat),
+		profile: opts.Profile,
+	}, nil
+}
+
+// Close flushes and releases the database.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	return db.disk.Close()
+}
+
+// Profile returns the engine's feature profile.
+func (db *DB) Profile() Profile { return db.profile }
+
+// Catalog exposes table metadata (used by tests and the loader).
+func (db *DB) Catalog() *table.Catalog { return db.cat }
+
+// Pool exposes the buffer pool (stats, capacity).
+func (db *DB) Pool() *storage.BufferPool { return db.pool }
+
+// Stats snapshots engine counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return Stats{
+		Statements:   db.stmts,
+		ParsePlanDur: db.parseDur,
+		ExecDur:      db.execDur,
+		Pool:         db.pool.Stats(),
+		IO:           db.disk.Stats(),
+	}
+}
+
+// ResetStats zeroes statement and buffer counters (between bench phases).
+func (db *DB) ResetStats() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.stmts = 0
+	db.parseDur = 0
+	db.execDur = 0
+	db.pool.ResetStats()
+}
+
+// Rows is a fully materialized query result (result sets in the workload
+// are tiny: frontier ids, minima, path links).
+type Rows struct {
+	Columns []string
+	Data    []record.Row
+}
+
+// Len returns the number of rows.
+func (r *Rows) Len() int { return len(r.Data) }
+
+func convertArgs(args []any) ([]record.Value, error) {
+	out := make([]record.Value, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case nil:
+			out[i] = record.Value{Null: true}
+		case int:
+			out[i] = record.Int(int64(v))
+		case int32:
+			out[i] = record.Int(int64(v))
+		case int64:
+			out[i] = record.Int(v)
+		case uint32:
+			out[i] = record.Int(int64(v))
+		case float64:
+			out[i] = record.Float(v)
+		case string:
+			out[i] = record.Text(v)
+		case bool:
+			out[i] = record.Bool(v)
+		case record.Value:
+			out[i] = v
+		default:
+			return nil, fmt.Errorf("rdb: unsupported parameter type %T", a)
+		}
+	}
+	return out, nil
+}
+
+func (db *DB) checkFeatures(st sql.Statement) error {
+	switch s := st.(type) {
+	case *sql.MergeStmt:
+		if !db.profile.SupportsMerge {
+			return fmt.Errorf("rdb: %s does not support MERGE", db.profile.Name)
+		}
+		if s.Source.Sub != nil && !db.profile.SupportsWindow && selectUsesWindow(s.Source.Sub) {
+			return fmt.Errorf("rdb: %s does not support window functions", db.profile.Name)
+		}
+	case *sql.SelectStmt:
+		if !db.profile.SupportsWindow && selectUsesWindow(s) {
+			return fmt.Errorf("rdb: %s does not support window functions", db.profile.Name)
+		}
+	case *sql.InsertStmt:
+		if s.Select != nil && !db.profile.SupportsWindow && selectUsesWindow(s.Select) {
+			return fmt.Errorf("rdb: %s does not support window functions", db.profile.Name)
+		}
+	}
+	return nil
+}
+
+func selectUsesWindow(st *sql.SelectStmt) bool {
+	for _, it := range st.Items {
+		if !it.Star && exprUsesWindow(it.Expr) {
+			return true
+		}
+	}
+	for _, fr := range st.From {
+		if fr.Sub != nil && selectUsesWindow(fr.Sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprUsesWindow(e sql.Expr) bool {
+	switch ex := e.(type) {
+	case *sql.FuncCall:
+		if ex.Window != nil {
+			return true
+		}
+		for _, a := range ex.Args {
+			if exprUsesWindow(a) {
+				return true
+			}
+		}
+	case *sql.Binary:
+		return exprUsesWindow(ex.L) || exprUsesWindow(ex.R)
+	case *sql.Unary:
+		return exprUsesWindow(ex.E)
+	case *sql.Subquery:
+		return selectUsesWindow(ex.Select)
+	case *sql.Exists:
+		return selectUsesWindow(ex.Select)
+	}
+	return false
+}
+
+// Exec parses, plans and runs one statement, returning the SQLCA-style
+// affected-row count.
+func (db *DB) Exec(query string, args ...any) (exec.Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return exec.Result{}, fmt.Errorf("rdb: database is closed")
+	}
+	params, err := convertArgs(args)
+	if err != nil {
+		return exec.Result{}, err
+	}
+	t0 := time.Now()
+	st, nparams, err := sql.ParseStmt(query)
+	if err != nil {
+		return exec.Result{}, fmt.Errorf("rdb: %w\n  in: %s", err, query)
+	}
+	if nparams != len(params) {
+		return exec.Result{}, fmt.Errorf("rdb: statement has %d placeholders, %d arguments bound\n  in: %s",
+			nparams, len(params), query)
+	}
+	if err := db.checkFeatures(st); err != nil {
+		return exec.Result{}, err
+	}
+	db.parseDur += time.Since(t0)
+	db.stmts++
+	ctx := &exec.Ctx{Params: params}
+	t1 := time.Now()
+	defer func() { db.execDur += time.Since(t1) }()
+	switch s := st.(type) {
+	case *sql.CreateTableStmt:
+		return exec.Result{}, db.planner.ExecCreateTable(s)
+	case *sql.CreateIndexStmt:
+		return exec.Result{}, db.planner.ExecCreateIndex(s)
+	case *sql.DropTableStmt:
+		return exec.Result{}, db.planner.ExecDropTable(s)
+	case *sql.TruncateStmt:
+		return db.planner.ExecTruncate(s)
+	case *sql.InsertStmt:
+		res, err := db.planner.ExecInsert(s, ctx)
+		return res, wrapErr(err, query)
+	case *sql.UpdateStmt:
+		res, err := db.planner.ExecUpdate(s, ctx)
+		return res, wrapErr(err, query)
+	case *sql.DeleteStmt:
+		res, err := db.planner.ExecDelete(s, ctx)
+		return res, wrapErr(err, query)
+	case *sql.MergeStmt:
+		res, err := db.planner.ExecMerge(s, ctx)
+		return res, wrapErr(err, query)
+	case *sql.SelectStmt:
+		return exec.Result{}, fmt.Errorf("rdb: use Query for SELECT")
+	}
+	return exec.Result{}, fmt.Errorf("rdb: unsupported statement %T", st)
+}
+
+func wrapErr(err error, query string) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w\n  in: %s", err, query)
+}
+
+// Query parses, plans and runs a SELECT, materializing the result.
+func (db *DB) Query(query string, args ...any) (*Rows, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, fmt.Errorf("rdb: database is closed")
+	}
+	params, err := convertArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	st, nparams, err := sql.ParseStmt(query)
+	if err != nil {
+		return nil, fmt.Errorf("rdb: %w\n  in: %s", err, query)
+	}
+	if nparams != len(params) {
+		return nil, fmt.Errorf("rdb: statement has %d placeholders, %d arguments bound\n  in: %s",
+			nparams, len(params), query)
+	}
+	sel, ok := st.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("rdb: Query requires a SELECT statement")
+	}
+	if err := db.checkFeatures(st); err != nil {
+		return nil, err
+	}
+	plan, layout, err := db.planner.Select(sel)
+	if err != nil {
+		return nil, wrapErr(err, query)
+	}
+	db.parseDur += time.Since(t0)
+	db.stmts++
+	ctx := &exec.Ctx{Params: params}
+	t1 := time.Now()
+	rows, err := exec.RunPlanPublic(plan, ctx)
+	db.execDur += time.Since(t1)
+	if err != nil {
+		return nil, wrapErr(err, query)
+	}
+	cols := make([]string, len(layout.Cols))
+	for i, c := range layout.Cols {
+		cols[i] = c.Name
+	}
+	return &Rows{Columns: cols, Data: rows}, nil
+}
+
+// QueryInt runs a single-value query; null reports a NULL (or empty) result.
+func (db *DB) QueryInt(query string, args ...any) (v int64, null bool, err error) {
+	rows, err := db.Query(query, args...)
+	if err != nil {
+		return 0, false, err
+	}
+	if rows.Len() == 0 {
+		return 0, true, nil
+	}
+	val := rows.Data[0][0]
+	if val.Null {
+		return 0, true, nil
+	}
+	if val.Typ != record.TInt {
+		return 0, false, fmt.Errorf("rdb: expected INT result, got %s", val.Typ)
+	}
+	return val.I, false, nil
+}

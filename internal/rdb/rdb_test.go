@@ -1,0 +1,706 @@
+package rdb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/record"
+)
+
+func openDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func mustExec(t *testing.T, db *DB, q string, args ...any) int64 {
+	t.Helper()
+	res, err := db.Exec(q, args...)
+	if err != nil {
+		t.Fatalf("exec %q: %v", q, err)
+	}
+	return res.RowsAffected
+}
+
+func mustQuery(t *testing.T, db *DB, q string, args ...any) *Rows {
+	t.Helper()
+	rows, err := db.Query(q, args...)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	return rows
+}
+
+// seedPeople creates a small table used by many tests.
+func seedPeople(t *testing.T, db *DB) {
+	t.Helper()
+	mustExec(t, db, "CREATE TABLE people (id INT PRIMARY KEY, age INT, city TEXT, score FLOAT)")
+	mustExec(t, db, `INSERT INTO people (id, age, city, score) VALUES
+		(1, 30, 'berlin', 1.5), (2, 25, 'paris', 2.5), (3, 30, 'berlin', 3.5),
+		(4, 40, 'tokyo', 4.5), (5, 25, 'paris', 0.5)`)
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	rows := mustQuery(t, db, "SELECT id, age FROM people WHERE city = 'berlin' ORDER BY id")
+	if rows.Len() != 2 {
+		t.Fatalf("expected 2 rows, got %d", rows.Len())
+	}
+	if rows.Data[0][0].I != 1 || rows.Data[1][0].I != 3 {
+		t.Fatalf("wrong ids: %v", rows.Data)
+	}
+	if rows.Columns[0] != "id" || rows.Columns[1] != "age" {
+		t.Fatalf("wrong column names: %v", rows.Columns)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	rows := mustQuery(t, db, "SELECT * FROM people WHERE id = 4")
+	if rows.Len() != 1 || len(rows.Data[0]) != 4 {
+		t.Fatalf("unexpected: %v", rows.Data)
+	}
+	if rows.Data[0][2].S != "tokyo" {
+		t.Fatalf("wrong city: %v", rows.Data[0])
+	}
+}
+
+func TestParams(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	rows := mustQuery(t, db, "SELECT id FROM people WHERE age = ? AND city = ?", 25, "paris")
+	if rows.Len() != 2 {
+		t.Fatalf("expected 2 rows, got %d", rows.Len())
+	}
+	if _, err := db.Query("SELECT id FROM people WHERE age = ?"); err == nil {
+		t.Fatal("missing parameter should error")
+	}
+}
+
+func TestOrderByDesc(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	rows := mustQuery(t, db, "SELECT id FROM people ORDER BY age DESC, id ASC")
+	want := []int64{4, 1, 3, 2, 5}
+	for i, w := range want {
+		if rows.Data[i][0].I != w {
+			t.Fatalf("row %d: got %d want %d (%v)", i, rows.Data[i][0].I, w, rows.Data)
+		}
+	}
+}
+
+func TestTopAndLimit(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	rows := mustQuery(t, db, "SELECT TOP 2 id FROM people ORDER BY id")
+	if rows.Len() != 2 || rows.Data[0][0].I != 1 {
+		t.Fatalf("TOP failed: %v", rows.Data)
+	}
+	rows = mustQuery(t, db, "SELECT id FROM people ORDER BY id DESC LIMIT 1")
+	if rows.Len() != 1 || rows.Data[0][0].I != 5 {
+		t.Fatalf("LIMIT failed: %v", rows.Data)
+	}
+	rows = mustQuery(t, db, "SELECT TOP ? id FROM people ORDER BY id", 3)
+	if rows.Len() != 3 {
+		t.Fatalf("parameterized TOP failed: %v", rows.Data)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	rows := mustQuery(t, db, "SELECT DISTINCT city FROM people ORDER BY city")
+	if rows.Len() != 3 {
+		t.Fatalf("expected 3 cities, got %v", rows.Data)
+	}
+}
+
+func TestArithmeticAndComparison(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	rows := mustQuery(t, db, "SELECT id, age * 2 + 1 FROM people WHERE age / 5 = 5")
+	if rows.Len() != 2 {
+		t.Fatalf("expected the two 25-year-olds: %v", rows.Data)
+	}
+	if rows.Data[0][1].I != 51 {
+		t.Fatalf("arithmetic wrong: %v", rows.Data[0])
+	}
+	rows = mustQuery(t, db, "SELECT id FROM people WHERE age <> 30 AND (city = 'paris' OR age >= 40) ORDER BY id")
+	if rows.Len() != 3 {
+		t.Fatalf("boolean logic wrong: %v", rows.Data)
+	}
+}
+
+func TestBetweenAndIn(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	rows := mustQuery(t, db, "SELECT id FROM people WHERE age BETWEEN 26 AND 35 ORDER BY id")
+	if rows.Len() != 2 {
+		t.Fatalf("BETWEEN wrong: %v", rows.Data)
+	}
+	rows = mustQuery(t, db, "SELECT id FROM people WHERE id IN (1, 3, 99) ORDER BY id")
+	if rows.Len() != 2 {
+		t.Fatalf("IN wrong: %v", rows.Data)
+	}
+	rows = mustQuery(t, db, "SELECT id FROM people WHERE id NOT IN (1, 2, 3, 4) ORDER BY id")
+	if rows.Len() != 1 || rows.Data[0][0].I != 5 {
+		t.Fatalf("NOT IN wrong: %v", rows.Data)
+	}
+}
+
+func TestNullHandling(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE nt (id INT PRIMARY KEY, v INT)")
+	mustExec(t, db, "INSERT INTO nt (id, v) VALUES (1, 10), (2, NULL), (3, 30)")
+	rows := mustQuery(t, db, "SELECT id FROM nt WHERE v IS NULL")
+	if rows.Len() != 1 || rows.Data[0][0].I != 2 {
+		t.Fatalf("IS NULL wrong: %v", rows.Data)
+	}
+	rows = mustQuery(t, db, "SELECT id FROM nt WHERE v IS NOT NULL ORDER BY id")
+	if rows.Len() != 2 {
+		t.Fatalf("IS NOT NULL wrong: %v", rows.Data)
+	}
+	// NULL comparisons are UNKNOWN -> excluded.
+	rows = mustQuery(t, db, "SELECT id FROM nt WHERE v > 0")
+	if rows.Len() != 2 {
+		t.Fatalf("NULL comparison should exclude: %v", rows.Data)
+	}
+	// COUNT(v) skips NULLs, COUNT(*) does not.
+	rows = mustQuery(t, db, "SELECT COUNT(v), COUNT(*) FROM nt")
+	if rows.Data[0][0].I != 2 || rows.Data[0][1].I != 3 {
+		t.Fatalf("COUNT null semantics wrong: %v", rows.Data)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	rows := mustQuery(t, db, "SELECT MIN(age), MAX(age), SUM(age), COUNT(*), AVG(age) FROM people")
+	r := rows.Data[0]
+	if r[0].I != 25 || r[1].I != 40 || r[2].I != 150 || r[3].I != 5 {
+		t.Fatalf("aggregates wrong: %v", r)
+	}
+	if r[4].F != 30.0 {
+		t.Fatalf("AVG wrong: %v", r[4])
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	rows := mustQuery(t, db,
+		"SELECT city, COUNT(*), MIN(age) FROM people GROUP BY city ORDER BY city")
+	if rows.Len() != 3 {
+		t.Fatalf("expected 3 groups: %v", rows.Data)
+	}
+	if rows.Data[0][0].S != "berlin" || rows.Data[0][1].I != 2 || rows.Data[0][2].I != 30 {
+		t.Fatalf("berlin group wrong: %v", rows.Data[0])
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	rows := mustQuery(t, db,
+		"SELECT city, COUNT(*) FROM people GROUP BY city HAVING COUNT(*) > 1 ORDER BY city")
+	if rows.Len() != 2 {
+		t.Fatalf("HAVING wrong: %v", rows.Data)
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE e (v INT)")
+	rows := mustQuery(t, db, "SELECT MIN(v), COUNT(*) FROM e")
+	if rows.Len() != 1 {
+		t.Fatalf("global aggregate over empty input must yield one row: %v", rows.Data)
+	}
+	if !rows.Data[0][0].Null {
+		t.Fatalf("MIN of nothing must be NULL: %v", rows.Data[0])
+	}
+	if rows.Data[0][1].I != 0 {
+		t.Fatalf("COUNT of nothing must be 0: %v", rows.Data[0])
+	}
+	// With GROUP BY: no rows at all.
+	rows = mustQuery(t, db, "SELECT v, COUNT(*) FROM e GROUP BY v")
+	if rows.Len() != 0 {
+		t.Fatalf("grouped aggregate over empty input must be empty: %v", rows.Data)
+	}
+}
+
+func TestJoins(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	mustExec(t, db, "CREATE TABLE orders (oid INT PRIMARY KEY, pid INT, amount INT)")
+	mustExec(t, db, "INSERT INTO orders (oid, pid, amount) VALUES (10, 1, 100), (11, 1, 150), (12, 3, 50), (13, 99, 1)")
+	// Comma join with equality (index-nested-loop into people PK).
+	rows := mustQuery(t, db,
+		"SELECT p.id, o.amount FROM orders o, people p WHERE p.id = o.pid ORDER BY o.oid")
+	if rows.Len() != 3 {
+		t.Fatalf("join wrong: %v", rows.Data)
+	}
+	// Explicit JOIN ... ON syntax.
+	rows = mustQuery(t, db,
+		"SELECT p.id, o.amount FROM orders o JOIN people p ON p.id = o.pid ORDER BY o.oid")
+	if rows.Len() != 3 {
+		t.Fatalf("JOIN..ON wrong: %v", rows.Data)
+	}
+	// Aggregation over a join.
+	rows = mustQuery(t, db,
+		"SELECT p.id, SUM(o.amount) FROM orders o, people p WHERE p.id = o.pid GROUP BY p.id ORDER BY p.id")
+	if rows.Len() != 2 || rows.Data[0][1].I != 250 {
+		t.Fatalf("join aggregate wrong: %v", rows.Data)
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE a (x INT PRIMARY KEY)")
+	mustExec(t, db, "CREATE TABLE b (x INT, y INT)")
+	mustExec(t, db, "CREATE TABLE c (y INT PRIMARY KEY, z TEXT)")
+	mustExec(t, db, "INSERT INTO a (x) VALUES (1), (2)")
+	mustExec(t, db, "INSERT INTO b (x, y) VALUES (1, 10), (2, 20), (2, 10)")
+	mustExec(t, db, "INSERT INTO c (y, z) VALUES (10, 'ten'), (20, 'twenty')")
+	rows := mustQuery(t, db,
+		"SELECT a.x, c.z FROM a, b, c WHERE a.x = b.x AND b.y = c.y ORDER BY a.x, c.z")
+	if rows.Len() != 3 {
+		t.Fatalf("3-way join wrong: %v", rows.Data)
+	}
+	if rows.Data[0][1].S != "ten" {
+		t.Fatalf("3-way join content wrong: %v", rows.Data)
+	}
+}
+
+func TestHashJoinWithoutIndex(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE l (k INT, v INT)")
+	mustExec(t, db, "CREATE TABLE r (k INT, w INT)")
+	mustExec(t, db, "INSERT INTO l (k, v) VALUES (1, 10), (2, 20), (3, 30)")
+	mustExec(t, db, "INSERT INTO r (k, w) VALUES (2, 200), (3, 300), (4, 400)")
+	rows := mustQuery(t, db, "SELECT l.v, r.w FROM l, r WHERE l.k = r.k ORDER BY l.v")
+	if rows.Len() != 2 || rows.Data[0][0].I != 20 || rows.Data[0][1].I != 200 {
+		t.Fatalf("hash join wrong: %v", rows.Data)
+	}
+}
+
+func TestScalarSubquery(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	rows := mustQuery(t, db,
+		"SELECT id FROM people WHERE age = (SELECT MIN(age) FROM people) ORDER BY id")
+	if rows.Len() != 2 || rows.Data[0][0].I != 2 {
+		t.Fatalf("scalar subquery wrong: %v", rows.Data)
+	}
+	// Multi-row scalar subquery is an error.
+	if _, err := db.Query("SELECT id FROM people WHERE age = (SELECT age FROM people)"); err == nil {
+		t.Fatal("multi-row scalar subquery should error")
+	}
+}
+
+func TestExistsCorrelated(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	mustExec(t, db, "CREATE TABLE vip (id INT PRIMARY KEY)")
+	mustExec(t, db, "INSERT INTO vip (id) VALUES (1), (4)")
+	rows := mustQuery(t, db,
+		"SELECT p.id FROM people p WHERE EXISTS (SELECT id FROM vip v WHERE v.id = p.id) ORDER BY p.id")
+	if rows.Len() != 2 || rows.Data[1][0].I != 4 {
+		t.Fatalf("EXISTS wrong: %v", rows.Data)
+	}
+	rows = mustQuery(t, db,
+		"SELECT p.id FROM people p WHERE NOT EXISTS (SELECT id FROM vip v WHERE v.id = p.id) ORDER BY p.id")
+	if rows.Len() != 3 || rows.Data[0][0].I != 2 {
+		t.Fatalf("NOT EXISTS wrong: %v", rows.Data)
+	}
+}
+
+func TestWindowRowNumber(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	rows := mustQuery(t, db,
+		"SELECT id, ROW_NUMBER() OVER (PARTITION BY city ORDER BY score DESC) FROM people ORDER BY id")
+	// berlin: id3 (3.5) rn1, id1 (1.5) rn2; paris: id2 rn1, id5 rn2; tokyo id4 rn1.
+	want := map[int64]int64{1: 2, 2: 1, 3: 1, 4: 1, 5: 2}
+	for _, r := range rows.Data {
+		if r[1].I != want[r[0].I] {
+			t.Fatalf("row_number wrong for id %d: got %d want %d", r[0].I, r[1].I, want[r[0].I])
+		}
+	}
+}
+
+func TestWindowInDerivedTable(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	// The paper's E-operator shape: keep only the top-ranked row per group.
+	rows := mustQuery(t, db,
+		`SELECT id, score FROM (
+			SELECT id, score, ROW_NUMBER() OVER (PARTITION BY city ORDER BY score DESC)
+			FROM people
+		) tmp (id, score, rn) WHERE rn = 1 ORDER BY id`)
+	if rows.Len() != 3 {
+		t.Fatalf("expected one winner per city: %v", rows.Data)
+	}
+	if rows.Data[0][0].I != 2 || rows.Data[1][0].I != 3 || rows.Data[2][0].I != 4 {
+		t.Fatalf("winners wrong: %v", rows.Data)
+	}
+}
+
+func TestRankWindow(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE s (id INT PRIMARY KEY, g INT, v INT)")
+	mustExec(t, db, "INSERT INTO s (id, g, v) VALUES (1, 1, 10), (2, 1, 10), (3, 1, 20), (4, 2, 5)")
+	rows := mustQuery(t, db,
+		"SELECT id, RANK() OVER (PARTITION BY g ORDER BY v) FROM s ORDER BY id")
+	want := []int64{1, 1, 3, 1}
+	for i, r := range rows.Data {
+		if r[1].I != want[i] {
+			t.Fatalf("rank wrong at %d: %v", i, rows.Data)
+		}
+	}
+}
+
+func TestUpdateBasic(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	n := mustExec(t, db, "UPDATE people SET age = age + 1 WHERE city = 'paris'")
+	if n != 2 {
+		t.Fatalf("expected 2 affected, got %d", n)
+	}
+	rows := mustQuery(t, db, "SELECT age FROM people WHERE id = 2")
+	if rows.Data[0][0].I != 26 {
+		t.Fatalf("update failed: %v", rows.Data)
+	}
+}
+
+func TestUpdateFrom(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	mustExec(t, db, "CREATE TABLE bumps (id INT PRIMARY KEY, delta INT)")
+	mustExec(t, db, "INSERT INTO bumps (id, delta) VALUES (1, 5), (3, 7), (99, 1)")
+	n := mustExec(t, db,
+		"UPDATE people SET age = people.age + s.delta FROM bumps s WHERE people.id = s.id")
+	if n != 2 {
+		t.Fatalf("expected 2 affected, got %d", n)
+	}
+	rows := mustQuery(t, db, "SELECT age FROM people WHERE id = 3")
+	if rows.Data[0][0].I != 37 {
+		t.Fatalf("update-from failed: %v", rows.Data)
+	}
+}
+
+func TestDeleteAndTruncate(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	n := mustExec(t, db, "DELETE FROM people WHERE age = 25")
+	if n != 2 {
+		t.Fatalf("expected 2 deleted, got %d", n)
+	}
+	rows := mustQuery(t, db, "SELECT COUNT(*) FROM people")
+	if rows.Data[0][0].I != 3 {
+		t.Fatalf("delete failed: %v", rows.Data)
+	}
+	n = mustExec(t, db, "DELETE FROM people")
+	if n != 3 {
+		t.Fatalf("truncating delete should report 3, got %d", n)
+	}
+	n = mustExec(t, db, "TRUNCATE TABLE people")
+	if n != 0 {
+		t.Fatalf("truncate of empty table should report 0, got %d", n)
+	}
+}
+
+func TestInsertSelect(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	mustExec(t, db, "CREATE TABLE elders (id INT PRIMARY KEY, age INT)")
+	n := mustExec(t, db, "INSERT INTO elders (id, age) SELECT id, age FROM people WHERE age >= 30")
+	if n != 3 {
+		t.Fatalf("expected 3 inserted, got %d", n)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE tgt (k INT PRIMARY KEY, v INT)")
+	mustExec(t, db, "CREATE TABLE src (k INT PRIMARY KEY, v INT)")
+	mustExec(t, db, "INSERT INTO tgt (k, v) VALUES (1, 100), (2, 50)")
+	mustExec(t, db, "INSERT INTO src (k, v) VALUES (1, 10), (2, 90), (3, 30)")
+	n := mustExec(t, db, `MERGE INTO tgt AS target USING src AS source ON (target.k = source.k)
+		WHEN MATCHED AND target.v > source.v THEN UPDATE SET v = source.v
+		WHEN NOT MATCHED THEN INSERT (k, v) VALUES (source.k, source.v)`)
+	// k=1: 100>10 update; k=2: 50<90 no branch; k=3: insert. => 2 affected.
+	if n != 2 {
+		t.Fatalf("expected 2 affected, got %d", n)
+	}
+	rows := mustQuery(t, db, "SELECT k, v FROM tgt ORDER BY k")
+	want := [][2]int64{{1, 10}, {2, 50}, {3, 30}}
+	for i, w := range want {
+		if rows.Data[i][0].I != w[0] || rows.Data[i][1].I != w[1] {
+			t.Fatalf("merge result wrong: %v", rows.Data)
+		}
+	}
+}
+
+func TestMergeDeleteBranch(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE tgt (k INT PRIMARY KEY, v INT)")
+	mustExec(t, db, "CREATE TABLE src (k INT PRIMARY KEY)")
+	mustExec(t, db, "INSERT INTO tgt (k, v) VALUES (1, 1), (2, 2)")
+	mustExec(t, db, "INSERT INTO src (k) VALUES (1)")
+	n := mustExec(t, db, `MERGE INTO tgt USING src ON (tgt.k = src.k)
+		WHEN MATCHED THEN DELETE`)
+	if n != 1 {
+		t.Fatalf("expected 1 affected, got %d", n)
+	}
+	rows := mustQuery(t, db, "SELECT COUNT(*) FROM tgt")
+	if rows.Data[0][0].I != 1 {
+		t.Fatalf("merge delete failed: %v", rows.Data)
+	}
+}
+
+func TestMergeDerivedSource(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE tgt (k INT PRIMARY KEY, v INT)")
+	mustExec(t, db, "CREATE TABLE raw (k INT, v INT)")
+	mustExec(t, db, "INSERT INTO raw (k, v) VALUES (1, 5), (1, 3), (2, 7)")
+	n := mustExec(t, db, `MERGE INTO tgt AS target USING (
+			SELECT k, MIN(v) FROM raw GROUP BY k
+		) AS source (k, v) ON (target.k = source.k)
+		WHEN MATCHED AND target.v > source.v THEN UPDATE SET v = source.v
+		WHEN NOT MATCHED THEN INSERT (k, v) VALUES (source.k, source.v)`)
+	if n != 2 {
+		t.Fatalf("expected 2 affected, got %d", n)
+	}
+	rows := mustQuery(t, db, "SELECT v FROM tgt WHERE k = 1")
+	if rows.Data[0][0].I != 3 {
+		t.Fatalf("derived merge wrong: %v", rows.Data)
+	}
+}
+
+func TestUniqueViolation(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE u (k INT PRIMARY KEY)")
+	mustExec(t, db, "INSERT INTO u (k) VALUES (1)")
+	if _, err := db.Exec("INSERT INTO u (k) VALUES (1)"); err == nil {
+		t.Fatal("duplicate PK should error")
+	}
+	mustExec(t, db, "CREATE TABLE u2 (k INT)")
+	mustExec(t, db, "CREATE UNIQUE INDEX u2k ON u2 (k)")
+	mustExec(t, db, "INSERT INTO u2 (k) VALUES (1)")
+	if _, err := db.Exec("INSERT INTO u2 (k) VALUES (1)"); err == nil {
+		t.Fatal("duplicate unique-index key should error")
+	}
+}
+
+func TestProfileGating(t *testing.T) {
+	db := openDB(t, Options{Profile: ProfilePostgreSQL9})
+	mustExec(t, db, "CREATE TABLE t1 (k INT PRIMARY KEY)")
+	mustExec(t, db, "CREATE TABLE t2 (k INT PRIMARY KEY)")
+	_, err := db.Exec("MERGE INTO t1 USING t2 ON (t1.k = t2.k) WHEN NOT MATCHED THEN INSERT (k) VALUES (t2.k)")
+	if err == nil || !strings.Contains(err.Error(), "MERGE") {
+		t.Fatalf("PostgreSQL profile must reject MERGE, got %v", err)
+	}
+	// Window functions are fine on PostgreSQL 9.
+	mustExec(t, db, "INSERT INTO t1 (k) VALUES (1), (2)")
+	rows := mustQuery(t, db, "SELECT k, ROW_NUMBER() OVER (ORDER BY k) FROM t1")
+	if rows.Len() != 2 {
+		t.Fatalf("window on postgres failed: %v", rows.Data)
+	}
+	// A profile without window support rejects them.
+	db2 := openDB(t, Options{Profile: Profile{Name: "old", SupportsMerge: false, SupportsWindow: false}})
+	mustExec(t, db2, "CREATE TABLE t3 (k INT)")
+	if _, err := db2.Query("SELECT ROW_NUMBER() OVER (ORDER BY k) FROM t3"); err == nil {
+		t.Fatal("no-window profile must reject window functions")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE d (k INT)")
+	mustExec(t, db, "DROP TABLE d")
+	if _, err := db.Query("SELECT * FROM d"); err == nil {
+		t.Fatal("query of dropped table should error")
+	}
+	if _, err := db.Exec("DROP TABLE d"); err == nil {
+		t.Fatal("double drop should error")
+	}
+}
+
+func TestQueryInt(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	v, null, err := db.QueryInt("SELECT MIN(age) FROM people WHERE city = ?", "tokyo")
+	if err != nil || null || v != 40 {
+		t.Fatalf("QueryInt: v=%d null=%v err=%v", v, null, err)
+	}
+	_, null, err = db.QueryInt("SELECT MIN(age) FROM people WHERE city = 'nowhere'")
+	if err != nil || !null {
+		t.Fatalf("QueryInt of empty aggregate should be NULL: null=%v err=%v", null, err)
+	}
+	_, null, err = db.QueryInt("SELECT id FROM people WHERE id = 99")
+	if err != nil || !null {
+		t.Fatalf("QueryInt of empty result should be NULL: null=%v err=%v", null, err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE s (k INT PRIMARY KEY)")
+	before := db.Stats().Statements
+	mustExec(t, db, "INSERT INTO s (k) VALUES (1)")
+	mustQuery(t, db, "SELECT k FROM s")
+	after := db.Stats().Statements
+	if after-before != 2 {
+		t.Fatalf("expected 2 statements counted, got %d", after-before)
+	}
+	db.ResetStats()
+	if db.Stats().Statements != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestExecRejectsSelect(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE s (k INT)")
+	if _, err := db.Exec("SELECT k FROM s"); err == nil {
+		t.Fatal("Exec of SELECT should error")
+	}
+	if _, err := db.Query("INSERT INTO s (k) VALUES (1)"); err == nil {
+		t.Fatal("Query of INSERT should error")
+	}
+}
+
+func TestClosedDB(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if _, err := db.Exec("CREATE TABLE x (k INT)"); err == nil {
+		t.Fatal("exec on closed db should error")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("double close should be a no-op: %v", err)
+	}
+}
+
+func TestUnsupportedParamType(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE s (k INT)")
+	if _, err := db.Exec("INSERT INTO s (k) VALUES (?)", struct{}{}); err == nil {
+		t.Fatal("struct parameter should error")
+	}
+	// record.Value passes through.
+	mustExec(t, db, "INSERT INTO s (k) VALUES (?)", record.Int(7))
+	rows := mustQuery(t, db, "SELECT k FROM s")
+	if rows.Data[0][0].I != 7 {
+		t.Fatalf("record.Value param wrong: %v", rows.Data)
+	}
+}
+
+func TestInsertPartialColumns(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE p (a INT PRIMARY KEY, b INT, c TEXT)")
+	mustExec(t, db, "INSERT INTO p (a) VALUES (1)")
+	rows := mustQuery(t, db, "SELECT a, b, c FROM p")
+	if !rows.Data[0][1].Null || !rows.Data[0][2].Null {
+		t.Fatalf("unlisted columns must be NULL: %v", rows.Data)
+	}
+}
+
+func TestFloatColumnCoercion(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE f (v FLOAT)")
+	mustExec(t, db, "INSERT INTO f (v) VALUES (3)") // INT literal into FLOAT
+	rows := mustQuery(t, db, "SELECT v + 0.5 FROM f")
+	if rows.Data[0][0].F != 3.5 {
+		t.Fatalf("coercion wrong: %v", rows.Data)
+	}
+}
+
+func TestSelectWithoutFrom(t *testing.T) {
+	db := openDB(t, Options{})
+	rows := mustQuery(t, db, "SELECT 1 + 2, 'x'")
+	if rows.Len() != 1 || rows.Data[0][0].I != 3 || rows.Data[0][1].S != "x" {
+		t.Fatalf("constant select wrong: %v", rows.Data)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	db := openDB(t, Options{})
+	seedPeople(t, db)
+	rows := mustQuery(t, db,
+		"SELECT c, n FROM (SELECT city, COUNT(*) FROM people GROUP BY city) d (c, n) WHERE n > 1 ORDER BY c")
+	if rows.Len() != 2 || rows.Data[0][0].S != "berlin" {
+		t.Fatalf("derived table wrong: %v", rows.Data)
+	}
+}
+
+func TestSecondaryIndexLookup(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE e (fid INT, tid INT, cost INT)")
+	mustExec(t, db, "CREATE INDEX e_fid ON e (fid)")
+	mustExec(t, db, "INSERT INTO e (fid, tid, cost) VALUES (1, 2, 10), (1, 3, 20), (2, 3, 30)")
+	rows := mustQuery(t, db, "SELECT tid FROM e WHERE fid = 1 ORDER BY tid")
+	if rows.Len() != 2 || rows.Data[1][0].I != 3 {
+		t.Fatalf("secondary lookup wrong: %v", rows.Data)
+	}
+}
+
+func TestClusteredRangeGrouping(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE e (fid INT, tid INT, cost INT)")
+	mustExec(t, db, "CREATE CLUSTERED INDEX e_fid ON e (fid)")
+	for i := 0; i < 50; i++ {
+		mustExec(t, db, "INSERT INTO e (fid, tid, cost) VALUES (?, ?, ?)", i%5, i, i)
+	}
+	rows := mustQuery(t, db, "SELECT COUNT(*) FROM e WHERE fid = 3")
+	if rows.Data[0][0].I != 10 {
+		t.Fatalf("clustered probe wrong: %v", rows.Data)
+	}
+}
+
+func TestFileBackedDB(t *testing.T) {
+	path := t.TempDir() + "/test.db"
+	db, err := Open(Options{Path: path, BufferPoolPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec(t, db, "CREATE TABLE big (k INT PRIMARY KEY, pad TEXT)")
+	pad := strings.Repeat("x", 500)
+	for i := 0; i < 500; i++ {
+		mustExec(t, db, "INSERT INTO big (k, pad) VALUES (?, ?)", i, pad)
+	}
+	rows := mustQuery(t, db, "SELECT COUNT(*) FROM big")
+	if rows.Data[0][0].I != 500 {
+		t.Fatalf("file-backed count wrong: %v", rows.Data)
+	}
+	st := db.Stats()
+	if st.Pool.Misses == 0 {
+		t.Error("a 16-page pool over 500 padded rows must miss")
+	}
+	if st.IO.Writes == 0 {
+		t.Error("evictions must write dirty pages")
+	}
+}
+
+func TestParamCountValidation(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE pc (k INT)")
+	if _, err := db.Exec("INSERT INTO pc (k) VALUES (?)", 1, 2); err == nil {
+		t.Fatal("extra arguments must be rejected")
+	}
+	if _, err := db.Exec("INSERT INTO pc (k) VALUES (?)"); err == nil {
+		t.Fatal("missing arguments must be rejected")
+	}
+	if _, err := db.Query("SELECT k FROM pc WHERE k = ?", 1, 2); err == nil {
+		t.Fatal("Query must reject extra arguments")
+	}
+}

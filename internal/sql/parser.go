@@ -1,0 +1,1115 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/record"
+)
+
+// Parser turns SQL text into an AST.
+type Parser struct {
+	toks   []Token
+	pos    int
+	params int
+	src    string
+}
+
+// Parse parses one statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	st, _, err := ParseStmt(src)
+	return st, err
+}
+
+// ParseStmt parses one statement and also reports the number of ?
+// placeholders it contains, so callers can validate bound arguments.
+func ParseStmt(src string) (Statement, int, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := &Parser{toks: toks, src: src}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, 0, err
+	}
+	p.acceptSymbol(";")
+	if p.peek().Kind != TokEOF {
+		return nil, 0, p.errf("trailing input starting at %q", p.peek().Text)
+	}
+	return st, p.params, nil
+}
+
+// NumParams reports how many ? placeholders the last Parse call saw.
+// (Callers normally use rdb's prepared statement wrapper instead.)
+func (p *Parser) NumParams() int { return p.params }
+
+// ParamCount parses src and returns the number of placeholders.
+func ParamCount(src string) (int, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, t := range toks {
+		if t.Kind == TokParam {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func (p *Parser) peek() Token { return p.toks[p.pos] }
+func (p *Parser) peek2() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return Token{Kind: TokEOF}
+}
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near byte %d)", fmt.Sprintf(format, args...), p.peek().Pos)
+}
+
+func (p *Parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, got %q", kw, p.peek().Text)
+	}
+	return nil
+}
+
+func (p *Parser) isSymbol(s string) bool {
+	t := p.peek()
+	return t.Kind == TokSymbol && t.Text == s
+}
+
+func (p *Parser) acceptSymbol(s string) bool {
+	if p.isSymbol(s) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errf("expected %q, got %q", s, p.peek().Text)
+	}
+	return nil
+}
+
+func (p *Parser) expectIdent() (string, error) {
+	t := p.peek()
+	// KEY is only reserved inside PRIMARY KEY; allow it as an identifier.
+	if t.Kind == TokIdent || (t.Kind == TokKeyword && t.Text == "KEY") {
+		p.next()
+		return t.Text, nil
+	}
+	return "", p.errf("expected identifier, got %q", t.Text)
+}
+
+func (p *Parser) parseStatement() (Statement, error) {
+	switch {
+	case p.isKeyword("SELECT"):
+		return p.parseSelect()
+	case p.isKeyword("INSERT"):
+		return p.parseInsert()
+	case p.isKeyword("UPDATE"):
+		return p.parseUpdate()
+	case p.isKeyword("DELETE"):
+		return p.parseDelete()
+	case p.isKeyword("CREATE"):
+		return p.parseCreate()
+	case p.isKeyword("DROP"):
+		return p.parseDrop()
+	case p.isKeyword("TRUNCATE"):
+		return p.parseTruncate()
+	case p.isKeyword("MERGE"):
+		return p.parseMerge()
+	}
+	return nil, p.errf("expected statement, got %q", p.peek().Text)
+}
+
+// --- SELECT -----------------------------------------------------------------
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	st := &SelectStmt{}
+	if p.acceptKeyword("TOP") {
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		st.Top = e
+	}
+	if p.acceptKeyword("DISTINCT") {
+		st.Distinct = true
+	}
+	for {
+		if p.acceptSymbol("*") {
+			st.Items = append(st.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				a, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			} else if p.peek().Kind == TokIdent {
+				item.Alias = p.next().Text
+			}
+			st.Items = append(st.Items, item)
+		}
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		st.From = append(st.From, tr)
+		for {
+			if p.acceptSymbol(",") {
+				tr, err := p.parseTableRef()
+				if err != nil {
+					return nil, err
+				}
+				st.From = append(st.From, tr)
+				continue
+			}
+			// [INNER] JOIN tr ON cond  folds the condition into WHERE.
+			inner := p.acceptKeyword("INNER")
+			if p.acceptKeyword("JOIN") {
+				tr, err := p.parseTableRef()
+				if err != nil {
+					return nil, err
+				}
+				st.From = append(st.From, tr)
+				if err := p.expectKeyword("ON"); err != nil {
+					return nil, err
+				}
+				cond, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if st.Where == nil {
+					st.Where = cond
+				} else {
+					st.Where = &Binary{Op: "AND", L: st.Where, R: cond}
+				}
+				continue
+			}
+			if inner {
+				return nil, p.errf("INNER must be followed by JOIN")
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if st.Where == nil {
+			st.Where = e
+		} else {
+			st.Where = &Binary{Op: "AND", L: st.Where, R: e}
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if p.acceptKeyword("HAVING") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Having = e
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		items, err := p.parseOrderList()
+		if err != nil {
+			return nil, err
+		}
+		st.OrderBy = items
+	}
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		st.Limit = e
+	}
+	return st, nil
+}
+
+func (p *Parser) parseOrderList() ([]OrderItem, error) {
+	var items []OrderItem
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		it := OrderItem{Expr: e}
+		if p.acceptKeyword("DESC") {
+			it.Desc = true
+		} else {
+			p.acceptKeyword("ASC")
+		}
+		items = append(items, it)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return items, nil
+}
+
+func (p *Parser) parseTableRef() (*TableRef, error) {
+	tr := &TableRef{}
+	if p.isSymbol("(") {
+		// Derived table.
+		p.next()
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		tr.Sub = sub
+	} else {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		tr.Table = name
+	}
+	if p.acceptKeyword("AS") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		tr.Alias = a
+	} else if p.peek().Kind == TokIdent {
+		tr.Alias = p.next().Text
+	}
+	if tr.Sub == nil && tr.Alias == "" && tr.Table == "" {
+		return nil, p.errf("empty table reference")
+	}
+	if tr.Sub != nil && tr.Alias == "" {
+		return nil, p.errf("derived table requires an alias")
+	}
+	// Optional derived-column list: alias (c1, c2, ...).
+	if p.isSymbol("(") && tr.Alias != "" {
+		p.next()
+		for {
+			c, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			tr.SubCols = append(tr.SubCols, c)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// --- INSERT / UPDATE / DELETE ------------------------------------------------
+
+func (p *Parser) parseInsert() (*InsertStmt, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: name}
+	if p.isSymbol("(") {
+		p.next()
+		for {
+			c, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, c)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("VALUES") {
+		for {
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			var row []Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			st.Rows = append(st.Rows, row)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		return st, nil
+	}
+	if p.isKeyword("SELECT") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		st.Select = sel
+		return st, nil
+	}
+	return nil, p.errf("expected VALUES or SELECT in INSERT")
+}
+
+func (p *Parser) parseUpdate() (*UpdateStmt, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: name}
+	if p.acceptKeyword("AS") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st.Alias = a
+	} else if p.peek().Kind == TokIdent && !p.isKeyword("SET") {
+		st.Alias = p.next().Text
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	sets, err := p.parseSetList()
+	if err != nil {
+		return nil, err
+	}
+	st.Sets = sets
+	if p.acceptKeyword("FROM") {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		st.From = tr
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *Parser) parseSetList() ([]SetClause, error) {
+	var sets []SetClause
+	for {
+		c, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, SetClause{Col: c, Val: e})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return sets, nil
+}
+
+func (p *Parser) parseDelete() (*DeleteStmt, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: name}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+// --- DDL ----------------------------------------------------------------------
+
+func (p *Parser) parseCreate() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	unique := p.acceptKeyword("UNIQUE")
+	clustered := p.acceptKeyword("CLUSTERED")
+	if p.acceptKeyword("TABLE") {
+		if unique || clustered {
+			return nil, p.errf("UNIQUE/CLUSTERED not valid on CREATE TABLE")
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		st := &CreateTableStmt{Name: name}
+		for {
+			cn, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			var typ record.Type
+			switch {
+			case p.acceptKeyword("INT"), p.acceptKeyword("INTEGER"):
+				typ = record.TInt
+			case p.acceptKeyword("FLOAT"):
+				typ = record.TFloat
+			case p.acceptKeyword("TEXT"), p.acceptKeyword("VARCHAR"):
+				typ = record.TText
+				// Optional length: VARCHAR(100)
+				if p.acceptSymbol("(") {
+					if p.peek().Kind != TokNumber {
+						return nil, p.errf("expected length in VARCHAR(n)")
+					}
+					p.next()
+					if err := p.expectSymbol(")"); err != nil {
+						return nil, err
+					}
+				}
+			default:
+				return nil, p.errf("expected column type, got %q", p.peek().Text)
+			}
+			cd := ColumnDef{Name: cn, Type: typ}
+			if p.acceptKeyword("PRIMARY") {
+				if err := p.expectKeyword("KEY"); err != nil {
+					return nil, err
+				}
+				cd.PrimaryKey = true
+			}
+			st.Cols = append(st.Cols, cd)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	if p.acceptKeyword("INDEX") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		tbl, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		st := &CreateIndexStmt{Name: name, Table: tbl, Unique: unique, Clustered: clustered}
+		for {
+			c, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, c)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	return nil, p.errf("expected TABLE or INDEX after CREATE")
+}
+
+func (p *Parser) parseDrop() (Statement, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Name: name}, nil
+}
+
+func (p *Parser) parseTruncate() (Statement, error) {
+	if err := p.expectKeyword("TRUNCATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &TruncateStmt{Name: name}, nil
+}
+
+// --- MERGE ---------------------------------------------------------------------
+
+func (p *Parser) parseMerge() (*MergeStmt, error) {
+	if err := p.expectKeyword("MERGE"); err != nil {
+		return nil, err
+	}
+	p.acceptKeyword("INTO")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &MergeStmt{Target: name}
+	if p.acceptKeyword("AS") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st.TargetAlias = a
+	} else if p.peek().Kind == TokIdent {
+		st.TargetAlias = p.next().Text
+	}
+	if err := p.expectKeyword("USING"); err != nil {
+		return nil, err
+	}
+	src, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	st.Source = src
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	on, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	st.On = on
+	for p.isKeyword("WHEN") {
+		p.next()
+		if p.acceptKeyword("MATCHED") {
+			m := &MergeMatched{}
+			if p.acceptKeyword("AND") {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				m.And = e
+			}
+			if err := p.expectKeyword("THEN"); err != nil {
+				return nil, err
+			}
+			if p.acceptKeyword("DELETE") {
+				m.Delete = true
+			} else {
+				if err := p.expectKeyword("UPDATE"); err != nil {
+					return nil, err
+				}
+				if err := p.expectKeyword("SET"); err != nil {
+					return nil, err
+				}
+				sets, err := p.parseSetList()
+				if err != nil {
+					return nil, err
+				}
+				m.Sets = sets
+			}
+			st.Matched = append(st.Matched, m)
+			continue
+		}
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("MATCHED"); err != nil {
+			return nil, err
+		}
+		// Optional "BY TARGET".
+		if p.acceptKeyword("BY") {
+			word, err := p.expectIdent()
+			if err != nil || !strings.EqualFold(word, "target") {
+				return nil, p.errf("expected TARGET after BY")
+			}
+		}
+		ins := &MergeInsert{}
+		if p.acceptKeyword("AND") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ins.And = e
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("INSERT"); err != nil {
+			return nil, err
+		}
+		if p.isSymbol("(") {
+			p.next()
+			for {
+				c, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				ins.Cols = append(ins.Cols, c)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectKeyword("VALUES"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ins.Vals = append(ins.Vals, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		if st.NotMatched != nil {
+			return nil, p.errf("multiple WHEN NOT MATCHED branches")
+		}
+		st.NotMatched = ins
+	}
+	if len(st.Matched) == 0 && st.NotMatched == nil {
+		return nil, p.errf("MERGE requires at least one WHEN branch")
+	}
+	return st, nil
+}
+
+// --- expressions -----------------------------------------------------------------
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.isKeyword("NOT") && !(p.peek2().Kind == TokKeyword && p.peek2().Text == "EXISTS") {
+		p.next()
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *Parser) parsePredicate() (Expr, error) {
+	if p.isKeyword("NOT") && p.peek2().Kind == TokKeyword && p.peek2().Text == "EXISTS" {
+		p.next()
+		return p.parseExists(true)
+	}
+	if p.isKeyword("EXISTS") {
+		return p.parseExists(false)
+	}
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind == TokSymbol {
+		switch t.Text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: t.Text, L: l, R: r}, nil
+		}
+	}
+	if p.isKeyword("IS") {
+		p.next()
+		not := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{Not: not, E: l}, nil
+	}
+	notIn := false
+	if p.isKeyword("NOT") && p.peek2().Kind == TokKeyword && p.peek2().Text == "IN" {
+		p.next()
+		notIn = true
+	}
+	if p.acceptKeyword("IN") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		in := &InList{Not: notIn, E: l}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			in.Items = append(in.Items, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: "AND",
+			L: &Binary{Op: ">=", L: l, R: lo},
+			R: &Binary{Op: "<=", L: l, R: hi}}, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) parseExists(not bool) (Expr, error) {
+	if err := p.expectKeyword("EXISTS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &Exists{Not: not, Select: sel}, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokSymbol && (t.Text == "+" || t.Text == "-") {
+			p.next()
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokSymbol && (t.Text == "*" || t.Text == "/") {
+			p.next()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.isSymbol("-") {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad float %q", t.Text)
+			}
+			return &Literal{Val: record.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.Text)
+		}
+		return &Literal{Val: record.Int(i)}, nil
+	case TokString:
+		p.next()
+		return &Literal{Val: record.Text(t.Text)}, nil
+	case TokParam:
+		p.next()
+		e := &Param{Index: p.params}
+		p.params++
+		return e, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.next()
+			return &Literal{Val: record.Value{Null: true}}, nil
+		case "EXISTS":
+			return p.parseExists(false)
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.Text)
+	case TokSymbol:
+		if t.Text == "(" {
+			p.next()
+			if p.isKeyword("SELECT") {
+				sel, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &Subquery{Select: sel}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.Text == "*" {
+			// COUNT(*) is handled in parseFuncArgs; a bare * is invalid here.
+			return nil, p.errf("unexpected *")
+		}
+		return nil, p.errf("unexpected symbol %q", t.Text)
+	case TokIdent:
+		name := p.next().Text
+		if p.isSymbol("(") {
+			return p.parseFuncCall(name)
+		}
+		if p.acceptSymbol(".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: name, Name: col}, nil
+		}
+		return &ColumnRef{Name: name}, nil
+	}
+	return nil, p.errf("unexpected token %q", t.Text)
+}
+
+func (p *Parser) parseFuncCall(name string) (Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	fc := &FuncCall{Name: strings.ToUpper(name)}
+	if p.acceptSymbol("*") {
+		fc.Star = true
+	} else if !p.isSymbol(")") {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("OVER") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		w := &WindowSpec{}
+		if p.acceptKeyword("PARTITION") {
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				w.PartitionBy = append(w.PartitionBy, e)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+		}
+		if p.acceptKeyword("ORDER") {
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			items, err := p.parseOrderList()
+			if err != nil {
+				return nil, err
+			}
+			w.OrderBy = items
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		fc.Window = w
+	}
+	return fc, nil
+}

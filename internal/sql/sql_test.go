@@ -1,0 +1,442 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/record"
+)
+
+// --- lexer -------------------------------------------------------------------
+
+func TestTokenize(t *testing.T) {
+	toks, err := Tokenize("SELECT nid, d2s FROM TVisited WHERE f = 0 AND d2s >= 1.5 -- comment\n;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{TokKeyword, TokIdent, TokSymbol, TokIdent, TokKeyword,
+		TokIdent, TokKeyword, TokIdent, TokSymbol, TokNumber, TokKeyword,
+		TokIdent, TokSymbol, TokNumber, TokSymbol, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count %d want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d: kind %v want %v (%v)", i, toks[i].Kind, k, toks[i])
+		}
+	}
+}
+
+func TestTokenizeStrings(t *testing.T) {
+	toks, err := Tokenize("'it''s ok'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "it's ok" {
+		t.Fatalf("escaped string: %v", toks[0])
+	}
+	if _, err := Tokenize("'unterminated"); err == nil {
+		t.Fatal("unterminated string must fail")
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize("<= >= <> != = < > + - * / ( ) , . ? ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<=", ">=", "<>", "<>", "=", "<", ">", "+", "-", "*", "/", "(", ")", ",", ".", "?", ";"}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Fatalf("operator %d: %q want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestTokenizeBadChar(t *testing.T) {
+	if _, err := Tokenize("SELECT @x"); err == nil {
+		t.Fatal("bad character must fail")
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	toks, _ := Tokenize("select SeLeCt SELECT")
+	for _, tok := range toks[:3] {
+		if tok.Kind != TokKeyword || tok.Text != "SELECT" {
+			t.Fatalf("keyword folding: %v", tok)
+		}
+	}
+}
+
+// --- parser ------------------------------------------------------------------
+
+func parseSelect(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	st, err := Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		t.Fatalf("expected SelectStmt, got %T", st)
+	}
+	return sel
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := parseSelect(t, "SELECT a, b AS bee, t.c FROM t WHERE a = 1 ORDER BY a DESC LIMIT 5")
+	if len(sel.Items) != 3 || sel.Items[1].Alias != "bee" {
+		t.Fatalf("items: %+v", sel.Items)
+	}
+	cr := sel.Items[2].Expr.(*ColumnRef)
+	if cr.Table != "t" || cr.Name != "c" {
+		t.Fatalf("qualified ref: %+v", cr)
+	}
+	if len(sel.From) != 1 || sel.From[0].Table != "t" {
+		t.Fatalf("from: %+v", sel.From)
+	}
+	if sel.OrderBy[0].Desc != true || sel.Limit == nil {
+		t.Fatalf("orderby/limit: %+v", sel)
+	}
+}
+
+func TestParseTop(t *testing.T) {
+	sel := parseSelect(t, "SELECT TOP 1 nid FROM TVisited")
+	lit, ok := sel.Top.(*Literal)
+	if !ok || lit.Val.I != 1 {
+		t.Fatalf("top: %+v", sel.Top)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := parseSelect(t, "SELECT 1 + 2 * 3")
+	b := sel.Items[0].Expr.(*Binary)
+	if b.Op != "+" {
+		t.Fatalf("outer op: %s", b.Op)
+	}
+	if inner, ok := b.R.(*Binary); !ok || inner.Op != "*" {
+		t.Fatalf("precedence broken: %+v", b.R)
+	}
+	// AND binds tighter than OR.
+	sel = parseSelect(t, "SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+	w := sel.Where.(*Binary)
+	if w.Op != "OR" {
+		t.Fatalf("where root: %s", w.Op)
+	}
+	if r, ok := w.R.(*Binary); !ok || r.Op != "AND" {
+		t.Fatalf("AND/OR precedence: %+v", w.R)
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	sel := parseSelect(t, "SELECT a FROM t WHERE a = ? AND b = ?")
+	conj := sel.Where.(*Binary)
+	p1 := conj.L.(*Binary).R.(*Param)
+	p2 := conj.R.(*Binary).R.(*Param)
+	if p1.Index != 0 || p2.Index != 1 {
+		t.Fatalf("param numbering: %d %d", p1.Index, p2.Index)
+	}
+	n, err := ParamCount("SELECT ? , ?, ?")
+	if err != nil || n != 3 {
+		t.Fatalf("param count: %d %v", n, err)
+	}
+}
+
+func TestParseCommaJoin(t *testing.T) {
+	sel := parseSelect(t, "SELECT q.nid FROM TVisited q, TEdges out WHERE q.nid = out.fid")
+	if len(sel.From) != 2 || sel.From[0].Alias != "q" || sel.From[1].Alias != "out" {
+		t.Fatalf("from: %+v", sel.From)
+	}
+}
+
+func TestParseJoinOn(t *testing.T) {
+	sel := parseSelect(t, "SELECT a.x FROM a JOIN b ON a.x = b.y INNER JOIN c ON b.y = c.z WHERE a.x > 0")
+	if len(sel.From) != 3 {
+		t.Fatalf("from: %+v", sel.From)
+	}
+	// Three conjuncts folded into WHERE.
+	conj := 0
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if b, ok := e.(*Binary); ok && b.Op == "AND" {
+			walk(b.L)
+			walk(b.R)
+			return
+		}
+		conj++
+	}
+	walk(sel.Where)
+	if conj != 3 {
+		t.Fatalf("folded conjuncts: %d", conj)
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	sel := parseSelect(t, "SELECT nid FROM (SELECT nid, d2s FROM TVisited) tmp (nid, d2s) WHERE d2s = 1")
+	if sel.From[0].Sub == nil || sel.From[0].Alias != "tmp" {
+		t.Fatalf("derived: %+v", sel.From[0])
+	}
+	if len(sel.From[0].SubCols) != 2 || sel.From[0].SubCols[1] != "d2s" {
+		t.Fatalf("subcols: %+v", sel.From[0].SubCols)
+	}
+	if _, err := Parse("SELECT x FROM (SELECT 1)"); err == nil {
+		t.Fatal("derived table without alias must fail")
+	}
+}
+
+func TestParseGroupByHaving(t *testing.T) {
+	sel := parseSelect(t, "SELECT city, COUNT(*) FROM p GROUP BY city HAVING COUNT(*) > 1")
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Fatalf("group/having: %+v", sel)
+	}
+	fc := sel.Items[1].Expr.(*FuncCall)
+	if fc.Name != "COUNT" || !fc.Star {
+		t.Fatalf("count(*): %+v", fc)
+	}
+}
+
+func TestParseWindow(t *testing.T) {
+	sel := parseSelect(t, `SELECT out.tid, ROW_NUMBER() OVER (PARTITION BY out.tid, q.src ORDER BY out.cost + q.d2s DESC) FROM TEdges out`)
+	fc := sel.Items[1].Expr.(*FuncCall)
+	if fc.Window == nil || len(fc.Window.PartitionBy) != 2 || len(fc.Window.OrderBy) != 1 {
+		t.Fatalf("window: %+v", fc.Window)
+	}
+	if !fc.Window.OrderBy[0].Desc {
+		t.Fatal("window order desc")
+	}
+}
+
+func TestParseSubqueryAndExists(t *testing.T) {
+	sel := parseSelect(t, "SELECT nid FROM v WHERE d2s = (SELECT MIN(d2s) FROM v WHERE f = 0)")
+	cmp := sel.Where.(*Binary)
+	if _, ok := cmp.R.(*Subquery); !ok {
+		t.Fatalf("scalar subquery: %T", cmp.R)
+	}
+	sel = parseSelect(t, "SELECT nid FROM v WHERE NOT EXISTS (SELECT nid FROM w WHERE w.nid = v.nid)")
+	ex := sel.Where.(*Exists)
+	if !ex.Not {
+		t.Fatal("NOT EXISTS flag")
+	}
+	sel = parseSelect(t, "SELECT nid FROM v WHERE EXISTS (SELECT 1 FROM w)")
+	ex = sel.Where.(*Exists)
+	if ex.Not {
+		t.Fatal("EXISTS flag")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st, err := Parse("INSERT INTO t (a, b) VALUES (1, 'x'), (?, NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*InsertStmt)
+	if len(ins.Rows) != 2 || len(ins.Cols) != 2 {
+		t.Fatalf("insert: %+v", ins)
+	}
+	if lit := ins.Rows[0][1].(*Literal); lit.Val.S != "x" {
+		t.Fatalf("string literal: %+v", lit)
+	}
+	if lit := ins.Rows[1][1].(*Literal); !lit.Val.Null {
+		t.Fatalf("null literal: %+v", lit)
+	}
+	st, err = Parse("INSERT INTO t (a) SELECT x FROM s WHERE x > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*InsertStmt).Select == nil {
+		t.Fatal("insert-select")
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	st, err := Parse("UPDATE TVisited SET f = 1, d2s = d2s + 1 WHERE nid = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := st.(*UpdateStmt)
+	if len(up.Sets) != 2 || up.Where == nil || up.From != nil {
+		t.Fatalf("update: %+v", up)
+	}
+	st, err = Parse("UPDATE v SET d2s = s.cost FROM TExpand s WHERE v.nid = s.nid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up = st.(*UpdateStmt)
+	if up.From == nil || up.From.Alias != "s" {
+		t.Fatalf("update-from: %+v", up)
+	}
+}
+
+func TestParseDeleteTruncateDrop(t *testing.T) {
+	st, err := Parse("DELETE FROM t WHERE a = 1")
+	if err != nil || st.(*DeleteStmt).Where == nil {
+		t.Fatalf("delete: %v %v", st, err)
+	}
+	st, err = Parse("TRUNCATE TABLE t")
+	if err != nil || st.(*TruncateStmt).Name != "t" {
+		t.Fatalf("truncate: %v %v", st, err)
+	}
+	st, err = Parse("DROP TABLE t")
+	if err != nil || st.(*DropTableStmt).Name != "t" {
+		t.Fatalf("drop: %v %v", st, err)
+	}
+}
+
+func TestParseCreate(t *testing.T) {
+	st, err := Parse("CREATE TABLE v (nid INT PRIMARY KEY, d2s INT, note VARCHAR(100), w FLOAT)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTableStmt)
+	if len(ct.Cols) != 4 || !ct.Cols[0].PrimaryKey || ct.Cols[2].Type != record.TText || ct.Cols[3].Type != record.TFloat {
+		t.Fatalf("create table: %+v", ct)
+	}
+	st, err = Parse("CREATE UNIQUE CLUSTERED INDEX ix ON t (a, b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := st.(*CreateIndexStmt)
+	if !ci.Unique || !ci.Clustered || len(ci.Cols) != 2 {
+		t.Fatalf("create index: %+v", ci)
+	}
+}
+
+func TestParseMerge(t *testing.T) {
+	st, err := Parse(`MERGE INTO TVisited AS target USING (
+		SELECT nid, par, cost FROM (
+			SELECT out.tid, q.nid, out.cost + q.d2s,
+				ROW_NUMBER() OVER (PARTITION BY out.tid ORDER BY out.cost + q.d2s)
+			FROM TVisited q, TEdges out
+			WHERE q.nid = out.fid AND q.f = 2 AND out.cost + q.d2s + ? < ?
+		) tmp (nid, par, cost, rn) WHERE rn = 1
+	) AS source (nid, par, cost) ON (target.nid = source.nid)
+	WHEN MATCHED AND target.d2s > source.cost THEN UPDATE SET d2s = source.cost, p2s = source.par, f = 0
+	WHEN NOT MATCHED BY TARGET THEN INSERT (nid, d2s, p2s, f) VALUES (source.nid, source.cost, source.par, 0)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := st.(*MergeStmt)
+	if m.Target != "TVisited" || m.TargetAlias != "target" {
+		t.Fatalf("merge target: %+v", m)
+	}
+	if m.Source.Sub == nil || len(m.Source.SubCols) != 3 {
+		t.Fatalf("merge source: %+v", m.Source)
+	}
+	if len(m.Matched) != 1 || m.Matched[0].And == nil || len(m.Matched[0].Sets) != 3 {
+		t.Fatalf("matched branch: %+v", m.Matched)
+	}
+	if m.NotMatched == nil || len(m.NotMatched.Cols) != 4 {
+		t.Fatalf("not-matched branch: %+v", m.NotMatched)
+	}
+}
+
+func TestParseMergeDelete(t *testing.T) {
+	st, err := Parse("MERGE INTO a USING b ON (a.k = b.k) WHEN MATCHED THEN DELETE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := st.(*MergeStmt)
+	if !m.Matched[0].Delete {
+		t.Fatal("delete branch")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC x",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"INSERT INTO",
+		"INSERT INTO t VALUES",
+		"UPDATE t",
+		"UPDATE t SET",
+		"DELETE t",
+		"CREATE TABLE t",
+		"CREATE TABLE t (a BOGUS)",
+		"MERGE INTO t USING s ON (t.k = s.k)",
+		"SELECT a FROM t trailing garbage (",
+		"SELECT (SELECT 1",
+		"SELECT a FROM t GROUP BY",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseTrailingSemicolonAndGarbage(t *testing.T) {
+	if _, err := Parse("SELECT 1;"); err != nil {
+		t.Fatalf("trailing semicolon: %v", err)
+	}
+	if _, err := Parse("SELECT 1; SELECT 2"); err == nil {
+		t.Fatal("two statements must fail")
+	}
+}
+
+func TestParseNotAndUnary(t *testing.T) {
+	sel := parseSelect(t, "SELECT -a FROM t WHERE NOT f = 1")
+	if u, ok := sel.Items[0].Expr.(*Unary); !ok || u.Op != "-" {
+		t.Fatalf("unary minus: %+v", sel.Items[0].Expr)
+	}
+	if u, ok := sel.Where.(*Unary); !ok || u.Op != "NOT" {
+		t.Fatalf("NOT: %+v", sel.Where)
+	}
+}
+
+func TestParseIsNullBetweenIn(t *testing.T) {
+	sel := parseSelect(t, "SELECT a FROM t WHERE a IS NOT NULL AND b BETWEEN 1 AND 5 AND c IN (1, ?, 3)")
+	conj := sel.Where.(*Binary)
+	inner := conj.L.(*Binary)
+	if isn, ok := inner.L.(*IsNull); !ok || !isn.Not {
+		t.Fatalf("IS NOT NULL: %+v", inner.L)
+	}
+	if in, ok := conj.R.(*InList); !ok || len(in.Items) != 3 {
+		t.Fatalf("IN: %+v", conj.R)
+	}
+}
+
+func TestPaperListing2Statements(t *testing.T) {
+	// Every statement shape from the paper's Listing 2/3/4 must parse.
+	statements := []string{
+		"INSERT INTO TVisited (nid, d2s, p2s, f) VALUES (?, 0, ?, 0)",
+		"SELECT TOP 1 nid FROM TVisited WHERE f = 0 AND d2s = (SELECT MIN(d2s) FROM TVisited WHERE f = 0)",
+		"SELECT * FROM TVisited WHERE f = 1 AND nid = ?",
+		"UPDATE TVisited SET f = 1 WHERE nid = ?",
+		"SELECT p2s FROM TVisited WHERE nid = ?",
+		"UPDATE TVisited SET f = 2 WHERE (d2s <= ? OR d2s = (SELECT MIN(d2s) FROM TVisited WHERE f = 0)) AND f = 0",
+		"UPDATE TVisited SET f = 1 WHERE f = 2",
+		"SELECT MIN(d2s) FROM TVisited WHERE f = 0",
+		"SELECT MIN(d2s + d2t) FROM TVisited",
+		"SELECT nid FROM TVisited WHERE d2s + d2t = ?",
+	}
+	for _, q := range statements {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("paper statement failed to parse: %v\n  %s", err, q)
+		}
+	}
+}
+
+func TestParamIndexingAcrossClauses(t *testing.T) {
+	st, err := Parse("SELECT TOP ? a FROM t WHERE b = ? AND c IN (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*SelectStmt)
+	if sel.Top.(*Param).Index != 0 {
+		t.Fatal("TOP param should be first")
+	}
+}
+
+func TestErrorMessagesCarryPosition(t *testing.T) {
+	_, err := Parse("SELECT a FROM t WHERE !")
+	if err == nil || !strings.Contains(err.Error(), "at 22") {
+		t.Fatalf("lexer error should carry a byte position: %v", err)
+	}
+	_, err = Parse("SELECT a FROM WHERE")
+	if err == nil || !strings.Contains(err.Error(), "byte") {
+		t.Fatalf("parser error should carry a byte position: %v", err)
+	}
+}

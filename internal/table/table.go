@@ -1,0 +1,513 @@
+// Package table layers schemas, index maintenance and uniqueness
+// enforcement over the heapfile and btree packages. A table is stored
+// either as a heap file (optionally with secondary B+tree indexes) or as a
+// clustered B+tree whose leaves hold the tuples themselves — the three
+// physical designs compared by the paper's Fig 8(c) experiment
+// (NoIndex / Index / CluIndex).
+package table
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/heapfile"
+	"repro/internal/record"
+	"repro/internal/storage"
+)
+
+// ErrUniqueViolation is returned when an insert or update would duplicate a
+// unique key.
+var ErrUniqueViolation = errors.New("table: unique constraint violation")
+
+// Loc addresses one row inside a table: a heap RID for heap tables, or the
+// clustered B+tree key for clustered tables.
+type Loc struct {
+	RID heapfile.RID
+	Key []byte // non-nil iff the table is clustered
+}
+
+func ridBytes(r heapfile.RID) []byte {
+	var b [6]byte
+	binary.LittleEndian.PutUint32(b[:4], uint32(r.Page))
+	binary.LittleEndian.PutUint16(b[4:], r.Slot)
+	return b[:]
+}
+
+func ridFromBytes(b []byte) heapfile.RID {
+	return heapfile.RID{
+		Page: storage.PageID(binary.LittleEndian.Uint32(b[:4])),
+		Slot: binary.LittleEndian.Uint16(b[4:6]),
+	}
+}
+
+func (l Loc) bytes() []byte {
+	if l.Key != nil {
+		return l.Key
+	}
+	return ridBytes(l.RID)
+}
+
+// Index is a secondary B+tree index over a subset of columns.
+//
+// Unique secondary index entry:     key = EncodeKey(cols...)            val = loc
+// Non-unique secondary index entry: key = EncodeKey(cols...) ++ loc     val = loc
+//
+// loc is the heap RID or the clustered key of the indexed table, so lookups
+// can fetch rows without an extra indirection table.
+type Index struct {
+	Name   string
+	Cols   []int // ordinals into the table schema
+	Unique bool
+	tree   *btree.BTree
+}
+
+// Tree exposes the underlying B+tree (diagnostics/tests).
+func (ix *Index) Tree() *btree.BTree { return ix.tree }
+
+// Table is one relational table.
+type Table struct {
+	Name       string
+	Schema     *record.Schema
+	pool       *storage.BufferPool
+	heap       *heapfile.HeapFile // nil iff clustered
+	clustered  *Index             // nil iff heap
+	Secondary  []*Index
+	uniquifier int64 // suffix for non-unique clustered keys
+	rows       int
+}
+
+// Options configures table creation.
+type Options struct {
+	// ClusterOn lists column ordinals for a clustered index; empty = heap.
+	ClusterOn []int
+	// ClusterUnique marks the clustered key as unique.
+	ClusterUnique bool
+}
+
+// New creates an empty table.
+func New(pool *storage.BufferPool, name string, schema *record.Schema, opts Options) (*Table, error) {
+	t := &Table{Name: name, Schema: schema, pool: pool}
+	if len(opts.ClusterOn) > 0 {
+		tr, err := btree.New(pool)
+		if err != nil {
+			return nil, err
+		}
+		t.clustered = &Index{Name: name + "_clu", Cols: append([]int(nil), opts.ClusterOn...), Unique: opts.ClusterUnique, tree: tr}
+	} else {
+		h, err := heapfile.New(pool)
+		if err != nil {
+			return nil, err
+		}
+		t.heap = h
+	}
+	return t, nil
+}
+
+// Clustered returns the clustered index, or nil for heap tables.
+func (t *Table) Clustered() *Index { return t.clustered }
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int { return t.rows }
+
+// keyFor builds the clustered tree key for a row (appending a uniquifier
+// when the clustered key is non-unique).
+func (t *Table) keyFor(row record.Row) []byte {
+	vals := make([]record.Value, 0, len(t.clustered.Cols)+1)
+	for _, c := range t.clustered.Cols {
+		vals = append(vals, row[c])
+	}
+	if !t.clustered.Unique {
+		t.uniquifier++
+		vals = append(vals, record.Int(t.uniquifier))
+	}
+	return record.EncodeKey(nil, vals...)
+}
+
+// indexKey builds the secondary-index key for row at loc.
+func indexKey(ix *Index, row record.Row, loc Loc) []byte {
+	vals := make([]record.Value, 0, len(ix.Cols))
+	for _, c := range ix.Cols {
+		vals = append(vals, row[c])
+	}
+	k := record.EncodeKey(nil, vals...)
+	if !ix.Unique {
+		k = append(k, loc.bytes()...)
+	}
+	return k
+}
+
+// Insert validates and stores a row, maintaining all indexes.
+func (t *Table) Insert(row record.Row) (Loc, error) {
+	if err := t.Schema.Validate(row); err != nil {
+		return Loc{}, err
+	}
+	t.Schema.Coerce(row)
+	data, err := record.EncodeTuple(nil, t.Schema, row)
+	if err != nil {
+		return Loc{}, err
+	}
+	var loc Loc
+	if t.clustered != nil {
+		key := t.keyFor(row)
+		if t.clustered.Unique {
+			if err := t.clustered.tree.Insert(key, data); err != nil {
+				if errors.Is(err, btree.ErrDuplicateKey) {
+					return Loc{}, fmt.Errorf("%w: %s clustered key", ErrUniqueViolation, t.Name)
+				}
+				return Loc{}, err
+			}
+		} else {
+			if err := t.clustered.tree.Insert(key, data); err != nil {
+				return Loc{}, err
+			}
+		}
+		loc = Loc{Key: key}
+	} else {
+		// Check unique secondary indexes before touching storage.
+		for _, ix := range t.Secondary {
+			if !ix.Unique {
+				continue
+			}
+			probe := indexKey(ix, row, Loc{})
+			if _, found, err := ix.tree.Get(probe); err != nil {
+				return Loc{}, err
+			} else if found {
+				return Loc{}, fmt.Errorf("%w: index %s", ErrUniqueViolation, ix.Name)
+			}
+		}
+		rid, err := t.heap.Insert(data)
+		if err != nil {
+			return Loc{}, err
+		}
+		loc = Loc{RID: rid}
+	}
+	for _, ix := range t.Secondary {
+		k := indexKey(ix, row, loc)
+		var err error
+		if ix.Unique {
+			err = ix.tree.Insert(k, loc.bytes())
+			if errors.Is(err, btree.ErrDuplicateKey) {
+				// Roll back the storage write to keep the table consistent.
+				t.removeStorage(loc)
+				return Loc{}, fmt.Errorf("%w: index %s", ErrUniqueViolation, ix.Name)
+			}
+		} else {
+			err = ix.tree.Insert(k, loc.bytes())
+		}
+		if err != nil {
+			return Loc{}, err
+		}
+	}
+	t.rows++
+	return loc, nil
+}
+
+func (t *Table) removeStorage(loc Loc) {
+	if t.clustered != nil {
+		_, _ = t.clustered.tree.Delete(loc.Key)
+	} else {
+		_ = t.heap.Delete(loc.RID)
+	}
+}
+
+// Delete removes the row at loc; row must be its current content (needed to
+// locate index entries).
+func (t *Table) Delete(loc Loc, row record.Row) error {
+	for _, ix := range t.Secondary {
+		k := indexKey(ix, row, loc)
+		if _, err := ix.tree.Delete(k); err != nil {
+			return err
+		}
+	}
+	if t.clustered != nil {
+		ok, err := t.clustered.tree.Delete(loc.Key)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("table: delete of missing clustered key in %s", t.Name)
+		}
+	} else {
+		if err := t.heap.Delete(loc.RID); err != nil {
+			return err
+		}
+	}
+	t.rows--
+	return nil
+}
+
+// Update replaces the row at loc with newRow, returning the row's new
+// location. Clustered-key changes or heap relocations are handled by
+// delete+insert of the affected index entries.
+func (t *Table) Update(loc Loc, oldRow, newRow record.Row) (Loc, error) {
+	if err := t.Schema.Validate(newRow); err != nil {
+		return Loc{}, err
+	}
+	t.Schema.Coerce(newRow)
+	if t.clustered != nil {
+		keyChanged := false
+		for _, c := range t.clustered.Cols {
+			if record.Compare(oldRow[c], newRow[c]) != 0 {
+				keyChanged = true
+				break
+			}
+		}
+		if keyChanged {
+			if err := t.Delete(loc, oldRow); err != nil {
+				return Loc{}, err
+			}
+			return t.Insert(newRow)
+		}
+		data, err := record.EncodeTuple(nil, t.Schema, newRow)
+		if err != nil {
+			return Loc{}, err
+		}
+		if err := t.clustered.tree.Put(loc.Key, data); err != nil {
+			return Loc{}, err
+		}
+		if err := t.fixSecondaries(loc, loc, oldRow, newRow); err != nil {
+			return Loc{}, err
+		}
+		return loc, nil
+	}
+	data, err := record.EncodeTuple(nil, t.Schema, newRow)
+	if err != nil {
+		return Loc{}, err
+	}
+	newRID, err := t.heap.Update(loc.RID, data)
+	if err != nil {
+		return Loc{}, err
+	}
+	newLoc := Loc{RID: newRID}
+	if err := t.fixSecondaries(loc, newLoc, oldRow, newRow); err != nil {
+		return Loc{}, err
+	}
+	return newLoc, nil
+}
+
+func (t *Table) fixSecondaries(oldLoc, newLoc Loc, oldRow, newRow record.Row) error {
+	for _, ix := range t.Secondary {
+		oldK := indexKey(ix, oldRow, oldLoc)
+		newK := indexKey(ix, newRow, newLoc)
+		if string(oldK) == string(newK) {
+			continue
+		}
+		if _, err := ix.tree.Delete(oldK); err != nil {
+			return err
+		}
+		if err := ix.tree.Insert(newK, newLoc.bytes()); err != nil {
+			if errors.Is(err, btree.ErrDuplicateKey) {
+				return fmt.Errorf("%w: index %s", ErrUniqueViolation, ix.Name)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Fetch reads the row at loc.
+func (t *Table) Fetch(loc Loc) (record.Row, bool, error) {
+	var data []byte
+	var ok bool
+	var err error
+	if t.clustered != nil {
+		data, ok, err = t.clustered.tree.Get(loc.Key)
+	} else {
+		data, ok, err = t.heap.Get(loc.RID)
+	}
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	row, _, err := record.DecodeTuple(data, t.Schema)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+// CreateIndex adds a secondary index (backfilling existing rows).
+func (t *Table) CreateIndex(name string, cols []int, unique bool) (*Index, error) {
+	tr, err := btree.New(t.pool)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{Name: name, Cols: append([]int(nil), cols...), Unique: unique, tree: tr}
+	it := t.Scan()
+	for it.Next() {
+		k := indexKey(ix, it.Row(), it.Loc())
+		if err := ix.tree.Insert(k, it.Loc().bytes()); err != nil {
+			if errors.Is(err, btree.ErrDuplicateKey) {
+				return nil, fmt.Errorf("%w: backfill of %s", ErrUniqueViolation, name)
+			}
+			return nil, err
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	t.Secondary = append(t.Secondary, ix)
+	return ix, nil
+}
+
+// Truncate discards every row, resetting storage and all indexes.
+func (t *Table) Truncate() error {
+	if t.clustered != nil {
+		tr, err := btree.New(t.pool)
+		if err != nil {
+			return err
+		}
+		t.clustered.tree = tr
+	} else {
+		h, err := heapfile.New(t.pool)
+		if err != nil {
+			return err
+		}
+		t.heap = h
+	}
+	for _, ix := range t.Secondary {
+		tr, err := btree.New(t.pool)
+		if err != nil {
+			return err
+		}
+		ix.tree = tr
+	}
+	t.rows = 0
+	t.uniquifier = 0
+	return nil
+}
+
+// Iterator yields (Loc, Row) pairs.
+type Iterator struct {
+	t      *Table
+	bit    *btree.Iterator
+	hit    *heapfile.Iterator
+	row    record.Row
+	loc    Loc
+	err    error
+	filter func(record.Row) bool
+}
+
+// Scan iterates every row in storage order (clustered-key order for
+// clustered tables).
+func (t *Table) Scan() *Iterator {
+	if t.clustered != nil {
+		return &Iterator{t: t, bit: t.clustered.tree.Scan(nil, nil)}
+	}
+	return &Iterator{t: t, hit: t.heap.Scan()}
+}
+
+// ScanRange iterates clustered rows with encoded keys in [lo, hi). Only
+// valid for clustered tables.
+func (t *Table) ScanRange(lo, hi []byte) *Iterator {
+	return &Iterator{t: t, bit: t.clustered.tree.Scan(lo, hi)}
+}
+
+// ScanClusteredPrefix iterates clustered rows whose key starts with the
+// encoding of vals.
+func (t *Table) ScanClusteredPrefix(vals []record.Value) *Iterator {
+	prefix := record.EncodeKey(nil, vals...)
+	return &Iterator{t: t, bit: t.clustered.tree.ScanPrefix(prefix)}
+}
+
+// Next advances the iterator.
+func (it *Iterator) Next() bool {
+	for {
+		if it.bit != nil {
+			if !it.bit.Next() {
+				it.err = it.bit.Err()
+				return false
+			}
+			row, _, err := record.DecodeTuple(it.bit.Value(), it.t.Schema)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			key := make([]byte, len(it.bit.Key()))
+			copy(key, it.bit.Key())
+			it.row, it.loc = row, Loc{Key: key}
+		} else {
+			if !it.hit.Next() {
+				it.err = it.hit.Err()
+				return false
+			}
+			row, _, err := record.DecodeTuple(it.hit.Tuple(), it.t.Schema)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.row, it.loc = row, Loc{RID: it.hit.RID()}
+		}
+		if it.filter != nil && !it.filter(it.row) {
+			continue
+		}
+		return true
+	}
+}
+
+// Row returns the current row.
+func (it *Iterator) Row() record.Row { return it.row }
+
+// Loc returns the current row's location.
+func (it *Iterator) Loc() Loc { return it.loc }
+
+// Err reports any error that terminated iteration.
+func (it *Iterator) Err() error { return it.err }
+
+// IndexIterator yields rows via a secondary index.
+type IndexIterator struct {
+	t   *Table
+	ix  *Index
+	bit *btree.Iterator
+	row record.Row
+	loc Loc
+	err error
+}
+
+// LookupEq iterates rows where the index columns equal vals. vals may be a
+// prefix of the index columns.
+func (t *Table) LookupEq(ix *Index, vals []record.Value) *IndexIterator {
+	prefix := record.EncodeKey(nil, vals...)
+	return &IndexIterator{t: t, ix: ix, bit: ix.tree.ScanPrefix(prefix)}
+}
+
+// LookupRange iterates rows whose encoded index key lies in [lo, hi).
+func (t *Table) LookupRange(ix *Index, lo, hi []byte) *IndexIterator {
+	return &IndexIterator{t: t, ix: ix, bit: ix.tree.Scan(lo, hi)}
+}
+
+// Next advances, fetching the base row for each index entry.
+func (it *IndexIterator) Next() bool {
+	if !it.bit.Next() {
+		it.err = it.bit.Err()
+		return false
+	}
+	locBytes := it.bit.Value()
+	var loc Loc
+	if it.t.clustered != nil {
+		loc = Loc{Key: append([]byte(nil), locBytes...)}
+	} else {
+		loc = Loc{RID: ridFromBytes(locBytes)}
+	}
+	row, ok, err := it.t.Fetch(loc)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	if !ok {
+		it.err = fmt.Errorf("table: index %s points at missing row", it.ix.Name)
+		return false
+	}
+	it.row, it.loc = row, loc
+	return true
+}
+
+// Row returns the current row.
+func (it *IndexIterator) Row() record.Row { return it.row }
+
+// Loc returns the current row's location.
+func (it *IndexIterator) Loc() Loc { return it.loc }
+
+// Err reports any error that terminated iteration.
+func (it *IndexIterator) Err() error { return it.err }

@@ -1,0 +1,150 @@
+// Package repro is the public API of the relational shortest-path library,
+// a from-scratch Go reproduction of "Relational Approach for Shortest Path
+// Discovery over Large Graphs" (Gao, Jin, Zhou, Yu, Jiang, Wang — PVLDB
+// 5(4), 2011).
+//
+// The library has three layers, all re-exported here:
+//
+//   - An embedded relational engine (package internal/rdb and below): page
+//     storage, buffer pool, B+trees, a SQL subset with window functions and
+//     MERGE, and DBMS feature profiles.
+//   - The FEM framework and algorithms (internal/core): DJ, BDJ, BSDJ,
+//     BBFS and BSEG over the SegTable index, all issuing SQL statements —
+//     the Go side holds only scalar loop state, like the paper's JDBC
+//     client.
+//   - Graph tooling (internal/graph): generators matching the paper's
+//     datasets, CSV persistence, and the in-memory baselines MDJ/MBDJ.
+//
+// Quickstart:
+//
+//	db, _ := repro.Open(repro.DBOptions{})
+//	defer db.Close()
+//	g := repro.PowerGraph(10000, 3, 42)
+//	eng := repro.NewEngine(db, repro.EngineOptions{})
+//	_ = eng.LoadGraph(g)
+//	_, _ = eng.BuildSegTable(20)
+//	path, stats, _ := eng.ShortestPath(repro.AlgBSEG, 17, 4711)
+//	fmt.Println(path.Length, path.Nodes, stats)
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rdb"
+)
+
+// Re-exported database types.
+type (
+	// DB is an embedded relational database instance.
+	DB = rdb.DB
+	// DBOptions configures Open (buffer pool size, backing file, profile).
+	DBOptions = rdb.Options
+	// Profile models the emulated DBMS feature set.
+	Profile = rdb.Profile
+	// DBStats aggregates engine counters (statements, buffer, I/O).
+	DBStats = rdb.Stats
+	// Rows is a materialized query result.
+	Rows = rdb.Rows
+)
+
+// Engine profiles from the paper's evaluation (§5.1).
+var (
+	// ProfileDBMSX supports both window functions and MERGE.
+	ProfileDBMSX = rdb.ProfileDBMSX
+	// ProfilePostgreSQL9 supports window functions but not MERGE.
+	ProfilePostgreSQL9 = rdb.ProfilePostgreSQL9
+)
+
+// Open creates an embedded database (in-memory when Path is empty).
+func Open(opts DBOptions) (*DB, error) { return rdb.Open(opts) }
+
+// Re-exported core types.
+type (
+	// Engine runs the relational shortest-path algorithms over a DB.
+	Engine = core.Engine
+	// EngineOptions selects index strategy, SQL dialect and ablations.
+	EngineOptions = core.Options
+	// Algorithm identifies one of the five approaches.
+	Algorithm = core.Algorithm
+	// IndexStrategy is the physical design axis (CluIndex/Index/NoIndex).
+	IndexStrategy = core.IndexStrategy
+	// Path is a discovered shortest path.
+	Path = core.Path
+	// QueryStats carries per-query metrics (expansions, statements,
+	// visited rows, phase and operator timings).
+	QueryStats = core.QueryStats
+	// SegTableStats reports a SegTable construction.
+	SegTableStats = core.SegTableStats
+)
+
+// Algorithms (§5.1 naming).
+const (
+	// AlgDJ is single-directional relational Dijkstra (Algorithm 1).
+	AlgDJ = core.AlgDJ
+	// AlgBDJ is bi-directional relational Dijkstra.
+	AlgBDJ = core.AlgBDJ
+	// AlgBSDJ is bi-directional set Dijkstra (§4.1).
+	AlgBSDJ = core.AlgBSDJ
+	// AlgBBFS is bi-directional breadth-first relaxation.
+	AlgBBFS = core.AlgBBFS
+	// AlgBSEG is selective expansion over SegTable (Algorithm 2).
+	AlgBSEG = core.AlgBSEG
+)
+
+// Index strategies (Fig 8(c)).
+const (
+	// ClusteredIndex stores tables as B+trees on their key columns.
+	ClusteredIndex = core.ClusteredIndex
+	// SecondaryIndex keeps heap tables with non-clustered indexes.
+	SecondaryIndex = core.SecondaryIndex
+	// NoIndex keeps bare heaps.
+	NoIndex = core.NoIndex
+)
+
+// NewEngine wraps a database; call Engine.LoadGraph next.
+func NewEngine(db *DB, opts EngineOptions) *Engine { return core.NewEngine(db, opts) }
+
+// Re-exported graph types.
+type (
+	// Graph is an in-memory weighted directed graph.
+	Graph = graph.Graph
+	// Edge is one weighted directed edge.
+	Edge = graph.Edge
+	// PathResult is an in-memory search result (baselines).
+	PathResult = graph.PathResult
+)
+
+// NewGraph builds a graph from an edge list over n nodes.
+func NewGraph(n int64, edges []Edge) (*Graph, error) { return graph.New(n, edges) }
+
+// RandomGraph generates the paper's Random family: m uniformly sampled
+// edges over n nodes, weights in [1,100].
+func RandomGraph(n int64, m int, seed int64) *Graph { return graph.Random(n, m, seed) }
+
+// PowerGraph generates the paper's Power family (Barabási–Albert
+// preferential attachment) with the given average degree.
+func PowerGraph(n int64, avgDegree int, seed int64) *Graph {
+	return graph.Power(n, avgDegree, seed)
+}
+
+// DBLPLike generates a synthetic analog of the paper's DBLP dataset at the
+// given scale (1.0 = full size).
+func DBLPLike(scale float64, seed int64) *Graph { return graph.DBLPLike(scale, seed) }
+
+// GoogleWebLike generates a synthetic analog of the GoogleWeb dataset.
+func GoogleWebLike(scale float64, seed int64) *Graph { return graph.GoogleWebLike(scale, seed) }
+
+// LiveJournalLike generates a synthetic analog of the LiveJournal dataset.
+func LiveJournalLike(scale float64, seed int64) *Graph { return graph.LiveJournalLike(scale, seed) }
+
+// LoadGraphFile reads a CSV edge list ("fid,tid,cost" lines).
+func LoadGraphFile(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// RandomQueries draws (source, target) pairs for a workload.
+func RandomQueries(g *Graph, q int, seed int64) [][2]int64 { return graph.RandomQueries(g, q, seed) }
+
+// MDJ is the in-memory Dijkstra baseline.
+func MDJ(g *Graph, s, t int64) PathResult { return graph.MDJ(g, s, t) }
+
+// MBDJ is the in-memory bi-directional Dijkstra baseline.
+func MBDJ(g *Graph, s, t int64) PathResult { return graph.MBDJ(g, s, t) }

@@ -1,0 +1,100 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestFacadeQuickstart exercises the public API end to end, mirroring the
+// README quickstart.
+func TestFacadeQuickstart(t *testing.T) {
+	db, err := repro.Open(repro.DBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	g := repro.PowerGraph(400, 3, 42)
+	eng := repro.NewEngine(db, repro.EngineOptions{})
+	if err := eng.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.BuildSegTable(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EncodingNumber() == 0 {
+		t.Fatal("empty segtable")
+	}
+
+	for _, q := range repro.RandomQueries(g, 4, 9) {
+		ref := repro.MDJ(g, q[0], q[1])
+		for _, alg := range []repro.Algorithm{repro.AlgBSDJ, repro.AlgBSEG} {
+			p, stats, err := eng.ShortestPath(alg, q[0], q[1])
+			if err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+			if p.Found != ref.Found {
+				t.Fatalf("%v: found=%v want %v", alg, p.Found, ref.Found)
+			}
+			if p.Found && p.Length != ref.Distance {
+				t.Fatalf("%v: %d want %d", alg, p.Length, ref.Distance)
+			}
+			if stats.Statements == 0 {
+				t.Fatalf("%v: no statements recorded", alg)
+			}
+		}
+	}
+}
+
+// TestFacadeProfiles verifies the exported profiles behave like the paper's
+// two systems.
+func TestFacadeProfiles(t *testing.T) {
+	if !repro.ProfileDBMSX.SupportsMerge || !repro.ProfileDBMSX.SupportsWindow {
+		t.Fatal("DBMS-X supports both features")
+	}
+	if repro.ProfilePostgreSQL9.SupportsMerge {
+		t.Fatal("PostgreSQL 9.0 lacks MERGE")
+	}
+	if !repro.ProfilePostgreSQL9.SupportsWindow {
+		t.Fatal("PostgreSQL 9.0 has window functions")
+	}
+
+	db, err := repro.Open(repro.DBOptions{Profile: repro.ProfilePostgreSQL9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	g := repro.RandomGraph(60, 180, 1)
+	eng := repro.NewEngine(db, repro.EngineOptions{})
+	if err := eng.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	q := repro.RandomQueries(g, 1, 2)[0]
+	ref := repro.MDJ(g, q[0], q[1])
+	p, _, err := eng.ShortestPath(repro.AlgBSDJ, q[0], q[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Found != ref.Found || (p.Found && p.Length != ref.Distance) {
+		t.Fatalf("postgres profile result wrong: %+v vs %+v", p, ref)
+	}
+}
+
+// TestFacadeGraphHelpers covers the exported graph utilities.
+func TestFacadeGraphHelpers(t *testing.T) {
+	g, err := repro.NewGraph(3, []repro.Edge{{From: 0, To: 1, Weight: 2}, {From: 1, To: 2, Weight: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := repro.MBDJ(g, 0, 2)
+	if !r.Found || r.Distance != 5 {
+		t.Fatalf("MBDJ: %+v", r)
+	}
+	if repro.DBLPLike(0.001, 1).N == 0 ||
+		repro.GoogleWebLike(0.001, 1).N == 0 ||
+		repro.LiveJournalLike(0.0001, 1).N == 0 {
+		t.Fatal("real-like generators")
+	}
+}
