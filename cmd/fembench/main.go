@@ -1,14 +1,18 @@
-// Command fembench regenerates the paper's evaluation tables and figures.
+// Command fembench regenerates the paper's evaluation tables and figures,
+// and doubles as the load generator for the concurrent serving tier.
 //
 // Usage:
 //
 //	fembench -list
 //	fembench -exp table2,fig6a
 //	fembench -exp all -queries 10 -scale 1.0 -v
+//	fembench -loadgen -clients 16 -lgalg BSEG -lgqueries 50 -repeat 5
 //
 // Each experiment prints a table whose rows mirror the corresponding
 // artefact in the paper (see EXPERIMENTS.md for the mapping and the
-// paper-vs-measured discussion).
+// paper-vs-measured discussion). The -loadgen mode replays a query set from
+// a pool of concurrent clients against one shared engine, once with a cold
+// path cache and once hot, and reports queries/sec for each round.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 )
 
 func main() {
@@ -30,8 +35,21 @@ func main() {
 		seed    = flag.Int64("seed", 42, "generator seed")
 		verbose = flag.Bool("v", false, "progress output")
 		dataDir = flag.String("datadir", "", "directory for file-backed databases (default: temp)")
+
+		loadgen   = flag.Bool("loadgen", false, "run the serving-tier load generator instead of experiments")
+		clients   = flag.Int("clients", 8, "loadgen: concurrent client workers")
+		lgAlg     = flag.String("lgalg", "BSDJ", "loadgen: algorithm (DJ|BDJ|BSDJ|BBFS|BSEG)")
+		lgNodes   = flag.Int64("lgnodes", 5000, "loadgen: power-graph node count")
+		lgQueries = flag.Int("lgqueries", 20, "loadgen: distinct query pairs")
+		repeat    = flag.Int("repeat", 5, "loadgen: replays of each pair per round")
+		lthd      = flag.Int64("lthd", 20, "loadgen: SegTable threshold for BSEG")
 	)
 	flag.Parse()
+
+	if *loadgen {
+		runLoadGen(*lgAlg, *lgNodes, *lgQueries, *repeat, *clients, *lthd, *seed, *verbose)
+		return
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -81,6 +99,36 @@ func main() {
 	}
 	fmt.Printf("done: %d experiment(s) in %v\n", len(ids)-failed, time.Since(start).Round(time.Millisecond))
 	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func runLoadGen(algName string, nodes int64, queries, repeat, clients int, lthd, seed int64, verbose bool) {
+	alg, err := core.ParseAlgorithm(algName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := bench.DefaultLoadGenConfig()
+	cfg.Alg = alg
+	cfg.Nodes = nodes
+	cfg.Queries = queries
+	cfg.Repeat = repeat
+	cfg.Clients = clients
+	cfg.Lthd = lthd
+	cfg.Seed = seed
+	logf := func(string, ...any) {}
+	if verbose {
+		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	res, err := bench.RunLoadGen(cfg, logf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	bench.LoadGenTable(cfg, res).Fprint(os.Stdout)
+	if res.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d queries failed\n", res.Errors)
 		os.Exit(1)
 	}
 }

@@ -54,22 +54,6 @@ func parseGen(spec string, seed int64) (*graph.Graph, error) {
 	return nil, fmt.Errorf("unknown generator %q (power|random|dblp|web|lj)", kind)
 }
 
-func parseAlg(s string) (core.Algorithm, error) {
-	switch strings.ToUpper(s) {
-	case "DJ":
-		return core.AlgDJ, nil
-	case "BDJ":
-		return core.AlgBDJ, nil
-	case "BSDJ":
-		return core.AlgBSDJ, nil
-	case "BBFS":
-		return core.AlgBBFS, nil
-	case "BSEG":
-		return core.AlgBSEG, nil
-	}
-	return 0, fmt.Errorf("unknown algorithm %q (DJ|BDJ|BSDJ|BBFS|BSEG)", s)
-}
-
 func parseStrategy(s string) (core.IndexStrategy, error) {
 	switch strings.ToLower(s) {
 	case "clustered", "cluindex":
@@ -139,7 +123,7 @@ func main() {
 		return
 	}
 
-	alg, err := parseAlg(*algName)
+	alg, err := core.ParseAlgorithm(*algName)
 	if err != nil {
 		fail("%v", err)
 	}

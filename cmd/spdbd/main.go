@@ -1,0 +1,367 @@
+// Command spdbd is the shortest-path database server: it loads or generates
+// a graph into the embedded relational engine and serves shortest-path
+// queries over HTTP to any number of concurrent clients. It is the online
+// half of the system — the offline half (SegTable construction, bulk load)
+// runs at startup — and leans on the engine's path cache for throughput:
+// repeated queries are answered from memory without touching the database.
+//
+// Endpoints:
+//
+//	GET  /shortest-path?s=17&t=4711[&alg=BSEG]   one query, JSON answer
+//	POST /shortest-path                          {"alg":"BSDJ","queries":[{"s":1,"t":2},...]}
+//	GET  /stats                                  engine, cache, DB and server counters
+//	GET  /healthz                                liveness (200 once the graph is served)
+//
+// Examples:
+//
+//	spdbd -gen power:20000:3 -alg BSEG -lthd 20 -addr :8080
+//	spdbd -load graph.csv -alg BSDJ
+//	curl 'localhost:8080/shortest-path?s=17&t=4711'
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get a drain window before the listener closes.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rdb"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "spdbd: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// server holds the shared serving state: one engine over one database,
+// request counters, and the default algorithm for queries that don't name
+// one.
+type server struct {
+	eng        *core.Engine
+	defaultAlg core.Algorithm
+	start      time.Time
+
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	served   atomic.Uint64 // individual queries answered (batch counts each)
+}
+
+// pathResponse is the JSON answer for one shortest-path query.
+type pathResponse struct {
+	Source   int64   `json:"source"`
+	Target   int64   `json:"target"`
+	Algo     string  `json:"algorithm"`
+	Found    bool    `json:"found"`
+	Distance int64   `json:"distance,omitempty"`
+	Path     []int64 `json:"path,omitempty"`
+	Cached   bool    `json:"cached"`
+	// Statements is the number of SQL statements the query issued
+	// (0 on a cache hit).
+	Statements int    `json:"statements"`
+	DurationUS int64  `json:"duration_us"`
+	Error      string `json:"error,omitempty"`
+}
+
+// batchRequest is the POST /shortest-path body.
+type batchRequest struct {
+	Alg     string `json:"alg,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	Queries []struct {
+		S int64 `json:"s"`
+		T int64 `json:"t"`
+	} `json:"queries"`
+}
+
+func parseGen(spec string, seed int64) (*graph.Graph, error) {
+	parts := strings.Split(spec, ":")
+	num := func(i int, def int64) int64 {
+		if i < len(parts) {
+			if v, err := strconv.ParseInt(parts[i], 10, 64); err == nil {
+				return v
+			}
+		}
+		return def
+	}
+	switch parts[0] {
+	case "power":
+		return graph.Power(num(1, 10000), int(num(2, 3)), seed), nil
+	case "random":
+		return graph.Random(num(1, 10000), int(num(2, 30000)), seed), nil
+	case "dblp":
+		return graph.DBLPLike(float64(num(1, 1))/100.0, seed), nil
+	case "web":
+		return graph.GoogleWebLike(float64(num(1, 1))/100.0, seed), nil
+	case "lj":
+		return graph.LiveJournalLike(float64(num(1, 1))/1000.0, seed), nil
+	}
+	return nil, fmt.Errorf("unknown generator %q (power|random|dblp|web|lj)", parts[0])
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (sv *server) answer(alg core.Algorithm, s, t int64) pathResponse {
+	t0 := time.Now()
+	p, qs, err := sv.eng.ShortestPath(alg, s, t)
+	resp := pathResponse{
+		Source:     s,
+		Target:     t,
+		Algo:       alg.String(),
+		DurationUS: time.Since(t0).Microseconds(),
+	}
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	resp.Found = p.Found
+	resp.Distance = p.Length
+	resp.Path = p.Nodes
+	if qs != nil {
+		resp.Cached = qs.CacheHit
+		resp.Statements = qs.Statements
+	}
+	sv.served.Add(1)
+	return resp
+}
+
+// handleShortestPath serves GET (single query) and POST (batch).
+func (sv *server) handleShortestPath(w http.ResponseWriter, r *http.Request) {
+	sv.requests.Add(1)
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		s, errS := strconv.ParseInt(q.Get("s"), 10, 64)
+		t, errT := strconv.ParseInt(q.Get("t"), 10, 64)
+		if errS != nil || errT != nil {
+			sv.errors.Add(1)
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": "need integer query parameters s and t"})
+			return
+		}
+		alg := sv.defaultAlg
+		if a := q.Get("alg"); a != "" {
+			var err error
+			if alg, err = core.ParseAlgorithm(a); err != nil {
+				sv.errors.Add(1)
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+				return
+			}
+		}
+		resp := sv.answer(alg, s, t)
+		status := http.StatusOK
+		if resp.Error != "" {
+			sv.errors.Add(1)
+			status = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, status, resp)
+
+	case http.MethodPost:
+		var req batchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			sv.errors.Add(1)
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+			return
+		}
+		if len(req.Queries) == 0 {
+			sv.errors.Add(1)
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "empty batch"})
+			return
+		}
+		alg := sv.defaultAlg
+		if req.Alg != "" {
+			var err error
+			if alg, err = core.ParseAlgorithm(req.Alg); err != nil {
+				sv.errors.Add(1)
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+				return
+			}
+		}
+		batch := make([]core.BatchQuery, len(req.Queries))
+		for i, q := range req.Queries {
+			batch[i] = core.BatchQuery{S: q.S, T: q.T}
+		}
+		t0 := time.Now()
+		results := sv.eng.ShortestPathBatch(alg, batch, req.Workers)
+		out := make([]pathResponse, len(results))
+		for i, res := range results {
+			out[i] = pathResponse{
+				Source: res.Query.S,
+				Target: res.Query.T,
+				Algo:   alg.String(),
+			}
+			if res.Err != nil {
+				out[i].Error = res.Err.Error()
+				sv.errors.Add(1)
+				continue
+			}
+			out[i].Found = res.Path.Found
+			out[i].Distance = res.Path.Length
+			out[i].Path = res.Path.Nodes
+			if res.Stats != nil {
+				out[i].Cached = res.Stats.CacheHit
+				out[i].Statements = res.Stats.Statements
+			}
+			sv.served.Add(1)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"results":     out,
+			"duration_us": time.Since(t0).Microseconds(),
+		})
+
+	default:
+		sv.errors.Add(1)
+		w.Header().Set("Allow", "GET, POST")
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use GET or POST"})
+	}
+}
+
+// handleStats reports every layer's counters in one JSON document.
+func (sv *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sv.requests.Add(1)
+	dbStats := sv.eng.DB().Stats()
+	cacheStats := sv.eng.CacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"server": map[string]any{
+			"uptime_s":       int64(time.Since(sv.start).Seconds()),
+			"requests":       sv.requests.Load(),
+			"errors":         sv.errors.Load(),
+			"queries_served": sv.served.Load(),
+		},
+		"graph": map[string]any{
+			"nodes":    sv.eng.Nodes(),
+			"edges":    sv.eng.Edges(),
+			"wmin":     sv.eng.WMin(),
+			"seg_lthd": sv.eng.SegLthd(),
+			"version":  sv.eng.GraphVersion(),
+		},
+		"cache": cacheStats,
+		"db": map[string]any{
+			"statements":         dbStats.Statements,
+			"session_statements": dbStats.SessionStatements,
+			"sessions_opened":    dbStats.SessionsOpened,
+			"active_sessions":    dbStats.ActiveSessions,
+			"parse_plan_us":      dbStats.ParsePlanDur.Microseconds(),
+			"exec_us":            dbStats.ExecDur.Microseconds(),
+			"pool":               dbStats.Pool,
+			"io":                 dbStats.IO,
+		},
+	})
+}
+
+// handleHealthz is the liveness probe.
+func (sv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if sv.eng.Nodes() == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no graph loaded"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		gen      = flag.String("gen", "", "generate a graph: power:N:D | random:N:M | dblp:PCT | web:PCT | lj:PERMILLE")
+		load     = flag.String("load", "", "load a CSV graph (fid,tid,cost)")
+		algName  = flag.String("alg", "BSDJ", "default algorithm: DJ|BDJ|BSDJ|BBFS|BSEG")
+		lthd     = flag.Int64("lthd", 0, "build SegTable with this threshold (required for BSEG)")
+		cacheSz  = flag.Int("cache", 0, "path cache entries (0 = default, negative disables)")
+		poolSz   = flag.Int("pool", 0, "buffer pool pages (0 = default)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		drainDur = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	switch {
+	case *gen != "":
+		g, err = parseGen(*gen, *seed)
+	case *load != "":
+		g, err = graph.LoadFile(*load)
+	default:
+		fail("need -gen or -load (try -gen power:10000:3)")
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	alg, err := core.ParseAlgorithm(*algName)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	db, err := rdb.Open(rdb.Options{BufferPoolPages: *poolSz})
+	if err != nil {
+		fail("%v", err)
+	}
+	defer db.Close()
+	eng := core.NewEngine(db, core.Options{CacheSize: *cacheSz})
+	defer eng.Close()
+	fmt.Printf("spdbd: loading graph (%d nodes, %d edges)...\n", g.N, g.M())
+	if err := eng.LoadGraph(g); err != nil {
+		fail("load: %v", err)
+	}
+	if *lthd > 0 || alg == core.AlgBSEG {
+		th := *lthd
+		if th <= 0 {
+			th = 20
+		}
+		fmt.Printf("spdbd: building SegTable (lthd=%d)...\n", th)
+		st, err := eng.BuildSegTable(th)
+		if err != nil {
+			fail("segtable: %v", err)
+		}
+		fmt.Printf("spdbd: %s\n", st)
+	}
+
+	sv := &server{eng: eng, defaultAlg: alg, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/shortest-path", sv.handleShortestPath)
+	mux.HandleFunc("/stats", sv.handleStats)
+	mux.HandleFunc("/healthz", sv.handleHealthz)
+	srv := &http.Server{Addr: *addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	fmt.Printf("spdbd: serving %s on %s (default algorithm %s)\n", describeGraph(g), *addr, alg)
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail("%v", err)
+		}
+	case <-ctx.Done():
+		fmt.Println("spdbd: shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainDur)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fail("shutdown: %v", err)
+		}
+		fmt.Printf("spdbd: served %d queries in %d requests (%d errors)\n",
+			sv.served.Load(), sv.requests.Load(), sv.errors.Load())
+	}
+}
+
+func describeGraph(g *graph.Graph) string {
+	return fmt.Sprintf("graph with %d nodes / %d edges", g.N, g.M())
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rdb"
+)
+
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	db, err := rdb.Open(rdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	eng := core.NewEngine(db, core.Options{})
+	t.Cleanup(func() { eng.Close() })
+	if err := eng.LoadGraph(graph.Power(500, 3, 42)); err != nil {
+		t.Fatal(err)
+	}
+	return &server{eng: eng, defaultAlg: core.AlgBSDJ, start: time.Now()}
+}
+
+func TestShortestPathEndpoint(t *testing.T) {
+	sv := newTestServer(t)
+
+	req := httptest.NewRequest(http.MethodGet, "/shortest-path?s=1&t=200", nil)
+	rec := httptest.NewRecorder()
+	sv.handleShortestPath(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp pathResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Source != 1 || resp.Target != 200 || resp.Algo != "BSDJ" {
+		t.Fatalf("unexpected response: %+v", resp)
+	}
+	if resp.Cached {
+		t.Fatal("first query must not be cached")
+	}
+
+	// The identical query again must come from the cache.
+	rec = httptest.NewRecorder()
+	sv.handleShortestPath(rec, httptest.NewRequest(http.MethodGet, "/shortest-path?s=1&t=200", nil))
+	var resp2 pathResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.Cached {
+		t.Fatal("repeated query must be served from the cache")
+	}
+	if resp2.Found != resp.Found || resp2.Distance != resp.Distance {
+		t.Fatalf("cached answer differs: %+v vs %+v", resp2, resp)
+	}
+}
+
+func TestShortestPathEndpointErrors(t *testing.T) {
+	sv := newTestServer(t)
+	for _, tc := range []struct {
+		url    string
+		status int
+	}{
+		{"/shortest-path?s=abc&t=2", http.StatusBadRequest},
+		{"/shortest-path?s=1", http.StatusBadRequest},
+		{"/shortest-path?s=1&t=2&alg=NOPE", http.StatusBadRequest},
+		{"/shortest-path?s=1&t=99999999", http.StatusUnprocessableEntity},
+	} {
+		rec := httptest.NewRecorder()
+		sv.handleShortestPath(rec, httptest.NewRequest(http.MethodGet, tc.url, nil))
+		if rec.Code != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.url, rec.Code, tc.status, rec.Body.String())
+		}
+	}
+	rec := httptest.NewRecorder()
+	sv.handleShortestPath(rec, httptest.NewRequest(http.MethodDelete, "/shortest-path", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE: status %d", rec.Code)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	sv := newTestServer(t)
+	body := `{"alg":"BSDJ","queries":[{"s":1,"t":200},{"s":1,"t":200},{"s":-5,"t":2}]}`
+	rec := httptest.NewRecorder()
+	sv.handleShortestPath(rec, httptest.NewRequest(http.MethodPost, "/shortest-path", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Results []pathResponse `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("got %d results", len(out.Results))
+	}
+	if out.Results[0].Error != "" || out.Results[1].Error != "" {
+		t.Fatalf("valid queries errored: %+v", out.Results[:2])
+	}
+	if out.Results[0].Distance != out.Results[1].Distance {
+		t.Fatal("duplicate queries disagree")
+	}
+	if out.Results[2].Error == "" {
+		t.Fatal("invalid pair must carry a per-query error")
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	sv := newTestServer(t)
+	rec := httptest.NewRecorder()
+	sv.handleHealthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	sv.handleShortestPath(rec, httptest.NewRequest(http.MethodGet, "/shortest-path?s=1&t=200", nil))
+	rec = httptest.NewRecorder()
+	sv.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	var stats map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"server", "graph", "cache", "db"} {
+		if _, ok := stats[k]; !ok {
+			t.Errorf("stats missing section %q", k)
+		}
+	}
+}

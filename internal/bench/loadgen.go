@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rdb"
+)
+
+// LoadGenConfig configures the serving-tier load generator: a pool of
+// concurrent clients drives one shared Engine through a cold round (the
+// distinct pairs once, cache empty — every query is a real relational
+// search) and a hot round (each pair replayed Repeat times against the warm
+// cache). The cold/hot split is the serving-layer headline number: it shows
+// what fraction of traffic the relational search actually has to absorb
+// once answers are cached.
+type LoadGenConfig struct {
+	// Graph spec.
+	Nodes     int64
+	AvgDegree int
+	Seed      int64
+	// Workload: Queries distinct pairs, replayed Repeat times per round.
+	Queries int
+	Repeat  int
+	// Clients is the worker-pool width.
+	Clients int
+	// Algorithm under load (BSEG builds its index first).
+	Alg  core.Algorithm
+	Lthd int64
+	// CacheSize for the engine (0 = default).
+	CacheSize int
+}
+
+// DefaultLoadGenConfig sizes a run that finishes in seconds.
+func DefaultLoadGenConfig() LoadGenConfig {
+	return LoadGenConfig{
+		Nodes:     5000,
+		AvgDegree: 3,
+		Seed:      42,
+		Queries:   20,
+		Repeat:    5,
+		Clients:   8,
+		Alg:       core.AlgBSDJ,
+		Lthd:      20,
+	}
+}
+
+// LoadGenResult reports one cold-vs-hot load run.
+type LoadGenResult struct {
+	ColdQueries int
+	ColdQPS     float64
+	ColdDur     time.Duration
+	HotQueries  int
+	HotQPS      float64
+	HotDur      time.Duration
+	Cache       core.CacheStats
+	Errors      int
+}
+
+// RunLoadGen executes the load profile and returns cold/hot throughput.
+func RunLoadGen(cfg LoadGenConfig, logf func(format string, args ...any)) (*LoadGenResult, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	g := graph.Power(cfg.Nodes, cfg.AvgDegree, cfg.Seed)
+	db, err := rdb.Open(rdb.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	eng := core.NewEngine(db, core.Options{CacheSize: cfg.CacheSize})
+	defer eng.Close()
+	logf("loadgen: loading power graph (%d nodes, %d edges)", g.N, g.M())
+	if err := eng.LoadGraph(g); err != nil {
+		return nil, err
+	}
+	if cfg.Alg == core.AlgBSEG {
+		logf("loadgen: building SegTable (lthd=%d)", cfg.Lthd)
+		if _, err := eng.BuildSegTable(cfg.Lthd); err != nil {
+			return nil, err
+		}
+	}
+
+	// Distinct pairs form the cold workload (every query a genuine
+	// relational search); the hot workload replays each pair Repeat times
+	// against the warm cache — the realistic shape of serving traffic,
+	// where popular pairs dominate.
+	pairs := graph.RandomQueries(g, cfg.Queries, cfg.Seed+1)
+	cold := make([]core.BatchQuery, 0, len(pairs))
+	for _, q := range pairs {
+		cold = append(cold, core.BatchQuery{S: q[0], T: q[1]})
+	}
+	hot := make([]core.BatchQuery, 0, len(cold)*cfg.Repeat)
+	for r := 0; r < cfg.Repeat; r++ {
+		hot = append(hot, cold...)
+	}
+
+	res := &LoadGenResult{}
+	run := func(tag string, workload []core.BatchQuery) (int, float64, time.Duration) {
+		t0 := time.Now()
+		results := eng.ShortestPathBatch(cfg.Alg, workload, cfg.Clients)
+		dur := time.Since(t0)
+		n := 0
+		for _, r := range results {
+			if r.Err != nil {
+				res.Errors++
+				continue
+			}
+			n++
+		}
+		qps := float64(n) / dur.Seconds()
+		logf("loadgen: %s round: %d queries in %v (%.0f queries/sec)", tag, n, dur.Round(time.Millisecond), qps)
+		return n, qps, dur
+	}
+
+	// Cold round: empty cache, distinct pairs only — pure search cost.
+	res.ColdQueries, res.ColdQPS, res.ColdDur = run("cold", cold)
+	// Hot round: the full repeated set against the warm cache.
+	res.HotQueries, res.HotQPS, res.HotDur = run("hot", hot)
+	res.Cache = eng.CacheStats()
+	return res, nil
+}
+
+// LoadGenTable formats a result in the harness table style.
+func LoadGenTable(cfg LoadGenConfig, r *LoadGenResult) *Table {
+	speedup := "n/a"
+	if r.ColdQPS > 0 {
+		speedup = fmt.Sprintf("%.1fx", r.HotQPS/r.ColdQPS)
+	}
+	return &Table{
+		ID:     "loadgen",
+		Title:  fmt.Sprintf("Serving throughput, %s over power(%d,%d), %d clients, %d distinct pairs x%d", cfg.Alg, cfg.Nodes, cfg.AvgDegree, cfg.Clients, cfg.Queries, cfg.Repeat),
+		Header: []string{"round", "queries", "time", "queries/sec", "cache hits", "speedup"},
+		Rows: [][]string{
+			{"cold", fmt.Sprint(r.ColdQueries), ms(r.ColdDur), fmt.Sprintf("%.0f", r.ColdQPS), "-", "1.0x"},
+			{"hot (cached)", fmt.Sprint(r.HotQueries), ms(r.HotDur), fmt.Sprintf("%.0f", r.HotQPS), fmt.Sprint(r.Cache.Hits), speedup},
+		},
+	}
+}

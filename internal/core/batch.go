@@ -1,0 +1,62 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchQuery is one (source, target) pair in a batch.
+type BatchQuery struct {
+	S, T int64
+}
+
+// BatchResult pairs one batch query with its outcome. Err is per-query:
+// one bad pair does not fail the batch.
+type BatchResult struct {
+	Query BatchQuery
+	Path  Path
+	Stats *QueryStats
+	Err   error
+}
+
+// ShortestPathBatch answers a set of queries with the given algorithm,
+// fanning them across a pool of workers goroutines (0 means GOMAXPROCS).
+// Results are returned in input order.
+//
+// The pool's parallelism pays off in two places: queries answered by the
+// path cache complete concurrently without touching the DB, and duplicate
+// pairs in the same batch collapse — the first worker through the query
+// latch computes, the rest hit the cache on the re-check. Distinct uncached
+// queries still serialize on the latch, like the paper's single JDBC
+// session.
+func (e *Engine) ShortestPathBatch(alg Algorithm, queries []BatchQuery, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	results := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return results
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				q := queries[i]
+				p, qs, err := e.ShortestPath(alg, q.S, q.T)
+				results[i] = BatchResult{Query: q, Path: p, Stats: qs, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rdb"
+)
+
+// TestConcurrentShortestPath issues the same workload from many goroutines
+// over one shared Engine and asserts every answer matches serial execution.
+// Run under -race this is the core serving-tier safety test.
+func TestConcurrentShortestPath(t *testing.T) {
+	const (
+		goroutines = 10
+		nQueries   = 12
+	)
+	g := graph.Power(1500, 3, 7)
+	queries := graph.RandomQueries(g, nQueries, 99)
+
+	// Serial ground truth from an uncached engine.
+	serial := newTestEngine(t, g, rdb.Options{}, Options{CacheSize: -1})
+	want := make([]Path, len(queries))
+	for i, q := range queries {
+		p, _, err := serial.ShortestPath(AlgBSDJ, q[0], q[1])
+		if err != nil {
+			t.Fatalf("serial query %d: %v", i, err)
+		}
+		want[i] = p
+	}
+
+	shared := newTestEngine(t, g, rdb.Options{}, Options{})
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*nQueries)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each goroutine walks the query set from a different offset
+			// so cache misses and hits interleave across goroutines.
+			for k := range queries {
+				i := (k + w) % len(queries)
+				q := queries[i]
+				p, qs, err := shared.ShortestPath(AlgBSDJ, q[0], q[1])
+				if err != nil {
+					errs <- fmt.Errorf("worker %d query %d: %v", w, i, err)
+					return
+				}
+				if qs == nil {
+					errs <- fmt.Errorf("worker %d query %d: nil stats", w, i)
+					return
+				}
+				if p.Found != want[i].Found || p.Length != want[i].Length {
+					errs <- fmt.Errorf("worker %d query %d (%d->%d): got found=%v len=%d, want found=%v len=%d",
+						w, i, q[0], q[1], p.Found, p.Length, want[i].Found, want[i].Length)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	cs := shared.CacheStats()
+	if cs.Hits == 0 {
+		t.Error("expected cache hits across concurrent repeated queries, got none")
+	}
+}
+
+// TestShortestPathBatch checks the worker-pool fan-out returns in-order,
+// per-query results identical to serial execution.
+func TestShortestPathBatch(t *testing.T) {
+	g := graph.Power(800, 3, 11)
+	pairs := graph.RandomQueries(g, 10, 5)
+	batch := make([]BatchQuery, 0, len(pairs)+2)
+	for _, q := range pairs {
+		batch = append(batch, BatchQuery{S: q[0], T: q[1]})
+	}
+	// Duplicates collapse via the cache; an invalid pair fails alone.
+	batch = append(batch, batch[0], BatchQuery{S: -1, T: 0})
+
+	serial := newTestEngine(t, g, rdb.Options{}, Options{CacheSize: -1})
+	shared := newTestEngine(t, g, rdb.Options{}, Options{})
+	results := shared.ShortestPathBatch(AlgBSDJ, batch, 8)
+	if len(results) != len(batch) {
+		t.Fatalf("got %d results for %d queries", len(results), len(batch))
+	}
+	for i, r := range results {
+		if r.Query != batch[i] {
+			t.Fatalf("result %d out of order: %+v", i, r.Query)
+		}
+		if batch[i].S < 0 {
+			if r.Err == nil {
+				t.Errorf("result %d: expected error for invalid pair", i)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+		want, _, err := serial.ShortestPath(AlgBSDJ, batch[i].S, batch[i].T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Path.Found != want.Found || r.Path.Length != want.Length {
+			t.Errorf("result %d (%d->%d): got found=%v len=%d, want found=%v len=%d",
+				i, batch[i].S, batch[i].T, r.Path.Found, r.Path.Length, want.Found, want.Length)
+		}
+	}
+}
+
+// TestConcurrentBSEGWithBuild interleaves BSEG queries with a concurrent
+// index rebuild; a query that waits out the rebuild re-validates against
+// the new generation and must still return the correct distance — never a
+// wrong answer.
+func TestConcurrentBSEGWithBuild(t *testing.T) {
+	g := graph.Power(600, 3, 3)
+	e := newTestEngine(t, g, rdb.Options{}, Options{})
+	if _, err := e.BuildSegTable(15); err != nil {
+		t.Fatal(err)
+	}
+	serial := newTestEngine(t, g, rdb.Options{}, Options{CacheSize: -1})
+	if _, err := serial.BuildSegTable(15); err != nil {
+		t.Fatal(err)
+	}
+	queries := graph.RandomQueries(g, 6, 21)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := e.BuildSegTable(15); err != nil {
+			t.Errorf("rebuild: %v", err)
+		}
+	}()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			q := queries[w%len(queries)]
+			p, _, err := e.ShortestPath(AlgBSEG, q[0], q[1])
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			want, _, err := serial.ShortestPath(AlgBSEG, q[0], q[1])
+			if err != nil {
+				t.Errorf("serial: %v", err)
+				return
+			}
+			if p.Found != want.Found || p.Length != want.Length {
+				t.Errorf("worker %d (%d->%d): got found=%v len=%d, want found=%v len=%d",
+					w, q[0], q[1], p.Found, p.Length, want.Found, want.Length)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -16,6 +16,7 @@ func newTestEngine(t *testing.T, g *graph.Graph, dbOpts rdb.Options, opts Option
 	}
 	t.Cleanup(func() { db.Close() })
 	e := NewEngine(db, opts)
+	t.Cleanup(func() { e.Close() })
 	if err := e.LoadGraph(g); err != nil {
 		t.Fatalf("load graph: %v", err)
 	}

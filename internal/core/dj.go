@@ -66,7 +66,7 @@ func (e *Engine) dj(s, t int64) (Path, *QueryStats, error) {
 			return Path{}, qs, err
 		}
 		// Listing 3(1): detect termination.
-		tq, err := e.db.Query(targetQ, t)
+		tq, err := e.sess.Query(targetQ, t)
 		qs.Statements++
 		if err != nil {
 			return Path{}, qs, err

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/rdb"
@@ -45,6 +47,24 @@ func (a Algorithm) String() string {
 		return "BSEG"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm maps a case-insensitive algorithm name (DJ, BDJ, BSDJ,
+// BBFS, BSEG) to its Algorithm; the commands share this parser.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToUpper(s) {
+	case "DJ":
+		return AlgDJ, nil
+	case "BDJ":
+		return AlgBDJ, nil
+	case "BSDJ":
+		return AlgBSDJ, nil
+	case "BBFS":
+		return AlgBBFS, nil
+	case "BSEG":
+		return AlgBSEG, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (DJ|BDJ|BSDJ|BBFS|BSEG)", s)
 }
 
 // IndexStrategy is the physical design axis of Fig 8(c).
@@ -96,24 +116,50 @@ type Options struct {
 	// MaxIterations caps FEM iterations as a safety net (default 16 times
 	// the node count).
 	MaxIterations int
+	// CacheSize bounds the shortest-path result cache in entries
+	// (default 4096; negative disables caching). The cache is keyed by
+	// (graph version, algorithm, source, target) and invalidated whenever
+	// the graph or the SegTable index changes.
+	CacheSize int
 }
+
+// DefaultCacheSize is the path-cache capacity when Options.CacheSize is 0.
+const DefaultCacheSize = 4096
 
 // Engine runs the relational algorithms against one database. It keeps
 // only scalar state between statements — the RDB carries all per-node data.
 //
-// An Engine is not safe for concurrent queries: every query shares the
-// TVisited working table, matching the paper's single JDBC session. Open
-// one database (and engine) per concurrent client instead.
+// An Engine is safe for concurrent callers. Every relational search shares
+// the TVisited working table (matching the paper's single JDBC session), so
+// searches serialize on an internal query latch; concurrency comes from the
+// path cache in front of it — hits are answered from memory under a short
+// cache latch, never reaching the query latch or the DB — and from
+// ShortestPathBatch, which fans a query set across a worker pool. See
+// docs/ARCHITECTURE.md §Concurrency.
 type Engine struct {
-	db   *rdb.DB
+	db *rdb.DB
+	// sess is the engine's own connection — the analogue of the paper's
+	// single JDBC session — so engine statements show up in the DB's
+	// per-session accounting alongside any other sessions.
+	sess *rdb.Session
 	opts Options
 
+	// mu guards the graph metadata below; queries take the read side.
+	mu    sync.RWMutex
 	wmin  int64
 	nodes int
 	edges int
 
 	segBuilt bool
 	segLthd  int64
+	// version stamps the (graph, index) generation; bumped by LoadGraph,
+	// BuildSegTable and InsertEdge so cached answers can never outlive the
+	// data they were computed from.
+	version uint64
+
+	// queryMu serializes relational searches (they share TVisited).
+	queryMu sync.Mutex
+	cache   *pathCache
 }
 
 // NewEngine wraps db. Call LoadGraph before running queries.
@@ -121,37 +167,90 @@ func NewEngine(db *rdb.DB, opts Options) *Engine {
 	if opts.MaxIterations == 0 {
 		opts.MaxIterations = 1 << 30 // replaced by 16*n after LoadGraph
 	}
-	return &Engine{db: db, opts: opts}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	e := &Engine{db: db, sess: db.Session(), opts: opts}
+	if opts.CacheSize > 0 {
+		e.cache = newPathCache(opts.CacheSize)
+	}
+	return e
 }
 
 // DB exposes the underlying database.
 func (e *Engine) DB() *rdb.DB { return e.db }
 
+// Close releases the engine's own DB session so ActiveSessions accounting
+// stays meaningful. It does not close the underlying database.
+func (e *Engine) Close() error { return e.sess.Close() }
+
 // Options returns the engine configuration.
-func (e *Engine) Options() Options { return e.opts }
+func (e *Engine) Options() Options {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.opts
+}
 
 // WMin returns the minimal edge weight of the loaded graph.
-func (e *Engine) WMin() int64 { return e.wmin }
+func (e *Engine) WMin() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.wmin
+}
 
 // Nodes returns the loaded node count.
-func (e *Engine) Nodes() int { return e.nodes }
+func (e *Engine) Nodes() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.nodes
+}
 
 // Edges returns the loaded edge count.
-func (e *Engine) Edges() int { return e.edges }
+func (e *Engine) Edges() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.edges
+}
 
 // SegLthd returns the threshold of the built SegTable (0 when absent).
 func (e *Engine) SegLthd() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if !e.segBuilt {
 		return 0
 	}
 	return e.segLthd
 }
 
+// GraphVersion returns the current (graph, index) generation, bumped by
+// LoadGraph, BuildSegTable and InsertEdge.
+func (e *Engine) GraphVersion() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.version
+}
+
+// CacheStats snapshots the path cache (zero-valued when caching is off).
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.snapshot()
+}
+
+// bumpVersion invalidates every cached answer; callers hold e.mu.
+func (e *Engine) bumpVersionLocked() {
+	e.version++
+	if e.cache != nil {
+		e.cache.purge()
+	}
+}
+
 // exec runs a write statement, charging its latency to the given phase
 // accumulators (any of which may be nil).
 func (e *Engine) exec(qs *QueryStats, phase *time.Duration, op *time.Duration, q string, args ...any) (int64, error) {
 	t0 := time.Now()
-	res, err := e.db.Exec(q, args...)
+	res, err := e.sess.Exec(q, args...)
 	dt := time.Since(t0)
 	if qs != nil {
 		qs.Statements++
@@ -171,7 +270,7 @@ func (e *Engine) exec(qs *QueryStats, phase *time.Duration, op *time.Duration, q
 // queryInt runs a scalar query with the same accounting.
 func (e *Engine) queryInt(qs *QueryStats, phase *time.Duration, q string, args ...any) (int64, bool, error) {
 	t0 := time.Now()
-	v, null, err := e.db.QueryInt(q, args...)
+	v, null, err := e.sess.QueryInt(q, args...)
 	dt := time.Since(t0)
 	if qs != nil {
 		qs.Statements++
@@ -182,14 +281,62 @@ func (e *Engine) queryInt(qs *QueryStats, phase *time.Duration, q string, args .
 	return v, null, err
 }
 
-// ShortestPath runs the selected algorithm from s to t.
+// ShortestPath runs the selected algorithm from s to t. Safe for
+// concurrent callers: cache hits return immediately from memory, misses
+// serialize on the engine's query latch (the relational search shares the
+// TVisited working table across all callers).
 func (e *Engine) ShortestPath(alg Algorithm, s, t int64) (Path, *QueryStats, error) {
-	if e.nodes == 0 {
+	e.mu.RLock()
+	nodes := e.nodes
+	version := e.version
+	e.mu.RUnlock()
+	if nodes == 0 {
 		return Path{}, nil, fmt.Errorf("core: no graph loaded")
 	}
-	if s < 0 || t < 0 || int(s) >= e.nodes || int(t) >= e.nodes {
-		return Path{}, nil, fmt.Errorf("core: node out of range (n=%d)", e.nodes)
+	if s < 0 || t < 0 || int(s) >= nodes || int(t) >= nodes {
+		return Path{}, nil, fmt.Errorf("core: node out of range (n=%d)", nodes)
 	}
+	key := cacheKey{version: version, alg: alg, s: s, t: t}
+	if e.cache != nil {
+		if p, ok := e.cache.get(key); ok {
+			return p, &QueryStats{Algorithm: alg.String(), CacheHit: true}, nil
+		}
+	}
+
+	e.queryMu.Lock()
+	defer e.queryMu.Unlock()
+	// The graph may have changed while we waited for the latch (edge
+	// insert, index rebuild, full reload). Re-validate against the current
+	// generation and re-key the cache entry so the answer we compute (or
+	// find) belongs to the graph we actually query.
+	e.mu.RLock()
+	nodes = e.nodes
+	version = e.version
+	e.mu.RUnlock()
+	if nodes == 0 {
+		return Path{}, nil, fmt.Errorf("core: no graph loaded")
+	}
+	if int(s) >= nodes || int(t) >= nodes {
+		return Path{}, nil, fmt.Errorf("core: node out of range (n=%d)", nodes)
+	}
+	key = cacheKey{version: version, alg: alg, s: s, t: t}
+	// Re-check under the latch: a concurrent caller may have computed and
+	// cached this exact answer while we waited.
+	if e.cache != nil {
+		if p, ok := e.cache.recheck(key); ok {
+			return p, &QueryStats{Algorithm: alg.String(), CacheHit: true}, nil
+		}
+	}
+	p, qs, err := e.searchLocked(alg, s, t)
+	if err == nil && e.cache != nil {
+		e.cache.put(key, p)
+	}
+	return p, qs, err
+}
+
+// searchLocked dispatches to the relational algorithms; callers hold
+// queryMu.
+func (e *Engine) searchLocked(alg Algorithm, s, t int64) (Path, *QueryStats, error) {
 	switch alg {
 	case AlgDJ:
 		return e.dj(s, t)

@@ -25,7 +25,31 @@ const insertBatch = 400
 // paper) under the engine's index strategy and bulk-loads it, then creates
 // the per-query working tables.
 func (e *Engine) LoadGraph(g *graph.Graph) error {
-	db := e.db
+	// Loading excludes searches and starts a fresh graph version: every
+	// cached answer is invalidated.
+	e.queryMu.Lock()
+	defer e.queryMu.Unlock()
+	db := e.sess
+	// Invalidate before touching any table: if the load fails partway the
+	// engine must read as "no graph loaded" (and serve no cached answers
+	// for the dropped tables), not as a stale hybrid of old and new.
+	e.mu.Lock()
+	e.nodes = 0
+	e.edges = 0
+	e.wmin = 0
+	e.segBuilt = false
+	e.bumpVersionLocked()
+	e.mu.Unlock()
+	// Reloading replaces any previously loaded graph (and its index):
+	// drop the old tables so a serving engine can swap graphs in place.
+	for _, tbl := range []string{TblNodes, TblEdges, TblVisited, TblExpand,
+		TblExpCost, TblOutSegs, TblInSegs, TblSeg} {
+		if _, ok := e.db.Catalog().Get(tbl); ok {
+			if _, err := db.Exec("DROP TABLE " + tbl); err != nil {
+				return err
+			}
+		}
+	}
 	stmts := []string{
 		fmt.Sprintf("CREATE TABLE %s (nid INT PRIMARY KEY)", TblNodes),
 		fmt.Sprintf("CREATE TABLE %s (fid INT, tid INT, cost INT)", TblEdges),
@@ -117,9 +141,11 @@ func (e *Engine) LoadGraph(g *graph.Graph) error {
 	if null || wmin < 1 {
 		wmin = 1
 	}
+	e.mu.Lock()
 	e.wmin = wmin
 	e.nodes = int(g.N)
 	e.edges = g.M()
+	e.mu.Unlock()
 	return nil
 }
 
@@ -127,7 +153,7 @@ func (e *Engine) LoadGraph(g *graph.Graph) error {
 // under the engine's index strategy. TVisited carries both directions'
 // state (§4.1): d2s/p2s/f forward, d2t/p2t/b backward.
 func (e *Engine) createVisitedTables() error {
-	db := e.db
+	db := e.sess
 	var stmts []string
 	switch e.opts.Strategy {
 	case ClusteredIndex:

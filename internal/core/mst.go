@@ -37,12 +37,14 @@ type MSTResult struct {
 // MinimumSpanningForest computes a minimal spanning forest with FEM
 // iterations over the loaded graph.
 func (e *Engine) MinimumSpanningForest() (*MSTResult, error) {
-	if e.nodes == 0 {
+	// Shares the TVisited working table with searches.
+	e.queryMu.Lock()
+	defer e.queryMu.Unlock()
+	if e.Nodes() == 0 {
 		return nil, fmt.Errorf("core: no graph loaded")
 	}
 	qs := &QueryStats{Algorithm: "MST"}
 	start := time.Now()
-	db := e.db
 
 	// Working table: reuse TVisited's shape, with d2s as the connection
 	// weight. All nodes start as non-candidates (f = 3); component roots
@@ -126,7 +128,7 @@ func (e *Engine) MinimumSpanningForest() (*MSTResult, error) {
 	}
 
 	// Collect tree edges: every non-root member's (p2s, nid, d2s).
-	rows, err := db.Query(fmt.Sprintf(
+	rows, err := e.sess.Query(fmt.Sprintf(
 		"SELECT p2s, nid, d2s FROM %s WHERE f = 1 AND d2s > 0 AND p2s <> %d",
 		TblVisited, NoParent))
 	qs.Statements++

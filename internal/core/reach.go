@@ -22,11 +22,15 @@ type ReachResult struct {
 
 // Reachable reports whether t is reachable from s following directed edges.
 func (e *Engine) Reachable(s, t int64) (*ReachResult, error) {
-	if e.nodes == 0 {
+	// Shares the TVisited working table with searches.
+	e.queryMu.Lock()
+	defer e.queryMu.Unlock()
+	nodes := e.Nodes()
+	if nodes == 0 {
 		return nil, fmt.Errorf("core: no graph loaded")
 	}
-	if s < 0 || t < 0 || int(s) >= e.nodes || int(t) >= e.nodes {
-		return nil, fmt.Errorf("core: node out of range (n=%d)", e.nodes)
+	if s < 0 || t < 0 || int(s) >= nodes || int(t) >= nodes {
+		return nil, fmt.Errorf("core: node out of range (n=%d)", nodes)
 	}
 	qs := &QueryStats{Algorithm: "Reach"}
 	start := time.Now()

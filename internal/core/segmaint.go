@@ -29,11 +29,16 @@ type MaintStats struct {
 // InsertEdge adds a (from, to, weight) edge to TEdges and, when a SegTable
 // is built, incrementally maintains TOutSegs and TInSegs.
 func (e *Engine) InsertEdge(from, to, weight int64) (*MaintStats, error) {
-	if e.nodes == 0 {
+	// Mutating the graph excludes searches and invalidates the path
+	// cache: any cached answer may be improved by the new edge.
+	e.queryMu.Lock()
+	defer e.queryMu.Unlock()
+	nodes := e.Nodes()
+	if nodes == 0 {
 		return nil, fmt.Errorf("core: no graph loaded")
 	}
-	if from < 0 || to < 0 || int(from) >= e.nodes || int(to) >= e.nodes {
-		return nil, fmt.Errorf("core: node out of range (n=%d)", e.nodes)
+	if from < 0 || to < 0 || int(from) >= nodes || int(to) >= nodes {
+		return nil, fmt.Errorf("core: node out of range (n=%d)", nodes)
 	}
 	if weight < 1 {
 		return nil, fmt.Errorf("core: edge weight must be positive, got %d", weight)
@@ -46,11 +51,15 @@ func (e *Engine) InsertEdge(from, to, weight int64) (*MaintStats, error) {
 		"INSERT INTO %s (fid, tid, cost) VALUES (?, ?, ?)", TblEdges), from, to, weight); err != nil {
 		return nil, err
 	}
+	e.mu.Lock()
 	e.edges++
 	if weight < e.wmin {
 		e.wmin = weight
 	}
-	if !e.segBuilt {
+	e.bumpVersionLocked()
+	segBuilt := e.segBuilt
+	e.mu.Unlock()
+	if !segBuilt {
 		st.Statements = qs.Statements
 		st.Time = time.Since(start)
 		return st, nil
@@ -185,7 +194,7 @@ func (e *Engine) mergelessMaintain(qs *QueryStats, target, srcSelect string, arg
 			"CREATE TABLE TSegMaint (fid INT, tid INT, pid INT, cost INT)",
 			"CREATE UNIQUE CLUSTERED INDEX tsegmaint_key ON TSegMaint (fid, tid)",
 		} {
-			if _, err := e.db.Exec(q); err != nil {
+			if _, err := e.sess.Exec(q); err != nil {
 				return 0, err
 			}
 			qs.Statements++

@@ -14,7 +14,11 @@ import (
 // minimal unfinalized distance exceeds lthd, and a final MERGE folds in the
 // remaining original edges.
 func (e *Engine) BuildSegTable(lthd int64) (*SegTableStats, error) {
-	if e.nodes == 0 {
+	// Building excludes searches (shared working tables) and invalidates
+	// every cached answer: BSEG results depend on the index.
+	e.queryMu.Lock()
+	defer e.queryMu.Unlock()
+	if e.Nodes() == 0 {
 		return nil, fmt.Errorf("core: no graph loaded")
 	}
 	if lthd < 1 {
@@ -24,10 +28,10 @@ func (e *Engine) BuildSegTable(lthd int64) (*SegTableStats, error) {
 	start := time.Now()
 	qs := &QueryStats{Algorithm: "SegBuild"} // reuse the statement counter
 
-	db := e.db
+	db := e.sess
 	// (Re)create the index tables under the engine's strategy.
 	for _, tbl := range []string{TblOutSegs, TblInSegs, TblSeg} {
-		if _, ok := db.Catalog().Get(tbl); ok {
+		if _, ok := e.db.Catalog().Get(tbl); ok {
 			if _, err := db.Exec("DROP TABLE " + tbl); err != nil {
 				return nil, err
 			}
@@ -95,9 +99,12 @@ func (e *Engine) BuildSegTable(lthd int64) (*SegTableStats, error) {
 	st.InSegs = int(inCnt)
 	st.Statements = qs.Statements
 	st.BuildTime = time.Since(start)
+	e.mu.Lock()
 	e.segBuilt = true
 	e.segLthd = lthd
 	e.opts.Lthd = lthd
+	e.bumpVersionLocked()
+	e.mu.Unlock()
 	return st, nil
 }
 
@@ -246,9 +253,9 @@ func pidRef(forward bool) string {
 // with aggregate + join-back (TSQL). The expansion lands in scratch tables
 // keyed (src, nid).
 func (e *Engine) segExpandNoMerge(qs *QueryStats, joinCol, newCol string, useWindow bool, lthd int64) error {
-	db := e.db
+	db := e.sess
 	// Lazily create the wide scratch table for construction (src, nid).
-	if _, ok := db.Catalog().Get("TSegExpand"); !ok {
+	if _, ok := e.db.Catalog().Get("TSegExpand"); !ok {
 		for _, q := range []string{
 			"CREATE TABLE TSegExpand (src INT, nid INT, par INT, cost INT)",
 			"CREATE UNIQUE CLUSTERED INDEX tsegexpand_key ON TSegExpand (src, nid)",

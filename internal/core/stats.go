@@ -42,9 +42,15 @@ type QueryStats struct {
 	FOp, EOp, MOp time.Duration
 	// Total wall time of the query.
 	Total time.Duration
+	// CacheHit reports that the answer came from the path cache: no SQL
+	// ran, and every other counter is zero.
+	CacheHit bool
 }
 
 func (q *QueryStats) String() string {
+	if q.CacheHit {
+		return fmt.Sprintf("%s: cache hit", q.Algorithm)
+	}
 	return fmt.Sprintf("%s: exps=%d (f=%d b=%d) stmts=%d visited=%d total=%v [PE=%v SC=%v FPR=%v]",
 		q.Algorithm, q.Expansions, q.ForwardExpansions, q.BackwardExpansions,
 		q.Statements, q.VisitedRows, q.Total.Round(time.Microsecond),

@@ -3,11 +3,20 @@
 // interface the paper's client uses over JDBC — Exec with SQLCA-style
 // affected-row counts, Query with positional ? parameters, and per-engine
 // feature profiles (DBMS-x supports MERGE, PostgreSQL 9.0 does not).
+//
+// Concurrency model: a DB carries an RW latch. SELECTs (Query/QueryInt)
+// run under the shared side, so any number of sessions can read at once;
+// statements that mutate data or schema (Exec) take the exclusive side.
+// Combined with the sharded buffer pool underneath, this makes the read
+// path scale with concurrent callers while writers keep the serialized
+// one-statement-at-a-time semantics the paper's client assumes. Callers
+// that want per-caller accounting open a Session (see session.go).
 package rdb
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exec"
@@ -48,29 +57,43 @@ type Options struct {
 }
 
 // Stats aggregates engine activity since Open or the last ResetStats.
+// Session counters are folded in: SessionStatements is the subset of
+// Statements issued through Session handles, and ActiveSessions /
+// SessionsOpened track the serving tier's concurrency.
 type Stats struct {
 	Statements   uint64
 	ParsePlanDur time.Duration
 	ExecDur      time.Duration
-	Pool         storage.PoolStats
-	IO           storage.IOStats
+	// SessionsOpened counts Session handles created since Open.
+	SessionsOpened uint64
+	// ActiveSessions counts Session handles not yet closed.
+	ActiveSessions int64
+	// SessionStatements counts statements issued through sessions.
+	SessionStatements uint64
+	Pool              storage.PoolStats
+	IO                storage.IOStats
 }
 
-// DB is one embedded database instance. Statements execute one at a time
-// under an internal mutex, mirroring the paper's single JDBC session.
+// DB is one embedded database instance. Reads (Query) run concurrently
+// under the shared side of an RW latch; writes (Exec) are exclusive,
+// mirroring the paper's single JDBC writer while letting many readers in.
 type DB struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	disk    storage.DiskManager
 	pool    *storage.BufferPool
 	cat     *table.Catalog
 	planner *exec.Planner
 	profile Profile
 
-	stmts    uint64
-	parseDur time.Duration
-	execDur  time.Duration
-	baseIO   storage.IOStats
-	closed   bool
+	// Counters are atomics because the read path updates them while
+	// holding only the shared latch.
+	stmts        atomic.Uint64
+	parseDurNs   atomic.Int64
+	execDurNs    atomic.Int64
+	sessionSeq   atomic.Uint64
+	sessionsOpen atomic.Int64
+	sessionStmts atomic.Uint64
+	closed       bool
 }
 
 // Open creates a fresh database.
@@ -127,26 +150,29 @@ func (db *DB) Pool() *storage.BufferPool { return db.pool }
 
 // Stats snapshots engine counters.
 func (db *DB) Stats() Stats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	return Stats{
-		Statements:   db.stmts,
-		ParsePlanDur: db.parseDur,
-		ExecDur:      db.execDur,
-		Pool:         db.pool.Stats(),
-		IO:           db.disk.Stats(),
+		Statements:        db.stmts.Load(),
+		ParsePlanDur:      time.Duration(db.parseDurNs.Load()),
+		ExecDur:           time.Duration(db.execDurNs.Load()),
+		SessionsOpened:    db.sessionSeq.Load(),
+		ActiveSessions:    db.sessionsOpen.Load(),
+		SessionStatements: db.sessionStmts.Load(),
+		Pool:              db.pool.Stats(),
+		IO:                db.disk.Stats(),
 	}
 }
 
 // ResetStats zeroes statement and buffer counters (between bench phases).
 func (db *DB) ResetStats() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.stmts = 0
-	db.parseDur = 0
-	db.execDur = 0
+	db.stmts.Store(0)
+	db.parseDurNs.Store(0)
+	db.execDurNs.Store(0)
+	db.sessionStmts.Store(0)
 	db.pool.ResetStats()
 }
+
+// Result is the SQLCA-style outcome of a mutating statement.
+type Result = exec.Result
 
 // Rows is a fully materialized query result (result sets in the workload
 // are tiny: frontier ids, minima, path links).
@@ -246,7 +272,8 @@ func exprUsesWindow(e sql.Expr) bool {
 }
 
 // Exec parses, plans and runs one statement, returning the SQLCA-style
-// affected-row count.
+// affected-row count. Mutating statements take the exclusive latch, so an
+// Exec drains concurrent readers before running and blocks new ones.
 func (db *DB) Exec(query string, args ...any) (exec.Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -269,11 +296,11 @@ func (db *DB) Exec(query string, args ...any) (exec.Result, error) {
 	if err := db.checkFeatures(st); err != nil {
 		return exec.Result{}, err
 	}
-	db.parseDur += time.Since(t0)
-	db.stmts++
+	db.parseDurNs.Add(int64(time.Since(t0)))
+	db.stmts.Add(1)
 	ctx := &exec.Ctx{Params: params}
 	t1 := time.Now()
-	defer func() { db.execDur += time.Since(t1) }()
+	defer func() { db.execDurNs.Add(int64(time.Since(t1))) }()
 	switch s := st.(type) {
 	case *sql.CreateTableStmt:
 		return exec.Result{}, db.planner.ExecCreateTable(s)
@@ -308,10 +335,11 @@ func wrapErr(err error, query string) error {
 	return fmt.Errorf("%w\n  in: %s", err, query)
 }
 
-// Query parses, plans and runs a SELECT, materializing the result.
+// Query parses, plans and runs a SELECT, materializing the result. SELECTs
+// take only the shared latch, so sessions can read concurrently.
 func (db *DB) Query(query string, args ...any) (*Rows, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return nil, fmt.Errorf("rdb: database is closed")
 	}
@@ -339,12 +367,12 @@ func (db *DB) Query(query string, args ...any) (*Rows, error) {
 	if err != nil {
 		return nil, wrapErr(err, query)
 	}
-	db.parseDur += time.Since(t0)
-	db.stmts++
+	db.parseDurNs.Add(int64(time.Since(t0)))
+	db.stmts.Add(1)
 	ctx := &exec.Ctx{Params: params}
 	t1 := time.Now()
 	rows, err := exec.RunPlanPublic(plan, ctx)
-	db.execDur += time.Since(t1)
+	db.execDurNs.Add(int64(time.Since(t1)))
 	if err != nil {
 		return nil, wrapErr(err, query)
 	}

@@ -14,14 +14,32 @@ type PoolStats struct {
 	Flushes   uint64
 }
 
+// maxShards bounds how far a pool fans out; 16 latches is plenty for the
+// session counts a single embedded engine serves.
+const maxShards = 16
+
+// minFramesPerShard is the smallest shard worth creating: below this, clock
+// eviction degenerates and small test pools would lose their exact-capacity
+// pin semantics, so pools under 2*minFramesPerShard frames stay unsharded.
+const minFramesPerShard = 64
+
 // BufferPool caches a bounded number of pages over a DiskManager, using the
 // clock (second-chance) replacement policy. All table and index access in
 // the engine flows through a pool, which is what makes the paper's
 // buffer-size experiments (Fig 8(b), 9(g)) meaningful.
 //
-// The pool is safe for concurrent use, though the query engine above it is
-// single-statement-at-a-time, mirroring the paper's JDBC client.
+// The pool is sharded by page id: each shard owns its own latch, frame
+// array and clock hand, so concurrent read sessions fetching disjoint pages
+// do not contend on a single mutex. Small pools (under 128 frames) keep a
+// single shard, preserving the exact pin-capacity semantics the unit tests
+// and the paper's tiny buffer-sweep configurations rely on.
 type BufferPool struct {
+	disk   DiskManager
+	shards []*poolShard
+}
+
+// poolShard is one latch domain of the pool.
+type poolShard struct {
 	mu     sync.Mutex
 	disk   DiskManager
 	frames []*Page
@@ -35,31 +53,70 @@ func NewBufferPool(disk DiskManager, capacity int) *BufferPool {
 	if capacity < 8 {
 		capacity = 8
 	}
-	return &BufferPool{
-		disk:   disk,
-		frames: make([]*Page, capacity),
-		table:  make(map[PageID]int, capacity),
+	nshards := capacity / minFramesPerShard
+	if nshards > maxShards {
+		nshards = maxShards
 	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	bp := &BufferPool{disk: disk, shards: make([]*poolShard, nshards)}
+	base, rem := capacity/nshards, capacity%nshards
+	for i := range bp.shards {
+		n := base
+		if i < rem {
+			n++
+		}
+		bp.shards[i] = &poolShard{
+			disk:   disk,
+			frames: make([]*Page, n),
+			table:  make(map[PageID]int, n),
+		}
+	}
+	return bp
 }
 
-// Capacity returns the number of frames.
-func (bp *BufferPool) Capacity() int { return len(bp.frames) }
+// shardFor maps a page id to its latch domain.
+func (bp *BufferPool) shardFor(id PageID) *poolShard {
+	return bp.shards[int(id)%len(bp.shards)]
+}
+
+// Capacity returns the total number of frames across all shards.
+func (bp *BufferPool) Capacity() int {
+	c := 0
+	for _, sh := range bp.shards {
+		c += len(sh.frames)
+	}
+	return c
+}
+
+// Shards returns the number of latch domains (1 for small pools).
+func (bp *BufferPool) Shards() int { return len(bp.shards) }
 
 // Disk exposes the underlying disk manager (for stats).
 func (bp *BufferPool) Disk() DiskManager { return bp.disk }
 
-// Stats returns cumulative counters.
+// Stats returns cumulative counters summed over all shards.
 func (bp *BufferPool) Stats() PoolStats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.stats
+	var s PoolStats
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		s.Hits += sh.stats.Hits
+		s.Misses += sh.stats.Misses
+		s.Evictions += sh.stats.Evictions
+		s.Flushes += sh.stats.Flushes
+		sh.mu.Unlock()
+	}
+	return s
 }
 
 // ResetStats zeroes the counters (used between benchmark phases).
 func (bp *BufferPool) ResetStats() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats = PoolStats{}
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		sh.stats = PoolStats{}
+		sh.mu.Unlock()
+	}
 }
 
 // NewPage allocates a fresh page on disk and returns it pinned.
@@ -68,16 +125,17 @@ func (bp *BufferPool) NewPage() (*Page, error) {
 	if err != nil {
 		return nil, err
 	}
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	idx, err := bp.victimLocked()
+	sh := bp.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	idx, err := sh.victimLocked()
 	if err != nil {
 		return nil, err
 	}
 	pg := &Page{id: id, pinCount: 1, refbit: true}
 	pg.dirty = true // fresh page must be written at least once
-	bp.frames[idx] = pg
-	bp.table[id] = idx
+	sh.frames[idx] = pg
+	sh.table[id] = idx
 	return pg, nil
 }
 
@@ -86,38 +144,45 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	if id == InvalidPageID {
 		return nil, fmt.Errorf("storage: fetch of invalid page")
 	}
-	bp.mu.Lock()
-	if idx, ok := bp.table[id]; ok {
-		pg := bp.frames[idx]
+	sh := bp.shardFor(id)
+	sh.mu.Lock()
+	if idx, ok := sh.table[id]; ok {
+		pg := sh.frames[idx]
 		pg.pinCount++
 		pg.refbit = true
-		bp.stats.Hits++
-		bp.mu.Unlock()
+		sh.stats.Hits++
+		sh.mu.Unlock()
 		return pg, nil
 	}
-	bp.stats.Misses++
-	idx, err := bp.victimLocked()
+	sh.stats.Misses++
+	idx, err := sh.victimLocked()
 	if err != nil {
-		bp.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, err
 	}
 	pg := &Page{id: id, pinCount: 1, refbit: true}
-	bp.frames[idx] = pg
-	bp.table[id] = idx
-	// Read outside the critical section would be nicer, but the engine is
-	// effectively single-threaded per statement; keep the invariant simple.
-	err = bp.disk.ReadPage(id, pg.Data[:])
-	bp.mu.Unlock()
+	sh.frames[idx] = pg
+	sh.table[id] = idx
+	// The read happens under the shard latch so no other session can see
+	// the frame until its content is valid; only this shard blocks.
+	err = sh.disk.ReadPage(id, pg.Data[:])
 	if err != nil {
+		// Unmap the never-initialized frame: leaving it would hand later
+		// fetches zeroed bytes as a cache hit and leak the pin.
+		delete(sh.table, id)
+		sh.frames[idx] = nil
+		sh.mu.Unlock()
 		return nil, err
 	}
+	sh.mu.Unlock()
 	return pg, nil
 }
 
 // Unpin releases one pin on page id; dirty marks the content modified.
 func (bp *BufferPool) Unpin(pg *Page, dirty bool) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
+	sh := bp.shardFor(pg.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if dirty {
 		pg.dirty = true
 	}
@@ -127,18 +192,18 @@ func (bp *BufferPool) Unpin(pg *Page, dirty bool) {
 }
 
 // victimLocked finds a free or evictable frame, flushing dirty victims.
-func (bp *BufferPool) victimLocked() (int, error) {
-	n := len(bp.frames)
+func (sh *poolShard) victimLocked() (int, error) {
+	n := len(sh.frames)
 	for i := 0; i < n; i++ {
-		if bp.frames[i] == nil {
+		if sh.frames[i] == nil {
 			return i, nil
 		}
 	}
 	// Clock sweep: up to 2 full rotations (first clears refbits).
 	for sweep := 0; sweep < 2*n+1; sweep++ {
-		idx := bp.hand
-		bp.hand = (bp.hand + 1) % n
-		pg := bp.frames[idx]
+		idx := sh.hand
+		sh.hand = (sh.hand + 1) % n
+		pg := sh.frames[idx]
 		if pg.pinCount > 0 {
 			continue
 		}
@@ -147,31 +212,34 @@ func (bp *BufferPool) victimLocked() (int, error) {
 			continue
 		}
 		if pg.dirty {
-			if err := bp.disk.WritePage(pg.id, pg.Data[:]); err != nil {
+			if err := sh.disk.WritePage(pg.id, pg.Data[:]); err != nil {
 				return 0, err
 			}
-			bp.stats.Flushes++
+			sh.stats.Flushes++
 		}
-		delete(bp.table, pg.id)
-		bp.frames[idx] = nil
-		bp.stats.Evictions++
+		delete(sh.table, pg.id)
+		sh.frames[idx] = nil
+		sh.stats.Evictions++
 		return idx, nil
 	}
-	return 0, fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", n)
+	return 0, fmt.Errorf("storage: buffer pool shard exhausted (%d frames, all pinned)", n)
 }
 
 // FlushAll writes every dirty page back to disk (pages stay cached).
 func (bp *BufferPool) FlushAll() error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for _, pg := range bp.frames {
-		if pg != nil && pg.dirty {
-			if err := bp.disk.WritePage(pg.id, pg.Data[:]); err != nil {
-				return err
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		for _, pg := range sh.frames {
+			if pg != nil && pg.dirty {
+				if err := sh.disk.WritePage(pg.id, pg.Data[:]); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				pg.dirty = false
+				sh.stats.Flushes++
 			}
-			pg.dirty = false
-			bp.stats.Flushes++
 		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -179,13 +247,15 @@ func (bp *BufferPool) FlushAll() error {
 // PinnedPages reports how many pages currently hold pins (test helper to
 // catch pin leaks, which would otherwise exhaust the pool mid-benchmark).
 func (bp *BufferPool) PinnedPages() int {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
 	c := 0
-	for _, pg := range bp.frames {
-		if pg != nil && pg.pinCount > 0 {
-			c++
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		for _, pg := range sh.frames {
+			if pg != nil && pg.pinCount > 0 {
+				c++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return c
 }

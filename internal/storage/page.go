@@ -6,6 +6,12 @@
 // size sweeps (Fig 8(b), 9(g)) and clustered-index locality (Fig 8(c)) only
 // make sense when tables live on pages that must be fetched through a
 // bounded cache — so this layer is a real page store, not a map.
+//
+// Concurrency: the buffer pool is sharded by page id, one latch per shard,
+// so concurrent read sessions fetching disjoint pages proceed in parallel.
+// Page contents carry no latch of their own — the layers above guarantee
+// that writers are exclusive (the rdb facade's RW statement latch) while
+// any number of readers share pinned pages.
 package storage
 
 import (

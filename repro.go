@@ -15,6 +15,13 @@
 //   - Graph tooling (internal/graph): generators matching the paper's
 //     datasets, CSV persistence, and the in-memory baselines MDJ/MBDJ.
 //
+// On top of the FEM engine sits a concurrent serving layer: Engine is safe
+// for any number of concurrent ShortestPath callers (an LRU result cache
+// answers repeats from memory; relational searches serialize on a query
+// latch), Engine.ShortestPathBatch fans a query set across a worker pool,
+// and cmd/spdbd exposes the whole stack over HTTP. See
+// docs/ARCHITECTURE.md for the concurrency model and its invariants.
+//
 // Quickstart:
 //
 //	db, _ := repro.Open(repro.DBOptions{})
@@ -35,16 +42,22 @@ import (
 
 // Re-exported database types.
 type (
-	// DB is an embedded relational database instance.
+	// DB is an embedded relational database instance. SELECTs run
+	// concurrently under a shared latch; mutating statements are exclusive.
 	DB = rdb.DB
 	// DBOptions configures Open (buffer pool size, backing file, profile).
 	DBOptions = rdb.Options
 	// Profile models the emulated DBMS feature set.
 	Profile = rdb.Profile
-	// DBStats aggregates engine counters (statements, buffer, I/O).
+	// DBStats aggregates engine counters (statements, sessions, buffer, I/O).
 	DBStats = rdb.Stats
 	// Rows is a materialized query result.
 	Rows = rdb.Rows
+	// Session is a per-caller handle over a shared DB with its own
+	// statement counters; open one per concurrent client (DB.Session).
+	Session = rdb.Session
+	// SessionStats snapshots one session's activity.
+	SessionStats = rdb.SessionStats
 )
 
 // Engine profiles from the paper's evaluation (§5.1).
@@ -71,11 +84,22 @@ type (
 	// Path is a discovered shortest path.
 	Path = core.Path
 	// QueryStats carries per-query metrics (expansions, statements,
-	// visited rows, phase and operator timings).
+	// visited rows, phase and operator timings, cache hits).
 	QueryStats = core.QueryStats
 	// SegTableStats reports a SegTable construction.
 	SegTableStats = core.SegTableStats
+	// CacheStats snapshots the engine's shortest-path result cache
+	// (Engine.CacheStats).
+	CacheStats = core.CacheStats
+	// BatchQuery is one (source, target) pair for Engine.ShortestPathBatch.
+	BatchQuery = core.BatchQuery
+	// BatchResult pairs a batch query with its path, stats and error.
+	BatchResult = core.BatchResult
 )
+
+// DefaultCacheSize is the path-cache capacity used when
+// EngineOptions.CacheSize is zero.
+const DefaultCacheSize = core.DefaultCacheSize
 
 // Algorithms (§5.1 naming).
 const (
