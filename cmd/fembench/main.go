@@ -6,6 +6,7 @@
 //	fembench -list
 //	fembench -exp table2,fig6a
 //	fembench -exp all -queries 10 -scale 1.0 -v
+//	fembench -exp oracle-alt -json bench-results
 //	fembench -loadgen -clients 16 -lgalg BSEG -lgqueries 50 -repeat 5
 //
 // Each experiment prints a table whose rows mirror the corresponding
@@ -13,6 +14,11 @@
 // paper-vs-measured discussion). The -loadgen mode replays a query set from
 // a pool of concurrent clients against one shared engine, once with a cold
 // path cache and once hot, and reports queries/sec for each round.
+//
+// With -json <dir>, every run additionally writes machine-readable
+// BENCH_<name>.json files (table rows plus run config and wall time;
+// cold/hot QPS for -loadgen) so the perf trajectory is recorded as a CI
+// artifact instead of scrolling away in logs.
 package main
 
 import (
@@ -35,6 +41,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "generator seed")
 		verbose = flag.Bool("v", false, "progress output")
 		dataDir = flag.String("datadir", "", "directory for file-backed databases (default: temp)")
+		jsonDir = flag.String("json", "", "also write machine-readable BENCH_<name>.json files into this directory")
 
 		loadgen   = flag.Bool("loadgen", false, "run the serving-tier load generator instead of experiments")
 		clients   = flag.Int("clients", 8, "loadgen: concurrent client workers")
@@ -47,7 +54,7 @@ func main() {
 	flag.Parse()
 
 	if *loadgen {
-		runLoadGen(*lgAlg, *lgNodes, *lgQueries, *repeat, *clients, *lthd, *seed, *verbose)
+		runLoadGen(*lgAlg, *lgNodes, *lgQueries, *repeat, *clients, *lthd, *seed, *verbose, *jsonDir)
 		return
 	}
 
@@ -96,6 +103,15 @@ func main() {
 		}
 		tab.Fprint(os.Stdout)
 		fmt.Printf("   (regenerated in %v)\n\n", time.Since(t0).Round(time.Millisecond))
+		if *jsonDir != "" {
+			path, err := bench.WriteTableJSON(*jsonDir, tab, cfg, time.Since(t0))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing JSON: %v\n", id, err)
+				failed++
+				continue
+			}
+			fmt.Printf("   wrote %s\n\n", path)
+		}
 	}
 	fmt.Printf("done: %d experiment(s) in %v\n", len(ids)-failed, time.Since(start).Round(time.Millisecond))
 	if failed > 0 {
@@ -103,7 +119,7 @@ func main() {
 	}
 }
 
-func runLoadGen(algName string, nodes int64, queries, repeat, clients int, lthd, seed int64, verbose bool) {
+func runLoadGen(algName string, nodes int64, queries, repeat, clients int, lthd, seed int64, verbose bool, jsonDir string) {
 	alg, err := core.ParseAlgorithm(algName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -127,6 +143,14 @@ func runLoadGen(algName string, nodes int64, queries, repeat, clients int, lthd,
 		os.Exit(1)
 	}
 	bench.LoadGenTable(cfg, res).Fprint(os.Stdout)
+	if jsonDir != "" {
+		path, err := bench.WriteLoadGenJSON(jsonDir, cfg, res)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: writing JSON: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("   wrote %s\n", path)
+	}
 	if res.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: %d queries failed\n", res.Errors)
 		os.Exit(1)

@@ -8,15 +8,22 @@
 // Endpoints:
 //
 //	GET  /shortest-path?s=17&t=4711[&alg=BSEG]   one query, JSON answer
+//	GET  /shortest-path?s=17&t=4711&mode=approx  landmark interval, no search
 //	POST /shortest-path                          {"alg":"BSDJ","queries":[{"s":1,"t":2},...]}
+//	GET  /distance?s=17&t=4711                   [lower, upper] distance interval
 //	GET  /stats                                  engine, cache, DB and server counters
 //	GET  /healthz                                liveness (200 once the graph is served)
+//
+// Approximate answers come from the landmark oracle (-landmarks): they
+// bracket the distance by landmark triangulation without touching the edge
+// relation, so they stay microsecond-fast while exact searches run.
 //
 // Examples:
 //
 //	spdbd -gen power:20000:3 -alg BSEG -lthd 20 -addr :8080
-//	spdbd -load graph.csv -alg BSDJ
+//	spdbd -load graph.csv -alg ALT -landmarks 16
 //	curl 'localhost:8080/shortest-path?s=17&t=4711'
+//	curl 'localhost:8080/distance?s=17&t=4711'
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get a drain window before the listener closes.
@@ -39,6 +46,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/oracle"
 	"repro/internal/rdb"
 )
 
@@ -58,6 +66,35 @@ type server struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64
 	served   atomic.Uint64 // individual queries answered (batch counts each)
+	// byAlg counts answered queries per algorithm (indexed by Algorithm);
+	// approx counts landmark-interval answers, which run no algorithm.
+	byAlg  [algSlots]atomic.Uint64
+	approx atomic.Uint64
+}
+
+// algSlots bounds the per-algorithm counter array; core.AlgALT is the
+// highest algorithm id.
+const algSlots = int(core.AlgALT) + 1
+
+func (sv *server) countAlg(alg core.Algorithm) {
+	if int(alg) < algSlots {
+		sv.byAlg[alg].Add(1)
+	}
+}
+
+// queriesByAlgorithm snapshots the per-algorithm counters, only reporting
+// algorithms that served traffic.
+func (sv *server) queriesByAlgorithm() map[string]uint64 {
+	out := map[string]uint64{}
+	for i := 0; i < algSlots; i++ {
+		if n := sv.byAlg[i].Load(); n > 0 {
+			out[core.Algorithm(i).String()] = n
+		}
+	}
+	if n := sv.approx.Load(); n > 0 {
+		out["approx"] = n
+	}
+	return out
 }
 
 // pathResponse is the JSON answer for one shortest-path query.
@@ -74,6 +111,22 @@ type pathResponse struct {
 	Statements int    `json:"statements"`
 	DurationUS int64  `json:"duration_us"`
 	Error      string `json:"error,omitempty"`
+}
+
+// distanceResponse is the JSON answer for an approximate-distance query:
+// the interval [lower, upper] always contains the exact distance. Upper is
+// omitted when no landmark certifies a path; unreachable is a proof that
+// no path exists at all.
+type distanceResponse struct {
+	Source      int64  `json:"source"`
+	Target      int64  `json:"target"`
+	Mode        string `json:"mode"`
+	Lower       int64  `json:"lower"`
+	Upper       *int64 `json:"upper,omitempty"`
+	Exact       bool   `json:"exact"`
+	Unreachable bool   `json:"unreachable"`
+	DurationUS  int64  `json:"duration_us"`
+	Error       string `json:"error,omitempty"`
 }
 
 // batchRequest is the POST /shortest-path body.
@@ -140,7 +193,65 @@ func (sv *server) answer(alg core.Algorithm, s, t int64) pathResponse {
 		resp.Statements = qs.Statements
 	}
 	sv.served.Add(1)
+	sv.countAlg(alg)
 	return resp
+}
+
+// answerApprox serves a landmark-interval answer.
+func (sv *server) answerApprox(s, t int64) distanceResponse {
+	t0 := time.Now()
+	iv, err := sv.eng.ApproxDistance(s, t)
+	resp := distanceResponse{
+		Source:     s,
+		Target:     t,
+		Mode:       "approx",
+		DurationUS: time.Since(t0).Microseconds(),
+	}
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	if iv.Unreachable() {
+		resp.Unreachable = true
+	} else {
+		resp.Lower = iv.Lower
+		if iv.UpperKnown() {
+			u := iv.Upper
+			resp.Upper = &u
+			resp.Exact = iv.Exact()
+		}
+	}
+	sv.served.Add(1)
+	sv.approx.Add(1)
+	return resp
+}
+
+// handleDistance serves GET /distance: the approximate [lower, upper]
+// interval from the landmark oracle.
+func (sv *server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	sv.requests.Add(1)
+	if r.Method != http.MethodGet {
+		sv.errors.Add(1)
+		w.Header().Set("Allow", "GET")
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use GET"})
+		return
+	}
+	q := r.URL.Query()
+	s, errS := strconv.ParseInt(q.Get("s"), 10, 64)
+	t, errT := strconv.ParseInt(q.Get("t"), 10, 64)
+	if errS != nil || errT != nil {
+		sv.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": "need integer query parameters s and t"})
+		return
+	}
+	resp := sv.answerApprox(s, t)
+	status := http.StatusOK
+	if resp.Error != "" {
+		sv.errors.Add(1)
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, resp)
 }
 
 // handleShortestPath serves GET (single query) and POST (batch).
@@ -155,6 +266,23 @@ func (sv *server) handleShortestPath(w http.ResponseWriter, r *http.Request) {
 			sv.errors.Add(1)
 			writeJSON(w, http.StatusBadRequest, map[string]string{
 				"error": "need integer query parameters s and t"})
+			return
+		}
+		switch q.Get("mode") {
+		case "", "exact":
+		case "approx":
+			resp := sv.answerApprox(s, t)
+			status := http.StatusOK
+			if resp.Error != "" {
+				sv.errors.Add(1)
+				status = http.StatusUnprocessableEntity
+			}
+			writeJSON(w, status, resp)
+			return
+		default:
+			sv.errors.Add(1)
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("unknown mode %q (exact|approx)", q.Get("mode"))})
 			return
 		}
 		alg := sv.defaultAlg
@@ -221,6 +349,7 @@ func (sv *server) handleShortestPath(w http.ResponseWriter, r *http.Request) {
 				out[i].Statements = res.Stats.Statements
 			}
 			sv.served.Add(1)
+			sv.countAlg(alg)
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"results":     out,
@@ -239,21 +368,45 @@ func (sv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sv.requests.Add(1)
 	dbStats := sv.eng.DB().Stats()
 	cacheStats := sv.eng.CacheStats()
+	// Hit ratio over the lookups that could have hit (hits + misses);
+	// 0 when the cache has seen no traffic.
+	hitRatio := 0.0
+	if lookups := cacheStats.Hits + cacheStats.Misses; lookups > 0 {
+		hitRatio = float64(cacheStats.Hits) / float64(lookups)
+	}
+	graphStats := map[string]any{
+		"nodes":    sv.eng.Nodes(),
+		"edges":    sv.eng.Edges(),
+		"wmin":     sv.eng.WMin(),
+		"seg_lthd": sv.eng.SegLthd(),
+		"version":  sv.eng.GraphVersion(),
+	}
+	if orc := sv.eng.Oracle(); orc != nil {
+		graphStats["oracle"] = map[string]any{
+			"landmarks": orc.Landmarks,
+			"k":         orc.K,
+			"strategy":  orc.Strategy.String(),
+			"rows":      orc.Rows,
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"server": map[string]any{
-			"uptime_s":       int64(time.Since(sv.start).Seconds()),
-			"requests":       sv.requests.Load(),
-			"errors":         sv.errors.Load(),
-			"queries_served": sv.served.Load(),
+			"uptime_s":             int64(time.Since(sv.start).Seconds()),
+			"requests":             sv.requests.Load(),
+			"errors":               sv.errors.Load(),
+			"queries_served":       sv.served.Load(),
+			"queries_by_algorithm": sv.queriesByAlgorithm(),
 		},
-		"graph": map[string]any{
-			"nodes":    sv.eng.Nodes(),
-			"edges":    sv.eng.Edges(),
-			"wmin":     sv.eng.WMin(),
-			"seg_lthd": sv.eng.SegLthd(),
-			"version":  sv.eng.GraphVersion(),
+		"graph": graphStats,
+		"cache": map[string]any{
+			"hits":          cacheStats.Hits,
+			"misses":        cacheStats.Misses,
+			"hit_ratio":     hitRatio,
+			"evictions":     cacheStats.Evictions,
+			"invalidations": cacheStats.Invalidations,
+			"entries":       cacheStats.Entries,
+			"capacity":      cacheStats.Capacity,
 		},
-		"cache": cacheStats,
 		"db": map[string]any{
 			"statements":         dbStats.Statements,
 			"session_statements": dbStats.SessionStatements,
@@ -281,8 +434,10 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		gen      = flag.String("gen", "", "generate a graph: power:N:D | random:N:M | dblp:PCT | web:PCT | lj:PERMILLE")
 		load     = flag.String("load", "", "load a CSV graph (fid,tid,cost)")
-		algName  = flag.String("alg", "BSDJ", "default algorithm: DJ|BDJ|BSDJ|BBFS|BSEG")
+		algName  = flag.String("alg", "BSDJ", "default algorithm: DJ|BDJ|BSDJ|BBFS|BSEG|ALT")
 		lthd     = flag.Int64("lthd", 0, "build SegTable with this threshold (required for BSEG)")
+		lmk      = flag.Int("landmarks", 0, "build a landmark oracle with this many landmarks (required for ALT and /distance)")
+		lmkStrat = flag.String("landmark-strategy", "degree", "landmark placement: degree|farthest")
 		cacheSz  = flag.Int("cache", 0, "path cache entries (0 = default, negative disables)")
 		poolSz   = flag.Int("pool", 0, "buffer pool pages (0 = default)")
 		seed     = flag.Int64("seed", 42, "generator seed")
@@ -331,10 +486,27 @@ func main() {
 		}
 		fmt.Printf("spdbd: %s\n", st)
 	}
+	if *lmk > 0 || alg == core.AlgALT {
+		strat, err := oracle.ParseStrategy(*lmkStrat)
+		if err != nil {
+			fail("%v", err)
+		}
+		k := *lmk
+		if k <= 0 {
+			k = oracle.DefaultK
+		}
+		fmt.Printf("spdbd: building landmark oracle (k=%d, %s)...\n", k, strat)
+		st, err := eng.BuildOracle(oracle.Config{K: k, Strategy: strat})
+		if err != nil {
+			fail("oracle: %v", err)
+		}
+		fmt.Printf("spdbd: %s\n", st)
+	}
 
 	sv := &server{eng: eng, defaultAlg: alg, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/shortest-path", sv.handleShortestPath)
+	mux.HandleFunc("/distance", sv.handleDistance)
 	mux.HandleFunc("/stats", sv.handleStats)
 	mux.HandleFunc("/healthz", sv.handleHealthz)
 	srv := &http.Server{Addr: *addr, Handler: mux}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/oracle"
 	"repro/internal/rdb"
 )
 
@@ -26,6 +27,17 @@ func newTestServer(t *testing.T) *server {
 		t.Fatal(err)
 	}
 	return &server{eng: eng, defaultAlg: core.AlgBSDJ, start: time.Now()}
+}
+
+// newOracleServer is newTestServer plus a built landmark oracle, for the
+// approximate-answer endpoints.
+func newOracleServer(t *testing.T) *server {
+	t.Helper()
+	sv := newTestServer(t)
+	if _, err := sv.eng.BuildOracle(oracle.Config{K: 6}); err != nil {
+		t.Fatal(err)
+	}
+	return sv
 }
 
 func TestShortestPathEndpoint(t *testing.T) {
@@ -115,6 +127,63 @@ func TestBatchEndpoint(t *testing.T) {
 	}
 }
 
+// TestApproxModeAndDistanceEndpoint: ?mode=approx and /distance must both
+// return an interval bracketing the exact answer.
+func TestApproxModeAndDistanceEndpoint(t *testing.T) {
+	sv := newOracleServer(t)
+
+	// Exact reference through the normal path.
+	rec := httptest.NewRecorder()
+	sv.handleShortestPath(rec, httptest.NewRequest(http.MethodGet, "/shortest-path?s=1&t=200", nil))
+	var exact pathResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &exact); err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Found {
+		t.Fatalf("reference pair should be connected: %+v", exact)
+	}
+
+	check := func(name string, rec *httptest.ResponseRecorder) {
+		t.Helper()
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", name, rec.Code, rec.Body.String())
+		}
+		var resp distanceResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Mode != "approx" || resp.Unreachable {
+			t.Fatalf("%s: unexpected response: %+v", name, resp)
+		}
+		if resp.Lower > exact.Distance {
+			t.Errorf("%s: lower %d above exact %d", name, resp.Lower, exact.Distance)
+		}
+		if resp.Upper != nil && *resp.Upper < exact.Distance {
+			t.Errorf("%s: upper %d below exact %d", name, *resp.Upper, exact.Distance)
+		}
+	}
+	rec = httptest.NewRecorder()
+	sv.handleShortestPath(rec, httptest.NewRequest(http.MethodGet, "/shortest-path?s=1&t=200&mode=approx", nil))
+	check("mode=approx", rec)
+	rec = httptest.NewRecorder()
+	sv.handleDistance(rec, httptest.NewRequest(http.MethodGet, "/distance?s=1&t=200", nil))
+	check("/distance", rec)
+
+	// Unknown mode is a client error.
+	rec = httptest.NewRecorder()
+	sv.handleShortestPath(rec, httptest.NewRequest(http.MethodGet, "/shortest-path?s=1&t=200&mode=nope", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown mode: status %d", rec.Code)
+	}
+	// /distance without an oracle is a per-query error.
+	bare := newTestServer(t)
+	rec = httptest.NewRecorder()
+	bare.handleDistance(rec, httptest.NewRequest(http.MethodGet, "/distance?s=1&t=200", nil))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("no-oracle /distance: status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
 func TestStatsAndHealthz(t *testing.T) {
 	sv := newTestServer(t)
 	rec := httptest.NewRecorder()
@@ -138,5 +207,50 @@ func TestStatsAndHealthz(t *testing.T) {
 		if _, ok := stats[k]; !ok {
 			t.Errorf("stats missing section %q", k)
 		}
+	}
+}
+
+// TestStatsCounters: /stats must surface the cache hit ratio and the
+// per-algorithm query counts.
+func TestStatsCounters(t *testing.T) {
+	sv := newOracleServer(t)
+	for i := 0; i < 2; i++ { // second round hits the cache
+		rec := httptest.NewRecorder()
+		sv.handleShortestPath(rec, httptest.NewRequest(http.MethodGet, "/shortest-path?s=1&t=200", nil))
+		rec = httptest.NewRecorder()
+		sv.handleShortestPath(rec, httptest.NewRequest(http.MethodGet, "/shortest-path?s=1&t=200&alg=ALT", nil))
+	}
+	rec := httptest.NewRecorder()
+	sv.handleDistance(rec, httptest.NewRequest(http.MethodGet, "/distance?s=1&t=200", nil))
+
+	rec = httptest.NewRecorder()
+	sv.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats struct {
+		Server struct {
+			ByAlg map[string]uint64 `json:"queries_by_algorithm"`
+		} `json:"server"`
+		Cache struct {
+			Hits     uint64  `json:"hits"`
+			Misses   uint64  `json:"misses"`
+			HitRatio float64 `json:"hit_ratio"`
+		} `json:"cache"`
+		Graph struct {
+			Oracle *struct {
+				K    int `json:"k"`
+				Rows int `json:"rows"`
+			} `json:"oracle"`
+		} `json:"graph"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("%v: %s", err, rec.Body.String())
+	}
+	if stats.Server.ByAlg["BSDJ"] != 2 || stats.Server.ByAlg["ALT"] != 2 || stats.Server.ByAlg["approx"] != 1 {
+		t.Errorf("per-algorithm counts wrong: %+v", stats.Server.ByAlg)
+	}
+	if stats.Cache.Hits == 0 || stats.Cache.HitRatio <= 0 || stats.Cache.HitRatio > 1 {
+		t.Errorf("cache hit ratio not surfaced: %+v", stats.Cache)
+	}
+	if stats.Graph.Oracle == nil || stats.Graph.Oracle.K != 6 {
+		t.Errorf("oracle info not surfaced: %+v", stats.Graph.Oracle)
 	}
 }

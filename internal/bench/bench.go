@@ -157,13 +157,18 @@ type agg struct {
 	Exps    float64
 	Visited float64
 	Stmts   float64
-	PE      time.Duration
-	SC      time.Duration
-	FPR     time.Duration
-	FOp     time.Duration
-	EOp     time.Duration
-	MOp     time.Duration
-	Found   int
+	// Affected is the mean of the per-query affected-tuple totals (the
+	// SQLCA sums); Pruned the mean of ALT's settled-without-expansion
+	// counts.
+	Affected float64
+	Pruned   float64
+	PE       time.Duration
+	SC       time.Duration
+	FPR      time.Duration
+	FOp      time.Duration
+	EOp      time.Duration
+	MOp      time.Duration
+	Found    int
 }
 
 // runQueries executes the workload, averaging the stats.
@@ -188,6 +193,8 @@ func runQueries(e *core.Engine, alg core.Algorithm, queries [][2]int64) (agg, er
 		a.Exps += float64(qs.Expansions)
 		a.Visited += float64(qs.VisitedRows)
 		a.Stmts += float64(qs.Statements)
+		a.Affected += float64(qs.TuplesAffected)
+		a.Pruned += float64(qs.PrunedRows)
 	}
 	n := len(queries)
 	if n == 0 {
@@ -204,6 +211,8 @@ func runQueries(e *core.Engine, alg core.Algorithm, queries [][2]int64) (agg, er
 	a.Exps /= float64(n)
 	a.Visited /= float64(n)
 	a.Stmts /= float64(n)
+	a.Affected /= float64(n)
+	a.Pruned /= float64(n)
 	return a, nil
 }
 
@@ -251,6 +260,9 @@ func Experiments() []struct {
 		{"fig9h", RunFig9h, "Fig 9(h): construction time vs graph scale"},
 		{"ablation-pruning", RunAblationPruning, "Ablation: Theorem-1 pruning on/off"},
 		{"ablation-direction", RunAblationDirection, "Ablation: direction policy (fewer-frontier vs alternation)"},
+		{"oracle-build", RunOracleBuild, "Oracle: landmark oracle construction vs k and strategy"},
+		{"oracle-alt", RunOracleALT, "Oracle: ALT vs BSDJ tuples affected / statements / time"},
+		{"oracle-approx", RunOracleApprox, "Oracle: approximate-answer quality and latency"},
 	}
 }
 

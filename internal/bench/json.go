@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Machine-readable benchmark output: every experiment (and the load
+// generator) can be written as BENCH_<name>.json so the perf trajectory of
+// the repository is recorded per commit instead of scrolling away in CI
+// logs. The schema keeps the table verbatim (header + rows) and adds the
+// run configuration, so downstream tooling can diff runs without parsing
+// the human tables.
+
+// JSONResult is the serialized form of one experiment run.
+type JSONResult struct {
+	ID         string         `json:"id"`
+	Title      string         `json:"title"`
+	Header     []string       `json:"header"`
+	Rows       [][]string     `json:"rows"`
+	Config     map[string]any `json:"config,omitempty"`
+	DurationMS int64          `json:"duration_ms"`
+	// UnixTime stamps the run (seconds) for trajectory plots.
+	UnixTime int64 `json:"unix_time"`
+}
+
+// WriteTableJSON writes tab as BENCH_<id>.json under dir (created if
+// missing) and returns the file path.
+func WriteTableJSON(dir string, tab *Table, cfg Config, dur time.Duration) (string, error) {
+	res := JSONResult{
+		ID:     tab.ID,
+		Title:  tab.Title,
+		Header: tab.Header,
+		Rows:   tab.Rows,
+		Config: map[string]any{
+			"queries": cfg.queries(),
+			"scale":   cfg.Scale,
+			"seed":    cfg.Seed,
+		},
+		DurationMS: dur.Milliseconds(),
+		UnixTime:   time.Now().Unix(),
+	}
+	return writeJSONFile(dir, tab.ID, res)
+}
+
+// LoadGenJSON is the serialized load-generator run: the cold/hot QPS split
+// the serving tier is judged by.
+type LoadGenJSON struct {
+	ID        string         `json:"id"`
+	Config    map[string]any `json:"config"`
+	ColdQPS   float64        `json:"cold_qps"`
+	ColdMS    int64          `json:"cold_ms"`
+	HotQPS    float64        `json:"hot_qps"`
+	HotMS     int64          `json:"hot_ms"`
+	Speedup   float64        `json:"speedup"`
+	CacheHits uint64         `json:"cache_hits"`
+	CacheMiss uint64         `json:"cache_misses"`
+	Errors    int            `json:"errors"`
+	UnixTime  int64          `json:"unix_time"`
+}
+
+// WriteLoadGenJSON writes a load-generator result as BENCH_loadgen.json
+// under dir and returns the file path.
+func WriteLoadGenJSON(dir string, cfg LoadGenConfig, r *LoadGenResult) (string, error) {
+	speedup := 0.0
+	if r.ColdQPS > 0 {
+		speedup = r.HotQPS / r.ColdQPS
+	}
+	res := LoadGenJSON{
+		ID: "loadgen",
+		Config: map[string]any{
+			"alg":     cfg.Alg.String(),
+			"nodes":   cfg.Nodes,
+			"queries": cfg.Queries,
+			"repeat":  cfg.Repeat,
+			"clients": cfg.Clients,
+			"seed":    cfg.Seed,
+		},
+		ColdQPS:   r.ColdQPS,
+		ColdMS:    r.ColdDur.Milliseconds(),
+		HotQPS:    r.HotQPS,
+		HotMS:     r.HotDur.Milliseconds(),
+		Speedup:   speedup,
+		CacheHits: r.Cache.Hits,
+		CacheMiss: r.Cache.Misses,
+		Errors:    r.Errors,
+		UnixTime:  time.Now().Unix(),
+	}
+	return writeJSONFile(dir, "loadgen", res)
+}
+
+func writeJSONFile(dir, name string, v any) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", name))
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

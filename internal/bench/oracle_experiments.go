@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/rdb"
+)
+
+// Oracle experiments: the landmark distance oracle has no counterpart in
+// the paper's evaluation, so these two runners extend the harness — the
+// build-cost axis (like Fig 9 does for SegTable) and the headline
+// ALT-vs-BSDJ pruning comparison on the benchmark power-law graph.
+
+// RunOracleBuild measures oracle construction across landmark counts and
+// placement strategies on a Power graph: landmarks placed, TLandmark rows,
+// relaxation rounds, statements and wall time — the Fig-9 shape for the
+// new index.
+func RunOracleBuild(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "OracleBuild",
+		Title:  "Landmark oracle construction, Power graph",
+		Header: []string{"|V|", "k", "strategy", "rows", "iters", "stmts", "time"},
+	}
+	n := cfg.scale(2000)
+	g := graph.Power(n, 3, cfg.Seed)
+	for _, k := range []int{4, 8, 16} {
+		for _, strat := range []oracle.Strategy{oracle.Degree, oracle.Farthest} {
+			cfg.logf("oracle-build: |V|=%d k=%d %s", n, k, strat)
+			setup, err := makeEngine(g, rdb.Options{}, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			st, err := setup.eng.BuildOracle(oracle.Config{K: k, Strategy: strat})
+			setup.close()
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", n), fmt.Sprintf("%d", k), strat.String(),
+				fmt.Sprintf("%d", st.Rows), fmt.Sprintf("%d", st.Iterations),
+				fmt.Sprintf("%d", st.Statements), ms(st.BuildTime)})
+		}
+	}
+	return t, nil
+}
+
+// RunOracleALT is the acceptance experiment for the ALT tentpole: the same
+// query set under BSDJ and ALT on Power graphs, reporting per-algorithm
+// tuples affected (the SQLCA sums), statements, wall time, and the number
+// of candidates the landmark bound settled without expansion. The caches
+// are disabled so both columns measure the relational search itself.
+func RunOracleALT(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "OracleALT",
+		Title: "ALT vs BSDJ pruning, Power graphs (landmark oracle, k=8)",
+		Header: []string{"|V|",
+			"BSDJ Affected", "BSDJ Stmts", "BSDJ Time",
+			"ALT Affected", "ALT Stmts", "ALT Time", "ALT Pruned"},
+	}
+	for i, base := range []int64{2000, 4000, 6000} {
+		n := cfg.scale(base)
+		cfg.logf("oracle-alt: |V|=%d", n)
+		g := graph.Power(n, 3, cfg.Seed)
+		setup, err := makeEngine(g, rdb.Options{}, core.Options{CacheSize: -1})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := setup.eng.BuildOracle(oracle.Config{K: 8, Strategy: oracle.Degree}); err != nil {
+			setup.close()
+			return nil, err
+		}
+		queries := graph.RandomQueries(g, cfg.queries(), cfg.Seed+int64(i))
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, alg := range []core.Algorithm{core.AlgBSDJ, core.AlgALT} {
+			a, err := runQueries(setup.eng, alg, queries)
+			if err != nil {
+				setup.close()
+				return nil, err
+			}
+			row = append(row, f1(a.Affected), f1(a.Stmts), ms(a.Time))
+			if alg == core.AlgALT {
+				row = append(row, f1(a.Pruned))
+			}
+		}
+		setup.close()
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RunOracleApprox measures the approximate-answer path: interval tightness
+// (mean upper/exact ratio over connected pairs) and lookup time against
+// the exact ALT search — the scale+speed trade the oracle buys.
+func RunOracleApprox(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "OracleApprox",
+		Title:  "Approximate distance quality, Power graph (k=8, degree)",
+		Header: []string{"|V|", "pairs", "exact-hit", "mean upper/exact", "approx time", "search time"},
+	}
+	n := cfg.scale(4000)
+	g := graph.Power(n, 3, cfg.Seed)
+	setup, err := makeEngine(g, rdb.Options{}, core.Options{CacheSize: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer setup.close()
+	if _, err := setup.eng.BuildOracle(oracle.Config{K: 8, Strategy: oracle.Degree}); err != nil {
+		return nil, err
+	}
+	queries := graph.RandomQueries(g, cfg.queries()*4, cfg.Seed)
+	searchAgg, err := runQueries(setup.eng, core.AlgALT, queries[:cfg.queries()])
+	if err != nil {
+		return nil, err
+	}
+	var ratioSum float64
+	var connected, exactHits int
+	var approxDur time.Duration
+	for _, q := range queries {
+		t0 := time.Now()
+		iv, err := setup.eng.ApproxDistance(q[0], q[1])
+		approxDur += time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		ref := graph.MDJ(g, q[0], q[1])
+		if !ref.Found || !iv.UpperKnown() || ref.Distance == 0 {
+			continue
+		}
+		connected++
+		ratioSum += float64(iv.Upper) / float64(ref.Distance)
+		if iv.Exact() {
+			exactHits++
+		}
+	}
+	ratio := "n/a"
+	if connected > 0 {
+		ratio = fmt.Sprintf("%.3f", ratioSum/float64(connected))
+	}
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("%d", n), fmt.Sprintf("%d", len(queries)),
+		fmt.Sprintf("%d/%d", exactHits, connected), ratio,
+		ms(approxDur / time.Duration(len(queries))), ms(searchAgg.Time)})
+	return t, nil
+}

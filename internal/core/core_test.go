@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/oracle"
 	"repro/internal/rdb"
 )
 
@@ -57,7 +58,16 @@ func paperGraph(t *testing.T) (*graph.Graph, map[string]int64) {
 }
 
 func allAlgorithms() []Algorithm {
-	return []Algorithm{AlgDJ, AlgBDJ, AlgBSDJ, AlgBBFS, AlgBSEG}
+	return []Algorithm{AlgDJ, AlgBDJ, AlgBSDJ, AlgBBFS, AlgBSEG, AlgALT}
+}
+
+// buildOracle builds a small landmark oracle so AlgALT can run; tests that
+// iterate allAlgorithms call it next to BuildSegTable.
+func buildOracle(t *testing.T, e *Engine) {
+	t.Helper()
+	if _, err := e.BuildOracle(oracle.Config{K: 4}); err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
 }
 
 // checkPath validates a result against the in-memory reference.
@@ -91,6 +101,7 @@ func TestPaperExampleAllAlgorithms(t *testing.T) {
 	if _, err := e.BuildSegTable(6); err != nil {
 		t.Fatalf("segtable: %v", err)
 	}
+	buildOracle(t, e)
 	ref := graph.MDJ(g, id["s"], id["t"])
 	if !ref.Found || ref.Distance != 15 {
 		t.Fatalf("reference disagrees with the paper example: %+v", ref)
@@ -113,6 +124,7 @@ func TestRandomGraphAllAlgorithms(t *testing.T) {
 	if _, err := e.BuildSegTable(30); err != nil {
 		t.Fatalf("segtable: %v", err)
 	}
+	buildOracle(t, e)
 	queries := graph.RandomQueries(g, 12, 7)
 	for _, alg := range allAlgorithms() {
 		for _, q := range queries {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/oracle"
 	"repro/internal/rdb"
 )
 
@@ -31,6 +32,9 @@ const (
 	AlgBBFS
 	// AlgBSEG is the selective expansion over SegTable (Algorithm 2, §4.3).
 	AlgBSEG
+	// AlgALT is the bi-directional set Dijkstra with ALT goal-directed
+	// pruning over the landmark oracle (requires BuildOracle).
+	AlgALT
 )
 
 func (a Algorithm) String() string {
@@ -45,12 +49,14 @@ func (a Algorithm) String() string {
 		return "BBFS"
 	case AlgBSEG:
 		return "BSEG"
+	case AlgALT:
+		return "ALT"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
 // ParseAlgorithm maps a case-insensitive algorithm name (DJ, BDJ, BSDJ,
-// BBFS, BSEG) to its Algorithm; the commands share this parser.
+// BBFS, BSEG, ALT) to its Algorithm; the commands share this parser.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	switch strings.ToUpper(s) {
 	case "DJ":
@@ -63,8 +69,10 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return AlgBBFS, nil
 	case "BSEG":
 		return AlgBSEG, nil
+	case "ALT":
+		return AlgALT, nil
 	}
-	return 0, fmt.Errorf("unknown algorithm %q (DJ|BDJ|BSDJ|BBFS|BSEG)", s)
+	return 0, fmt.Errorf("unknown algorithm %q (DJ|BDJ|BSDJ|BBFS|BSEG|ALT)", s)
 }
 
 // IndexStrategy is the physical design axis of Fig 8(c).
@@ -152,6 +160,11 @@ type Engine struct {
 
 	segBuilt bool
 	segLthd  int64
+	// orc is the landmark oracle metadata (nil until BuildOracle; reset to
+	// nil — invalidated — by LoadGraph and InsertEdge, whose graph changes
+	// can shorten landmark distances and would make the stored lower
+	// bounds unsound).
+	orc *oracle.Oracle
 	// version stamps the (graph, index) generation; bumped by LoadGraph,
 	// BuildSegTable and InsertEdge so cached answers can never outlive the
 	// data they were computed from.
@@ -222,6 +235,14 @@ func (e *Engine) SegLthd() int64 {
 	return e.segLthd
 }
 
+// Oracle returns the landmark oracle metadata, or nil when no oracle is
+// built (or the last one was invalidated by a graph change).
+func (e *Engine) Oracle() *oracle.Oracle {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.orc
+}
+
 // GraphVersion returns the current (graph, index) generation, bumped by
 // LoadGraph, BuildSegTable and InsertEdge.
 func (e *Engine) GraphVersion() uint64 {
@@ -263,6 +284,9 @@ func (e *Engine) exec(qs *QueryStats, phase *time.Duration, op *time.Duration, q
 	}
 	if err != nil {
 		return 0, err
+	}
+	if qs != nil {
+		qs.TuplesAffected += res.RowsAffected
 	}
 	return res.RowsAffected, nil
 }
@@ -351,6 +375,14 @@ func (e *Engine) searchLocked(alg Algorithm, s, t int64) (Path, *QueryStats, err
 			return Path{}, nil, fmt.Errorf("core: BSEG requires BuildSegTable first")
 		}
 		return e.bidirectional(specBSEG(e.segLthd), s, t)
+	case AlgALT:
+		e.mu.RLock()
+		built := e.orc != nil
+		e.mu.RUnlock()
+		if !built {
+			return Path{}, nil, fmt.Errorf("core: ALT requires BuildOracle first (rebuild after graph changes)")
+		}
+		return e.bidirectional(specALT(s, t), s, t)
 	}
 	return Path{}, nil, fmt.Errorf("core: unknown algorithm %v", alg)
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/oracle"
 )
 
 // femSpec parameterizes the generic bi-directional FEM loop. The four
@@ -19,6 +21,15 @@ type femSpec struct {
 	// d2s <= k*lthd rule). The statement must set sign=2 on the selected
 	// frontier and report the frontier size as its affected count.
 	frontier func(d direction, k int) (string, []any)
+	// preFrontier, when set, renders a statement that runs (repeatedly,
+	// until it affects nothing) before every frontier selection once a
+	// path is known: ALT's settle-without-expand of frontier-minimum
+	// candidates whose landmark lower bound proves they cannot improve the
+	// best path, so provably-unhelpful tuples never enter the frontier.
+	// Restricting the check to the current minimum matters for the work
+	// metric: deeper candidates may never be selected before termination,
+	// and settling those would be pure overhead.
+	preFrontier func(d direction, minCost int64) (string, []any)
 	// trackL enables the lf+lb >= minCost termination (Dijkstra-family);
 	// BBFS leaves bounds at zero and terminates by exhaustion.
 	trackL bool
@@ -101,6 +112,52 @@ func specBSEG(lthd int64) femSpec {
 		trackL: true,
 		prune:  true,
 	}
+}
+
+// specALT: the bi-directional set Dijkstra of §4.1 extended with ALT
+// goal-directed pruning over the landmark oracle. Before each frontier
+// selection (once some s-t path is known), candidates whose landmark lower
+// bound proves every path through them is at least the best known cost are
+// settled without expansion:
+//
+//	forward:  d2s(v) + max_l max(dout_l(t)-dout_l(v), din_l(v)-din_l(t)) >= minCost
+//	backward: d2t(v) + max_l max(dout_l(v)-dout_l(s), din_l(s)-din_l(v)) >= minCost
+//
+// Both terms inside the max are triangle-inequality lower bounds on the
+// remaining distance (dist(v,t) forward, dist(s,v) backward) valid on
+// directed graphs; the two directions are two conjunct-level comparisons
+// so no GREATEST() support is needed. Settling with the CURRENT tentative
+// distance is sound because the M-operator reopens any settled node whose
+// distance later improves (sets its sign back to 0), so a candidate is
+// only permanently excluded once the bound holds for its exact distance —
+// and then every s-t path through it costs at least minCost at prune time,
+// which itself bounds the final answer from above.
+func specALT(s, t int64) femSpec {
+	spec := specBSDJ()
+	spec.name = "ALT"
+	spec.preFrontier = func(d direction, minCost int64) (string, []any) {
+		if d.forward {
+			q := fmt.Sprintf(
+				"UPDATE %[1]s SET %[2]s = 1 WHERE %[2]s = 0 AND %[3]s = "+
+					"(SELECT MIN(%[3]s) FROM %[1]s WHERE %[2]s = 0) AND ("+
+					"%[3]s + (SELECT MAX(lt.dout - lv.dout) FROM %[4]s lv, %[4]s lt "+
+					"WHERE lv.lid = lt.lid AND lt.nid = ? AND lv.nid = %[1]s.nid) >= ? OR "+
+					"%[3]s + (SELECT MAX(lv.din - lt.din) FROM %[4]s lv, %[4]s lt "+
+					"WHERE lv.lid = lt.lid AND lt.nid = ? AND lv.nid = %[1]s.nid) >= ?)",
+				TblVisited, d.sign, d.dist, oracle.TblLandmark)
+			return q, []any{t, minCost, t, minCost}
+		}
+		q := fmt.Sprintf(
+			"UPDATE %[1]s SET %[2]s = 1 WHERE %[2]s = 0 AND %[3]s = "+
+				"(SELECT MIN(%[3]s) FROM %[1]s WHERE %[2]s = 0) AND ("+
+				"%[3]s + (SELECT MAX(lv.dout - ls.dout) FROM %[4]s lv, %[4]s ls "+
+				"WHERE lv.lid = ls.lid AND ls.nid = ? AND lv.nid = %[1]s.nid) >= ? OR "+
+				"%[3]s + (SELECT MAX(ls.din - lv.din) FROM %[4]s lv, %[4]s ls "+
+				"WHERE lv.lid = ls.lid AND ls.nid = ? AND lv.nid = %[1]s.nid) >= ?)",
+			TblVisited, d.sign, d.dist, oracle.TblLandmark)
+		return q, []any{s, minCost, s, minCost}
+	}
+	return spec
 }
 
 // bidirectional runs the generic FEM loop of Algorithm 2: initialize
@@ -191,6 +248,28 @@ func (e *Engine) bidirectional(spec femSpec, s, t int64) (Path, *QueryStats, err
 			k = kb
 		}
 
+		// ALT pruning: once a path is known, settle frontier-minimum
+		// candidates the landmark bound proves unable to improve it, before
+		// they can be selected. Repeats while whole minimum sets fall: each
+		// settled row was next in line for an expansion. The loop is
+		// bounded — every round either affects nothing (stop) or shrinks
+		// the candidate pool.
+		var pruned int64
+		if spec.preFrontier != nil && pathFound {
+			pq, pargs := spec.preFrontier(d, minCost)
+			for {
+				n, err := e.exec(qs, &qs.PE, &qs.FOp, pq, pargs...)
+				if err != nil {
+					return Path{}, qs, err
+				}
+				if n == 0 {
+					break
+				}
+				pruned += n
+			}
+			qs.PrunedRows += pruned
+		}
+
 		// F-operator: select and mark the frontier (Listing 4(1)).
 		fq, fargs := spec.frontier(d, k)
 		cnt, err := e.exec(qs, &qs.PE, &qs.FOp, fq, fargs...)
@@ -198,14 +277,24 @@ func (e *Engine) bidirectional(spec femSpec, s, t int64) (Path, *QueryStats, err
 			return Path{}, qs, err
 		}
 		if cnt == 0 {
+			if forward {
+				kf--
+			} else {
+				kb--
+			}
+			if pruned > 0 {
+				// Every candidate the frontier would have taken was settled
+				// by the ALT bound this round; candidates may remain (the
+				// pool only shrinks while no expansion runs, so this cannot
+				// loop forever). Retry the direction choice from the top.
+				continue
+			}
 			// This side is exhausted: its distances are final, so minCost
 			// is exact; the loop re-checks at the top.
 			if forward {
 				candF = false
-				kf--
 			} else {
 				candB = false
-				kb--
 			}
 			continue
 		}

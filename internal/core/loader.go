@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/oracle"
 )
 
 // Table names used throughout (paper §2.1, §3.3, §4.2).
@@ -38,12 +39,13 @@ func (e *Engine) LoadGraph(g *graph.Graph) error {
 	e.edges = 0
 	e.wmin = 0
 	e.segBuilt = false
+	e.orc = nil
 	e.bumpVersionLocked()
 	e.mu.Unlock()
 	// Reloading replaces any previously loaded graph (and its index):
 	// drop the old tables so a serving engine can swap graphs in place.
-	for _, tbl := range []string{TblNodes, TblEdges, TblVisited, TblExpand,
-		TblExpCost, TblOutSegs, TblInSegs, TblSeg} {
+	for _, tbl := range append([]string{TblNodes, TblEdges, TblVisited, TblExpand,
+		TblExpCost, TblOutSegs, TblInSegs, TblSeg}, oracle.Tables()...) {
 		if _, ok := e.db.Catalog().Get(tbl); ok {
 			if _, err := db.Exec("DROP TABLE " + tbl); err != nil {
 				return err

@@ -36,6 +36,7 @@ func TestConfigurationMatrix(t *testing.T) {
 			if _, err := e.BuildSegTable(20); err != nil {
 				t.Fatalf("segtable: %v", err)
 			}
+			buildOracle(t, e)
 			for _, alg := range allAlgorithms() {
 				for _, q := range queries {
 					p, _, err := e.ShortestPath(alg, q[0], q[1])
@@ -61,6 +62,7 @@ func TestIndexStrategies(t *testing.T) {
 			if _, err := e.BuildSegTable(15); err != nil {
 				t.Fatalf("segtable: %v", err)
 			}
+			buildOracle(t, e)
 			for _, alg := range allAlgorithms() {
 				for _, q := range queries {
 					p, _, err := e.ShortestPath(alg, q[0], q[1])
@@ -89,6 +91,7 @@ func TestUnreachableTarget(t *testing.T) {
 	if _, err := e.BuildSegTable(10); err != nil {
 		t.Fatalf("segtable: %v", err)
 	}
+	buildOracle(t, e)
 	for _, alg := range allAlgorithms() {
 		p, _, err := e.ShortestPath(alg, 0, 3)
 		if err != nil {
@@ -107,6 +110,7 @@ func TestSourceEqualsTarget(t *testing.T) {
 	if _, err := e.BuildSegTable(10); err != nil {
 		t.Fatal(err)
 	}
+	buildOracle(t, e)
 	for _, alg := range allAlgorithms() {
 		p, _, err := e.ShortestPath(alg, 4, 4)
 		if err != nil {
@@ -136,6 +140,7 @@ func TestDirectedAsymmetry(t *testing.T) {
 	if _, err := e.BuildSegTable(5); err != nil {
 		t.Fatal(err)
 	}
+	buildOracle(t, e)
 	for _, alg := range allAlgorithms() {
 		p, _, err := e.ShortestPath(alg, 0, 3)
 		if err != nil {
@@ -265,6 +270,7 @@ func TestSmallLthdAndUniformWeights(t *testing.T) {
 	if st.OutSegs != len(edges) {
 		t.Fatalf("lthd<wmin should keep exactly the edges: %d vs %d", st.OutSegs, len(edges))
 	}
+	buildOracle(t, e)
 	for _, alg := range allAlgorithms() {
 		p, _, err := e.ShortestPath(alg, 0, 3)
 		if err != nil {
@@ -291,6 +297,7 @@ func TestParallelEdges(t *testing.T) {
 	if _, err := e.BuildSegTable(10); err != nil {
 		t.Fatal(err)
 	}
+	buildOracle(t, e)
 	for _, alg := range allAlgorithms() {
 		p, _, err := e.ShortestPath(alg, 0, 2)
 		if err != nil {

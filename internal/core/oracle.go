@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/oracle"
+)
+
+// The oracle's Unreached sentinel must equal MaxDist: the ALT prune mixes
+// TVisited distances with TLandmark bound differences in one comparison,
+// and the approximate-answer thresholds assume one sentinel scale.
+var _ [1]struct{} = [MaxDist - oracle.Unreached + 1]struct{}{}
+
+// BuildOracle constructs (or rebuilds) the landmark distance oracle for
+// the loaded graph: k landmarks picked by the configured strategy, exact
+// per-landmark distances computed by single-source set-Dijkstra relaxation
+// to fixpoint, materialized into TLandmark(lid, nid, dout, din). Like
+// BuildSegTable, the build excludes searches and bumps the graph version
+// (conservatively invalidating cached answers).
+func (e *Engine) BuildOracle(cfg oracle.Config) (*oracle.BuildStats, error) {
+	e.queryMu.Lock()
+	defer e.queryMu.Unlock()
+	if e.Nodes() == 0 {
+		return nil, fmt.Errorf("core: no graph loaded")
+	}
+	if cfg.K < 0 {
+		return nil, fmt.Errorf("core: landmark count must be non-negative, got %d (0 selects the default of %d)", cfg.K, oracle.DefaultK)
+	}
+	var mode oracle.IndexMode
+	switch e.opts.Strategy {
+	case ClusteredIndex:
+		mode = oracle.IndexClustered
+	case SecondaryIndex:
+		mode = oracle.IndexSecondary
+	case NoIndex:
+		mode = oracle.IndexNone
+	}
+	params := oracle.Params{
+		Config:     cfg,
+		NodesTable: TblNodes,
+		EdgesTable: TblEdges,
+		WMin:       e.WMin(),
+		MaxIters:   e.maxIters(),
+		UseMerge:   e.db.Profile().SupportsMerge && !e.opts.TraditionalSQL,
+		Index:      mode,
+	}
+	// Invalidate before touching TLandmark: ApproxDistance runs off the
+	// query latch, and a rebuild over a live oracle must make concurrent
+	// lookups refuse cleanly rather than read a half-built relation.
+	e.mu.Lock()
+	e.orc = nil
+	e.mu.Unlock()
+	orc, st, err := oracle.Build(e.sess, params)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.orc = orc
+	e.bumpVersionLocked()
+	e.mu.Unlock()
+	return st, nil
+}
+
+// Interval is an approximate-distance answer: Lower <= dist(s,t) <= Upper.
+// Upper == MaxDist means no landmark certifies a path (the upper bound is
+// unknown); Lower == MaxDist is a proof that no path exists at all.
+type Interval struct {
+	Lower int64
+	Upper int64
+}
+
+// Unreachable reports a certified absence of any s-t path.
+func (iv Interval) Unreachable() bool { return iv.Lower >= MaxDist }
+
+// UpperKnown reports whether some landmark lies on an s-t path, making
+// Upper a real path length.
+func (iv Interval) UpperKnown() bool { return iv.Upper < MaxDist }
+
+// Exact reports a closed interval: the approximate answer IS the distance.
+func (iv Interval) Exact() bool { return iv.UpperKnown() && iv.Lower == iv.Upper }
+
+// approxRetries bounds the optimistic-concurrency loop in ApproxDistance.
+const approxRetries = 3
+
+// ApproxDistance brackets dist(s, t) from the landmark oracle alone —
+// three aggregate SELECTs over TLandmark, never touching TEdges and never
+// taking the query latch, so approximate answers stay fast while exact
+// searches are running:
+//
+//	Upper = min_l dist(s,l) + dist(l,t)   (a real path through l)
+//	Lower = max(0, max_l dout_l(t)-dout_l(s), max_l din_l(s)-din_l(t))
+//
+// Sentinel arithmetic is deliberate: a landmark that reaches s but not t
+// pushes the lower bound past MaxDist/2, which is a genuine proof that no
+// s-t path exists (l would reach t through it). Consistency with
+// concurrent graph changes comes from optimistic version validation — the
+// reads retry when the (graph, index) generation moves underneath them.
+func (e *Engine) ApproxDistance(s, t int64) (Interval, error) {
+	for try := 0; try < approxRetries; try++ {
+		e.mu.RLock()
+		nodes, version, orc := e.nodes, e.version, e.orc
+		e.mu.RUnlock()
+		if nodes == 0 {
+			return Interval{}, fmt.Errorf("core: no graph loaded")
+		}
+		if s < 0 || t < 0 || int(s) >= nodes || int(t) >= nodes {
+			return Interval{}, fmt.Errorf("core: node out of range (n=%d)", nodes)
+		}
+		if orc == nil {
+			return Interval{}, fmt.Errorf("core: approximate distance requires BuildOracle first (rebuild after graph changes)")
+		}
+		if s == t {
+			return Interval{Lower: 0, Upper: 0}, nil
+		}
+
+		iv, err := e.approxOnce(s, t)
+		e.mu.RLock()
+		stable := e.version == version && e.orc == orc
+		e.mu.RUnlock()
+		if err != nil {
+			if !stable {
+				continue // the read straddled a rebuild; retry cleanly
+			}
+			return Interval{}, err
+		}
+		if stable {
+			return iv, nil
+		}
+	}
+	return Interval{}, fmt.Errorf("core: graph kept changing during approximate lookup")
+}
+
+// approxOnce runs the three bound queries against the current TLandmark.
+func (e *Engine) approxOnce(s, t int64) (Interval, error) {
+	lmk := oracle.TblLandmark
+	upper, nullU, err := e.sess.QueryInt(fmt.Sprintf(
+		"SELECT MIN(a.din + b.dout) FROM %[1]s a, %[1]s b "+
+			"WHERE a.lid = b.lid AND a.nid = ? AND b.nid = ?", lmk), s, t)
+	if err != nil {
+		return Interval{}, err
+	}
+	lowF, nullF, err := e.sess.QueryInt(fmt.Sprintf(
+		"SELECT MAX(b.dout - a.dout) FROM %[1]s a, %[1]s b "+
+			"WHERE a.lid = b.lid AND a.nid = ? AND b.nid = ?", lmk), s, t)
+	if err != nil {
+		return Interval{}, err
+	}
+	lowB, nullB, err := e.sess.QueryInt(fmt.Sprintf(
+		"SELECT MAX(a.din - b.din) FROM %[1]s a, %[1]s b "+
+			"WHERE a.lid = b.lid AND a.nid = ? AND b.nid = ?", lmk), s, t)
+	if err != nil {
+		return Interval{}, err
+	}
+	lower := int64(0)
+	if !nullF && lowF > lower {
+		lower = lowF
+	}
+	if !nullB && lowB > lower {
+		lower = lowB
+	}
+	if lower >= MaxDist/2 {
+		lower = MaxDist // certified unreachable
+	}
+	if nullU || upper >= MaxDist/2 {
+		upper = MaxDist // no landmark-certified path
+	}
+	return Interval{Lower: lower, Upper: upper}, nil
+}

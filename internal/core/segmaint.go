@@ -56,6 +56,11 @@ func (e *Engine) InsertEdge(from, to, weight int64) (*MaintStats, error) {
 	if weight < e.wmin {
 		e.wmin = weight
 	}
+	// A new edge can only shorten landmark distances, so the stored lower
+	// bounds would overestimate — the oracle is invalidated, not patched
+	// (BuildOracle rebuilds it; the SegTable below IS incrementally
+	// maintainable because segments are bounded by lthd).
+	e.orc = nil
 	e.bumpVersionLocked()
 	segBuilt := e.segBuilt
 	e.mu.Unlock()

@@ -33,6 +33,13 @@ type QueryStats struct {
 	BackwardExpansions int
 	// Statements counts SQL statements issued.
 	Statements int
+	// TuplesAffected totals the affected-row counts of every write
+	// statement the query issued (the SQLCA sums) — the work metric the
+	// ALT-vs-BSDJ experiments compare.
+	TuplesAffected int64
+	// PrunedRows counts candidates settled without expansion by the ALT
+	// landmark bound (zero for the other algorithms).
+	PrunedRows int64
 	// VisitedRows is |TVisited| when the search stops (search space).
 	VisitedRows int
 	// Phase timings (Fig 6(b)).
@@ -51,9 +58,13 @@ func (q *QueryStats) String() string {
 	if q.CacheHit {
 		return fmt.Sprintf("%s: cache hit", q.Algorithm)
 	}
-	return fmt.Sprintf("%s: exps=%d (f=%d b=%d) stmts=%d visited=%d total=%v [PE=%v SC=%v FPR=%v]",
+	pruned := ""
+	if q.PrunedRows > 0 {
+		pruned = fmt.Sprintf(" pruned=%d", q.PrunedRows)
+	}
+	return fmt.Sprintf("%s: exps=%d (f=%d b=%d) stmts=%d affected=%d visited=%d%s total=%v [PE=%v SC=%v FPR=%v]",
 		q.Algorithm, q.Expansions, q.ForwardExpansions, q.BackwardExpansions,
-		q.Statements, q.VisitedRows, q.Total.Round(time.Microsecond),
+		q.Statements, q.TuplesAffected, q.VisitedRows, pruned, q.Total.Round(time.Microsecond),
 		q.PE.Round(time.Microsecond), q.SC.Round(time.Microsecond), q.FPR.Round(time.Microsecond))
 }
 

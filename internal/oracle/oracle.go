@@ -1,0 +1,167 @@
+// Package oracle implements a relational landmark distance oracle in the
+// spirit of the paper's SegTable (§4.3): precomputed shortest-path state
+// stored as a relation and queried with SQL. A small set of k landmarks is
+// selected (by degree or farthest-point), and for every landmark l the
+// exact distances dist(l, v) and dist(v, l) are computed by single-source
+// set-Dijkstra relaxation to fixpoint — the same FEM loop shape as the
+// SegTable construction — and materialized into
+//
+//	TLandmark(lid, nid, dout, din)
+//
+// with a composite index on (nid, lid). Two consumers sit on top:
+//
+//   - ALT pruning: for a search toward t, every candidate v carries the
+//     lower bound max_l max(dout(t)-dout(v), din(v)-din(t)) <= dist(v,t)
+//     (triangle inequality, both directions of a directed graph). The
+//     engine folds this term into the frontier-selection SQL so
+//     provably-unhelpful tuples never enter the frontier.
+//   - Approximate answers: dist(s,t) is bracketed by
+//     [max_l lower-bound, min_l dist(s,l)+dist(l,t)] with two aggregate
+//     SELECTs over TLandmark and no touch of TEdges.
+//
+// The package speaks to the database through an rdb.Session; the engine
+// integration (build latching, versioned invalidation, the ALT femSpec and
+// ApproxDistance) lives in internal/core.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Relation names owned by the oracle subsystem.
+const (
+	// TblLandmark is the oracle relation: one row per (landmark, node)
+	// with the landmark's id, the node, dist(l, node) and dist(node, l).
+	TblLandmark = "TLandmark"
+	// TblWork is the single-source relaxation working set.
+	TblWork = "TLmkWork"
+	// TblExpand is the relaxation scratch table for profiles without MERGE.
+	TblExpand = "TLmkExpand"
+	// TblDeg is the degree ranking used by landmark selection.
+	TblDeg = "TLmkDeg"
+	// TblDegIn is the in-degree half of the degree ranking.
+	TblDegIn = "TLmkDegIn"
+	// TblFar holds each node's distance to the nearest chosen landmark
+	// (farthest-point selection state).
+	TblFar = "TLmkFar"
+)
+
+// Tables lists every relation the oracle owns, for loaders that need to
+// drop them when the graph is replaced.
+func Tables() []string {
+	return []string{TblLandmark, TblWork, TblExpand, TblDeg, TblDegIn, TblFar}
+}
+
+// Unreached is the sentinel distance for (landmark, node) pairs with no
+// connecting path. It matches core.MaxDist so sentinel arithmetic stays
+// consistent across TVisited and TLandmark: a lower bound derived from one
+// finite and one Unreached distance is a genuine unreachability proof (see
+// the bound derivation in the package comment).
+const Unreached = int64(1) << 50
+
+// Strategy selects how landmarks are placed.
+type Strategy int
+
+const (
+	// Degree picks the k highest-degree nodes (in+out) — cheap, and on
+	// power-law graphs the hubs cover most shortest paths.
+	Degree Strategy = iota
+	// Farthest picks the highest-degree node first, then repeatedly the
+	// node farthest (by dist from the chosen set) from all chosen
+	// landmarks — the classic farthest-point spread, better geographic
+	// coverage on flat-degree graphs.
+	Farthest
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Degree:
+		return "degree"
+	case Farthest:
+		return "farthest"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy maps a case-insensitive strategy name to its Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(s) {
+	case "degree":
+		return Degree, nil
+	case "farthest":
+		return Farthest, nil
+	}
+	return 0, fmt.Errorf("oracle: unknown strategy %q (degree|farthest)", s)
+}
+
+// IndexMode mirrors the engine's physical-design axis for the TLandmark
+// relation (the working tables are always clustered, like TSeg).
+type IndexMode int
+
+const (
+	// IndexClustered stores TLandmark as a B+tree on (nid, lid).
+	IndexClustered IndexMode = iota
+	// IndexSecondary keeps a heap plus a non-clustered index on nid.
+	IndexSecondary
+	// IndexNone keeps a bare heap; every probe is a scan.
+	IndexNone
+)
+
+// Config is the caller-facing build configuration.
+type Config struct {
+	// K is the number of landmarks (0 selects DefaultK; clamped to the
+	// number of placeable nodes).
+	K int
+	// Strategy picks landmark placement (default Degree).
+	Strategy Strategy
+}
+
+// DefaultK is the landmark count used when Config.K is zero.
+const DefaultK = 8
+
+// Params is the full build parameterization the engine passes down.
+type Params struct {
+	Config
+	// NodesTable / EdgesTable name the graph relations to read.
+	NodesTable string
+	EdgesTable string
+	// WMin is the minimal edge weight (drives the set-Dijkstra frontier
+	// widening, like the SegTable construction rule).
+	WMin int64
+	// MaxIters caps relaxation rounds per landmark as a safety net.
+	MaxIters int
+	// UseMerge selects the MERGE relaxation step; profiles without MERGE
+	// get the UPDATE + INSERT emulation.
+	UseMerge bool
+	// Index is the physical design for TLandmark.
+	Index IndexMode
+}
+
+// Oracle describes a built landmark oracle. It carries only scalar
+// metadata — the distances themselves live in TLandmark.
+type Oracle struct {
+	K         int
+	Strategy  Strategy
+	Landmarks []int64
+	// Rows is |TLandmark| = K * |V|.
+	Rows int
+}
+
+// BuildStats reports one oracle construction.
+type BuildStats struct {
+	K          int
+	Strategy   Strategy
+	Landmarks  []int64
+	Rows       int
+	Iterations int // relaxation rounds across all landmarks and directions
+	Statements int // SQL statements issued
+	BuildTime  time.Duration
+}
+
+func (s *BuildStats) String() string {
+	return fmt.Sprintf("Oracle(k=%d, %s): rows=%d iters=%d stmts=%d time=%v",
+		s.K, s.Strategy, s.Rows, s.Iterations, s.Statements,
+		s.BuildTime.Round(time.Millisecond))
+}

@@ -37,6 +37,7 @@ package repro
 import (
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/oracle"
 	"repro/internal/rdb"
 )
 
@@ -113,6 +114,31 @@ const (
 	AlgBBFS = core.AlgBBFS
 	// AlgBSEG is selective expansion over SegTable (Algorithm 2).
 	AlgBSEG = core.AlgBSEG
+	// AlgALT is bi-directional set Dijkstra with ALT goal-directed pruning
+	// over the landmark oracle (requires Engine.BuildOracle).
+	AlgALT = core.AlgALT
+)
+
+// Re-exported landmark-oracle types (Engine.BuildOracle,
+// Engine.ApproxDistance).
+type (
+	// OracleConfig selects the landmark count and placement strategy.
+	OracleConfig = oracle.Config
+	// OracleStats reports one oracle construction.
+	OracleStats = oracle.BuildStats
+	// LandmarkStrategy picks landmark placement (degree or farthest-point).
+	LandmarkStrategy = oracle.Strategy
+	// Interval is an approximate-distance answer bracketing the exact
+	// distance: Lower <= dist(s,t) <= Upper.
+	Interval = core.Interval
+)
+
+// Landmark placement strategies.
+const (
+	// LandmarksByDegree picks the k highest-degree nodes.
+	LandmarksByDegree = oracle.Degree
+	// LandmarksFarthest spreads landmarks by farthest-point traversal.
+	LandmarksFarthest = oracle.Farthest
 )
 
 // Index strategies (Fig 8(c)).

@@ -27,10 +27,24 @@ func TestFacadeQuickstart(t *testing.T) {
 	if st.EncodingNumber() == 0 {
 		t.Fatal("empty segtable")
 	}
+	ost, err := eng.BuildOracle(repro.OracleConfig{K: 4, Strategy: repro.LandmarksByDegree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ost.Rows == 0 || len(ost.Landmarks) != 4 {
+		t.Fatalf("oracle build: %+v", ost)
+	}
 
 	for _, q := range repro.RandomQueries(g, 4, 9) {
 		ref := repro.MDJ(g, q[0], q[1])
-		for _, alg := range []repro.Algorithm{repro.AlgBSDJ, repro.AlgBSEG} {
+		iv, err := eng.ApproxDistance(q[0], q[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Found && (iv.Lower > ref.Distance || (iv.UpperKnown() && iv.Upper < ref.Distance)) {
+			t.Fatalf("approx interval [%d,%d] misses exact %d", iv.Lower, iv.Upper, ref.Distance)
+		}
+		for _, alg := range []repro.Algorithm{repro.AlgBSDJ, repro.AlgBSEG, repro.AlgALT} {
 			p, stats, err := eng.ShortestPath(alg, q[0], q[1])
 			if err != nil {
 				t.Fatalf("%v: %v", alg, err)
