@@ -7,6 +7,7 @@
 //	fembench -exp table2,fig6a
 //	fembench -exp all -queries 10 -scale 1.0 -v
 //	fembench -exp oracle-alt -json bench-results
+//	fembench -exp mutation-throughput -json bench-results   # BENCH_mutations.json
 //	fembench -loadgen -clients 16 -lgalg BSEG -lgqueries 50 -repeat 5
 //
 // Each experiment prints a table whose rows mirror the corresponding

@@ -11,8 +11,19 @@
 //	GET  /shortest-path?s=17&t=4711&mode=approx  landmark interval, no search
 //	POST /shortest-path                          {"alg":"BSDJ","queries":[{"s":1,"t":2},...]}
 //	GET  /distance?s=17&t=4711                   [lower, upper] distance interval
-//	GET  /stats                                  engine, cache, DB and server counters
+//	POST /edges                                  {"mutations":[{"op":"insert","from":1,"to":2,"weight":3},
+//	                                              {"op":"delete","from":4,"to":5},
+//	                                              {"op":"update","from":6,"to":7,"weight":9}]}
+//	GET  /stats                                  engine, cache, DB, mutation and server counters
 //	GET  /healthz                                liveness (200 once the graph is served)
+//
+// POST /edges applies the whole batch atomically with respect to queries:
+// one query-latch acquisition, one version bump, one cache purge. Deleted
+// and re-weighted edges repair the SegTable incrementally (falling back to
+// a rebuild past the engine's repair threshold), so BSEG keeps answering
+// exactly without a manual rebuild. Any mutation invalidates the landmark
+// oracle; /stats reports oracle_invalidated until the operator rebuilds
+// (restart with -landmarks, or accept exact-only service).
 //
 // Approximate answers come from the landmark oracle (-landmarks): they
 // bracket the distance by landmark triangulation without touching the edge
@@ -24,6 +35,7 @@
 //	spdbd -load graph.csv -alg ALT -landmarks 16
 //	curl 'localhost:8080/shortest-path?s=17&t=4711'
 //	curl 'localhost:8080/distance?s=17&t=4711'
+//	curl -X POST localhost:8080/edges -d '{"mutations":[{"op":"delete","from":17,"to":18}]}'
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get a drain window before the listener closes.
@@ -70,6 +82,9 @@ type server struct {
 	// approx counts landmark-interval answers, which run no algorithm.
 	byAlg  [algSlots]atomic.Uint64
 	approx atomic.Uint64
+	// mutations counts applied edge mutations (the engine keeps the
+	// detailed per-op and repair counters).
+	mutations atomic.Uint64
 }
 
 // algSlots bounds the per-algorithm counter array; core.AlgALT is the
@@ -254,6 +269,99 @@ func (sv *server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
+// mutationSpec is one edge change in a POST /edges body.
+type mutationSpec struct {
+	Op     string `json:"op"` // insert | delete | update
+	From   int64  `json:"from"`
+	To     int64  `json:"to"`
+	Weight int64  `json:"weight,omitempty"`
+}
+
+// mutationRequest is the POST /edges body: a batch of mutations applied
+// under one latch acquisition and one version bump.
+type mutationRequest struct {
+	Mutations []mutationSpec `json:"mutations"`
+}
+
+// mutationResponse reports one applied batch.
+type mutationResponse struct {
+	Applied int `json:"applied"`
+	// Affected counts SegTable rows improved by insertions plus rows in
+	// decremental touch sets; Repaired the rows re-materialized in place.
+	Affected int64 `json:"affected"`
+	Repaired int64 `json:"repaired"`
+	// Rebuilt reports a threshold-exceeded fallback to a full index build.
+	Rebuilt bool `json:"rebuilt"`
+	// OracleInvalidated warns that this batch killed the landmark oracle:
+	// approx/ALT answers refuse until it is rebuilt.
+	OracleInvalidated bool   `json:"oracle_invalidated"`
+	Version           uint64 `json:"version"`
+	Statements        int    `json:"statements"`
+	DurationUS        int64  `json:"duration_us"`
+	Error             string `json:"error,omitempty"`
+}
+
+// handleEdges serves POST /edges: batched inserts, deletes and weight
+// updates with incremental SegTable repair.
+func (sv *server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	sv.requests.Add(1)
+	if r.Method != http.MethodPost {
+		sv.errors.Add(1)
+		w.Header().Set("Allow", "POST")
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use POST"})
+		return
+	}
+	var req mutationRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		sv.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+		return
+	}
+	if len(req.Mutations) == 0 {
+		sv.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "empty mutation batch"})
+		return
+	}
+	muts := make([]core.Mutation, len(req.Mutations))
+	for i, m := range req.Mutations {
+		op, err := core.ParseMutOp(m.Op)
+		if err != nil {
+			sv.errors.Add(1)
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("mutation %d: %v", i, err)})
+			return
+		}
+		muts[i] = core.Mutation{Op: op, From: m.From, To: m.To, Weight: m.Weight}
+	}
+	t0 := time.Now()
+	st, err := sv.eng.ApplyMutations(muts)
+	resp := mutationResponse{DurationUS: time.Since(t0).Microseconds()}
+	if st != nil {
+		// On an execution error st reports the persisted prefix: clients
+		// must not read a 422 as "nothing happened" and blindly retry.
+		resp.Applied = st.Applied
+		resp.Affected = st.Affected
+		resp.Repaired = st.Repaired
+		resp.Rebuilt = st.Rebuilt
+		resp.OracleInvalidated = st.OracleInvalidated
+		resp.Statements = st.Statements
+		// The version this batch committed as, snapshotted under the
+		// query latch — GraphVersion() here could already belong to a
+		// concurrent later batch.
+		resp.Version = st.Version
+		// Count the persisted prefix even on error, matching the engine's
+		// own per-op counters.
+		sv.mutations.Add(uint64(st.Applied))
+	}
+	if err != nil {
+		sv.errors.Add(1)
+		resp.Error = err.Error()
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // handleShortestPath serves GET (single query) and POST (batch).
 func (sv *server) handleShortestPath(w http.ResponseWriter, r *http.Request) {
 	sv.requests.Add(1)
@@ -380,6 +488,9 @@ func (sv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"wmin":     sv.eng.WMin(),
 		"seg_lthd": sv.eng.SegLthd(),
 		"version":  sv.eng.GraphVersion(),
+		// oracle_invalidated warns operators that a mutation killed the
+		// landmark oracle: approx/ALT traffic refuses until a rebuild.
+		"oracle_invalidated": sv.eng.OracleInvalidated(),
 	}
 	if orc := sv.eng.Oracle(); orc != nil {
 		graphStats["oracle"] = map[string]any{
@@ -398,6 +509,20 @@ func (sv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"queries_by_algorithm": sv.queriesByAlgorithm(),
 		},
 		"graph": graphStats,
+		"mutations": func() map[string]any {
+			ms := sv.eng.MutationStats()
+			return map[string]any{
+				"applied":              sv.mutations.Load(),
+				"inserts":              ms.Inserts,
+				"deletes":              ms.Deletes,
+				"updates":              ms.Updates,
+				"batches":              ms.Batches,
+				"seg_repairs":          ms.SegRepairs,
+				"seg_rebuilds":         ms.SegRebuilds,
+				"rows_repaired":        ms.RowsRepaired,
+				"oracle_invalidations": ms.OracleInvalidations,
+			}
+		}(),
 		"cache": map[string]any{
 			"hits":          cacheStats.Hits,
 			"misses":        cacheStats.Misses,
@@ -507,6 +632,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/shortest-path", sv.handleShortestPath)
 	mux.HandleFunc("/distance", sv.handleDistance)
+	mux.HandleFunc("/edges", sv.handleEdges)
 	mux.HandleFunc("/stats", sv.handleStats)
 	mux.HandleFunc("/healthz", sv.handleHealthz)
 	srv := &http.Server{Addr: *addr, Handler: mux}

@@ -184,6 +184,144 @@ func TestApproxModeAndDistanceEndpoint(t *testing.T) {
 	}
 }
 
+// TestEdgesEndpoint: POST /edges applies a batch, re-queries reflect it,
+// and the error paths return client errors without mutating anything.
+func TestEdgesEndpoint(t *testing.T) {
+	sv := newTestServer(t)
+	if _, err := sv.eng.BuildSegTable(6); err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline answer, also priming the cache.
+	rec := httptest.NewRecorder()
+	sv.handleShortestPath(rec, httptest.NewRequest(http.MethodGet, "/shortest-path?s=1&t=200", nil))
+	var before pathResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &before); err != nil {
+		t.Fatal(err)
+	}
+	if !before.Found {
+		t.Fatalf("reference pair should be connected: %+v", before)
+	}
+
+	// A drastic shortcut must change the served answer post-mutation.
+	edges0 := sv.eng.Edges()
+	body := `{"mutations":[{"op":"insert","from":1,"to":200,"weight":1}]}`
+	rec = httptest.NewRecorder()
+	sv.handleEdges(rec, httptest.NewRequest(http.MethodPost, "/edges", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var mresp mutationResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &mresp); err != nil {
+		t.Fatal(err)
+	}
+	if mresp.Applied != 1 || mresp.Error != "" {
+		t.Fatalf("unexpected mutation response: %+v", mresp)
+	}
+	if sv.eng.Edges() != edges0+1 {
+		t.Fatalf("edge count %d, want %d", sv.eng.Edges(), edges0+1)
+	}
+	rec = httptest.NewRecorder()
+	sv.handleShortestPath(rec, httptest.NewRequest(http.MethodGet, "/shortest-path?s=1&t=200", nil))
+	var after pathResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached {
+		t.Fatal("mutation must purge the cached answer")
+	}
+	if after.Distance != 1 {
+		t.Fatalf("shortcut not served: %+v", after)
+	}
+
+	// Delete the shortcut again: the original distance returns with no
+	// manual SegTable rebuild.
+	rec = httptest.NewRecorder()
+	sv.handleEdges(rec, httptest.NewRequest(http.MethodPost, "/edges",
+		strings.NewReader(`{"mutations":[{"op":"delete","from":1,"to":200}]}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete status %d: %s", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	sv.handleShortestPath(rec, httptest.NewRequest(http.MethodGet, "/shortest-path?s=1&t=200&alg=BSEG", nil))
+	var restored pathResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Distance != before.Distance {
+		t.Fatalf("BSEG after delete: distance %d, want %d", restored.Distance, before.Distance)
+	}
+
+	// Error paths.
+	for _, tc := range []struct {
+		body   string
+		status int
+	}{
+		{`{`, http.StatusBadRequest},
+		{`{"mutations":[]}`, http.StatusBadRequest},
+		{`{"mutations":[{"op":"upsert","from":1,"to":2}]}`, http.StatusBadRequest},
+		{`{"mutations":[{"op":"insert","from":1,"to":999999,"weight":1}]}`, http.StatusUnprocessableEntity},
+		{`{"mutations":[{"op":"delete","from":1,"to":200}]}`, http.StatusUnprocessableEntity}, // already gone
+	} {
+		rec := httptest.NewRecorder()
+		sv.handleEdges(rec, httptest.NewRequest(http.MethodPost, "/edges", strings.NewReader(tc.body)))
+		if rec.Code != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.body, rec.Code, tc.status, rec.Body.String())
+		}
+	}
+	rec = httptest.NewRecorder()
+	sv.handleEdges(rec, httptest.NewRequest(http.MethodGet, "/edges", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /edges: status %d", rec.Code)
+	}
+}
+
+// TestEdgesOracleInvalidation: a mutation on an oracle-backed server warns
+// in the response and in /stats until a rebuild.
+func TestEdgesOracleInvalidation(t *testing.T) {
+	sv := newOracleServer(t)
+	rec := httptest.NewRecorder()
+	sv.handleEdges(rec, httptest.NewRequest(http.MethodPost, "/edges",
+		strings.NewReader(`{"mutations":[{"op":"insert","from":0,"to":100,"weight":2}]}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var mresp mutationResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &mresp); err != nil {
+		t.Fatal(err)
+	}
+	if !mresp.OracleInvalidated {
+		t.Error("response must warn that the oracle went cold")
+	}
+	rec = httptest.NewRecorder()
+	sv.handleDistance(rec, httptest.NewRequest(http.MethodGet, "/distance?s=1&t=200", nil))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("/distance on a cold oracle: status %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	sv.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats struct {
+		Graph struct {
+			OracleInvalidated bool `json:"oracle_invalidated"`
+		} `json:"graph"`
+		Mutations struct {
+			Applied             uint64 `json:"applied"`
+			Inserts             uint64 `json:"inserts"`
+			OracleInvalidations uint64 `json:"oracle_invalidations"`
+		} `json:"mutations"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("%v: %s", err, rec.Body.String())
+	}
+	if !stats.Graph.OracleInvalidated {
+		t.Error("/stats must surface oracle_invalidated")
+	}
+	if stats.Mutations.Applied != 1 || stats.Mutations.Inserts != 1 || stats.Mutations.OracleInvalidations != 1 {
+		t.Errorf("mutation counters: %+v", stats.Mutations)
+	}
+}
+
 func TestStatsAndHealthz(t *testing.T) {
 	sv := newTestServer(t)
 	rec := httptest.NewRecorder()
@@ -203,7 +341,7 @@ func TestStatsAndHealthz(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []string{"server", "graph", "cache", "db"} {
+	for _, k := range []string{"server", "graph", "cache", "db", "mutations"} {
 		if _, ok := stats[k]; !ok {
 			t.Errorf("stats missing section %q", k)
 		}

@@ -263,6 +263,7 @@ func Experiments() []struct {
 		{"oracle-build", RunOracleBuild, "Oracle: landmark oracle construction vs k and strategy"},
 		{"oracle-alt", RunOracleALT, "Oracle: ALT vs BSDJ tuples affected / statements / time"},
 		{"oracle-approx", RunOracleApprox, "Oracle: approximate-answer quality and latency"},
+		{"mutation-throughput", RunMutationThroughput, "Mutations: insert/delete/update repair + batch throughput"},
 	}
 }
 

@@ -14,8 +14,8 @@ func tinyConfig() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 27 {
-		t.Fatalf("expected 27 experiments, got %d", len(exps))
+	if len(exps) != 28 {
+		t.Fatalf("expected 28 experiments, got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -114,6 +114,19 @@ func TestRunOracleALT(t *testing.T) {
 }
 
 func TestRunOracleApprox(t *testing.T) { runAndCheck(t, "oracle-approx", 6) }
+
+// TestRunMutationThroughput smoke-tests the dynamic-graph experiment: all
+// five rows present, singles and batch both applied, and the table ID that
+// names the BENCH_mutations.json artifact.
+func TestRunMutationThroughput(t *testing.T) {
+	tab := runAndCheck(t, "mutation-throughput", 7)
+	if tab.ID != "mutations" {
+		t.Errorf("table ID %q, want mutations (names the JSON artifact)", tab.ID)
+	}
+	if len(tab.Rows) != 5 {
+		t.Errorf("expected 5 rows, got %d", len(tab.Rows))
+	}
+}
 
 // TestJSONWriters round-trips the machine-readable output.
 func TestJSONWriters(t *testing.T) {

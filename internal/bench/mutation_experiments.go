@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rdb"
+)
+
+// RunMutationThroughput measures the dynamic-graph mutation subsystem on a
+// SegTable-backed engine: single-edge insert/delete/update latency (each
+// delete and weight increase runs the decremental repair), the batched
+// ApplyMutations form (one latch acquisition and version bump for the
+// whole batch), and the rebuild fallback for comparison. The table lands
+// in BENCH_mutations.json under -json.
+func RunMutationThroughput(cfg Config) (*Table, error) {
+	const lthd = 8
+	n := cfg.scale(2000)
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	// Small weights keep multi-hop segments common so repairs do real work.
+	g := smallWeightPower(n, 3, cfg.Seed)
+	cfg.logf("mutation-throughput: power graph |V|=%d |E|=%d, lthd=%d", g.N, g.M(), lthd)
+
+	setup, err := makeEngine(g, rdb.Options{}, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer setup.close()
+	eng := setup.eng
+	if _, err := eng.BuildSegTable(lthd); err != nil {
+		return nil, err
+	}
+
+	count := cfg.queries() * 4
+	if count < 8 {
+		count = 8
+	}
+	tab := &Table{
+		ID:     "mutations",
+		Title:  fmt.Sprintf("Mutation throughput, power(%d,3), lthd=%d, %d mutations per row", g.N, lthd, count),
+		Header: []string{"op", "mutations", "time(ms)", "mut/sec", "affected", "repaired", "rebuilds"},
+	}
+
+	// mirror tracks live pairs so deletes/updates always hit existing
+	// edges; engine state stays the source of truth for the timings.
+	mirror := g.Clone()
+	record := func(op string, muts []core.Mutation, batched bool) error {
+		start := time.Now()
+		var affected, repaired int64
+		var rebuilds int
+		if batched {
+			st, err := eng.ApplyMutations(muts)
+			if err != nil {
+				return fmt.Errorf("%s: %w", op, err)
+			}
+			affected, repaired = st.Affected, st.Repaired
+			if st.Rebuilt {
+				rebuilds++
+			}
+		} else {
+			for _, m := range muts {
+				st, err := eng.ApplyMutations([]core.Mutation{m})
+				if err != nil {
+					return fmt.Errorf("%s: %w", op, err)
+				}
+				affected += st.Affected
+				repaired += st.Repaired
+				if st.Rebuilt {
+					rebuilds++
+				}
+			}
+		}
+		dur := time.Since(start)
+		cfg.logf("mutation-throughput: %s: %d mutations in %v", op, len(muts), dur.Round(time.Millisecond))
+		tab.Rows = append(tab.Rows, []string{
+			op, fmt.Sprint(len(muts)), ms(dur),
+			fmt.Sprintf("%.0f", float64(len(muts))/dur.Seconds()),
+			fmt.Sprint(affected), fmt.Sprint(repaired), fmt.Sprint(rebuilds),
+		})
+		return nil
+	}
+
+	makeInserts := func() []core.Mutation {
+		muts := make([]core.Mutation, 0, count)
+		for i := 0; i < count; i++ {
+			u, v := rnd.Int63n(g.N), rnd.Int63n(g.N)
+			w := 1 + rnd.Int63n(9)
+			muts = append(muts, core.Mutation{Op: core.MutInsert, From: u, To: v, Weight: w})
+			if err := mirror.InsertEdge(u, v, w); err != nil {
+				panic(err) // bounds guaranteed by the draws above
+			}
+		}
+		return muts
+	}
+	pickPairs := func() [][2]int64 {
+		pairs := make([][2]int64, 0, count)
+		seen := map[[2]int64]bool{}
+		// Bounded draws: at high -queries the mirror can hold fewer
+		// distinct pairs than requested, and re-draws of seen pairs make
+		// no progress — the rows then simply run with fewer mutations.
+		for attempts := 0; len(pairs) < count && attempts < 20*count && mirror.M() > 0; attempts++ {
+			ed := mirror.Edges[rnd.Intn(mirror.M())]
+			key := [2]int64{ed.From, ed.To}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			pairs = append(pairs, key)
+		}
+		return pairs
+	}
+
+	// Row 1: single inserts (the PR-2 era baseline mutation).
+	if err := record("insert (single)", makeInserts(), false); err != nil {
+		return nil, err
+	}
+	// Row 2: single weight increases — decremental repair per mutation.
+	var muts []core.Mutation
+	for _, p := range pickPairs() {
+		w := int64(60 + rnd.Int63n(40))
+		muts = append(muts, core.Mutation{Op: core.MutUpdate, From: p[0], To: p[1], Weight: w})
+		if _, err := mirror.UpdateEdgeWeight(p[0], p[1], w); err != nil {
+			panic(err)
+		}
+	}
+	if err := record("update-weaken (single)", muts, false); err != nil {
+		return nil, err
+	}
+	// Row 3: single deletes — the decremental headline number.
+	muts = muts[:0]
+	for _, p := range pickPairs() {
+		muts = append(muts, core.Mutation{Op: core.MutDelete, From: p[0], To: p[1]})
+		if _, err := mirror.DeleteEdge(p[0], p[1]); err != nil {
+			panic(err)
+		}
+	}
+	if err := record("delete (single)", muts, false); err != nil {
+		return nil, err
+	}
+	// Row 4: one batch of mixed mutations — the amortized form.
+	muts = makeInserts()
+	for i, p := range pickPairs() {
+		if i%2 == 0 {
+			muts = append(muts, core.Mutation{Op: core.MutDelete, From: p[0], To: p[1]})
+			if _, err := mirror.DeleteEdge(p[0], p[1]); err != nil {
+				panic(err)
+			}
+		} else {
+			w := 1 + rnd.Int63n(9)
+			muts = append(muts, core.Mutation{Op: core.MutUpdate, From: p[0], To: p[1], Weight: w})
+			if _, err := mirror.UpdateEdgeWeight(p[0], p[1], w); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if err := record("mixed (batched)", muts, true); err != nil {
+		return nil, err
+	}
+	// Row 5: deletes under a forced rebuild — what every deletion cost
+	// before the decremental repair existed.
+	rebuildEng, err := makeEngine(mirror, rdb.Options{}, core.Options{RepairThreshold: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer rebuildEng.close()
+	if _, err := rebuildEng.eng.BuildSegTable(lthd); err != nil {
+		return nil, err
+	}
+	rebuildCount := count / 4
+	if rebuildCount < 2 {
+		rebuildCount = 2
+	}
+	eng = rebuildEng.eng
+	muts = muts[:0]
+	for _, p := range pickPairs() {
+		if len(muts) >= rebuildCount {
+			break
+		}
+		muts = append(muts, core.Mutation{Op: core.MutDelete, From: p[0], To: p[1]})
+		if _, err := mirror.DeleteEdge(p[0], p[1]); err != nil {
+			panic(err)
+		}
+	}
+	if err := record("delete (rebuild fallback)", muts, false); err != nil {
+		return nil, err
+	}
+	return tab, nil
+}
+
+// smallWeightPower is graph.Power with weights redrawn in [1, 9]: the
+// generator's 1..100 weights would leave lthd-bounded segments rare and
+// the repair path idle.
+func smallWeightPower(n int64, d int, seed int64) *graph.Graph {
+	base := graph.Power(n, d, seed)
+	rnd := rand.New(rand.NewSource(seed + 1))
+	edges := make([]graph.Edge, len(base.Edges))
+	for i, e := range base.Edges {
+		edges[i] = graph.Edge{From: e.From, To: e.To, Weight: 1 + rnd.Int63n(9)}
+	}
+	g, err := graph.New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

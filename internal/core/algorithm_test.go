@@ -1,0 +1,53 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseAlgorithm is the table-driven parser test for the algorithm
+// names every command-line and HTTP surface shares.
+func TestParseAlgorithm(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Algorithm
+		ok   bool
+	}{
+		{"DJ", AlgDJ, true},
+		{"dj", AlgDJ, true},
+		{"BDJ", AlgBDJ, true},
+		{"bsdj", AlgBSDJ, true},
+		{"Bbfs", AlgBBFS, true},
+		{"BSEG", AlgBSEG, true},
+		{"alt", AlgALT, true},
+		{"", 0, false},
+		{"DJK", 0, false},
+		{"BSE", 0, false},
+		{" BSDJ", 0, false}, // no trimming: callers pass exact tokens
+	} {
+		got, err := ParseAlgorithm(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseAlgorithm(%q): err=%v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if !tc.ok {
+			if !strings.Contains(err.Error(), "unknown algorithm") {
+				t.Errorf("ParseAlgorithm(%q): unexpected error text %q", tc.in, err)
+			}
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseAlgorithm(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// Every algorithm's String round-trips through the parser.
+	for _, alg := range allAlgorithms() {
+		back, err := ParseAlgorithm(alg.String())
+		if err != nil || back != alg {
+			t.Errorf("round-trip %v: %v, %v", alg, back, err)
+		}
+	}
+	if s := Algorithm(42).String(); !strings.Contains(s, "42") {
+		t.Errorf("unknown algorithm string: %q", s)
+	}
+}

@@ -129,10 +129,20 @@ type Options struct {
 	// (graph version, algorithm, source, target) and invalidated whenever
 	// the graph or the SegTable index changes.
 	CacheSize int
+	// RepairThreshold caps the decremental SegTable repair: when a
+	// deletion or weight increase touches more rows than this, the engine
+	// falls back to a full rebuild instead of repairing in place
+	// (0 = DefaultRepairThreshold; negative = always rebuild).
+	RepairThreshold int
 }
 
 // DefaultCacheSize is the path-cache capacity when Options.CacheSize is 0.
 const DefaultCacheSize = 4096
+
+// DefaultRepairThreshold is the decremental-repair row cap when
+// Options.RepairThreshold is 0: past this many touched SegTable rows a
+// full rebuild is cheaper than the scoped repair.
+const DefaultRepairThreshold = 4096
 
 // Engine runs the relational algorithms against one database. It keeps
 // only scalar state between statements — the RDB carries all per-node data.
@@ -161,13 +171,20 @@ type Engine struct {
 	segBuilt bool
 	segLthd  int64
 	// orc is the landmark oracle metadata (nil until BuildOracle; reset to
-	// nil — invalidated — by LoadGraph and InsertEdge, whose graph changes
-	// can shorten landmark distances and would make the stored lower
+	// nil — invalidated — by LoadGraph and every edge mutation, whose
+	// graph changes can move landmark distances and would make the stored
 	// bounds unsound).
 	orc *oracle.Oracle
+	// orcStale records that a mutation killed a previously built oracle:
+	// operators (spdbd /stats) can tell "approx/ALT went cold, rebuild" from
+	// "never built". Cleared by BuildOracle and LoadGraph.
+	orcStale bool
+	// muts counts the mutation subsystem's activity for the serving tier.
+	muts MutationCounters
 	// version stamps the (graph, index) generation; bumped by LoadGraph,
-	// BuildSegTable and InsertEdge so cached answers can never outlive the
-	// data they were computed from.
+	// BuildSegTable, BuildOracle and every mutation (InsertEdge,
+	// DeleteEdge, UpdateEdgeWeight, ApplyMutations) so cached answers can
+	// never outlive the data they were computed from.
 	version uint64
 
 	// queryMu serializes relational searches (they share TVisited).
@@ -243,8 +260,25 @@ func (e *Engine) Oracle() *oracle.Oracle {
 	return e.orc
 }
 
+// OracleInvalidated reports that a previously built oracle was killed by a
+// graph mutation and has not been rebuilt: ALT and ApproxDistance refuse
+// to run until BuildOracle is called again. The serving tier surfaces this
+// so operators know approximate answers went cold.
+func (e *Engine) OracleInvalidated() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.orcStale
+}
+
+// MutationStats snapshots the mutation subsystem's counters.
+func (e *Engine) MutationStats() MutationCounters {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.muts
+}
+
 // GraphVersion returns the current (graph, index) generation, bumped by
-// LoadGraph, BuildSegTable and InsertEdge.
+// LoadGraph, BuildSegTable and every edge mutation.
 func (e *Engine) GraphVersion() uint64 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()

@@ -40,6 +40,9 @@ func (e *Engine) LoadGraph(g *graph.Graph) error {
 	e.wmin = 0
 	e.segBuilt = false
 	e.orc = nil
+	// A fresh graph starts with a clean oracle slate (the mutation
+	// counters are engine-lifetime and survive reloads).
+	e.orcStale = false
 	e.bumpVersionLocked()
 	e.mu.Unlock()
 	// Reloading replaces any previously loaded graph (and its index):

@@ -1,0 +1,533 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/rdb"
+)
+
+// mutationGraph returns a connected-ish random graph and a deep copy to
+// mutate as the in-memory mirror.
+func mutationGraph(t *testing.T, n int64, m int, seed int64) (*graph.Graph, *graph.Graph) {
+	t.Helper()
+	g := graph.Random(n, m, seed)
+	return g, g.Clone()
+}
+
+// checkAllAlgorithms runs every algorithm (ALT only when an oracle is
+// built) over the queries and compares against the mirror.
+func checkAllAlgorithms(t *testing.T, e *Engine, mirror *graph.Graph, queries [][2]int64) {
+	t.Helper()
+	for _, alg := range allAlgorithms() {
+		if alg == AlgALT && e.Oracle() == nil {
+			continue
+		}
+		if alg == AlgBSEG && e.SegLthd() == 0 {
+			continue
+		}
+		for _, q := range queries {
+			p, _, err := e.ShortestPath(alg, q[0], q[1])
+			if err != nil {
+				t.Fatalf("%v s=%d t=%d: %v", alg, q[0], q[1], err)
+			}
+			checkPath(t, mirror, alg, q[0], q[1], p)
+		}
+	}
+}
+
+// TestDeleteEdgeScopedRepair is the acceptance-criterion test: DeleteEdge
+// followed by a re-query returns exact distances with no manual
+// BuildSegTable, and the scoped (non-rebuild) repair path is the one that
+// ran. The repaired SegTable must equal a from-scratch rebuild row for row.
+func TestDeleteEdgeScopedRepair(t *testing.T) {
+	const lthd = 60 // generator weights are 1..100: keep multi-hop segments common
+	g, mirror := mutationGraph(t, 30, 70, 21)
+	e := newTestEngine(t, g, rdb.Options{}, Options{})
+	if _, err := e.BuildSegTable(lthd); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete several existing edges, repairing after each.
+	rng := rand.New(rand.NewSource(5))
+	deleted := 0
+	var repaired int64
+	for deleted < 8 && mirror.M() > 0 {
+		ed := mirror.Edges[rng.Intn(mirror.M())]
+		if _, err := mirror.DeleteEdge(ed.From, ed.To); err != nil {
+			t.Fatal(err)
+		}
+		st, err := e.DeleteEdge(ed.From, ed.To)
+		if err != nil {
+			t.Fatalf("delete (%d,%d): %v", ed.From, ed.To, err)
+		}
+		if st.Rebuilt {
+			t.Fatalf("delete (%d,%d): fell back to a rebuild under the default threshold", ed.From, ed.To)
+		}
+		repaired += st.Repaired
+		deleted++
+	}
+	if repaired == 0 {
+		t.Error("eight deletions on a dense graph never repaired a SegTable row")
+	}
+	ms := e.MutationStats()
+	if ms.Deletes != uint64(deleted) || ms.SegRebuilds != 0 {
+		t.Errorf("counters: %+v", ms)
+	}
+	if ms.SegRepairs == 0 {
+		t.Error("scoped repair path never taken")
+	}
+
+	// The maintained index must match a from-scratch build over the
+	// post-delete graph exactly.
+	eB := newTestEngine(t, mirror, rdb.Options{}, Options{})
+	if _, err := eB.BuildSegTable(lthd); err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range []string{TblOutSegs, TblInSegs} {
+		inc := segTableSnapshot(t, e, tbl)
+		ref := segTableSnapshot(t, eB, tbl)
+		for pair, want := range ref {
+			got, ok := inc[pair]
+			if !ok {
+				t.Fatalf("%s: repair misses pair %v (cost %d)", tbl, pair, want)
+			}
+			if got != want {
+				t.Fatalf("%s: pair %v cost %d, rebuild says %d", tbl, pair, got, want)
+			}
+		}
+		for pair, got := range inc {
+			if _, ok := ref[pair]; !ok {
+				t.Fatalf("%s: repair kept stale pair %v (cost %d)", tbl, pair, got)
+			}
+		}
+	}
+
+	queries := append(graph.RandomQueries(mirror, 8, 3), [2]int64{2, 2})
+	checkAllAlgorithms(t, e, mirror, queries)
+}
+
+// TestUpdateEdgeWeight covers both repair directions: a relaxation takes
+// the insertion-style maintenance, a weakening the decremental pass, and
+// every algorithm stays exact against the mirror either way.
+func TestUpdateEdgeWeight(t *testing.T) {
+	const lthd = 15
+	g, mirror := mutationGraph(t, 25, 60, 8)
+	e := newTestEngine(t, g, rdb.Options{}, Options{})
+	if _, err := e.BuildSegTable(lthd); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for step := 0; step < 10; step++ {
+		ed := mirror.Edges[rng.Intn(mirror.M())]
+		var w int64
+		if step%2 == 0 {
+			w = 1 + rng.Int63n(3) // likely a relaxation
+		} else {
+			w = 50 + rng.Int63n(50) // likely a weakening
+		}
+		if _, err := mirror.UpdateEdgeWeight(ed.From, ed.To, w); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.UpdateEdgeWeight(ed.From, ed.To, w); err != nil {
+			t.Fatalf("update (%d,%d)->%d: %v", ed.From, ed.To, w, err)
+		}
+	}
+	eB := newTestEngine(t, mirror, rdb.Options{}, Options{})
+	if _, err := eB.BuildSegTable(lthd); err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range []string{TblOutSegs, TblInSegs} {
+		inc := segTableSnapshot(t, e, tbl)
+		ref := segTableSnapshot(t, eB, tbl)
+		if len(inc) != len(ref) {
+			t.Fatalf("%s: size %d vs rebuild %d", tbl, len(inc), len(ref))
+		}
+		for pair, want := range ref {
+			if inc[pair] != want {
+				t.Fatalf("%s: pair %v cost %d want %d", tbl, pair, inc[pair], want)
+			}
+		}
+	}
+	checkAllAlgorithms(t, e, mirror, graph.RandomQueries(mirror, 8, 4))
+}
+
+// TestMutationsOnPostgresProfile drives delete and weaken repairs through
+// the merge-free statement forms.
+func TestMutationsOnPostgresProfile(t *testing.T) {
+	g, mirror := mutationGraph(t, 20, 50, 9)
+	e := newTestEngine(t, g, rdb.Options{Profile: rdb.ProfilePostgreSQL9}, Options{})
+	if _, err := e.BuildSegTable(12); err != nil {
+		t.Fatal(err)
+	}
+	ed := mirror.Edges[0]
+	if _, err := mirror.DeleteEdge(ed.From, ed.To); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.DeleteEdge(ed.From, ed.To); err != nil {
+		t.Fatal(err)
+	}
+	ed = mirror.Edges[1]
+	if _, err := mirror.UpdateEdgeWeight(ed.From, ed.To, ed.Weight+40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.UpdateEdgeWeight(ed.From, ed.To, ed.Weight+40); err != nil {
+		t.Fatal(err)
+	}
+	eB := newTestEngine(t, mirror, rdb.Options{}, Options{})
+	if _, err := eB.BuildSegTable(12); err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range []string{TblOutSegs, TblInSegs} {
+		inc := segTableSnapshot(t, e, tbl)
+		ref := segTableSnapshot(t, eB, tbl)
+		if len(inc) != len(ref) {
+			t.Fatalf("%s: size %d vs rebuild %d", tbl, len(inc), len(ref))
+		}
+		for pair, want := range ref {
+			if inc[pair] != want {
+				t.Fatalf("%s: pair %v cost %d want %d", tbl, pair, inc[pair], want)
+			}
+		}
+	}
+}
+
+// TestRepairThresholdFallback: a negative threshold forces every
+// decremental repair into the rebuild path, which must stay exact too.
+func TestRepairThresholdFallback(t *testing.T) {
+	g, mirror := mutationGraph(t, 25, 60, 33)
+	e := newTestEngine(t, g, rdb.Options{}, Options{RepairThreshold: -1})
+	if _, err := e.BuildSegTable(15); err != nil {
+		t.Fatal(err)
+	}
+	ed := mirror.Edges[4]
+	if _, err := mirror.DeleteEdge(ed.From, ed.To); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.DeleteEdge(ed.From, ed.To)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Rebuilt {
+		t.Fatalf("negative threshold must force a rebuild: %+v", st)
+	}
+	if ms := e.MutationStats(); ms.SegRebuilds != 1 || ms.SegRepairs != 0 {
+		t.Errorf("counters after forced rebuild: %+v", ms)
+	}
+	if e.SegLthd() != 15 {
+		t.Errorf("rebuild lost the lthd: %d", e.SegLthd())
+	}
+	checkAllAlgorithms(t, e, mirror, graph.RandomQueries(mirror, 6, 2))
+}
+
+// TestDeleteEdgeRefreshesWMin: removing the cheapest edge must re-derive
+// the engine's minimal weight (the frontier-selection bound).
+func TestDeleteEdgeRefreshesWMin(t *testing.T) {
+	edges := []graph.Edge{
+		{From: 0, To: 1, Weight: 1},
+		{From: 1, To: 2, Weight: 5},
+		{From: 0, To: 2, Weight: 9},
+	}
+	g, err := graph.New(3, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newTestEngine(t, g, rdb.Options{}, Options{})
+	if e.WMin() != 1 {
+		t.Fatalf("wmin: %d", e.WMin())
+	}
+	if _, err := e.DeleteEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if e.WMin() != 5 {
+		t.Fatalf("wmin after delete: %d", e.WMin())
+	}
+	if _, err := e.UpdateEdgeWeight(1, 2, 12); err != nil {
+		t.Fatal(err)
+	}
+	if e.WMin() != 9 {
+		t.Fatalf("wmin after weaken: %d", e.WMin())
+	}
+	if _, err := e.UpdateEdgeWeight(1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if e.WMin() != 2 {
+		t.Fatalf("wmin after relax: %d", e.WMin())
+	}
+	if e.Edges() != 2 {
+		t.Fatalf("edge count: %d", e.Edges())
+	}
+}
+
+// TestMutationErrors pins the validation surface.
+func TestMutationErrors(t *testing.T) {
+	g := graph.Random(10, 20, 4)
+	e := newTestEngine(t, g, rdb.Options{}, Options{})
+	for name, fn := range map[string]func() error{
+		"delete missing":      func() error { _, err := e.DeleteEdge(0, 9); return err },
+		"delete out of range": func() error { _, err := e.DeleteEdge(0, 99); return err },
+		"update missing":      func() error { _, err := e.UpdateEdgeWeight(0, 9, 3); return err },
+		"update zero weight":  func() error { _, err := e.UpdateEdgeWeight(0, 1, 0); return err },
+		"insert zero weight":  func() error { _, err := e.InsertEdge(0, 1, 0); return err },
+		"batch bad op":        func() error { _, err := e.ApplyMutations([]Mutation{{Op: MutOp(9), From: 0, To: 1}}); return err },
+	} {
+		if err := fn(); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+	// DeleteEdge(0, 9) depends on the workload not containing that pair.
+	found := false
+	for _, ed := range g.Edges {
+		if ed.From == 0 && ed.To == 9 {
+			found = true
+		}
+	}
+	if found {
+		t.Fatal("test workload has edge (0,9); pick another seed")
+	}
+}
+
+// TestApplyMutationsBatch: one latch acquisition, one version bump, one
+// cache purge for the whole batch — and the result is exact.
+func TestApplyMutationsBatch(t *testing.T) {
+	g, mirror := mutationGraph(t, 25, 60, 11)
+	e := newTestEngine(t, g, rdb.Options{}, Options{})
+	if _, err := e.BuildSegTable(12); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache so the purge is observable.
+	queries := graph.RandomQueries(mirror, 5, 6)
+	for _, q := range queries {
+		if _, _, err := e.ShortestPath(AlgBSDJ, q[0], q[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v0 := e.GraphVersion()
+	inv0 := e.CacheStats().Invalidations
+
+	del := mirror.Edges[2]
+	upd := mirror.Edges[7]
+	muts := []Mutation{
+		{Op: MutInsert, From: 1, To: 18, Weight: 2},
+		{Op: MutDelete, From: del.From, To: del.To},
+		{Op: MutUpdate, From: upd.From, To: upd.To, Weight: upd.Weight + 25},
+	}
+	if err := mirror.InsertEdge(1, 18, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mirror.DeleteEdge(del.From, del.To); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mirror.UpdateEdgeWeight(upd.From, upd.To, upd.Weight+25); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.ApplyMutations(muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.GraphVersion() != v0+1 {
+		t.Errorf("batch must bump the version exactly once: %d -> %d", v0, e.GraphVersion())
+	}
+	if st.Version != v0+1 {
+		t.Errorf("MaintStats must carry the committed version: %d, want %d", st.Version, v0+1)
+	}
+	if st.Applied != len(muts) {
+		t.Errorf("applied %d, want %d", st.Applied, len(muts))
+	}
+	if inv := e.CacheStats().Invalidations; inv != inv0+1 {
+		t.Errorf("batch must purge the cache exactly once: %d -> %d", inv0, inv)
+	}
+	if st.Rebuilt {
+		t.Errorf("small batch fell back to rebuild: %+v", st)
+	}
+	if ms := e.MutationStats(); ms.Batches != 1 || ms.Inserts != 1 || ms.Deletes != 1 || ms.Updates != 1 {
+		t.Errorf("batch counters: %+v", ms)
+	}
+	if e.Edges() != mirror.M() {
+		t.Errorf("edge count %d, mirror %d", e.Edges(), mirror.M())
+	}
+	checkAllAlgorithms(t, e, mirror, append(queries, graph.RandomQueries(mirror, 5, 7)...))
+}
+
+// TestApplyMutationsValidation: a bad mutation anywhere in the batch
+// applies nothing — no version bump, no edge change.
+func TestApplyMutationsValidation(t *testing.T) {
+	g := graph.Random(12, 30, 5)
+	e := newTestEngine(t, g, rdb.Options{}, Options{})
+	v0 := e.GraphVersion()
+	edges0 := e.Edges()
+	_, err := e.ApplyMutations([]Mutation{
+		{Op: MutInsert, From: 0, To: 1, Weight: 3},
+		{Op: MutInsert, From: 0, To: 99, Weight: 3}, // out of range
+	})
+	if err == nil || !strings.Contains(err.Error(), "mutation 1") {
+		t.Fatalf("expected a positional validation error, got %v", err)
+	}
+	if e.GraphVersion() != v0 || e.Edges() != edges0 {
+		t.Errorf("failed validation must apply nothing: version %d->%d edges %d->%d",
+			v0, e.GraphVersion(), edges0, e.Edges())
+	}
+	if ms := e.MutationStats(); ms.Batches != 0 {
+		t.Errorf("a rejected batch must not count: %+v", ms)
+	}
+	// The empty batch is a no-op, not an error.
+	st, err := e.ApplyMutations(nil)
+	if err != nil || st.Statements != 0 {
+		t.Fatalf("empty batch: %+v, %v", st, err)
+	}
+	if e.GraphVersion() != v0 {
+		t.Error("empty batch must not bump the version")
+	}
+}
+
+// TestMutationOracleInvalidation: any mutation kills a built oracle, the
+// engine and MaintStats both say so, and BuildOracle clears the flag.
+func TestMutationOracleInvalidation(t *testing.T) {
+	g, mirror := mutationGraph(t, 20, 50, 14)
+	e := newTestEngine(t, g, rdb.Options{}, Options{})
+	// Without an oracle the flag stays down.
+	st, err := e.InsertEdge(0, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OracleInvalidated || e.OracleInvalidated() {
+		t.Error("no oracle built, nothing to invalidate")
+	}
+	if err := mirror.InsertEdge(0, 9, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := e.BuildOracle(oracle.Config{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ed := mirror.Edges[3]
+	if _, err := mirror.DeleteEdge(ed.From, ed.To); err != nil {
+		t.Fatal(err)
+	}
+	st, err = e.DeleteEdge(ed.From, ed.To)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.OracleInvalidated {
+		t.Error("MaintStats must surface the oracle invalidation")
+	}
+	if !e.OracleInvalidated() {
+		t.Error("engine must report the oracle as cold")
+	}
+	if _, err := e.ApproxDistance(0, 1); err == nil {
+		t.Error("ApproxDistance must refuse on a cold oracle")
+	}
+	if ms := e.MutationStats(); ms.OracleInvalidations != 1 {
+		t.Errorf("invalidation counter: %+v", ms)
+	}
+	if _, err := e.BuildOracle(oracle.Config{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if e.OracleInvalidated() {
+		t.Error("BuildOracle must clear the stale flag")
+	}
+	checkAllAlgorithms(t, e, mirror, graph.RandomQueries(mirror, 5, 9))
+}
+
+// TestFailedMutationKeepsOracle: a mutation that fails before writing
+// anything (missing edge) must not cold-stop approximate service — the
+// graph is unchanged, so the pre-batch oracle is restored.
+func TestFailedMutationKeepsOracle(t *testing.T) {
+	g := graph.Random(15, 40, 6)
+	e := newTestEngine(t, g, rdb.Options{}, Options{})
+	if _, err := e.BuildOracle(oracle.Config{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Find a pair with no edge so the delete fails without writing.
+	present := map[[2]int64]bool{}
+	for _, ed := range g.Edges {
+		present[[2]int64{ed.From, ed.To}] = true
+	}
+	pair := [2]int64{-1, -1}
+	for u := int64(0); u < g.N && pair[0] < 0; u++ {
+		for v := int64(0); v < g.N; v++ {
+			if u != v && !present[[2]int64{u, v}] {
+				pair = [2]int64{u, v}
+				break
+			}
+		}
+	}
+	st, err := e.DeleteEdge(pair[0], pair[1])
+	if err == nil {
+		t.Fatal("deleting a missing edge must fail")
+	}
+	if st == nil || st.Applied != 0 || st.OracleInvalidated {
+		t.Fatalf("partial stats after no-op failure: %+v", st)
+	}
+	if e.Oracle() == nil || e.OracleInvalidated() {
+		t.Error("a no-op failure must leave the oracle warm")
+	}
+	if ms := e.MutationStats(); ms.OracleInvalidations != 0 {
+		t.Errorf("invalidation counter after restore: %+v", ms)
+	}
+	if _, err := e.ApproxDistance(0, 1); err != nil {
+		t.Errorf("approx after failed mutation: %v", err)
+	}
+
+	// A batch that fails after a write keeps the prefix AND the cold
+	// oracle, reporting how much persisted.
+	edges0 := e.Edges()
+	st, err = e.ApplyMutations([]Mutation{
+		{Op: MutInsert, From: 0, To: 5, Weight: 2},
+		{Op: MutDelete, From: pair[0], To: pair[1]}, // still missing
+	})
+	if err == nil {
+		t.Fatal("batch with a missing delete must fail")
+	}
+	if st == nil || st.Applied != 1 {
+		t.Fatalf("prefix not reported: %+v", st)
+	}
+	if e.Edges() != edges0+1 {
+		t.Errorf("applied prefix lost: edges %d, want %d", e.Edges(), edges0+1)
+	}
+	if e.Oracle() != nil || !e.OracleInvalidated() {
+		t.Error("a written prefix must leave the oracle cold")
+	}
+	// Batches counts only batches that applied something: the failed
+	// no-op DeleteEdge above was a single helper, the prefix batch counts.
+	if ms := e.MutationStats(); ms.Batches != 1 {
+		t.Errorf("batch counter after prefix failure: %+v", ms)
+	}
+}
+
+// TestParseMutOp is the table-driven parser test shared with spdbd.
+func TestParseMutOp(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want MutOp
+		ok   bool
+	}{
+		{"insert", MutInsert, true},
+		{"INSERT", MutInsert, true},
+		{"Delete", MutDelete, true},
+		{"update", MutUpdate, true},
+		{"upsert", 0, false},
+		{"", 0, false},
+	} {
+		got, err := ParseMutOp(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseMutOp(%q): err=%v", tc.in, err)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseMutOp(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, op := range []MutOp{MutInsert, MutDelete, MutUpdate} {
+		back, err := ParseMutOp(op.String())
+		if err != nil || back != op {
+			t.Errorf("round-trip %v: %v, %v", op, back, err)
+		}
+	}
+	if s := MutOp(9).String(); !strings.Contains(s, "9") {
+		t.Errorf("unknown op string: %q", s)
+	}
+}

@@ -46,8 +46,13 @@ func (e *Engine) BuildOracle(cfg oracle.Config) (*oracle.BuildStats, error) {
 	}
 	// Invalidate before touching TLandmark: ApproxDistance runs off the
 	// query latch, and a rebuild over a live oracle must make concurrent
-	// lookups refuse cleanly rather than read a half-built relation.
+	// lookups refuse cleanly rather than read a half-built relation. A
+	// live oracle also goes stale here, so a failed rebuild reads as
+	// "went cold" — not "never built" — to operators.
 	e.mu.Lock()
+	if e.orc != nil {
+		e.orcStale = true
+	}
 	e.orc = nil
 	e.mu.Unlock()
 	orc, st, err := oracle.Build(e.sess, params)
@@ -56,6 +61,7 @@ func (e *Engine) BuildOracle(cfg oracle.Config) (*oracle.BuildStats, error) {
 	}
 	e.mu.Lock()
 	e.orc = orc
+	e.orcStale = false
 	e.bumpVersionLocked()
 	e.mu.Unlock()
 	return st, nil

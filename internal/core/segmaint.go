@@ -15,13 +15,33 @@ import (
 // shortest suffix v -> y (possibly empty). Both halves are within lthd,
 // hence already recorded in the SegTable (or trivial). Four MERGE
 // statements per direction — one per {x = u, x != u} x {y = v, y != v}
-// combination — therefore cover every improved pair. Edge deletions can
-// lengthen distances and are not incrementally maintainable this way; use
-// BuildSegTable to rebuild after deletions.
+// combination — therefore cover every improved pair. Weight decreases are
+// the same case (UpdateEdgeWeight). Edge deletions and weight increases
+// can lengthen distances and take the decremental path of mutation.go: a
+// touch set over the same four shapes, recomputed by a bounded sweep.
 
-// MaintStats reports one incremental maintenance step.
+// MaintStats reports one maintenance step (a single edge mutation or an
+// ApplyMutations batch).
 type MaintStats struct {
-	Affected   int64 // SegTable rows inserted or improved
+	// Applied counts the mutations fully applied. On success it equals the
+	// batch length; on an execution error it reports the persisted prefix
+	// (ApplyMutations returns the partial stats alongside the error).
+	Applied int
+	// Affected counts SegTable rows inserted or improved by insertion
+	// maintenance plus rows in decremental touch sets.
+	Affected int64
+	// Repaired counts rows re-materialized by scoped decremental repairs.
+	Repaired int64
+	// Rebuilt reports that some decremental touch set exceeded
+	// Options.RepairThreshold and the index was rebuilt wholesale.
+	Rebuilt bool
+	// OracleInvalidated reports that this mutation killed a built landmark
+	// oracle: ALT and ApproxDistance refuse until BuildOracle runs again.
+	OracleInvalidated bool
+	// Version is the graph generation the mutation committed as, read
+	// while the batch still holds the query latch (GraphVersion read
+	// afterwards could already belong to a later batch).
+	Version    uint64
 	Statements int
 	Time       time.Duration
 }
@@ -29,60 +49,7 @@ type MaintStats struct {
 // InsertEdge adds a (from, to, weight) edge to TEdges and, when a SegTable
 // is built, incrementally maintains TOutSegs and TInSegs.
 func (e *Engine) InsertEdge(from, to, weight int64) (*MaintStats, error) {
-	// Mutating the graph excludes searches and invalidates the path
-	// cache: any cached answer may be improved by the new edge.
-	e.queryMu.Lock()
-	defer e.queryMu.Unlock()
-	nodes := e.Nodes()
-	if nodes == 0 {
-		return nil, fmt.Errorf("core: no graph loaded")
-	}
-	if from < 0 || to < 0 || int(from) >= nodes || int(to) >= nodes {
-		return nil, fmt.Errorf("core: node out of range (n=%d)", nodes)
-	}
-	if weight < 1 {
-		return nil, fmt.Errorf("core: edge weight must be positive, got %d", weight)
-	}
-	st := &MaintStats{}
-	start := time.Now()
-	qs := &QueryStats{Algorithm: "SegMaint"}
-
-	if _, err := e.exec(qs, nil, nil, fmt.Sprintf(
-		"INSERT INTO %s (fid, tid, cost) VALUES (?, ?, ?)", TblEdges), from, to, weight); err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	e.edges++
-	if weight < e.wmin {
-		e.wmin = weight
-	}
-	// A new edge can only shorten landmark distances, so the stored lower
-	// bounds would overestimate — the oracle is invalidated, not patched
-	// (BuildOracle rebuilds it; the SegTable below IS incrementally
-	// maintainable because segments are bounded by lthd).
-	e.orc = nil
-	e.bumpVersionLocked()
-	segBuilt := e.segBuilt
-	e.mu.Unlock()
-	if !segBuilt {
-		st.Statements = qs.Statements
-		st.Time = time.Since(start)
-		return st, nil
-	}
-
-	affected, err := e.maintainDirection(qs, from, to, weight, true)
-	if err != nil {
-		return nil, err
-	}
-	st.Affected += affected
-	affected, err = e.maintainDirection(qs, from, to, weight, false)
-	if err != nil {
-		return nil, err
-	}
-	st.Affected += affected
-	st.Statements = qs.Statements
-	st.Time = time.Since(start)
-	return st, nil
+	return e.applyMutations([]Mutation{{Op: MutInsert, From: from, To: to, Weight: weight}}, false)
 }
 
 // maintainDirection updates TOutSegs (forward=true) or TInSegs with the

@@ -18,6 +18,15 @@ func (e *Engine) BuildSegTable(lthd int64) (*SegTableStats, error) {
 	// every cached answer: BSEG results depend on the index.
 	e.queryMu.Lock()
 	defer e.queryMu.Unlock()
+	return e.buildSegTableLocked(lthd, true)
+}
+
+// buildSegTableLocked is the construction body; callers hold queryMu. The
+// decremental repair fallback calls it with bump=false: the mutation batch
+// already bumped the graph version, concurrent searches are latched out,
+// and the path cache is empty, so a second invalidation would only distort
+// the stats.
+func (e *Engine) buildSegTableLocked(lthd int64, bump bool) (*SegTableStats, error) {
 	if e.Nodes() == 0 {
 		return nil, fmt.Errorf("core: no graph loaded")
 	}
@@ -103,7 +112,9 @@ func (e *Engine) BuildSegTable(lthd int64) (*SegTableStats, error) {
 	e.segBuilt = true
 	e.segLthd = lthd
 	e.opts.Lthd = lthd
-	e.bumpVersionLocked()
+	if bump {
+		e.bumpVersionLocked()
+	}
 	e.mu.Unlock()
 	return st, nil
 }
@@ -111,14 +122,54 @@ func (e *Engine) BuildSegTable(lthd int64) (*SegTableStats, error) {
 // segPass runs one direction of the construction and materializes the
 // segment table plus the original-edge merge.
 func (e *Engine) segPass(qs *QueryStats, lthd int64, forward bool) (int, error) {
+	// Every node is a source at distance 0 from itself.
+	iterations, err := e.segSweep(qs, lthd, forward, TblNodes)
+	if err != nil {
+		return 0, err
+	}
+
+	// Materialize the segments (Definition 4(1)) ...
+	target := TblOutSegs
+	if !forward {
+		target = TblInSegs
+	}
+	var insQ string
+	if forward {
+		insQ = fmt.Sprintf(
+			"INSERT INTO %s (fid, tid, pid, cost) SELECT src, nid, par, dist FROM %s WHERE src <> nid",
+			target, TblSeg)
+	} else {
+		// Backward pass computed paths nid -> src; store as (fid=nid,
+		// tid=src, pid=successor of nid).
+		insQ = fmt.Sprintf(
+			"INSERT INTO %s (fid, tid, pid, cost) SELECT nid, src, par, dist FROM %s WHERE src <> nid",
+			target, TblSeg)
+	}
+	if _, err := e.exec(qs, nil, nil, insQ); err != nil {
+		return 0, err
+	}
+
+	// ... and fold in the remaining original edges (Definition 4(2)): an
+	// edge is discarded when a recorded segment already dominates it; a
+	// cheaper parallel edge updates the recorded cost.
+	if err := e.foldEdges(qs, forward, ""); err != nil {
+		return 0, err
+	}
+	return iterations, nil
+}
+
+// segSweep fills the TSeg working table with bounded multi-source
+// set-Dijkstra distances (dist <= lthd) from every node listed in
+// seedTable (nid column). BuildSegTable seeds all of TNodes; the
+// decremental repair seeds only the touched sources.
+func (e *Engine) segSweep(qs *QueryStats, lthd int64, forward bool, seedTable string) (int, error) {
 	db := e.db
 	if _, err := e.exec(qs, nil, nil, "DELETE FROM "+TblSeg); err != nil {
 		return 0, err
 	}
-	// Every node is a source at distance 0 from itself.
 	if _, err := e.exec(qs, nil, nil, fmt.Sprintf(
 		"INSERT INTO %s (src, nid, dist, par, f) SELECT nid, nid, 0, nid, 0 FROM %s",
-		TblSeg, TblNodes)); err != nil {
+		TblSeg, seedTable)); err != nil {
 		return 0, err
 	}
 
@@ -184,68 +235,42 @@ func (e *Engine) segPass(qs *QueryStats, lthd int64, forward bool) (int, error) 
 		}
 	}
 
-	// Materialize the segments (Definition 4(1)) ...
-	target := TblOutSegs
-	if !forward {
-		target = TblInSegs
-	}
-	var insQ string
-	if forward {
-		insQ = fmt.Sprintf(
-			"INSERT INTO %s (fid, tid, pid, cost) SELECT src, nid, par, dist FROM %s WHERE src <> nid",
-			target, TblSeg)
-	} else {
-		// Backward pass computed paths nid -> src; store as (fid=nid,
-		// tid=src, pid=successor of nid).
-		insQ = fmt.Sprintf(
-			"INSERT INTO %s (fid, tid, pid, cost) SELECT nid, src, par, dist FROM %s WHERE src <> nid",
-			target, TblSeg)
-	}
-	if _, err := e.exec(qs, nil, nil, insQ); err != nil {
-		return 0, err
-	}
-
-	// ... and fold in the remaining original edges (Definition 4(2)): an
-	// edge is discarded when a recorded segment already dominates it; a
-	// cheaper parallel edge updates the recorded cost.
-	pid := "source.fid"
-	if !forward {
-		pid = "source.tid" // successor of fid on the single-edge path
-	}
-	if useMerge {
-		edgeMerge := fmt.Sprintf(
-			"MERGE INTO %s AS target USING %s AS source "+
-				"ON (target.fid = source.fid AND target.tid = source.tid) "+
-				"WHEN MATCHED AND target.cost > source.cost THEN UPDATE SET cost = source.cost, pid = %s "+
-				"WHEN NOT MATCHED THEN INSERT (fid, tid, pid, cost) VALUES (source.fid, source.tid, %s, source.cost)",
-			target, TblEdges, pid, pid)
-		if _, err := e.exec(qs, nil, nil, edgeMerge); err != nil {
-			return 0, err
-		}
-	} else {
-		updQ := fmt.Sprintf(
-			"UPDATE %[1]s SET cost = s.cost, pid = %[2]s FROM %[3]s s "+
-				"WHERE %[1]s.fid = s.fid AND %[1]s.tid = s.tid AND %[1]s.cost > s.cost",
-			target, pidRef(forward), TblEdges)
-		if _, err := e.exec(qs, nil, nil, updQ); err != nil {
-			return 0, err
-		}
-		insEdgeQ := fmt.Sprintf(
-			"INSERT INTO %[1]s (fid, tid, pid, cost) SELECT s.fid, s.tid, %[2]s, s.cost FROM %[3]s s "+
-				"WHERE NOT EXISTS (SELECT fid FROM %[1]s g WHERE g.fid = s.fid AND g.tid = s.tid)",
-			target, pidRef(forward), TblEdges)
-		if _, err := e.exec(qs, nil, nil, insEdgeQ); err != nil {
-			return 0, err
-		}
-	}
 	return iterations, nil
 }
 
-func pidRef(forward bool) string {
-	if forward {
-		return "s.fid"
+// foldEdges merges the original edges into the segment table
+// (Definition 4(2)): an edge is discarded when a recorded segment already
+// dominates it, a cheaper edge updates the recorded cost, and parallel
+// edges collapse to their minimum. A non-empty touchTable restricts the
+// fold to the (fid, tid) pairs recorded there — the decremental repair
+// path, which only re-materializes touched pairs.
+func (e *Engine) foldEdges(qs *QueryStats, forward bool, touchTable string) error {
+	target := TblOutSegs
+	pid := "s.fid"
+	if !forward {
+		target = TblInSegs
+		pid = "s.tid" // successor of fid on the single-edge path
 	}
-	return "s.tid"
+	restrict := ""
+	if touchTable != "" {
+		restrict = fmt.Sprintf(
+			" WHERE EXISTS (SELECT fid FROM %s m WHERE m.fid = s.fid AND m.tid = s.tid)", touchTable)
+	}
+	src := fmt.Sprintf(
+		"SELECT s.fid, s.tid, %s, MIN(s.cost) FROM %s s%s GROUP BY s.fid, s.tid",
+		pid, TblEdges, restrict)
+	if e.db.Profile().SupportsMerge && !e.opts.TraditionalSQL {
+		q := fmt.Sprintf(
+			"MERGE INTO %s AS target USING (%s) AS source (fid, tid, pid, cost) "+
+				"ON (target.fid = source.fid AND target.tid = source.tid) "+
+				"WHEN MATCHED AND target.cost > source.cost THEN UPDATE SET cost = source.cost, pid = source.pid "+
+				"WHEN NOT MATCHED THEN INSERT (fid, tid, pid, cost) VALUES (source.fid, source.tid, source.pid, source.cost)",
+			target, src)
+		_, err := e.exec(qs, nil, nil, q)
+		return err
+	}
+	_, err := e.mergelessMaintain(qs, target, src, nil)
+	return err
 }
 
 // segExpandNoMerge emulates the construction MERGE with UPDATE + INSERT

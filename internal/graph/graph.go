@@ -85,6 +85,123 @@ func (g *Graph) InEdges(u int64, fn func(v, w int64)) {
 	}
 }
 
+// InsertEdge appends a directed (from, to, weight) edge, keeping the
+// adjacency lists and the minimal weight in sync. The mirror accepts
+// parallel edges, matching the relational TEdges heap.
+func (g *Graph) InsertEdge(from, to, weight int64) error {
+	if from < 0 || from >= g.N || to < 0 || to >= g.N {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", from, to, g.N)
+	}
+	if weight < 0 {
+		return fmt.Errorf("graph: negative weight %d on (%d,%d)", weight, from, to)
+	}
+	g.Edges = append(g.Edges, Edge{From: from, To: to, Weight: weight})
+	g.out[from] = append(g.out[from], halfEdge{to: to, w: weight})
+	g.in[to] = append(g.in[to], halfEdge{to: from, w: weight})
+	if weight < g.wmin {
+		g.wmin = weight
+	}
+	return nil
+}
+
+// DeleteEdge removes every (from, to) edge — parallel edges included,
+// mirroring Engine.DeleteEdge — and returns how many were removed. Deleting
+// a pair with no edge is an error so differential tests catch divergence.
+func (g *Graph) DeleteEdge(from, to int64) (int, error) {
+	if from < 0 || from >= g.N || to < 0 || to >= g.N {
+		return 0, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", from, to, g.N)
+	}
+	kept := g.Edges[:0]
+	removed := 0
+	for _, e := range g.Edges {
+		if e.From == from && e.To == to {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if removed == 0 {
+		return 0, fmt.Errorf("graph: no edge (%d,%d)", from, to)
+	}
+	g.Edges = kept
+	g.out[from] = dropHalf(g.out[from], to)
+	g.in[to] = dropHalf(g.in[to], from)
+	g.recomputeWMin()
+	return removed, nil
+}
+
+// UpdateEdgeWeight sets the weight of every (from, to) edge to weight —
+// parallel edges collapse to one effective cost, mirroring
+// Engine.UpdateEdgeWeight — and returns how many rows changed.
+func (g *Graph) UpdateEdgeWeight(from, to, weight int64) (int, error) {
+	if from < 0 || from >= g.N || to < 0 || to >= g.N {
+		return 0, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", from, to, g.N)
+	}
+	if weight < 0 {
+		return 0, fmt.Errorf("graph: negative weight %d on (%d,%d)", weight, from, to)
+	}
+	updated := 0
+	for i := range g.Edges {
+		if g.Edges[i].From == from && g.Edges[i].To == to {
+			g.Edges[i].Weight = weight
+			updated++
+		}
+	}
+	if updated == 0 {
+		return 0, fmt.Errorf("graph: no edge (%d,%d)", from, to)
+	}
+	setHalf(g.out[from], to, weight)
+	setHalf(g.in[to], from, weight)
+	g.recomputeWMin()
+	return updated, nil
+}
+
+// Clone deep-copies the graph so a mutation test can keep pre- and
+// post-mutation mirrors side by side.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{N: g.N, wmin: g.wmin}
+	c.Edges = append([]Edge(nil), g.Edges...)
+	c.out = make([][]halfEdge, g.N)
+	c.in = make([][]halfEdge, g.N)
+	for i := range g.out {
+		c.out[i] = append([]halfEdge(nil), g.out[i]...)
+	}
+	for i := range g.in {
+		c.in[i] = append([]halfEdge(nil), g.in[i]...)
+	}
+	return c
+}
+
+func dropHalf(list []halfEdge, to int64) []halfEdge {
+	kept := list[:0]
+	for _, h := range list {
+		if h.to != to {
+			kept = append(kept, h)
+		}
+	}
+	return kept
+}
+
+func setHalf(list []halfEdge, to, w int64) {
+	for i := range list {
+		if list[i].to == to {
+			list[i].w = w
+		}
+	}
+}
+
+func (g *Graph) recomputeWMin() {
+	g.wmin = 1 << 62
+	for _, e := range g.Edges {
+		if e.Weight < g.wmin {
+			g.wmin = e.Weight
+		}
+	}
+	if len(g.Edges) == 0 {
+		g.wmin = 1
+	}
+}
+
 // WriteCSV streams the graph as "fid,tid,cost" lines preceded by a header
 // comment carrying the node count.
 func (g *Graph) WriteCSV(w io.Writer) error {

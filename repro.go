@@ -96,7 +96,31 @@ type (
 	BatchQuery = core.BatchQuery
 	// BatchResult pairs a batch query with its path, stats and error.
 	BatchResult = core.BatchResult
+	// Mutation is one edge change for Engine.ApplyMutations.
+	Mutation = core.Mutation
+	// MutOp selects the mutation kind (MutInsert, MutDelete, MutUpdate).
+	MutOp = core.MutOp
+	// MaintStats reports one incremental-maintenance step (Engine.InsertEdge,
+	// DeleteEdge, UpdateEdgeWeight, ApplyMutations).
+	MaintStats = core.MaintStats
+	// MutationCounters snapshots the mutation subsystem
+	// (Engine.MutationStats).
+	MutationCounters = core.MutationCounters
 )
+
+// Mutation operations for Engine.ApplyMutations.
+const (
+	// MutInsert adds a (From, To, Weight) edge.
+	MutInsert = core.MutInsert
+	// MutDelete removes every (From, To) edge, parallel edges included.
+	MutDelete = core.MutDelete
+	// MutUpdate sets the cost of every (From, To) edge to Weight.
+	MutUpdate = core.MutUpdate
+)
+
+// DefaultRepairThreshold is the decremental-repair row cap used when
+// EngineOptions.RepairThreshold is zero.
+const DefaultRepairThreshold = core.DefaultRepairThreshold
 
 // DefaultCacheSize is the path-cache capacity used when
 // EngineOptions.CacheSize is zero.
