@@ -46,7 +46,7 @@ func main() {
 
 		loadgen   = flag.Bool("loadgen", false, "run the serving-tier load generator instead of experiments")
 		clients   = flag.Int("clients", 8, "loadgen: concurrent client workers")
-		lgAlg     = flag.String("lgalg", "BSDJ", "loadgen: algorithm (DJ|BDJ|BSDJ|BBFS|BSEG)")
+		lgAlg     = flag.String("lgalg", "BSDJ", "loadgen: algorithm (AUTO|DJ|BDJ|BSDJ|BBFS|BSEG|ALT)")
 		lgNodes   = flag.Int64("lgnodes", 5000, "loadgen: power-graph node count")
 		lgQueries = flag.Int("lgqueries", 20, "loadgen: distinct query pairs")
 		repeat    = flag.Int("repeat", 5, "loadgen: replays of each pair per round")

@@ -3,14 +3,21 @@
 // queries with any of the paper's five algorithms, or runs raw SQL against
 // the graph tables.
 //
+// Queries go through the engine's unified Query API: -alg auto (the
+// default) engages the cost-based planner, -timeout bounds each query via
+// context, and -maxerr lets the planner answer from the landmark oracle
+// alone within the given relative error (requires -landmarks).
+//
 // Examples:
 //
 //	spdb -gen power:20000:3 -alg BSEG -lthd 20 -s 17 -t 4711
 //	spdb -load graph.csv -alg BSDJ -random 10
+//	spdb -gen power:50000:3 -landmarks 16 -maxerr 0.1 -random 20
 //	spdb -gen random:5000:15000 -sql "SELECT COUNT(*) FROM TEdges"
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/oracle"
 	"repro/internal/rdb"
 )
 
@@ -70,11 +78,14 @@ func main() {
 	var (
 		gen         = flag.String("gen", "", "generate a graph: power:N:D | random:N:M | dblp:PCT | web:PCT | lj:PERMILLE")
 		load        = flag.String("load", "", "load a CSV graph (fid,tid,cost)")
-		algName     = flag.String("alg", "BSDJ", "algorithm: DJ|BDJ|BSDJ|BBFS|BSEG")
+		algName     = flag.String("alg", "auto", "algorithm: AUTO|DJ|BDJ|BSDJ|BBFS|BSEG|ALT (auto = cost-based planner)")
 		s           = flag.Int64("s", -1, "source node")
 		t           = flag.Int64("t", -1, "target node")
 		random      = flag.Int("random", 0, "run N random queries instead of -s/-t")
 		lthd        = flag.Int64("lthd", 0, "build SegTable with this threshold (required for BSEG)")
+		lmk         = flag.Int("landmarks", 0, "build a landmark oracle with this many landmarks (required for ALT)")
+		timeout     = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
+		maxErr      = flag.Float64("maxerr", 0, "acceptable relative error; lets the planner answer from the oracle alone")
 		strategy    = flag.String("strategy", "clustered", "index strategy: clustered|index|noindex")
 		profile     = flag.String("profile", "dbmsx", "engine profile: dbmsx|postgres")
 		traditional = flag.Bool("tsql", false, "use traditional SQL (no window function / MERGE)")
@@ -138,22 +149,50 @@ func main() {
 		}
 		fmt.Printf("%s\n", st)
 	}
+	if *lmk > 0 || alg == core.AlgALT {
+		k := *lmk
+		if k <= 0 {
+			k = oracle.DefaultK
+		}
+		st, err := eng.BuildOracle(oracle.Config{K: k})
+		if err != nil {
+			fail("oracle: %v", err)
+		}
+		fmt.Printf("%s\n", st)
+	}
 
 	runOne := func(s, t int64) {
-		p, qs, err := eng.ShortestPath(alg, s, t)
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		res, err := eng.Query(ctx, core.QueryRequest{
+			Source: s, Target: t, Alg: alg, MaxRelError: *maxErr,
+		})
 		if err != nil {
 			fail("query: %v", err)
 		}
-		if !p.Found {
+		if !res.Found {
 			fmt.Printf("%d -> %d: no path\n", s, t)
 			return
 		}
+		if res.Approximate {
+			fmt.Printf("%d -> %d: distance in [%d, %d] (approx, oracle only)\n",
+				s, t, res.Lower, res.Upper)
+			return
+		}
+		p := res.Path
 		fmt.Printf("%d -> %d: distance %d (%d hops)\n", s, t, p.Length, len(p.Nodes)-1)
 		if *showPath {
 			fmt.Printf("  path: %v\n", p.Nodes)
 		}
 		if *showStats {
-			fmt.Printf("  %s\n", qs)
+			if alg == core.AlgAuto {
+				fmt.Printf("  planner: %s -> %s\n", res.Stats.Planner, res.Algorithm)
+			}
+			fmt.Printf("  %s\n", res.Stats)
 		}
 	}
 

@@ -7,7 +7,8 @@
 //
 // Endpoints:
 //
-//	GET  /shortest-path?s=17&t=4711[&alg=BSEG]   one query, JSON answer
+//	POST /query                                  unified declarative query (see below)
+//	GET  /shortest-path?s=17&t=4711[&alg=BSEG]   one query, JSON answer (thin adapter)
 //	GET  /shortest-path?s=17&t=4711&mode=approx  landmark interval, no search
 //	POST /shortest-path                          {"alg":"BSDJ","queries":[{"s":1,"t":2},...]}
 //	GET  /distance?s=17&t=4711                   [lower, upper] distance interval
@@ -16,6 +17,22 @@
 //	                                              {"op":"update","from":6,"to":7,"weight":9}]}
 //	GET  /stats                                  engine, cache, DB, mutation and server counters
 //	GET  /healthz                                liveness (200 once the graph is served)
+//
+// POST /query is the context-aware entry point the other query endpoints
+// adapt to. A request names the endpoints and, optionally, an algorithm
+// hint (default "auto": the engine's cost-based planner chooses), an error
+// tolerance that allows landmark-oracle-only answers, a statement budget,
+// and a per-request timeout:
+//
+//	{"source":17,"target":4711,"alg":"auto","max_rel_error":0.1,
+//	 "max_statements":50000,"timeout_ms":250}
+//	{"queries":[{"source":1,"target":2},{"source":3,"target":4}],"workers":4}
+//
+// Every query runs under the request's context: when the client
+// disconnects or the timeout fires, the engine abandons the search within
+// one frontier iteration (504 on timeout) instead of holding the query
+// latch. /stats reports planner_decisions (what "auto" chose) and
+// queries_cancelled (how often deadlines or disconnects fired).
 //
 // POST /edges applies the whole batch atomically with respect to queries:
 // one query-latch acquisition, one version bump, one cache purge. Deleted
@@ -31,8 +48,9 @@
 //
 // Examples:
 //
-//	spdbd -gen power:20000:3 -alg BSEG -lthd 20 -addr :8080
-//	spdbd -load graph.csv -alg ALT -landmarks 16
+//	spdbd -gen power:20000:3 -lthd 20 -landmarks 16 -addr :8080
+//	curl -X POST localhost:8080/query -d '{"source":17,"target":4711,"timeout_ms":250}'
+//	curl -X POST localhost:8080/query -d '{"source":17,"target":4711,"max_rel_error":0.1}'
 //	curl 'localhost:8080/shortest-path?s=17&t=4711'
 //	curl 'localhost:8080/distance?s=17&t=4711'
 //	curl -X POST localhost:8080/edges -d '{"mutations":[{"op":"delete","from":17,"to":18}]}'
@@ -52,6 +70,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -82,9 +101,54 @@ type server struct {
 	// approx counts landmark-interval answers, which run no algorithm.
 	byAlg  [algSlots]atomic.Uint64
 	approx atomic.Uint64
+	// cancelled counts queries that died on a deadline, timeout or client
+	// disconnect — operators read it against queries_served to see whether
+	// the fleet's timeouts are tight enough to matter.
+	cancelled atomic.Uint64
+	// planner counts the cost-based planner's decisions for alg=auto
+	// traffic (keyed by the engine's Decision* labels), so operators can
+	// see what the planner is actually choosing.
+	plannerMu sync.Mutex
+	planner   map[string]uint64
 	// mutations counts applied edge mutations (the engine keeps the
 	// detailed per-op and repair counters).
 	mutations atomic.Uint64
+}
+
+// notePlanner records one planner decision (auto traffic only: explicit
+// hints are already visible in queries_by_algorithm).
+func (sv *server) notePlanner(decision string) {
+	if decision == "" || decision == core.DecisionHint {
+		return
+	}
+	sv.plannerMu.Lock()
+	if sv.planner == nil {
+		sv.planner = map[string]uint64{}
+	}
+	sv.planner[decision]++
+	sv.plannerMu.Unlock()
+}
+
+// plannerDecisions snapshots the decision counters.
+func (sv *server) plannerDecisions() map[string]uint64 {
+	sv.plannerMu.Lock()
+	defer sv.plannerMu.Unlock()
+	out := make(map[string]uint64, len(sv.planner))
+	for k, v := range sv.planner {
+		out[k] = v
+	}
+	return out
+}
+
+// noteQueryError classifies a Query error: cancellations (deadline,
+// timeout, client disconnect) count separately and map to 504, everything
+// else to 422.
+func (sv *server) noteQueryError(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		sv.cancelled.Add(1)
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
 }
 
 // algSlots bounds the per-algorithm counter array; core.AlgALT is the
@@ -112,18 +176,32 @@ func (sv *server) queriesByAlgorithm() map[string]uint64 {
 	return out
 }
 
-// pathResponse is the JSON answer for one shortest-path query.
+// pathResponse is the JSON answer for one shortest-path query (the unified
+// /query endpoint and the legacy adapters share it).
 type pathResponse struct {
-	Source   int64   `json:"source"`
-	Target   int64   `json:"target"`
-	Algo     string  `json:"algorithm"`
-	Found    bool    `json:"found"`
-	Distance int64   `json:"distance,omitempty"`
-	Path     []int64 `json:"path,omitempty"`
-	Cached   bool    `json:"cached"`
+	Source int64 `json:"source"`
+	Target int64 `json:"target"`
+	// Algo is the algorithm that actually ran — under alg=auto the
+	// planner's choice, "Auto" when the landmark oracle answered alone.
+	Algo string `json:"algorithm"`
+	// Planner is the planner's decision label for auto queries
+	// ("bseg", "alt-weak-seg", "oracle-approx", ...); empty for hints.
+	Planner string `json:"planner,omitempty"`
+	Found   bool   `json:"found"`
+	// Distance is exact, or the oracle upper bound when Approximate.
+	Distance int64 `json:"distance,omitempty"`
+	// Approximate marks an oracle-only answer within the requested
+	// max_rel_error; Lower/Upper bracket the true distance.
+	Approximate bool    `json:"approximate,omitempty"`
+	Lower       *int64  `json:"lower,omitempty"`
+	Upper       *int64  `json:"upper,omitempty"`
+	Path        []int64 `json:"path,omitempty"`
+	Cached      bool    `json:"cached"`
 	// Statements is the number of SQL statements the query issued
 	// (0 on a cache hit).
-	Statements int    `json:"statements"`
+	Statements int `json:"statements"`
+	// Iterations counts frontier rounds the search used.
+	Iterations int    `json:"iterations,omitempty"`
 	DurationUS int64  `json:"duration_us"`
 	Error      string `json:"error,omitempty"`
 }
@@ -187,35 +265,32 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func (sv *server) answer(alg core.Algorithm, s, t int64) pathResponse {
+// answer runs one declarative query under ctx and renders the response,
+// maintaining the serving counters. status is the HTTP code the caller
+// should write (200, 422, or 504 for a deadline/disconnect).
+func (sv *server) answer(ctx context.Context, req core.QueryRequest) (pathResponse, int) {
 	t0 := time.Now()
-	p, qs, err := sv.eng.ShortestPath(alg, s, t)
-	resp := pathResponse{
-		Source:     s,
-		Target:     t,
-		Algo:       alg.String(),
-		DurationUS: time.Since(t0).Microseconds(),
-	}
+	res, err := sv.eng.Query(ctx, req)
 	if err != nil {
-		resp.Error = err.Error()
-		return resp
+		return pathResponse{
+			Source:     req.Source,
+			Target:     req.Target,
+			Algo:       req.Alg.String(),
+			DurationUS: time.Since(t0).Microseconds(),
+			Error:      err.Error(),
+		}, sv.noteQueryError(err)
 	}
-	resp.Found = p.Found
-	resp.Distance = p.Length
-	resp.Path = p.Nodes
-	if qs != nil {
-		resp.Cached = qs.CacheHit
-		resp.Statements = qs.Statements
-	}
-	sv.served.Add(1)
-	sv.countAlg(alg)
-	return resp
+	resp := sv.renderResult(req, res)
+	resp.DurationUS = time.Since(t0).Microseconds()
+	return resp, http.StatusOK
 }
 
-// answerApprox serves a landmark-interval answer.
-func (sv *server) answerApprox(s, t int64) distanceResponse {
+// answerApprox serves a landmark-interval answer. status is the HTTP code
+// the caller should write; cancellations classify like every other query
+// endpoint (504 + queries_cancelled) rather than a generic 422.
+func (sv *server) answerApprox(ctx context.Context, s, t int64) (distanceResponse, int) {
 	t0 := time.Now()
-	iv, err := sv.eng.ApproxDistance(s, t)
+	iv, err := sv.eng.DistanceInterval(ctx, s, t)
 	resp := distanceResponse{
 		Source:     s,
 		Target:     t,
@@ -224,7 +299,7 @@ func (sv *server) answerApprox(s, t int64) distanceResponse {
 	}
 	if err != nil {
 		resp.Error = err.Error()
-		return resp
+		return resp, sv.noteQueryError(err)
 	}
 	if iv.Unreachable() {
 		resp.Unreachable = true
@@ -238,7 +313,7 @@ func (sv *server) answerApprox(s, t int64) distanceResponse {
 	}
 	sv.served.Add(1)
 	sv.approx.Add(1)
-	return resp
+	return resp, http.StatusOK
 }
 
 // handleDistance serves GET /distance: the approximate [lower, upper]
@@ -260,11 +335,9 @@ func (sv *server) handleDistance(w http.ResponseWriter, r *http.Request) {
 			"error": "need integer query parameters s and t"})
 		return
 	}
-	resp := sv.answerApprox(s, t)
-	status := http.StatusOK
-	if resp.Error != "" {
+	resp, status := sv.answerApprox(r.Context(), s, t)
+	if status != http.StatusOK {
 		sv.errors.Add(1)
-		status = http.StatusUnprocessableEntity
 	}
 	writeJSON(w, status, resp)
 }
@@ -362,7 +435,164 @@ func (sv *server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleShortestPath serves GET (single query) and POST (batch).
+// runBatch answers a request set through the engine's worker pool under
+// ctx and renders the shared batch response shape.
+func (sv *server) runBatch(ctx context.Context, reqs []core.QueryRequest, workers int) map[string]any {
+	t0 := time.Now()
+	results := sv.eng.QueryBatch(ctx, reqs, workers)
+	out := make([]pathResponse, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			out[i] = pathResponse{
+				Source: res.Request.Source,
+				Target: res.Request.Target,
+				Algo:   res.Request.Alg.String(),
+				Error:  res.Err.Error(),
+			}
+			sv.errors.Add(1)
+			sv.noteQueryError(res.Err)
+			continue
+		}
+		out[i] = sv.renderResult(res.Request, res.Result)
+	}
+	return map[string]any{
+		"results":     out,
+		"duration_us": time.Since(t0).Microseconds(),
+	}
+}
+
+// renderResult converts one successful QueryResult, maintaining counters
+// (the single-query path goes through answer, which also measures latency).
+func (sv *server) renderResult(req core.QueryRequest, res core.QueryResult) pathResponse {
+	resp := pathResponse{
+		Source:      req.Source,
+		Target:      req.Target,
+		Algo:        res.Algorithm.String(),
+		Found:       res.Found,
+		Distance:    res.Distance,
+		Approximate: res.Approximate,
+		Path:        res.Path.Nodes,
+	}
+	if res.Found || res.Approximate {
+		l, u := res.Lower, res.Upper
+		resp.Lower, resp.Upper = &l, &u
+	}
+	if qs := res.Stats; qs != nil {
+		if qs.Planner != core.DecisionHint {
+			resp.Planner = qs.Planner
+		}
+		resp.Cached = qs.CacheHit
+		resp.Statements = qs.Statements
+		resp.Iterations = qs.Iterations
+		if req.Alg == core.AlgAuto {
+			sv.notePlanner(qs.Planner)
+		}
+	}
+	sv.served.Add(1)
+	if res.Approximate {
+		sv.approx.Add(1)
+	} else {
+		sv.countAlg(res.Algorithm)
+	}
+	return resp
+}
+
+// queryItem is one declarative query in a POST /query body.
+type queryItem struct {
+	Source        int64   `json:"source"`
+	Target        int64   `json:"target"`
+	Alg           string  `json:"alg,omitempty"`
+	MaxRelError   float64 `json:"max_rel_error,omitempty"`
+	MaxStatements int64   `json:"max_statements,omitempty"`
+}
+
+// queryRequestBody is the POST /query body: a single query, or a batch
+// under "queries". TimeoutMS bounds the whole request; the client
+// disconnecting cancels it either way.
+type queryRequestBody struct {
+	queryItem
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+	Workers   int         `json:"workers,omitempty"`
+	Queries   []queryItem `json:"queries,omitempty"`
+}
+
+// toRequest resolves one query item. def is the algorithm used when the
+// item names none: POST /query defaults to the planner (AlgAuto) — an
+// explicit tolerance must never be silently ignored because the server
+// was started with a legacy -alg default — while the legacy adapters keep
+// honoring -alg.
+func (sv *server) toRequest(it queryItem, def core.Algorithm) (core.QueryRequest, error) {
+	alg := def
+	if it.Alg != "" {
+		var err error
+		if alg, err = core.ParseAlgorithm(it.Alg); err != nil {
+			return core.QueryRequest{}, err
+		}
+	}
+	return core.QueryRequest{
+		Source:        it.Source,
+		Target:        it.Target,
+		Alg:           alg,
+		MaxRelError:   it.MaxRelError,
+		MaxStatements: it.MaxStatements,
+	}, nil
+}
+
+// handleQuery serves POST /query, the unified context-aware entry point.
+// The request context (client disconnect) plus the optional timeout_ms
+// bound every search: a dead client's query is abandoned within one
+// frontier iteration instead of blocking the latch.
+func (sv *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sv.requests.Add(1)
+	if r.Method != http.MethodPost {
+		sv.errors.Add(1)
+		w.Header().Set("Allow", "POST")
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use POST"})
+		return
+	}
+	var body queryRequestBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		sv.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+		return
+	}
+	ctx := r.Context()
+	if body.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(body.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	if len(body.Queries) == 0 {
+		req, err := sv.toRequest(body.queryItem, core.AlgAuto)
+		if err != nil {
+			sv.errors.Add(1)
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		resp, status := sv.answer(ctx, req)
+		if status != http.StatusOK {
+			sv.errors.Add(1)
+		}
+		writeJSON(w, status, resp)
+		return
+	}
+	reqs := make([]core.QueryRequest, len(body.Queries))
+	for i, it := range body.Queries {
+		req, err := sv.toRequest(it, core.AlgAuto)
+		if err != nil {
+			sv.errors.Add(1)
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("query %d: %v", i, err)})
+			return
+		}
+		reqs[i] = req
+	}
+	writeJSON(w, http.StatusOK, sv.runBatch(ctx, reqs, body.Workers))
+}
+
+// handleShortestPath serves GET (single query) and POST (batch) — thin
+// adapters over the unified Query API, kept for one release; both run
+// under the request context, so client disconnects cancel the search.
 func (sv *server) handleShortestPath(w http.ResponseWriter, r *http.Request) {
 	sv.requests.Add(1)
 	switch r.Method {
@@ -379,11 +609,9 @@ func (sv *server) handleShortestPath(w http.ResponseWriter, r *http.Request) {
 		switch q.Get("mode") {
 		case "", "exact":
 		case "approx":
-			resp := sv.answerApprox(s, t)
-			status := http.StatusOK
-			if resp.Error != "" {
+			resp, status := sv.answerApprox(r.Context(), s, t)
+			if status != http.StatusOK {
 				sv.errors.Add(1)
-				status = http.StatusUnprocessableEntity
 			}
 			writeJSON(w, status, resp)
 			return
@@ -402,11 +630,9 @@ func (sv *server) handleShortestPath(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		resp := sv.answer(alg, s, t)
-		status := http.StatusOK
-		if resp.Error != "" {
+		resp, status := sv.answer(r.Context(), core.QueryRequest{Source: s, Target: t, Alg: alg})
+		if status != http.StatusOK {
 			sv.errors.Add(1)
-			status = http.StatusUnprocessableEntity
 		}
 		writeJSON(w, status, resp)
 
@@ -431,38 +657,11 @@ func (sv *server) handleShortestPath(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		batch := make([]core.BatchQuery, len(req.Queries))
+		reqs := make([]core.QueryRequest, len(req.Queries))
 		for i, q := range req.Queries {
-			batch[i] = core.BatchQuery{S: q.S, T: q.T}
+			reqs[i] = core.QueryRequest{Source: q.S, Target: q.T, Alg: alg}
 		}
-		t0 := time.Now()
-		results := sv.eng.ShortestPathBatch(alg, batch, req.Workers)
-		out := make([]pathResponse, len(results))
-		for i, res := range results {
-			out[i] = pathResponse{
-				Source: res.Query.S,
-				Target: res.Query.T,
-				Algo:   alg.String(),
-			}
-			if res.Err != nil {
-				out[i].Error = res.Err.Error()
-				sv.errors.Add(1)
-				continue
-			}
-			out[i].Found = res.Path.Found
-			out[i].Distance = res.Path.Length
-			out[i].Path = res.Path.Nodes
-			if res.Stats != nil {
-				out[i].Cached = res.Stats.CacheHit
-				out[i].Statements = res.Stats.Statements
-			}
-			sv.served.Add(1)
-			sv.countAlg(alg)
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"results":     out,
-			"duration_us": time.Since(t0).Microseconds(),
-		})
+		writeJSON(w, http.StatusOK, sv.runBatch(r.Context(), reqs, req.Workers))
 
 	default:
 		sv.errors.Add(1)
@@ -507,6 +706,11 @@ func (sv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"errors":               sv.errors.Load(),
 			"queries_served":       sv.served.Load(),
 			"queries_by_algorithm": sv.queriesByAlgorithm(),
+			// planner_decisions shows what alg=auto actually chose
+			// (engine Decision* labels); queries_cancelled how often
+			// deadlines, timeouts or client disconnects killed a query.
+			"planner_decisions": sv.plannerDecisions(),
+			"queries_cancelled": sv.cancelled.Load(),
 		},
 		"graph": graphStats,
 		"mutations": func() map[string]any {
@@ -559,7 +763,7 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		gen      = flag.String("gen", "", "generate a graph: power:N:D | random:N:M | dblp:PCT | web:PCT | lj:PERMILLE")
 		load     = flag.String("load", "", "load a CSV graph (fid,tid,cost)")
-		algName  = flag.String("alg", "BSDJ", "default algorithm: DJ|BDJ|BSDJ|BBFS|BSEG|ALT")
+		algName  = flag.String("alg", "BSDJ", "default algorithm: AUTO|DJ|BDJ|BSDJ|BBFS|BSEG|ALT (AUTO = cost-based planner)")
 		lthd     = flag.Int64("lthd", 0, "build SegTable with this threshold (required for BSEG)")
 		lmk      = flag.Int("landmarks", 0, "build a landmark oracle with this many landmarks (required for ALT and /distance)")
 		lmkStrat = flag.String("landmark-strategy", "degree", "landmark placement: degree|farthest")
@@ -630,6 +834,7 @@ func main() {
 
 	sv := &server{eng: eng, defaultAlg: alg, start: time.Now()}
 	mux := http.NewServeMux()
+	mux.HandleFunc("/query", sv.handleQuery)
 	mux.HandleFunc("/shortest-path", sv.handleShortestPath)
 	mux.HandleFunc("/distance", sv.handleDistance)
 	mux.HandleFunc("/edges", sv.handleEdges)

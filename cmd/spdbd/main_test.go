@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -390,5 +391,211 @@ func TestStatsCounters(t *testing.T) {
 	}
 	if stats.Graph.Oracle == nil || stats.Graph.Oracle.K != 6 {
 		t.Errorf("oracle info not surfaced: %+v", stats.Graph.Oracle)
+	}
+}
+
+// TestQueryEndpoint: POST /query single and batch forms, auto planning,
+// tolerance answers and input validation.
+func TestQueryEndpoint(t *testing.T) {
+	sv := newOracleServer(t)
+	if _, err := sv.eng.BuildSegTable(20); err != nil {
+		t.Fatal(err)
+	}
+
+	// Single query, alg=auto: the planner decision is surfaced.
+	rec := httptest.NewRecorder()
+	sv.handleQuery(rec, httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"source":1,"target":200,"alg":"auto"}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp pathResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Found || resp.Planner == "" || resp.Algo == "Auto" {
+		t.Fatalf("auto query not planned: %+v", resp)
+	}
+	if resp.Lower == nil || resp.Upper == nil || *resp.Lower != resp.Distance {
+		t.Fatalf("exact answer must carry closed bounds: %+v", resp)
+	}
+
+	// Tolerant query: with hub landmarks the oracle frequently answers
+	// alone; either way the bounds must bracket the exact distance.
+	rec = httptest.NewRecorder()
+	sv.handleQuery(rec, httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"source":1,"target":200,"alg":"auto","max_rel_error":100}`)))
+	var tol pathResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &tol); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != http.StatusOK || !tol.Found {
+		t.Fatalf("tolerant query failed: %d %+v", rec.Code, tol)
+	}
+	if *tol.Lower > resp.Distance || *tol.Upper < resp.Distance {
+		t.Fatalf("tolerant bounds [%d,%d] miss exact %d", *tol.Lower, *tol.Upper, resp.Distance)
+	}
+
+	// Batch form with a per-item algorithm override and one bad item.
+	rec = httptest.NewRecorder()
+	sv.handleQuery(rec, httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"workers":2,"queries":[
+			{"source":1,"target":200},
+			{"source":1,"target":200,"alg":"BSDJ"},
+			{"source":-4,"target":2}]}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Results []pathResponse `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("got %d results", len(out.Results))
+	}
+	if out.Results[0].Error != "" || out.Results[1].Error != "" {
+		t.Fatalf("valid batch items errored: %+v", out.Results[:2])
+	}
+	if out.Results[1].Algo != "BSDJ" {
+		t.Errorf("per-item hint ignored: %+v", out.Results[1])
+	}
+	if out.Results[0].Distance != out.Results[1].Distance {
+		t.Error("auto and hinted answers disagree")
+	}
+	if out.Results[2].Error == "" {
+		t.Error("bad item must carry a per-item error")
+	}
+
+	// Validation and method errors.
+	for _, tc := range []struct {
+		body   string
+		status int
+	}{
+		{`{`, http.StatusBadRequest},
+		{`{"source":1,"target":2,"alg":"NOPE"}`, http.StatusBadRequest},
+		{`{"queries":[{"source":1,"target":2,"alg":"NOPE"}]}`, http.StatusBadRequest},
+		{`{"source":1,"target":99999999}`, http.StatusUnprocessableEntity},
+	} {
+		rec := httptest.NewRecorder()
+		sv.handleQuery(rec, httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(tc.body)))
+		if rec.Code != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.body, rec.Code, tc.status, rec.Body.String())
+		}
+	}
+	rec = httptest.NewRecorder()
+	sv.handleQuery(rec, httptest.NewRequest(http.MethodGet, "/query", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query: status %d", rec.Code)
+	}
+}
+
+// TestQueryEndpointCancellation: a dead client context (disconnect) or an
+// expired timeout kills the query — 504, queries_cancelled counted, and
+// the server keeps serving.
+func TestQueryEndpointCancellation(t *testing.T) {
+	sv := newTestServer(t)
+
+	// Client disconnected before the query ran.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"source":1,"target":400}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	sv.handleQuery(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("disconnected client: status %d, want 504 (%s)", rec.Code, rec.Body.String())
+	}
+
+	// A timeout that cannot possibly be met.
+	rec = httptest.NewRecorder()
+	sv.handleQuery(rec, httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"source":1,"target":400,"timeout_ms":1}`)))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("timeout: status %d, want 504 (%s)", rec.Code, rec.Body.String())
+	}
+
+	// A disconnected /distance client classifies the same way (504 +
+	// counted), not as a generic 422.
+	osv := newOracleServer(t)
+	dctx, dcancel := context.WithCancel(context.Background())
+	dcancel()
+	rec = httptest.NewRecorder()
+	osv.handleDistance(rec, httptest.NewRequest(http.MethodGet, "/distance?s=1&t=200", nil).WithContext(dctx))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("cancelled /distance: status %d, want 504 (%s)", rec.Code, rec.Body.String())
+	}
+	if osv.cancelled.Load() != 1 {
+		t.Errorf("cancelled /distance not counted: %d", osv.cancelled.Load())
+	}
+
+	// Both cancellations surfaced in /stats; the engine still answers.
+	rec = httptest.NewRecorder()
+	sv.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats struct {
+		Server struct {
+			Cancelled uint64 `json:"queries_cancelled"`
+		} `json:"server"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Server.Cancelled != 2 {
+		t.Errorf("queries_cancelled = %d, want 2", stats.Server.Cancelled)
+	}
+	rec = httptest.NewRecorder()
+	sv.handleQuery(rec, httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"source":1,"target":200}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("server unusable after cancellations: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestStatsPlannerDecisions: /stats reports what auto traffic chose;
+// hinted traffic stays out of the map.
+func TestStatsPlannerDecisions(t *testing.T) {
+	sv := newTestServer(t)
+	if _, err := sv.eng.BuildSegTable(20); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		sv.handleQuery(rec, httptest.NewRequest(http.MethodPost, "/query",
+			strings.NewReader(`{"source":1,"target":200,"alg":"auto"}`)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("auto query %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	rec := httptest.NewRecorder()
+	sv.handleQuery(rec, httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"source":1,"target":200,"alg":"BSDJ"}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("hinted query: %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	sv.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats struct {
+		Server struct {
+			Planner map[string]uint64 `json:"planner_decisions"`
+			ByAlg   map[string]uint64 `json:"queries_by_algorithm"`
+		} `json:"server"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for d, n := range stats.Server.Planner {
+		if d == core.DecisionHint {
+			t.Errorf("hint decisions must not be counted: %+v", stats.Server.Planner)
+		}
+		total += n
+	}
+	if total != 3 {
+		t.Errorf("planner_decisions total %d, want 3: %+v", total, stats.Server.Planner)
+	}
+	if stats.Server.ByAlg["BSEG"] == 0 {
+		t.Errorf("resolved algorithm missing from queries_by_algorithm: %+v", stats.Server.ByAlg)
 	}
 }

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
@@ -37,11 +38,11 @@ func Example() {
 	}
 
 	for _, alg := range []repro.Algorithm{repro.AlgBSDJ, repro.AlgBSEG} {
-		path, _, err := eng.ShortestPath(alg, 0, 3)
+		res, err := eng.Query(context.Background(), repro.QueryRequest{Source: 0, Target: 3, Alg: alg})
 		if err != nil {
 			panic(err)
 		}
-		fmt.Printf("%v: distance=%d path=%v\n", alg, path.Length, path.Nodes)
+		fmt.Printf("%v: distance=%d path=%v\n", alg, res.Distance, res.Path.Nodes)
 	}
 	// Output:
 	// BSDJ: distance=6 path=[0 2 3]
@@ -62,10 +63,11 @@ func Example_segTableMaintenance() {
 	_ = eng.LoadGraph(g)
 	_, _ = eng.BuildSegTable(30)
 
-	before, _, _ := eng.ShortestPath(repro.AlgBSEG, 0, 2)
+	bseg := repro.QueryRequest{Source: 0, Target: 2, Alg: repro.AlgBSEG}
+	before, _ := eng.Query(context.Background(), bseg)
 	_, _ = eng.InsertEdge(0, 2, 5) // a direct shortcut
-	after, _, _ := eng.ShortestPath(repro.AlgBSEG, 0, 2)
-	fmt.Printf("before=%d after=%d\n", before.Length, after.Length)
+	after, _ := eng.Query(context.Background(), bseg)
+	fmt.Printf("before=%d after=%d\n", before.Distance, after.Distance)
 	// Output:
 	// before=18 after=5
 }

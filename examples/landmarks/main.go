@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -49,18 +50,18 @@ func main() {
 	for _, q := range workload {
 		var baseline int64
 		for _, alg := range []repro.Algorithm{repro.AlgBSDJ, repro.AlgALT} {
-			p, stats, err := eng.ShortestPath(alg, q[0], q[1])
+			res, err := eng.Query(context.Background(), repro.QueryRequest{Source: q[0], Target: q[1], Alg: alg})
 			if err != nil {
 				log.Fatal(err)
 			}
 			if alg == repro.AlgBSDJ {
-				baseline = p.Length
-			} else if p.Length != baseline {
-				log.Fatalf("ALT diverged on (%d,%d): %d vs %d", q[0], q[1], p.Length, baseline)
+				baseline = res.Distance
+			} else if res.Distance != baseline {
+				log.Fatalf("ALT diverged on (%d,%d): %d vs %d", q[0], q[1], res.Distance, baseline)
 			}
-			sums[alg].affected += stats.TuplesAffected
-			sums[alg].pruned += stats.PrunedRows
-			sums[alg].dur += stats.Total
+			sums[alg].affected += res.Stats.TuplesAffected
+			sums[alg].pruned += res.Stats.PrunedRows
+			sums[alg].dur += res.Stats.Total
 		}
 	}
 	fmt.Printf("%-6s %-16s %-10s %-12s\n", "alg", "tuples affected", "pruned", "total time")
@@ -74,7 +75,7 @@ func main() {
 	// brackets the exact distance.
 	fmt.Printf("\n%-14s %-8s %-14s %s\n", "pair", "exact", "approx", "upper hit?")
 	for _, q := range workload {
-		iv, err := eng.ApproxDistance(q[0], q[1])
+		iv, err := eng.DistanceInterval(context.Background(), q[0], q[1])
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -39,11 +40,11 @@ func main() {
 		}
 		var total time.Duration
 		for _, q := range workload {
-			_, stats, err := eng.ShortestPath(repro.AlgBSEG, q[0], q[1])
+			res, err := eng.Query(context.Background(), repro.QueryRequest{Source: q[0], Target: q[1], Alg: repro.AlgBSEG})
 			if err != nil {
 				log.Fatal(err)
 			}
-			total += stats.Total
+			total += res.Stats.Total
 		}
 		avg := total / time.Duration(len(workload))
 		inBudget := st.EncodingNumber() <= budget

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,18 +37,26 @@ func main() {
 	}
 	fmt.Printf("index: %s\n\n", st)
 
+	// One declarative call per algorithm hint; AlgAuto (first) lets the
+	// cost-based planner decide from the engine's own statistics.
+	ctx := context.Background()
 	s, t := int64(17), int64(4711)
-	for _, alg := range []repro.Algorithm{repro.AlgDJ, repro.AlgBDJ, repro.AlgBSDJ, repro.AlgBBFS, repro.AlgBSEG} {
-		path, stats, err := eng.ShortestPath(alg, s, t)
+	for _, alg := range []repro.Algorithm{repro.AlgAuto, repro.AlgDJ, repro.AlgBDJ, repro.AlgBSDJ, repro.AlgBBFS, repro.AlgBSEG} {
+		res, err := eng.Query(ctx, repro.QueryRequest{Source: s, Target: t, Alg: alg})
 		if err != nil {
 			log.Fatalf("%v: %v", alg, err)
 		}
-		if !path.Found {
+		if !res.Found {
 			fmt.Printf("%-5v no path\n", alg)
 			continue
 		}
-		fmt.Printf("%-5v distance=%-4d hops=%-3d expansions=%-5d statements=%-5d time=%v\n",
-			alg, path.Length, len(path.Nodes)-1, stats.Expansions, stats.Statements, stats.Total)
+		stats := res.Stats
+		note := ""
+		if alg == repro.AlgAuto {
+			note = fmt.Sprintf("  (planner: %s -> %v)", stats.Planner, res.Algorithm)
+		}
+		fmt.Printf("%-5v distance=%-4d hops=%-3d expansions=%-5d statements=%-5d time=%v%s\n",
+			alg, res.Distance, len(res.Path.Nodes)-1, stats.Expansions, stats.Statements, stats.Total, note)
 	}
 
 	// The in-memory reference agrees:

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -71,13 +72,13 @@ func main() {
 	var results []result
 
 	for _, alg := range []repro.Algorithm{repro.AlgBDJ, repro.AlgBSDJ, repro.AlgBBFS, repro.AlgBSEG} {
-		path, stats, err := eng.ShortestPath(alg, s, t)
+		res, err := eng.Query(context.Background(), repro.QueryRequest{Source: s, Target: t, Alg: alg})
 		if err != nil {
 			log.Fatalf("%v: %v", alg, err)
 		}
 		results = append(results, result{
-			name: alg.String(), dist: path.Length, time: stats.Total,
-			note: fmt.Sprintf("%d expansions, %d visited junctions", stats.Expansions, stats.VisitedRows),
+			name: alg.String(), dist: res.Distance, time: res.Stats.Total,
+			note: fmt.Sprintf("%d expansions, %d visited junctions", res.Stats.Expansions, res.Stats.VisitedRows),
 		})
 	}
 	t0 := time.Now()

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,10 +40,11 @@ func main() {
 
 	for _, pair := range repro.RandomQueries(g, 5, 99) {
 		a, b := pair[0], pair[1]
-		path, stats, err := eng.ShortestPath(repro.AlgBSEG, a, b)
+		res, err := eng.Query(context.Background(), repro.QueryRequest{Source: a, Target: b, Alg: repro.AlgBSEG})
 		if err != nil {
 			log.Fatal(err)
 		}
+		path, stats := res.Path, res.Stats
 		if !path.Found {
 			fmt.Printf("member %d and member %d are not connected\n\n", a, b)
 			continue

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -169,19 +170,30 @@ type agg struct {
 	EOp      time.Duration
 	MOp      time.Duration
 	Found    int
+	// Decisions tallies the planner's choices on AlgAuto workloads.
+	Decisions map[string]int
 }
 
-// runQueries executes the workload, averaging the stats.
+// runQueries executes the workload through the unified Query API,
+// averaging the stats. With core.AlgAuto the planner decides per query;
+// decisions land in agg.Decisions.
 func runQueries(e *core.Engine, alg core.Algorithm, queries [][2]int64) (agg, error) {
 	var a agg
 	var totT, pe, sc, fpr, fo, eo, mo time.Duration
 	for _, q := range queries {
-		p, qs, err := e.ShortestPath(alg, q[0], q[1])
+		res, err := e.Query(context.Background(), core.QueryRequest{Source: q[0], Target: q[1], Alg: alg})
 		if err != nil {
 			return a, fmt.Errorf("%v s=%d t=%d: %w", alg, q[0], q[1], err)
 		}
-		if p.Found {
+		qs := res.Stats
+		if res.Found {
 			a.Found++
+		}
+		if alg == core.AlgAuto && qs.Planner != "" {
+			if a.Decisions == nil {
+				a.Decisions = map[string]int{}
+			}
+			a.Decisions[qs.Planner]++
 		}
 		totT += qs.Total
 		pe += qs.PE
@@ -264,6 +276,7 @@ func Experiments() []struct {
 		{"oracle-alt", RunOracleALT, "Oracle: ALT vs BSDJ tuples affected / statements / time"},
 		{"oracle-approx", RunOracleApprox, "Oracle: approximate-answer quality and latency"},
 		{"mutation-throughput", RunMutationThroughput, "Mutations: insert/delete/update repair + batch throughput"},
+		{"planner", RunPlanner, "Planner: AlgAuto vs hand-picked algorithm latency + decision mix"},
 	}
 }
 

@@ -14,8 +14,8 @@ func tinyConfig() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 28 {
-		t.Fatalf("expected 28 experiments, got %d", len(exps))
+	if len(exps) != 29 {
+		t.Fatalf("expected 29 experiments, got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -114,6 +114,28 @@ func TestRunOracleALT(t *testing.T) {
 }
 
 func TestRunOracleApprox(t *testing.T) { runAndCheck(t, "oracle-approx", 6) }
+
+// TestRunPlanner smoke-tests the auto-vs-manual experiment: four rows
+// (BSDJ, BSEG, ALT, Auto), and the Auto row carries a planner decision mix
+// while the manual rows do not.
+func TestRunPlanner(t *testing.T) {
+	tab := runAndCheck(t, "planner", 6)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(tab.Rows))
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "Auto" {
+		t.Fatalf("last row should be Auto, got %q", last[0])
+	}
+	if last[5] == "-" || last[5] == "" {
+		t.Errorf("Auto row should report planner decisions, got %q", last[5])
+	}
+	for _, r := range tab.Rows[:len(tab.Rows)-1] {
+		if r[5] != "-" {
+			t.Errorf("manual row %s should not report decisions, got %q", r[0], r[5])
+		}
+	}
+}
 
 // TestRunMutationThroughput smoke-tests the dynamic-graph experiment: all
 // five rows present, singles and batch both applied, and the table ID that

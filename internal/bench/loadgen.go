@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -88,19 +89,19 @@ func RunLoadGen(cfg LoadGenConfig, logf func(format string, args ...any)) (*Load
 	// against the warm cache — the realistic shape of serving traffic,
 	// where popular pairs dominate.
 	pairs := graph.RandomQueries(g, cfg.Queries, cfg.Seed+1)
-	cold := make([]core.BatchQuery, 0, len(pairs))
+	cold := make([]core.QueryRequest, 0, len(pairs))
 	for _, q := range pairs {
-		cold = append(cold, core.BatchQuery{S: q[0], T: q[1]})
+		cold = append(cold, core.QueryRequest{Source: q[0], Target: q[1], Alg: cfg.Alg})
 	}
-	hot := make([]core.BatchQuery, 0, len(cold)*cfg.Repeat)
+	hot := make([]core.QueryRequest, 0, len(cold)*cfg.Repeat)
 	for r := 0; r < cfg.Repeat; r++ {
 		hot = append(hot, cold...)
 	}
 
 	res := &LoadGenResult{}
-	run := func(tag string, workload []core.BatchQuery) (int, float64, time.Duration) {
+	run := func(tag string, workload []core.QueryRequest) (int, float64, time.Duration) {
 		t0 := time.Now()
-		results := eng.ShortestPathBatch(cfg.Alg, workload, cfg.Clients)
+		results := eng.QueryBatch(context.Background(), workload, cfg.Clients)
 		dur := time.Since(t0)
 		n := 0
 		for _, r := range results {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -121,7 +122,7 @@ func RunOracleApprox(cfg Config) (*Table, error) {
 	var approxDur time.Duration
 	for _, q := range queries {
 		t0 := time.Now()
-		iv, err := setup.eng.ApproxDistance(q[0], q[1])
+		iv, err := setup.eng.DistanceInterval(context.Background(), q[0], q[1])
 		approxDur += time.Since(t0)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/rdb"
+)
+
+// RunPlanner is the acceptance experiment for the unified Query API: the
+// same query set with every hand-picked exact algorithm and with AlgAuto,
+// on a power-law graph carrying both indexes (SegTable and landmark
+// oracle), so the planner has its full decision space. The auto row should
+// track the best hand-picked row — the planner's job is to not be the
+// slowest column — and its decision mix shows which way it leaned. The
+// cache is disabled so every row measures the search itself; the JSON form
+// (BENCH_planner.json) records the auto-vs-manual trajectory per commit.
+func RunPlanner(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "planner",
+		Title:  "Cost-based planner vs hand-picked algorithms, Power graph (lthd=20, k=8)",
+		Header: []string{"alg", "time", "stmts", "affected", "found", "decisions"},
+	}
+	n := cfg.scale(2000)
+	g := graph.Power(n, 3, cfg.Seed)
+	setup, err := makeEngine(g, rdb.Options{}, core.Options{CacheSize: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer setup.close()
+	if _, err := setup.eng.BuildSegTable(20); err != nil {
+		return nil, err
+	}
+	if _, err := setup.eng.BuildOracle(oracle.Config{K: 8, Strategy: oracle.Degree}); err != nil {
+		return nil, err
+	}
+	queries := graph.RandomQueries(g, cfg.queries()*2, cfg.Seed)
+	for _, alg := range []core.Algorithm{core.AlgBSDJ, core.AlgBSEG, core.AlgALT, core.AlgAuto} {
+		cfg.logf("planner: |V|=%d %s", n, alg)
+		a, err := runQueries(setup.eng, alg, queries)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			alg.String(), ms(a.Time), f1(a.Stmts), f1(a.Affected),
+			fmt.Sprintf("%d/%d", a.Found, a.N), formatDecisions(a.Decisions)})
+	}
+	return t, nil
+}
+
+// formatDecisions renders a stable "label:count" list for the table.
+func formatDecisions(d map[string]int) string {
+	if len(d) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(d))
+	for k := range d {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%d", k, d[k])
+	}
+	return out
+}

@@ -13,6 +13,8 @@ func TestParseAlgorithm(t *testing.T) {
 		want Algorithm
 		ok   bool
 	}{
+		{"auto", AlgAuto, true},
+		{"AUTO", AlgAuto, true},
 		{"DJ", AlgDJ, true},
 		{"dj", AlgDJ, true},
 		{"BDJ", AlgBDJ, true},
@@ -40,8 +42,9 @@ func TestParseAlgorithm(t *testing.T) {
 			t.Errorf("ParseAlgorithm(%q) = %v, want %v", tc.in, got, tc.want)
 		}
 	}
-	// Every algorithm's String round-trips through the parser.
-	for _, alg := range allAlgorithms() {
+	// Every algorithm's String round-trips through the parser, the planner
+	// sentinel included.
+	for _, alg := range append([]Algorithm{AlgAuto}, allAlgorithms()...) {
 		back, err := ParseAlgorithm(alg.String())
 		if err != nil || back != alg {
 			t.Errorf("round-trip %v: %v, %v", alg, back, err)

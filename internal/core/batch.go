@@ -1,17 +1,18 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
 
-// BatchQuery is one (source, target) pair in a batch.
+// BatchQuery is one (source, target) pair in a legacy batch.
 type BatchQuery struct {
 	S, T int64
 }
 
-// BatchResult pairs one batch query with its outcome. Err is per-query:
-// one bad pair does not fail the batch.
+// BatchResult pairs one legacy batch query with its outcome. Err is
+// per-query: one bad pair does not fail the batch.
 type BatchResult struct {
 	Query BatchQuery
 	Path  Path
@@ -19,26 +20,17 @@ type BatchResult struct {
 	Err   error
 }
 
-// ShortestPathBatch answers a set of queries with the given algorithm,
-// fanning them across a pool of workers goroutines (0 means GOMAXPROCS).
-// Results are returned in input order.
-//
-// The pool's parallelism pays off in two places: queries answered by the
-// path cache complete concurrently without touching the DB, and duplicate
-// pairs in the same batch collapse — the first worker through the query
-// latch computes, the rest hit the cache on the re-check. Distinct uncached
-// queries still serialize on the latch, like the paper's single JDBC
-// session.
-func (e *Engine) ShortestPathBatch(alg Algorithm, queries []BatchQuery, workers int) []BatchResult {
+// runBatch fans n work items across a worker pool. Cancelling ctx stops
+// feeding the pool; every unstarted item gets abandon(i) instead.
+func runBatch(ctx context.Context, n, workers int, work func(i int), abandon func(i int)) {
+	if n == 0 {
+		return
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	results := make([]BatchResult, len(queries))
-	if len(queries) == 0 {
-		return results
+	if workers > n {
+		workers = n
 	}
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -47,16 +39,42 @@ func (e *Engine) ShortestPathBatch(alg Algorithm, queries []BatchQuery, workers 
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				q := queries[i]
-				p, qs, err := e.ShortestPath(alg, q.S, q.T)
-				results[i] = BatchResult{Query: q, Path: p, Stats: qs, Err: err}
+				work(i)
 			}
 		}()
 	}
-	for i := range queries {
-		next <- i
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			// Stop feeding; mark this and every remaining item abandoned.
+			for j := i; j < n; j++ {
+				abandon(j)
+			}
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+}
+
+// ShortestPathBatch answers a set of queries with the given algorithm,
+// fanning them across a pool of workers goroutines (0 means GOMAXPROCS).
+// Results are returned in input order.
+//
+// Deprecated: use QueryBatch; it adds per-request algorithm hints,
+// tolerances, budgets and cooperative cancellation. ShortestPathBatch
+// remains as a thin wrapper for one release.
+func (e *Engine) ShortestPathBatch(alg Algorithm, queries []BatchQuery, workers int) []BatchResult {
+	reqs := make([]QueryRequest, len(queries))
+	for i, q := range queries {
+		reqs[i] = QueryRequest{Source: q.S, Target: q.T, Alg: alg}
+	}
+	out := e.QueryBatch(context.Background(), reqs, workers)
+	results := make([]BatchResult, len(queries))
+	for i, r := range out {
+		results[i] = BatchResult{Query: queries[i], Path: r.Result.Path, Stats: r.Result.Stats, Err: r.Err}
+	}
 	return results
 }

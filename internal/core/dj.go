@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
+
+	"repro/internal/rdb"
 )
 
 // dj implements Algorithm 1: single-directional Dijkstra over the FEM
@@ -16,16 +19,16 @@ import (
 // smaller distance. We instead terminate when no frontier candidate is
 // left or the target is finalized, which is the sound reading; see
 // EXPERIMENTS.md.
-func (e *Engine) dj(s, t int64) (Path, *QueryStats, error) {
-	qs := &QueryStats{Algorithm: "DJ"}
+func (e *Engine) dj(ctx context.Context, s, t int64, budget int64) (Path, *QueryStats, error) {
+	qs := &QueryStats{Algorithm: "DJ", budget: budget}
 	start := time.Now()
 	defer func() { qs.Total = time.Since(start) }()
 
-	if err := e.resetVisited(qs); err != nil {
+	if err := e.resetVisited(ctx, qs); err != nil {
 		return Path{}, qs, err
 	}
 	// Listing 2(1): initialize TVisited with the source node.
-	if _, err := e.exec(qs, &qs.PE, nil,
+	if _, err := e.exec(ctx, qs, &qs.PE, nil,
 		fmt.Sprintf("INSERT INTO %s (nid, d2s, p2s, f, d2t, p2t, b) VALUES (?, 0, ?, 0, %d, %d, 1)",
 			TblVisited, MaxDist, NoParent),
 		s, s); err != nil {
@@ -45,11 +48,17 @@ func (e *Engine) dj(s, t int64) (Path, *QueryStats, error) {
 	limit := e.maxIters()
 	found := false
 	for iter := 0; ; iter++ {
+		// Cooperative cancellation: one check per frontier iteration, so a
+		// dead query releases the latch within a single expansion round.
+		if err := rdb.ContextErr(ctx); err != nil {
+			return Path{}, qs, fmt.Errorf("core: DJ cancelled after %d iterations: %w", iter, err)
+		}
 		if iter > limit {
 			return Path{}, qs, fmt.Errorf("core: DJ exceeded %d iterations (s=%d t=%d)", limit, s, t)
 		}
+		qs.Iterations = iter + 1
 		// Listing 2(2): locate the next node to be expanded.
-		mid, null, err := e.queryInt(qs, &qs.SC, midQ)
+		mid, null, err := e.queryInt(ctx, qs, &qs.SC, midQ)
 		if err != nil {
 			return Path{}, qs, err
 		}
@@ -57,16 +66,16 @@ func (e *Engine) dj(s, t int64) (Path, *QueryStats, error) {
 			break // no candidate left: t unreachable
 		}
 		// Listing 2(3,4): E and M operators for the frontier node.
-		if _, err := e.runExpand(qs, xp, []any{mid}, 0, 4*MaxDist); err != nil {
+		if _, err := e.runExpand(ctx, qs, xp, []any{mid}, 0, 4*MaxDist); err != nil {
 			return Path{}, qs, err
 		}
 		qs.ForwardExpansions++
 		// Listing 3(2): finalize the frontier node.
-		if _, err := e.exec(qs, &qs.PE, &qs.FOp, finalizeQ, mid); err != nil {
+		if _, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, finalizeQ, mid); err != nil {
 			return Path{}, qs, err
 		}
 		// Listing 3(1): detect termination.
-		tq, err := e.sess.Query(targetQ, t)
+		tq, err := e.sess.QueryContext(ctx, targetQ, t)
 		qs.Statements++
 		if err != nil {
 			return Path{}, qs, err
@@ -78,7 +87,7 @@ func (e *Engine) dj(s, t int64) (Path, *QueryStats, error) {
 	}
 	qs.Expansions = qs.ForwardExpansions
 
-	vc, err := e.visitedCount(qs)
+	vc, err := e.visitedCount(ctx, qs)
 	if err != nil {
 		return Path{}, qs, err
 	}
@@ -87,7 +96,7 @@ func (e *Engine) dj(s, t int64) (Path, *QueryStats, error) {
 		return Path{Found: false}, qs, nil
 	}
 
-	dist, null, err := e.queryInt(qs, &qs.FPR,
+	dist, null, err := e.queryInt(ctx, qs, &qs.FPR,
 		fmt.Sprintf("SELECT d2s FROM %s WHERE nid = ?", TblVisited), t)
 	if err != nil {
 		return Path{}, qs, err
@@ -95,7 +104,7 @@ func (e *Engine) dj(s, t int64) (Path, *QueryStats, error) {
 	if null {
 		return Path{}, qs, fmt.Errorf("core: DJ finalized target without a distance")
 	}
-	nodes, err := e.recoverForward(qs, s, t, false)
+	nodes, err := e.recoverForward(ctx, qs, s, t, false)
 	if err != nil {
 		return Path{}, qs, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -17,13 +18,18 @@ const MaxDist = int64(1) << 50
 // NoParent marks an unset p2s/p2t link.
 const NoParent = int64(-1)
 
-// Algorithm selects one of the paper's five relational path finders.
+// Algorithm selects one of the paper's five relational path finders, the
+// ALT extension, or — the zero value — the cost-based planner.
 type Algorithm int
 
 // The implemented approaches (§5.1 "Implementation Details"):
 const (
+	// AlgAuto delegates the choice to the cost-based planner (Engine.Query).
+	// It is deliberately the zero value, so a QueryRequest without an
+	// explicit hint is planned.
+	AlgAuto Algorithm = iota
 	// AlgDJ is the single-directional relational Dijkstra (Algorithm 1).
-	AlgDJ Algorithm = iota
+	AlgDJ
 	// AlgBDJ is the bi-directional relational Dijkstra (node-at-a-time).
 	AlgBDJ
 	// AlgBSDJ is the bi-directional set Dijkstra (set-at-a-time, §4.1).
@@ -39,6 +45,8 @@ const (
 
 func (a Algorithm) String() string {
 	switch a {
+	case AlgAuto:
+		return "Auto"
 	case AlgDJ:
 		return "DJ"
 	case AlgBDJ:
@@ -55,10 +63,12 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
-// ParseAlgorithm maps a case-insensitive algorithm name (DJ, BDJ, BSDJ,
-// BBFS, BSEG, ALT) to its Algorithm; the commands share this parser.
+// ParseAlgorithm maps a case-insensitive algorithm name (AUTO, DJ, BDJ,
+// BSDJ, BBFS, BSEG, ALT) to its Algorithm; the commands share this parser.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	switch strings.ToUpper(s) {
+	case "AUTO":
+		return AlgAuto, nil
 	case "DJ":
 		return AlgDJ, nil
 	case "BDJ":
@@ -72,7 +82,7 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	case "ALT":
 		return AlgALT, nil
 	}
-	return 0, fmt.Errorf("unknown algorithm %q (DJ|BDJ|BSDJ|BBFS|BSEG|ALT)", s)
+	return 0, fmt.Errorf("unknown algorithm %q (AUTO|DJ|BDJ|BSDJ|BBFS|BSEG|ALT)", s)
 }
 
 // IndexStrategy is the physical design axis of Fig 8(c).
@@ -121,9 +131,12 @@ type Options struct {
 	// Lthd is the SegTable index threshold (must match the built index;
 	// set by BuildSegTable).
 	Lthd int64
-	// MaxIterations caps FEM iterations as a safety net (default 16 times
-	// the node count).
-	MaxIterations int
+	// MaxIters caps FEM iterations per search or build as a safety net.
+	// 0 selects the default of 16×nodes+1024 once a graph is loaded;
+	// negative values are rejected (NewEngine records the validation error
+	// and every subsequent call returns it). QueryStats.Iterations reports
+	// how much of the bound a query actually used.
+	MaxIters int
 	// CacheSize bounds the shortest-path result cache in entries
 	// (default 4096; negative disables caching). The cache is keyed by
 	// (graph version, algorithm, source, target) and invalidated whenever
@@ -152,8 +165,11 @@ const DefaultRepairThreshold = 4096
 // searches serialize on an internal query latch; concurrency comes from the
 // path cache in front of it — hits are answered from memory under a short
 // cache latch, never reaching the query latch or the DB — and from
-// ShortestPathBatch, which fans a query set across a worker pool. See
-// docs/ARCHITECTURE.md §Concurrency.
+// QueryBatch, which fans a query set across a worker pool. The unified
+// entry point is Query (query.go): a declarative request with an algorithm
+// hint (AlgAuto engages the cost-based planner), an error tolerance, a
+// statement budget, and cooperative cancellation through context.Context.
+// See docs/ARCHITECTURE.md §Concurrency and §Query planning & cancellation.
 type Engine struct {
 	db *rdb.DB
 	// sess is the engine's own connection — the analogue of the paper's
@@ -161,6 +177,9 @@ type Engine struct {
 	// per-session accounting alongside any other sessions.
 	sess *rdb.Session
 	opts Options
+	// optErr records an Options validation failure from NewEngine; every
+	// public entry point returns it instead of running with a bad config.
+	optErr error
 
 	// mu guards the graph metadata below; queries take the read side.
 	mu    sync.RWMutex
@@ -187,25 +206,48 @@ type Engine struct {
 	// never outlive the data they were computed from.
 	version uint64
 
-	// queryMu serializes relational searches (they share TVisited).
-	queryMu sync.Mutex
-	cache   *pathCache
+	// queryLatch serializes relational searches (they share TVisited).
+	// It is a one-slot channel rather than a mutex so waiters can abandon
+	// the queue when their context is cancelled (lockQuery): a slow search
+	// never strands the requests queued behind it past their deadlines.
+	queryLatch chan struct{}
+	cache      *pathCache
 }
 
 // NewEngine wraps db. Call LoadGraph before running queries.
 func NewEngine(db *rdb.DB, opts Options) *Engine {
-	if opts.MaxIterations == 0 {
-		opts.MaxIterations = 1 << 30 // replaced by 16*n after LoadGraph
-	}
 	if opts.CacheSize == 0 {
 		opts.CacheSize = DefaultCacheSize
 	}
-	e := &Engine{db: db, sess: db.Session(), opts: opts}
+	e := &Engine{db: db, sess: db.Session(), opts: opts,
+		queryLatch: make(chan struct{}, 1)}
+	if opts.MaxIters < 0 {
+		e.optErr = fmt.Errorf("core: Options.MaxIters must be non-negative, got %d", opts.MaxIters)
+	}
 	if opts.CacheSize > 0 {
 		e.cache = newPathCache(opts.CacheSize)
 	}
 	return e
 }
+
+// lockQuery acquires the query latch, or gives up when ctx is cancelled
+// first — a request still waiting in line dies cleanly without ever
+// touching the working tables. Callers that must not be interrupted pass
+// context.Background().
+func (e *Engine) lockQuery(ctx context.Context) error {
+	if err := rdb.ContextErr(ctx); err != nil {
+		return err
+	}
+	select {
+	case e.queryLatch <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// unlockQuery releases the query latch.
+func (e *Engine) unlockQuery() { <-e.queryLatch }
 
 // DB exposes the underlying database.
 func (e *Engine) DB() *rdb.DB { return e.db }
@@ -302,10 +344,16 @@ func (e *Engine) bumpVersionLocked() {
 }
 
 // exec runs a write statement, charging its latency to the given phase
-// accumulators (any of which may be nil).
-func (e *Engine) exec(qs *QueryStats, phase *time.Duration, op *time.Duration, q string, args ...any) (int64, error) {
+// accumulators (any of which may be nil). Cancellation and the statement
+// budget are enforced here — every statement the engine issues passes
+// through exec or queryInt, so a cancelled context or an exhausted budget
+// stops the query at the next statement boundary.
+func (e *Engine) exec(ctx context.Context, qs *QueryStats, phase *time.Duration, op *time.Duration, q string, args ...any) (int64, error) {
+	if err := e.checkBudget(ctx, qs); err != nil {
+		return 0, err
+	}
 	t0 := time.Now()
-	res, err := e.sess.Exec(q, args...)
+	res, err := e.sess.ExecContext(ctx, q, args...)
 	dt := time.Since(t0)
 	if qs != nil {
 		qs.Statements++
@@ -326,9 +374,12 @@ func (e *Engine) exec(qs *QueryStats, phase *time.Duration, op *time.Duration, q
 }
 
 // queryInt runs a scalar query with the same accounting.
-func (e *Engine) queryInt(qs *QueryStats, phase *time.Duration, q string, args ...any) (int64, bool, error) {
+func (e *Engine) queryInt(ctx context.Context, qs *QueryStats, phase *time.Duration, q string, args ...any) (int64, bool, error) {
+	if err := e.checkBudget(ctx, qs); err != nil {
+		return 0, false, err
+	}
 	t0 := time.Now()
-	v, null, err := e.sess.QueryInt(q, args...)
+	v, null, err := e.sess.QueryIntContext(ctx, q, args...)
 	dt := time.Since(t0)
 	if qs != nil {
 		qs.Statements++
@@ -339,76 +390,46 @@ func (e *Engine) queryInt(qs *QueryStats, phase *time.Duration, q string, args .
 	return v, null, err
 }
 
-// ShortestPath runs the selected algorithm from s to t. Safe for
-// concurrent callers: cache hits return immediately from memory, misses
-// serialize on the engine's query latch (the relational search shares the
-// TVisited working table across all callers).
-func (e *Engine) ShortestPath(alg Algorithm, s, t int64) (Path, *QueryStats, error) {
-	e.mu.RLock()
-	nodes := e.nodes
-	version := e.version
-	e.mu.RUnlock()
-	if nodes == 0 {
-		return Path{}, nil, fmt.Errorf("core: no graph loaded")
+// checkBudget refuses the next statement when the context is cancelled or
+// the query's statement budget (QueryRequest.MaxStatements) is spent.
+func (e *Engine) checkBudget(ctx context.Context, qs *QueryStats) error {
+	if err := rdb.ContextErr(ctx); err != nil {
+		return err
 	}
-	if s < 0 || t < 0 || int(s) >= nodes || int(t) >= nodes {
-		return Path{}, nil, fmt.Errorf("core: node out of range (n=%d)", nodes)
+	if qs != nil && qs.budget > 0 && int64(qs.Statements) >= qs.budget {
+		return fmt.Errorf("%w after %d statements", ErrBudgetExceeded, qs.Statements)
 	}
-	key := cacheKey{version: version, alg: alg, s: s, t: t}
-	if e.cache != nil {
-		if p, ok := e.cache.get(key); ok {
-			return p, &QueryStats{Algorithm: alg.String(), CacheHit: true}, nil
-		}
-	}
-
-	e.queryMu.Lock()
-	defer e.queryMu.Unlock()
-	// The graph may have changed while we waited for the latch (edge
-	// insert, index rebuild, full reload). Re-validate against the current
-	// generation and re-key the cache entry so the answer we compute (or
-	// find) belongs to the graph we actually query.
-	e.mu.RLock()
-	nodes = e.nodes
-	version = e.version
-	e.mu.RUnlock()
-	if nodes == 0 {
-		return Path{}, nil, fmt.Errorf("core: no graph loaded")
-	}
-	if int(s) >= nodes || int(t) >= nodes {
-		return Path{}, nil, fmt.Errorf("core: node out of range (n=%d)", nodes)
-	}
-	key = cacheKey{version: version, alg: alg, s: s, t: t}
-	// Re-check under the latch: a concurrent caller may have computed and
-	// cached this exact answer while we waited.
-	if e.cache != nil {
-		if p, ok := e.cache.recheck(key); ok {
-			return p, &QueryStats{Algorithm: alg.String(), CacheHit: true}, nil
-		}
-	}
-	p, qs, err := e.searchLocked(alg, s, t)
-	if err == nil && e.cache != nil {
-		e.cache.put(key, p)
-	}
-	return p, qs, err
+	return nil
 }
 
-// searchLocked dispatches to the relational algorithms; callers hold
-// queryMu.
-func (e *Engine) searchLocked(alg Algorithm, s, t int64) (Path, *QueryStats, error) {
+// ShortestPath runs the selected algorithm from s to t.
+//
+// Deprecated: use Query with an explicit Alg hint (or AlgAuto to let the
+// planner choose); it adds cancellation, deadlines, statement budgets and
+// approximate answers. ShortestPath remains as a thin wrapper for one
+// release.
+func (e *Engine) ShortestPath(alg Algorithm, s, t int64) (Path, *QueryStats, error) {
+	res, err := e.Query(context.Background(), QueryRequest{Source: s, Target: t, Alg: alg})
+	return res.Path, res.Stats, err
+}
+
+// searchLocked dispatches to the relational algorithms; callers hold the
+// query latch. budget is the per-query statement cap (0 = unlimited).
+func (e *Engine) searchLocked(ctx context.Context, alg Algorithm, s, t int64, budget int64) (Path, *QueryStats, error) {
 	switch alg {
 	case AlgDJ:
-		return e.dj(s, t)
+		return e.dj(ctx, s, t, budget)
 	case AlgBDJ:
-		return e.bidirectional(specBDJ(), s, t)
+		return e.bidirectional(ctx, specBDJ(), s, t, budget)
 	case AlgBSDJ:
-		return e.bidirectional(specBSDJ(), s, t)
+		return e.bidirectional(ctx, specBSDJ(), s, t, budget)
 	case AlgBBFS:
-		return e.bidirectional(specBBFS(), s, t)
+		return e.bidirectional(ctx, specBBFS(), s, t, budget)
 	case AlgBSEG:
 		if !e.segBuilt {
 			return Path{}, nil, fmt.Errorf("core: BSEG requires BuildSegTable first")
 		}
-		return e.bidirectional(specBSEG(e.segLthd), s, t)
+		return e.bidirectional(ctx, specBSEG(e.segLthd), s, t, budget)
 	case AlgALT:
 		e.mu.RLock()
 		built := e.orc != nil
@@ -416,15 +437,19 @@ func (e *Engine) searchLocked(alg Algorithm, s, t int64) (Path, *QueryStats, err
 		if !built {
 			return Path{}, nil, fmt.Errorf("core: ALT requires BuildOracle first (rebuild after graph changes)")
 		}
-		return e.bidirectional(specALT(s, t), s, t)
+		return e.bidirectional(ctx, specALT(s, t), s, t, budget)
 	}
 	return Path{}, nil, fmt.Errorf("core: unknown algorithm %v", alg)
 }
 
+// maxIters resolves Options.MaxIters: an explicit positive cap wins, the
+// default scales with the loaded graph (16×nodes+1024).
 func (e *Engine) maxIters() int {
-	cap := e.opts.MaxIterations
-	if cap == 1<<30 && e.nodes > 0 {
-		cap = 16*e.nodes + 1024
+	if e.opts.MaxIters > 0 {
+		return e.opts.MaxIters
 	}
-	return cap
+	if e.nodes > 0 {
+		return 16*e.nodes + 1024
+	}
+	return 1 << 30
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -147,7 +148,7 @@ func (e *Engine) buildExpand(d direction, edgeTbl, frontier string, frontierArgs
 //	NSQL, MERGE available, separate:  3 statements (clear, E-insert, MERGE)
 //	NSQL, no MERGE (PostgreSQL 9.0):  4 statements (clear, E-insert, UPDATE, INSERT)
 //	TSQL:                             6 statements (aggregate E ×2 + UPDATE, INSERT)
-func (e *Engine) runExpand(qs *QueryStats, x *expandSQL, frontierArgs []any, lOther, minCost int64) (int64, error) {
+func (e *Engine) runExpand(ctx context.Context, qs *QueryStats, x *expandSQL, frontierArgs []any, lOther, minCost int64) (int64, error) {
 	if len(frontierArgs) != x.frontierArgs {
 		return 0, fmt.Errorf("core: expansion expects %d frontier args, got %d", x.frontierArgs, len(frontierArgs))
 	}
@@ -166,39 +167,39 @@ func (e *Engine) runExpand(qs *QueryStats, x *expandSQL, frontierArgs []any, lOt
 	fusedOK := useMerge && !e.opts.SeparateOperators && e.db.Profile().SupportsWindow
 
 	if fusedOK {
-		return e.exec(qs, &qs.PE, &qs.EOp, x.fused, eArgs...)
+		return e.exec(ctx, qs, &qs.PE, &qs.EOp, x.fused, eArgs...)
 	}
 
 	// Materialize the E-operator output.
-	if _, err := e.exec(qs, &qs.PE, &qs.EOp, x.clearExpand); err != nil {
+	if _, err := e.exec(ctx, qs, &qs.PE, &qs.EOp, x.clearExpand); err != nil {
 		return 0, err
 	}
 	if !useTraditional && e.db.Profile().SupportsWindow {
-		if _, err := e.exec(qs, &qs.PE, &qs.EOp, x.insExpand, eArgs...); err != nil {
+		if _, err := e.exec(ctx, qs, &qs.PE, &qs.EOp, x.insExpand, eArgs...); err != nil {
 			return 0, err
 		}
 	} else {
-		if _, err := e.exec(qs, &qs.PE, &qs.EOp, x.clearCost); err != nil {
+		if _, err := e.exec(ctx, qs, &qs.PE, &qs.EOp, x.clearCost); err != nil {
 			return 0, err
 		}
-		if _, err := e.exec(qs, &qs.PE, &qs.EOp, x.insCost, eArgs...); err != nil {
+		if _, err := e.exec(ctx, qs, &qs.PE, &qs.EOp, x.insCost, eArgs...); err != nil {
 			return 0, err
 		}
 		// insExpandTr contains the frontier+prune placeholders once more.
-		if _, err := e.exec(qs, &qs.PE, &qs.EOp, x.insExpandTr, eArgs...); err != nil {
+		if _, err := e.exec(ctx, qs, &qs.PE, &qs.EOp, x.insExpandTr, eArgs...); err != nil {
 			return 0, err
 		}
 	}
 
 	// Apply the M-operator.
 	if useMerge {
-		return e.exec(qs, &qs.PE, &qs.MOp, x.mMerge)
+		return e.exec(ctx, qs, &qs.PE, &qs.MOp, x.mMerge)
 	}
-	upd, err := e.exec(qs, &qs.PE, &qs.MOp, x.mUpdate)
+	upd, err := e.exec(ctx, qs, &qs.PE, &qs.MOp, x.mUpdate)
 	if err != nil {
 		return 0, err
 	}
-	ins, err := e.exec(qs, &qs.PE, &qs.MOp, x.mInsert)
+	ins, err := e.exec(ctx, qs, &qs.PE, &qs.MOp, x.mInsert)
 	if err != nil {
 		return 0, err
 	}

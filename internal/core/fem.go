@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/oracle"
+	"repro/internal/rdb"
 )
 
 // femSpec parameterizes the generic bi-directional FEM loop. The four
@@ -166,21 +168,21 @@ func specALT(s, t int64) femSpec {
 // and stop when lf + lb >= minCost or either search exhausts (§4.1's
 // termination; exhaustion of one side finalizes that side's distances, so
 // minCost is then exact).
-func (e *Engine) bidirectional(spec femSpec, s, t int64) (Path, *QueryStats, error) {
-	qs := &QueryStats{Algorithm: spec.name}
+func (e *Engine) bidirectional(ctx context.Context, spec femSpec, s, t int64, budget int64) (Path, *QueryStats, error) {
+	qs := &QueryStats{Algorithm: spec.name, budget: budget}
 	start := time.Now()
 	defer func() {
 		qs.Total = time.Since(start)
 	}()
 
-	if err := e.resetVisited(qs); err != nil {
+	if err := e.resetVisited(ctx, qs); err != nil {
 		return Path{}, qs, err
 	}
 	if s == t {
 		return Path{Found: true, Length: 0, Nodes: []int64{s}}, qs, nil
 	}
 	// Initialize with the two endpoints (line 1 of Algorithm 2).
-	if _, err := e.exec(qs, &qs.PE, nil,
+	if _, err := e.exec(ctx, qs, &qs.PE, nil,
 		fmt.Sprintf("INSERT INTO %s (nid, d2s, p2s, f, d2t, p2t, b) VALUES (?, 0, ?, 0, ?, %d, 1), (?, ?, %d, 1, 0, ?, 0)",
 			TblVisited, NoParent, NoParent),
 		s, s, MaxDist, t, MaxDist, t); err != nil {
@@ -204,11 +206,17 @@ func (e *Engine) bidirectional(spec femSpec, s, t int64) (Path, *QueryStats, err
 	limit := e.maxIters()
 
 	for iter := 0; ; iter++ {
+		// Cooperative cancellation: one check per frontier iteration, so a
+		// dead query releases the latch within a single expansion round.
+		if err := rdb.ContextErr(ctx); err != nil {
+			return Path{}, qs, fmt.Errorf("core: %s cancelled after %d iterations: %w", spec.name, iter, err)
+		}
 		if iter > limit {
 			return Path{}, qs, fmt.Errorf("core: %s exceeded %d iterations (s=%d t=%d)", spec.name, limit, s, t)
 		}
+		qs.Iterations = iter + 1
 		// Statistics collection: current best meeting cost (line 16).
-		mc, null, err := e.queryInt(qs, &qs.SC, minSumQ)
+		mc, null, err := e.queryInt(ctx, qs, &qs.SC, minSumQ)
 		if err != nil {
 			return Path{}, qs, err
 		}
@@ -258,7 +266,7 @@ func (e *Engine) bidirectional(spec femSpec, s, t int64) (Path, *QueryStats, err
 		if spec.preFrontier != nil && pathFound {
 			pq, pargs := spec.preFrontier(d, minCost)
 			for {
-				n, err := e.exec(qs, &qs.PE, &qs.FOp, pq, pargs...)
+				n, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, pq, pargs...)
 				if err != nil {
 					return Path{}, qs, err
 				}
@@ -272,7 +280,7 @@ func (e *Engine) bidirectional(spec femSpec, s, t int64) (Path, *QueryStats, err
 
 		// F-operator: select and mark the frontier (Listing 4(1)).
 		fq, fargs := spec.frontier(d, k)
-		cnt, err := e.exec(qs, &qs.PE, &qs.FOp, fq, fargs...)
+		cnt, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, fq, fargs...)
 		if err != nil {
 			return Path{}, qs, err
 		}
@@ -300,7 +308,7 @@ func (e *Engine) bidirectional(spec femSpec, s, t int64) (Path, *QueryStats, err
 		}
 
 		// E + M operators (Listing 4(2)).
-		if _, err := e.runExpand(qs, xp, nil, lOther, minCost); err != nil {
+		if _, err := e.runExpand(ctx, qs, xp, nil, lOther, minCost); err != nil {
 			return Path{}, qs, err
 		}
 		if forward {
@@ -310,12 +318,12 @@ func (e *Engine) bidirectional(spec femSpec, s, t int64) (Path, *QueryStats, err
 		}
 
 		// Mark the frontier as expanded (Listing 4(3)).
-		if _, err := e.exec(qs, &qs.PE, &qs.FOp, reset); err != nil {
+		if _, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, reset); err != nil {
 			return Path{}, qs, err
 		}
 
 		// Collect the latest minimal distance (Listing 4(4)).
-		l, lnull, err := e.queryInt(qs, &qs.SC, minQ)
+		l, lnull, err := e.queryInt(ctx, qs, &qs.SC, minQ)
 		if err != nil {
 			return Path{}, qs, err
 		}
@@ -337,7 +345,7 @@ func (e *Engine) bidirectional(spec femSpec, s, t int64) (Path, *QueryStats, err
 	}
 	qs.Expansions = qs.ForwardExpansions + qs.BackwardExpansions
 
-	vc, err := e.visitedCount(qs)
+	vc, err := e.visitedCount(ctx, qs)
 	if err != nil {
 		return Path{}, qs, err
 	}
@@ -346,7 +354,7 @@ func (e *Engine) bidirectional(spec femSpec, s, t int64) (Path, *QueryStats, err
 	if minCost >= MaxDist {
 		return Path{Found: false}, qs, nil
 	}
-	nodes, err := e.recoverBidirectional(qs, s, t, minCost, spec.edgeFwd != TblEdges)
+	nodes, err := e.recoverBidirectional(ctx, qs, s, t, minCost, spec.edgeFwd != TblEdges)
 	if err != nil {
 		return Path{}, qs, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -26,10 +27,16 @@ const insertBatch = 400
 // paper) under the engine's index strategy and bulk-loads it, then creates
 // the per-query working tables.
 func (e *Engine) LoadGraph(g *graph.Graph) error {
+	if e.optErr != nil {
+		return e.optErr
+	}
 	// Loading excludes searches and starts a fresh graph version: every
-	// cached answer is invalidated.
-	e.queryMu.Lock()
-	defer e.queryMu.Unlock()
+	// cached answer is invalidated. Loads are not cancellable — a partial
+	// load would leave the engine with no graph at all.
+	if err := e.lockQuery(context.Background()); err != nil {
+		return err
+	}
+	defer e.unlockQuery()
 	db := e.sess
 	// Invalidate before touching any table: if the load fails partway the
 	// engine must read as "no graph loaded" (and serve no cached answers
@@ -193,9 +200,9 @@ func (e *Engine) createVisitedTables() error {
 
 // resetVisited clears the per-query working tables (counted in PE since
 // the paper's per-query setup happens inside the measured loop).
-func (e *Engine) resetVisited(qs *QueryStats) error {
+func (e *Engine) resetVisited(ctx context.Context, qs *QueryStats) error {
 	for _, tbl := range []string{TblVisited, TblExpand, TblExpCost} {
-		if _, err := e.exec(qs, nil, nil, "DELETE FROM "+tbl); err != nil {
+		if _, err := e.exec(ctx, qs, nil, nil, "DELETE FROM "+tbl); err != nil {
 			return err
 		}
 	}
@@ -203,7 +210,7 @@ func (e *Engine) resetVisited(qs *QueryStats) error {
 }
 
 // visitedCount reads |TVisited| for the search-space metric (Table 3).
-func (e *Engine) visitedCount(qs *QueryStats) (int, error) {
-	v, _, err := e.queryInt(qs, nil, fmt.Sprintf("SELECT COUNT(*) FROM %s", TblVisited))
+func (e *Engine) visitedCount(ctx context.Context, qs *QueryStats) (int, error) {
+	v, _, err := e.queryInt(ctx, qs, nil, fmt.Sprintf("SELECT COUNT(*) FROM %s", TblVisited))
 	return int(v), err
 }

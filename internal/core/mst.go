@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -37,9 +38,15 @@ type MSTResult struct {
 // MinimumSpanningForest computes a minimal spanning forest with FEM
 // iterations over the loaded graph.
 func (e *Engine) MinimumSpanningForest() (*MSTResult, error) {
+	if e.optErr != nil {
+		return nil, e.optErr
+	}
 	// Shares the TVisited working table with searches.
-	e.queryMu.Lock()
-	defer e.queryMu.Unlock()
+	ctx := context.Background()
+	if err := e.lockQuery(ctx); err != nil {
+		return nil, err
+	}
+	defer e.unlockQuery()
 	if e.Nodes() == 0 {
 		return nil, fmt.Errorf("core: no graph loaded")
 	}
@@ -49,10 +56,10 @@ func (e *Engine) MinimumSpanningForest() (*MSTResult, error) {
 	// Working table: reuse TVisited's shape, with d2s as the connection
 	// weight. All nodes start as non-candidates (f = 3); component roots
 	// are promoted one at a time.
-	if err := e.resetVisited(qs); err != nil {
+	if err := e.resetVisited(ctx, qs); err != nil {
 		return nil, err
 	}
-	if _, err := e.exec(qs, nil, nil, fmt.Sprintf(
+	if _, err := e.exec(ctx, qs, nil, nil, fmt.Sprintf(
 		"INSERT INTO %s (nid, d2s, p2s, f, d2t, p2t, b) SELECT nid, %d, %d, 3, 0, 0, 0 FROM %s",
 		TblVisited, MaxDist, NoParent, TblNodes)); err != nil {
 		return nil, err
@@ -94,41 +101,41 @@ func (e *Engine) MinimumSpanningForest() (*MSTResult, error) {
 		if iter > limit {
 			return nil, fmt.Errorf("core: MST exceeded %d iterations", limit)
 		}
-		cnt, err := e.exec(qs, &qs.PE, &qs.FOp, frontierQ)
+		cnt, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, frontierQ)
 		if err != nil {
 			return nil, err
 		}
 		if cnt == 0 {
 			// Component finished (or first iteration): promote a new root.
-			root, null, err := e.queryInt(qs, &qs.SC, rootQ)
+			root, null, err := e.queryInt(ctx, qs, &qs.SC, rootQ)
 			if err != nil {
 				return nil, err
 			}
 			if null {
 				break // every node is in the forest
 			}
-			if _, err := e.exec(qs, &qs.PE, nil, promoteQ, root); err != nil {
+			if _, err := e.exec(ctx, qs, &qs.PE, nil, promoteQ, root); err != nil {
 				return nil, err
 			}
 			res.Components++
 			// Expand from the root alone.
-			if _, err := e.exec(qs, &qs.PE, nil,
+			if _, err := e.exec(ctx, qs, &qs.PE, nil,
 				fmt.Sprintf("UPDATE %s SET f = 2 WHERE nid = ?", TblVisited), root); err != nil {
 				return nil, err
 			}
 			cnt = 1
 		}
 		res.Iterations++
-		if _, err := e.runMSTExpand(qs, expandQ); err != nil {
+		if _, err := e.runMSTExpand(ctx, qs, expandQ); err != nil {
 			return nil, err
 		}
-		if _, err := e.exec(qs, &qs.PE, &qs.FOp, resetQ); err != nil {
+		if _, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, resetQ); err != nil {
 			return nil, err
 		}
 	}
 
 	// Collect tree edges: every non-root member's (p2s, nid, d2s).
-	rows, err := e.sess.Query(fmt.Sprintf(
+	rows, err := e.sess.QueryContext(ctx, fmt.Sprintf(
 		"SELECT p2s, nid, d2s FROM %s WHERE f = 1 AND d2s > 0 AND p2s <> %d",
 		TblVisited, NoParent))
 	qs.Statements++
@@ -147,12 +154,12 @@ func (e *Engine) MinimumSpanningForest() (*MSTResult, error) {
 // runMSTExpand runs the MST merge, falling back to UPDATE+INSERT-free
 // emulation on profiles without MERGE (two UPDATEs suffice since every
 // node pre-exists in the working table).
-func (e *Engine) runMSTExpand(qs *QueryStats, mergeQ string) (int64, error) {
+func (e *Engine) runMSTExpand(ctx context.Context, qs *QueryStats, mergeQ string) (int64, error) {
 	if e.db.Profile().SupportsMerge && !e.opts.TraditionalSQL {
-		return e.exec(qs, &qs.PE, &qs.EOp, mergeQ)
+		return e.exec(ctx, qs, &qs.PE, &qs.EOp, mergeQ)
 	}
 	// Materialize offers, then apply with two UPDATE...FROM statements.
-	if _, err := e.exec(qs, &qs.PE, &qs.EOp, "DELETE FROM "+TblExpand); err != nil {
+	if _, err := e.exec(ctx, qs, &qs.PE, &qs.EOp, "DELETE FROM "+TblExpand); err != nil {
 		return 0, err
 	}
 	insQ := fmt.Sprintf(
@@ -162,14 +169,14 @@ func (e *Engine) runMSTExpand(qs *QueryStats, mergeQ string) (int64, error) {
 			"FROM %s q, %s out WHERE q.nid = out.fid AND q.f = 2"+
 			") tmp (nid, par, cost, rn) WHERE rn = 1",
 		TblExpand, TblVisited, TblEdges)
-	if _, err := e.exec(qs, &qs.PE, &qs.EOp, insQ); err != nil {
+	if _, err := e.exec(ctx, qs, &qs.PE, &qs.EOp, insQ); err != nil {
 		return 0, err
 	}
 	upd1 := fmt.Sprintf(
 		"UPDATE %[1]s SET d2s = s.cost, p2s = s.par FROM %[2]s s "+
 			"WHERE %[1]s.nid = s.nid AND %[1]s.f = 0 AND %[1]s.d2s > s.cost",
 		TblVisited, TblExpand)
-	n1, err := e.exec(qs, &qs.PE, &qs.MOp, upd1)
+	n1, err := e.exec(ctx, qs, &qs.PE, &qs.MOp, upd1)
 	if err != nil {
 		return 0, err
 	}
@@ -177,7 +184,7 @@ func (e *Engine) runMSTExpand(qs *QueryStats, mergeQ string) (int64, error) {
 		"UPDATE %[1]s SET d2s = s.cost, p2s = s.par, f = 0 FROM %[2]s s "+
 			"WHERE %[1]s.nid = s.nid AND %[1]s.f = 3",
 		TblVisited, TblExpand)
-	n2, err := e.exec(qs, &qs.PE, &qs.MOp, upd2)
+	n2, err := e.exec(ctx, qs, &qs.PE, &qs.MOp, upd2)
 	if err != nil {
 		return 0, err
 	}

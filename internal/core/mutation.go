@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -147,10 +148,18 @@ func (e *Engine) applyMutations(muts []Mutation, batch bool) (*MaintStats, error
 	if len(muts) == 0 {
 		return &MaintStats{}, nil
 	}
+	if e.optErr != nil {
+		return nil, e.optErr
+	}
 	// Mutating the graph excludes searches; the path cache in front of the
-	// latch is purged by the version bump below.
-	e.queryMu.Lock()
-	defer e.queryMu.Unlock()
+	// latch is purged by the version bump below. Mutations are not
+	// cancellable — an abandoned half-batch would still need the same
+	// repair work to reach a sound index.
+	ctx := context.Background()
+	if err := e.lockQuery(ctx); err != nil {
+		return nil, err
+	}
+	defer e.unlockQuery()
 	nodes := e.Nodes()
 	if nodes == 0 {
 		return nil, fmt.Errorf("core: no graph loaded")
@@ -191,7 +200,7 @@ func (e *Engine) applyMutations(muts []Mutation, batch bool) (*MaintStats, error
 
 	wrote := false
 	for i := range muts {
-		if err := e.applyOneLocked(qs, st, muts[i], &wrote); err != nil {
+		if err := e.applyOneLocked(ctx, qs, st, muts[i], &wrote); err != nil {
 			e.mu.Lock()
 			if !wrote {
 				// No mutation reached TEdges (existence checks fail
@@ -238,22 +247,22 @@ func (e *Engine) applyMutations(muts []Mutation, batch bool) (*MaintStats, error
 // and have already bumped the version. wrote flips to true the moment a
 // mutation's first TEdges statement succeeds — the batch error path uses
 // it to tell "graph unchanged" from "prefix applied".
-func (e *Engine) applyOneLocked(qs *QueryStats, st *MaintStats, m Mutation, wrote *bool) error {
+func (e *Engine) applyOneLocked(ctx context.Context, qs *QueryStats, st *MaintStats, m Mutation, wrote *bool) error {
 	switch m.Op {
 	case MutInsert:
-		return e.insertLocked(qs, st, m.From, m.To, m.Weight, wrote)
+		return e.insertLocked(ctx, qs, st, m.From, m.To, m.Weight, wrote)
 	case MutDelete:
-		return e.deleteLocked(qs, st, m.From, m.To, wrote)
+		return e.deleteLocked(ctx, qs, st, m.From, m.To, wrote)
 	case MutUpdate:
-		return e.updateLocked(qs, st, m.From, m.To, m.Weight, wrote)
+		return e.updateLocked(ctx, qs, st, m.From, m.To, m.Weight, wrote)
 	}
 	return fmt.Errorf("unknown op %v", m.Op)
 }
 
 // insertLocked adds the edge and runs the incremental insertion
 // maintenance of segmaint.go.
-func (e *Engine) insertLocked(qs *QueryStats, st *MaintStats, from, to, weight int64, wrote *bool) error {
-	if _, err := e.exec(qs, nil, nil, fmt.Sprintf(
+func (e *Engine) insertLocked(ctx context.Context, qs *QueryStats, st *MaintStats, from, to, weight int64, wrote *bool) error {
+	if _, err := e.exec(ctx, qs, nil, nil, fmt.Sprintf(
 		"INSERT INTO %s (fid, tid, cost) VALUES (?, ?, ?)", TblEdges), from, to, weight); err != nil {
 		return err
 	}
@@ -269,14 +278,14 @@ func (e *Engine) insertLocked(qs *QueryStats, st *MaintStats, from, to, weight i
 	if !segBuilt {
 		return nil
 	}
-	return e.maintainBothDirections(qs, st, from, to, weight)
+	return e.maintainBothDirections(ctx, qs, st, from, to, weight)
 }
 
 // maintainBothDirections runs the insertion-style maintenance of
 // segmaint.go over TOutSegs and TInSegs, accumulating the improved rows.
-func (e *Engine) maintainBothDirections(qs *QueryStats, st *MaintStats, from, to, weight int64) error {
+func (e *Engine) maintainBothDirections(ctx context.Context, qs *QueryStats, st *MaintStats, from, to, weight int64) error {
 	for _, forward := range []bool{true, false} {
-		affected, err := e.maintainDirection(qs, from, to, weight, forward)
+		affected, err := e.maintainDirection(ctx, qs, from, to, weight, forward)
 		if err != nil {
 			return err
 		}
@@ -286,11 +295,11 @@ func (e *Engine) maintainBothDirections(qs *QueryStats, st *MaintStats, from, to
 }
 
 // deleteLocked removes every (from, to) edge and repairs the SegTable.
-func (e *Engine) deleteLocked(qs *QueryStats, st *MaintStats, from, to int64, wrote *bool) error {
+func (e *Engine) deleteLocked(ctx context.Context, qs *QueryStats, st *MaintStats, from, to int64, wrote *bool) error {
 	// The touch set needs the edge's pre-delete effective weight: with
 	// parallel edges only the cheapest can lie on a shortest path, and a
 	// smaller weight yields the larger (safe) touch superset.
-	oldW, null, err := e.queryInt(qs, nil, fmt.Sprintf(
+	oldW, null, err := e.queryInt(ctx, qs, nil, fmt.Sprintf(
 		"SELECT MIN(cost) FROM %s WHERE fid = ? AND tid = ?", TblEdges), from, to)
 	if err != nil {
 		return err
@@ -303,11 +312,11 @@ func (e *Engine) deleteLocked(qs *QueryStats, st *MaintStats, from, to int64, wr
 	wmin := e.wmin
 	e.mu.RUnlock()
 	if segBuilt {
-		if err := e.computeTouchSet(qs, from, to, oldW); err != nil {
+		if err := e.computeTouchSet(ctx, qs, from, to, oldW); err != nil {
 			return err
 		}
 	}
-	n, err := e.exec(qs, nil, nil, fmt.Sprintf(
+	n, err := e.exec(ctx, qs, nil, nil, fmt.Sprintf(
 		"DELETE FROM %s WHERE fid = ? AND tid = ?", TblEdges), from, to)
 	if err != nil {
 		return err
@@ -321,21 +330,21 @@ func (e *Engine) deleteLocked(qs *QueryStats, st *MaintStats, from, to int64, wr
 	// proof; deletions can only raise the true minimum, so refreshing is
 	// an optimization, not a soundness need.
 	if oldW <= wmin {
-		if err := e.refreshWMin(qs); err != nil {
+		if err := e.refreshWMin(ctx, qs); err != nil {
 			return err
 		}
 	}
 	if !segBuilt {
 		return nil
 	}
-	return e.repairTouchedLocked(qs, st)
+	return e.repairTouchedLocked(ctx, qs, st)
 }
 
 // updateLocked sets the cost of every (from, to) edge and repairs the
 // SegTable: relaxations reuse the insertion maintenance, weakenings the
 // decremental repair.
-func (e *Engine) updateLocked(qs *QueryStats, st *MaintStats, from, to, weight int64, wrote *bool) error {
-	oldW, null, err := e.queryInt(qs, nil, fmt.Sprintf(
+func (e *Engine) updateLocked(ctx context.Context, qs *QueryStats, st *MaintStats, from, to, weight int64, wrote *bool) error {
+	oldW, null, err := e.queryInt(ctx, qs, nil, fmt.Sprintf(
 		"SELECT MIN(cost) FROM %s WHERE fid = ? AND tid = ?", TblEdges), from, to)
 	if err != nil {
 		return err
@@ -350,11 +359,11 @@ func (e *Engine) updateLocked(qs *QueryStats, st *MaintStats, from, to, weight i
 	if segBuilt && weight > oldW {
 		// Weakening: the touch set must be computed against the old
 		// effective weight, before TEdges changes underneath the sweep.
-		if err := e.computeTouchSet(qs, from, to, oldW); err != nil {
+		if err := e.computeTouchSet(ctx, qs, from, to, oldW); err != nil {
 			return err
 		}
 	}
-	if _, err := e.exec(qs, nil, nil, fmt.Sprintf(
+	if _, err := e.exec(ctx, qs, nil, nil, fmt.Sprintf(
 		"UPDATE %s SET cost = ? WHERE fid = ? AND tid = ?", TblEdges), weight, from, to); err != nil {
 		return err
 	}
@@ -366,7 +375,7 @@ func (e *Engine) updateLocked(qs *QueryStats, st *MaintStats, from, to, weight i
 	e.muts.Updates++
 	e.mu.Unlock()
 	if weight > oldW && oldW <= wmin {
-		if err := e.refreshWMin(qs); err != nil {
+		if err := e.refreshWMin(ctx, qs); err != nil {
 			return err
 		}
 	}
@@ -376,15 +385,15 @@ func (e *Engine) updateLocked(qs *QueryStats, st *MaintStats, from, to, weight i
 	if weight < oldW {
 		// Relaxation: exactly the insertion case — a new shortest path
 		// through the cheaper edge decomposes into recorded halves.
-		return e.maintainBothDirections(qs, st, from, to, weight)
+		return e.maintainBothDirections(ctx, qs, st, from, to, weight)
 	}
-	return e.repairTouchedLocked(qs, st)
+	return e.repairTouchedLocked(ctx, qs, st)
 }
 
 // refreshWMin re-reads the minimal edge weight after a deletion or weight
 // increase may have removed the old minimum.
-func (e *Engine) refreshWMin(qs *QueryStats) error {
-	wmin, null, err := e.queryInt(qs, nil, fmt.Sprintf("SELECT MIN(cost) FROM %s", TblEdges))
+func (e *Engine) refreshWMin(ctx context.Context, qs *QueryStats) error {
+	wmin, null, err := e.queryInt(ctx, qs, nil, fmt.Sprintf("SELECT MIN(cost) FROM %s", TblEdges))
 	if err != nil {
 		return err
 	}
@@ -399,7 +408,7 @@ func (e *Engine) refreshWMin(qs *QueryStats) error {
 
 // ensureMutScratch lazily creates the repair scratch tables and clears
 // them for the next touch set.
-func (e *Engine) ensureMutScratch(qs *QueryStats) error {
+func (e *Engine) ensureMutScratch(ctx context.Context, qs *QueryStats) error {
 	if _, ok := e.db.Catalog().Get(tblMutTouch); !ok {
 		for _, q := range []string{
 			fmt.Sprintf("CREATE TABLE %s (fid INT, tid INT)", tblMutTouch),
@@ -413,7 +422,7 @@ func (e *Engine) ensureMutScratch(qs *QueryStats) error {
 		}
 	}
 	for _, tbl := range []string{tblMutTouch, tblMutSrc} {
-		if _, err := e.exec(qs, nil, nil, "DELETE FROM "+tbl); err != nil {
+		if _, err := e.exec(ctx, qs, nil, nil, "DELETE FROM "+tbl); err != nil {
 			return err
 		}
 	}
@@ -427,12 +436,12 @@ func (e *Engine) ensureMutScratch(qs *QueryStats) error {
 // TOutSegs and TInSegs record the same pair set, so one touch set serves
 // both directions. Must run while TOutSegs still reflects the pre-mutation
 // graph.
-func (e *Engine) computeTouchSet(qs *QueryStats, u, v, w int64) error {
-	if err := e.ensureMutScratch(qs); err != nil {
+func (e *Engine) computeTouchSet(ctx context.Context, qs *QueryStats, u, v, w int64) error {
+	if err := e.ensureMutScratch(ctx, qs); err != nil {
 		return err
 	}
 	ins := func(q string, args ...any) error {
-		_, err := e.exec(qs, nil, nil, q, args...)
+		_, err := e.exec(ctx, qs, nil, nil, q, args...)
 		return err
 	}
 	// 1) the recorded pair (u, v) itself — its cost or pid may come from
@@ -470,8 +479,8 @@ func (e *Engine) computeTouchSet(qs *QueryStats, u, v, w int64) error {
 // post-mutation TEdges, or rebuilds the whole index when the touch set
 // exceeds the repair threshold. Callers hold queryMu and have already run
 // computeTouchSet.
-func (e *Engine) repairTouchedLocked(qs *QueryStats, st *MaintStats) error {
-	affected, _, err := e.queryInt(qs, nil, fmt.Sprintf("SELECT COUNT(*) FROM %s", tblMutTouch))
+func (e *Engine) repairTouchedLocked(ctx context.Context, qs *QueryStats, st *MaintStats) error {
+	affected, _, err := e.queryInt(ctx, qs, nil, fmt.Sprintf("SELECT COUNT(*) FROM %s", tblMutTouch))
 	if err != nil {
 		return err
 	}
@@ -488,13 +497,13 @@ func (e *Engine) repairTouchedLocked(qs *QueryStats, st *MaintStats) error {
 		e.mu.Lock()
 		e.muts.SegRebuilds++
 		e.mu.Unlock()
-		_, err := e.buildSegTableLocked(e.segLthd, false)
+		_, err := e.buildSegTableLocked(ctx, e.segLthd, false)
 		return err
 	}
 
 	var repaired int64
 	for _, forward := range []bool{true, false} {
-		n, err := e.repairDirection(qs, forward)
+		n, err := e.repairDirection(ctx, qs, forward)
 		if err != nil {
 			return err
 		}
@@ -512,7 +521,7 @@ func (e *Engine) repairTouchedLocked(qs *QueryStats, st *MaintStats) error {
 // set-Dijkstra sweep from the touched sources over the mutated TEdges,
 // delete-and-reinsert of the touched pairs, then the original-edge fold
 // restricted to the same pairs.
-func (e *Engine) repairDirection(qs *QueryStats, forward bool) (int64, error) {
+func (e *Engine) repairDirection(ctx context.Context, qs *QueryStats, forward bool) (int64, error) {
 	target, srcCol := TblOutSegs, "fid"
 	if !forward {
 		target, srcCol = TblInSegs, "tid"
@@ -520,19 +529,19 @@ func (e *Engine) repairDirection(qs *QueryStats, forward bool) (int64, error) {
 	// Seed the sweep at the fid endpoints (forward: distances FROM x; the
 	// backward sweep walks incoming edges from tid seeds, computing
 	// distances TO y).
-	if _, err := e.exec(qs, nil, nil, "DELETE FROM "+tblMutSrc); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, "DELETE FROM "+tblMutSrc); err != nil {
 		return 0, err
 	}
-	if _, err := e.exec(qs, nil, nil, fmt.Sprintf(
+	if _, err := e.exec(ctx, qs, nil, nil, fmt.Sprintf(
 		"INSERT INTO %s (nid) SELECT DISTINCT %s FROM %s", tblMutSrc, srcCol, tblMutTouch)); err != nil {
 		return 0, err
 	}
-	if _, err := e.segSweep(qs, e.segLthd, forward, tblMutSrc); err != nil {
+	if _, err := e.segSweep(ctx, qs, e.segLthd, forward, tblMutSrc); err != nil {
 		return 0, err
 	}
 	// Drop the touched rows; distances can only have grown, so untouched
 	// rows keep valid (cost, pid) entries.
-	if _, err := e.exec(qs, nil, nil, fmt.Sprintf(
+	if _, err := e.exec(ctx, qs, nil, nil, fmt.Sprintf(
 		"DELETE FROM %[1]s WHERE EXISTS (SELECT fid FROM %[2]s m WHERE m.fid = %[1]s.fid AND m.tid = %[1]s.tid)",
 		target, tblMutTouch)); err != nil {
 		return 0, err
@@ -550,13 +559,13 @@ func (e *Engine) repairDirection(qs *QueryStats, forward bool) (int64, error) {
 				"WHERE s.src <> s.nid AND EXISTS (SELECT fid FROM %s m WHERE m.fid = s.nid AND m.tid = s.src)",
 			target, TblSeg, tblMutTouch)
 	}
-	repaired, err := e.exec(qs, nil, nil, insQ)
+	repaired, err := e.exec(ctx, qs, nil, nil, insQ)
 	if err != nil {
 		return 0, err
 	}
 	// Surviving original edges on touched pairs re-enter per
 	// Definition 4(2).
-	if err := e.foldEdges(qs, forward, tblMutTouch); err != nil {
+	if err := e.foldEdges(ctx, qs, forward, tblMutTouch); err != nil {
 		return 0, err
 	}
 	return repaired, nil

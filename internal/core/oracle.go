@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/oracle"
@@ -18,8 +19,22 @@ var _ [1]struct{} = [MaxDist - oracle.Unreached + 1]struct{}{}
 // BuildSegTable, the build excludes searches and bumps the graph version
 // (conservatively invalidating cached answers).
 func (e *Engine) BuildOracle(cfg oracle.Config) (*oracle.BuildStats, error) {
-	e.queryMu.Lock()
-	defer e.queryMu.Unlock()
+	return e.BuildOracleContext(context.Background(), cfg)
+}
+
+// BuildOracleContext is BuildOracle with cooperative cancellation: a
+// cancelled ctx aborts the build at the next statement or relaxation round.
+// The oracle pointer is only installed after a complete build, so a
+// cancelled build reads as "not built" (or "went cold", if one existed) —
+// never as a partial TLandmark.
+func (e *Engine) BuildOracleContext(ctx context.Context, cfg oracle.Config) (*oracle.BuildStats, error) {
+	if e.optErr != nil {
+		return nil, e.optErr
+	}
+	if err := e.lockQuery(ctx); err != nil {
+		return nil, err
+	}
+	defer e.unlockQuery()
 	if e.Nodes() == 0 {
 		return nil, fmt.Errorf("core: no graph loaded")
 	}
@@ -55,7 +70,7 @@ func (e *Engine) BuildOracle(cfg oracle.Config) (*oracle.BuildStats, error) {
 	}
 	e.orc = nil
 	e.mu.Unlock()
-	orc, st, err := oracle.Build(e.sess, params)
+	orc, st, err := oracle.Build(ctx, e.sess, params)
 	if err != nil {
 		return nil, err
 	}
@@ -101,25 +116,47 @@ const approxRetries = 3
 // s-t path exists (l would reach t through it). Consistency with
 // concurrent graph changes comes from optimistic version validation — the
 // reads retry when the (graph, index) generation moves underneath them.
+//
+// Deprecated: use DistanceInterval (the same reads, context-aware) or
+// Query with a positive MaxRelError; ApproxDistance remains as a thin
+// wrapper for one release.
 func (e *Engine) ApproxDistance(s, t int64) (Interval, error) {
+	return e.DistanceInterval(context.Background(), s, t)
+}
+
+// DistanceInterval is the latch-free interval primitive behind the query
+// planner (and the deprecated ApproxDistance): three aggregate SELECTs
+// over TLandmark with optimistic graph-version validation, cancellable at
+// every statement boundary through ctx.
+func (e *Engine) DistanceInterval(ctx context.Context, s, t int64) (Interval, error) {
+	iv, _, err := e.distanceIntervalStats(ctx, s, t)
+	return iv, err
+}
+
+// distanceIntervalStats is DistanceInterval plus the number of statements
+// the reads issued (three per optimistic attempt), so callers that answer
+// from the oracle alone can report a truthful cost.
+func (e *Engine) distanceIntervalStats(ctx context.Context, s, t int64) (Interval, int, error) {
+	stmts := 0
 	for try := 0; try < approxRetries; try++ {
 		e.mu.RLock()
 		nodes, version, orc := e.nodes, e.version, e.orc
 		e.mu.RUnlock()
 		if nodes == 0 {
-			return Interval{}, fmt.Errorf("core: no graph loaded")
+			return Interval{}, stmts, fmt.Errorf("core: no graph loaded")
 		}
 		if s < 0 || t < 0 || int(s) >= nodes || int(t) >= nodes {
-			return Interval{}, fmt.Errorf("core: node out of range (n=%d)", nodes)
+			return Interval{}, stmts, fmt.Errorf("core: node out of range (n=%d)", nodes)
 		}
 		if orc == nil {
-			return Interval{}, fmt.Errorf("core: approximate distance requires BuildOracle first (rebuild after graph changes)")
+			return Interval{}, stmts, fmt.Errorf("core: approximate distance requires BuildOracle first (rebuild after graph changes)")
 		}
 		if s == t {
-			return Interval{Lower: 0, Upper: 0}, nil
+			return Interval{Lower: 0, Upper: 0}, stmts, nil
 		}
 
-		iv, err := e.approxOnce(s, t)
+		iv, n, err := e.approxOnce(ctx, s, t)
+		stmts += n
 		e.mu.RLock()
 		stable := e.version == version && e.orc == orc
 		e.mu.RUnlock()
@@ -127,35 +164,36 @@ func (e *Engine) ApproxDistance(s, t int64) (Interval, error) {
 			if !stable {
 				continue // the read straddled a rebuild; retry cleanly
 			}
-			return Interval{}, err
+			return Interval{}, stmts, err
 		}
 		if stable {
-			return iv, nil
+			return iv, stmts, nil
 		}
 	}
-	return Interval{}, fmt.Errorf("core: graph kept changing during approximate lookup")
+	return Interval{}, stmts, fmt.Errorf("core: graph kept changing during approximate lookup")
 }
 
-// approxOnce runs the three bound queries against the current TLandmark.
-func (e *Engine) approxOnce(s, t int64) (Interval, error) {
+// approxOnce runs the three bound queries against the current TLandmark,
+// also reporting how many statements actually ran (fewer on error).
+func (e *Engine) approxOnce(ctx context.Context, s, t int64) (Interval, int, error) {
 	lmk := oracle.TblLandmark
-	upper, nullU, err := e.sess.QueryInt(fmt.Sprintf(
+	upper, nullU, err := e.sess.QueryIntContext(ctx, fmt.Sprintf(
 		"SELECT MIN(a.din + b.dout) FROM %[1]s a, %[1]s b "+
 			"WHERE a.lid = b.lid AND a.nid = ? AND b.nid = ?", lmk), s, t)
 	if err != nil {
-		return Interval{}, err
+		return Interval{}, 1, err
 	}
-	lowF, nullF, err := e.sess.QueryInt(fmt.Sprintf(
+	lowF, nullF, err := e.sess.QueryIntContext(ctx, fmt.Sprintf(
 		"SELECT MAX(b.dout - a.dout) FROM %[1]s a, %[1]s b "+
 			"WHERE a.lid = b.lid AND a.nid = ? AND b.nid = ?", lmk), s, t)
 	if err != nil {
-		return Interval{}, err
+		return Interval{}, 2, err
 	}
-	lowB, nullB, err := e.sess.QueryInt(fmt.Sprintf(
+	lowB, nullB, err := e.sess.QueryIntContext(ctx, fmt.Sprintf(
 		"SELECT MAX(a.din - b.din) FROM %[1]s a, %[1]s b "+
 			"WHERE a.lid = b.lid AND a.nid = ? AND b.nid = ?", lmk), s, t)
 	if err != nil {
-		return Interval{}, err
+		return Interval{}, 3, err
 	}
 	lower := int64(0)
 	if !nullF && lowF > lower {
@@ -170,5 +208,5 @@ func (e *Engine) approxOnce(s, t int64) (Interval, error) {
 	if nullU || upper >= MaxDist/2 {
 		upper = MaxDist // no landmark-certified path
 	}
-	return Interval{Lower: lower, Upper: upper}, nil
+	return Interval{Lower: lower, Upper: upper}, 3, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -22,9 +23,15 @@ type ReachResult struct {
 
 // Reachable reports whether t is reachable from s following directed edges.
 func (e *Engine) Reachable(s, t int64) (*ReachResult, error) {
+	if e.optErr != nil {
+		return nil, e.optErr
+	}
 	// Shares the TVisited working table with searches.
-	e.queryMu.Lock()
-	defer e.queryMu.Unlock()
+	ctx := context.Background()
+	if err := e.lockQuery(ctx); err != nil {
+		return nil, err
+	}
+	defer e.unlockQuery()
 	nodes := e.Nodes()
 	if nodes == 0 {
 		return nil, fmt.Errorf("core: no graph loaded")
@@ -36,7 +43,7 @@ func (e *Engine) Reachable(s, t int64) (*ReachResult, error) {
 	start := time.Now()
 	res := &ReachResult{}
 
-	if err := e.resetVisited(qs); err != nil {
+	if err := e.resetVisited(ctx, qs); err != nil {
 		return nil, err
 	}
 	if s == t {
@@ -47,7 +54,7 @@ func (e *Engine) Reachable(s, t int64) (*ReachResult, error) {
 		return res, nil
 	}
 	// d2s doubles as the BFS depth.
-	if _, err := e.exec(qs, &qs.PE, nil, fmt.Sprintf(
+	if _, err := e.exec(ctx, qs, &qs.PE, nil, fmt.Sprintf(
 		"INSERT INTO %s (nid, d2s, p2s, f, d2t, p2t, b) VALUES (?, 0, ?, 0, 0, 0, 0)",
 		TblVisited), s, s); err != nil {
 		return nil, err
@@ -74,7 +81,7 @@ func (e *Engine) Reachable(s, t int64) (*ReachResult, error) {
 		if iter > limit {
 			return nil, fmt.Errorf("core: reachability exceeded %d iterations", limit)
 		}
-		cnt, err := e.exec(qs, &qs.PE, &qs.FOp, frontierQ)
+		cnt, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, frontierQ)
 		if err != nil {
 			return nil, err
 		}
@@ -82,13 +89,13 @@ func (e *Engine) Reachable(s, t int64) (*ReachResult, error) {
 			break
 		}
 		res.Iterations++
-		if _, err := e.runReachExpand(qs, expandQ); err != nil {
+		if _, err := e.runReachExpand(ctx, qs, expandQ); err != nil {
 			return nil, err
 		}
-		if _, err := e.exec(qs, &qs.PE, &qs.FOp, resetQ); err != nil {
+		if _, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, resetQ); err != nil {
 			return nil, err
 		}
-		d, null, err := e.queryInt(qs, &qs.SC, targetQ, t)
+		d, null, err := e.queryInt(ctx, qs, &qs.SC, targetQ, t)
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +105,7 @@ func (e *Engine) Reachable(s, t int64) (*ReachResult, error) {
 			break
 		}
 	}
-	vc, err := e.visitedCount(qs)
+	vc, err := e.visitedCount(ctx, qs)
 	if err != nil {
 		return nil, err
 	}
@@ -110,9 +117,9 @@ func (e *Engine) Reachable(s, t int64) (*ReachResult, error) {
 
 // runReachExpand applies the reachability expansion, with the INSERT-only
 // fallback for profiles without MERGE.
-func (e *Engine) runReachExpand(qs *QueryStats, mergeQ string) (int64, error) {
+func (e *Engine) runReachExpand(ctx context.Context, qs *QueryStats, mergeQ string) (int64, error) {
 	if e.db.Profile().SupportsMerge && !e.opts.TraditionalSQL {
-		return e.exec(qs, &qs.PE, &qs.EOp, mergeQ)
+		return e.exec(ctx, qs, &qs.PE, &qs.EOp, mergeQ)
 	}
 	insQ := fmt.Sprintf(
 		"INSERT INTO %[1]s (nid, d2s, p2s, f, d2t, p2t, b) "+
@@ -123,5 +130,5 @@ func (e *Engine) runReachExpand(qs *QueryStats, mergeQ string) (int64, error) {
 			") tmp (nid, par, d, rn) "+
 			"WHERE tmp.rn = 1 AND NOT EXISTS (SELECT nid FROM %[1]s v WHERE v.nid = tmp.nid)",
 		TblVisited, TblEdges)
-	return e.exec(qs, &qs.PE, &qs.EOp, insQ)
+	return e.exec(ctx, qs, &qs.PE, &qs.EOp, insQ)
 }

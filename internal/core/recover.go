@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -10,7 +11,7 @@ import (
 // interior nodes are unfolded through the SegTable's pid chains.
 
 // recoverForward returns the node sequence s..x following p2s links.
-func (e *Engine) recoverForward(qs *QueryStats, s, x int64, segs bool) ([]int64, error) {
+func (e *Engine) recoverForward(ctx context.Context, qs *QueryStats, s, x int64, segs bool) ([]int64, error) {
 	q := fmt.Sprintf("SELECT p2s FROM %s WHERE nid = ?", TblVisited)
 	var rev []int64
 	cur := x
@@ -23,7 +24,7 @@ func (e *Engine) recoverForward(qs *QueryStats, s, x int64, segs bool) ([]int64,
 		if cur == s {
 			break
 		}
-		p, null, err := e.queryInt(qs, &qs.FPR, q, cur)
+		p, null, err := e.queryInt(ctx, qs, &qs.FPR, q, cur)
 		if err != nil {
 			return nil, err
 		}
@@ -32,7 +33,7 @@ func (e *Engine) recoverForward(qs *QueryStats, s, x int64, segs bool) ([]int64,
 		}
 		if segs && p != cur {
 			// Unfold the segment p -> cur through TOutSegs pid links.
-			interior, err := e.unfoldOutSegment(qs, p, cur)
+			interior, err := e.unfoldOutSegment(ctx, qs, p, cur)
 			if err != nil {
 				return nil, err
 			}
@@ -53,7 +54,7 @@ func (e *Engine) recoverForward(qs *QueryStats, s, x int64, segs bool) ([]int64,
 // u -> v recorded in TOutSegs, in reverse order (closest-to-v first).
 // Every prefix of a shortest segment is itself a recorded segment, so the
 // pid chain (u,v) -> (u,pre(v)) -> ... terminates at u.
-func (e *Engine) unfoldOutSegment(qs *QueryStats, u, v int64) ([]int64, error) {
+func (e *Engine) unfoldOutSegment(ctx context.Context, qs *QueryStats, u, v int64) ([]int64, error) {
 	q := fmt.Sprintf("SELECT pid FROM %s WHERE fid = ? AND tid = ?", TblOutSegs)
 	var out []int64
 	cur := v
@@ -62,7 +63,7 @@ func (e *Engine) unfoldOutSegment(qs *QueryStats, u, v int64) ([]int64, error) {
 		if step > guard {
 			return nil, fmt.Errorf("core: TOutSegs pid chain for (%d,%d) does not terminate", u, v)
 		}
-		p, null, err := e.queryInt(qs, &qs.FPR, q, u, cur)
+		p, null, err := e.queryInt(ctx, qs, &qs.FPR, q, u, cur)
 		if err != nil {
 			return nil, err
 		}
@@ -79,7 +80,7 @@ func (e *Engine) unfoldOutSegment(qs *QueryStats, u, v int64) ([]int64, error) {
 
 // recoverBackward returns the node sequence x..t following p2t links
 // (excluding x itself).
-func (e *Engine) recoverBackward(qs *QueryStats, x, t int64, segs bool) ([]int64, error) {
+func (e *Engine) recoverBackward(ctx context.Context, qs *QueryStats, x, t int64, segs bool) ([]int64, error) {
 	q := fmt.Sprintf("SELECT p2t FROM %s WHERE nid = ?", TblVisited)
 	var out []int64
 	cur := x
@@ -91,7 +92,7 @@ func (e *Engine) recoverBackward(qs *QueryStats, x, t int64, segs bool) ([]int64
 		if cur == t {
 			return out, nil
 		}
-		p, null, err := e.queryInt(qs, &qs.FPR, q, cur)
+		p, null, err := e.queryInt(ctx, qs, &qs.FPR, q, cur)
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +100,7 @@ func (e *Engine) recoverBackward(qs *QueryStats, x, t int64, segs bool) ([]int64
 			return nil, fmt.Errorf("core: broken p2t chain at node %d", cur)
 		}
 		if segs && p != cur {
-			interior, err := e.unfoldInSegment(qs, cur, p)
+			interior, err := e.unfoldInSegment(ctx, qs, cur, p)
 			if err != nil {
 				return nil, err
 			}
@@ -114,7 +115,7 @@ func (e *Engine) recoverBackward(qs *QueryStats, x, t int64, segs bool) ([]int64
 // u -> v recorded in TInSegs (path from u to v), in path order, excluding
 // both endpoints. TInSegs pid is the successor of fid, and every suffix of
 // a shortest segment is recorded, so (u,v) -> (pid,v) -> ... reaches v.
-func (e *Engine) unfoldInSegment(qs *QueryStats, u, v int64) ([]int64, error) {
+func (e *Engine) unfoldInSegment(ctx context.Context, qs *QueryStats, u, v int64) ([]int64, error) {
 	q := fmt.Sprintf("SELECT pid FROM %s WHERE fid = ? AND tid = ?", TblInSegs)
 	var out []int64
 	cur := u
@@ -123,7 +124,7 @@ func (e *Engine) unfoldInSegment(qs *QueryStats, u, v int64) ([]int64, error) {
 		if step > guard {
 			return nil, fmt.Errorf("core: TInSegs pid chain for (%d,%d) does not terminate", u, v)
 		}
-		p, null, err := e.queryInt(qs, &qs.FPR, q, cur, v)
+		p, null, err := e.queryInt(ctx, qs, &qs.FPR, q, cur, v)
 		if err != nil {
 			return nil, err
 		}
@@ -140,8 +141,8 @@ func (e *Engine) unfoldInSegment(qs *QueryStats, u, v int64) ([]int64, error) {
 
 // recoverBidirectional locates a node on the optimal path (Listing 4(6))
 // and concatenates the two half-paths (lines 17-20 of Algorithm 2).
-func (e *Engine) recoverBidirectional(qs *QueryStats, s, t, minCost int64, segs bool) ([]int64, error) {
-	meet, null, err := e.queryInt(qs, &qs.FPR,
+func (e *Engine) recoverBidirectional(ctx context.Context, qs *QueryStats, s, t, minCost int64, segs bool) ([]int64, error) {
+	meet, null, err := e.queryInt(ctx, qs, &qs.FPR,
 		fmt.Sprintf("SELECT TOP 1 nid FROM %s WHERE d2s + d2t = ?", TblVisited), minCost)
 	if err != nil {
 		return nil, err
@@ -149,11 +150,11 @@ func (e *Engine) recoverBidirectional(qs *QueryStats, s, t, minCost int64, segs 
 	if null {
 		return nil, fmt.Errorf("core: no meeting node for minCost=%d", minCost)
 	}
-	p0, err := e.recoverForward(qs, s, meet, segs)
+	p0, err := e.recoverForward(ctx, qs, s, meet, segs)
 	if err != nil {
 		return nil, err
 	}
-	p1, err := e.recoverBackward(qs, meet, t, segs)
+	p1, err := e.recoverBackward(ctx, qs, meet, t, segs)
 	if err != nil {
 		return nil, err
 	}

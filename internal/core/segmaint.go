@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -54,7 +55,7 @@ func (e *Engine) InsertEdge(from, to, weight int64) (*MaintStats, error) {
 
 // maintainDirection updates TOutSegs (forward=true) or TInSegs with the
 // consequences of the new edge (u, v, w).
-func (e *Engine) maintainDirection(qs *QueryStats, u, v, w int64, forward bool) (int64, error) {
+func (e *Engine) maintainDirection(ctx context.Context, qs *QueryStats, u, v, w int64, forward bool) (int64, error) {
 	lthd := e.segLthd
 	var total int64
 
@@ -71,9 +72,9 @@ func (e *Engine) maintainDirection(qs *QueryStats, u, v, w int64, forward bool) 
 				"WHEN NOT MATCHED THEN INSERT (fid, tid, pid, cost) VALUES (source.fid, source.tid, source.pid, source.cost)",
 			target, srcSelect)
 		if !e.db.Profile().SupportsMerge {
-			return e.mergelessMaintain(qs, target, srcSelect, args)
+			return e.mergelessMaintain(ctx, qs, target, srcSelect, args)
 		}
-		return e.exec(qs, nil, nil, q, args...)
+		return e.exec(ctx, qs, nil, nil, q, args...)
 	}
 
 	// pid semantics: TOutSegs.pid = predecessor of tid on the path;
@@ -160,7 +161,7 @@ func (e *Engine) maintainDirection(qs *QueryStats, u, v, w int64, forward bool) 
 
 // mergelessMaintain emulates the maintenance MERGE with UPDATE + INSERT on
 // profiles without MERGE support.
-func (e *Engine) mergelessMaintain(qs *QueryStats, target, srcSelect string, args []any) (int64, error) {
+func (e *Engine) mergelessMaintain(ctx context.Context, qs *QueryStats, target, srcSelect string, args []any) (int64, error) {
 	if _, ok := e.db.Catalog().Get("TSegMaint"); !ok {
 		for _, q := range []string{
 			"CREATE TABLE TSegMaint (fid INT, tid INT, pid INT, cost INT)",
@@ -172,24 +173,24 @@ func (e *Engine) mergelessMaintain(qs *QueryStats, target, srcSelect string, arg
 			qs.Statements++
 		}
 	}
-	if _, err := e.exec(qs, nil, nil, "DELETE FROM TSegMaint"); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, "DELETE FROM TSegMaint"); err != nil {
 		return 0, err
 	}
 	insQ := fmt.Sprintf("INSERT INTO TSegMaint (fid, tid, pid, cost) %s", srcSelect)
-	if _, err := e.exec(qs, nil, nil, insQ, args...); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, insQ, args...); err != nil {
 		return 0, err
 	}
 	updQ := fmt.Sprintf(
 		"UPDATE %[1]s SET cost = s.cost, pid = s.pid FROM TSegMaint s "+
 			"WHERE %[1]s.fid = s.fid AND %[1]s.tid = s.tid AND %[1]s.cost > s.cost", target)
-	n1, err := e.exec(qs, nil, nil, updQ)
+	n1, err := e.exec(ctx, qs, nil, nil, updQ)
 	if err != nil {
 		return 0, err
 	}
 	ins2Q := fmt.Sprintf(
 		"INSERT INTO %[1]s (fid, tid, pid, cost) SELECT s.fid, s.tid, s.pid, s.cost FROM TSegMaint s "+
 			"WHERE NOT EXISTS (SELECT fid FROM %[1]s g WHERE g.fid = s.fid AND g.tid = s.tid)", target)
-	n2, err := e.exec(qs, nil, nil, ins2Q)
+	n2, err := e.exec(ctx, qs, nil, nil, ins2Q)
 	if err != nil {
 		return 0, err
 	}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
+
+	"repro/internal/rdb"
 )
 
 // BuildSegTable constructs the SegTable index of Definition 4: TOutSegs
@@ -14,11 +17,24 @@ import (
 // minimal unfinalized distance exceeds lthd, and a final MERGE folds in the
 // remaining original edges.
 func (e *Engine) BuildSegTable(lthd int64) (*SegTableStats, error) {
+	return e.BuildSegTableContext(context.Background(), lthd)
+}
+
+// BuildSegTableContext is BuildSegTable with cooperative cancellation: a
+// cancelled ctx aborts the construction at the next statement or sweep
+// round, leaving the engine with no SegTable (segBuilt stays false, so
+// BSEG refuses cleanly) rather than a partial index.
+func (e *Engine) BuildSegTableContext(ctx context.Context, lthd int64) (*SegTableStats, error) {
+	if e.optErr != nil {
+		return nil, e.optErr
+	}
 	// Building excludes searches (shared working tables) and invalidates
 	// every cached answer: BSEG results depend on the index.
-	e.queryMu.Lock()
-	defer e.queryMu.Unlock()
-	return e.buildSegTableLocked(lthd, true)
+	if err := e.lockQuery(ctx); err != nil {
+		return nil, err
+	}
+	defer e.unlockQuery()
+	return e.buildSegTableLocked(ctx, lthd, true)
 }
 
 // buildSegTableLocked is the construction body; callers hold queryMu. The
@@ -26,7 +42,7 @@ func (e *Engine) BuildSegTable(lthd int64) (*SegTableStats, error) {
 // already bumped the graph version, concurrent searches are latched out,
 // and the path cache is empty, so a second invalidation would only distort
 // the stats.
-func (e *Engine) buildSegTableLocked(lthd int64, bump bool) (*SegTableStats, error) {
+func (e *Engine) buildSegTableLocked(ctx context.Context, lthd int64, bump bool) (*SegTableStats, error) {
 	if e.Nodes() == 0 {
 		return nil, fmt.Errorf("core: no graph loaded")
 	}
@@ -38,6 +54,14 @@ func (e *Engine) buildSegTableLocked(lthd int64, bump bool) (*SegTableStats, err
 	qs := &QueryStats{Algorithm: "SegBuild"} // reuse the statement counter
 
 	db := e.sess
+	// The previous index dies the moment its tables are dropped: a failed
+	// or cancelled build must leave segBuilt false (BSEG refuses cleanly)
+	// rather than pointing the planner and searches at a partial index.
+	// Cached BSEG answers stay sound — they are real shortest paths of the
+	// unchanged graph — so no version bump is needed here.
+	e.mu.Lock()
+	e.segBuilt = false
+	e.mu.Unlock()
 	// (Re)create the index tables under the engine's strategy.
 	for _, tbl := range []string{TblOutSegs, TblInSegs, TblSeg} {
 		if _, ok := e.db.Catalog().Get(tbl); ok {
@@ -83,13 +107,13 @@ func (e *Engine) buildSegTableLocked(lthd int64, bump bool) (*SegTableStats, err
 	// Forward pass: shortest segments in the outgoing direction. par holds
 	// pre(v), the predecessor of v on the path src -> v, which becomes
 	// TOutSegs.pid (Definition 4(1)).
-	itF, err := e.segPass(qs, lthd, true)
+	itF, err := e.segPass(ctx, qs, lthd, true)
 	if err != nil {
 		return nil, err
 	}
 	// Backward pass over incoming edges. par holds the successor of v on
 	// the path v -> src, which becomes TInSegs.pid.
-	itB, err := e.segPass(qs, lthd, false)
+	itB, err := e.segPass(ctx, qs, lthd, false)
 	if err != nil {
 		return nil, err
 	}
@@ -121,9 +145,9 @@ func (e *Engine) buildSegTableLocked(lthd int64, bump bool) (*SegTableStats, err
 
 // segPass runs one direction of the construction and materializes the
 // segment table plus the original-edge merge.
-func (e *Engine) segPass(qs *QueryStats, lthd int64, forward bool) (int, error) {
+func (e *Engine) segPass(ctx context.Context, qs *QueryStats, lthd int64, forward bool) (int, error) {
 	// Every node is a source at distance 0 from itself.
-	iterations, err := e.segSweep(qs, lthd, forward, TblNodes)
+	iterations, err := e.segSweep(ctx, qs, lthd, forward, TblNodes)
 	if err != nil {
 		return 0, err
 	}
@@ -145,14 +169,14 @@ func (e *Engine) segPass(qs *QueryStats, lthd int64, forward bool) (int, error) 
 			"INSERT INTO %s (fid, tid, pid, cost) SELECT nid, src, par, dist FROM %s WHERE src <> nid",
 			target, TblSeg)
 	}
-	if _, err := e.exec(qs, nil, nil, insQ); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, insQ); err != nil {
 		return 0, err
 	}
 
 	// ... and fold in the remaining original edges (Definition 4(2)): an
 	// edge is discarded when a recorded segment already dominates it; a
 	// cheaper parallel edge updates the recorded cost.
-	if err := e.foldEdges(qs, forward, ""); err != nil {
+	if err := e.foldEdges(ctx, qs, forward, ""); err != nil {
 		return 0, err
 	}
 	return iterations, nil
@@ -162,12 +186,12 @@ func (e *Engine) segPass(qs *QueryStats, lthd int64, forward bool) (int, error) 
 // set-Dijkstra distances (dist <= lthd) from every node listed in
 // seedTable (nid column). BuildSegTable seeds all of TNodes; the
 // decremental repair seeds only the touched sources.
-func (e *Engine) segSweep(qs *QueryStats, lthd int64, forward bool, seedTable string) (int, error) {
+func (e *Engine) segSweep(ctx context.Context, qs *QueryStats, lthd int64, forward bool, seedTable string) (int, error) {
 	db := e.db
-	if _, err := e.exec(qs, nil, nil, "DELETE FROM "+TblSeg); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, "DELETE FROM "+TblSeg); err != nil {
 		return 0, err
 	}
-	if _, err := e.exec(qs, nil, nil, fmt.Sprintf(
+	if _, err := e.exec(ctx, qs, nil, nil, fmt.Sprintf(
 		"INSERT INTO %s (src, nid, dist, par, f) SELECT nid, nid, 0, nid, 0 FROM %s",
 		TblSeg, seedTable)); err != nil {
 		return 0, err
@@ -203,11 +227,14 @@ func (e *Engine) segSweep(qs *QueryStats, lthd int64, forward bool, seedTable st
 	k := int64(0)
 	limit := e.maxIters()
 	for {
+		if err := rdb.ContextErr(ctx); err != nil {
+			return 0, fmt.Errorf("core: SegTable construction cancelled: %w", err)
+		}
 		k++
 		if int(k) > limit {
 			return 0, fmt.Errorf("core: SegTable construction exceeded %d iterations", limit)
 		}
-		cnt, err := e.exec(qs, nil, nil, frontierQ, k*e.wmin)
+		cnt, err := e.exec(ctx, qs, nil, nil, frontierQ, k*e.wmin)
 		if err != nil {
 			return 0, err
 		}
@@ -222,15 +249,15 @@ func (e *Engine) segSweep(qs *QueryStats, lthd int64, forward bool, seedTable st
 					"WHEN MATCHED AND target.dist > source.cost THEN UPDATE SET dist = source.cost, par = source.par, f = 0 "+
 					"WHEN NOT MATCHED THEN INSERT (src, nid, dist, par, f) VALUES (source.src, source.nid, source.cost, source.par, 0)",
 				TblSeg, expandSrc)
-			if _, err := e.exec(qs, nil, nil, mergeQ, lthd); err != nil {
+			if _, err := e.exec(ctx, qs, nil, nil, mergeQ, lthd); err != nil {
 				return 0, err
 			}
 		} else {
-			if err := e.segExpandNoMerge(qs, joinCol, newCol, useWindow, lthd); err != nil {
+			if err := e.segExpandNoMerge(ctx, qs, joinCol, newCol, useWindow, lthd); err != nil {
 				return 0, err
 			}
 		}
-		if _, err := e.exec(qs, nil, nil, resetQ); err != nil {
+		if _, err := e.exec(ctx, qs, nil, nil, resetQ); err != nil {
 			return 0, err
 		}
 	}
@@ -244,7 +271,7 @@ func (e *Engine) segSweep(qs *QueryStats, lthd int64, forward bool, seedTable st
 // edges collapse to their minimum. A non-empty touchTable restricts the
 // fold to the (fid, tid) pairs recorded there — the decremental repair
 // path, which only re-materializes touched pairs.
-func (e *Engine) foldEdges(qs *QueryStats, forward bool, touchTable string) error {
+func (e *Engine) foldEdges(ctx context.Context, qs *QueryStats, forward bool, touchTable string) error {
 	target := TblOutSegs
 	pid := "s.fid"
 	if !forward {
@@ -266,10 +293,10 @@ func (e *Engine) foldEdges(qs *QueryStats, forward bool, touchTable string) erro
 				"WHEN MATCHED AND target.cost > source.cost THEN UPDATE SET cost = source.cost, pid = source.pid "+
 				"WHEN NOT MATCHED THEN INSERT (fid, tid, pid, cost) VALUES (source.fid, source.tid, source.pid, source.cost)",
 			target, src)
-		_, err := e.exec(qs, nil, nil, q)
+		_, err := e.exec(ctx, qs, nil, nil, q)
 		return err
 	}
-	_, err := e.mergelessMaintain(qs, target, src, nil)
+	_, err := e.mergelessMaintain(ctx, qs, target, src, nil)
 	return err
 }
 
@@ -277,7 +304,7 @@ func (e *Engine) foldEdges(qs *QueryStats, forward bool, touchTable string) erro
 // (PostgreSQL 9.0 profile) or additionally replaces the window function
 // with aggregate + join-back (TSQL). The expansion lands in scratch tables
 // keyed (src, nid).
-func (e *Engine) segExpandNoMerge(qs *QueryStats, joinCol, newCol string, useWindow bool, lthd int64) error {
+func (e *Engine) segExpandNoMerge(ctx context.Context, qs *QueryStats, joinCol, newCol string, useWindow bool, lthd int64) error {
 	db := e.sess
 	// Lazily create the wide scratch table for construction (src, nid).
 	if _, ok := e.db.Catalog().Get("TSegExpand"); !ok {
@@ -293,7 +320,7 @@ func (e *Engine) segExpandNoMerge(qs *QueryStats, joinCol, newCol string, useWin
 			qs.Statements++
 		}
 	}
-	if _, err := e.exec(qs, nil, nil, "DELETE FROM TSegExpand"); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, "DELETE FROM TSegExpand"); err != nil {
 		return err
 	}
 	if useWindow {
@@ -305,11 +332,11 @@ func (e *Engine) segExpandNoMerge(qs *QueryStats, joinCol, newCol string, useWin
 				"FROM %s q, %s out WHERE q.nid = out.%s AND q.f = 2 AND out.cost + q.dist <= ?"+
 				") tmp (src, nid, par, cost, rn) WHERE rn = 1",
 			newCol, newCol, TblSeg, TblEdges, joinCol)
-		if _, err := e.exec(qs, nil, nil, insQ, lthd); err != nil {
+		if _, err := e.exec(ctx, qs, nil, nil, insQ, lthd); err != nil {
 			return err
 		}
 	} else {
-		if _, err := e.exec(qs, nil, nil, "DELETE FROM TSegExpCost"); err != nil {
+		if _, err := e.exec(ctx, qs, nil, nil, "DELETE FROM TSegExpCost"); err != nil {
 			return err
 		}
 		aggQ := fmt.Sprintf(
@@ -317,7 +344,7 @@ func (e *Engine) segExpandNoMerge(qs *QueryStats, joinCol, newCol string, useWin
 				"SELECT q.src, out.%s, MIN(out.cost + q.dist) FROM %s q, %s out "+
 				"WHERE q.nid = out.%s AND q.f = 2 AND out.cost + q.dist <= ? GROUP BY q.src, out.%s",
 			newCol, TblSeg, TblEdges, joinCol, newCol)
-		if _, err := e.exec(qs, nil, nil, aggQ, lthd); err != nil {
+		if _, err := e.exec(ctx, qs, nil, nil, aggQ, lthd); err != nil {
 			return err
 		}
 		backQ := fmt.Sprintf(
@@ -327,7 +354,7 @@ func (e *Engine) segExpandNoMerge(qs *QueryStats, joinCol, newCol string, useWin
 				"AND ec.src = q.src AND ec.nid = out.%s AND out.cost + q.dist = ec.cost "+
 				"GROUP BY ec.src, ec.nid, ec.cost",
 			TblSeg, TblEdges, joinCol, newCol)
-		if _, err := e.exec(qs, nil, nil, backQ, lthd); err != nil {
+		if _, err := e.exec(ctx, qs, nil, nil, backQ, lthd); err != nil {
 			return err
 		}
 	}
@@ -335,7 +362,7 @@ func (e *Engine) segExpandNoMerge(qs *QueryStats, joinCol, newCol string, useWin
 		"UPDATE %[1]s SET dist = s.cost, par = s.par, f = 0 FROM TSegExpand s "+
 			"WHERE %[1]s.src = s.src AND %[1]s.nid = s.nid AND %[1]s.dist > s.cost",
 		TblSeg)
-	if _, err := e.exec(qs, nil, nil, updQ); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, updQ); err != nil {
 		return err
 	}
 	insQ := fmt.Sprintf(
@@ -343,7 +370,7 @@ func (e *Engine) segExpandNoMerge(qs *QueryStats, joinCol, newCol string, useWin
 			"SELECT s.src, s.nid, s.cost, s.par, 0 FROM TSegExpand s "+
 			"WHERE NOT EXISTS (SELECT nid FROM %[1]s v WHERE v.src = s.src AND v.nid = s.nid)",
 		TblSeg)
-	if _, err := e.exec(qs, nil, nil, insQ); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, insQ); err != nil {
 		return err
 	}
 	return nil

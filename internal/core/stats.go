@@ -27,6 +27,14 @@ const (
 // counts (Table 3), phase split (Fig 6(b)) and operator split (Fig 6(c)).
 type QueryStats struct {
 	Algorithm string
+	// Planner records the planner decision that selected this algorithm
+	// (one of the core.Decision* labels; "hint" when the caller named the
+	// algorithm, empty for engine-internal work like index builds).
+	Planner string
+	// Iterations counts main-loop rounds (frontier selections for the
+	// bi-directional algorithms, node expansions for DJ) — how much of the
+	// Options.MaxIters bound the query actually used.
+	Iterations int
 	// Expansions counts E-operator executions (forward + backward).
 	Expansions         int
 	ForwardExpansions  int
@@ -52,6 +60,10 @@ type QueryStats struct {
 	// CacheHit reports that the answer came from the path cache: no SQL
 	// ran, and every other counter is zero.
 	CacheHit bool
+
+	// budget is the per-query statement cap (QueryRequest.MaxStatements);
+	// exec/queryInt enforce it. 0 = unlimited.
+	budget int64
 }
 
 func (q *QueryStats) String() string {

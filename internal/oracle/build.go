@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 
 // builder carries one construction run.
 type builder struct {
+	ctx  context.Context
 	sess *rdb.Session
 	p    Params
 	st   *BuildStats
@@ -16,8 +18,11 @@ type builder struct {
 
 // Build constructs the landmark oracle over the session's graph tables.
 // The caller is responsible for exclusion against concurrent searches and
-// graph mutation (the engine holds its query latch across the build).
-func Build(sess *rdb.Session, p Params) (*Oracle, *BuildStats, error) {
+// graph mutation (the engine holds its query latch across the build). A
+// cancelled ctx aborts the build at the next statement or relaxation round;
+// the caller must then treat the oracle as not built (the engine leaves its
+// oracle pointer nil, so a partial TLandmark is never consulted).
+func Build(ctx context.Context, sess *rdb.Session, p Params) (*Oracle, *BuildStats, error) {
 	if p.K <= 0 {
 		p.K = DefaultK
 	}
@@ -27,7 +32,7 @@ func Build(sess *rdb.Session, p Params) (*Oracle, *BuildStats, error) {
 	if p.MaxIters <= 0 {
 		p.MaxIters = 1 << 30
 	}
-	b := &builder{sess: sess, p: p, st: &BuildStats{K: p.K, Strategy: p.Strategy}}
+	b := &builder{ctx: ctx, sess: sess, p: p, st: &BuildStats{K: p.K, Strategy: p.Strategy}}
 	start := time.Now()
 
 	if err := b.createTables(); err != nil {
@@ -99,7 +104,7 @@ func Build(sess *rdb.Session, p Params) (*Oracle, *BuildStats, error) {
 }
 
 func (b *builder) exec(q string, args ...any) (int64, error) {
-	res, err := b.sess.Exec(q, args...)
+	res, err := b.sess.ExecContext(b.ctx, q, args...)
 	b.st.Statements++
 	if err != nil {
 		return 0, fmt.Errorf("oracle: %w", err)
@@ -108,7 +113,7 @@ func (b *builder) exec(q string, args ...any) (int64, error) {
 }
 
 func (b *builder) queryInt(q string, args ...any) (int64, error) {
-	v, _, err := b.sess.QueryInt(q, args...)
+	v, _, err := b.sess.QueryIntContext(b.ctx, q, args...)
 	b.st.Statements++
 	if err != nil {
 		return 0, fmt.Errorf("oracle: %w", err)
@@ -118,7 +123,7 @@ func (b *builder) queryInt(q string, args ...any) (int64, error) {
 
 // queryIntNull is queryInt with the NULL flag exposed.
 func (b *builder) queryIntNull(q string, args ...any) (int64, bool, error) {
-	v, null, err := b.sess.QueryInt(q, args...)
+	v, null, err := b.sess.QueryIntContext(b.ctx, q, args...)
 	b.st.Statements++
 	if err != nil {
 		return 0, false, fmt.Errorf("oracle: %w", err)
@@ -276,6 +281,9 @@ func (b *builder) sssp(l int64, forward bool) error {
 		TblWork, srcQ)
 
 	for k := int64(1); ; k++ {
+		if err := rdb.ContextErr(b.ctx); err != nil {
+			return fmt.Errorf("oracle: build cancelled during SSSP from %d: %w", l, err)
+		}
 		if int(k) > b.p.MaxIters {
 			return fmt.Errorf("oracle: SSSP from %d exceeded %d iterations", l, b.p.MaxIters)
 		}

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -71,7 +72,7 @@ func TestBuildDistancesExact(t *testing.T) {
 			defer sess.Close()
 			loadGraphTables(t, sess, g)
 
-			orc, st, err := Build(sess, buildParams(Config{K: 4}, g, useMerge))
+			orc, st, err := Build(context.Background(), sess, buildParams(Config{K: 4}, g, useMerge))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -137,7 +138,7 @@ func TestDegreeSelectionOrder(t *testing.T) {
 	sess := db.Session()
 	defer sess.Close()
 	loadGraphTables(t, sess, g)
-	orc, _, err := Build(sess, buildParams(Config{K: 2, Strategy: Degree}, g, true))
+	orc, _, err := Build(context.Background(), sess, buildParams(Config{K: 2, Strategy: Degree}, g, true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestFarthestSpreads(t *testing.T) {
 	sess := db.Session()
 	defer sess.Close()
 	loadGraphTables(t, sess, g)
-	orc, _, err := Build(sess, buildParams(Config{K: 2, Strategy: Farthest}, g, true))
+	orc, _, err := Build(context.Background(), sess, buildParams(Config{K: 2, Strategy: Farthest}, g, true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestKClamp(t *testing.T) {
 	sess := db.Session()
 	defer sess.Close()
 	loadGraphTables(t, sess, g)
-	orc, _, err := Build(sess, buildParams(Config{K: 10}, g, true))
+	orc, _, err := Build(context.Background(), sess, buildParams(Config{K: 10}, g, true))
 	if err != nil {
 		t.Fatal(err)
 	}

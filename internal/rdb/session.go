@@ -1,6 +1,7 @@
 package rdb
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -126,4 +127,53 @@ func (s *Session) QueryInt(query string, args ...any) (v int64, null bool, err e
 	defer s.finish(t0)
 	s.queries.Add(1)
 	return s.db.QueryInt(query, args...)
+}
+
+// Context-aware statement execution. Statements themselves are short (the
+// workload is many small statements, like the paper's JDBC loop), so
+// cancellation is checked at statement boundaries: a cancelled context
+// refuses the next statement before any parsing or latching happens. This
+// is the rdb half of the engine's cooperative cancellation — the engine
+// checks once per frontier iteration, the session once per statement.
+
+// ContextErr reports whether ctx is dead, enforcing deadlines by the
+// clock rather than only by ctx.Err(). The distinction matters: a timed
+// context reports DeadlineExceeded only after the runtime timer goroutine
+// fired its cancellation, and the engine's statement loop is tight enough
+// to outrun that timer on a single-P scheduler (GOMAXPROCS=1, saturated
+// CPU quota) — an expired query could then run to completion. Every
+// cancellation checkpoint in the stack goes through this helper.
+func ContextErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// ExecContext is Exec with a cancellation check at the statement boundary.
+func (s *Session) ExecContext(ctx context.Context, query string, args ...any) (Result, error) {
+	if err := ContextErr(ctx); err != nil {
+		return Result{}, err
+	}
+	return s.Exec(query, args...)
+}
+
+// QueryContext is Query with a cancellation check at the statement boundary.
+func (s *Session) QueryContext(ctx context.Context, query string, args ...any) (*Rows, error) {
+	if err := ContextErr(ctx); err != nil {
+		return nil, err
+	}
+	return s.Query(query, args...)
+}
+
+// QueryIntContext is QueryInt with a cancellation check at the statement
+// boundary.
+func (s *Session) QueryIntContext(ctx context.Context, query string, args ...any) (v int64, null bool, err error) {
+	if err := ContextErr(ctx); err != nil {
+		return 0, false, err
+	}
+	return s.QueryInt(query, args...)
 }

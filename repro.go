@@ -15,12 +15,20 @@
 //   - Graph tooling (internal/graph): generators matching the paper's
 //     datasets, CSV persistence, and the in-memory baselines MDJ/MBDJ.
 //
-// On top of the FEM engine sits a concurrent serving layer: Engine is safe
-// for any number of concurrent ShortestPath callers (an LRU result cache
-// answers repeats from memory; relational searches serialize on a query
-// latch), Engine.ShortestPathBatch fans a query set across a worker pool,
-// and cmd/spdbd exposes the whole stack over HTTP. See
-// docs/ARCHITECTURE.md for the concurrency model and its invariants.
+// On top of the FEM engine sits a concurrent serving layer built around
+// one declarative entry point, Engine.Query: a QueryRequest names the
+// endpoints, an optional algorithm hint (the default AlgAuto engages a
+// cost-based planner that picks among the algorithms — or answers from the
+// landmark oracle alone, within QueryRequest.MaxRelError), and a statement
+// budget; the context carries deadlines and cancellation, honored within
+// one frontier iteration. Engine is safe for any number of concurrent
+// callers (an LRU result cache answers repeats from memory; relational
+// searches serialize on a query latch), Engine.QueryBatch fans a request
+// set across a worker pool, and cmd/spdbd exposes the whole stack over
+// HTTP (POST /query). The pre-redesign calls ShortestPath,
+// ShortestPathBatch and ApproxDistance remain as deprecated wrappers for
+// one release. See docs/ARCHITECTURE.md for the concurrency model, the
+// planner's decision table, and their invariants.
 //
 // Quickstart:
 //
@@ -30,8 +38,9 @@
 //	eng := repro.NewEngine(db, repro.EngineOptions{})
 //	_ = eng.LoadGraph(g)
 //	_, _ = eng.BuildSegTable(20)
-//	path, stats, _ := eng.ShortestPath(repro.AlgBSEG, 17, 4711)
-//	fmt.Println(path.Length, path.Nodes, stats)
+//	res, _ := eng.Query(context.Background(),
+//		repro.QueryRequest{Source: 17, Target: 4711}) // AlgAuto: planner picks
+//	fmt.Println(res.Distance, res.Path.Nodes, res.Stats)
 package repro
 
 import (
@@ -84,8 +93,18 @@ type (
 	IndexStrategy = core.IndexStrategy
 	// Path is a discovered shortest path.
 	Path = core.Path
+	// QueryRequest is one declarative shortest-path question for
+	// Engine.Query: endpoints, algorithm hint (AlgAuto = planner),
+	// error tolerance and statement budget.
+	QueryRequest = core.QueryRequest
+	// QueryResult is the unified answer: exact path or oracle interval,
+	// resolved algorithm, planner decision and per-query stats.
+	QueryResult = core.QueryResult
+	// QueryResponse pairs one Engine.QueryBatch request with its outcome.
+	QueryResponse = core.QueryResponse
 	// QueryStats carries per-query metrics (expansions, statements,
-	// visited rows, phase and operator timings, cache hits).
+	// visited rows, iterations, planner decision, phase and operator
+	// timings, cache hits).
 	QueryStats = core.QueryStats
 	// SegTableStats reports a SegTable construction.
 	SegTableStats = core.SegTableStats
@@ -126,8 +145,15 @@ const DefaultRepairThreshold = core.DefaultRepairThreshold
 // EngineOptions.CacheSize is zero.
 const DefaultCacheSize = core.DefaultCacheSize
 
+// ErrBudgetExceeded identifies a query that spent its
+// QueryRequest.MaxStatements budget (errors.Is).
+var ErrBudgetExceeded = core.ErrBudgetExceeded
+
 // Algorithms (§5.1 naming).
 const (
+	// AlgAuto (the zero value) lets Engine.Query's cost-based planner pick
+	// the algorithm — or answer from the landmark oracle alone.
+	AlgAuto = core.AlgAuto
 	// AlgDJ is single-directional relational Dijkstra (Algorithm 1).
 	AlgDJ = core.AlgDJ
 	// AlgBDJ is bi-directional relational Dijkstra.

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro"
@@ -37,7 +38,7 @@ func TestFacadeQuickstart(t *testing.T) {
 
 	for _, q := range repro.RandomQueries(g, 4, 9) {
 		ref := repro.MDJ(g, q[0], q[1])
-		iv, err := eng.ApproxDistance(q[0], q[1])
+		iv, err := eng.DistanceInterval(context.Background(), q[0], q[1])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -45,17 +46,17 @@ func TestFacadeQuickstart(t *testing.T) {
 			t.Fatalf("approx interval [%d,%d] misses exact %d", iv.Lower, iv.Upper, ref.Distance)
 		}
 		for _, alg := range []repro.Algorithm{repro.AlgBSDJ, repro.AlgBSEG, repro.AlgALT} {
-			p, stats, err := eng.ShortestPath(alg, q[0], q[1])
+			res, err := eng.Query(context.Background(), repro.QueryRequest{Source: q[0], Target: q[1], Alg: alg})
 			if err != nil {
 				t.Fatalf("%v: %v", alg, err)
 			}
-			if p.Found != ref.Found {
-				t.Fatalf("%v: found=%v want %v", alg, p.Found, ref.Found)
+			if res.Found != ref.Found {
+				t.Fatalf("%v: found=%v want %v", alg, res.Found, ref.Found)
 			}
-			if p.Found && p.Length != ref.Distance {
-				t.Fatalf("%v: %d want %d", alg, p.Length, ref.Distance)
+			if res.Found && res.Distance != ref.Distance {
+				t.Fatalf("%v: %d want %d", alg, res.Distance, ref.Distance)
 			}
-			if stats.Statements == 0 {
+			if res.Stats.Statements == 0 {
 				t.Fatalf("%v: no statements recorded", alg)
 			}
 		}
@@ -87,12 +88,12 @@ func TestFacadeProfiles(t *testing.T) {
 	}
 	q := repro.RandomQueries(g, 1, 2)[0]
 	ref := repro.MDJ(g, q[0], q[1])
-	p, _, err := eng.ShortestPath(repro.AlgBSDJ, q[0], q[1])
+	res, err := eng.Query(context.Background(), repro.QueryRequest{Source: q[0], Target: q[1], Alg: repro.AlgBSDJ})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.Found != ref.Found || (p.Found && p.Length != ref.Distance) {
-		t.Fatalf("postgres profile result wrong: %+v vs %+v", p, ref)
+	if res.Found != ref.Found || (res.Found && res.Distance != ref.Distance) {
+		t.Fatalf("postgres profile result wrong: %+v vs %+v", res, ref)
 	}
 }
 
