@@ -743,8 +743,15 @@ func (sv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"active_sessions":    dbStats.ActiveSessions,
 			"parse_plan_us":      dbStats.ParsePlanDur.Microseconds(),
 			"exec_us":            dbStats.ExecDur.Microseconds(),
-			"pool":               dbStats.Pool,
-			"io":                 dbStats.IO,
+			"plan_cache": map[string]any{
+				"hits":          dbStats.PlanCacheHits,
+				"misses":        dbStats.PlanCacheMisses,
+				"invalidations": dbStats.PlanCacheInvalidations,
+				"entries":       dbStats.PlanCacheEntries,
+				"schema_epoch":  dbStats.SchemaEpoch,
+			},
+			"pool": dbStats.Pool,
+			"io":   dbStats.IO,
 		},
 	})
 }

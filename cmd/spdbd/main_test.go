@@ -347,6 +347,25 @@ func TestStatsAndHealthz(t *testing.T) {
 			t.Errorf("stats missing section %q", k)
 		}
 	}
+
+	// The DB section must expose the plan-cache counters, and a served
+	// search must have produced hits (its FEM loop re-executes shapes).
+	var db struct {
+		PlanCache struct {
+			Hits    uint64 `json:"hits"`
+			Misses  uint64 `json:"misses"`
+			Entries int    `json:"entries"`
+		} `json:"plan_cache"`
+	}
+	if err := json.Unmarshal(stats["db"], &db); err != nil {
+		t.Fatalf("db section: %v", err)
+	}
+	if db.PlanCache.Hits == 0 {
+		t.Error("stats: expected plan-cache hits after serving a search")
+	}
+	if db.PlanCache.Entries == 0 {
+		t.Error("stats: expected live plan-cache entries")
+	}
 }
 
 // TestStatsCounters: /stats must surface the cache hit ratio and the

@@ -277,6 +277,7 @@ func Experiments() []struct {
 		{"oracle-approx", RunOracleApprox, "Oracle: approximate-answer quality and latency"},
 		{"mutation-throughput", RunMutationThroughput, "Mutations: insert/delete/update repair + batch throughput"},
 		{"planner", RunPlanner, "Planner: AlgAuto vs hand-picked algorithm latency + decision mix"},
+		{"prepared", RunPrepared, "Prepared statements: plan-cache execution vs statement-at-a-time re-parse"},
 	}
 }
 

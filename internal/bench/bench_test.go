@@ -14,8 +14,8 @@ func tinyConfig() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 29 {
-		t.Fatalf("expected 29 experiments, got %d", len(exps))
+	if len(exps) != 30 {
+		t.Fatalf("expected 30 experiments, got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rdb"
+)
+
+// RunPrepared is the acceptance experiment for the prepared-statement
+// subsystem: the same query workload against two engines that differ only
+// in the plan cache — on (every statement shape compiles once, the FEM
+// loops re-execute cached plans) versus off (the paper's
+// statement-at-a-time baseline, re-parsing and re-planning every
+// statement like SQL text shipped through JDBC). The metric that matters
+// is per-statement latency and its parse/plan share: the workload issues
+// thousands of statements per search, so shaving the constant parse cost
+// off each one is exactly the microseconds-vs-milliseconds lever the
+// "Shortest Paths in Microseconds" line of work describes. The JSON form
+// (BENCH_prepared.json) records the prepared-vs-reparse trajectory per
+// commit.
+func RunPrepared(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "prepared",
+		Title: "Prepared execution (plan cache) vs statement-at-a-time re-parse, Power graph (lthd=20)",
+		Header: []string{"mode", "alg", "time", "qps", "stmts", "stmt_us",
+			"parse_us/stmt", "cache_hit%"},
+	}
+	n := cfg.scale(2000)
+	g := graph.Power(n, 3, cfg.Seed)
+	queries := graph.RandomQueries(g, cfg.queries()*2, cfg.Seed)
+
+	modes := []struct {
+		name string
+		dbo  rdb.Options
+	}{
+		{"prepared", rdb.Options{}},
+		{"reparse", rdb.Options{PlanCacheSize: -1}},
+	}
+	for _, mode := range modes {
+		// The path cache is off so every query runs its relational search:
+		// this experiment measures statement execution, not memoization.
+		setup, err := makeEngine(g, mode.dbo, core.Options{CacheSize: -1})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := setup.eng.BuildSegTable(20); err != nil {
+			setup.close()
+			return nil, err
+		}
+		for _, alg := range []core.Algorithm{core.AlgBSDJ, core.AlgBSEG} {
+			cfg.logf("prepared: |V|=%d mode=%s %s", n, mode.name, alg)
+			// One warm-up pass fills the plan cache so the measured pass
+			// reflects steady-state serving, then counters reset.
+			if _, err := runQueries(setup.eng, alg, queries[:1]); err != nil {
+				setup.close()
+				return nil, err
+			}
+			setup.db.ResetStats()
+			t0 := time.Now()
+			a, err := runQueries(setup.eng, alg, queries)
+			if err != nil {
+				setup.close()
+				return nil, err
+			}
+			wall := time.Since(t0)
+			st := setup.db.Stats()
+			stmts := st.Statements
+			var stmtUS, parseUS float64
+			if stmts > 0 {
+				stmtUS = float64((st.ParsePlanDur + st.ExecDur).Microseconds()) / float64(stmts)
+				parseUS = float64(st.ParsePlanDur.Microseconds()) / float64(stmts)
+			}
+			hitPct := 0.0
+			if lookups := st.PlanCacheHits + st.PlanCacheMisses; lookups > 0 {
+				hitPct = 100 * float64(st.PlanCacheHits) / float64(lookups)
+			}
+			qps := 0.0
+			if wall > 0 {
+				qps = float64(a.N) / wall.Seconds()
+			}
+			t.Rows = append(t.Rows, []string{
+				mode.name, alg.String(), ms(a.Time), f1(qps), f1(a.Stmts),
+				fmt.Sprintf("%.2f", stmtUS), fmt.Sprintf("%.2f", parseUS),
+				f1(hitPct)})
+		}
+		setup.close()
+	}
+	return t, nil
+}

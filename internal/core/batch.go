@@ -6,20 +6,6 @@ import (
 	"sync"
 )
 
-// BatchQuery is one (source, target) pair in a legacy batch.
-type BatchQuery struct {
-	S, T int64
-}
-
-// BatchResult pairs one legacy batch query with its outcome. Err is
-// per-query: one bad pair does not fail the batch.
-type BatchResult struct {
-	Query BatchQuery
-	Path  Path
-	Stats *QueryStats
-	Err   error
-}
-
 // runBatch fans n work items across a worker pool. Cancelling ctx stops
 // feeding the pool; every unstarted item gets abandon(i) instead.
 func runBatch(ctx context.Context, n, workers int, work func(i int), abandon func(i int)) {
@@ -57,24 +43,4 @@ feed:
 	}
 	close(next)
 	wg.Wait()
-}
-
-// ShortestPathBatch answers a set of queries with the given algorithm,
-// fanning them across a pool of workers goroutines (0 means GOMAXPROCS).
-// Results are returned in input order.
-//
-// Deprecated: use QueryBatch; it adds per-request algorithm hints,
-// tolerances, budgets and cooperative cancellation. ShortestPathBatch
-// remains as a thin wrapper for one release.
-func (e *Engine) ShortestPathBatch(alg Algorithm, queries []BatchQuery, workers int) []BatchResult {
-	reqs := make([]QueryRequest, len(queries))
-	for i, q := range queries {
-		reqs[i] = QueryRequest{Source: q.S, Target: q.T, Alg: alg}
-	}
-	out := e.QueryBatch(context.Background(), reqs, workers)
-	results := make([]BatchResult, len(queries))
-	for i, r := range out {
-		results[i] = BatchResult{Query: queries[i], Path: r.Result.Path, Stats: r.Result.Stats, Err: r.Err}
-	}
-	return results
 }

@@ -14,7 +14,7 @@ func TestCacheHitMiss(t *testing.T) {
 	e := newTestEngine(t, g, rdb.Options{}, Options{})
 	q := graph.RandomQueries(g, 1, 8)[0]
 
-	p1, qs1, err := e.ShortestPath(AlgBSDJ, q[0], q[1])
+	p1, qs1, err := shortestPath(e, AlgBSDJ, q[0], q[1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +23,7 @@ func TestCacheHitMiss(t *testing.T) {
 	}
 	stmtsBefore := e.DB().Stats().Statements
 
-	p2, qs2, err := e.ShortestPath(AlgBSDJ, q[0], q[1])
+	p2, qs2, err := shortestPath(e, AlgBSDJ, q[0], q[1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestCacheHitMiss(t *testing.T) {
 		t.Fatalf("cached answer differs: %+v vs %+v", p2, p1)
 	}
 	// Different algorithm or endpoints are distinct keys.
-	if _, qs3, err := e.ShortestPath(AlgBBFS, q[0], q[1]); err != nil {
+	if _, qs3, err := shortestPath(e, AlgBBFS, q[0], q[1]); err != nil {
 		t.Fatal(err)
 	} else if qs3.CacheHit {
 		t.Fatal("different algorithm must not share cache entries")
@@ -52,7 +52,7 @@ func TestCacheHitMiss(t *testing.T) {
 	// Nodes slice.
 	if len(p2.Nodes) > 0 {
 		p2.Nodes[0] = -42
-		p4, _, err := e.ShortestPath(AlgBSDJ, q[0], q[1])
+		p4, _, err := shortestPath(e, AlgBSDJ, q[0], q[1])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +68,7 @@ func TestCacheInvalidationOnReload(t *testing.T) {
 	g1 := graph.Random(200, 800, 1)
 	e := newTestEngine(t, g1, rdb.Options{}, Options{})
 	q := graph.RandomQueries(g1, 1, 4)[0]
-	p1, _, err := e.ShortestPath(AlgBSDJ, q[0], q[1])
+	p1, _, err := shortestPath(e, AlgBSDJ, q[0], q[1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestCacheInvalidationOnReload(t *testing.T) {
 	if err := e.LoadGraph(g2); err != nil {
 		t.Fatal(err)
 	}
-	p2, qs2, err := e.ShortestPath(AlgBSDJ, q[0], q[1])
+	p2, qs2, err := shortestPath(e, AlgBSDJ, q[0], q[1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestCacheInvalidationOnIndexAndInsert(t *testing.T) {
 	g := graph.Power(300, 3, 9)
 	e := newTestEngine(t, g, rdb.Options{}, Options{})
 	q := graph.RandomQueries(g, 1, 2)[0]
-	p1, _, err := e.ShortestPath(AlgBSDJ, q[0], q[1])
+	p1, _, err := shortestPath(e, AlgBSDJ, q[0], q[1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestCacheInvalidationOnIndexAndInsert(t *testing.T) {
 	if e.GraphVersion() == v0 {
 		t.Fatal("BuildSegTable must bump the graph version")
 	}
-	if _, qs, err := e.ShortestPath(AlgBSDJ, q[0], q[1]); err != nil {
+	if _, qs, err := shortestPath(e, AlgBSDJ, q[0], q[1]); err != nil {
 		t.Fatal(err)
 	} else if qs.CacheHit {
 		t.Fatal("query after index build must recompute")
@@ -134,7 +134,7 @@ func TestCacheInvalidationOnIndexAndInsert(t *testing.T) {
 		if _, err := e.InsertEdge(q[0], q[1], 1); err != nil {
 			t.Fatal(err)
 		}
-		p2, qs, err := e.ShortestPath(AlgBSDJ, q[0], q[1])
+		p2, qs, err := shortestPath(e, AlgBSDJ, q[0], q[1])
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -24,7 +25,7 @@ func TestConcurrentShortestPath(t *testing.T) {
 	serial := newTestEngine(t, g, rdb.Options{}, Options{CacheSize: -1})
 	want := make([]Path, len(queries))
 	for i, q := range queries {
-		p, _, err := serial.ShortestPath(AlgBSDJ, q[0], q[1])
+		p, _, err := shortestPath(serial, AlgBSDJ, q[0], q[1])
 		if err != nil {
 			t.Fatalf("serial query %d: %v", i, err)
 		}
@@ -43,7 +44,7 @@ func TestConcurrentShortestPath(t *testing.T) {
 			for k := range queries {
 				i := (k + w) % len(queries)
 				q := queries[i]
-				p, qs, err := shared.ShortestPath(AlgBSDJ, q[0], q[1])
+				p, qs, err := shortestPath(shared, AlgBSDJ, q[0], q[1])
 				if err != nil {
 					errs <- fmt.Errorf("worker %d query %d: %v", w, i, err)
 					return
@@ -72,29 +73,29 @@ func TestConcurrentShortestPath(t *testing.T) {
 	}
 }
 
-// TestShortestPathBatch checks the worker-pool fan-out returns in-order,
+// TestQueryBatchFanout checks the worker-pool fan-out returns in-order,
 // per-query results identical to serial execution.
-func TestShortestPathBatch(t *testing.T) {
+func TestQueryBatchFanout(t *testing.T) {
 	g := graph.Power(800, 3, 11)
 	pairs := graph.RandomQueries(g, 10, 5)
-	batch := make([]BatchQuery, 0, len(pairs)+2)
+	batch := make([]QueryRequest, 0, len(pairs)+2)
 	for _, q := range pairs {
-		batch = append(batch, BatchQuery{S: q[0], T: q[1]})
+		batch = append(batch, QueryRequest{Source: q[0], Target: q[1], Alg: AlgBSDJ})
 	}
 	// Duplicates collapse via the cache; an invalid pair fails alone.
-	batch = append(batch, batch[0], BatchQuery{S: -1, T: 0})
+	batch = append(batch, batch[0], QueryRequest{Source: -1, Target: 0, Alg: AlgBSDJ})
 
 	serial := newTestEngine(t, g, rdb.Options{}, Options{CacheSize: -1})
 	shared := newTestEngine(t, g, rdb.Options{}, Options{})
-	results := shared.ShortestPathBatch(AlgBSDJ, batch, 8)
+	results := shared.QueryBatch(context.Background(), batch, 8)
 	if len(results) != len(batch) {
 		t.Fatalf("got %d results for %d queries", len(results), len(batch))
 	}
 	for i, r := range results {
-		if r.Query != batch[i] {
-			t.Fatalf("result %d out of order: %+v", i, r.Query)
+		if r.Request != batch[i] {
+			t.Fatalf("result %d out of order: %+v", i, r.Request)
 		}
-		if batch[i].S < 0 {
+		if batch[i].Source < 0 {
 			if r.Err == nil {
 				t.Errorf("result %d: expected error for invalid pair", i)
 			}
@@ -103,13 +104,13 @@ func TestShortestPathBatch(t *testing.T) {
 		if r.Err != nil {
 			t.Fatalf("result %d: %v", i, r.Err)
 		}
-		want, _, err := serial.ShortestPath(AlgBSDJ, batch[i].S, batch[i].T)
+		want, _, err := shortestPath(serial, AlgBSDJ, batch[i].Source, batch[i].Target)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if r.Path.Found != want.Found || r.Path.Length != want.Length {
+		if r.Result.Path.Found != want.Found || r.Result.Path.Length != want.Length {
 			t.Errorf("result %d (%d->%d): got found=%v len=%d, want found=%v len=%d",
-				i, batch[i].S, batch[i].T, r.Path.Found, r.Path.Length, want.Found, want.Length)
+				i, batch[i].Source, batch[i].Target, r.Result.Path.Found, r.Result.Path.Length, want.Found, want.Length)
 		}
 	}
 }
@@ -143,12 +144,12 @@ func TestConcurrentBSEGWithBuild(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			q := queries[w%len(queries)]
-			p, _, err := e.ShortestPath(AlgBSEG, q[0], q[1])
+			p, _, err := shortestPath(e, AlgBSEG, q[0], q[1])
 			if err != nil {
 				t.Errorf("worker %d: %v", w, err)
 				return
 			}
-			want, _, err := serial.ShortestPath(AlgBSEG, q[0], q[1])
+			want, _, err := shortestPath(serial, AlgBSEG, q[0], q[1])
 			if err != nil {
 				t.Errorf("serial: %v", err)
 				return

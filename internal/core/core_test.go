@@ -107,7 +107,7 @@ func TestPaperExampleAllAlgorithms(t *testing.T) {
 		t.Fatalf("reference disagrees with the paper example: %+v", ref)
 	}
 	for _, alg := range allAlgorithms() {
-		p, qs, err := e.ShortestPath(alg, id["s"], id["t"])
+		p, qs, err := shortestPath(e, alg, id["s"], id["t"])
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -128,7 +128,7 @@ func TestRandomGraphAllAlgorithms(t *testing.T) {
 	queries := graph.RandomQueries(g, 12, 7)
 	for _, alg := range allAlgorithms() {
 		for _, q := range queries {
-			p, _, err := e.ShortestPath(alg, q[0], q[1])
+			p, _, err := shortestPath(e, alg, q[0], q[1])
 			if err != nil {
 				t.Fatalf("%v s=%d t=%d: %v", alg, q[0], q[1], err)
 			}

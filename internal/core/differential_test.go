@@ -52,7 +52,7 @@ func TestDifferentialAllAlgorithms(t *testing.T) {
 			)
 			for _, alg := range allAlgorithms() {
 				for _, q := range queries {
-					p, _, err := e.ShortestPath(alg, q[0], q[1])
+					p, _, err := shortestPath(e, alg, q[0], q[1])
 					if err != nil {
 						t.Fatalf("%v s=%d t=%d: %v", alg, q[0], q[1], err)
 					}
@@ -75,7 +75,7 @@ func TestDifferentialAllAlgorithms(t *testing.T) {
 			buildOracle(t, e) // ALT needs a rebuild after the graph change
 			for _, alg := range allAlgorithms() {
 				for _, q := range queries {
-					p, _, err := e.ShortestPath(alg, q[0], q[1])
+					p, _, err := shortestPath(e, alg, q[0], q[1])
 					if err != nil {
 						t.Fatalf("post-insert %v s=%d t=%d: %v", alg, q[0], q[1], err)
 					}
@@ -99,12 +99,12 @@ func TestALTAgainstBSDJ(t *testing.T) {
 	queries := graph.RandomQueries(g, 10, 21)
 	var altAffected, bsdjAffected, pruned int64
 	for _, q := range queries {
-		pa, qsa, err := e.ShortestPath(AlgALT, q[0], q[1])
+		pa, qsa, err := shortestPath(e, AlgALT, q[0], q[1])
 		if err != nil {
 			t.Fatalf("ALT s=%d t=%d: %v", q[0], q[1], err)
 		}
 		checkPath(t, g, AlgALT, q[0], q[1], pa)
-		pb, qsb, err := e.ShortestPath(AlgBSDJ, q[0], q[1])
+		pb, qsb, err := shortestPath(e, AlgBSDJ, q[0], q[1])
 		if err != nil {
 			t.Fatalf("BSDJ s=%d t=%d: %v", q[0], q[1], err)
 		}
@@ -141,7 +141,7 @@ func TestApproxDistanceBounds(t *testing.T) {
 				pairs := graph.RandomQueries(g, 30, 17)
 				pairs = append(pairs, [2]int64{2, 2}, [2]int64{0, iso}, [2]int64{iso, 0})
 				for _, q := range pairs {
-					iv, err := e.ApproxDistance(q[0], q[1])
+					iv, err := approxDistance(e, q[0], q[1])
 					if err != nil {
 						t.Fatalf("%v approx s=%d t=%d: %v", strat, q[0], q[1], err)
 					}
@@ -188,7 +188,7 @@ func TestApproxConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 25; i++ {
 				q := queries[(seed+i)%len(queries)]
-				iv, err := e.ApproxDistance(q[0], q[1])
+				iv, err := approxDistance(e, q[0], q[1])
 				if err != nil {
 					if !strings.Contains(err.Error(), "BuildOracle") &&
 						!strings.Contains(err.Error(), "kept changing") {
@@ -207,7 +207,7 @@ func TestApproxConcurrent(t *testing.T) {
 		defer wg.Done()
 		for i := 0; i < 10; i++ {
 			q := queries[i%len(queries)]
-			if _, _, err := e.ShortestPath(AlgBSDJ, q[0], q[1]); err != nil {
+			if _, _, err := shortestPath(e, AlgBSDJ, q[0], q[1]); err != nil {
 				errs <- err
 			}
 		}
@@ -241,7 +241,7 @@ func TestOracleInvalidation(t *testing.T) {
 	if e.Oracle() == nil {
 		t.Fatal("oracle should be built")
 	}
-	if _, err := e.ApproxDistance(0, 1); err != nil {
+	if _, err := approxDistance(e, 0, 1); err != nil {
 		t.Fatalf("approx before invalidation: %v", err)
 	}
 	v0 := e.GraphVersion()
@@ -254,16 +254,16 @@ func TestOracleInvalidation(t *testing.T) {
 	if e.Oracle() != nil {
 		t.Error("InsertEdge must invalidate the oracle")
 	}
-	if _, _, err := e.ShortestPath(AlgALT, 0, 1); err == nil {
+	if _, _, err := shortestPath(e, AlgALT, 0, 1); err == nil {
 		t.Error("ALT must refuse to run on an invalidated oracle")
 	}
-	if _, err := e.ApproxDistance(0, 1); err == nil {
+	if _, err := approxDistance(e, 0, 1); err == nil {
 		t.Error("ApproxDistance must refuse to run on an invalidated oracle")
 	}
 	if _, err := e.BuildOracle(oracle.Config{K: 3}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := e.ShortestPath(AlgALT, 0, 1); err != nil {
+	if _, _, err := shortestPath(e, AlgALT, 0, 1); err != nil {
 		t.Errorf("ALT after rebuild: %v", err)
 	}
 	// LoadGraph also invalidates.

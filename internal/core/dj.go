@@ -8,6 +8,19 @@ import (
 	"repro/internal/rdb"
 )
 
+// Statement shapes of Algorithm 1, rendered once at compile time: the
+// MaxDist/NoParent sentinels bind as parameters (not integer literals), so
+// the texts are constants and every execution reuses the cached plan.
+const (
+	djInitQ = "INSERT INTO " + TblVisited +
+		" (nid, d2s, p2s, f, d2t, p2t, b) VALUES (?, 0, ?, 0, ?, ?, 1)"
+	djMidQ = "SELECT TOP 1 nid FROM " + TblVisited +
+		" WHERE f = 0 AND d2s = (SELECT MIN(d2s) FROM " + TblVisited + " WHERE f = 0)"
+	djFinalizeQ = "UPDATE " + TblVisited + " SET f = 1 WHERE nid = ?"
+	djTargetQ   = "SELECT nid FROM " + TblVisited + " WHERE f = 1 AND nid = ?"
+	djDistQ     = "SELECT d2s FROM " + TblVisited + " WHERE nid = ?"
+)
+
 // dj implements Algorithm 1: single-directional Dijkstra over the FEM
 // framework, one frontier node per iteration, located by the Listing 2(2)
 // statement and expanded by Listing 2(3,4).
@@ -28,10 +41,7 @@ func (e *Engine) dj(ctx context.Context, s, t int64, budget int64) (Path, *Query
 		return Path{}, qs, err
 	}
 	// Listing 2(1): initialize TVisited with the source node.
-	if _, err := e.exec(ctx, qs, &qs.PE, nil,
-		fmt.Sprintf("INSERT INTO %s (nid, d2s, p2s, f, d2t, p2t, b) VALUES (?, 0, ?, 0, %d, %d, 1)",
-			TblVisited, MaxDist, NoParent),
-		s, s); err != nil {
+	if _, err := e.exec(ctx, qs, &qs.PE, nil, djInitQ, s, s, MaxDist, NoParent); err != nil {
 		return Path{}, qs, err
 	}
 	if s == t {
@@ -39,11 +49,10 @@ func (e *Engine) dj(ctx context.Context, s, t int64, budget int64) (Path, *Query
 	}
 
 	xp := e.buildExpand(fwdDir(), TblEdges, "q.nid = ?", 1, false)
-	midQ := fmt.Sprintf(
-		"SELECT TOP 1 nid FROM %[1]s WHERE f = 0 AND d2s = (SELECT MIN(d2s) FROM %[1]s WHERE f = 0)",
-		TblVisited)
-	finalizeQ := fmt.Sprintf("UPDATE %s SET f = 1 WHERE nid = ?", TblVisited)
-	targetQ := fmt.Sprintf("SELECT nid FROM %s WHERE f = 1 AND nid = ?", TblVisited)
+	targetStmt, err := e.stmt(djTargetQ)
+	if err != nil {
+		return Path{}, qs, err
+	}
 
 	limit := e.maxIters()
 	found := false
@@ -58,7 +67,7 @@ func (e *Engine) dj(ctx context.Context, s, t int64, budget int64) (Path, *Query
 		}
 		qs.Iterations = iter + 1
 		// Listing 2(2): locate the next node to be expanded.
-		mid, null, err := e.queryInt(ctx, qs, &qs.SC, midQ)
+		mid, null, err := e.queryInt(ctx, qs, &qs.SC, djMidQ)
 		if err != nil {
 			return Path{}, qs, err
 		}
@@ -71,11 +80,11 @@ func (e *Engine) dj(ctx context.Context, s, t int64, budget int64) (Path, *Query
 		}
 		qs.ForwardExpansions++
 		// Listing 3(2): finalize the frontier node.
-		if _, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, finalizeQ, mid); err != nil {
+		if _, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, djFinalizeQ, mid); err != nil {
 			return Path{}, qs, err
 		}
 		// Listing 3(1): detect termination.
-		tq, err := e.sess.QueryContext(ctx, targetQ, t)
+		tq, err := targetStmt.QueryContext(ctx, t)
 		qs.Statements++
 		if err != nil {
 			return Path{}, qs, err
@@ -96,8 +105,7 @@ func (e *Engine) dj(ctx context.Context, s, t int64, budget int64) (Path, *Query
 		return Path{Found: false}, qs, nil
 	}
 
-	dist, null, err := e.queryInt(ctx, qs, &qs.FPR,
-		fmt.Sprintf("SELECT d2s FROM %s WHERE nid = ?", TblVisited), t)
+	dist, null, err := e.queryInt(ctx, qs, &qs.FPR, djDistQ, t)
 	if err != nil {
 		return Path{}, qs, err
 	}

@@ -212,6 +212,16 @@ type Engine struct {
 	// never strands the requests queued behind it past their deadlines.
 	queryLatch chan struct{}
 	cache      *pathCache
+
+	// stmts caches the engine's prepared statements by SQL text: every
+	// statement shape the algorithms issue is prepared once per engine and
+	// re-executed with fresh bound parameters. Statement texts are stable
+	// by construction (per-iteration values bind as ? parameters, never as
+	// rendered literals), so the set is small and bounded by the number of
+	// shapes in the codebase. Stale plans are the rdb layer's problem: a
+	// DDL epoch bump makes every handle re-compile transparently.
+	stmtMu    sync.RWMutex
+	stmtCache map[string]*rdb.Stmt
 }
 
 // NewEngine wraps db. Call LoadGraph before running queries.
@@ -220,7 +230,8 @@ func NewEngine(db *rdb.DB, opts Options) *Engine {
 		opts.CacheSize = DefaultCacheSize
 	}
 	e := &Engine{db: db, sess: db.Session(), opts: opts,
-		queryLatch: make(chan struct{}, 1)}
+		queryLatch: make(chan struct{}, 1),
+		stmtCache:  make(map[string]*rdb.Stmt)}
 	if opts.MaxIters < 0 {
 		e.optErr = fmt.Errorf("core: Options.MaxIters must be non-negative, got %d", opts.MaxIters)
 	}
@@ -343,17 +354,46 @@ func (e *Engine) bumpVersionLocked() {
 	}
 }
 
-// exec runs a write statement, charging its latency to the given phase
-// accumulators (any of which may be nil). Cancellation and the statement
-// budget are enforced here — every statement the engine issues passes
-// through exec or queryInt, so a cancelled context or an exhausted budget
-// stops the query at the next statement boundary.
+// stmt resolves a statement text to the engine's prepared handle for it,
+// preparing through the engine session on first use. Handles are shared
+// (rdb.Stmt is concurrency-safe) and survive for the engine's lifetime.
+func (e *Engine) stmt(q string) (*rdb.Stmt, error) {
+	e.stmtMu.RLock()
+	st := e.stmtCache[q]
+	e.stmtMu.RUnlock()
+	if st != nil {
+		return st, nil
+	}
+	st, err := e.sess.Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	e.stmtMu.Lock()
+	if prev, ok := e.stmtCache[q]; ok {
+		st = prev // a concurrent caller prepared it first; share theirs
+	} else {
+		e.stmtCache[q] = st
+	}
+	e.stmtMu.Unlock()
+	return st, nil
+}
+
+// exec runs a write statement through its prepared handle, charging its
+// latency to the given phase accumulators (any of which may be nil).
+// Cancellation and the statement budget are enforced here at the
+// bind/execute boundary — every statement the engine issues passes through
+// exec or queryInt, so a cancelled context or an exhausted budget stops the
+// query at the next statement.
 func (e *Engine) exec(ctx context.Context, qs *QueryStats, phase *time.Duration, op *time.Duration, q string, args ...any) (int64, error) {
 	if err := e.checkBudget(ctx, qs); err != nil {
 		return 0, err
 	}
+	st, err := e.stmt(q)
+	if err != nil {
+		return 0, err
+	}
 	t0 := time.Now()
-	res, err := e.sess.ExecContext(ctx, q, args...)
+	res, err := st.ExecContext(ctx, args...)
 	dt := time.Since(t0)
 	if qs != nil {
 		qs.Statements++
@@ -373,13 +413,18 @@ func (e *Engine) exec(ctx context.Context, qs *QueryStats, phase *time.Duration,
 	return res.RowsAffected, nil
 }
 
-// queryInt runs a scalar query with the same accounting.
+// queryInt runs a scalar query through its prepared handle with the same
+// accounting.
 func (e *Engine) queryInt(ctx context.Context, qs *QueryStats, phase *time.Duration, q string, args ...any) (int64, bool, error) {
 	if err := e.checkBudget(ctx, qs); err != nil {
 		return 0, false, err
 	}
+	st, err := e.stmt(q)
+	if err != nil {
+		return 0, false, err
+	}
 	t0 := time.Now()
-	v, null, err := e.sess.QueryIntContext(ctx, q, args...)
+	v, null, err := st.QueryIntContext(ctx, args...)
 	dt := time.Since(t0)
 	if qs != nil {
 		qs.Statements++
@@ -400,17 +445,6 @@ func (e *Engine) checkBudget(ctx context.Context, qs *QueryStats) error {
 		return fmt.Errorf("%w after %d statements", ErrBudgetExceeded, qs.Statements)
 	}
 	return nil
-}
-
-// ShortestPath runs the selected algorithm from s to t.
-//
-// Deprecated: use Query with an explicit Alg hint (or AlgAuto to let the
-// planner choose); it adds cancellation, deadlines, statement budgets and
-// approximate answers. ShortestPath remains as a thin wrapper for one
-// release.
-func (e *Engine) ShortestPath(alg Algorithm, s, t int64) (Path, *QueryStats, error) {
-	res, err := e.Query(context.Background(), QueryRequest{Source: s, Target: t, Alg: alg})
-	return res.Path, res.Stats, err
 }
 
 // searchLocked dispatches to the relational algorithms; callers hold the

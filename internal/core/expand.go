@@ -28,27 +28,31 @@ func bwdDir() direction {
 
 // insertValues renders the 7-column TVisited insert list for a newly
 // discovered node: its own direction gets (cost, parent, sign=0), the other
-// direction the MaxDist sentinel with sign=1 (not a candidate until
-// relaxed from that side).
+// direction the MaxDist sentinel with sign=1 (not a candidate until relaxed
+// from that side). The sentinels bind as two ? parameters — MaxDist then
+// NoParent, appended by runExpand — instead of rendered literals, so the
+// statement text stays constant and cacheable by shape.
 func (d direction) insertValues(prefix string) string {
 	if d.forward {
-		return fmt.Sprintf("(%[1]s.nid, %[1]s.cost, %[1]s.par, 0, %[2]d, %[3]d, 1)", prefix, MaxDist, NoParent)
+		return "(" + prefix + ".nid, " + prefix + ".cost, " + prefix + ".par, 0, ?, ?, 1)"
 	}
-	return fmt.Sprintf("(%[1]s.nid, %[2]d, %[3]d, 1, %[1]s.cost, %[1]s.par, 0)", prefix, MaxDist, NoParent)
+	return "(" + prefix + ".nid, ?, ?, 1, " + prefix + ".cost, " + prefix + ".par, 0)"
 }
 
 // insertSelectList is the same shape for INSERT ... SELECT (no parens).
 func (d direction) insertSelectList(prefix string) string {
 	if d.forward {
-		return fmt.Sprintf("%[1]s.nid, %[1]s.cost, %[1]s.par, 0, %[2]d, %[3]d, 1", prefix, MaxDist, NoParent)
+		return prefix + ".nid, " + prefix + ".cost, " + prefix + ".par, 0, ?, ?, 1"
 	}
-	return fmt.Sprintf("%[1]s.nid, %[2]d, %[3]d, 1, %[1]s.cost, %[1]s.par, 0", prefix, MaxDist, NoParent)
+	return prefix + ".nid, ?, ?, 1, " + prefix + ".cost, " + prefix + ".par, 0"
 }
 
 // expandSQL carries the pre-rendered statements for one (direction,
 // edge-table, frontier, dialect) combination. Statements are rendered once
-// per query, then re-parsed per execution by the engine — matching the
-// paper's client, which ships SQL text through JDBC every iteration.
+// per query and executed as prepared statements — only the bound values
+// (frontier node, prune bound, sentinels) change between iterations, so
+// the compiled plans come from the cache instead of being re-parsed like
+// the paper's client, which shipped SQL text through JDBC every iteration.
 type expandSQL struct {
 	dir direction
 
@@ -74,6 +78,10 @@ type expandSQL struct {
 	prune        bool
 }
 
+// sentinelArgs are the bound values for the insertValues/insertSelectList
+// placeholders: the not-yet-reached distance and the unset parent link.
+var sentinelArgs = []any{MaxDist, NoParent}
+
 // buildExpand renders the expansion statements. frontier is a predicate
 // over the alias q (e.g. "q.f = 2" or "q.nid = ?"); frontierArgs counts its
 // placeholders. prune appends the Theorem-1 bound
@@ -82,61 +90,51 @@ func (e *Engine) buildExpand(d direction, edgeTbl, frontier string, frontierArgs
 	x := &expandSQL{dir: d, frontierArgs: frontierArgs, prune: prune}
 	pruneSQL := ""
 	if prune {
-		pruneSQL = fmt.Sprintf(" AND out.cost + q.%s + ? < ?", d.dist)
+		pruneSQL = " AND out.cost + q." + d.dist + " + ? < ?"
 	}
 
 	// The windowed expansion source (E-operator): all candidate expansions
 	// joined from the frontier, keeping only the cheapest per new node via
 	// ROW_NUMBER — the SQL:2003 feature that also carries the parent along
 	// without a second join.
-	windowSrc := fmt.Sprintf(
-		"SELECT nid, par, cost FROM ("+
-			"SELECT out.%s, q.nid, out.cost + q.%s, "+
-			"ROW_NUMBER() OVER (PARTITION BY out.%s ORDER BY out.cost + q.%s) "+
-			"FROM %s q, %s out "+
-			"WHERE q.nid = out.%s AND %s%s"+
-			") tmp (nid, par, cost, rn) WHERE rn = 1",
-		d.newCol, d.dist, d.newCol, d.dist, TblVisited, edgeTbl, d.joinCol, frontier, pruneSQL)
+	windowSrc := "SELECT nid, par, cost FROM (" +
+		"SELECT out." + d.newCol + ", q.nid, out.cost + q." + d.dist + ", " +
+		"ROW_NUMBER() OVER (PARTITION BY out." + d.newCol + " ORDER BY out.cost + q." + d.dist + ") " +
+		"FROM " + TblVisited + " q, " + edgeTbl + " out " +
+		"WHERE q.nid = out." + d.joinCol + " AND " + frontier + pruneSQL +
+		") tmp (nid, par, cost, rn) WHERE rn = 1"
 
-	x.fused = fmt.Sprintf(
-		"MERGE INTO %s AS target USING (%s) AS source (nid, par, cost) "+
-			"ON (target.nid = source.nid) "+
-			"WHEN MATCHED AND target.%s > source.cost THEN UPDATE SET %s = source.cost, %s = source.par, %s = 0 "+
-			"WHEN NOT MATCHED THEN INSERT (nid, d2s, p2s, f, d2t, p2t, b) VALUES %s",
-		TblVisited, windowSrc, d.dist, d.dist, d.par, d.sign, d.insertValues("source"))
+	x.fused = "MERGE INTO " + TblVisited + " AS target USING (" + windowSrc + ") AS source (nid, par, cost) " +
+		"ON (target.nid = source.nid) " +
+		"WHEN MATCHED AND target." + d.dist + " > source.cost THEN UPDATE SET " +
+		d.dist + " = source.cost, " + d.par + " = source.par, " + d.sign + " = 0 " +
+		"WHEN NOT MATCHED THEN INSERT (nid, d2s, p2s, f, d2t, p2t, b) VALUES " + d.insertValues("source")
 
 	x.clearExpand = "DELETE FROM " + TblExpand
-	x.insExpand = fmt.Sprintf("INSERT INTO %s (nid, par, cost) %s", TblExpand, windowSrc)
+	x.insExpand = "INSERT INTO " + TblExpand + " (nid, par, cost) " + windowSrc
 
 	// Traditional two-step E-operator: aggregate the minimal cost per new
 	// node, then join back to find a parent achieving it (§3.3's discussion
 	// of why the direct translation is verbose and slow).
 	x.clearCost = "DELETE FROM " + TblExpCost
-	x.insCost = fmt.Sprintf(
-		"INSERT INTO %s (nid, cost) "+
-			"SELECT out.%s, MIN(out.cost + q.%s) FROM %s q, %s out "+
-			"WHERE q.nid = out.%s AND %s%s GROUP BY out.%s",
-		TblExpCost, d.newCol, d.dist, TblVisited, edgeTbl, d.joinCol, frontier, pruneSQL, d.newCol)
-	x.insExpandTr = fmt.Sprintf(
-		"INSERT INTO %s (nid, par, cost) "+
-			"SELECT ec.nid, MIN(q.nid), ec.cost FROM %s q, %s out, %s ec "+
-			"WHERE q.nid = out.%s AND %s%s AND ec.nid = out.%s AND out.cost + q.%s = ec.cost "+
-			"GROUP BY ec.nid, ec.cost",
-		TblExpand, TblVisited, edgeTbl, TblExpCost, d.joinCol, frontier, pruneSQL, d.newCol, d.dist)
+	x.insCost = "INSERT INTO " + TblExpCost + " (nid, cost) " +
+		"SELECT out." + d.newCol + ", MIN(out.cost + q." + d.dist + ") FROM " + TblVisited + " q, " + edgeTbl + " out " +
+		"WHERE q.nid = out." + d.joinCol + " AND " + frontier + pruneSQL + " GROUP BY out." + d.newCol
+	x.insExpandTr = "INSERT INTO " + TblExpand + " (nid, par, cost) " +
+		"SELECT ec.nid, MIN(q.nid), ec.cost FROM " + TblVisited + " q, " + edgeTbl + " out, " + TblExpCost + " ec " +
+		"WHERE q.nid = out." + d.joinCol + " AND " + frontier + pruneSQL +
+		" AND ec.nid = out." + d.newCol + " AND out.cost + q." + d.dist + " = ec.cost " +
+		"GROUP BY ec.nid, ec.cost"
 
-	x.mMerge = fmt.Sprintf(
-		"MERGE INTO %s AS target USING %s AS source ON (target.nid = source.nid) "+
-			"WHEN MATCHED AND target.%s > source.cost THEN UPDATE SET %s = source.cost, %s = source.par, %s = 0 "+
-			"WHEN NOT MATCHED THEN INSERT (nid, d2s, p2s, f, d2t, p2t, b) VALUES %s",
-		TblVisited, TblExpand, d.dist, d.dist, d.par, d.sign, d.insertValues("source"))
-	x.mUpdate = fmt.Sprintf(
-		"UPDATE %s SET %s = s.cost, %s = s.par, %s = 0 FROM %s s "+
-			"WHERE %s.nid = s.nid AND %s.%s > s.cost",
-		TblVisited, d.dist, d.par, d.sign, TblExpand, TblVisited, TblVisited, d.dist)
-	x.mInsert = fmt.Sprintf(
-		"INSERT INTO %s (nid, d2s, p2s, f, d2t, p2t, b) SELECT %s FROM %s s "+
-			"WHERE NOT EXISTS (SELECT nid FROM %s v WHERE v.nid = s.nid)",
-		TblVisited, d.insertSelectList("s"), TblExpand, TblVisited)
+	x.mMerge = "MERGE INTO " + TblVisited + " AS target USING " + TblExpand + " AS source ON (target.nid = source.nid) " +
+		"WHEN MATCHED AND target." + d.dist + " > source.cost THEN UPDATE SET " +
+		d.dist + " = source.cost, " + d.par + " = source.par, " + d.sign + " = 0 " +
+		"WHEN NOT MATCHED THEN INSERT (nid, d2s, p2s, f, d2t, p2t, b) VALUES " + d.insertValues("source")
+	x.mUpdate = "UPDATE " + TblVisited + " SET " + d.dist + " = s.cost, " + d.par + " = s.par, " + d.sign + " = 0 " +
+		"FROM " + TblExpand + " s WHERE " + TblVisited + ".nid = s.nid AND " + TblVisited + "." + d.dist + " > s.cost"
+	x.mInsert = "INSERT INTO " + TblVisited + " (nid, d2s, p2s, f, d2t, p2t, b) SELECT " +
+		d.insertSelectList("s") + " FROM " + TblExpand + " s " +
+		"WHERE NOT EXISTS (SELECT nid FROM " + TblVisited + " v WHERE v.nid = s.nid)"
 	return x
 }
 
@@ -167,7 +165,9 @@ func (e *Engine) runExpand(ctx context.Context, qs *QueryStats, x *expandSQL, fr
 	fusedOK := useMerge && !e.opts.SeparateOperators && e.db.Profile().SupportsWindow
 
 	if fusedOK {
-		return e.exec(ctx, qs, &qs.PE, &qs.EOp, x.fused, eArgs...)
+		// The VALUES clause trails the windowed source, so the sentinel
+		// binds come after the frontier and prune parameters.
+		return e.exec(ctx, qs, &qs.PE, &qs.EOp, x.fused, append(eArgs, sentinelArgs...)...)
 	}
 
 	// Materialize the E-operator output.
@@ -193,13 +193,13 @@ func (e *Engine) runExpand(ctx context.Context, qs *QueryStats, x *expandSQL, fr
 
 	// Apply the M-operator.
 	if useMerge {
-		return e.exec(ctx, qs, &qs.PE, &qs.MOp, x.mMerge)
+		return e.exec(ctx, qs, &qs.PE, &qs.MOp, x.mMerge, sentinelArgs...)
 	}
 	upd, err := e.exec(ctx, qs, &qs.PE, &qs.MOp, x.mUpdate)
 	if err != nil {
 		return 0, err
 	}
-	ins, err := e.exec(ctx, qs, &qs.PE, &qs.MOp, x.mInsert)
+	ins, err := e.exec(ctx, qs, &qs.PE, &qs.MOp, x.mInsert, sentinelArgs...)
 	if err != nil {
 		return 0, err
 	}

@@ -285,7 +285,7 @@ func TestIncrementalSegMaintenance(t *testing.T) {
 	// And BSEG queries on the maintained engine stay exact.
 	for _, q := range graph.RandomQueries(full, 6, 3) {
 		ref := graph.MDJ(full, q[0], q[1])
-		p, _, err := eA.ShortestPath(AlgBSEG, q[0], q[1])
+		p, _, err := shortestPath(eA, AlgBSEG, q[0], q[1])
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -14,24 +14,32 @@ import (
 // (the F-operator), (ii) the edge source (TEdges vs SegTable) and (iii)
 // whether the lf/lb bounds participate in termination — exactly the axes
 // §4 varies.
+//
+// Statement shapes are rendered once per query (the text is stable for the
+// whole search — and across searches, so the engine's prepared-statement
+// cache reuses the compiled plan); per-iteration values (the expansion
+// counter k, the best known cost minCost) bind as ? parameters through the
+// shape's args function.
 type femSpec struct {
 	name    string
 	edgeFwd string
 	edgeBwd string
-	// frontier renders the F-operator sign update for a direction; k is
-	// the 1-based expansion counter of that direction (used by BSEG's
-	// d2s <= k*lthd rule). The statement must set sign=2 on the selected
-	// frontier and report the frontier size as its affected count.
-	frontier func(d direction, k int) (string, []any)
+	// frontier renders the F-operator sign update for a direction; the
+	// returned shape's args function binds the 1-based expansion counter k
+	// of that direction (used by BSEG's d2s <= k*lthd rule, bound as
+	// "? * ?"). The statement must set sign=2 on the selected frontier and
+	// report the frontier size as its affected count.
+	frontier func(d direction) stmtShape
 	// preFrontier, when set, renders a statement that runs (repeatedly,
 	// until it affects nothing) before every frontier selection once a
 	// path is known: ALT's settle-without-expand of frontier-minimum
 	// candidates whose landmark lower bound proves they cannot improve the
 	// best path, so provably-unhelpful tuples never enter the frontier.
+	// The per-iteration minCost binds through the shape's args function.
 	// Restricting the check to the current minimum matters for the work
 	// metric: deeper candidates may never be selected before termination,
 	// and settling those would be pure overhead.
-	preFrontier func(d direction, minCost int64) (string, []any)
+	preFrontier func(d direction) stmtShape
 	// trackL enables the lf+lb >= minCost termination (Dijkstra-family);
 	// BBFS leaves bounds at zero and terminates by exhaustion.
 	trackL bool
@@ -43,19 +51,50 @@ type femSpec struct {
 	smallerL bool
 }
 
+// stmtShape is one prepared statement shape: stable text plus a binder for
+// the per-iteration value (the expansion counter for frontiers, minCost for
+// the ALT pre-frontier prune). args may be nil when the shape binds nothing.
+type stmtShape struct {
+	text string
+	args func(v int64) []any
+}
+
+// bind returns the argument list for one execution.
+func (s stmtShape) bind(v int64) []any {
+	if s.args == nil {
+		return nil
+	}
+	return s.args(v)
+}
+
+// Statement texts shared by the bi-directional loop. Table and column names
+// are compile-time constants, so the whole text is too.
+const (
+	biInitQ = "INSERT INTO " + TblVisited +
+		" (nid, d2s, p2s, f, d2t, p2t, b) VALUES (?, 0, ?, 0, ?, ?, 1), (?, ?, ?, 1, 0, ?, 0)"
+	biResetFQ = "UPDATE " + TblVisited + " SET f = 1 WHERE f = 2"
+	biResetBQ = "UPDATE " + TblVisited + " SET b = 1 WHERE b = 2"
+	biMinSumQ = "SELECT MIN(d2s + d2t) FROM " + TblVisited
+	biMinFQ   = "SELECT MIN(d2s) FROM " + TblVisited + " WHERE f = 0"
+	biMinBQ   = "SELECT MIN(d2t) FROM " + TblVisited + " WHERE b = 0"
+)
+
+// minCandidate is the shared "minimal unfinalized distance" subquery of the
+// Dijkstra-family frontier rules, rendered per direction.
+func minCandidate(d direction) string {
+	return "(SELECT MIN(" + d.dist + ") FROM " + TblVisited + " WHERE " + d.sign + " = 0)"
+}
+
 // specBDJ: bi-directional Dijkstra, one frontier node per expansion.
 func specBDJ() femSpec {
 	return femSpec{
 		name:    "BDJ",
 		edgeFwd: TblEdges,
 		edgeBwd: TblEdges,
-		frontier: func(d direction, _ int) (string, []any) {
-			q := fmt.Sprintf(
-				"UPDATE %[1]s SET %[2]s = 2 WHERE %[2]s = 0 AND nid = "+
-					"(SELECT TOP 1 nid FROM %[1]s WHERE %[2]s = 0 AND %[3]s = "+
-					"(SELECT MIN(%[3]s) FROM %[1]s WHERE %[2]s = 0))",
-				TblVisited, d.sign, d.dist)
-			return q, nil
+		frontier: func(d direction) stmtShape {
+			return stmtShape{text: "UPDATE " + TblVisited + " SET " + d.sign + " = 2 WHERE " + d.sign +
+				" = 0 AND nid = (SELECT TOP 1 nid FROM " + TblVisited + " WHERE " + d.sign +
+				" = 0 AND " + d.dist + " = " + minCandidate(d) + ")"}
 		},
 		trackL:   true,
 		prune:    false, // pruning is introduced with the set variant (§4.1)
@@ -70,12 +109,9 @@ func specBSDJ() femSpec {
 		name:    "BSDJ",
 		edgeFwd: TblEdges,
 		edgeBwd: TblEdges,
-		frontier: func(d direction, _ int) (string, []any) {
-			q := fmt.Sprintf(
-				"UPDATE %[1]s SET %[2]s = 2 WHERE %[2]s = 0 AND %[3]s = "+
-					"(SELECT MIN(%[3]s) FROM %[1]s WHERE %[2]s = 0)",
-				TblVisited, d.sign, d.dist)
-			return q, nil
+		frontier: func(d direction) stmtShape {
+			return stmtShape{text: "UPDATE " + TblVisited + " SET " + d.sign + " = 2 WHERE " + d.sign +
+				" = 0 AND " + d.dist + " = " + minCandidate(d)}
 		},
 		trackL: true,
 		prune:  true,
@@ -88,9 +124,8 @@ func specBBFS() femSpec {
 		name:    "BBFS",
 		edgeFwd: TblEdges,
 		edgeBwd: TblEdges,
-		frontier: func(d direction, _ int) (string, []any) {
-			q := fmt.Sprintf("UPDATE %[1]s SET %[2]s = 2 WHERE %[2]s = 0", TblVisited, d.sign)
-			return q, nil
+		frontier: func(d direction) stmtShape {
+			return stmtShape{text: "UPDATE " + TblVisited + " SET " + d.sign + " = 2 WHERE " + d.sign + " = 0"}
 		},
 		trackL: false,
 		prune:  true,
@@ -98,18 +133,20 @@ func specBBFS() femSpec {
 }
 
 // specBSEG: selective expansion over SegTable (Listing 4(1)): candidates
-// within k*lthd expand together with the minimal one.
+// within k*lthd expand together with the minimal one. k and lthd bind as
+// two parameters (the arithmetic happens in the statement, "? * ?"), so
+// the text never changes across iterations or thresholds.
 func specBSEG(lthd int64) femSpec {
 	return femSpec{
 		name:    "BSEG",
 		edgeFwd: TblOutSegs,
 		edgeBwd: TblInSegs,
-		frontier: func(d direction, k int) (string, []any) {
-			q := fmt.Sprintf(
-				"UPDATE %[1]s SET %[2]s = 2 WHERE %[2]s = 0 AND (%[3]s <= ? OR %[3]s = "+
-					"(SELECT MIN(%[3]s) FROM %[1]s WHERE %[2]s = 0))",
-				TblVisited, d.sign, d.dist)
-			return q, []any{int64(k) * lthd}
+		frontier: func(d direction) stmtShape {
+			return stmtShape{
+				text: "UPDATE " + TblVisited + " SET " + d.sign + " = 2 WHERE " + d.sign +
+					" = 0 AND (" + d.dist + " <= ? * ? OR " + d.dist + " = " + minCandidate(d) + ")",
+				args: func(k int64) []any { return []any{k, lthd} },
+			}
 		},
 		trackL: true,
 		prune:  true,
@@ -137,27 +174,25 @@ func specBSEG(lthd int64) femSpec {
 func specALT(s, t int64) femSpec {
 	spec := specBSDJ()
 	spec.name = "ALT"
-	spec.preFrontier = func(d direction, minCost int64) (string, []any) {
-		if d.forward {
-			q := fmt.Sprintf(
-				"UPDATE %[1]s SET %[2]s = 1 WHERE %[2]s = 0 AND %[3]s = "+
-					"(SELECT MIN(%[3]s) FROM %[1]s WHERE %[2]s = 0) AND ("+
-					"%[3]s + (SELECT MAX(lt.dout - lv.dout) FROM %[4]s lv, %[4]s lt "+
-					"WHERE lv.lid = lt.lid AND lt.nid = ? AND lv.nid = %[1]s.nid) >= ? OR "+
-					"%[3]s + (SELECT MAX(lv.din - lt.din) FROM %[4]s lv, %[4]s lt "+
-					"WHERE lv.lid = lt.lid AND lt.nid = ? AND lv.nid = %[1]s.nid) >= ?)",
-				TblVisited, d.sign, d.dist, oracle.TblLandmark)
-			return q, []any{t, minCost, t, minCost}
+	spec.preFrontier = func(d direction) stmtShape {
+		end := t
+		boundFwd, boundBwd := "lt.dout - lv.dout", "lv.din - lt.din"
+		if !d.forward {
+			end = s
+			boundFwd, boundBwd = "lv.dout - lt.dout", "lt.din - lv.din"
 		}
-		q := fmt.Sprintf(
-			"UPDATE %[1]s SET %[2]s = 1 WHERE %[2]s = 0 AND %[3]s = "+
-				"(SELECT MIN(%[3]s) FROM %[1]s WHERE %[2]s = 0) AND ("+
-				"%[3]s + (SELECT MAX(lv.dout - ls.dout) FROM %[4]s lv, %[4]s ls "+
-				"WHERE lv.lid = ls.lid AND ls.nid = ? AND lv.nid = %[1]s.nid) >= ? OR "+
-				"%[3]s + (SELECT MAX(ls.din - lv.din) FROM %[4]s lv, %[4]s ls "+
-				"WHERE lv.lid = ls.lid AND ls.nid = ? AND lv.nid = %[1]s.nid) >= ?)",
-			TblVisited, d.sign, d.dist, oracle.TblLandmark)
-		return q, []any{s, minCost, s, minCost}
+		text := "UPDATE " + TblVisited + " SET " + d.sign + " = 1 WHERE " + d.sign +
+			" = 0 AND " + d.dist + " = " + minCandidate(d) + " AND (" +
+			d.dist + " + (SELECT MAX(" + boundFwd + ") FROM " + oracle.TblLandmark + " lv, " +
+			oracle.TblLandmark + " lt WHERE lv.lid = lt.lid AND lt.nid = ? AND lv.nid = " +
+			TblVisited + ".nid) >= ? OR " +
+			d.dist + " + (SELECT MAX(" + boundBwd + ") FROM " + oracle.TblLandmark + " lv, " +
+			oracle.TblLandmark + " lt WHERE lv.lid = lt.lid AND lt.nid = ? AND lv.nid = " +
+			TblVisited + ".nid) >= ?)"
+		return stmtShape{
+			text: text,
+			args: func(minCost int64) []any { return []any{end, minCost, end, minCost} },
+		}
 	}
 	return spec
 }
@@ -167,7 +202,8 @@ func specALT(s, t int64) femSpec {
 // frontier, run F (sign update), E+M (expansion), collect lf/lb/minCost,
 // and stop when lf + lb >= minCost or either search exhausts (§4.1's
 // termination; exhaustion of one side finalizes that side's distances, so
-// minCost is then exact).
+// minCost is then exact). Every statement shape is prepared once — the
+// loop only binds fresh parameters.
 func (e *Engine) bidirectional(ctx context.Context, spec femSpec, s, t int64, budget int64) (Path, *QueryStats, error) {
 	qs := &QueryStats{Algorithm: spec.name, budget: budget}
 	start := time.Now()
@@ -181,27 +217,26 @@ func (e *Engine) bidirectional(ctx context.Context, spec femSpec, s, t int64, bu
 	if s == t {
 		return Path{Found: true, Length: 0, Nodes: []int64{s}}, qs, nil
 	}
-	// Initialize with the two endpoints (line 1 of Algorithm 2).
-	if _, err := e.exec(ctx, qs, &qs.PE, nil,
-		fmt.Sprintf("INSERT INTO %s (nid, d2s, p2s, f, d2t, p2t, b) VALUES (?, 0, ?, 0, ?, %d, 1), (?, ?, %d, 1, 0, ?, 0)",
-			TblVisited, NoParent, NoParent),
-		s, s, MaxDist, t, MaxDist, t); err != nil {
+	// Initialize with the two endpoints (line 1 of Algorithm 2); the
+	// MaxDist/NoParent sentinels bind as parameters like everything else.
+	if _, err := e.exec(ctx, qs, &qs.PE, nil, biInitQ,
+		s, s, MaxDist, NoParent, t, MaxDist, NoParent, t); err != nil {
 		return Path{}, qs, err
 	}
 
 	fwd, bwd := fwdDir(), bwdDir()
 	xpF := e.buildExpand(fwd, spec.edgeFwd, "q.f = 2", 0, spec.prune)
 	xpB := e.buildExpand(bwd, spec.edgeBwd, "q.b = 2", 0, spec.prune)
-	resetF := fmt.Sprintf("UPDATE %s SET f = 1 WHERE f = 2", TblVisited)
-	resetB := fmt.Sprintf("UPDATE %s SET b = 1 WHERE b = 2", TblVisited)
-	minSumQ := fmt.Sprintf("SELECT MIN(d2s + d2t) FROM %s", TblVisited)
-	minFQ := fmt.Sprintf("SELECT MIN(d2s) FROM %s WHERE f = 0", TblVisited)
-	minBQ := fmt.Sprintf("SELECT MIN(d2t) FROM %s WHERE b = 0", TblVisited)
+	frontF, frontB := spec.frontier(fwd), spec.frontier(bwd)
+	var preF, preB stmtShape
+	if spec.preFrontier != nil {
+		preF, preB = spec.preFrontier(fwd), spec.preFrontier(bwd)
+	}
 
 	var lf, lb int64
 	nf, nb := int64(1), int64(1)
 	candF, candB := true, true
-	kf, kb := 0, 0
+	kf, kb := int64(0), int64(0)
 	minCost := int64(4 * MaxDist)
 	limit := e.maxIters()
 
@@ -216,7 +251,7 @@ func (e *Engine) bidirectional(ctx context.Context, spec femSpec, s, t int64, bu
 		}
 		qs.Iterations = iter + 1
 		// Statistics collection: current best meeting cost (line 16).
-		mc, null, err := e.queryInt(ctx, qs, &qs.SC, minSumQ)
+		mc, null, err := e.queryInt(ctx, qs, &qs.SC, biMinSumQ)
 		if err != nil {
 			return Path{}, qs, err
 		}
@@ -241,17 +276,17 @@ func (e *Engine) bidirectional(ctx context.Context, spec femSpec, s, t int64, bu
 			// frontier nodes to limit intermediate results.
 			forward = candF && (!candB || nf <= nb)
 		}
-		var d direction
 		var xp *expandSQL
+		var front, pre stmtShape
 		var reset, minQ string
 		var lOther int64
-		var k int
+		var k int64
 		if forward {
-			d, xp, reset, minQ, lOther = fwd, xpF, resetF, minFQ, lb
+			xp, front, pre, reset, minQ, lOther = xpF, frontF, preF, biResetFQ, biMinFQ, lb
 			kf++
 			k = kf
 		} else {
-			d, xp, reset, minQ, lOther = bwd, xpB, resetB, minBQ, lf
+			xp, front, pre, reset, minQ, lOther = xpB, frontB, preB, biResetBQ, biMinBQ, lf
 			kb++
 			k = kb
 		}
@@ -264,9 +299,9 @@ func (e *Engine) bidirectional(ctx context.Context, spec femSpec, s, t int64, bu
 		// the candidate pool.
 		var pruned int64
 		if spec.preFrontier != nil && pathFound {
-			pq, pargs := spec.preFrontier(d, minCost)
+			pargs := pre.bind(minCost)
 			for {
-				n, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, pq, pargs...)
+				n, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, pre.text, pargs...)
 				if err != nil {
 					return Path{}, qs, err
 				}
@@ -279,8 +314,7 @@ func (e *Engine) bidirectional(ctx context.Context, spec femSpec, s, t int64, bu
 		}
 
 		// F-operator: select and mark the frontier (Listing 4(1)).
-		fq, fargs := spec.frontier(d, k)
-		cnt, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, fq, fargs...)
+		cnt, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, front.text, front.bind(k)...)
 		if err != nil {
 			return Path{}, qs, err
 		}

@@ -63,19 +63,19 @@ func (e *Engine) LoadGraph(g *graph.Graph) error {
 		}
 	}
 	stmts := []string{
-		fmt.Sprintf("CREATE TABLE %s (nid INT PRIMARY KEY)", TblNodes),
-		fmt.Sprintf("CREATE TABLE %s (fid INT, tid INT, cost INT)", TblEdges),
+		"CREATE TABLE " + TblNodes + " (nid INT PRIMARY KEY)",
+		"CREATE TABLE " + TblEdges + " (fid INT, tid INT, cost INT)",
 	}
 	switch e.opts.Strategy {
 	case ClusteredIndex:
 		stmts = append(stmts,
-			fmt.Sprintf("CREATE CLUSTERED INDEX tedges_fid ON %s (fid)", TblEdges),
-			fmt.Sprintf("CREATE INDEX tedges_tid ON %s (tid)", TblEdges),
+			"CREATE CLUSTERED INDEX tedges_fid ON "+TblEdges+" (fid)",
+			"CREATE INDEX tedges_tid ON "+TblEdges+" (tid)",
 		)
 	case SecondaryIndex:
 		stmts = append(stmts,
-			fmt.Sprintf("CREATE INDEX tedges_fid ON %s (fid)", TblEdges),
-			fmt.Sprintf("CREATE INDEX tedges_tid ON %s (tid)", TblEdges),
+			"CREATE INDEX tedges_fid ON "+TblEdges+" (fid)",
+			"CREATE INDEX tedges_tid ON "+TblEdges+" (tid)",
 		)
 	case NoIndex:
 		// bare heap
@@ -95,7 +95,7 @@ func (e *Engine) LoadGraph(g *graph.Graph) error {
 		if sb.Len() == 0 {
 			return nil
 		}
-		q := fmt.Sprintf("INSERT INTO %s (nid) VALUES %s", TblNodes, sb.String())
+		q := "INSERT INTO " + TblNodes + " (nid) VALUES " + sb.String()
 		sb.Reset()
 		_, err := db.Exec(q)
 		return err
@@ -124,7 +124,7 @@ func (e *Engine) LoadGraph(g *graph.Graph) error {
 		if sb.Len() == 0 {
 			return nil
 		}
-		q := fmt.Sprintf("INSERT INTO %s (fid, tid, cost) VALUES %s", TblEdges, sb.String())
+		q := "INSERT INTO " + TblEdges + " (fid, tid, cost) VALUES " + sb.String()
 		sb.Reset()
 		_, err := db.Exec(q)
 		return err
@@ -146,7 +146,7 @@ func (e *Engine) LoadGraph(g *graph.Graph) error {
 		return err
 	}
 
-	wmin, null, err := db.QueryInt(fmt.Sprintf("SELECT MIN(cost) FROM %s", TblEdges))
+	wmin, null, err := db.QueryInt("SELECT MIN(cost) FROM " + TblEdges)
 	if err != nil {
 		return err
 	}
@@ -170,24 +170,24 @@ func (e *Engine) createVisitedTables() error {
 	switch e.opts.Strategy {
 	case ClusteredIndex:
 		stmts = append(stmts,
-			fmt.Sprintf("CREATE TABLE %s (nid INT PRIMARY KEY, d2s INT, p2s INT, f INT, d2t INT, p2t INT, b INT)", TblVisited),
-			fmt.Sprintf("CREATE TABLE %s (nid INT PRIMARY KEY, par INT, cost INT)", TblExpand),
-			fmt.Sprintf("CREATE TABLE %s (nid INT PRIMARY KEY, cost INT)", TblExpCost),
+			"CREATE TABLE "+TblVisited+" (nid INT PRIMARY KEY, d2s INT, p2s INT, f INT, d2t INT, p2t INT, b INT)",
+			"CREATE TABLE "+TblExpand+" (nid INT PRIMARY KEY, par INT, cost INT)",
+			"CREATE TABLE "+TblExpCost+" (nid INT PRIMARY KEY, cost INT)",
 		)
 	case SecondaryIndex:
 		stmts = append(stmts,
-			fmt.Sprintf("CREATE TABLE %s (nid INT, d2s INT, p2s INT, f INT, d2t INT, p2t INT, b INT)", TblVisited),
-			fmt.Sprintf("CREATE UNIQUE INDEX tvisited_nid ON %s (nid)", TblVisited),
-			fmt.Sprintf("CREATE TABLE %s (nid INT, par INT, cost INT)", TblExpand),
-			fmt.Sprintf("CREATE UNIQUE INDEX texpand_nid ON %s (nid)", TblExpand),
-			fmt.Sprintf("CREATE TABLE %s (nid INT, cost INT)", TblExpCost),
-			fmt.Sprintf("CREATE UNIQUE INDEX texpcost_nid ON %s (nid)", TblExpCost),
+			"CREATE TABLE "+TblVisited+" (nid INT, d2s INT, p2s INT, f INT, d2t INT, p2t INT, b INT)",
+			"CREATE UNIQUE INDEX tvisited_nid ON "+TblVisited+" (nid)",
+			"CREATE TABLE "+TblExpand+" (nid INT, par INT, cost INT)",
+			"CREATE UNIQUE INDEX texpand_nid ON "+TblExpand+" (nid)",
+			"CREATE TABLE "+TblExpCost+" (nid INT, cost INT)",
+			"CREATE UNIQUE INDEX texpcost_nid ON "+TblExpCost+" (nid)",
 		)
 	case NoIndex:
 		stmts = append(stmts,
-			fmt.Sprintf("CREATE TABLE %s (nid INT, d2s INT, p2s INT, f INT, d2t INT, p2t INT, b INT)", TblVisited),
-			fmt.Sprintf("CREATE TABLE %s (nid INT, par INT, cost INT)", TblExpand),
-			fmt.Sprintf("CREATE TABLE %s (nid INT, cost INT)", TblExpCost),
+			"CREATE TABLE "+TblVisited+" (nid INT, d2s INT, p2s INT, f INT, d2t INT, p2t INT, b INT)",
+			"CREATE TABLE "+TblExpand+" (nid INT, par INT, cost INT)",
+			"CREATE TABLE "+TblExpCost+" (nid INT, cost INT)",
 		)
 	}
 	for _, s := range stmts {
@@ -211,6 +211,7 @@ func (e *Engine) resetVisited(ctx context.Context, qs *QueryStats) error {
 
 // visitedCount reads |TVisited| for the search-space metric (Table 3).
 func (e *Engine) visitedCount(ctx context.Context, qs *QueryStats) (int, error) {
-	v, _, err := e.queryInt(ctx, qs, nil, fmt.Sprintf("SELECT COUNT(*) FROM %s", TblVisited))
+	const q = "SELECT COUNT(*) FROM " + TblVisited
+	v, _, err := e.queryInt(ctx, qs, nil, q)
 	return int(v), err
 }

@@ -39,7 +39,7 @@ func TestConfigurationMatrix(t *testing.T) {
 			buildOracle(t, e)
 			for _, alg := range allAlgorithms() {
 				for _, q := range queries {
-					p, _, err := e.ShortestPath(alg, q[0], q[1])
+					p, _, err := shortestPath(e, alg, q[0], q[1])
 					if err != nil {
 						t.Fatalf("%v s=%d t=%d: %v", alg, q[0], q[1], err)
 					}
@@ -65,7 +65,7 @@ func TestIndexStrategies(t *testing.T) {
 			buildOracle(t, e)
 			for _, alg := range allAlgorithms() {
 				for _, q := range queries {
-					p, _, err := e.ShortestPath(alg, q[0], q[1])
+					p, _, err := shortestPath(e, alg, q[0], q[1])
 					if err != nil {
 						t.Fatalf("%v s=%d t=%d: %v", alg, q[0], q[1], err)
 					}
@@ -93,7 +93,7 @@ func TestUnreachableTarget(t *testing.T) {
 	}
 	buildOracle(t, e)
 	for _, alg := range allAlgorithms() {
-		p, _, err := e.ShortestPath(alg, 0, 3)
+		p, _, err := shortestPath(e, alg, 0, 3)
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -112,7 +112,7 @@ func TestSourceEqualsTarget(t *testing.T) {
 	}
 	buildOracle(t, e)
 	for _, alg := range allAlgorithms() {
-		p, _, err := e.ShortestPath(alg, 4, 4)
+		p, _, err := shortestPath(e, alg, 4, 4)
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -142,14 +142,14 @@ func TestDirectedAsymmetry(t *testing.T) {
 	}
 	buildOracle(t, e)
 	for _, alg := range allAlgorithms() {
-		p, _, err := e.ShortestPath(alg, 0, 3)
+		p, _, err := shortestPath(e, alg, 0, 3)
 		if err != nil {
 			t.Fatalf("%v 0->3: %v", alg, err)
 		}
 		if !p.Found || p.Length != 6 {
 			t.Errorf("%v: 0->3 expected 6, got %+v", alg, p)
 		}
-		p, _, err = e.ShortestPath(alg, 3, 0)
+		p, _, err = shortestPath(e, alg, 3, 0)
 		if err != nil {
 			t.Fatalf("%v 3->0: %v", alg, err)
 		}
@@ -163,7 +163,7 @@ func TestDirectedAsymmetry(t *testing.T) {
 func TestBSEGRequiresSegTable(t *testing.T) {
 	g := graph.Random(10, 20, 2)
 	e := newTestEngine(t, g, rdb.Options{}, Options{})
-	if _, _, err := e.ShortestPath(AlgBSEG, 0, 1); err == nil {
+	if _, _, err := shortestPath(e, AlgBSEG, 0, 1); err == nil {
 		t.Fatal("expected an error for BSEG without SegTable")
 	}
 }
@@ -179,7 +179,7 @@ func TestStatsShape(t *testing.T) {
 	vis := map[Algorithm]int{}
 	for _, alg := range []Algorithm{AlgDJ, AlgBSDJ, AlgBBFS} {
 		for _, q := range queries {
-			p, qs, err := e.ShortestPath(alg, q[0], q[1])
+			p, qs, err := shortestPath(e, alg, q[0], q[1])
 			if err != nil {
 				t.Fatalf("%v: %v", alg, err)
 			}
@@ -272,7 +272,7 @@ func TestSmallLthdAndUniformWeights(t *testing.T) {
 	}
 	buildOracle(t, e)
 	for _, alg := range allAlgorithms() {
-		p, _, err := e.ShortestPath(alg, 0, 3)
+		p, _, err := shortestPath(e, alg, 0, 3)
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -299,7 +299,7 @@ func TestParallelEdges(t *testing.T) {
 	}
 	buildOracle(t, e)
 	for _, alg := range allAlgorithms() {
-		p, _, err := e.ShortestPath(alg, 0, 2)
+		p, _, err := shortestPath(e, alg, 0, 2)
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -319,7 +319,7 @@ func TestDialectStatementCounts(t *testing.T) {
 
 	run := func(profile rdb.Profile, traditional bool) (*QueryStats, Path) {
 		e := newTestEngine(t, g, rdb.Options{Profile: profile}, Options{TraditionalSQL: traditional})
-		p, qs, err := e.ShortestPath(AlgBSDJ, q[0], q[1])
+		p, qs, err := shortestPath(e, AlgBSDJ, q[0], q[1])
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -59,41 +59,9 @@ func (e *Engine) MinimumSpanningForest() (*MSTResult, error) {
 	if err := e.resetVisited(ctx, qs); err != nil {
 		return nil, err
 	}
-	if _, err := e.exec(ctx, qs, nil, nil, fmt.Sprintf(
-		"INSERT INTO %s (nid, d2s, p2s, f, d2t, p2t, b) SELECT nid, %d, %d, 3, 0, 0, 0 FROM %s",
-		TblVisited, MaxDist, NoParent, TblNodes)); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, mstInitQ, MaxDist, NoParent); err != nil {
 		return nil, err
 	}
-
-	// One node per iteration (§3.1: "select a node u with u.f = false and
-	// the minimal edge weight"). Adopting all minimum-weight candidates at
-	// once would be unsound: adding one candidate can cheapen another's
-	// connection below the shared minimum.
-	frontierQ := fmt.Sprintf(
-		"UPDATE %[1]s SET f = 2 WHERE f = 0 AND nid = "+
-			"(SELECT TOP 1 nid FROM %[1]s WHERE f = 0 AND d2s = "+
-			"(SELECT MIN(d2s) FROM %[1]s WHERE f = 0))",
-		TblVisited)
-	resetQ := fmt.Sprintf("UPDATE %s SET f = 1 WHERE f = 2", TblVisited)
-	// Offer each neighbour of the frontier its cheapest connecting edge;
-	// nodes already in the tree (f = 1) or on the frontier (f = 2) are
-	// discarded, matching §3.1's "expanded nodes can be discarded directly
-	// if they have been included".
-	expandQ := fmt.Sprintf(
-		"MERGE INTO %[1]s AS target USING ("+
-			"SELECT nid, par, cost FROM ("+
-			"SELECT out.tid, q.nid, out.cost, "+
-			"ROW_NUMBER() OVER (PARTITION BY out.tid ORDER BY out.cost) "+
-			"FROM %[1]s q, %[2]s out WHERE q.nid = out.fid AND q.f = 2"+
-			") tmp (nid, par, cost, rn) WHERE rn = 1"+
-			") AS source (nid, par, cost) ON (target.nid = source.nid) "+
-			"WHEN MATCHED AND target.f = 0 AND target.d2s > source.cost "+
-			"THEN UPDATE SET d2s = source.cost, p2s = source.par "+
-			"WHEN MATCHED AND target.f = 3 "+
-			"THEN UPDATE SET d2s = source.cost, p2s = source.par, f = 0",
-		TblVisited, TblEdges)
-	rootQ := fmt.Sprintf("SELECT TOP 1 nid FROM %s WHERE f = 3", TblVisited)
-	promoteQ := fmt.Sprintf("UPDATE %s SET f = 1, d2s = 0 WHERE nid = ?", TblVisited)
 
 	res := &MSTResult{}
 	limit := e.maxIters()
@@ -101,43 +69,44 @@ func (e *Engine) MinimumSpanningForest() (*MSTResult, error) {
 		if iter > limit {
 			return nil, fmt.Errorf("core: MST exceeded %d iterations", limit)
 		}
-		cnt, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, frontierQ)
+		cnt, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, mstFrontierQ)
 		if err != nil {
 			return nil, err
 		}
 		if cnt == 0 {
 			// Component finished (or first iteration): promote a new root.
-			root, null, err := e.queryInt(ctx, qs, &qs.SC, rootQ)
+			root, null, err := e.queryInt(ctx, qs, &qs.SC, mstRootQ)
 			if err != nil {
 				return nil, err
 			}
 			if null {
 				break // every node is in the forest
 			}
-			if _, err := e.exec(ctx, qs, &qs.PE, nil, promoteQ, root); err != nil {
+			if _, err := e.exec(ctx, qs, &qs.PE, nil, mstPromoteQ, root); err != nil {
 				return nil, err
 			}
 			res.Components++
 			// Expand from the root alone.
-			if _, err := e.exec(ctx, qs, &qs.PE, nil,
-				fmt.Sprintf("UPDATE %s SET f = 2 WHERE nid = ?", TblVisited), root); err != nil {
+			if _, err := e.exec(ctx, qs, &qs.PE, nil, mstSeedQ, root); err != nil {
 				return nil, err
 			}
 			cnt = 1
 		}
 		res.Iterations++
-		if _, err := e.runMSTExpand(ctx, qs, expandQ); err != nil {
+		if _, err := e.runMSTExpand(ctx, qs); err != nil {
 			return nil, err
 		}
-		if _, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, resetQ); err != nil {
+		if _, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, mstResetQ); err != nil {
 			return nil, err
 		}
 	}
 
 	// Collect tree edges: every non-root member's (p2s, nid, d2s).
-	rows, err := e.sess.QueryContext(ctx, fmt.Sprintf(
-		"SELECT p2s, nid, d2s FROM %s WHERE f = 1 AND d2s > 0 AND p2s <> %d",
-		TblVisited, NoParent))
+	edgesStmt, err := e.stmt(mstEdgesQ)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := edgesStmt.QueryContext(ctx, NoParent)
 	qs.Statements++
 	if err != nil {
 		return nil, err
@@ -151,40 +120,64 @@ func (e *Engine) MinimumSpanningForest() (*MSTResult, error) {
 	return res, nil
 }
 
+// MST statement shapes (constant texts; sentinels bind as parameters).
+const (
+	mstInitQ = "INSERT INTO " + TblVisited +
+		" (nid, d2s, p2s, f, d2t, p2t, b) SELECT nid, ?, ?, 3, 0, 0, 0 FROM " + TblNodes
+	// One node per iteration (§3.1: "select a node u with u.f = false and
+	// the minimal edge weight"). Adopting all minimum-weight candidates at
+	// once would be unsound: adding one candidate can cheapen another's
+	// connection below the shared minimum.
+	mstFrontierQ = "UPDATE " + TblVisited + " SET f = 2 WHERE f = 0 AND nid = " +
+		"(SELECT TOP 1 nid FROM " + TblVisited + " WHERE f = 0 AND d2s = " +
+		"(SELECT MIN(d2s) FROM " + TblVisited + " WHERE f = 0))"
+	mstResetQ   = "UPDATE " + TblVisited + " SET f = 1 WHERE f = 2"
+	mstRootQ    = "SELECT TOP 1 nid FROM " + TblVisited + " WHERE f = 3"
+	mstPromoteQ = "UPDATE " + TblVisited + " SET f = 1, d2s = 0 WHERE nid = ?"
+	mstSeedQ    = "UPDATE " + TblVisited + " SET f = 2 WHERE nid = ?"
+	mstEdgesQ   = "SELECT p2s, nid, d2s FROM " + TblVisited + " WHERE f = 1 AND d2s > 0 AND p2s <> ?"
+
+	mstOfferSrc = "SELECT out.tid, q.nid, out.cost, " +
+		"ROW_NUMBER() OVER (PARTITION BY out.tid ORDER BY out.cost) " +
+		"FROM " + TblVisited + " q, " + TblEdges + " out WHERE q.nid = out.fid AND q.f = 2"
+	// Offer each neighbour of the frontier its cheapest connecting edge;
+	// nodes already in the tree (f = 1) or on the frontier (f = 2) are
+	// discarded, matching §3.1's "expanded nodes can be discarded directly
+	// if they have been included".
+	mstMergeQ = "MERGE INTO " + TblVisited + " AS target USING (" +
+		"SELECT nid, par, cost FROM (" + mstOfferSrc + ") tmp (nid, par, cost, rn) WHERE rn = 1" +
+		") AS source (nid, par, cost) ON (target.nid = source.nid) " +
+		"WHEN MATCHED AND target.f = 0 AND target.d2s > source.cost " +
+		"THEN UPDATE SET d2s = source.cost, p2s = source.par " +
+		"WHEN MATCHED AND target.f = 3 " +
+		"THEN UPDATE SET d2s = source.cost, p2s = source.par, f = 0"
+	mstInsOfferQ = "INSERT INTO " + TblExpand + " (nid, par, cost) SELECT nid, par, cost FROM (" +
+		mstOfferSrc + ") tmp (nid, par, cost, rn) WHERE rn = 1"
+	mstUpd1Q = "UPDATE " + TblVisited + " SET d2s = s.cost, p2s = s.par FROM " + TblExpand + " s " +
+		"WHERE " + TblVisited + ".nid = s.nid AND " + TblVisited + ".f = 0 AND " + TblVisited + ".d2s > s.cost"
+	mstUpd2Q = "UPDATE " + TblVisited + " SET d2s = s.cost, p2s = s.par, f = 0 FROM " + TblExpand + " s " +
+		"WHERE " + TblVisited + ".nid = s.nid AND " + TblVisited + ".f = 3"
+)
+
 // runMSTExpand runs the MST merge, falling back to UPDATE+INSERT-free
 // emulation on profiles without MERGE (two UPDATEs suffice since every
 // node pre-exists in the working table).
-func (e *Engine) runMSTExpand(ctx context.Context, qs *QueryStats, mergeQ string) (int64, error) {
+func (e *Engine) runMSTExpand(ctx context.Context, qs *QueryStats) (int64, error) {
 	if e.db.Profile().SupportsMerge && !e.opts.TraditionalSQL {
-		return e.exec(ctx, qs, &qs.PE, &qs.EOp, mergeQ)
+		return e.exec(ctx, qs, &qs.PE, &qs.EOp, mstMergeQ)
 	}
 	// Materialize offers, then apply with two UPDATE...FROM statements.
 	if _, err := e.exec(ctx, qs, &qs.PE, &qs.EOp, "DELETE FROM "+TblExpand); err != nil {
 		return 0, err
 	}
-	insQ := fmt.Sprintf(
-		"INSERT INTO %s (nid, par, cost) SELECT nid, par, cost FROM ("+
-			"SELECT out.tid, q.nid, out.cost, "+
-			"ROW_NUMBER() OVER (PARTITION BY out.tid ORDER BY out.cost) "+
-			"FROM %s q, %s out WHERE q.nid = out.fid AND q.f = 2"+
-			") tmp (nid, par, cost, rn) WHERE rn = 1",
-		TblExpand, TblVisited, TblEdges)
-	if _, err := e.exec(ctx, qs, &qs.PE, &qs.EOp, insQ); err != nil {
+	if _, err := e.exec(ctx, qs, &qs.PE, &qs.EOp, mstInsOfferQ); err != nil {
 		return 0, err
 	}
-	upd1 := fmt.Sprintf(
-		"UPDATE %[1]s SET d2s = s.cost, p2s = s.par FROM %[2]s s "+
-			"WHERE %[1]s.nid = s.nid AND %[1]s.f = 0 AND %[1]s.d2s > s.cost",
-		TblVisited, TblExpand)
-	n1, err := e.exec(ctx, qs, &qs.PE, &qs.MOp, upd1)
+	n1, err := e.exec(ctx, qs, &qs.PE, &qs.MOp, mstUpd1Q)
 	if err != nil {
 		return 0, err
 	}
-	upd2 := fmt.Sprintf(
-		"UPDATE %[1]s SET d2s = s.cost, p2s = s.par, f = 0 FROM %[2]s s "+
-			"WHERE %[1]s.nid = s.nid AND %[1]s.f = 3",
-		TblVisited, TblExpand)
-	n2, err := e.exec(ctx, qs, &qs.PE, &qs.MOp, upd2)
+	n2, err := e.exec(ctx, qs, &qs.PE, &qs.MOp, mstUpd2Q)
 	if err != nil {
 		return 0, err
 	}

@@ -112,6 +112,33 @@ const (
 	tblMutSrc   = "TMutSrc"
 )
 
+// Mutation statement shapes: constant texts, edge endpoints and weights
+// bound as parameters, so ApplyMutations batches re-execute cached plans.
+const (
+	mutInsertEdgeQ = "INSERT INTO " + TblEdges + " (fid, tid, cost) VALUES (?, ?, ?)"
+	mutMinCostQ    = "SELECT MIN(cost) FROM " + TblEdges + " WHERE fid = ? AND tid = ?"
+	mutDeleteQ     = "DELETE FROM " + TblEdges + " WHERE fid = ? AND tid = ?"
+	mutUpdateQ     = "UPDATE " + TblEdges + " SET cost = ? WHERE fid = ? AND tid = ?"
+	mutWMinQ       = "SELECT MIN(cost) FROM " + TblEdges
+
+	// Touch-set shapes (computeTouchSet), one per decomposition case.
+	touchPairQ = "INSERT INTO " + tblMutTouch + " (fid, tid) SELECT s.fid, s.tid FROM " +
+		TblOutSegs + " s WHERE s.fid = ? AND s.tid = ?"
+	touchPrefixQ = "INSERT INTO " + tblMutTouch + " (fid, tid) SELECT s.fid, s.tid FROM " +
+		TblOutSegs + " s, " + TblOutSegs + " a " +
+		"WHERE s.tid = ? AND s.fid <> ? AND a.tid = ? AND a.fid = s.fid AND a.cost + ? <= s.cost"
+	touchSuffixQ = "INSERT INTO " + tblMutTouch + " (fid, tid) SELECT s.fid, s.tid FROM " +
+		TblOutSegs + " s, " + TblOutSegs + " b " +
+		"WHERE s.fid = ? AND s.tid <> ? AND b.fid = ? AND b.tid = s.tid AND ? + b.cost <= s.cost"
+	touchBothQ = "INSERT INTO " + tblMutTouch + " (fid, tid) SELECT s.fid, s.tid FROM " +
+		TblOutSegs + " s, " + TblOutSegs + " a, " + TblOutSegs + " b " +
+		"WHERE s.fid <> ? AND s.tid <> ? AND a.tid = ? AND a.fid = s.fid " +
+		"AND b.fid = ? AND b.tid = s.tid AND a.cost + ? + b.cost <= s.cost"
+
+	touchCountQ = "SELECT COUNT(*) FROM " + tblMutTouch
+	mutSrcClear = "DELETE FROM " + tblMutSrc
+)
+
 // DeleteEdge removes every (from, to) edge from TEdges — parallel edges
 // included — and, when a SegTable is built, repairs TOutSegs/TInSegs
 // decrementally (or rebuilds them past Options.RepairThreshold). Deleting
@@ -262,8 +289,7 @@ func (e *Engine) applyOneLocked(ctx context.Context, qs *QueryStats, st *MaintSt
 // insertLocked adds the edge and runs the incremental insertion
 // maintenance of segmaint.go.
 func (e *Engine) insertLocked(ctx context.Context, qs *QueryStats, st *MaintStats, from, to, weight int64, wrote *bool) error {
-	if _, err := e.exec(ctx, qs, nil, nil, fmt.Sprintf(
-		"INSERT INTO %s (fid, tid, cost) VALUES (?, ?, ?)", TblEdges), from, to, weight); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, mutInsertEdgeQ, from, to, weight); err != nil {
 		return err
 	}
 	*wrote = true
@@ -299,8 +325,7 @@ func (e *Engine) deleteLocked(ctx context.Context, qs *QueryStats, st *MaintStat
 	// The touch set needs the edge's pre-delete effective weight: with
 	// parallel edges only the cheapest can lie on a shortest path, and a
 	// smaller weight yields the larger (safe) touch superset.
-	oldW, null, err := e.queryInt(ctx, qs, nil, fmt.Sprintf(
-		"SELECT MIN(cost) FROM %s WHERE fid = ? AND tid = ?", TblEdges), from, to)
+	oldW, null, err := e.queryInt(ctx, qs, nil, mutMinCostQ, from, to)
 	if err != nil {
 		return err
 	}
@@ -316,8 +341,7 @@ func (e *Engine) deleteLocked(ctx context.Context, qs *QueryStats, st *MaintStat
 			return err
 		}
 	}
-	n, err := e.exec(ctx, qs, nil, nil, fmt.Sprintf(
-		"DELETE FROM %s WHERE fid = ? AND tid = ?", TblEdges), from, to)
+	n, err := e.exec(ctx, qs, nil, nil, mutDeleteQ, from, to)
 	if err != nil {
 		return err
 	}
@@ -344,8 +368,7 @@ func (e *Engine) deleteLocked(ctx context.Context, qs *QueryStats, st *MaintStat
 // SegTable: relaxations reuse the insertion maintenance, weakenings the
 // decremental repair.
 func (e *Engine) updateLocked(ctx context.Context, qs *QueryStats, st *MaintStats, from, to, weight int64, wrote *bool) error {
-	oldW, null, err := e.queryInt(ctx, qs, nil, fmt.Sprintf(
-		"SELECT MIN(cost) FROM %s WHERE fid = ? AND tid = ?", TblEdges), from, to)
+	oldW, null, err := e.queryInt(ctx, qs, nil, mutMinCostQ, from, to)
 	if err != nil {
 		return err
 	}
@@ -363,8 +386,7 @@ func (e *Engine) updateLocked(ctx context.Context, qs *QueryStats, st *MaintStat
 			return err
 		}
 	}
-	if _, err := e.exec(ctx, qs, nil, nil, fmt.Sprintf(
-		"UPDATE %s SET cost = ? WHERE fid = ? AND tid = ?", TblEdges), weight, from, to); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, mutUpdateQ, weight, from, to); err != nil {
 		return err
 	}
 	*wrote = true
@@ -393,7 +415,7 @@ func (e *Engine) updateLocked(ctx context.Context, qs *QueryStats, st *MaintStat
 // refreshWMin re-reads the minimal edge weight after a deletion or weight
 // increase may have removed the old minimum.
 func (e *Engine) refreshWMin(ctx context.Context, qs *QueryStats) error {
-	wmin, null, err := e.queryInt(ctx, qs, nil, fmt.Sprintf("SELECT MIN(cost) FROM %s", TblEdges))
+	wmin, null, err := e.queryInt(ctx, qs, nil, mutWMinQ)
 	if err != nil {
 		return err
 	}
@@ -411,9 +433,9 @@ func (e *Engine) refreshWMin(ctx context.Context, qs *QueryStats) error {
 func (e *Engine) ensureMutScratch(ctx context.Context, qs *QueryStats) error {
 	if _, ok := e.db.Catalog().Get(tblMutTouch); !ok {
 		for _, q := range []string{
-			fmt.Sprintf("CREATE TABLE %s (fid INT, tid INT)", tblMutTouch),
-			fmt.Sprintf("CREATE CLUSTERED INDEX tmuttouch_fid ON %s (fid)", tblMutTouch),
-			fmt.Sprintf("CREATE TABLE %s (nid INT)", tblMutSrc),
+			"CREATE TABLE " + tblMutTouch + " (fid INT, tid INT)",
+			"CREATE CLUSTERED INDEX tmuttouch_fid ON " + tblMutTouch + " (fid)",
+			"CREATE TABLE " + tblMutSrc + " (nid INT)",
 		} {
 			if _, err := e.sess.Exec(q); err != nil {
 				return err
@@ -446,33 +468,21 @@ func (e *Engine) computeTouchSet(ctx context.Context, qs *QueryStats, u, v, w in
 	}
 	// 1) the recorded pair (u, v) itself — its cost or pid may come from
 	// the edge directly.
-	if err := ins(fmt.Sprintf(
-		"INSERT INTO %s (fid, tid) SELECT s.fid, s.tid FROM %s s WHERE s.fid = ? AND s.tid = ?",
-		tblMutTouch, TblOutSegs), u, v); err != nil {
+	if err := ins(touchPairQ, u, v); err != nil {
 		return err
 	}
 	// 2) x != u, y = v: a recorded prefix x -> u continues over the edge.
-	if err := ins(fmt.Sprintf(
-		"INSERT INTO %s (fid, tid) SELECT s.fid, s.tid FROM %s s, %s a "+
-			"WHERE s.tid = ? AND s.fid <> ? AND a.tid = ? AND a.fid = s.fid AND a.cost + ? <= s.cost",
-		tblMutTouch, TblOutSegs, TblOutSegs), v, u, u, w); err != nil {
+	if err := ins(touchPrefixQ, v, u, u, w); err != nil {
 		return err
 	}
 	// 3) x = u, y != v: the edge continues into a recorded suffix v -> y.
-	if err := ins(fmt.Sprintf(
-		"INSERT INTO %s (fid, tid) SELECT s.fid, s.tid FROM %s s, %s b "+
-			"WHERE s.fid = ? AND s.tid <> ? AND b.fid = ? AND b.tid = s.tid AND ? + b.cost <= s.cost",
-		tblMutTouch, TblOutSegs, TblOutSegs), u, v, v, w); err != nil {
+	if err := ins(touchSuffixQ, u, v, v, w); err != nil {
 		return err
 	}
 	// 4) x != u, y != v: both halves recorded. TOutSegs is keyed on
 	// (fid, tid), so each shape emits each pair at most once and the
 	// shapes are disjoint — no dedup needed.
-	return ins(fmt.Sprintf(
-		"INSERT INTO %s (fid, tid) SELECT s.fid, s.tid FROM %s s, %s a, %s b "+
-			"WHERE s.fid <> ? AND s.tid <> ? AND a.tid = ? AND a.fid = s.fid "+
-			"AND b.fid = ? AND b.tid = s.tid AND a.cost + ? + b.cost <= s.cost",
-		tblMutTouch, TblOutSegs, TblOutSegs, TblOutSegs), u, v, u, v, w)
+	return ins(touchBothQ, u, v, u, v, w)
 }
 
 // repairTouchedLocked re-derives every touched SegTable row from the
@@ -480,7 +490,7 @@ func (e *Engine) computeTouchSet(ctx context.Context, qs *QueryStats, u, v, w in
 // exceeds the repair threshold. Callers hold queryMu and have already run
 // computeTouchSet.
 func (e *Engine) repairTouchedLocked(ctx context.Context, qs *QueryStats, st *MaintStats) error {
-	affected, _, err := e.queryInt(ctx, qs, nil, fmt.Sprintf("SELECT COUNT(*) FROM %s", tblMutTouch))
+	affected, _, err := e.queryInt(ctx, qs, nil, touchCountQ)
 	if err != nil {
 		return err
 	}
@@ -529,11 +539,11 @@ func (e *Engine) repairDirection(ctx context.Context, qs *QueryStats, forward bo
 	// Seed the sweep at the fid endpoints (forward: distances FROM x; the
 	// backward sweep walks incoming edges from tid seeds, computing
 	// distances TO y).
-	if _, err := e.exec(ctx, qs, nil, nil, "DELETE FROM "+tblMutSrc); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, mutSrcClear); err != nil {
 		return 0, err
 	}
-	if _, err := e.exec(ctx, qs, nil, nil, fmt.Sprintf(
-		"INSERT INTO %s (nid) SELECT DISTINCT %s FROM %s", tblMutSrc, srcCol, tblMutTouch)); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil,
+		"INSERT INTO "+tblMutSrc+" (nid) SELECT DISTINCT "+srcCol+" FROM "+tblMutTouch); err != nil {
 		return 0, err
 	}
 	if _, err := e.segSweep(ctx, qs, e.segLthd, forward, tblMutSrc); err != nil {
@@ -541,23 +551,21 @@ func (e *Engine) repairDirection(ctx context.Context, qs *QueryStats, forward bo
 	}
 	// Drop the touched rows; distances can only have grown, so untouched
 	// rows keep valid (cost, pid) entries.
-	if _, err := e.exec(ctx, qs, nil, nil, fmt.Sprintf(
-		"DELETE FROM %[1]s WHERE EXISTS (SELECT fid FROM %[2]s m WHERE m.fid = %[1]s.fid AND m.tid = %[1]s.tid)",
-		target, tblMutTouch)); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil,
+		"DELETE FROM "+target+" WHERE EXISTS (SELECT fid FROM "+tblMutTouch+
+			" m WHERE m.fid = "+target+".fid AND m.tid = "+target+".tid)"); err != nil {
 		return 0, err
 	}
 	// Re-materialize the touched pairs that are still within lthd.
 	var insQ string
 	if forward {
-		insQ = fmt.Sprintf(
-			"INSERT INTO %s (fid, tid, pid, cost) SELECT s.src, s.nid, s.par, s.dist FROM %s s "+
-				"WHERE s.src <> s.nid AND EXISTS (SELECT fid FROM %s m WHERE m.fid = s.src AND m.tid = s.nid)",
-			target, TblSeg, tblMutTouch)
+		insQ = "INSERT INTO " + target + " (fid, tid, pid, cost) SELECT s.src, s.nid, s.par, s.dist FROM " +
+			TblSeg + " s WHERE s.src <> s.nid AND EXISTS (SELECT fid FROM " + tblMutTouch +
+			" m WHERE m.fid = s.src AND m.tid = s.nid)"
 	} else {
-		insQ = fmt.Sprintf(
-			"INSERT INTO %s (fid, tid, pid, cost) SELECT s.nid, s.src, s.par, s.dist FROM %s s "+
-				"WHERE s.src <> s.nid AND EXISTS (SELECT fid FROM %s m WHERE m.fid = s.nid AND m.tid = s.src)",
-			target, TblSeg, tblMutTouch)
+		insQ = "INSERT INTO " + target + " (fid, tid, pid, cost) SELECT s.nid, s.src, s.par, s.dist FROM " +
+			TblSeg + " s WHERE s.src <> s.nid AND EXISTS (SELECT fid FROM " + tblMutTouch +
+			" m WHERE m.fid = s.nid AND m.tid = s.src)"
 	}
 	repaired, err := e.exec(ctx, qs, nil, nil, insQ)
 	if err != nil {

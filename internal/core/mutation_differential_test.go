@@ -125,7 +125,7 @@ func TestMutationDifferential(t *testing.T) {
 		}
 		for _, alg := range allAlgorithms() {
 			for _, q := range queries {
-				p, _, err := e.ShortestPath(alg, q[0], q[1])
+				p, _, err := shortestPath(e, alg, q[0], q[1])
 				if err != nil {
 					t.Fatalf("step %d %v s=%d t=%d: %v", applied, alg, q[0], q[1], err)
 				}
@@ -208,7 +208,7 @@ func TestMutationRace(t *testing.T) {
 			for i := 0; i < 20; i++ {
 				q := queries[(seed+i)%len(queries)]
 				alg := algs[i%len(algs)]
-				p, _, err := e.ShortestPath(alg, q[0], q[1])
+				p, _, err := shortestPath(e, alg, q[0], q[1])
 				if err != nil {
 					errs <- err
 					continue
@@ -230,7 +230,7 @@ func TestMutationRace(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 25; i++ {
 				q := queries[(seed+2*i)%len(queries)]
-				iv, err := e.ApproxDistance(q[0], q[1])
+				iv, err := approxDistance(e, q[0], q[1])
 				if err != nil {
 					// The mutation window legitimately refuses.
 					if !strings.Contains(err.Error(), "BuildOracle") &&
@@ -280,7 +280,7 @@ func TestMutationRace(t *testing.T) {
 	// that is the point: hits keyed to the new version are post-state.)
 	for _, q := range queries {
 		for _, alg := range []Algorithm{AlgBSDJ, AlgBSEG} {
-			p, _, err := e.ShortestPath(alg, q[0], q[1])
+			p, _, err := shortestPath(e, alg, q[0], q[1])
 			if err != nil {
 				t.Fatalf("post-batch %v s=%d t=%d: %v", alg, q[0], q[1], err)
 			}
@@ -291,14 +291,14 @@ func TestMutationRace(t *testing.T) {
 	if !e.OracleInvalidated() {
 		t.Error("batch must leave the oracle marked cold")
 	}
-	if _, err := e.ApproxDistance(queries[0][0], queries[0][1]); err == nil {
+	if _, err := approxDistance(e, queries[0][0], queries[0][1]); err == nil {
 		t.Error("ApproxDistance must refuse across the bump until BuildOracle")
 	}
 	if _, err := e.BuildOracle(oracle.Config{K: 3}); err != nil {
 		t.Fatal(err)
 	}
 	for _, q := range queries[:4] {
-		iv, err := e.ApproxDistance(q[0], q[1])
+		iv, err := approxDistance(e, q[0], q[1])
 		if err != nil {
 			t.Fatalf("post-rebuild approx: %v", err)
 		}

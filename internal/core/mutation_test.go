@@ -30,7 +30,7 @@ func checkAllAlgorithms(t *testing.T, e *Engine, mirror *graph.Graph, queries []
 			continue
 		}
 		for _, q := range queries {
-			p, _, err := e.ShortestPath(alg, q[0], q[1])
+			p, _, err := shortestPath(e, alg, q[0], q[1])
 			if err != nil {
 				t.Fatalf("%v s=%d t=%d: %v", alg, q[0], q[1], err)
 			}
@@ -301,7 +301,7 @@ func TestApplyMutationsBatch(t *testing.T) {
 	// Warm the cache so the purge is observable.
 	queries := graph.RandomQueries(mirror, 5, 6)
 	for _, q := range queries {
-		if _, _, err := e.ShortestPath(AlgBSDJ, q[0], q[1]); err != nil {
+		if _, _, err := shortestPath(e, AlgBSDJ, q[0], q[1]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -417,7 +417,7 @@ func TestMutationOracleInvalidation(t *testing.T) {
 	if !e.OracleInvalidated() {
 		t.Error("engine must report the oracle as cold")
 	}
-	if _, err := e.ApproxDistance(0, 1); err == nil {
+	if _, err := approxDistance(e, 0, 1); err == nil {
 		t.Error("ApproxDistance must refuse on a cold oracle")
 	}
 	if ms := e.MutationStats(); ms.OracleInvalidations != 1 {
@@ -468,7 +468,7 @@ func TestFailedMutationKeepsOracle(t *testing.T) {
 	if ms := e.MutationStats(); ms.OracleInvalidations != 0 {
 		t.Errorf("invalidation counter after restore: %+v", ms)
 	}
-	if _, err := e.ApproxDistance(0, 1); err != nil {
+	if _, err := approxDistance(e, 0, 1); err != nil {
 		t.Errorf("approx after failed mutation: %v", err)
 	}
 

@@ -100,13 +100,14 @@ func (iv Interval) UpperKnown() bool { return iv.Upper < MaxDist }
 // Exact reports a closed interval: the approximate answer IS the distance.
 func (iv Interval) Exact() bool { return iv.UpperKnown() && iv.Lower == iv.Upper }
 
-// approxRetries bounds the optimistic-concurrency loop in ApproxDistance.
+// approxRetries bounds the optimistic-concurrency loop in DistanceInterval.
 const approxRetries = 3
 
-// ApproxDistance brackets dist(s, t) from the landmark oracle alone —
-// three aggregate SELECTs over TLandmark, never touching TEdges and never
-// taking the query latch, so approximate answers stay fast while exact
-// searches are running:
+// DistanceInterval is the latch-free interval primitive behind the query
+// planner: it brackets dist(s, t) from the landmark oracle alone — three
+// aggregate SELECTs over TLandmark, never touching TEdges and never taking
+// the query latch, so approximate answers stay fast while exact searches
+// are running:
 //
 //	Upper = min_l dist(s,l) + dist(l,t)   (a real path through l)
 //	Lower = max(0, max_l dout_l(t)-dout_l(s), max_l din_l(s)-din_l(t))
@@ -115,19 +116,8 @@ const approxRetries = 3
 // pushes the lower bound past MaxDist/2, which is a genuine proof that no
 // s-t path exists (l would reach t through it). Consistency with
 // concurrent graph changes comes from optimistic version validation — the
-// reads retry when the (graph, index) generation moves underneath them.
-//
-// Deprecated: use DistanceInterval (the same reads, context-aware) or
-// Query with a positive MaxRelError; ApproxDistance remains as a thin
-// wrapper for one release.
-func (e *Engine) ApproxDistance(s, t int64) (Interval, error) {
-	return e.DistanceInterval(context.Background(), s, t)
-}
-
-// DistanceInterval is the latch-free interval primitive behind the query
-// planner (and the deprecated ApproxDistance): three aggregate SELECTs
-// over TLandmark with optimistic graph-version validation, cancellable at
-// every statement boundary through ctx.
+// reads retry when the (graph, index) generation moves underneath them;
+// cancellation is honored at every statement boundary through ctx.
 func (e *Engine) DistanceInterval(ctx context.Context, s, t int64) (Interval, error) {
 	iv, _, err := e.distanceIntervalStats(ctx, s, t)
 	return iv, err
@@ -173,25 +163,39 @@ func (e *Engine) distanceIntervalStats(ctx context.Context, s, t int64) (Interva
 	return Interval{}, stmts, fmt.Errorf("core: graph kept changing during approximate lookup")
 }
 
+// The three interval-read shapes over TLandmark: constant texts, endpoints
+// bound as parameters, executed as prepared statements so the latch-free
+// approximate path pays no parse/plan cost per lookup.
+const (
+	approxUpperQ = "SELECT MIN(a.din + b.dout) FROM " + oracle.TblLandmark + " a, " + oracle.TblLandmark +
+		" b WHERE a.lid = b.lid AND a.nid = ? AND b.nid = ?"
+	approxLowFQ = "SELECT MAX(b.dout - a.dout) FROM " + oracle.TblLandmark + " a, " + oracle.TblLandmark +
+		" b WHERE a.lid = b.lid AND a.nid = ? AND b.nid = ?"
+	approxLowBQ = "SELECT MAX(a.din - b.din) FROM " + oracle.TblLandmark + " a, " + oracle.TblLandmark +
+		" b WHERE a.lid = b.lid AND a.nid = ? AND b.nid = ?"
+)
+
+// approxQueryInt runs one interval read through the engine statement cache.
+func (e *Engine) approxQueryInt(ctx context.Context, q string, s, t int64) (int64, bool, error) {
+	st, err := e.stmt(q)
+	if err != nil {
+		return 0, false, err
+	}
+	return st.QueryIntContext(ctx, s, t)
+}
+
 // approxOnce runs the three bound queries against the current TLandmark,
 // also reporting how many statements actually ran (fewer on error).
 func (e *Engine) approxOnce(ctx context.Context, s, t int64) (Interval, int, error) {
-	lmk := oracle.TblLandmark
-	upper, nullU, err := e.sess.QueryIntContext(ctx, fmt.Sprintf(
-		"SELECT MIN(a.din + b.dout) FROM %[1]s a, %[1]s b "+
-			"WHERE a.lid = b.lid AND a.nid = ? AND b.nid = ?", lmk), s, t)
+	upper, nullU, err := e.approxQueryInt(ctx, approxUpperQ, s, t)
 	if err != nil {
 		return Interval{}, 1, err
 	}
-	lowF, nullF, err := e.sess.QueryIntContext(ctx, fmt.Sprintf(
-		"SELECT MAX(b.dout - a.dout) FROM %[1]s a, %[1]s b "+
-			"WHERE a.lid = b.lid AND a.nid = ? AND b.nid = ?", lmk), s, t)
+	lowF, nullF, err := e.approxQueryInt(ctx, approxLowFQ, s, t)
 	if err != nil {
 		return Interval{}, 2, err
 	}
-	lowB, nullB, err := e.sess.QueryIntContext(ctx, fmt.Sprintf(
-		"SELECT MAX(a.din - b.din) FROM %[1]s a, %[1]s b "+
-			"WHERE a.lid = b.lid AND a.nid = ? AND b.nid = ?", lmk), s, t)
+	lowB, nullB, err := e.approxQueryInt(ctx, approxLowBQ, s, t)
 	if err != nil {
 		return Interval{}, 3, err
 	}

@@ -39,7 +39,7 @@ func TestQuickAllAlgorithmsMatchDijkstra(t *testing.T) {
 			s, tt := rng.Int63n(n), rng.Int63n(n)
 			ref := graph.MDJ(g, s, tt)
 			for _, alg := range []Algorithm{AlgDJ, AlgBDJ, AlgBSDJ, AlgBBFS, AlgBSEG} {
-				p, _, err := e.ShortestPath(alg, s, tt)
+				p, _, err := shortestPath(e, alg, s, tt)
 				if err != nil {
 					t.Logf("seed=%d alg=%v s=%d t=%d: %v", seed, alg, s, tt, err)
 					return false
@@ -152,7 +152,7 @@ func TestQuickBSEGOnPowerGraphs(t *testing.T) {
 		for trial := 0; trial < 3; trial++ {
 			s, tt := rng.Int63n(n), rng.Int63n(n)
 			ref := graph.MDJ(g, s, tt)
-			p, _, err := e.ShortestPath(AlgBSEG, s, tt)
+			p, _, err := shortestPath(e, AlgBSEG, s, tt)
 			if err != nil || p.Found != ref.Found {
 				return false
 			}

@@ -54,34 +54,16 @@ func (e *Engine) Reachable(s, t int64) (*ReachResult, error) {
 		return res, nil
 	}
 	// d2s doubles as the BFS depth.
-	if _, err := e.exec(ctx, qs, &qs.PE, nil, fmt.Sprintf(
-		"INSERT INTO %s (nid, d2s, p2s, f, d2t, p2t, b) VALUES (?, 0, ?, 0, 0, 0, 0)",
-		TblVisited), s, s); err != nil {
+	if _, err := e.exec(ctx, qs, &qs.PE, nil, reachInitQ, s, s); err != nil {
 		return nil, err
 	}
-
-	frontierQ := fmt.Sprintf("UPDATE %s SET f = 2 WHERE f = 0", TblVisited)
-	resetQ := fmt.Sprintf("UPDATE %s SET f = 1 WHERE f = 2", TblVisited)
-	// Only NOT MATCHED inserts: reachability never revisits a node.
-	expandQ := fmt.Sprintf(
-		"MERGE INTO %[1]s AS target USING ("+
-			"SELECT nid, par, d FROM ("+
-			"SELECT out.tid, q.nid, q.d2s + 1, "+
-			"ROW_NUMBER() OVER (PARTITION BY out.tid ORDER BY q.d2s) "+
-			"FROM %[1]s q, %[2]s out WHERE q.nid = out.fid AND q.f = 2"+
-			") tmp (nid, par, d, rn) WHERE rn = 1"+
-			") AS source (nid, par, d) ON (target.nid = source.nid) "+
-			"WHEN NOT MATCHED THEN INSERT (nid, d2s, p2s, f, d2t, p2t, b) "+
-			"VALUES (source.nid, source.d, source.par, 0, 0, 0, 0)",
-		TblVisited, TblEdges)
-	targetQ := fmt.Sprintf("SELECT d2s FROM %s WHERE nid = ?", TblVisited)
 
 	limit := e.maxIters()
 	for iter := 0; ; iter++ {
 		if iter > limit {
 			return nil, fmt.Errorf("core: reachability exceeded %d iterations", limit)
 		}
-		cnt, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, frontierQ)
+		cnt, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, reachFrontierQ)
 		if err != nil {
 			return nil, err
 		}
@@ -89,13 +71,13 @@ func (e *Engine) Reachable(s, t int64) (*ReachResult, error) {
 			break
 		}
 		res.Iterations++
-		if _, err := e.runReachExpand(ctx, qs, expandQ); err != nil {
+		if _, err := e.runReachExpand(ctx, qs); err != nil {
 			return nil, err
 		}
-		if _, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, resetQ); err != nil {
+		if _, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, reachResetQ); err != nil {
 			return nil, err
 		}
-		d, null, err := e.queryInt(ctx, qs, &qs.SC, targetQ, t)
+		d, null, err := e.queryInt(ctx, qs, &qs.SC, reachTargetQ, t)
 		if err != nil {
 			return nil, err
 		}
@@ -115,20 +97,35 @@ func (e *Engine) Reachable(s, t int64) (*ReachResult, error) {
 	return res, nil
 }
 
+// Reachability statement shapes (constant texts; the expansion source is
+// shared between the MERGE and INSERT-only forms).
+const (
+	reachInitQ = "INSERT INTO " + TblVisited +
+		" (nid, d2s, p2s, f, d2t, p2t, b) VALUES (?, 0, ?, 0, 0, 0, 0)"
+	reachFrontierQ = "UPDATE " + TblVisited + " SET f = 2 WHERE f = 0"
+	reachResetQ    = "UPDATE " + TblVisited + " SET f = 1 WHERE f = 2"
+	reachTargetQ   = "SELECT d2s FROM " + TblVisited + " WHERE nid = ?"
+
+	reachExpandSrc = "SELECT out.tid, q.nid, q.d2s + 1, " +
+		"ROW_NUMBER() OVER (PARTITION BY out.tid ORDER BY q.d2s) " +
+		"FROM " + TblVisited + " q, " + TblEdges + " out WHERE q.nid = out.fid AND q.f = 2"
+	// Only NOT MATCHED inserts: reachability never revisits a node.
+	reachMergeQ = "MERGE INTO " + TblVisited + " AS target USING (" +
+		"SELECT nid, par, d FROM (" + reachExpandSrc + ") tmp (nid, par, d, rn) WHERE rn = 1" +
+		") AS source (nid, par, d) ON (target.nid = source.nid) " +
+		"WHEN NOT MATCHED THEN INSERT (nid, d2s, p2s, f, d2t, p2t, b) " +
+		"VALUES (source.nid, source.d, source.par, 0, 0, 0, 0)"
+	reachInsertQ = "INSERT INTO " + TblVisited + " (nid, d2s, p2s, f, d2t, p2t, b) " +
+		"SELECT tmp.nid, tmp.d, tmp.par, 0, 0, 0, 0 FROM (" + reachExpandSrc +
+		") tmp (nid, par, d, rn) " +
+		"WHERE tmp.rn = 1 AND NOT EXISTS (SELECT nid FROM " + TblVisited + " v WHERE v.nid = tmp.nid)"
+)
+
 // runReachExpand applies the reachability expansion, with the INSERT-only
 // fallback for profiles without MERGE.
-func (e *Engine) runReachExpand(ctx context.Context, qs *QueryStats, mergeQ string) (int64, error) {
+func (e *Engine) runReachExpand(ctx context.Context, qs *QueryStats) (int64, error) {
 	if e.db.Profile().SupportsMerge && !e.opts.TraditionalSQL {
-		return e.exec(ctx, qs, &qs.PE, &qs.EOp, mergeQ)
+		return e.exec(ctx, qs, &qs.PE, &qs.EOp, reachMergeQ)
 	}
-	insQ := fmt.Sprintf(
-		"INSERT INTO %[1]s (nid, d2s, p2s, f, d2t, p2t, b) "+
-			"SELECT tmp.nid, tmp.d, tmp.par, 0, 0, 0, 0 FROM ("+
-			"SELECT out.tid, q.nid, q.d2s + 1, "+
-			"ROW_NUMBER() OVER (PARTITION BY out.tid ORDER BY q.d2s) "+
-			"FROM %[1]s q, %[2]s out WHERE q.nid = out.fid AND q.f = 2"+
-			") tmp (nid, par, d, rn) "+
-			"WHERE tmp.rn = 1 AND NOT EXISTS (SELECT nid FROM %[1]s v WHERE v.nid = tmp.nid)",
-		TblVisited, TblEdges)
-	return e.exec(ctx, qs, &qs.PE, &qs.EOp, insQ)
+	return e.exec(ctx, qs, &qs.PE, &qs.EOp, reachInsertQ)
 }

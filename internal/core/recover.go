@@ -12,7 +12,7 @@ import (
 
 // recoverForward returns the node sequence s..x following p2s links.
 func (e *Engine) recoverForward(ctx context.Context, qs *QueryStats, s, x int64, segs bool) ([]int64, error) {
-	q := fmt.Sprintf("SELECT p2s FROM %s WHERE nid = ?", TblVisited)
+	const q = "SELECT p2s FROM " + TblVisited + " WHERE nid = ?"
 	var rev []int64
 	cur := x
 	guard := e.nodes + 2
@@ -55,7 +55,7 @@ func (e *Engine) recoverForward(ctx context.Context, qs *QueryStats, s, x int64,
 // Every prefix of a shortest segment is itself a recorded segment, so the
 // pid chain (u,v) -> (u,pre(v)) -> ... terminates at u.
 func (e *Engine) unfoldOutSegment(ctx context.Context, qs *QueryStats, u, v int64) ([]int64, error) {
-	q := fmt.Sprintf("SELECT pid FROM %s WHERE fid = ? AND tid = ?", TblOutSegs)
+	const q = "SELECT pid FROM " + TblOutSegs + " WHERE fid = ? AND tid = ?"
 	var out []int64
 	cur := v
 	guard := e.nodes + 2
@@ -81,7 +81,7 @@ func (e *Engine) unfoldOutSegment(ctx context.Context, qs *QueryStats, u, v int6
 // recoverBackward returns the node sequence x..t following p2t links
 // (excluding x itself).
 func (e *Engine) recoverBackward(ctx context.Context, qs *QueryStats, x, t int64, segs bool) ([]int64, error) {
-	q := fmt.Sprintf("SELECT p2t FROM %s WHERE nid = ?", TblVisited)
+	const q = "SELECT p2t FROM " + TblVisited + " WHERE nid = ?"
 	var out []int64
 	cur := x
 	guard := e.nodes + 2
@@ -116,7 +116,7 @@ func (e *Engine) recoverBackward(ctx context.Context, qs *QueryStats, x, t int64
 // both endpoints. TInSegs pid is the successor of fid, and every suffix of
 // a shortest segment is recorded, so (u,v) -> (pid,v) -> ... reaches v.
 func (e *Engine) unfoldInSegment(ctx context.Context, qs *QueryStats, u, v int64) ([]int64, error) {
-	q := fmt.Sprintf("SELECT pid FROM %s WHERE fid = ? AND tid = ?", TblInSegs)
+	const q = "SELECT pid FROM " + TblInSegs + " WHERE fid = ? AND tid = ?"
 	var out []int64
 	cur := u
 	guard := e.nodes + 2
@@ -142,8 +142,8 @@ func (e *Engine) unfoldInSegment(ctx context.Context, qs *QueryStats, u, v int64
 // recoverBidirectional locates a node on the optimal path (Listing 4(6))
 // and concatenates the two half-paths (lines 17-20 of Algorithm 2).
 func (e *Engine) recoverBidirectional(ctx context.Context, qs *QueryStats, s, t, minCost int64, segs bool) ([]int64, error) {
-	meet, null, err := e.queryInt(ctx, qs, &qs.FPR,
-		fmt.Sprintf("SELECT TOP 1 nid FROM %s WHERE d2s + d2t = ?", TblVisited), minCost)
+	const meetQ = "SELECT TOP 1 nid FROM " + TblVisited + " WHERE d2s + d2t = ?"
+	meet, null, err := e.queryInt(ctx, qs, &qs.FPR, meetQ, minCost)
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"time"
 )
 
@@ -20,6 +19,10 @@ import (
 // the same case (UpdateEdgeWeight). Edge deletions and weight increases
 // can lengthen distances and take the decremental path of mutation.go: a
 // touch set over the same four shapes, recomputed by a bounded sweep.
+//
+// Statement texts are rendered once at package init (the eight
+// maintenance shapes below); each mutation only binds (u, v, w, lthd), so
+// batches re-execute cached plans instead of re-rendering SQL per edge.
 
 // MaintStats reports one maintenance step (a single edge mutation or an
 // ApplyMutations batch).
@@ -53,111 +56,137 @@ func (e *Engine) InsertEdge(from, to, weight int64) (*MaintStats, error) {
 	return e.applyMutations([]Mutation{{Op: MutInsert, From: from, To: to, Weight: weight}}, false)
 }
 
+// maintShape is one candidate-pair source of the insertion maintenance:
+// the source select, its fused MERGE form, and the binder producing the
+// arguments from the mutated edge (u, v, w) and the index threshold.
+type maintShape struct {
+	src   string
+	merge string
+	args  func(u, v, w, lthd int64) []any
+}
+
+// maintMerge renders the maintenance MERGE skeleton for one target table
+// and candidate-pair source.
+func maintMerge(target, src string) string {
+	return "MERGE INTO " + target + " AS target USING (" + src + ") AS source (fid, tid, pid, cost) " +
+		"ON (target.fid = source.fid AND target.tid = source.tid) " +
+		"WHEN MATCHED AND target.cost > source.cost THEN UPDATE SET cost = source.cost, pid = source.pid " +
+		"WHEN NOT MATCHED THEN INSERT (fid, tid, pid, cost) VALUES (source.fid, source.tid, source.pid, source.cost)"
+}
+
+func maintShapes(target string, srcs []string, binders []func(u, v, w, lthd int64) []any) []maintShape {
+	out := make([]maintShape, len(srcs))
+	for i, src := range srcs {
+		out[i] = maintShape{src: src, merge: maintMerge(target, src), args: binders[i]}
+	}
+	return out
+}
+
+// The four forward shapes (TOutSegs; pid = predecessor of tid on the path)
+// and the four backward shapes (TInSegs; pid = successor of fid), per the
+// {x = u, x != u} x {y = v, y != v} decomposition.
+var (
+	maintFwdShapes = maintShapes(TblOutSegs,
+		[]string{
+			// 1) the pair (u, v) itself: pid = u.
+			"SELECT ?, ?, ?, ?",
+			// 2) x != u, y = v: prefixes x -> u from TInSegs (clustered on tid).
+			"SELECT a.fid, ?, ?, a.cost + ? FROM " + TblInSegs +
+				" a WHERE a.tid = ? AND a.fid <> ? AND a.cost + ? <= ?",
+			// 3) x = u, y != v: suffixes v -> y from TOutSegs (clustered on fid).
+			"SELECT ?, b.tid, b.pid, b.cost + ? FROM " + TblOutSegs +
+				" b WHERE b.fid = ? AND b.tid <> ? AND b.cost + ? <= ?",
+			// 4) x != u, y != v: both halves, deduped to the cheapest per pair.
+			"SELECT fid, tid, pid, cost FROM (" +
+				"SELECT a.fid, b.tid, b.pid, a.cost + ? + b.cost, " +
+				"ROW_NUMBER() OVER (PARTITION BY a.fid, b.tid ORDER BY a.cost + b.cost) " +
+				"FROM " + TblInSegs + " a, " + TblOutSegs + " b " +
+				"WHERE a.tid = ? AND b.fid = ? AND a.fid <> ? AND b.tid <> ? AND a.fid <> b.tid " +
+				"AND a.cost + b.cost + ? <= ?" +
+				") tmp (fid, tid, pid, cost, rn) WHERE rn = 1",
+		},
+		[]func(u, v, w, lthd int64) []any{
+			func(u, v, w, _ int64) []any { return []any{u, v, u, w} },
+			func(u, v, w, lthd int64) []any { return []any{v, u, w, u, v, w, lthd} },
+			func(u, v, w, lthd int64) []any { return []any{u, w, v, u, w, lthd} },
+			func(u, v, w, lthd int64) []any { return []any{w, u, v, v, u, w, lthd} },
+		})
+
+	maintBwdShapes = maintShapes(TblInSegs,
+		[]string{
+			// 1) the pair (u, v): successor of u is v.
+			"SELECT ?, ?, ?, ?",
+			// 2) x != u, y = v: prefixes x -> u keep their successor pid.
+			"SELECT a.fid, ?, a.pid, a.cost + ? FROM " + TblInSegs +
+				" a WHERE a.tid = ? AND a.fid <> ? AND a.cost + ? <= ?",
+			// 3) x = u, y != v: successor of u is v on every u -> v -> y path.
+			"SELECT ?, b.tid, ?, b.cost + ? FROM " + TblOutSegs +
+				" b WHERE b.fid = ? AND b.tid <> ? AND b.cost + ? <= ?",
+			// 4) x != u, y != v: successor comes from the prefix half.
+			"SELECT fid, tid, pid, cost FROM (" +
+				"SELECT a.fid, b.tid, a.pid, a.cost + ? + b.cost, " +
+				"ROW_NUMBER() OVER (PARTITION BY a.fid, b.tid ORDER BY a.cost + b.cost) " +
+				"FROM " + TblInSegs + " a, " + TblOutSegs + " b " +
+				"WHERE a.tid = ? AND b.fid = ? AND a.fid <> ? AND b.tid <> ? AND a.fid <> b.tid " +
+				"AND a.cost + b.cost + ? <= ?" +
+				") tmp (fid, tid, pid, cost, rn) WHERE rn = 1",
+		},
+		[]func(u, v, w, lthd int64) []any{
+			func(u, v, w, _ int64) []any { return []any{u, v, v, w} },
+			func(u, v, w, lthd int64) []any { return []any{v, w, u, v, w, lthd} },
+			func(u, v, w, lthd int64) []any { return []any{u, v, w, v, u, w, lthd} },
+			func(u, v, w, lthd int64) []any { return []any{w, u, v, v, u, w, lthd} },
+		})
+)
+
 // maintainDirection updates TOutSegs (forward=true) or TInSegs with the
-// consequences of the new edge (u, v, w).
+// consequences of the new edge (u, v, w) by running the four pre-rendered
+// maintenance shapes with the edge bound as parameters.
 func (e *Engine) maintainDirection(ctx context.Context, qs *QueryStats, u, v, w int64, forward bool) (int64, error) {
 	lthd := e.segLthd
-	var total int64
-
-	// mergeInto builds the MERGE skeleton for one candidate-pair source.
-	target := TblOutSegs
+	shapes, target := maintFwdShapes, TblOutSegs
 	if !forward {
-		target = TblInSegs
+		shapes, target = maintBwdShapes, TblInSegs
 	}
-	mergeInto := func(srcSelect string, args ...any) (int64, error) {
-		q := fmt.Sprintf(
-			"MERGE INTO %s AS target USING (%s) AS source (fid, tid, pid, cost) "+
-				"ON (target.fid = source.fid AND target.tid = source.tid) "+
-				"WHEN MATCHED AND target.cost > source.cost THEN UPDATE SET cost = source.cost, pid = source.pid "+
-				"WHEN NOT MATCHED THEN INSERT (fid, tid, pid, cost) VALUES (source.fid, source.tid, source.pid, source.cost)",
-			target, srcSelect)
-		if !e.db.Profile().SupportsMerge {
-			return e.mergelessMaintain(ctx, qs, target, srcSelect, args)
+	useMerge := e.db.Profile().SupportsMerge
+	var total int64
+	for _, sh := range shapes {
+		args := sh.args(u, v, w, lthd)
+		var n int64
+		var err error
+		if useMerge {
+			n, err = e.exec(ctx, qs, nil, nil, sh.merge, args...)
+		} else {
+			n, err = e.mergelessMaintain(ctx, qs, target, sh.src, args)
 		}
-		return e.exec(ctx, qs, nil, nil, q, args...)
-	}
-
-	// pid semantics: TOutSegs.pid = predecessor of tid on the path;
-	// TInSegs.pid = successor of fid on the path.
-	if forward {
-		// 1) the pair (u, v) itself: pid = u.
-		n, err := mergeInto("SELECT ?, ?, ?, ?", u, v, u, w)
 		if err != nil {
 			return 0, err
 		}
 		total += n
-		// 2) x != u, y = v: prefixes x -> u from TInSegs (clustered on tid).
-		n, err = mergeInto(fmt.Sprintf(
-			"SELECT a.fid, ?, ?, a.cost + ? FROM %s a WHERE a.tid = ? AND a.fid <> ? AND a.cost + ? <= ?",
-			TblInSegs), v, u, w, u, v, w, lthd)
-		if err != nil {
-			return 0, err
-		}
-		total += n
-		// 3) x = u, y != v: suffixes v -> y from TOutSegs (clustered on fid).
-		n, err = mergeInto(fmt.Sprintf(
-			"SELECT ?, b.tid, b.pid, b.cost + ? FROM %s b WHERE b.fid = ? AND b.tid <> ? AND b.cost + ? <= ?",
-			TblOutSegs), u, w, v, u, w, lthd)
-		if err != nil {
-			return 0, err
-		}
-		total += n
-		// 4) x != u, y != v: both halves, deduped to the cheapest per pair.
-		n, err = mergeInto(fmt.Sprintf(
-			"SELECT fid, tid, pid, cost FROM ("+
-				"SELECT a.fid, b.tid, b.pid, a.cost + ? + b.cost, "+
-				"ROW_NUMBER() OVER (PARTITION BY a.fid, b.tid ORDER BY a.cost + b.cost) "+
-				"FROM %s a, %s b "+
-				"WHERE a.tid = ? AND b.fid = ? AND a.fid <> ? AND b.tid <> ? AND a.fid <> b.tid "+
-				"AND a.cost + b.cost + ? <= ?"+
-				") tmp (fid, tid, pid, cost, rn) WHERE rn = 1",
-			TblInSegs, TblOutSegs), w, u, v, v, u, w, lthd)
-		if err != nil {
-			return 0, err
-		}
-		total += n
-		return total, nil
 	}
-
-	// TInSegs: rows (fid=x, tid=y, pid=successor of x, cost).
-	// 1) the pair (u, v): successor of u is v.
-	n, err := mergeInto("SELECT ?, ?, ?, ?", u, v, v, w)
-	if err != nil {
-		return 0, err
-	}
-	total += n
-	// 2) x != u, y = v: prefixes x -> u keep their successor pid.
-	n, err = mergeInto(fmt.Sprintf(
-		"SELECT a.fid, ?, a.pid, a.cost + ? FROM %s a WHERE a.tid = ? AND a.fid <> ? AND a.cost + ? <= ?",
-		TblInSegs), v, w, u, v, w, lthd)
-	if err != nil {
-		return 0, err
-	}
-	total += n
-	// 3) x = u, y != v: successor of u is v on every u -> v -> y path.
-	n, err = mergeInto(fmt.Sprintf(
-		"SELECT ?, b.tid, ?, b.cost + ? FROM %s b WHERE b.fid = ? AND b.tid <> ? AND b.cost + ? <= ?",
-		TblOutSegs), u, v, w, v, u, w, lthd)
-	if err != nil {
-		return 0, err
-	}
-	total += n
-	// 4) x != u, y != v: successor comes from the prefix half.
-	n, err = mergeInto(fmt.Sprintf(
-		"SELECT fid, tid, pid, cost FROM ("+
-			"SELECT a.fid, b.tid, a.pid, a.cost + ? + b.cost, "+
-			"ROW_NUMBER() OVER (PARTITION BY a.fid, b.tid ORDER BY a.cost + b.cost) "+
-			"FROM %s a, %s b "+
-			"WHERE a.tid = ? AND b.fid = ? AND a.fid <> ? AND b.tid <> ? AND a.fid <> b.tid "+
-			"AND a.cost + b.cost + ? <= ?"+
-			") tmp (fid, tid, pid, cost, rn) WHERE rn = 1",
-		TblInSegs, TblOutSegs), w, u, v, v, u, w, lthd)
-	if err != nil {
-		return 0, err
-	}
-	total += n
 	return total, nil
 }
+
+// Mergeless maintenance statement shapes (created lazily with TSegMaint).
+const (
+	segMaintClearQ = "DELETE FROM TSegMaint"
+	segMaintInsQ   = "INSERT INTO TSegMaint (fid, tid, pid, cost) "
+)
+
+func maintUpdate(target string) string {
+	return "UPDATE " + target + " SET cost = s.cost, pid = s.pid FROM TSegMaint s " +
+		"WHERE " + target + ".fid = s.fid AND " + target + ".tid = s.tid AND " + target + ".cost > s.cost"
+}
+
+func maintInsert(target string) string {
+	return "INSERT INTO " + target + " (fid, tid, pid, cost) SELECT s.fid, s.tid, s.pid, s.cost FROM TSegMaint s " +
+		"WHERE NOT EXISTS (SELECT fid FROM " + target + " g WHERE g.fid = s.fid AND g.tid = s.tid)"
+}
+
+var (
+	maintUpdateQ = map[string]string{TblOutSegs: maintUpdate(TblOutSegs), TblInSegs: maintUpdate(TblInSegs)}
+	maintInsertQ = map[string]string{TblOutSegs: maintInsert(TblOutSegs), TblInSegs: maintInsert(TblInSegs)}
+)
 
 // mergelessMaintain emulates the maintenance MERGE with UPDATE + INSERT on
 // profiles without MERGE support.
@@ -173,24 +202,17 @@ func (e *Engine) mergelessMaintain(ctx context.Context, qs *QueryStats, target, 
 			qs.Statements++
 		}
 	}
-	if _, err := e.exec(ctx, qs, nil, nil, "DELETE FROM TSegMaint"); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, segMaintClearQ); err != nil {
 		return 0, err
 	}
-	insQ := fmt.Sprintf("INSERT INTO TSegMaint (fid, tid, pid, cost) %s", srcSelect)
-	if _, err := e.exec(ctx, qs, nil, nil, insQ, args...); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, segMaintInsQ+srcSelect, args...); err != nil {
 		return 0, err
 	}
-	updQ := fmt.Sprintf(
-		"UPDATE %[1]s SET cost = s.cost, pid = s.pid FROM TSegMaint s "+
-			"WHERE %[1]s.fid = s.fid AND %[1]s.tid = s.tid AND %[1]s.cost > s.cost", target)
-	n1, err := e.exec(ctx, qs, nil, nil, updQ)
+	n1, err := e.exec(ctx, qs, nil, nil, maintUpdateQ[target])
 	if err != nil {
 		return 0, err
 	}
-	ins2Q := fmt.Sprintf(
-		"INSERT INTO %[1]s (fid, tid, pid, cost) SELECT s.fid, s.tid, s.pid, s.cost FROM TSegMaint s "+
-			"WHERE NOT EXISTS (SELECT fid FROM %[1]s g WHERE g.fid = s.fid AND g.tid = s.tid)", target)
-	n2, err := e.exec(ctx, qs, nil, nil, ins2Q)
+	n2, err := e.exec(ctx, qs, nil, nil, maintInsertQ[target])
 	if err != nil {
 		return 0, err
 	}

@@ -8,6 +8,82 @@ import (
 	"repro/internal/rdb"
 )
 
+// Construction statement shapes. Texts are compile-time constants (or
+// rendered once per sweep for the direction-dependent forms); every
+// per-round value — the frontier widening bound k*wmin, the lthd cap —
+// binds as a parameter, so the construction loop re-executes cached plans.
+const (
+	segClearQ = "DELETE FROM " + TblSeg
+	segSeedQ  = "INSERT INTO " + TblSeg + " (src, nid, dist, par, f) SELECT nid, nid, 0, nid, 0 FROM "
+	// F-operator (construction rule of §4.2): candidates below k*wmin
+	// (bound as "? * ?"), or the global minimum, expand together.
+	segFrontierQ = "UPDATE " + TblSeg +
+		" SET f = 2 WHERE f = 0 AND (dist < ? * ? OR dist = (SELECT MIN(dist) FROM " + TblSeg + " WHERE f = 0))"
+	segResetQ    = "UPDATE " + TblSeg + " SET f = 1 WHERE f = 2"
+	segCountOutQ = "SELECT COUNT(*) FROM " + TblOutSegs
+	segCountInQ  = "SELECT COUNT(*) FROM " + TblInSegs
+
+	// Materialization of the finished sweep (Definition 4(1)).
+	segInsOutQ = "INSERT INTO " + TblOutSegs +
+		" (fid, tid, pid, cost) SELECT src, nid, par, dist FROM " + TblSeg + " WHERE src <> nid"
+	// Backward pass computed paths nid -> src; store as (fid=nid, tid=src,
+	// pid=successor of nid).
+	segInsInQ = "INSERT INTO " + TblInSegs +
+		" (fid, tid, pid, cost) SELECT nid, src, par, dist FROM " + TblSeg + " WHERE src <> nid"
+)
+
+// segSweepSQL carries the direction-dependent construction statements,
+// rendered once per sweep and re-executed (as cached plans) every round.
+type segSweepSQL struct {
+	frontier string // segFrontierQ (constant, kept here for symmetry)
+	merge    string // fused MERGE form
+	// No-MERGE emulation (PostgreSQL 9.0 / TSQL).
+	insWindow string
+	insAgg    string
+	insBack   string
+	update    string
+	insert    string
+}
+
+// buildSegSweep renders one direction's sweep statements. forward walks
+// outgoing edges (distances FROM each source), backward incoming edges
+// (distances TO each source).
+func buildSegSweep(forward bool) *segSweepSQL {
+	joinCol, newCol := "fid", "tid"
+	if !forward {
+		joinCol, newCol = "tid", "fid"
+	}
+	// E-operator source: the cheapest in-bound expansion per (src, node);
+	// the lthd cap binds as the single parameter.
+	expandSrc := "SELECT q.src, out." + newCol + ", q.nid, out.cost + q.dist, " +
+		"ROW_NUMBER() OVER (PARTITION BY q.src, out." + newCol + " ORDER BY out.cost + q.dist) " +
+		"FROM " + TblSeg + " q, " + TblEdges + " out WHERE q.nid = out." + joinCol +
+		" AND q.f = 2 AND out.cost + q.dist <= ?"
+	x := &segSweepSQL{frontier: segFrontierQ}
+	x.merge = "MERGE INTO " + TblSeg + " AS target USING (" +
+		"SELECT src, nid, par, cost FROM (" + expandSrc + ") tmp (src, nid, par, cost, rn) WHERE rn = 1" +
+		") AS source (src, nid, par, cost) " +
+		"ON (target.src = source.src AND target.nid = source.nid) " +
+		"WHEN MATCHED AND target.dist > source.cost THEN UPDATE SET dist = source.cost, par = source.par, f = 0 " +
+		"WHEN NOT MATCHED THEN INSERT (src, nid, dist, par, f) VALUES (source.src, source.nid, source.cost, source.par, 0)"
+	x.insWindow = "INSERT INTO TSegExpand (src, nid, par, cost) " +
+		"SELECT src, nid, par, cost FROM (" + expandSrc + ") tmp (src, nid, par, cost, rn) WHERE rn = 1"
+	x.insAgg = "INSERT INTO TSegExpCost (src, nid, cost) " +
+		"SELECT q.src, out." + newCol + ", MIN(out.cost + q.dist) FROM " + TblSeg + " q, " + TblEdges + " out " +
+		"WHERE q.nid = out." + joinCol + " AND q.f = 2 AND out.cost + q.dist <= ? GROUP BY q.src, out." + newCol
+	x.insBack = "INSERT INTO TSegExpand (src, nid, par, cost) " +
+		"SELECT ec.src, ec.nid, MIN(q.nid), ec.cost FROM " + TblSeg + " q, " + TblEdges + " out, TSegExpCost ec " +
+		"WHERE q.nid = out." + joinCol + " AND q.f = 2 AND out.cost + q.dist <= ? " +
+		"AND ec.src = q.src AND ec.nid = out." + newCol + " AND out.cost + q.dist = ec.cost " +
+		"GROUP BY ec.src, ec.nid, ec.cost"
+	x.update = "UPDATE " + TblSeg + " SET dist = s.cost, par = s.par, f = 0 FROM TSegExpand s " +
+		"WHERE " + TblSeg + ".src = s.src AND " + TblSeg + ".nid = s.nid AND " + TblSeg + ".dist > s.cost"
+	x.insert = "INSERT INTO " + TblSeg + " (src, nid, dist, par, f) " +
+		"SELECT s.src, s.nid, s.cost, s.par, 0 FROM TSegExpand s " +
+		"WHERE NOT EXISTS (SELECT nid FROM " + TblSeg + " v WHERE v.src = s.src AND v.nid = s.nid)"
+	return x
+}
+
 // BuildSegTable constructs the SegTable index of Definition 4: TOutSegs
 // holds every pre-computed shortest segment (u,v) with δ(u,v) <= lthd plus
 // the original edges not dominated by a segment; TInSegs is the symmetric
@@ -72,19 +148,19 @@ func (e *Engine) buildSegTableLocked(ctx context.Context, lthd int64, bump bool)
 		}
 	}
 	stmts := []string{
-		fmt.Sprintf("CREATE TABLE %s (fid INT, tid INT, pid INT, cost INT)", TblOutSegs),
-		fmt.Sprintf("CREATE TABLE %s (fid INT, tid INT, pid INT, cost INT)", TblInSegs),
+		"CREATE TABLE " + TblOutSegs + " (fid INT, tid INT, pid INT, cost INT)",
+		"CREATE TABLE " + TblInSegs + " (fid INT, tid INT, pid INT, cost INT)",
 	}
 	switch e.opts.Strategy {
 	case ClusteredIndex:
 		stmts = append(stmts,
-			fmt.Sprintf("CREATE CLUSTERED INDEX toutsegs_fid ON %s (fid)", TblOutSegs),
-			fmt.Sprintf("CREATE CLUSTERED INDEX tinsegs_tid ON %s (tid)", TblInSegs),
+			"CREATE CLUSTERED INDEX toutsegs_fid ON "+TblOutSegs+" (fid)",
+			"CREATE CLUSTERED INDEX tinsegs_tid ON "+TblInSegs+" (tid)",
 		)
 	case SecondaryIndex:
 		stmts = append(stmts,
-			fmt.Sprintf("CREATE INDEX toutsegs_fid ON %s (fid)", TblOutSegs),
-			fmt.Sprintf("CREATE INDEX tinsegs_tid ON %s (tid)", TblInSegs),
+			"CREATE INDEX toutsegs_fid ON "+TblOutSegs+" (fid)",
+			"CREATE INDEX tinsegs_tid ON "+TblInSegs+" (tid)",
 		)
 	case NoIndex:
 		// bare heaps; probes degrade to scans, as Fig 8(c) measures.
@@ -94,8 +170,8 @@ func (e *Engine) buildSegTableLocked(ctx context.Context, lthd int64, bump bool)
 	// indexed ("we build indices over the relational tables for ...
 	// intermediate results").
 	stmts = append(stmts,
-		fmt.Sprintf("CREATE TABLE %s (src INT, nid INT, dist INT, par INT, f INT)", TblSeg),
-		fmt.Sprintf("CREATE UNIQUE CLUSTERED INDEX tseg_key ON %s (src, nid)", TblSeg),
+		"CREATE TABLE "+TblSeg+" (src INT, nid INT, dist INT, par INT, f INT)",
+		"CREATE UNIQUE CLUSTERED INDEX tseg_key ON "+TblSeg+" (src, nid)",
 	)
 	for _, q := range stmts {
 		if _, err := db.Exec(q); err != nil {
@@ -119,11 +195,11 @@ func (e *Engine) buildSegTableLocked(ctx context.Context, lthd int64, bump bool)
 	}
 	st.Iterations = itF + itB
 
-	outCnt, _, err := db.QueryInt(fmt.Sprintf("SELECT COUNT(*) FROM %s", TblOutSegs))
+	outCnt, _, err := db.QueryInt(segCountOutQ)
 	if err != nil {
 		return nil, err
 	}
-	inCnt, _, err := db.QueryInt(fmt.Sprintf("SELECT COUNT(*) FROM %s", TblInSegs))
+	inCnt, _, err := db.QueryInt(segCountInQ)
 	if err != nil {
 		return nil, err
 	}
@@ -153,21 +229,9 @@ func (e *Engine) segPass(ctx context.Context, qs *QueryStats, lthd int64, forwar
 	}
 
 	// Materialize the segments (Definition 4(1)) ...
-	target := TblOutSegs
+	insQ := segInsOutQ
 	if !forward {
-		target = TblInSegs
-	}
-	var insQ string
-	if forward {
-		insQ = fmt.Sprintf(
-			"INSERT INTO %s (fid, tid, pid, cost) SELECT src, nid, par, dist FROM %s WHERE src <> nid",
-			target, TblSeg)
-	} else {
-		// Backward pass computed paths nid -> src; store as (fid=nid,
-		// tid=src, pid=successor of nid).
-		insQ = fmt.Sprintf(
-			"INSERT INTO %s (fid, tid, pid, cost) SELECT nid, src, par, dist FROM %s WHERE src <> nid",
-			target, TblSeg)
+		insQ = segInsInQ
 	}
 	if _, err := e.exec(ctx, qs, nil, nil, insQ); err != nil {
 		return 0, err
@@ -185,43 +249,20 @@ func (e *Engine) segPass(ctx context.Context, qs *QueryStats, lthd int64, forwar
 // segSweep fills the TSeg working table with bounded multi-source
 // set-Dijkstra distances (dist <= lthd) from every node listed in
 // seedTable (nid column). BuildSegTable seeds all of TNodes; the
-// decremental repair seeds only the touched sources.
+// decremental repair seeds only the touched sources. Statement shapes are
+// rendered before the loop; the rounds only bind fresh parameters.
 func (e *Engine) segSweep(ctx context.Context, qs *QueryStats, lthd int64, forward bool, seedTable string) (int, error) {
 	db := e.db
-	if _, err := e.exec(ctx, qs, nil, nil, "DELETE FROM "+TblSeg); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, segClearQ); err != nil {
 		return 0, err
 	}
-	if _, err := e.exec(ctx, qs, nil, nil, fmt.Sprintf(
-		"INSERT INTO %s (src, nid, dist, par, f) SELECT nid, nid, 0, nid, 0 FROM %s",
-		TblSeg, seedTable)); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, segSeedQ+seedTable); err != nil {
 		return 0, err
 	}
 
-	joinCol, newCol := "fid", "tid"
-	if !forward {
-		joinCol, newCol = "tid", "fid"
-	}
-	// F-operator (construction rule of §4.2): candidates below k*wmin, or
-	// the global minimum, expand together.
-	frontierQ := fmt.Sprintf(
-		"UPDATE %[1]s SET f = 2 WHERE f = 0 AND (dist < ? OR dist = (SELECT MIN(dist) FROM %[1]s WHERE f = 0))",
-		TblSeg)
-	resetQ := fmt.Sprintf("UPDATE %s SET f = 1 WHERE f = 2", TblSeg)
-
+	x := buildSegSweep(forward)
 	useMerge := db.Profile().SupportsMerge && !e.opts.TraditionalSQL
 	useWindow := db.Profile().SupportsWindow && !e.opts.TraditionalSQL
-
-	// E-operator source: the cheapest in-bound expansion per (src, node).
-	var expandSrc string
-	if useWindow {
-		expandSrc = fmt.Sprintf(
-			"SELECT src, nid, par, cost FROM ("+
-				"SELECT q.src, out.%s, q.nid, out.cost + q.dist, "+
-				"ROW_NUMBER() OVER (PARTITION BY q.src, out.%s ORDER BY out.cost + q.dist) "+
-				"FROM %s q, %s out WHERE q.nid = out.%s AND q.f = 2 AND out.cost + q.dist <= ?"+
-				") tmp (src, nid, par, cost, rn) WHERE rn = 1",
-			newCol, newCol, TblSeg, TblEdges, joinCol)
-	}
 
 	var iterations int
 	k := int64(0)
@@ -234,7 +275,7 @@ func (e *Engine) segSweep(ctx context.Context, qs *QueryStats, lthd int64, forwa
 		if int(k) > limit {
 			return 0, fmt.Errorf("core: SegTable construction exceeded %d iterations", limit)
 		}
-		cnt, err := e.exec(ctx, qs, nil, nil, frontierQ, k*e.wmin)
+		cnt, err := e.exec(ctx, qs, nil, nil, x.frontier, k, e.wmin)
 		if err != nil {
 			return 0, err
 		}
@@ -243,21 +284,15 @@ func (e *Engine) segSweep(ctx context.Context, qs *QueryStats, lthd int64, forwa
 		}
 		iterations++
 		if useMerge {
-			mergeQ := fmt.Sprintf(
-				"MERGE INTO %s AS target USING (%s) AS source (src, nid, par, cost) "+
-					"ON (target.src = source.src AND target.nid = source.nid) "+
-					"WHEN MATCHED AND target.dist > source.cost THEN UPDATE SET dist = source.cost, par = source.par, f = 0 "+
-					"WHEN NOT MATCHED THEN INSERT (src, nid, dist, par, f) VALUES (source.src, source.nid, source.cost, source.par, 0)",
-				TblSeg, expandSrc)
-			if _, err := e.exec(ctx, qs, nil, nil, mergeQ, lthd); err != nil {
+			if _, err := e.exec(ctx, qs, nil, nil, x.merge, lthd); err != nil {
 				return 0, err
 			}
 		} else {
-			if err := e.segExpandNoMerge(ctx, qs, joinCol, newCol, useWindow, lthd); err != nil {
+			if err := e.segExpandNoMerge(ctx, qs, x, useWindow, lthd); err != nil {
 				return 0, err
 			}
 		}
-		if _, err := e.exec(ctx, qs, nil, nil, resetQ); err != nil {
+		if _, err := e.exec(ctx, qs, nil, nil, segResetQ); err != nil {
 			return 0, err
 		}
 	}
@@ -280,19 +315,15 @@ func (e *Engine) foldEdges(ctx context.Context, qs *QueryStats, forward bool, to
 	}
 	restrict := ""
 	if touchTable != "" {
-		restrict = fmt.Sprintf(
-			" WHERE EXISTS (SELECT fid FROM %s m WHERE m.fid = s.fid AND m.tid = s.tid)", touchTable)
+		restrict = " WHERE EXISTS (SELECT fid FROM " + touchTable + " m WHERE m.fid = s.fid AND m.tid = s.tid)"
 	}
-	src := fmt.Sprintf(
-		"SELECT s.fid, s.tid, %s, MIN(s.cost) FROM %s s%s GROUP BY s.fid, s.tid",
-		pid, TblEdges, restrict)
+	src := "SELECT s.fid, s.tid, " + pid + ", MIN(s.cost) FROM " + TblEdges + " s" + restrict +
+		" GROUP BY s.fid, s.tid"
 	if e.db.Profile().SupportsMerge && !e.opts.TraditionalSQL {
-		q := fmt.Sprintf(
-			"MERGE INTO %s AS target USING (%s) AS source (fid, tid, pid, cost) "+
-				"ON (target.fid = source.fid AND target.tid = source.tid) "+
-				"WHEN MATCHED AND target.cost > source.cost THEN UPDATE SET cost = source.cost, pid = source.pid "+
-				"WHEN NOT MATCHED THEN INSERT (fid, tid, pid, cost) VALUES (source.fid, source.tid, source.pid, source.cost)",
-			target, src)
+		q := "MERGE INTO " + target + " AS target USING (" + src + ") AS source (fid, tid, pid, cost) " +
+			"ON (target.fid = source.fid AND target.tid = source.tid) " +
+			"WHEN MATCHED AND target.cost > source.cost THEN UPDATE SET cost = source.cost, pid = source.pid " +
+			"WHEN NOT MATCHED THEN INSERT (fid, tid, pid, cost) VALUES (source.fid, source.tid, source.pid, source.cost)"
 		_, err := e.exec(ctx, qs, nil, nil, q)
 		return err
 	}
@@ -303,8 +334,9 @@ func (e *Engine) foldEdges(ctx context.Context, qs *QueryStats, forward bool, to
 // segExpandNoMerge emulates the construction MERGE with UPDATE + INSERT
 // (PostgreSQL 9.0 profile) or additionally replaces the window function
 // with aggregate + join-back (TSQL). The expansion lands in scratch tables
-// keyed (src, nid).
-func (e *Engine) segExpandNoMerge(ctx context.Context, qs *QueryStats, joinCol, newCol string, useWindow bool, lthd int64) error {
+// keyed (src, nid). The statements come pre-rendered in x — only lthd
+// binds per call.
+func (e *Engine) segExpandNoMerge(ctx context.Context, qs *QueryStats, x *segSweepSQL, useWindow bool, lthd int64) error {
 	db := e.sess
 	// Lazily create the wide scratch table for construction (src, nid).
 	if _, ok := e.db.Catalog().Get("TSegExpand"); !ok {
@@ -324,53 +356,24 @@ func (e *Engine) segExpandNoMerge(ctx context.Context, qs *QueryStats, joinCol, 
 		return err
 	}
 	if useWindow {
-		insQ := fmt.Sprintf(
-			"INSERT INTO TSegExpand (src, nid, par, cost) "+
-				"SELECT src, nid, par, cost FROM ("+
-				"SELECT q.src, out.%s, q.nid, out.cost + q.dist, "+
-				"ROW_NUMBER() OVER (PARTITION BY q.src, out.%s ORDER BY out.cost + q.dist) "+
-				"FROM %s q, %s out WHERE q.nid = out.%s AND q.f = 2 AND out.cost + q.dist <= ?"+
-				") tmp (src, nid, par, cost, rn) WHERE rn = 1",
-			newCol, newCol, TblSeg, TblEdges, joinCol)
-		if _, err := e.exec(ctx, qs, nil, nil, insQ, lthd); err != nil {
+		if _, err := e.exec(ctx, qs, nil, nil, x.insWindow, lthd); err != nil {
 			return err
 		}
 	} else {
 		if _, err := e.exec(ctx, qs, nil, nil, "DELETE FROM TSegExpCost"); err != nil {
 			return err
 		}
-		aggQ := fmt.Sprintf(
-			"INSERT INTO TSegExpCost (src, nid, cost) "+
-				"SELECT q.src, out.%s, MIN(out.cost + q.dist) FROM %s q, %s out "+
-				"WHERE q.nid = out.%s AND q.f = 2 AND out.cost + q.dist <= ? GROUP BY q.src, out.%s",
-			newCol, TblSeg, TblEdges, joinCol, newCol)
-		if _, err := e.exec(ctx, qs, nil, nil, aggQ, lthd); err != nil {
+		if _, err := e.exec(ctx, qs, nil, nil, x.insAgg, lthd); err != nil {
 			return err
 		}
-		backQ := fmt.Sprintf(
-			"INSERT INTO TSegExpand (src, nid, par, cost) "+
-				"SELECT ec.src, ec.nid, MIN(q.nid), ec.cost FROM %s q, %s out, TSegExpCost ec "+
-				"WHERE q.nid = out.%s AND q.f = 2 AND out.cost + q.dist <= ? "+
-				"AND ec.src = q.src AND ec.nid = out.%s AND out.cost + q.dist = ec.cost "+
-				"GROUP BY ec.src, ec.nid, ec.cost",
-			TblSeg, TblEdges, joinCol, newCol)
-		if _, err := e.exec(ctx, qs, nil, nil, backQ, lthd); err != nil {
+		if _, err := e.exec(ctx, qs, nil, nil, x.insBack, lthd); err != nil {
 			return err
 		}
 	}
-	updQ := fmt.Sprintf(
-		"UPDATE %[1]s SET dist = s.cost, par = s.par, f = 0 FROM TSegExpand s "+
-			"WHERE %[1]s.src = s.src AND %[1]s.nid = s.nid AND %[1]s.dist > s.cost",
-		TblSeg)
-	if _, err := e.exec(ctx, qs, nil, nil, updQ); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, x.update); err != nil {
 		return err
 	}
-	insQ := fmt.Sprintf(
-		"INSERT INTO %[1]s (src, nid, dist, par, f) "+
-			"SELECT s.src, s.nid, s.cost, s.par, 0 FROM TSegExpand s "+
-			"WHERE NOT EXISTS (SELECT nid FROM %[1]s v WHERE v.src = s.src AND v.nid = s.nid)",
-		TblSeg)
-	if _, err := e.exec(ctx, qs, nil, nil, insQ); err != nil {
+	if _, err := e.exec(ctx, qs, nil, nil, x.insert); err != nil {
 		return err
 	}
 	return nil

@@ -213,6 +213,11 @@ func (a *Aggregate) Next(*Ctx) (record.Row, error) {
 // Close implements Node.
 func (a *Aggregate) Close() { a.out = nil }
 
+// Clone implements Node.
+func (a *Aggregate) Clone() Node {
+	return &Aggregate{Input: a.Input.Clone(), GroupFns: a.GroupFns, Specs: a.Specs}
+}
+
 // --- window ------------------------------------------------------------------
 
 // windowSpec is one compiled window function (ROW_NUMBER or RANK).
@@ -350,3 +355,6 @@ func (w *Window) Next(*Ctx) (record.Row, error) {
 
 // Close implements Node.
 func (w *Window) Close() { w.out = nil }
+
+// Clone implements Node.
+func (w *Window) Clone() Node { return &Window{Input: w.Input.Clone(), Specs: w.Specs} }

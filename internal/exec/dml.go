@@ -16,6 +16,19 @@ type Result struct {
 	RowsAffected int64
 }
 
+// PreparedDML is a compiled, re-executable mutating statement. Preparation
+// does all parsing-adjacent work once — target resolution, index-probe
+// selection, expression compilation — and Run binds fresh parameter values
+// through the Ctx. The compiled state is immutable; per-execution state
+// (sub-plan instances, memoized subqueries) lives in the Ctx, so one
+// PreparedDML may be shared by a plan cache.
+type PreparedDML struct {
+	run func(ctx *Ctx) (Result, error)
+}
+
+// Run executes the prepared statement with the parameters bound in ctx.
+func (p *PreparedDML) Run(ctx *Ctx) (Result, error) { return p.run(ctx) }
+
 // targetMatch is one target row addressed by a DML statement.
 type targetMatch struct {
 	loc table.Loc
@@ -110,63 +123,85 @@ func findTargets(ctx *Ctx, t *table.Table, probe *probePlan, residual scalarFn) 
 	return out, nil
 }
 
-// ExecInsert runs an INSERT statement.
-func (p *Planner) ExecInsert(st *sql.InsertStmt, ctx *Ctx) (Result, error) {
+// PrepareInsert compiles an INSERT statement.
+func (p *Planner) PrepareInsert(st *sql.InsertStmt) (*PreparedDML, error) {
 	t, ok := p.cat.Get(st.Table)
 	if !ok {
-		return Result{}, fmt.Errorf("exec: unknown table %q", st.Table)
+		return nil, fmt.Errorf("exec: unknown table %q", st.Table)
 	}
 	ordinals, err := insertOrdinals(t, st.Cols)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	c := &compiler{planner: p}
-	var n int64
 	if st.Select != nil {
 		plan, lay, err := p.planSelect(st.Select, nil, c, nil)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		if len(lay.Cols) != len(ordinals) {
-			return Result{}, fmt.Errorf("exec: INSERT expects %d columns, SELECT returns %d", len(ordinals), len(lay.Cols))
+			return nil, fmt.Errorf("exec: INSERT expects %d columns, SELECT returns %d", len(ordinals), len(lay.Cols))
 		}
-		rows, err := runPlan(plan, ctx)
-		if err != nil {
-			return Result{}, err
+		return &PreparedDML{run: func(ctx *Ctx) (Result, error) {
+			rows, err := runPlan(plan.Clone(), ctx)
+			if err != nil {
+				return Result{}, err
+			}
+			var n int64
+			for _, r := range rows {
+				row := buildInsertRow(t, ordinals, r)
+				if _, err := t.Insert(row); err != nil {
+					return Result{}, err
+				}
+				n++
+			}
+			return Result{RowsAffected: n}, nil
+		}}, nil
+	}
+	env := &Env{Lay: &Layout{}}
+	rowFns := make([][]scalarFn, len(st.Rows))
+	for ri, valueExprs := range st.Rows {
+		if len(valueExprs) != len(ordinals) {
+			return nil, fmt.Errorf("exec: INSERT expects %d values, got %d", len(ordinals), len(valueExprs))
 		}
-		for _, r := range rows {
-			row := buildInsertRow(t, ordinals, r)
+		fns := make([]scalarFn, len(valueExprs))
+		for i, e := range valueExprs {
+			f, err := c.compileExpr(e, env, nil)
+			if err != nil {
+				return nil, err
+			}
+			fns[i] = f
+		}
+		rowFns[ri] = fns
+	}
+	return &PreparedDML{run: func(ctx *Ctx) (Result, error) {
+		var n int64
+		for _, fns := range rowFns {
+			vals := make(record.Row, len(fns))
+			for i, f := range fns {
+				v, err := f(ctx, nil)
+				if err != nil {
+					return Result{}, err
+				}
+				vals[i] = v
+			}
+			row := buildInsertRow(t, ordinals, vals)
 			if _, err := t.Insert(row); err != nil {
 				return Result{}, err
 			}
 			n++
 		}
 		return Result{RowsAffected: n}, nil
+	}}, nil
+}
+
+// ExecInsert compiles and runs an INSERT statement.
+func (p *Planner) ExecInsert(st *sql.InsertStmt, ctx *Ctx) (Result, error) {
+	pd, err := p.PrepareInsert(st)
+	if err != nil {
+		return Result{}, err
 	}
-	env := &Env{Lay: &Layout{}}
-	for _, valueExprs := range st.Rows {
-		if len(valueExprs) != len(ordinals) {
-			return Result{}, fmt.Errorf("exec: INSERT expects %d values, got %d", len(ordinals), len(valueExprs))
-		}
-		vals := make(record.Row, len(valueExprs))
-		for i, e := range valueExprs {
-			f, err := c.compileExpr(e, env, nil)
-			if err != nil {
-				return Result{}, err
-			}
-			v, err := f(ctx, nil)
-			if err != nil {
-				return Result{}, err
-			}
-			vals[i] = v
-		}
-		row := buildInsertRow(t, ordinals, vals)
-		if _, err := t.Insert(row); err != nil {
-			return Result{}, err
-		}
-		n++
-	}
-	return Result{RowsAffected: n}, nil
+	return pd.Run(ctx)
 }
 
 func insertOrdinals(t *table.Table, cols []string) ([]int, error) {
@@ -199,45 +234,59 @@ func buildInsertRow(t *table.Table, ordinals []int, vals record.Row) record.Row 
 	return row
 }
 
-// ExecDelete runs a DELETE statement.
-func (p *Planner) ExecDelete(st *sql.DeleteStmt, ctx *Ctx) (Result, error) {
+// PrepareDelete compiles a DELETE statement.
+func (p *Planner) PrepareDelete(st *sql.DeleteStmt) (*PreparedDML, error) {
 	t, ok := p.cat.Get(st.Table)
 	if !ok {
-		return Result{}, fmt.Errorf("exec: unknown table %q", st.Table)
+		return nil, fmt.Errorf("exec: unknown table %q", st.Table)
 	}
 	if st.Where == nil {
 		// Fast path: full truncate.
-		n := int64(t.RowCount())
-		if err := t.Truncate(); err != nil {
-			return Result{}, err
-		}
-		return Result{RowsAffected: n}, nil
+		return &PreparedDML{run: func(*Ctx) (Result, error) {
+			n := int64(t.RowCount())
+			if err := t.Truncate(); err != nil {
+				return Result{}, err
+			}
+			return Result{RowsAffected: n}, nil
+		}}, nil
 	}
 	c := &compiler{planner: p}
 	lay := NewLayout(st.Table, schemaNames(t))
 	env := &Env{Lay: lay}
 	probe, residual, err := p.analyzeTargetAccess(t, st.Table, lay, env, splitConjuncts(st.Where), c)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	matches, err := findTargets(ctx, t, probe, residual)
+	return &PreparedDML{run: func(ctx *Ctx) (Result, error) {
+		matches, err := findTargets(ctx, t, probe, residual)
+		if err != nil {
+			return Result{}, err
+		}
+		for _, m := range matches {
+			if err := t.Delete(m.loc, m.row); err != nil {
+				return Result{}, err
+			}
+		}
+		return Result{RowsAffected: int64(len(matches))}, nil
+	}}, nil
+}
+
+// ExecDelete compiles and runs a DELETE statement.
+func (p *Planner) ExecDelete(st *sql.DeleteStmt, ctx *Ctx) (Result, error) {
+	pd, err := p.PrepareDelete(st)
 	if err != nil {
 		return Result{}, err
 	}
-	for _, m := range matches {
-		if err := t.Delete(m.loc, m.row); err != nil {
-			return Result{}, err
-		}
-	}
-	return Result{RowsAffected: int64(len(matches))}, nil
+	return pd.Run(ctx)
 }
 
-// ExecUpdate runs an UPDATE statement, including the PostgreSQL-style
-// UPDATE ... FROM form the TSQL dialect uses to emulate MERGE.
-func (p *Planner) ExecUpdate(st *sql.UpdateStmt, ctx *Ctx) (Result, error) {
+// PrepareUpdate compiles an UPDATE statement, including the
+// PostgreSQL-style UPDATE ... FROM form the TSQL dialect uses to emulate
+// MERGE.
+func (p *Planner) PrepareUpdate(st *sql.UpdateStmt) (*PreparedDML, error) {
 	t, ok := p.cat.Get(st.Table)
 	if !ok {
-		return Result{}, fmt.Errorf("exec: unknown table %q", st.Table)
+		return nil, fmt.Errorf("exec: unknown table %q", st.Table)
 	}
 	qual := st.Alias
 	if qual == "" {
@@ -250,84 +299,97 @@ func (p *Planner) ExecUpdate(st *sql.UpdateStmt, ctx *Ctx) (Result, error) {
 		env := &Env{Lay: lay}
 		probe, residual, err := p.analyzeTargetAccess(t, qual, lay, env, splitConjuncts(st.Where), c)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		setFns, setOrds, err := p.compileSets(t, st.Sets, env, c)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
-		matches, err := findTargets(ctx, t, probe, residual)
-		if err != nil {
-			return Result{}, err
-		}
-		var n int64
-		for _, m := range matches {
-			newRow, changed, err := applySets(ctx, m.row, setFns, setOrds)
+		return &PreparedDML{run: func(ctx *Ctx) (Result, error) {
+			matches, err := findTargets(ctx, t, probe, residual)
 			if err != nil {
 				return Result{}, err
 			}
-			if !changed {
-				n++ // SQL counts matched rows even if values are identical
-				continue
+			var n int64
+			for _, m := range matches {
+				newRow, changed, err := applySets(ctx, m.row, setFns, setOrds)
+				if err != nil {
+					return Result{}, err
+				}
+				if !changed {
+					n++ // SQL counts matched rows even if values are identical
+					continue
+				}
+				if _, err := t.Update(m.loc, m.row, newRow); err != nil {
+					return Result{}, err
+				}
+				n++
 			}
-			if _, err := t.Update(m.loc, m.row, newRow); err != nil {
-				return Result{}, err
-			}
-			n++
-		}
-		return Result{RowsAffected: n}, nil
+			return Result{RowsAffected: n}, nil
+		}}, nil
 	}
 
 	// UPDATE ... FROM source: for each source row, probe the target.
 	srcPlan, srcLay, err := p.planFromRef(st.From, c)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	srcEnv := &Env{Lay: srcLay}
 	targetEnv := &Env{Lay: lay, Parent: srcEnv}
 	probe, residual, err := p.analyzeTargetAccess(t, qual, lay, targetEnv, splitConjuncts(st.Where), c)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	setFns, setOrds, err := p.compileSets(t, st.Sets, targetEnv, c)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	srcRows, err := runPlan(srcPlan, ctx)
-	if err != nil {
-		return Result{}, err
-	}
-	touched := make(map[string]bool)
-	var n int64
-	for _, srcRow := range srcRows {
-		ctx.Push(srcRow)
-		matches, err := findTargets(ctx, t, probe, residual)
+	return &PreparedDML{run: func(ctx *Ctx) (Result, error) {
+		srcRows, err := runPlan(srcPlan.Clone(), ctx)
 		if err != nil {
-			ctx.Pop()
 			return Result{}, err
 		}
-		for _, m := range matches {
-			lk := locKey(m.loc)
-			if touched[lk] {
-				continue // first matching source row wins
-			}
-			touched[lk] = true
-			newRow, changed, err := applySets(ctx, m.row, setFns, setOrds)
+		touched := make(map[string]bool)
+		var n int64
+		for _, srcRow := range srcRows {
+			ctx.Push(srcRow)
+			matches, err := findTargets(ctx, t, probe, residual)
 			if err != nil {
 				ctx.Pop()
 				return Result{}, err
 			}
-			if changed {
-				if _, err := t.Update(m.loc, m.row, newRow); err != nil {
+			for _, m := range matches {
+				lk := locKey(m.loc)
+				if touched[lk] {
+					continue // first matching source row wins
+				}
+				touched[lk] = true
+				newRow, changed, err := applySets(ctx, m.row, setFns, setOrds)
+				if err != nil {
 					ctx.Pop()
 					return Result{}, err
 				}
+				if changed {
+					if _, err := t.Update(m.loc, m.row, newRow); err != nil {
+						ctx.Pop()
+						return Result{}, err
+					}
+				}
+				n++
 			}
-			n++
+			ctx.Pop()
 		}
-		ctx.Pop()
+		return Result{RowsAffected: n}, nil
+	}}, nil
+}
+
+// ExecUpdate compiles and runs an UPDATE statement.
+func (p *Planner) ExecUpdate(st *sql.UpdateStmt, ctx *Ctx) (Result, error) {
+	pd, err := p.PrepareUpdate(st)
+	if err != nil {
+		return Result{}, err
 	}
-	return Result{RowsAffected: n}, nil
+	return pd.Run(ctx)
 }
 
 func locKey(l table.Loc) string {
@@ -392,14 +454,22 @@ func applySets(ctx *Ctx, row record.Row, fns []scalarFn, ords []int) (record.Row
 	return newRow, changed, nil
 }
 
-// ExecMerge runs a MERGE statement: for every source row, probe the target
-// by the ON condition, then apply the first applicable WHEN branch.
+// mergeBranch is one compiled WHEN MATCHED branch.
+type mergeBranch struct {
+	cond    scalarFn
+	setFns  []scalarFn
+	setOrds []int
+	del     bool
+}
+
+// PrepareMerge compiles a MERGE statement: for every source row, probe the
+// target by the ON condition, then apply the first applicable WHEN branch.
 // Affected rows = updates + deletes + inserts, matching the SQLCA counter
 // the paper's Algorithm 1/2 read for termination.
-func (p *Planner) ExecMerge(st *sql.MergeStmt, ctx *Ctx) (Result, error) {
+func (p *Planner) PrepareMerge(st *sql.MergeStmt) (*PreparedDML, error) {
 	t, ok := p.cat.Get(st.Target)
 	if !ok {
-		return Result{}, fmt.Errorf("exec: unknown target table %q", st.Target)
+		return nil, fmt.Errorf("exec: unknown target table %q", st.Target)
 	}
 	qual := st.TargetAlias
 	if qual == "" {
@@ -408,7 +478,7 @@ func (p *Planner) ExecMerge(st *sql.MergeStmt, ctx *Ctx) (Result, error) {
 	c := &compiler{planner: p}
 	srcPlan, srcLay, err := p.planFromRef(st.Source, c)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	srcEnv := &Env{Lay: srcLay}
 	targetLay := NewLayout(qual, schemaNames(t))
@@ -416,22 +486,16 @@ func (p *Planner) ExecMerge(st *sql.MergeStmt, ctx *Ctx) (Result, error) {
 
 	probe, residual, err := p.analyzeTargetAccess(t, qual, targetLay, targetEnv, splitConjuncts(st.On), c)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 
-	type matchedBranch struct {
-		cond    scalarFn
-		setFns  []scalarFn
-		setOrds []int
-		del     bool
-	}
-	branches := make([]matchedBranch, len(st.Matched))
+	branches := make([]mergeBranch, len(st.Matched))
 	for i, m := range st.Matched {
-		var mb matchedBranch
+		var mb mergeBranch
 		if m.And != nil {
 			f, err := c.compileExpr(m.And, targetEnv, nil)
 			if err != nil {
-				return Result{}, err
+				return nil, err
 			}
 			mb.cond = f
 		}
@@ -440,7 +504,7 @@ func (p *Planner) ExecMerge(st *sql.MergeStmt, ctx *Ctx) (Result, error) {
 		} else {
 			fns, ords, err := p.compileSets(t, m.Sets, targetEnv, c)
 			if err != nil {
-				return Result{}, err
+				return nil, err
 			}
 			mb.setFns, mb.setOrds = fns, ords
 		}
@@ -453,114 +517,126 @@ func (p *Planner) ExecMerge(st *sql.MergeStmt, ctx *Ctx) (Result, error) {
 	if st.NotMatched != nil {
 		ordinals, err := insertOrdinals(t, st.NotMatched.Cols)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		if len(st.NotMatched.Vals) != len(ordinals) {
-			return Result{}, fmt.Errorf("exec: MERGE INSERT expects %d values, got %d", len(ordinals), len(st.NotMatched.Vals))
+			return nil, fmt.Errorf("exec: MERGE INSERT expects %d values, got %d", len(ordinals), len(st.NotMatched.Vals))
 		}
 		insOrds = ordinals
 		for _, e := range st.NotMatched.Vals {
 			f, err := c.compileExpr(e, srcEnv, nil)
 			if err != nil {
-				return Result{}, err
+				return nil, err
 			}
 			insFns = append(insFns, f)
 		}
 		if st.NotMatched.And != nil {
 			f, err := c.compileExpr(st.NotMatched.And, srcEnv, nil)
 			if err != nil {
-				return Result{}, err
+				return nil, err
 			}
 			insCond = f
 		}
 	}
+	hasInsert := st.NotMatched != nil
 
-	srcRows, err := runPlan(srcPlan, ctx)
-	if err != nil {
-		return Result{}, err
-	}
-	touched := make(map[string]bool)
-	var n int64
-	for _, srcRow := range srcRows {
-		ctx.Push(srcRow)
-		matches, err := findTargets(ctx, t, probe, residual)
+	return &PreparedDML{run: func(ctx *Ctx) (Result, error) {
+		srcRows, err := runPlan(srcPlan.Clone(), ctx)
 		if err != nil {
-			ctx.Pop()
 			return Result{}, err
 		}
-		if len(matches) == 0 {
-			if st.NotMatched != nil {
-				ok := true
-				if insCond != nil {
-					v, err := insCond(ctx, srcRow)
-					if err != nil {
-						ctx.Pop()
-						return Result{}, err
-					}
-					ok = v.Truthy()
-				}
-				if ok {
-					vals := make(record.Row, len(insFns))
-					for i, f := range insFns {
-						v, err := f(ctx, srcRow)
+		touched := make(map[string]bool)
+		var n int64
+		for _, srcRow := range srcRows {
+			ctx.Push(srcRow)
+			matches, err := findTargets(ctx, t, probe, residual)
+			if err != nil {
+				ctx.Pop()
+				return Result{}, err
+			}
+			if len(matches) == 0 {
+				if hasInsert {
+					ok := true
+					if insCond != nil {
+						v, err := insCond(ctx, srcRow)
 						if err != nil {
 							ctx.Pop()
 							return Result{}, err
 						}
-						vals[i] = v
+						ok = v.Truthy()
 					}
-					row := buildInsertRow(t, insOrds, vals)
-					if _, err := t.Insert(row); err != nil {
-						ctx.Pop()
-						return Result{}, err
+					if ok {
+						vals := make(record.Row, len(insFns))
+						for i, f := range insFns {
+							v, err := f(ctx, srcRow)
+							if err != nil {
+								ctx.Pop()
+								return Result{}, err
+							}
+							vals[i] = v
+						}
+						row := buildInsertRow(t, insOrds, vals)
+						if _, err := t.Insert(row); err != nil {
+							ctx.Pop()
+							return Result{}, err
+						}
+						n++
 					}
-					n++
 				}
-			}
-			ctx.Pop()
-			continue
-		}
-		for _, m := range matches {
-			lk := locKey(m.loc)
-			if touched[lk] {
+				ctx.Pop()
 				continue
 			}
-			for _, br := range branches {
-				if br.cond != nil {
-					v, err := br.cond(ctx, m.row)
+			for _, m := range matches {
+				lk := locKey(m.loc)
+				if touched[lk] {
+					continue
+				}
+				for _, br := range branches {
+					if br.cond != nil {
+						v, err := br.cond(ctx, m.row)
+						if err != nil {
+							ctx.Pop()
+							return Result{}, err
+						}
+						if !v.Truthy() {
+							continue
+						}
+					}
+					touched[lk] = true
+					if br.del {
+						if err := t.Delete(m.loc, m.row); err != nil {
+							ctx.Pop()
+							return Result{}, err
+						}
+						n++
+						break
+					}
+					newRow, changed, err := applySets(ctx, m.row, br.setFns, br.setOrds)
 					if err != nil {
 						ctx.Pop()
 						return Result{}, err
 					}
-					if !v.Truthy() {
-						continue
-					}
-				}
-				touched[lk] = true
-				if br.del {
-					if err := t.Delete(m.loc, m.row); err != nil {
-						ctx.Pop()
-						return Result{}, err
+					if changed {
+						if _, err := t.Update(m.loc, m.row, newRow); err != nil {
+							ctx.Pop()
+							return Result{}, err
+						}
 					}
 					n++
 					break
 				}
-				newRow, changed, err := applySets(ctx, m.row, br.setFns, br.setOrds)
-				if err != nil {
-					ctx.Pop()
-					return Result{}, err
-				}
-				if changed {
-					if _, err := t.Update(m.loc, m.row, newRow); err != nil {
-						ctx.Pop()
-						return Result{}, err
-					}
-				}
-				n++
-				break
 			}
+			ctx.Pop()
 		}
-		ctx.Pop()
+		return Result{RowsAffected: n}, nil
+	}}, nil
+}
+
+// ExecMerge compiles and runs a MERGE statement.
+func (p *Planner) ExecMerge(st *sql.MergeStmt, ctx *Ctx) (Result, error) {
+	pd, err := p.PrepareMerge(st)
+	if err != nil {
+		return Result{}, err
 	}
-	return Result{RowsAffected: n}, nil
+	return pd.Run(ctx)
 }

@@ -15,6 +15,13 @@ type scalarFn func(ctx *Ctx, row record.Row) (record.Value, error)
 type compiler struct {
 	planner *Planner
 	params  int // number of placeholders expected (validated by rdb)
+	ids     int // sub-plan id allocator (per-execution state lives in Ctx)
+}
+
+// newID allocates a statement-unique id for a sub-plan or memo slot.
+func (c *compiler) newID() int {
+	c.ids++
+	return c.ids
 }
 
 // compileExpr compiles e for rows shaped by env. usedOuter is set when the
@@ -286,7 +293,10 @@ func arith(op string, a, b record.Value) (record.Value, error) {
 }
 
 // compileScalarSubquery plans the subquery with the current env as parent;
-// uncorrelated subqueries are evaluated once per statement and memoized.
+// uncorrelated subqueries are evaluated once per execution and memoized.
+// Both the plan instance and the memo live in the Ctx (keyed by a
+// statement-unique id), never in the closure: the compiled plan is shared
+// by every execution of a prepared statement, concurrently.
 func (c *compiler) compileScalarSubquery(sel *sql.SelectStmt, env *Env, usedOuter *bool) (scalarFn, error) {
 	var subUsedOuter bool
 	plan, layout, err := c.planner.planSelect(sel, env, c, &subUsedOuter)
@@ -300,14 +310,16 @@ func (c *compiler) compileScalarSubquery(sel *sql.SelectStmt, env *Env, usedOute
 		*usedOuter = true
 	}
 	correlated := subUsedOuter
-	var cached record.Value
-	var haveCache bool
+	id := c.newID()
 	return func(ctx *Ctx, row record.Row) (record.Value, error) {
-		if !correlated && haveCache {
-			return cached, nil
+		if !correlated {
+			if v, ok := ctx.memoLoad(id); ok {
+				return v, nil
+			}
 		}
+		inst := ctx.instance(id, plan)
 		ctx.Push(row)
-		rows, err := runPlan(plan, ctx)
+		rows, err := runPlan(inst, ctx)
 		ctx.Pop()
 		if err != nil {
 			return record.Value{}, err
@@ -322,7 +334,7 @@ func (c *compiler) compileScalarSubquery(sel *sql.SelectStmt, env *Env, usedOute
 			return record.Value{}, fmt.Errorf("exec: scalar subquery returned %d rows", len(rows))
 		}
 		if !correlated {
-			cached, haveCache = out, true
+			ctx.memoStore(id, out)
 		}
 		return out, nil
 	}, nil
@@ -339,21 +351,23 @@ func (c *compiler) compileExists(ex *sql.Exists, env *Env, usedOuter *bool) (sca
 	}
 	correlated := subUsedOuter
 	not := ex.Not
-	var cached record.Value
-	var haveCache bool
+	id := c.newID()
 	return func(ctx *Ctx, row record.Row) (record.Value, error) {
-		if !correlated && haveCache {
-			return cached, nil
+		if !correlated {
+			if v, ok := ctx.memoLoad(id); ok {
+				return v, nil
+			}
 		}
+		inst := ctx.instance(id, plan)
 		ctx.Push(row)
-		found, err := planHasRow(plan, ctx)
+		found, err := planHasRow(inst, ctx)
 		ctx.Pop()
 		if err != nil {
 			return record.Value{}, err
 		}
 		out := record.Bool(found != not)
 		if !correlated {
-			cached, haveCache = out, true
+			ctx.memoStore(id, out)
 		}
 		return out, nil
 	}, nil

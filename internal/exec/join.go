@@ -64,6 +64,11 @@ func (j *NestedLoopJoin) Next(ctx *Ctx) (record.Row, error) {
 	}
 }
 
+// Clone implements Node.
+func (j *NestedLoopJoin) Clone() Node {
+	return &NestedLoopJoin{Outer: j.Outer.Clone(), Inner: j.Inner.Clone()}
+}
+
 // Close implements Node.
 func (j *NestedLoopJoin) Close() {
 	if j.innerOn {
@@ -165,4 +170,10 @@ func (j *HashJoin) Next(ctx *Ctx) (record.Row, error) {
 func (j *HashJoin) Close() {
 	j.Left.Close()
 	j.built = nil
+}
+
+// Clone implements Node.
+func (j *HashJoin) Clone() Node {
+	return &HashJoin{Left: j.Left.Clone(), Right: j.Right.Clone(),
+		LeftKeys: j.LeftKeys, RightKeys: j.RightKeys}
 }

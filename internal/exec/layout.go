@@ -105,12 +105,47 @@ func (e *Env) resolve(qual, name string) (resolution, error) {
 	return resolution{}, fmt.Errorf("exec: unknown column %s.%s", qual, name)
 }
 
-// Ctx carries statement-scoped execution state: parameter values and the
-// stack of outer rows for correlated evaluation. stack[len-1] is the row of
-// the immediately enclosing env level.
+// Ctx carries statement-scoped execution state: parameter values, the
+// stack of outer rows for correlated evaluation (stack[len-1] is the row of
+// the immediately enclosing env level), and the per-execution instances of
+// shared sub-plans. The last part is what makes compiled plans reusable as
+// prepared statements: a cached plan template holds subquery plans and
+// memoizable results that must be private to one execution (fresh data
+// snapshot, no cross-goroutine state), so they live here, keyed by the
+// compiler-assigned sub-plan id, instead of inside the shared closures.
 type Ctx struct {
 	Params []record.Value
 	stack  []record.Row
+	insts  map[int]Node
+	memo   map[int]record.Value
+}
+
+// instance returns this execution's private clone of a shared sub-plan
+// template, creating it on first use.
+func (c *Ctx) instance(id int, tmpl Node) Node {
+	if c.insts == nil {
+		c.insts = make(map[int]Node)
+	}
+	n, ok := c.insts[id]
+	if !ok {
+		n = tmpl.Clone()
+		c.insts[id] = n
+	}
+	return n
+}
+
+// memoLoad reads a memoized uncorrelated subquery result for this execution.
+func (c *Ctx) memoLoad(id int) (record.Value, bool) {
+	v, ok := c.memo[id]
+	return v, ok
+}
+
+// memoStore memoizes an uncorrelated subquery result for this execution.
+func (c *Ctx) memoStore(id int, v record.Value) {
+	if c.memo == nil {
+		c.memo = make(map[int]record.Value)
+	}
+	c.memo[id] = v
 }
 
 // Push makes row visible as the next outer level.

@@ -7,10 +7,16 @@ import (
 
 // Node is a Volcano-style plan operator. Open may be called again after
 // Close (nested-loop joins re-open their inner side per outer row).
+//
+// Compiled plans double as prepared-statement templates: Clone returns a
+// fresh operator tree sharing the immutable compiled parts (table handles,
+// scalar functions, join keys) but none of the iteration state, so one
+// cached plan can be executed by any number of concurrent statements.
 type Node interface {
 	Open(ctx *Ctx) error
 	Next(ctx *Ctx) (record.Row, error) // nil, nil == end of stream
 	Close()
+	Clone() Node
 }
 
 // runPlan drains a plan into a materialized slice.
@@ -81,6 +87,9 @@ func (s *SeqScan) Next(ctx *Ctx) (record.Row, error) {
 // Close implements Node.
 func (s *SeqScan) Close() { s.it = nil }
 
+// Clone implements Node.
+func (s *SeqScan) Clone() Node { return &SeqScan{Table: s.Table, Residual: s.Residual} }
+
 // --- IndexEqScan ----------------------------------------------------------------
 
 // IndexEqScan probes an index (or the clustered tree) with equality values
@@ -146,6 +155,11 @@ func (s *IndexEqScan) Next(ctx *Ctx) (record.Row, error) {
 // Close implements Node.
 func (s *IndexEqScan) Close() { s.tit, s.iit = nil, nil }
 
+// Clone implements Node.
+func (s *IndexEqScan) Clone() Node {
+	return &IndexEqScan{Table: s.Table, Index: s.Index, KeyFns: s.KeyFns, Residual: s.Residual}
+}
+
 // --- Filter / Project -----------------------------------------------------------
 
 // Filter drops rows failing the predicate.
@@ -177,6 +191,9 @@ func (f *Filter) Next(ctx *Ctx) (record.Row, error) {
 // Close implements Node.
 func (f *Filter) Close() { f.Input.Close() }
 
+// Clone implements Node.
+func (f *Filter) Clone() Node { return &Filter{Input: f.Input.Clone(), Pred: f.Pred} }
+
 // Project computes output columns from input rows.
 type Project struct {
 	Input Node
@@ -206,6 +223,9 @@ func (p *Project) Next(ctx *Ctx) (record.Row, error) {
 // Close implements Node.
 func (p *Project) Close() { p.Input.Close() }
 
+// Clone implements Node.
+func (p *Project) Clone() Node { return &Project{Input: p.Input.Clone(), Fns: p.Fns} }
+
 // --- ValuesNode -------------------------------------------------------------------
 
 // ValuesNode emits a fixed set of rows (SELECT without FROM emits one empty
@@ -234,5 +254,5 @@ func (v *ValuesNode) Next(*Ctx) (record.Row, error) {
 // Close implements Node.
 func (v *ValuesNode) Close() {}
 
-// RunPlanPublic drains a plan into a materialized slice (rdb facade entry).
-func RunPlanPublic(n Node, ctx *Ctx) ([]record.Row, error) { return runPlan(n, ctx) }
+// Clone implements Node.
+func (v *ValuesNode) Clone() Node { return &ValuesNode{Rows: v.Rows} }

@@ -626,6 +626,11 @@ func (m *CachedMaterialize) Next(*Ctx) (record.Row, error) {
 // Close implements Node.
 func (m *CachedMaterialize) Close() {}
 
+// Clone implements Node. The materialized rows are not carried over: they
+// belong to one execution's data snapshot, and a prepared statement must
+// re-read the tables it scans on every execution.
+func (m *CachedMaterialize) Clone() Node { return &CachedMaterialize{Input: m.Input.Clone()} }
+
 // planAggregate rewrites the query block around a hash aggregate. Returns
 // the new plan, env, rewritten select items and order-by list.
 func (p *Planner) planAggregate(st *sql.SelectStmt, input Node, inEnv *Env, c *compiler, usedOuter *bool) (Node, *Env, []sql.SelectItem, []sql.OrderItem, error) {

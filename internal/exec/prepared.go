@@ -1,0 +1,41 @@
+package exec
+
+import (
+	"repro/internal/record"
+	"repro/internal/sql"
+)
+
+// PreparedSelect is a compiled, re-executable query: the plan tree is an
+// immutable template, and every Run clones it into a private instance
+// before execution, so one prepared query can serve any number of
+// concurrent executions (the DB's shared read latch admits many at once).
+// Parameters (? placeholders) bind through the Ctx at Run time.
+type PreparedSelect struct {
+	plan   Node
+	layout *Layout
+}
+
+// PrepareSelect compiles a query into a reusable plan.
+func (p *Planner) PrepareSelect(st *sql.SelectStmt) (*PreparedSelect, error) {
+	c := &compiler{planner: p}
+	plan, lay, err := p.planSelect(st, nil, c, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedSelect{plan: plan, layout: lay}, nil
+}
+
+// Columns names the result columns.
+func (ps *PreparedSelect) Columns() []string {
+	cols := make([]string, len(ps.layout.Cols))
+	for i, c := range ps.layout.Cols {
+		cols[i] = c.Name
+	}
+	return cols
+}
+
+// Run executes the prepared query against a fresh plan instance,
+// materializing the result rows.
+func (ps *PreparedSelect) Run(ctx *Ctx) ([]record.Row, error) {
+	return runPlan(ps.plan.Clone(), ctx)
+}

@@ -71,6 +71,9 @@ func (s *Sort) Next(*Ctx) (record.Row, error) {
 // Close implements Node.
 func (s *Sort) Close() { s.out = nil }
 
+// Clone implements Node.
+func (s *Sort) Clone() Node { return &Sort{Input: s.Input.Clone(), Keys: s.Keys, Desc: s.Desc} }
+
 // Limit emits at most N rows; N is an expression (TOP ?/LIMIT ?) evaluated
 // at Open.
 type Limit struct {
@@ -108,6 +111,9 @@ func (l *Limit) Next(ctx *Ctx) (record.Row, error) {
 // Close implements Node.
 func (l *Limit) Close() { l.Input.Close() }
 
+// Clone implements Node.
+func (l *Limit) Clone() Node { return &Limit{Input: l.Input.Clone(), N: l.N} }
+
 // Distinct removes duplicate rows (by order-preserving key encoding of the
 // whole row).
 type Distinct struct {
@@ -142,3 +148,6 @@ func (d *Distinct) Close() {
 	d.Input.Close()
 	d.seen = nil
 }
+
+// Clone implements Node.
+func (d *Distinct) Clone() Node { return &Distinct{Input: d.Input.Clone()} }

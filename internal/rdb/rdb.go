@@ -54,14 +54,28 @@ type Options struct {
 	SimulatedIOLatency time.Duration
 	// Profile selects the emulated DBMS feature set (default DBMS-X).
 	Profile Profile
+	// PlanCacheSize bounds the compiled-plan cache in entries (default
+	// DefaultPlanCacheSize; negative disables caching, re-compiling every
+	// statement — the paper's statement-at-a-time baseline, kept for the
+	// fembench prepared-vs-reparse comparison).
+	PlanCacheSize int
 }
+
+// DefaultPlanCacheSize is the plan-cache capacity when Options.PlanCacheSize
+// is 0. The workload's statement-shape count is small (a few dozen per
+// algorithm); the bound exists so unbounded texts (bulk-load batches)
+// cannot grow the cache without limit.
+const DefaultPlanCacheSize = 256
 
 // Stats aggregates engine activity since Open or the last ResetStats.
 // Session counters are folded in: SessionStatements is the subset of
 // Statements issued through Session handles, and ActiveSessions /
 // SessionsOpened track the serving tier's concurrency.
 type Stats struct {
-	Statements   uint64
+	Statements uint64
+	// ParsePlanDur is the time spent parsing and compiling statements —
+	// plan-cache misses only, so it measures exactly the cost the cache
+	// removes from the hot path.
 	ParsePlanDur time.Duration
 	ExecDur      time.Duration
 	// SessionsOpened counts Session handles created since Open.
@@ -70,8 +84,20 @@ type Stats struct {
 	ActiveSessions int64
 	// SessionStatements counts statements issued through sessions.
 	SessionStatements uint64
-	Pool              storage.PoolStats
-	IO                storage.IOStats
+	// PlanCacheHits counts statements that reused a compiled plan and
+	// skipped parse/plan entirely; PlanCacheMisses counts compilations;
+	// PlanCacheInvalidations counts cached plans discarded because a DDL
+	// statement bumped the schema epoch underneath them.
+	PlanCacheHits          uint64
+	PlanCacheMisses        uint64
+	PlanCacheInvalidations uint64
+	// PlanCacheEntries is the live entry count (0 when caching is off).
+	PlanCacheEntries int
+	// SchemaEpoch is the catalog generation: bumped by every DDL statement
+	// (CREATE/DROP/TRUNCATE), it is what cached plans are validated against.
+	SchemaEpoch uint64
+	Pool        storage.PoolStats
+	IO          storage.IOStats
 }
 
 // DB is one embedded database instance. Reads (Query) run concurrently
@@ -85,15 +111,24 @@ type DB struct {
 	planner *exec.Planner
 	profile Profile
 
+	// plans caches compiled statements keyed by (text, profile); nil when
+	// caching is disabled. epoch is the schema generation entries are
+	// validated against (bumped by DDL under the exclusive latch).
+	plans *planCache
+	epoch atomic.Uint64
+
 	// Counters are atomics because the read path updates them while
 	// holding only the shared latch.
-	stmts        atomic.Uint64
-	parseDurNs   atomic.Int64
-	execDurNs    atomic.Int64
-	sessionSeq   atomic.Uint64
-	sessionsOpen atomic.Int64
-	sessionStmts atomic.Uint64
-	closed       bool
+	stmts           atomic.Uint64
+	parseDurNs      atomic.Int64
+	execDurNs       atomic.Int64
+	sessionSeq      atomic.Uint64
+	sessionsOpen    atomic.Int64
+	sessionStmts    atomic.Uint64
+	planHits        atomic.Uint64
+	planMisses      atomic.Uint64
+	planInvalidated atomic.Uint64
+	closed          bool
 }
 
 // Open creates a fresh database.
@@ -116,13 +151,21 @@ func Open(opts Options) (*DB, error) {
 	}
 	pool := storage.NewBufferPool(disk, opts.BufferPoolPages)
 	cat := table.NewCatalog(pool)
-	return &DB{
+	db := &DB{
 		disk:    disk,
 		pool:    pool,
 		cat:     cat,
 		planner: exec.NewPlanner(cat),
 		profile: opts.Profile,
-	}, nil
+	}
+	size := opts.PlanCacheSize
+	if size == 0 {
+		size = DefaultPlanCacheSize
+	}
+	if size > 0 {
+		db.plans = newPlanCache(size)
+	}
+	return db, nil
 }
 
 // Close flushes and releases the database.
@@ -150,16 +193,24 @@ func (db *DB) Pool() *storage.BufferPool { return db.pool }
 
 // Stats snapshots engine counters.
 func (db *DB) Stats() Stats {
-	return Stats{
-		Statements:        db.stmts.Load(),
-		ParsePlanDur:      time.Duration(db.parseDurNs.Load()),
-		ExecDur:           time.Duration(db.execDurNs.Load()),
-		SessionsOpened:    db.sessionSeq.Load(),
-		ActiveSessions:    db.sessionsOpen.Load(),
-		SessionStatements: db.sessionStmts.Load(),
-		Pool:              db.pool.Stats(),
-		IO:                db.disk.Stats(),
+	st := Stats{
+		Statements:             db.stmts.Load(),
+		ParsePlanDur:           time.Duration(db.parseDurNs.Load()),
+		ExecDur:                time.Duration(db.execDurNs.Load()),
+		SessionsOpened:         db.sessionSeq.Load(),
+		ActiveSessions:         db.sessionsOpen.Load(),
+		SessionStatements:      db.sessionStmts.Load(),
+		PlanCacheHits:          db.planHits.Load(),
+		PlanCacheMisses:        db.planMisses.Load(),
+		PlanCacheInvalidations: db.planInvalidated.Load(),
+		SchemaEpoch:            db.epoch.Load(),
+		Pool:                   db.pool.Stats(),
+		IO:                     db.disk.Stats(),
 	}
+	if db.plans != nil {
+		st.PlanCacheEntries = db.plans.size()
+	}
+	return st
 }
 
 // ResetStats zeroes statement and buffer counters (between bench phases).
@@ -168,6 +219,9 @@ func (db *DB) ResetStats() {
 	db.parseDurNs.Store(0)
 	db.execDurNs.Store(0)
 	db.sessionStmts.Store(0)
+	db.planHits.Store(0)
+	db.planMisses.Store(0)
+	db.planInvalidated.Store(0)
 	db.pool.ResetStats()
 }
 
@@ -271,10 +325,94 @@ func exprUsesWindow(e sql.Expr) bool {
 	return false
 }
 
-// Exec parses, plans and runs one statement, returning the SQLCA-style
-// affected-row count. Mutating statements take the exclusive latch, so an
-// Exec drains concurrent readers before running and blocks new ones.
+// plan resolves a statement text to a compiled plan — from the cache when a
+// current-epoch entry exists, compiling (and caching) otherwise. Callers
+// hold db.mu in either mode; the cache carries its own latch so concurrent
+// readers can hit it together. DDL statements are classified but never
+// cached: each execution invalidates every plan anyway.
+func (db *DB) plan(query string) (*cachedPlan, error) {
+	epoch := db.epoch.Load()
+	key := planKey{text: query, profile: db.profile.Name}
+	if db.plans != nil {
+		if cp, stale := db.plans.get(key, epoch); cp != nil {
+			db.planHits.Add(1)
+			return cp, nil
+		} else if stale {
+			db.planInvalidated.Add(1)
+		}
+	}
+	t0 := time.Now()
+	st, nparams, err := sql.ParseStmt(query)
+	if err != nil {
+		return nil, fmt.Errorf("rdb: %w\n  in: %s", err, query)
+	}
+	if err := db.checkFeatures(st); err != nil {
+		return nil, err
+	}
+	cp := &cachedPlan{epoch: epoch, nparams: nparams}
+	switch s := st.(type) {
+	case *sql.SelectStmt:
+		ps, err := db.planner.PrepareSelect(s)
+		if err != nil {
+			return nil, wrapErr(err, query)
+		}
+		cp.kind, cp.sel = planKindSelect, ps
+	case *sql.InsertStmt:
+		pd, err := db.planner.PrepareInsert(s)
+		if err != nil {
+			return nil, wrapErr(err, query)
+		}
+		cp.kind, cp.dml = planKindDML, pd
+	case *sql.UpdateStmt:
+		pd, err := db.planner.PrepareUpdate(s)
+		if err != nil {
+			return nil, wrapErr(err, query)
+		}
+		cp.kind, cp.dml = planKindDML, pd
+	case *sql.DeleteStmt:
+		pd, err := db.planner.PrepareDelete(s)
+		if err != nil {
+			return nil, wrapErr(err, query)
+		}
+		cp.kind, cp.dml = planKindDML, pd
+	case *sql.MergeStmt:
+		pd, err := db.planner.PrepareMerge(s)
+		if err != nil {
+			return nil, wrapErr(err, query)
+		}
+		cp.kind, cp.dml = planKindDML, pd
+	default:
+		cp.kind, cp.stmt = planKindDDL, st
+	}
+	db.parseDurNs.Add(int64(time.Since(t0)))
+	if cp.kind != planKindDDL {
+		db.planMisses.Add(1)
+		if db.plans != nil {
+			db.plans.put(key, cp)
+		}
+	}
+	return cp, nil
+}
+
+// planFor resolves the plan for a call: through the Stmt's pinned entry
+// (prepared-statement fast path) or by text.
+func (db *DB) planFor(st *Stmt, query string) (*cachedPlan, error) {
+	if st != nil {
+		return st.current()
+	}
+	return db.plan(query)
+}
+
+// Exec runs one statement, returning the SQLCA-style affected-row count.
+// Mutating statements take the exclusive latch, so an Exec drains
+// concurrent readers before running and blocks new ones. Repeated texts
+// reuse their compiled plan from the cache; DDL bumps the schema epoch,
+// invalidating every cached plan.
 func (db *DB) Exec(query string, args ...any) (exec.Result, error) {
+	return db.execText(query, nil, args)
+}
+
+func (db *DB) execText(query string, st *Stmt, args []any) (exec.Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -284,23 +422,37 @@ func (db *DB) Exec(query string, args ...any) (exec.Result, error) {
 	if err != nil {
 		return exec.Result{}, err
 	}
-	t0 := time.Now()
-	st, nparams, err := sql.ParseStmt(query)
+	cp, err := db.planFor(st, query)
 	if err != nil {
-		return exec.Result{}, fmt.Errorf("rdb: %w\n  in: %s", err, query)
-	}
-	if nparams != len(params) {
-		return exec.Result{}, fmt.Errorf("rdb: statement has %d placeholders, %d arguments bound\n  in: %s",
-			nparams, len(params), query)
-	}
-	if err := db.checkFeatures(st); err != nil {
 		return exec.Result{}, err
 	}
-	db.parseDurNs.Add(int64(time.Since(t0)))
+	if cp.nparams != len(params) {
+		return exec.Result{}, fmt.Errorf("rdb: statement has %d placeholders, %d arguments bound\n  in: %s",
+			cp.nparams, len(params), query)
+	}
 	db.stmts.Add(1)
-	ctx := &exec.Ctx{Params: params}
 	t1 := time.Now()
 	defer func() { db.execDurNs.Add(int64(time.Since(t1))) }()
+	switch cp.kind {
+	case planKindSelect:
+		return exec.Result{}, fmt.Errorf("rdb: use Query for SELECT")
+	case planKindDML:
+		res, err := cp.dml.Run(&exec.Ctx{Params: params})
+		return res, wrapErr(err, query)
+	}
+	res, err := db.execDDL(cp.stmt)
+	if err == nil {
+		// The catalog changed shape: every cached plan may now reference
+		// dropped or rebuilt storage, so the epoch moves and entries
+		// invalidate lazily on their next lookup.
+		db.epoch.Add(1)
+	}
+	return res, wrapErr(err, query)
+}
+
+// execDDL dispatches a schema statement; callers hold the exclusive latch
+// and bump the epoch on success.
+func (db *DB) execDDL(st sql.Statement) (exec.Result, error) {
 	switch s := st.(type) {
 	case *sql.CreateTableStmt:
 		return exec.Result{}, db.planner.ExecCreateTable(s)
@@ -310,20 +462,6 @@ func (db *DB) Exec(query string, args ...any) (exec.Result, error) {
 		return exec.Result{}, db.planner.ExecDropTable(s)
 	case *sql.TruncateStmt:
 		return db.planner.ExecTruncate(s)
-	case *sql.InsertStmt:
-		res, err := db.planner.ExecInsert(s, ctx)
-		return res, wrapErr(err, query)
-	case *sql.UpdateStmt:
-		res, err := db.planner.ExecUpdate(s, ctx)
-		return res, wrapErr(err, query)
-	case *sql.DeleteStmt:
-		res, err := db.planner.ExecDelete(s, ctx)
-		return res, wrapErr(err, query)
-	case *sql.MergeStmt:
-		res, err := db.planner.ExecMerge(s, ctx)
-		return res, wrapErr(err, query)
-	case *sql.SelectStmt:
-		return exec.Result{}, fmt.Errorf("rdb: use Query for SELECT")
 	}
 	return exec.Result{}, fmt.Errorf("rdb: unsupported statement %T", st)
 }
@@ -335,9 +473,14 @@ func wrapErr(err error, query string) error {
 	return fmt.Errorf("%w\n  in: %s", err, query)
 }
 
-// Query parses, plans and runs a SELECT, materializing the result. SELECTs
-// take only the shared latch, so sessions can read concurrently.
+// Query runs a SELECT, materializing the result. SELECTs take only the
+// shared latch, so sessions can read concurrently; repeated texts reuse
+// their compiled plan (each execution gets a private plan instance).
 func (db *DB) Query(query string, args ...any) (*Rows, error) {
+	return db.queryText(query, nil, args)
+}
+
+func (db *DB) queryText(query string, st *Stmt, args []any) (*Rows, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.closed {
@@ -347,40 +490,25 @@ func (db *DB) Query(query string, args ...any) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	st, nparams, err := sql.ParseStmt(query)
+	cp, err := db.planFor(st, query)
 	if err != nil {
-		return nil, fmt.Errorf("rdb: %w\n  in: %s", err, query)
-	}
-	if nparams != len(params) {
-		return nil, fmt.Errorf("rdb: statement has %d placeholders, %d arguments bound\n  in: %s",
-			nparams, len(params), query)
-	}
-	sel, ok := st.(*sql.SelectStmt)
-	if !ok {
-		return nil, fmt.Errorf("rdb: Query requires a SELECT statement")
-	}
-	if err := db.checkFeatures(st); err != nil {
 		return nil, err
 	}
-	plan, layout, err := db.planner.Select(sel)
-	if err != nil {
-		return nil, wrapErr(err, query)
+	if cp.kind != planKindSelect {
+		return nil, fmt.Errorf("rdb: Query requires a SELECT statement")
 	}
-	db.parseDurNs.Add(int64(time.Since(t0)))
+	if cp.nparams != len(params) {
+		return nil, fmt.Errorf("rdb: statement has %d placeholders, %d arguments bound\n  in: %s",
+			cp.nparams, len(params), query)
+	}
 	db.stmts.Add(1)
-	ctx := &exec.Ctx{Params: params}
 	t1 := time.Now()
-	rows, err := exec.RunPlanPublic(plan, ctx)
+	rows, err := cp.sel.Run(&exec.Ctx{Params: params})
 	db.execDurNs.Add(int64(time.Since(t1)))
 	if err != nil {
 		return nil, wrapErr(err, query)
 	}
-	cols := make([]string, len(layout.Cols))
-	for i, c := range layout.Cols {
-		cols[i] = c.Name
-	}
-	return &Rows{Columns: cols, Data: rows}, nil
+	return &Rows{Columns: cp.sel.Columns(), Data: rows}, nil
 }
 
 // QueryInt runs a single-value query; null reports a NULL (or empty) result.
@@ -389,6 +517,11 @@ func (db *DB) QueryInt(query string, args ...any) (v int64, null bool, err error
 	if err != nil {
 		return 0, false, err
 	}
+	return intFromRows(rows)
+}
+
+// intFromRows extracts the single INT value of a scalar query result.
+func intFromRows(rows *Rows) (v int64, null bool, err error) {
 	if rows.Len() == 0 {
 		return 0, true, nil
 	}

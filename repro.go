@@ -25,10 +25,16 @@
 // callers (an LRU result cache answers repeats from memory; relational
 // searches serialize on a query latch), Engine.QueryBatch fans a request
 // set across a worker pool, and cmd/spdbd exposes the whole stack over
-// HTTP (POST /query). The pre-redesign calls ShortestPath,
-// ShortestPathBatch and ApproxDistance remain as deprecated wrappers for
-// one release. See docs/ARCHITECTURE.md for the concurrency model, the
-// planner's decision table, and their invariants.
+// HTTP (POST /query). See docs/ARCHITECTURE.md for the concurrency model,
+// the planner's decision table, and their invariants.
+//
+// Underneath, the relational engine executes every statement through a
+// prepared-statement subsystem: rdb.DB keeps a plan cache keyed by (SQL
+// text, profile, schema epoch), DB.Prepare/Session.PrepareContext expose
+// explicit handles, and the FEM loops bind per-iteration values as ?
+// parameters instead of re-rendering SQL — so the hot path never pays
+// parse/plan costs (DBStats.PlanCacheHits/Misses/Invalidations report the
+// cache's behavior).
 //
 // Quickstart:
 //
@@ -111,10 +117,6 @@ type (
 	// CacheStats snapshots the engine's shortest-path result cache
 	// (Engine.CacheStats).
 	CacheStats = core.CacheStats
-	// BatchQuery is one (source, target) pair for Engine.ShortestPathBatch.
-	BatchQuery = core.BatchQuery
-	// BatchResult pairs a batch query with its path, stats and error.
-	BatchResult = core.BatchResult
 	// Mutation is one edge change for Engine.ApplyMutations.
 	Mutation = core.Mutation
 	// MutOp selects the mutation kind (MutInsert, MutDelete, MutUpdate).
@@ -170,7 +172,7 @@ const (
 )
 
 // Re-exported landmark-oracle types (Engine.BuildOracle,
-// Engine.ApproxDistance).
+// Engine.DistanceInterval).
 type (
 	// OracleConfig selects the landmark count and placement strategy.
 	OracleConfig = oracle.Config
