@@ -9,6 +9,7 @@
 //	fembench -exp oracle-alt -json bench-results
 //	fembench -exp mutation-throughput -json bench-results   # BENCH_mutations.json
 //	fembench -loadgen -clients 16 -lgalg BSEG -lgqueries 50 -repeat 5
+//	fembench -loadgen -parallel 1,2,4 -json .          # BENCH_parallel.json
 //
 // Each experiment prints a table whose rows mirror the corresponding
 // artefact in the paper (see EXPERIMENTS.md for the mapping and the
@@ -45,6 +46,7 @@ func main() {
 		jsonDir = flag.String("json", "", "also write machine-readable BENCH_<name>.json files into this directory")
 
 		loadgen   = flag.Bool("loadgen", false, "run the serving-tier load generator instead of experiments")
+		parallel  = flag.String("parallel", "", "loadgen: comma-separated concurrency levels (e.g. 1,2,4) — run the parallel cold-read scaling sweep instead of the cold/hot rounds")
 		clients   = flag.Int("clients", 8, "loadgen: concurrent client workers")
 		lgAlg     = flag.String("lgalg", "BSDJ", "loadgen: algorithm (AUTO|DJ|BDJ|BSDJ|BBFS|BSEG|ALT)")
 		lgNodes   = flag.Int64("lgnodes", 5000, "loadgen: power-graph node count")
@@ -55,6 +57,21 @@ func main() {
 	flag.Parse()
 
 	if *loadgen {
+		if *parallel != "" {
+			// The parallel sweep has its own tuned graph and query-count
+			// defaults; -lgnodes/-lgqueries override only when given.
+			nodes, queries := int64(0), 0
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "lgnodes":
+					nodes = *lgNodes
+				case "lgqueries":
+					queries = *lgQueries
+				}
+			})
+			runParallelLoadGen(*lgAlg, nodes, queries, *parallel, *verbose, *jsonDir)
+			return
+		}
 		runLoadGen(*lgAlg, *lgNodes, *lgQueries, *repeat, *clients, *lthd, *seed, *verbose, *jsonDir)
 		return
 	}
@@ -155,5 +172,54 @@ func runLoadGen(algName string, nodes int64, queries, repeat, clients int, lthd,
 	if res.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: %d queries failed\n", res.Errors)
 		os.Exit(1)
+	}
+}
+
+func runParallelLoadGen(algName string, nodes int64, queries int, levels string, verbose bool, jsonDir string) {
+	alg, err := core.ParseAlgorithm(algName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := bench.DefaultParallelLoadGenConfig()
+	cfg.Alg = alg
+	if nodes > 0 {
+		cfg.Nodes = nodes
+	}
+	if queries > 0 {
+		cfg.Queries = queries
+	}
+	cfg.Levels = nil
+	for _, part := range strings.Split(levels, ",") {
+		var lv int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &lv); err != nil || lv < 1 {
+			fmt.Fprintf(os.Stderr, "bad concurrency level %q in -parallel\n", part)
+			os.Exit(1)
+		}
+		cfg.Levels = append(cfg.Levels, lv)
+	}
+	logf := func(string, ...any) {}
+	if verbose {
+		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	res, err := bench.RunParallelLoadGen(cfg, logf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parallel loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	bench.ParallelLoadGenTable(cfg, res).Fprint(os.Stdout)
+	if jsonDir != "" {
+		path, err := bench.WriteParallelJSON(jsonDir, cfg, res)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parallel loadgen: writing JSON: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("   wrote %s\n", path)
+	}
+	for _, lv := range res.Levels {
+		if lv.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "parallel loadgen: level %d: %d queries failed\n", lv.Level, lv.Errors)
+			os.Exit(1)
+		}
 	}
 }

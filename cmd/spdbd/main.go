@@ -727,6 +727,10 @@ func (sv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 				"oracle_invalidations": ms.OracleInvalidations,
 			}
 		}(),
+		// concurrency reports the query gate (parallel shared admissions
+		// vs exclusive drains), the scratch-table pool, and the optimistic
+		// snapshot machinery's retry/degrade counters.
+		"concurrency": sv.eng.ConcurrencyStats(),
 		"cache": map[string]any{
 			"hits":          cacheStats.Hits,
 			"misses":        cacheStats.Misses,

@@ -342,10 +342,24 @@ func TestStatsAndHealthz(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []string{"server", "graph", "cache", "db", "mutations"} {
+	for _, k := range []string{"server", "graph", "cache", "db", "mutations", "concurrency"} {
 		if _, ok := stats[k]; !ok {
 			t.Errorf("stats missing section %q", k)
 		}
+	}
+
+	// The concurrency section must show the served search went through the
+	// gate's shared side.
+	var conc struct {
+		Gate struct {
+			SharedAdmits uint64 `json:"shared_admits"`
+		} `json:"gate"`
+	}
+	if err := json.Unmarshal(stats["concurrency"], &conc); err != nil {
+		t.Fatalf("concurrency section: %v", err)
+	}
+	if conc.Gate.SharedAdmits == 0 {
+		t.Error("stats: expected a shared gate admission after serving a search")
 	}
 
 	// The DB section must expose the plan-cache counters, and a served

@@ -8,18 +8,10 @@ import (
 	"repro/internal/rdb"
 )
 
-// Statement shapes of Algorithm 1, rendered once at compile time: the
-// MaxDist/NoParent sentinels bind as parameters (not integer literals), so
-// the texts are constants and every execution reuses the cached plan.
-const (
-	djInitQ = "INSERT INTO " + TblVisited +
-		" (nid, d2s, p2s, f, d2t, p2t, b) VALUES (?, 0, ?, 0, ?, ?, 1)"
-	djMidQ = "SELECT TOP 1 nid FROM " + TblVisited +
-		" WHERE f = 0 AND d2s = (SELECT MIN(d2s) FROM " + TblVisited + " WHERE f = 0)"
-	djFinalizeQ = "UPDATE " + TblVisited + " SET f = 1 WHERE nid = ?"
-	djTargetQ   = "SELECT nid FROM " + TblVisited + " WHERE f = 1 AND nid = ?"
-	djDistQ     = "SELECT d2s FROM " + TblVisited + " WHERE nid = ?"
-)
+// The statement shapes of Algorithm 1 (djInit..djDist) are rendered per
+// scratch set at mint time: the MaxDist/NoParent sentinels bind as
+// parameters (not integer literals), so the texts are per-set constants and
+// every execution reuses the cached plan.
 
 // dj implements Algorithm 1: single-directional Dijkstra over the FEM
 // framework, one frontier node per iteration, located by the Listing 2(2)
@@ -32,24 +24,24 @@ const (
 // smaller distance. We instead terminate when no frontier candidate is
 // left or the target is finalized, which is the sound reading; see
 // EXPERIMENTS.md.
-func (e *Engine) dj(ctx context.Context, s, t int64, budget int64) (Path, *QueryStats, error) {
+func (e *Engine) dj(ctx context.Context, sc *scratchSet, s, t int64, budget int64) (Path, *QueryStats, error) {
 	qs := &QueryStats{Algorithm: "DJ", budget: budget}
 	start := time.Now()
 	defer func() { qs.Total = time.Since(start) }()
 
-	if err := e.resetVisited(ctx, qs); err != nil {
+	if err := e.resetVisited(ctx, qs, sc); err != nil {
 		return Path{}, qs, err
 	}
 	// Listing 2(1): initialize TVisited with the source node.
-	if _, err := e.exec(ctx, qs, &qs.PE, nil, djInitQ, s, s, MaxDist, NoParent); err != nil {
+	if _, err := e.exec(ctx, qs, &qs.PE, nil, sc.djInit, s, s, MaxDist, NoParent); err != nil {
 		return Path{}, qs, err
 	}
 	if s == t {
 		return Path{Found: true, Length: 0, Nodes: []int64{s}}, qs, nil
 	}
 
-	xp := e.buildExpand(fwdDir(), TblEdges, "q.nid = ?", 1, false)
-	targetStmt, err := e.stmt(djTargetQ)
+	xp := e.buildExpand(fwdDir(), TblEdges, "q.nid = ?", 1, false, sc)
+	targetStmt, err := e.stmt(sc.djTarget)
 	if err != nil {
 		return Path{}, qs, err
 	}
@@ -67,7 +59,7 @@ func (e *Engine) dj(ctx context.Context, s, t int64, budget int64) (Path, *Query
 		}
 		qs.Iterations = iter + 1
 		// Listing 2(2): locate the next node to be expanded.
-		mid, null, err := e.queryInt(ctx, qs, &qs.SC, djMidQ)
+		mid, null, err := e.queryInt(ctx, qs, &qs.SC, sc.djMid)
 		if err != nil {
 			return Path{}, qs, err
 		}
@@ -80,7 +72,7 @@ func (e *Engine) dj(ctx context.Context, s, t int64, budget int64) (Path, *Query
 		}
 		qs.ForwardExpansions++
 		// Listing 3(2): finalize the frontier node.
-		if _, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, djFinalizeQ, mid); err != nil {
+		if _, err := e.exec(ctx, qs, &qs.PE, &qs.FOp, sc.djFinalize, mid); err != nil {
 			return Path{}, qs, err
 		}
 		// Listing 3(1): detect termination.
@@ -96,7 +88,7 @@ func (e *Engine) dj(ctx context.Context, s, t int64, budget int64) (Path, *Query
 	}
 	qs.Expansions = qs.ForwardExpansions
 
-	vc, err := e.visitedCount(ctx, qs)
+	vc, err := e.visitedCount(ctx, qs, sc)
 	if err != nil {
 		return Path{}, qs, err
 	}
@@ -105,14 +97,14 @@ func (e *Engine) dj(ctx context.Context, s, t int64, budget int64) (Path, *Query
 		return Path{Found: false}, qs, nil
 	}
 
-	dist, null, err := e.queryInt(ctx, qs, &qs.FPR, djDistQ, t)
+	dist, null, err := e.queryInt(ctx, qs, &qs.FPR, sc.djDist, t)
 	if err != nil {
 		return Path{}, qs, err
 	}
 	if null {
 		return Path{}, qs, fmt.Errorf("core: DJ finalized target without a distance")
 	}
-	nodes, err := e.recoverForward(ctx, qs, s, t, false)
+	nodes, err := e.recoverForward(ctx, qs, sc, s, t, false)
 	if err != nil {
 		return Path{}, qs, err
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/oracle"
@@ -147,6 +148,12 @@ type Options struct {
 	// falls back to a full rebuild instead of repairing in place
 	// (0 = DefaultRepairThreshold; negative = always rebuild).
 	RepairThreshold int
+	// ScratchRetain bounds the free list of pooled per-query scratch-table
+	// sets: released sets up to this count stay warm (no DDL per query),
+	// extras are dropped. 0 = DefaultScratchRetain; negative = retain none,
+	// dropping every set on release (exercises the drop path; the
+	// cancellation-leak tests run in this mode).
+	ScratchRetain int
 }
 
 // DefaultCacheSize is the path-cache capacity when Options.CacheSize is 0.
@@ -160,16 +167,18 @@ const DefaultRepairThreshold = 4096
 // Engine runs the relational algorithms against one database. It keeps
 // only scalar state between statements — the RDB carries all per-node data.
 //
-// An Engine is safe for concurrent callers. Every relational search shares
-// the TVisited working table (matching the paper's single JDBC session), so
-// searches serialize on an internal query latch; concurrency comes from the
-// path cache in front of it — hits are answered from memory under a short
-// cache latch, never reaching the query latch or the DB — and from
-// QueryBatch, which fans a query set across a worker pool. The unified
-// entry point is Query (query.go): a declarative request with an algorithm
-// hint (AlgAuto engages the cost-based planner), an error tolerance, a
-// statement budget, and cooperative cancellation through context.Context.
-// See docs/ARCHITECTURE.md §Concurrency and §Query planning & cancellation.
+// An Engine is safe for concurrent callers. Read-only searches admit in
+// parallel through the shared side of a reader/writer query gate, each
+// leasing a private scratch-table set from a pool so their frontier
+// scribbling lands in disjoint tables; mutators (LoadGraph, ApplyMutations,
+// index builds, MST, Reachable) take the exclusive side, draining readers
+// first. The path cache still answers repeat queries from memory without
+// touching gate or database, and QueryBatch fans a query set across a
+// worker pool. The unified entry point is Query (query.go): a declarative
+// request with an algorithm hint (AlgAuto engages the cost-based planner),
+// an error tolerance, a statement budget, and cooperative cancellation
+// through context.Context. See docs/ARCHITECTURE.md §Concurrency model and
+// §Query planning & cancellation.
 type Engine struct {
 	db *rdb.DB
 	// sess is the engine's own connection — the analogue of the paper's
@@ -206,12 +215,28 @@ type Engine struct {
 	// never outlive the data they were computed from.
 	version uint64
 
-	// queryLatch serializes relational searches (they share TVisited).
-	// It is a one-slot channel rather than a mutex so waiters can abandon
-	// the queue when their context is cancelled (lockQuery): a slow search
-	// never strands the requests queued behind it past their deadlines.
-	queryLatch chan struct{}
-	cache      *pathCache
+	// gate is the admission control: searches enter shared (parallel),
+	// mutators exclusive (drain readers, run alone). Waiters of either
+	// kind abandon the queue when their context is cancelled.
+	gate *queryGate
+	// scratch pools the per-query working-table sets readers lease;
+	// scratchGlobal is the original TVisited set, reserved for exclusive
+	// operations (MST, Reachable, degraded searches).
+	scratch       scratchPool
+	scratchGlobal *scratchSet
+	// snapRetries counts searches re-run because the graph version moved
+	// between admission and commit (a safety net: the gate excludes writers
+	// while readers run, so this staying 0 is the expected steady state);
+	// degraded counts searches that fell back to exclusive admission after
+	// exhausting their retries.
+	snapRetries atomic.Uint64
+	degraded    atomic.Uint64
+	// hookSearchStart, when set (tests only), runs after shared admission
+	// and scratch lease, before the search issues its first statement. The
+	// concurrency battery uses it to prove two queries are in flight
+	// simultaneously without relying on timing.
+	hookSearchStart func()
+	cache           *pathCache
 
 	// stmts caches the engine's prepared statements by SQL text: every
 	// statement shape the algorithms issue is prepared once per engine and
@@ -230,8 +255,10 @@ func NewEngine(db *rdb.DB, opts Options) *Engine {
 		opts.CacheSize = DefaultCacheSize
 	}
 	e := &Engine{db: db, sess: db.Session(), opts: opts,
-		queryLatch: make(chan struct{}, 1),
-		stmtCache:  make(map[string]*rdb.Stmt)}
+		gate:          newQueryGate(),
+		scratchGlobal: newScratchSet(-1),
+		stmtCache:     make(map[string]*rdb.Stmt)}
+	e.scratch.e = e
 	if opts.MaxIters < 0 {
 		e.optErr = fmt.Errorf("core: Options.MaxIters must be non-negative, got %d", opts.MaxIters)
 	}
@@ -241,24 +268,27 @@ func NewEngine(db *rdb.DB, opts Options) *Engine {
 	return e
 }
 
-// lockQuery acquires the query latch, or gives up when ctx is cancelled
-// first — a request still waiting in line dies cleanly without ever
-// touching the working tables. Callers that must not be interrupted pass
-// context.Background().
+// lockQuery takes the EXCLUSIVE side of the query gate — mutators and
+// whole-graph operations drain every in-flight reader and run alone — or
+// gives up when ctx is cancelled first: a request still waiting in line
+// dies cleanly without ever touching the working tables. Callers that must
+// not be interrupted pass context.Background(). (The name predates the
+// reader/writer gate: every historical lockQuery caller wanted exclusion,
+// and read-only searches now use lockShared instead.)
 func (e *Engine) lockQuery(ctx context.Context) error {
-	if err := rdb.ContextErr(ctx); err != nil {
-		return err
-	}
-	select {
-	case e.queryLatch <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return e.gate.lockExclusive(ctx)
 }
 
-// unlockQuery releases the query latch.
-func (e *Engine) unlockQuery() { <-e.queryLatch }
+// unlockQuery releases the exclusive side of the query gate.
+func (e *Engine) unlockQuery() { e.gate.unlockExclusive() }
+
+// lockShared admits a read-only search; any number run concurrently.
+func (e *Engine) lockShared(ctx context.Context) error {
+	return e.gate.lockShared(ctx)
+}
+
+// unlockShared releases one shared admission.
+func (e *Engine) unlockShared() { e.gate.unlockShared() }
 
 // DB exposes the underlying database.
 func (e *Engine) DB() *rdb.DB { return e.db }
@@ -344,6 +374,30 @@ func (e *Engine) CacheStats() CacheStats {
 		return CacheStats{}
 	}
 	return e.cache.snapshot()
+}
+
+// ConcurrencyStats bundles the admission gate, the scratch-table pool and
+// the snapshot-validation counters for the serving tier (spdbd /stats).
+type ConcurrencyStats struct {
+	Gate    GateStats    `json:"gate"`
+	Scratch ScratchStats `json:"scratch"`
+	// SnapshotRetries counts searches re-run because the graph version
+	// moved between admission and commit; Degraded counts searches that
+	// fell back to exclusive admission after exhausting retries. Both stay
+	// 0 while the gate excludes writers correctly — they are the optimistic
+	// pattern's safety net, not its hot path.
+	SnapshotRetries uint64 `json:"snapshot_retries"`
+	Degraded        uint64 `json:"degraded"`
+}
+
+// ConcurrencyStats snapshots the engine's parallel-admission machinery.
+func (e *Engine) ConcurrencyStats() ConcurrencyStats {
+	return ConcurrencyStats{
+		Gate:            e.gate.stats(),
+		Scratch:         e.scratch.stats(),
+		SnapshotRetries: e.snapRetries.Load(),
+		Degraded:        e.degraded.Load(),
+	}
 }
 
 // bumpVersion invalidates every cached answer; callers hold e.mu.
@@ -447,23 +501,27 @@ func (e *Engine) checkBudget(ctx context.Context, qs *QueryStats) error {
 	return nil
 }
 
-// searchLocked dispatches to the relational algorithms; callers hold the
-// query latch. budget is the per-query statement cap (0 = unlimited).
-func (e *Engine) searchLocked(ctx context.Context, alg Algorithm, s, t int64, budget int64) (Path, *QueryStats, error) {
+// search dispatches to the relational algorithms over the leased scratch
+// set; callers hold the query gate (shared for reads, exclusive for the
+// degraded path). budget is the per-query statement cap (0 = unlimited).
+func (e *Engine) search(ctx context.Context, sc *scratchSet, alg Algorithm, s, t int64, budget int64) (Path, *QueryStats, error) {
 	switch alg {
 	case AlgDJ:
-		return e.dj(ctx, s, t, budget)
+		return e.dj(ctx, sc, s, t, budget)
 	case AlgBDJ:
-		return e.bidirectional(ctx, specBDJ(), s, t, budget)
+		return e.bidirectional(ctx, sc, specBDJ(sc), s, t, budget)
 	case AlgBSDJ:
-		return e.bidirectional(ctx, specBSDJ(), s, t, budget)
+		return e.bidirectional(ctx, sc, specBSDJ(sc), s, t, budget)
 	case AlgBBFS:
-		return e.bidirectional(ctx, specBBFS(), s, t, budget)
+		return e.bidirectional(ctx, sc, specBBFS(sc), s, t, budget)
 	case AlgBSEG:
-		if !e.segBuilt {
+		e.mu.RLock()
+		segBuilt, segLthd := e.segBuilt, e.segLthd
+		e.mu.RUnlock()
+		if !segBuilt {
 			return Path{}, nil, fmt.Errorf("core: BSEG requires BuildSegTable first")
 		}
-		return e.bidirectional(ctx, specBSEG(e.segLthd), s, t, budget)
+		return e.bidirectional(ctx, sc, specBSEG(sc, segLthd), s, t, budget)
 	case AlgALT:
 		e.mu.RLock()
 		built := e.orc != nil
@@ -471,7 +529,7 @@ func (e *Engine) searchLocked(ctx context.Context, alg Algorithm, s, t int64, bu
 		if !built {
 			return Path{}, nil, fmt.Errorf("core: ALT requires BuildOracle first (rebuild after graph changes)")
 		}
-		return e.bidirectional(ctx, specALT(s, t), s, t, budget)
+		return e.bidirectional(ctx, sc, specALT(sc, s, t), s, t, budget)
 	}
 	return Path{}, nil, fmt.Errorf("core: unknown algorithm %v", alg)
 }

@@ -82,11 +82,11 @@ type expandSQL struct {
 // placeholders: the not-yet-reached distance and the unset parent link.
 var sentinelArgs = []any{MaxDist, NoParent}
 
-// buildExpand renders the expansion statements. frontier is a predicate
-// over the alias q (e.g. "q.f = 2" or "q.nid = ?"); frontierArgs counts its
-// placeholders. prune appends the Theorem-1 bound
+// buildExpand renders the expansion statements over sc's working tables.
+// frontier is a predicate over the alias q (e.g. "q.f = 2" or "q.nid = ?");
+// frontierArgs counts its placeholders. prune appends the Theorem-1 bound
 // "out.cost + q.<dist> + ? < ?" with two more placeholders.
-func (e *Engine) buildExpand(d direction, edgeTbl, frontier string, frontierArgs int, prune bool) *expandSQL {
+func (e *Engine) buildExpand(d direction, edgeTbl, frontier string, frontierArgs int, prune bool, sc *scratchSet) *expandSQL {
 	x := &expandSQL{dir: d, frontierArgs: frontierArgs, prune: prune}
 	pruneSQL := ""
 	if prune {
@@ -100,41 +100,41 @@ func (e *Engine) buildExpand(d direction, edgeTbl, frontier string, frontierArgs
 	windowSrc := "SELECT nid, par, cost FROM (" +
 		"SELECT out." + d.newCol + ", q.nid, out.cost + q." + d.dist + ", " +
 		"ROW_NUMBER() OVER (PARTITION BY out." + d.newCol + " ORDER BY out.cost + q." + d.dist + ") " +
-		"FROM " + TblVisited + " q, " + edgeTbl + " out " +
+		"FROM " + sc.visited + " q, " + edgeTbl + " out " +
 		"WHERE q.nid = out." + d.joinCol + " AND " + frontier + pruneSQL +
 		") tmp (nid, par, cost, rn) WHERE rn = 1"
 
-	x.fused = "MERGE INTO " + TblVisited + " AS target USING (" + windowSrc + ") AS source (nid, par, cost) " +
+	x.fused = "MERGE INTO " + sc.visited + " AS target USING (" + windowSrc + ") AS source (nid, par, cost) " +
 		"ON (target.nid = source.nid) " +
 		"WHEN MATCHED AND target." + d.dist + " > source.cost THEN UPDATE SET " +
 		d.dist + " = source.cost, " + d.par + " = source.par, " + d.sign + " = 0 " +
 		"WHEN NOT MATCHED THEN INSERT (nid, d2s, p2s, f, d2t, p2t, b) VALUES " + d.insertValues("source")
 
-	x.clearExpand = "DELETE FROM " + TblExpand
-	x.insExpand = "INSERT INTO " + TblExpand + " (nid, par, cost) " + windowSrc
+	x.clearExpand = "DELETE FROM " + sc.expand
+	x.insExpand = "INSERT INTO " + sc.expand + " (nid, par, cost) " + windowSrc
 
 	// Traditional two-step E-operator: aggregate the minimal cost per new
 	// node, then join back to find a parent achieving it (§3.3's discussion
 	// of why the direct translation is verbose and slow).
-	x.clearCost = "DELETE FROM " + TblExpCost
-	x.insCost = "INSERT INTO " + TblExpCost + " (nid, cost) " +
-		"SELECT out." + d.newCol + ", MIN(out.cost + q." + d.dist + ") FROM " + TblVisited + " q, " + edgeTbl + " out " +
+	x.clearCost = "DELETE FROM " + sc.expCost
+	x.insCost = "INSERT INTO " + sc.expCost + " (nid, cost) " +
+		"SELECT out." + d.newCol + ", MIN(out.cost + q." + d.dist + ") FROM " + sc.visited + " q, " + edgeTbl + " out " +
 		"WHERE q.nid = out." + d.joinCol + " AND " + frontier + pruneSQL + " GROUP BY out." + d.newCol
-	x.insExpandTr = "INSERT INTO " + TblExpand + " (nid, par, cost) " +
-		"SELECT ec.nid, MIN(q.nid), ec.cost FROM " + TblVisited + " q, " + edgeTbl + " out, " + TblExpCost + " ec " +
+	x.insExpandTr = "INSERT INTO " + sc.expand + " (nid, par, cost) " +
+		"SELECT ec.nid, MIN(q.nid), ec.cost FROM " + sc.visited + " q, " + edgeTbl + " out, " + sc.expCost + " ec " +
 		"WHERE q.nid = out." + d.joinCol + " AND " + frontier + pruneSQL +
 		" AND ec.nid = out." + d.newCol + " AND out.cost + q." + d.dist + " = ec.cost " +
 		"GROUP BY ec.nid, ec.cost"
 
-	x.mMerge = "MERGE INTO " + TblVisited + " AS target USING " + TblExpand + " AS source ON (target.nid = source.nid) " +
+	x.mMerge = "MERGE INTO " + sc.visited + " AS target USING " + sc.expand + " AS source ON (target.nid = source.nid) " +
 		"WHEN MATCHED AND target." + d.dist + " > source.cost THEN UPDATE SET " +
 		d.dist + " = source.cost, " + d.par + " = source.par, " + d.sign + " = 0 " +
 		"WHEN NOT MATCHED THEN INSERT (nid, d2s, p2s, f, d2t, p2t, b) VALUES " + d.insertValues("source")
-	x.mUpdate = "UPDATE " + TblVisited + " SET " + d.dist + " = s.cost, " + d.par + " = s.par, " + d.sign + " = 0 " +
-		"FROM " + TblExpand + " s WHERE " + TblVisited + ".nid = s.nid AND " + TblVisited + "." + d.dist + " > s.cost"
-	x.mInsert = "INSERT INTO " + TblVisited + " (nid, d2s, p2s, f, d2t, p2t, b) SELECT " +
-		d.insertSelectList("s") + " FROM " + TblExpand + " s " +
-		"WHERE NOT EXISTS (SELECT nid FROM " + TblVisited + " v WHERE v.nid = s.nid)"
+	x.mUpdate = "UPDATE " + sc.visited + " SET " + d.dist + " = s.cost, " + d.par + " = s.par, " + d.sign + " = 0 " +
+		"FROM " + sc.expand + " s WHERE " + sc.visited + ".nid = s.nid AND " + sc.visited + "." + d.dist + " > s.cost"
+	x.mInsert = "INSERT INTO " + sc.visited + " (nid, d2s, p2s, f, d2t, p2t, b) SELECT " +
+		d.insertSelectList("s") + " FROM " + sc.expand + " s " +
+		"WHERE NOT EXISTS (SELECT nid FROM " + sc.visited + " v WHERE v.nid = s.nid)"
 	return x
 }
 

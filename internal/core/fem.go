@@ -67,34 +67,22 @@ func (s stmtShape) bind(v int64) []any {
 	return s.args(v)
 }
 
-// Statement texts shared by the bi-directional loop. Table and column names
-// are compile-time constants, so the whole text is too.
-const (
-	biInitQ = "INSERT INTO " + TblVisited +
-		" (nid, d2s, p2s, f, d2t, p2t, b) VALUES (?, 0, ?, 0, ?, ?, 1), (?, ?, ?, 1, 0, ?, 0)"
-	biResetFQ = "UPDATE " + TblVisited + " SET f = 1 WHERE f = 2"
-	biResetBQ = "UPDATE " + TblVisited + " SET b = 1 WHERE b = 2"
-	biMinSumQ = "SELECT MIN(d2s + d2t) FROM " + TblVisited
-	biMinFQ   = "SELECT MIN(d2s) FROM " + TblVisited + " WHERE f = 0"
-	biMinBQ   = "SELECT MIN(d2t) FROM " + TblVisited + " WHERE b = 0"
-)
-
-// minCandidate is the shared "minimal unfinalized distance" subquery of the
-// Dijkstra-family frontier rules, rendered per direction.
-func minCandidate(d direction) string {
-	return "(SELECT MIN(" + d.dist + ") FROM " + TblVisited + " WHERE " + d.sign + " = 0)"
-}
+// The per-set statement texts of the bi-directional loop (biInit, resets,
+// minima) live on scratchSet, rendered once at mint time; the frontier
+// shapes below embed the set's visited-table name the same way. Texts are
+// stable per (shape, scratch set), so prepared handles and cached plans
+// recycle with the pool's bounded id space.
 
 // specBDJ: bi-directional Dijkstra, one frontier node per expansion.
-func specBDJ() femSpec {
+func specBDJ(sc *scratchSet) femSpec {
 	return femSpec{
 		name:    "BDJ",
 		edgeFwd: TblEdges,
 		edgeBwd: TblEdges,
 		frontier: func(d direction) stmtShape {
-			return stmtShape{text: "UPDATE " + TblVisited + " SET " + d.sign + " = 2 WHERE " + d.sign +
-				" = 0 AND nid = (SELECT TOP 1 nid FROM " + TblVisited + " WHERE " + d.sign +
-				" = 0 AND " + d.dist + " = " + minCandidate(d) + ")"}
+			return stmtShape{text: "UPDATE " + sc.visited + " SET " + d.sign + " = 2 WHERE " + d.sign +
+				" = 0 AND nid = (SELECT TOP 1 nid FROM " + sc.visited + " WHERE " + d.sign +
+				" = 0 AND " + d.dist + " = " + sc.minCandidate(d) + ")"}
 		},
 		trackL:   true,
 		prune:    false, // pruning is introduced with the set variant (§4.1)
@@ -104,14 +92,14 @@ func specBDJ() femSpec {
 
 // specBSDJ: bi-directional set Dijkstra — all nodes at the minimal
 // distance become the frontier together (§4.1's RDB-friendly batch rule).
-func specBSDJ() femSpec {
+func specBSDJ(sc *scratchSet) femSpec {
 	return femSpec{
 		name:    "BSDJ",
 		edgeFwd: TblEdges,
 		edgeBwd: TblEdges,
 		frontier: func(d direction) stmtShape {
-			return stmtShape{text: "UPDATE " + TblVisited + " SET " + d.sign + " = 2 WHERE " + d.sign +
-				" = 0 AND " + d.dist + " = " + minCandidate(d)}
+			return stmtShape{text: "UPDATE " + sc.visited + " SET " + d.sign + " = 2 WHERE " + d.sign +
+				" = 0 AND " + d.dist + " = " + sc.minCandidate(d)}
 		},
 		trackL: true,
 		prune:  true,
@@ -119,13 +107,13 @@ func specBSDJ() femSpec {
 }
 
 // specBBFS: bi-directional BFS — every candidate expands every round.
-func specBBFS() femSpec {
+func specBBFS(sc *scratchSet) femSpec {
 	return femSpec{
 		name:    "BBFS",
 		edgeFwd: TblEdges,
 		edgeBwd: TblEdges,
 		frontier: func(d direction) stmtShape {
-			return stmtShape{text: "UPDATE " + TblVisited + " SET " + d.sign + " = 2 WHERE " + d.sign + " = 0"}
+			return stmtShape{text: "UPDATE " + sc.visited + " SET " + d.sign + " = 2 WHERE " + d.sign + " = 0"}
 		},
 		trackL: false,
 		prune:  true,
@@ -136,15 +124,15 @@ func specBBFS() femSpec {
 // within k*lthd expand together with the minimal one. k and lthd bind as
 // two parameters (the arithmetic happens in the statement, "? * ?"), so
 // the text never changes across iterations or thresholds.
-func specBSEG(lthd int64) femSpec {
+func specBSEG(sc *scratchSet, lthd int64) femSpec {
 	return femSpec{
 		name:    "BSEG",
 		edgeFwd: TblOutSegs,
 		edgeBwd: TblInSegs,
 		frontier: func(d direction) stmtShape {
 			return stmtShape{
-				text: "UPDATE " + TblVisited + " SET " + d.sign + " = 2 WHERE " + d.sign +
-					" = 0 AND (" + d.dist + " <= ? * ? OR " + d.dist + " = " + minCandidate(d) + ")",
+				text: "UPDATE " + sc.visited + " SET " + d.sign + " = 2 WHERE " + d.sign +
+					" = 0 AND (" + d.dist + " <= ? * ? OR " + d.dist + " = " + sc.minCandidate(d) + ")",
 				args: func(k int64) []any { return []any{k, lthd} },
 			}
 		},
@@ -171,8 +159,8 @@ func specBSEG(lthd int64) femSpec {
 // only permanently excluded once the bound holds for its exact distance —
 // and then every s-t path through it costs at least minCost at prune time,
 // which itself bounds the final answer from above.
-func specALT(s, t int64) femSpec {
-	spec := specBSDJ()
+func specALT(sc *scratchSet, s, t int64) femSpec {
+	spec := specBSDJ(sc)
 	spec.name = "ALT"
 	spec.preFrontier = func(d direction) stmtShape {
 		end := t
@@ -181,14 +169,14 @@ func specALT(s, t int64) femSpec {
 			end = s
 			boundFwd, boundBwd = "lv.dout - lt.dout", "lt.din - lv.din"
 		}
-		text := "UPDATE " + TblVisited + " SET " + d.sign + " = 1 WHERE " + d.sign +
-			" = 0 AND " + d.dist + " = " + minCandidate(d) + " AND (" +
+		text := "UPDATE " + sc.visited + " SET " + d.sign + " = 1 WHERE " + d.sign +
+			" = 0 AND " + d.dist + " = " + sc.minCandidate(d) + " AND (" +
 			d.dist + " + (SELECT MAX(" + boundFwd + ") FROM " + oracle.TblLandmark + " lv, " +
 			oracle.TblLandmark + " lt WHERE lv.lid = lt.lid AND lt.nid = ? AND lv.nid = " +
-			TblVisited + ".nid) >= ? OR " +
+			sc.visited + ".nid) >= ? OR " +
 			d.dist + " + (SELECT MAX(" + boundBwd + ") FROM " + oracle.TblLandmark + " lv, " +
 			oracle.TblLandmark + " lt WHERE lv.lid = lt.lid AND lt.nid = ? AND lv.nid = " +
-			TblVisited + ".nid) >= ?)"
+			sc.visited + ".nid) >= ?)"
 		return stmtShape{
 			text: text,
 			args: func(minCost int64) []any { return []any{end, minCost, end, minCost} },
@@ -204,14 +192,14 @@ func specALT(s, t int64) femSpec {
 // termination; exhaustion of one side finalizes that side's distances, so
 // minCost is then exact). Every statement shape is prepared once — the
 // loop only binds fresh parameters.
-func (e *Engine) bidirectional(ctx context.Context, spec femSpec, s, t int64, budget int64) (Path, *QueryStats, error) {
+func (e *Engine) bidirectional(ctx context.Context, sc *scratchSet, spec femSpec, s, t int64, budget int64) (Path, *QueryStats, error) {
 	qs := &QueryStats{Algorithm: spec.name, budget: budget}
 	start := time.Now()
 	defer func() {
 		qs.Total = time.Since(start)
 	}()
 
-	if err := e.resetVisited(ctx, qs); err != nil {
+	if err := e.resetVisited(ctx, qs, sc); err != nil {
 		return Path{}, qs, err
 	}
 	if s == t {
@@ -219,14 +207,14 @@ func (e *Engine) bidirectional(ctx context.Context, spec femSpec, s, t int64, bu
 	}
 	// Initialize with the two endpoints (line 1 of Algorithm 2); the
 	// MaxDist/NoParent sentinels bind as parameters like everything else.
-	if _, err := e.exec(ctx, qs, &qs.PE, nil, biInitQ,
+	if _, err := e.exec(ctx, qs, &qs.PE, nil, sc.biInit,
 		s, s, MaxDist, NoParent, t, MaxDist, NoParent, t); err != nil {
 		return Path{}, qs, err
 	}
 
 	fwd, bwd := fwdDir(), bwdDir()
-	xpF := e.buildExpand(fwd, spec.edgeFwd, "q.f = 2", 0, spec.prune)
-	xpB := e.buildExpand(bwd, spec.edgeBwd, "q.b = 2", 0, spec.prune)
+	xpF := e.buildExpand(fwd, spec.edgeFwd, "q.f = 2", 0, spec.prune, sc)
+	xpB := e.buildExpand(bwd, spec.edgeBwd, "q.b = 2", 0, spec.prune, sc)
 	frontF, frontB := spec.frontier(fwd), spec.frontier(bwd)
 	var preF, preB stmtShape
 	if spec.preFrontier != nil {
@@ -251,7 +239,7 @@ func (e *Engine) bidirectional(ctx context.Context, spec femSpec, s, t int64, bu
 		}
 		qs.Iterations = iter + 1
 		// Statistics collection: current best meeting cost (line 16).
-		mc, null, err := e.queryInt(ctx, qs, &qs.SC, biMinSumQ)
+		mc, null, err := e.queryInt(ctx, qs, &qs.SC, sc.biMinSum)
 		if err != nil {
 			return Path{}, qs, err
 		}
@@ -282,11 +270,11 @@ func (e *Engine) bidirectional(ctx context.Context, spec femSpec, s, t int64, bu
 		var lOther int64
 		var k int64
 		if forward {
-			xp, front, pre, reset, minQ, lOther = xpF, frontF, preF, biResetFQ, biMinFQ, lb
+			xp, front, pre, reset, minQ, lOther = xpF, frontF, preF, sc.biResetF, sc.biMinF, lb
 			kf++
 			k = kf
 		} else {
-			xp, front, pre, reset, minQ, lOther = xpB, frontB, preB, biResetBQ, biMinBQ, lf
+			xp, front, pre, reset, minQ, lOther = xpB, frontB, preB, sc.biResetB, sc.biMinB, lf
 			kb++
 			k = kb
 		}
@@ -379,7 +367,7 @@ func (e *Engine) bidirectional(ctx context.Context, spec femSpec, s, t int64, bu
 	}
 	qs.Expansions = qs.ForwardExpansions + qs.BackwardExpansions
 
-	vc, err := e.visitedCount(ctx, qs)
+	vc, err := e.visitedCount(ctx, qs, sc)
 	if err != nil {
 		return Path{}, qs, err
 	}
@@ -388,7 +376,7 @@ func (e *Engine) bidirectional(ctx context.Context, spec femSpec, s, t int64, bu
 	if minCost >= MaxDist {
 		return Path{Found: false}, qs, nil
 	}
-	nodes, err := e.recoverBidirectional(ctx, qs, s, t, minCost, spec.edgeFwd != TblEdges)
+	nodes, err := e.recoverBidirectional(ctx, qs, sc, s, t, minCost, spec.edgeFwd != TblEdges)
 	if err != nil {
 		return Path{}, qs, err
 	}

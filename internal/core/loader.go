@@ -198,11 +198,11 @@ func (e *Engine) createVisitedTables() error {
 	return nil
 }
 
-// resetVisited clears the per-query working tables (counted in PE since
-// the paper's per-query setup happens inside the measured loop).
-func (e *Engine) resetVisited(ctx context.Context, qs *QueryStats) error {
-	for _, tbl := range []string{TblVisited, TblExpand, TblExpCost} {
-		if _, err := e.exec(ctx, qs, nil, nil, "DELETE FROM "+tbl); err != nil {
+// resetVisited clears sc's working tables (counted in PE since the paper's
+// per-query setup happens inside the measured loop).
+func (e *Engine) resetVisited(ctx context.Context, qs *QueryStats, sc *scratchSet) error {
+	for _, q := range sc.resets {
+		if _, err := e.exec(ctx, qs, nil, nil, q); err != nil {
 			return err
 		}
 	}
@@ -210,8 +210,7 @@ func (e *Engine) resetVisited(ctx context.Context, qs *QueryStats) error {
 }
 
 // visitedCount reads |TVisited| for the search-space metric (Table 3).
-func (e *Engine) visitedCount(ctx context.Context, qs *QueryStats) (int, error) {
-	const q = "SELECT COUNT(*) FROM " + TblVisited
-	v, _, err := e.queryInt(ctx, qs, nil, q)
+func (e *Engine) visitedCount(ctx context.Context, qs *QueryStats, sc *scratchSet) (int, error) {
+	v, _, err := e.queryInt(ctx, qs, nil, sc.count)
 	return int(v), err
 }

@@ -56,7 +56,7 @@ func (e *Engine) MinimumSpanningForest() (*MSTResult, error) {
 	// Working table: reuse TVisited's shape, with d2s as the connection
 	// weight. All nodes start as non-candidates (f = 3); component roots
 	// are promoted one at a time.
-	if err := e.resetVisited(ctx, qs); err != nil {
+	if err := e.resetVisited(ctx, qs, e.scratchGlobal); err != nil {
 		return nil, err
 	}
 	if _, err := e.exec(ctx, qs, nil, nil, mstInitQ, MaxDist, NoParent); err != nil {

@@ -136,17 +136,25 @@ type queryPlan struct {
 	snap statSnapshot
 }
 
+// snapshotRetryLimit is how many shared-mode attempts a query makes before
+// degrading to an exclusive admission. Commit-time validation failing is
+// already exceptional (the gate excludes writers while readers run), so two
+// optimistic rounds before the guaranteed-progress fallback is plenty.
+const snapshotRetryLimit = 2
+
 // Query answers one declarative shortest-path request. It is the single
 // context-aware entry point the serving tier builds on:
 //
 //   - ctx carries the deadline; a cancelled context returns ctx.Err()
 //     within one frontier iteration (or immediately, while still queued on
-//     the query latch), releasing the latch and caching nothing.
+//     the admission gate), releasing its slot and caching nothing.
 //   - req.Alg == AlgAuto lets the cost-based planner pick the algorithm or
 //     answer from the landmark oracle (see the Decision* labels).
-//   - cache hits return from memory without touching latch or database.
+//   - cache hits return from memory without touching gate or database.
 //
-// Safe for any number of concurrent callers.
+// Safe for any number of concurrent callers: read-only searches enter the
+// shared side of the query gate and run in parallel, each over a private
+// scratch-table set, while mutations take the exclusive side.
 func (e *Engine) Query(ctx context.Context, req QueryRequest) (QueryResult, error) {
 	if e.optErr != nil {
 		return QueryResult{}, e.optErr
@@ -200,51 +208,97 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (QueryResult, erro
 		}
 	}
 
-	if err := e.lockQuery(ctx); err != nil {
-		return QueryResult{}, err
+	// Optimistic snapshot execution: run under a shared admission, then
+	// validate at commit that the graph version the plan saw is still
+	// current. The gate already excludes writers while readers run, so a
+	// failed validation is a safety net (for any future mutation path that
+	// bypasses the gate), not the normal case — it discards the attempt and
+	// retries, the DistanceInterval optimistic pattern, degrading to an
+	// exclusive admission on the final attempt so progress is guaranteed.
+	for attempt := 0; ; attempt++ {
+		res, retry, aerr := e.queryAttempt(ctx, req, &pl, attempt >= snapshotRetryLimit)
+		if aerr != nil || !retry {
+			return res, aerr
+		}
+		e.snapRetries.Add(1)
 	}
-	defer e.unlockQuery()
-	// The graph may have changed while we waited for the latch (edge
+}
+
+// queryAttempt runs one admission-to-commit round of Query. It reports
+// retry=true when commit-time validation found the graph version moved
+// under the search (the answer is discarded). exclusive requests the
+// writer side of the gate — the degraded, guaranteed-stable mode.
+func (e *Engine) queryAttempt(ctx context.Context, req QueryRequest, pl *queryPlan, exclusive bool) (QueryResult, bool, error) {
+	s, t := req.Source, req.Target
+	if exclusive {
+		e.degraded.Add(1)
+		if err := e.gate.lockExclusive(ctx); err != nil {
+			return QueryResult{}, false, err
+		}
+		defer e.gate.unlockExclusive()
+	} else {
+		if err := e.lockShared(ctx); err != nil {
+			return QueryResult{}, false, err
+		}
+		defer e.unlockShared()
+	}
+	// The graph may have changed while we waited for admission (edge
 	// mutation, index rebuild, full reload). Re-validate against the
 	// current generation — and replan, since the decision inputs (oracle
 	// validity, SegTable, size) may have moved — so the answer we compute
-	// belongs to the graph we actually query. Under the latch the replan
-	// is stable: every mutator needs this latch too.
-	snap = e.snapshotStats()
+	// belongs to the graph we actually query. Once admitted the replan is
+	// stable: every mutator needs the exclusive side of the gate.
+	snap := e.snapshotStats()
 	if snap.nodes == 0 {
-		return QueryResult{}, fmt.Errorf("core: no graph loaded")
+		return QueryResult{}, false, fmt.Errorf("core: no graph loaded")
 	}
 	if int(s) >= snap.nodes || int(t) >= snap.nodes {
-		return QueryResult{}, fmt.Errorf("core: node out of range (n=%d)", snap.nodes)
+		return QueryResult{}, false, fmt.Errorf("core: node out of range (n=%d)", snap.nodes)
 	}
 	if snap != pl.snap {
-		pl, err = e.planQuery(ctx, req, snap)
+		npl, err := e.planQuery(ctx, req, snap)
 		if err != nil {
-			return QueryResult{}, err
+			return QueryResult{}, false, err
 		}
+		*pl = npl
 		if pl.answer != nil {
-			return *pl.answer, nil
+			return *pl.answer, false, nil
 		}
 	}
-	key = cacheKey{version: pl.snap.version, alg: pl.alg, s: s, t: t}
-	// Re-check under the latch: a concurrent caller may have computed and
+	key := cacheKey{version: pl.snap.version, alg: pl.alg, s: s, t: t}
+	// Re-check after admission: a concurrent caller may have computed and
 	// cached this exact answer while we waited.
 	if e.cache != nil {
 		if p, ok := e.cache.recheck(key); ok {
-			return exactResult(p, pl.alg, &QueryStats{Algorithm: pl.alg.String(), Planner: pl.decision, CacheHit: true}), nil
+			return exactResult(p, pl.alg, &QueryStats{Algorithm: pl.alg.String(), Planner: pl.decision, CacheHit: true}), false, nil
 		}
 	}
-	p, qs, err := e.searchLocked(ctx, pl.alg, s, t, req.MaxStatements)
+	// Lease a private scratch set: concurrent readers write disjoint
+	// working tables, which is what lets them share the gate at all.
+	sc, err := e.scratch.acquire()
+	if err != nil {
+		return QueryResult{}, false, err
+	}
+	defer e.scratch.release(sc)
+	if h := e.hookSearchStart; h != nil {
+		h()
+	}
+	p, qs, err := e.search(ctx, sc, pl.alg, s, t, req.MaxStatements)
 	if qs != nil {
 		qs.Planner = pl.decision
 	}
 	if err != nil {
-		return QueryResult{Stats: qs}, err
+		return QueryResult{Stats: qs}, false, err
+	}
+	// Commit-time validation: the answer is only published (and cached) if
+	// the graph version is still the one the plan snapshot saw.
+	if e.GraphVersion() != pl.snap.version {
+		return QueryResult{}, true, nil
 	}
 	if e.cache != nil {
 		e.cache.put(key, p)
 	}
-	return exactResult(p, pl.alg, qs), nil
+	return exactResult(p, pl.alg, qs), false, nil
 }
 
 // exactResult wraps a relational-search path in the unified answer shape.
@@ -390,12 +444,12 @@ type QueryResponse struct {
 // fail fast with ctx.Err(), the in-flight ones die within a frontier
 // iteration.
 //
-// The pool's parallelism pays off in two places: requests answered by the
+// The pool's parallelism pays off throughout: requests answered by the
 // path cache (or the oracle) complete concurrently without touching the
-// query latch, and duplicate pairs in the same batch collapse — the first
-// worker through the latch computes, the rest hit the cache on the
-// re-check. Distinct uncached searches still serialize on the latch, like
-// the paper's single JDBC session.
+// admission gate, duplicate pairs in the same batch collapse — the first
+// worker to finish populates the cache, the rest hit it on the post-
+// admission re-check — and distinct uncached searches run in parallel
+// under shared admissions, each over its own scratch-table set.
 func (e *Engine) QueryBatch(ctx context.Context, reqs []QueryRequest, workers int) []QueryResponse {
 	results := make([]QueryResponse, len(reqs))
 	runBatch(ctx, len(reqs), workers, func(i int) {

@@ -43,7 +43,7 @@ func (e *Engine) Reachable(s, t int64) (*ReachResult, error) {
 	start := time.Now()
 	res := &ReachResult{}
 
-	if err := e.resetVisited(ctx, qs); err != nil {
+	if err := e.resetVisited(ctx, qs, e.scratchGlobal); err != nil {
 		return nil, err
 	}
 	if s == t {
@@ -87,7 +87,7 @@ func (e *Engine) Reachable(s, t int64) (*ReachResult, error) {
 			break
 		}
 	}
-	vc, err := e.visitedCount(ctx, qs)
+	vc, err := e.visitedCount(ctx, qs, e.scratchGlobal)
 	if err != nil {
 		return nil, err
 	}

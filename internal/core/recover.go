@@ -11,8 +11,8 @@ import (
 // interior nodes are unfolded through the SegTable's pid chains.
 
 // recoverForward returns the node sequence s..x following p2s links.
-func (e *Engine) recoverForward(ctx context.Context, qs *QueryStats, s, x int64, segs bool) ([]int64, error) {
-	const q = "SELECT p2s FROM " + TblVisited + " WHERE nid = ?"
+func (e *Engine) recoverForward(ctx context.Context, qs *QueryStats, sc *scratchSet, s, x int64, segs bool) ([]int64, error) {
+	q := sc.recP2S
 	var rev []int64
 	cur := x
 	guard := e.nodes + 2
@@ -80,8 +80,8 @@ func (e *Engine) unfoldOutSegment(ctx context.Context, qs *QueryStats, u, v int6
 
 // recoverBackward returns the node sequence x..t following p2t links
 // (excluding x itself).
-func (e *Engine) recoverBackward(ctx context.Context, qs *QueryStats, x, t int64, segs bool) ([]int64, error) {
-	const q = "SELECT p2t FROM " + TblVisited + " WHERE nid = ?"
+func (e *Engine) recoverBackward(ctx context.Context, qs *QueryStats, sc *scratchSet, x, t int64, segs bool) ([]int64, error) {
+	q := sc.recP2T
 	var out []int64
 	cur := x
 	guard := e.nodes + 2
@@ -141,20 +141,19 @@ func (e *Engine) unfoldInSegment(ctx context.Context, qs *QueryStats, u, v int64
 
 // recoverBidirectional locates a node on the optimal path (Listing 4(6))
 // and concatenates the two half-paths (lines 17-20 of Algorithm 2).
-func (e *Engine) recoverBidirectional(ctx context.Context, qs *QueryStats, s, t, minCost int64, segs bool) ([]int64, error) {
-	const meetQ = "SELECT TOP 1 nid FROM " + TblVisited + " WHERE d2s + d2t = ?"
-	meet, null, err := e.queryInt(ctx, qs, &qs.FPR, meetQ, minCost)
+func (e *Engine) recoverBidirectional(ctx context.Context, qs *QueryStats, sc *scratchSet, s, t, minCost int64, segs bool) ([]int64, error) {
+	meet, null, err := e.queryInt(ctx, qs, &qs.FPR, sc.meet, minCost)
 	if err != nil {
 		return nil, err
 	}
 	if null {
 		return nil, fmt.Errorf("core: no meeting node for minCost=%d", minCost)
 	}
-	p0, err := e.recoverForward(ctx, qs, s, meet, segs)
+	p0, err := e.recoverForward(ctx, qs, sc, s, meet, segs)
 	if err != nil {
 		return nil, err
 	}
-	p1, err := e.recoverBackward(ctx, qs, meet, t, segs)
+	p1, err := e.recoverBackward(ctx, qs, sc, meet, t, segs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Per-query scratch tables.
+//
+// Every relational search scribbles its whole working state into the
+// frontier/visited/answer tables (TVisited, TExpand, TExpCost). When all
+// searches shared one set — the paper's single JDBC session — they had to
+// serialize. The engine now leases each read-only search a private,
+// uniquely-named set (TVisited_q0, TExpand_q0, ... TVisited_q1, ...) so N
+// searches write disjoint tables and the rdb layer's per-table locks let
+// them run concurrently.
+//
+// Sets are pooled: a release parks the set on a free list (up to
+// Options.ScratchRetain) instead of dropping it, and ids recycle through a
+// free-id list, so the population of distinct table names — and therefore
+// of distinct statement texts, prepared handles and plan-cache entries —
+// stays bounded no matter how many queries run. DDL (CREATE/DROP, each
+// bumping the schema epoch) happens only when the pool grows past its
+// high-water mark or shrinks past the retain floor, never per query.
+//
+// The global set (id -1) keeps the original TVisited/TExpand/TExpCost
+// names; it is created by LoadGraph and reserved for operations that
+// already run under the exclusive gate (MST, Reachable, SegTable builds).
+
+// DefaultScratchRetain is how many scratch sets a release keeps warm when
+// Options.ScratchRetain is 0. Sized for the bench's concurrency levels;
+// small enough that the per-set statement shapes stay well inside the plan
+// cache's default capacity.
+const DefaultScratchRetain = 4
+
+// scratchSet is one private set of working tables plus every statement text
+// the search loops issue against it, rendered once at mint time so the hot
+// path only binds parameters (the texts are per-set constants, shared by
+// every query that leases the set).
+type scratchSet struct {
+	id      int
+	visited string
+	expand  string
+	expCost string
+
+	// Bi-directional FEM loop (fem.go).
+	biInit, biResetF, biResetB, biMinSum, biMinF, biMinB string
+	// Single-directional Dijkstra (dj.go).
+	djInit, djMid, djFinalize, djTarget, djDist string
+	// Path recovery (recover.go).
+	recP2S, recP2T, meet string
+	// Working-table reset and the search-space metric (loader.go).
+	resets [3]string
+	count  string
+}
+
+// newScratchSet renders the statement texts for set id (negative = the
+// global TVisited set).
+func newScratchSet(id int) *scratchSet {
+	sc := &scratchSet{id: id, visited: TblVisited, expand: TblExpand, expCost: TblExpCost}
+	if id >= 0 {
+		suffix := fmt.Sprintf("_q%d", id)
+		sc.visited += suffix
+		sc.expand += suffix
+		sc.expCost += suffix
+	}
+	v := sc.visited
+	sc.biInit = "INSERT INTO " + v + " (nid, d2s, p2s, f, d2t, p2t, b) VALUES (?, 0, ?, 0, ?, ?, 1), (?, ?, ?, 1, 0, ?, 0)"
+	sc.biResetF = "UPDATE " + v + " SET f = 1 WHERE f = 2"
+	sc.biResetB = "UPDATE " + v + " SET b = 1 WHERE b = 2"
+	sc.biMinSum = "SELECT MIN(d2s + d2t) FROM " + v
+	sc.biMinF = "SELECT MIN(d2s) FROM " + v + " WHERE f = 0"
+	sc.biMinB = "SELECT MIN(d2t) FROM " + v + " WHERE b = 0"
+	sc.djInit = "INSERT INTO " + v + " (nid, d2s, p2s, f, d2t, p2t, b) VALUES (?, 0, ?, 0, ?, ?, 1)"
+	sc.djMid = "SELECT TOP 1 nid FROM " + v + " WHERE f = 0 AND d2s = (SELECT MIN(d2s) FROM " + v + " WHERE f = 0)"
+	sc.djFinalize = "UPDATE " + v + " SET f = 1 WHERE nid = ?"
+	sc.djTarget = "SELECT nid FROM " + v + " WHERE f = 1 AND nid = ?"
+	sc.djDist = "SELECT d2s FROM " + v + " WHERE nid = ?"
+	sc.recP2S = "SELECT p2s FROM " + v + " WHERE nid = ?"
+	sc.recP2T = "SELECT p2t FROM " + v + " WHERE nid = ?"
+	sc.meet = "SELECT TOP 1 nid FROM " + v + " WHERE d2s + d2t = ?"
+	sc.resets = [3]string{"DELETE FROM " + sc.visited, "DELETE FROM " + sc.expand, "DELETE FROM " + sc.expCost}
+	sc.count = "SELECT COUNT(*) FROM " + v
+	return sc
+}
+
+// minCandidate is the shared "minimal unfinalized distance" subquery of the
+// Dijkstra-family frontier rules, rendered per direction over the set's
+// visited table.
+func (sc *scratchSet) minCandidate(d direction) string {
+	return "(SELECT MIN(" + d.dist + ") FROM " + sc.visited + " WHERE " + d.sign + " = 0)"
+}
+
+// ScratchStats snapshots the scratch-table pool for the serving tier.
+type ScratchStats struct {
+	// Minted counts table-set creations (DDL); Dropped counts releases that
+	// dropped a set past the retain floor.
+	Minted  uint64 `json:"minted"`
+	Dropped uint64 `json:"dropped"`
+	// Live is the number of sets currently leased to in-flight queries;
+	// Free the number parked on the free list.
+	Live int `json:"live"`
+	Free int `json:"free"`
+}
+
+// scratchPool leases scratch sets to searches. Acquire pops the free list
+// or mints a fresh set; release parks it (up to the retain floor) or drops
+// its tables. Ids recycle so table names — and every derived statement
+// text — repeat instead of growing without bound.
+type scratchPool struct {
+	e       *Engine
+	mu      sync.Mutex
+	free    []*scratchSet
+	freeIDs []int
+	nextID  int
+	live    int
+	minted  uint64
+	dropped uint64
+}
+
+// retain resolves Options.ScratchRetain: 0 = default, negative = keep none
+// (every release drops; the cancellation-leak test runs in this mode so the
+// catalog must return to its baseline exactly).
+func (p *scratchPool) retain() int {
+	r := p.e.opts.ScratchRetain
+	if r == 0 {
+		return DefaultScratchRetain
+	}
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// acquire leases a set, minting tables when the free list is empty.
+func (p *scratchPool) acquire() (*scratchSet, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		sc := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.live++
+		p.mu.Unlock()
+		return sc, nil
+	}
+	var id int
+	if n := len(p.freeIDs); n > 0 {
+		id = p.freeIDs[n-1]
+		p.freeIDs = p.freeIDs[:n-1]
+	} else {
+		id = p.nextID
+		p.nextID++
+	}
+	p.live++
+	p.minted++
+	p.mu.Unlock()
+	sc := newScratchSet(id)
+	if err := p.e.createScratchTables(sc); err != nil {
+		p.mu.Lock()
+		p.live--
+		p.freeIDs = append(p.freeIDs, id)
+		p.mu.Unlock()
+		return nil, err
+	}
+	return sc, nil
+}
+
+// release returns a leased set, dropping its tables past the retain floor.
+func (p *scratchPool) release(sc *scratchSet) {
+	p.mu.Lock()
+	p.live--
+	if len(p.free) < p.retain() {
+		p.free = append(p.free, sc)
+		p.mu.Unlock()
+		return
+	}
+	p.freeIDs = append(p.freeIDs, sc.id)
+	p.dropped++
+	p.mu.Unlock()
+	p.e.dropScratchTables(sc)
+}
+
+// stats snapshots the pool.
+func (p *scratchPool) stats() ScratchStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ScratchStats{Minted: p.minted, Dropped: p.dropped, Live: p.live, Free: len(p.free)}
+}
+
+// createScratchTables mints the set's tables under the engine's index
+// strategy — the same physical design createVisitedTables gives the global
+// set, with per-set index names. Creation failures drop whatever partial
+// prefix was created so a failed mint never leaks catalog entries.
+func (e *Engine) createScratchTables(sc *scratchSet) error {
+	// A recycled id may find leftovers from a drop that failed midway;
+	// clear them so the creates below start clean.
+	e.dropScratchTables(sc)
+	var stmts []string
+	switch e.opts.Strategy {
+	case ClusteredIndex:
+		stmts = append(stmts,
+			"CREATE TABLE "+sc.visited+" (nid INT PRIMARY KEY, d2s INT, p2s INT, f INT, d2t INT, p2t INT, b INT)",
+			"CREATE TABLE "+sc.expand+" (nid INT PRIMARY KEY, par INT, cost INT)",
+			"CREATE TABLE "+sc.expCost+" (nid INT PRIMARY KEY, cost INT)",
+		)
+	case SecondaryIndex:
+		sfx := fmt.Sprintf("_q%d", sc.id)
+		stmts = append(stmts,
+			"CREATE TABLE "+sc.visited+" (nid INT, d2s INT, p2s INT, f INT, d2t INT, p2t INT, b INT)",
+			"CREATE UNIQUE INDEX tvisited"+sfx+"_nid ON "+sc.visited+" (nid)",
+			"CREATE TABLE "+sc.expand+" (nid INT, par INT, cost INT)",
+			"CREATE UNIQUE INDEX texpand"+sfx+"_nid ON "+sc.expand+" (nid)",
+			"CREATE TABLE "+sc.expCost+" (nid INT, cost INT)",
+			"CREATE UNIQUE INDEX texpcost"+sfx+"_nid ON "+sc.expCost+" (nid)",
+		)
+	case NoIndex:
+		stmts = append(stmts,
+			"CREATE TABLE "+sc.visited+" (nid INT, d2s INT, p2s INT, f INT, d2t INT, p2t INT, b INT)",
+			"CREATE TABLE "+sc.expand+" (nid INT, par INT, cost INT)",
+			"CREATE TABLE "+sc.expCost+" (nid INT, cost INT)",
+		)
+	}
+	for _, s := range stmts {
+		if _, err := e.sess.Exec(s); err != nil {
+			e.dropScratchTables(sc)
+			return err
+		}
+	}
+	return nil
+}
+
+// dropScratchTables removes whichever of the set's tables exist.
+func (e *Engine) dropScratchTables(sc *scratchSet) {
+	for _, tbl := range []string{sc.visited, sc.expand, sc.expCost} {
+		if _, ok := e.db.Catalog().Get(tbl); ok {
+			// Best-effort: a failed drop leaves a harmless empty table that
+			// the next lease of this id will find already present.
+			_, _ = e.sess.Exec("DROP TABLE " + tbl)
+		}
+	}
+}

@@ -41,6 +41,9 @@ type cachedPlan struct {
 	sel     *exec.PreparedSelect
 	dml     *exec.PreparedDML
 	stmt    sql.Statement // DDL only
+	// locks is the sorted per-table lock set executions acquire (write
+	// subsumes read); nil for DDL, which runs under the exclusive latch.
+	locks []tableLockSpec
 }
 
 // planKey identifies a cache entry. The profile is part of the key because

@@ -4,13 +4,17 @@
 // affected-row counts, Query with positional ? parameters, and per-engine
 // feature profiles (DBMS-x supports MERGE, PostgreSQL 9.0 does not).
 //
-// Concurrency model: a DB carries an RW latch. SELECTs (Query/QueryInt)
-// run under the shared side, so any number of sessions can read at once;
-// statements that mutate data or schema (Exec) take the exclusive side.
-// Combined with the sharded buffer pool underneath, this makes the read
-// path scale with concurrent callers while writers keep the serialized
-// one-statement-at-a-time semantics the paper's client assumes. Callers
-// that want per-caller accounting open a Session (see session.go).
+// Concurrency model: a DB carries an RW facade latch plus per-table RW
+// locks. SELECTs (Query/QueryInt) and DML (INSERT/UPDATE/DELETE/MERGE) both
+// run under the shared side of the facade latch; each statement then locks
+// exactly the tables its compiled plan reads (shared) and writes
+// (exclusive), in sorted order, so statements over disjoint tables — for
+// example two searches scribbling into their own private scratch tables —
+// execute fully in parallel while two writers of one table still serialize.
+// DDL (CREATE/DROP/TRUNCATE) takes the exclusive facade latch, draining
+// every in-flight statement, and bumps the schema epoch that invalidates
+// cached plans. Callers that want per-caller accounting open a Session
+// (see session.go).
 package rdb
 
 import (
@@ -100,9 +104,9 @@ type Stats struct {
 	IO          storage.IOStats
 }
 
-// DB is one embedded database instance. Reads (Query) run concurrently
-// under the shared side of an RW latch; writes (Exec) are exclusive,
-// mirroring the paper's single JDBC writer while letting many readers in.
+// DB is one embedded database instance. Queries and DML run concurrently
+// under the shared side of the facade latch, serialized per table by the
+// plan's table-lock set; DDL is exclusive.
 type DB struct {
 	mu      sync.RWMutex
 	disk    storage.DiskManager
@@ -110,6 +114,11 @@ type DB struct {
 	cat     *table.Catalog
 	planner *exec.Planner
 	profile Profile
+
+	// tlocks maps lowercase table name → its RW lock; tlMu guards the map
+	// itself. Entries persist for the life of the DB (names recycle).
+	tlMu   sync.Mutex
+	tlocks map[string]*sync.RWMutex
 
 	// plans caches compiled statements keyed by (text, profile); nil when
 	// caching is disabled. epoch is the schema generation entries are
@@ -157,6 +166,7 @@ func Open(opts Options) (*DB, error) {
 		cat:     cat,
 		planner: exec.NewPlanner(cat),
 		profile: opts.Profile,
+		tlocks:  make(map[string]*sync.RWMutex),
 	}
 	size := opts.PlanCacheSize
 	if size == 0 {
@@ -349,7 +359,7 @@ func (db *DB) plan(query string) (*cachedPlan, error) {
 	if err := db.checkFeatures(st); err != nil {
 		return nil, err
 	}
-	cp := &cachedPlan{epoch: epoch, nparams: nparams}
+	cp := &cachedPlan{epoch: epoch, nparams: nparams, locks: stmtLockSpecs(st)}
 	switch s := st.(type) {
 	case *sql.SelectStmt:
 		ps, err := db.planner.PrepareSelect(s)
@@ -404,42 +414,61 @@ func (db *DB) planFor(st *Stmt, query string) (*cachedPlan, error) {
 }
 
 // Exec runs one statement, returning the SQLCA-style affected-row count.
-// Mutating statements take the exclusive latch, so an Exec drains
-// concurrent readers before running and blocks new ones. Repeated texts
-// reuse their compiled plan from the cache; DDL bumps the schema epoch,
-// invalidating every cached plan.
+// DML runs under the shared facade latch plus the plan's table locks, so
+// mutations of disjoint tables proceed concurrently with each other and
+// with queries; DDL takes the exclusive latch (draining every in-flight
+// statement) and bumps the schema epoch, invalidating every cached plan.
 func (db *DB) Exec(query string, args ...any) (exec.Result, error) {
 	return db.execText(query, nil, args)
 }
 
 func (db *DB) execText(query string, st *Stmt, args []any) (exec.Result, error) {
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return exec.Result{}, fmt.Errorf("rdb: database is closed")
+	}
+	params, err := convertArgs(args)
+	if err != nil {
+		db.mu.RUnlock()
+		return exec.Result{}, err
+	}
+	cp, err := db.planFor(st, query)
+	if err != nil {
+		db.mu.RUnlock()
+		return exec.Result{}, err
+	}
+	if cp.nparams != len(params) {
+		db.mu.RUnlock()
+		return exec.Result{}, fmt.Errorf("rdb: statement has %d placeholders, %d arguments bound\n  in: %s",
+			cp.nparams, len(params), query)
+	}
+	switch cp.kind {
+	case planKindSelect:
+		db.mu.RUnlock()
+		return exec.Result{}, fmt.Errorf("rdb: use Query for SELECT")
+	case planKindDML:
+		db.stmts.Add(1)
+		t1 := time.Now()
+		unlock := db.lockPlanTables(cp)
+		res, err := cp.dml.Run(&exec.Ctx{Params: params})
+		unlock()
+		db.mu.RUnlock()
+		db.execDurNs.Add(int64(time.Since(t1)))
+		return res, wrapErr(err, query)
+	}
+	// DDL: re-enter on the exclusive side. The parsed statement resolves
+	// catalog names at execution time, so the plan cannot go stale across
+	// the latch upgrade.
+	db.mu.RUnlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return exec.Result{}, fmt.Errorf("rdb: database is closed")
 	}
-	params, err := convertArgs(args)
-	if err != nil {
-		return exec.Result{}, err
-	}
-	cp, err := db.planFor(st, query)
-	if err != nil {
-		return exec.Result{}, err
-	}
-	if cp.nparams != len(params) {
-		return exec.Result{}, fmt.Errorf("rdb: statement has %d placeholders, %d arguments bound\n  in: %s",
-			cp.nparams, len(params), query)
-	}
 	db.stmts.Add(1)
 	t1 := time.Now()
 	defer func() { db.execDurNs.Add(int64(time.Since(t1))) }()
-	switch cp.kind {
-	case planKindSelect:
-		return exec.Result{}, fmt.Errorf("rdb: use Query for SELECT")
-	case planKindDML:
-		res, err := cp.dml.Run(&exec.Ctx{Params: params})
-		return res, wrapErr(err, query)
-	}
 	res, err := db.execDDL(cp.stmt)
 	if err == nil {
 		// The catalog changed shape: every cached plan may now reference
@@ -473,9 +502,10 @@ func wrapErr(err error, query string) error {
 	return fmt.Errorf("%w\n  in: %s", err, query)
 }
 
-// Query runs a SELECT, materializing the result. SELECTs take only the
-// shared latch, so sessions can read concurrently; repeated texts reuse
-// their compiled plan (each execution gets a private plan instance).
+// Query runs a SELECT, materializing the result. SELECTs take the shared
+// facade latch plus read locks on the plan's tables, so sessions can read
+// concurrently (and concurrently with DML over other tables); repeated
+// texts reuse their compiled plan (each execution gets a private instance).
 func (db *DB) Query(query string, args ...any) (*Rows, error) {
 	return db.queryText(query, nil, args)
 }
@@ -503,7 +533,9 @@ func (db *DB) queryText(query string, st *Stmt, args []any) (*Rows, error) {
 	}
 	db.stmts.Add(1)
 	t1 := time.Now()
+	unlock := db.lockPlanTables(cp)
 	rows, err := cp.sel.Run(&exec.Ctx{Params: params})
+	unlock()
 	db.execDurNs.Add(int64(time.Since(t1)))
 	if err != nil {
 		return nil, wrapErr(err, query)

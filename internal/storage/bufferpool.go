@@ -119,7 +119,10 @@ func (bp *BufferPool) ResetStats() {
 	}
 }
 
-// NewPage allocates a fresh page on disk and returns it pinned.
+// NewPage allocates a fresh page on disk and returns it pinned. A zeroed
+// frame is valid content for a fresh page, so the new frame is installed
+// immediately; only the dirty victim's flush (if any) happens outside the
+// latch.
 func (bp *BufferPool) NewPage() (*Page, error) {
 	id, err := bp.disk.AllocatePage()
 	if err != nil {
@@ -127,19 +130,31 @@ func (bp *BufferPool) NewPage() (*Page, error) {
 	}
 	sh := bp.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	idx, err := sh.victimLocked()
+	idx, victim, err := sh.victimLocked()
 	if err != nil {
+		sh.mu.Unlock()
 		return nil, err
 	}
 	pg := &Page{id: id, pinCount: 1, refbit: true}
 	pg.dirty = true // fresh page must be written at least once
 	sh.frames[idx] = pg
 	sh.table[id] = idx
+	sh.mu.Unlock()
+	if victim != nil {
+		if err := sh.disk.WritePage(victim.id, victim.Data[:]); err != nil {
+			sh.unmap(pg, idx)
+			return nil, err
+		}
+	}
 	return pg, nil
 }
 
-// Fetch pins page id, reading it from disk on a miss.
+// Fetch pins page id, reading it from disk on a miss. The physical read
+// happens outside the shard latch: the loader installs a pinned frame with a
+// loading fence, releases the latch, performs the read (plus the dirty
+// victim's flush), then closes the fence. Concurrent fetchers of the same
+// page wait on the fence rather than the latch, and fetchers of other pages
+// in the shard are not blocked behind the I/O at all.
 func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	if id == InvalidPageID {
 		return nil, fmt.Errorf("storage: fetch of invalid page")
@@ -151,31 +166,70 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 		pg.pinCount++
 		pg.refbit = true
 		sh.stats.Hits++
+		if ch := pg.loading; ch != nil {
+			// Another session is reading this page in right now; the pin
+			// taken above keeps the frame from being victimized while we
+			// wait for its content to become valid.
+			sh.mu.Unlock()
+			<-ch
+			sh.mu.Lock()
+			if err := pg.loadErr; err != nil {
+				pg.pinCount--
+				sh.mu.Unlock()
+				return nil, err
+			}
+			sh.mu.Unlock()
+			return pg, nil
+		}
 		sh.mu.Unlock()
 		return pg, nil
 	}
 	sh.stats.Misses++
-	idx, err := sh.victimLocked()
+	idx, victim, err := sh.victimLocked()
 	if err != nil {
 		sh.mu.Unlock()
 		return nil, err
 	}
-	pg := &Page{id: id, pinCount: 1, refbit: true}
+	pg := &Page{id: id, pinCount: 1, refbit: true, loading: make(chan struct{})}
 	sh.frames[idx] = pg
 	sh.table[id] = idx
-	// The read happens under the shard latch so no other session can see
-	// the frame until its content is valid; only this shard blocks.
-	err = sh.disk.ReadPage(id, pg.Data[:])
-	if err != nil {
+	sh.mu.Unlock()
+
+	// Physical I/O outside the latch. The victim (if dirty) was detached
+	// with zero pins under the latch, so this goroutine owns it exclusively.
+	ioErr := error(nil)
+	if victim != nil {
+		ioErr = sh.disk.WritePage(victim.id, victim.Data[:])
+	}
+	if ioErr == nil {
+		ioErr = sh.disk.ReadPage(id, pg.Data[:])
+	}
+
+	sh.mu.Lock()
+	if ioErr != nil {
 		// Unmap the never-initialized frame: leaving it would hand later
-		// fetches zeroed bytes as a cache hit and leak the pin.
+		// fetches zeroed bytes as a cache hit and leak the pin. Waiters
+		// blocked on the fence observe loadErr and drop their own pins.
+		pg.loadErr = ioErr
 		delete(sh.table, id)
 		sh.frames[idx] = nil
-		sh.mu.Unlock()
-		return nil, err
 	}
+	ch := pg.loading
+	pg.loading = nil
+	close(ch)
 	sh.mu.Unlock()
+	if ioErr != nil {
+		return nil, ioErr
+	}
 	return pg, nil
+}
+
+// unmap removes a just-installed frame after a failed victim flush.
+func (sh *poolShard) unmap(pg *Page, idx int) {
+	sh.mu.Lock()
+	delete(sh.table, pg.id)
+	sh.frames[idx] = nil
+	sh.mu.Unlock()
 }
 
 // Unpin releases one pin on page id; dirty marks the content modified.
@@ -191,12 +245,15 @@ func (bp *BufferPool) Unpin(pg *Page, dirty bool) {
 	}
 }
 
-// victimLocked finds a free or evictable frame, flushing dirty victims.
-func (sh *poolShard) victimLocked() (int, error) {
+// victimLocked finds a free or evictable frame. A dirty victim is detached
+// (unmapped, unpinned, so this caller owns it exclusively) and returned for
+// the caller to flush outside the shard latch; clean victims are simply
+// dropped. Frames mid-load are never selected: their loaders hold a pin.
+func (sh *poolShard) victimLocked() (idx int, victim *Page, err error) {
 	n := len(sh.frames)
 	for i := 0; i < n; i++ {
 		if sh.frames[i] == nil {
-			return i, nil
+			return i, nil, nil
 		}
 	}
 	// Clock sweep: up to 2 full rotations (first clears refbits).
@@ -212,25 +269,24 @@ func (sh *poolShard) victimLocked() (int, error) {
 			continue
 		}
 		if pg.dirty {
-			if err := sh.disk.WritePage(pg.id, pg.Data[:]); err != nil {
-				return 0, err
-			}
+			victim = pg
 			sh.stats.Flushes++
 		}
 		delete(sh.table, pg.id)
 		sh.frames[idx] = nil
 		sh.stats.Evictions++
-		return idx, nil
+		return idx, victim, nil
 	}
-	return 0, fmt.Errorf("storage: buffer pool shard exhausted (%d frames, all pinned)", n)
+	return 0, nil, fmt.Errorf("storage: buffer pool shard exhausted (%d frames, all pinned)", n)
 }
 
-// FlushAll writes every dirty page back to disk (pages stay cached).
+// FlushAll writes every dirty page back to disk (pages stay cached). Frames
+// mid-load are skipped: their content is not valid yet and cannot be dirty.
 func (bp *BufferPool) FlushAll() error {
 	for _, sh := range bp.shards {
 		sh.mu.Lock()
 		for _, pg := range sh.frames {
-			if pg != nil && pg.dirty {
+			if pg != nil && pg.dirty && pg.loading == nil {
 				if err := sh.disk.WritePage(pg.id, pg.Data[:]); err != nil {
 					sh.mu.Unlock()
 					return err
@@ -238,6 +294,37 @@ func (bp *BufferPool) FlushAll() error {
 				pg.dirty = false
 				sh.stats.Flushes++
 			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// EvictAll flushes every dirty page and drops all unpinned frames, so the
+// next Fetch of any page is a physical read again. Loading a database warms
+// the pool as a side effect; cold-read benchmarks call this between the
+// load phase and the measured phase so that what they time is the miss
+// path, not the residue of the loader. Pinned frames and frames mid-load
+// stay resident. Flushes here bypass the disk manager's simulated latency
+// accounting only in the sense that they are setup cost, not measured cost;
+// callers should snapshot stats after EvictAll, not before.
+func (bp *BufferPool) EvictAll() error {
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		for i, pg := range sh.frames {
+			if pg == nil || pg.loading != nil || pg.pinCount > 0 {
+				continue
+			}
+			if pg.dirty {
+				if err := sh.disk.WritePage(pg.id, pg.Data[:]); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				sh.stats.Flushes++
+			}
+			delete(sh.table, pg.id)
+			sh.frames[i] = nil
+			sh.stats.Evictions++
 		}
 		sh.mu.Unlock()
 	}

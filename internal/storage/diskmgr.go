@@ -19,6 +19,13 @@ type IOStats struct {
 // DiskManager abstracts the page-granular backing store. Two implementations
 // exist: FileDiskManager (a real file, used by benchmarks so buffer-pool
 // misses hit the OS) and MemDiskManager (byte slices, used by unit tests).
+//
+// Both implementations perform the physical transfer (and any simulated
+// latency sleep) outside their bookkeeping mutex, so concurrent sessions
+// reading disjoint pages overlap their I/O instead of queueing on the
+// manager. This is what lets the parallel read path scale: with the transfer
+// under the lock, N concurrent cold queries would serialize on the disk
+// manager no matter how the layers above are latched.
 type DiskManager interface {
 	// ReadPage fills data with the content of page id.
 	ReadPage(id PageID, data []byte) error
@@ -55,38 +62,51 @@ func NewFileDiskManager(path string, latency time.Duration) (*FileDiskManager, e
 	return &FileDiskManager{f: f, latency: latency}, nil
 }
 
-// ReadPage implements DiskManager.
+// ReadPage implements DiskManager. The positional read happens outside the
+// mutex: ReadAt is safe for concurrent use and the file only ever grows
+// (AllocatePage extends it eagerly), so a page that passed the bounds check
+// stays readable.
 func (d *FileDiskManager) ReadPage(id PageID, data []byte) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if int(id) >= d.nPages {
+		d.mu.Unlock()
 		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, d.nPages)
 	}
+	d.stats.Reads++
+	lat := d.latency
+	if lat > 0 {
+		d.stats.ReadDelay += lat
+	}
+	d.mu.Unlock()
 	if _, err := d.f.ReadAt(data[:PageSize], int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: read page %d: %w", id, err)
 	}
-	d.stats.Reads++
-	if d.latency > 0 {
-		d.stats.ReadDelay += d.latency
-		time.Sleep(d.latency)
+	if lat > 0 {
+		time.Sleep(lat)
 	}
 	return nil
 }
 
-// WritePage implements DiskManager.
+// WritePage implements DiskManager. Like ReadPage, the positional write and
+// the simulated latency happen outside the mutex so concurrent flushes of
+// distinct pages overlap.
 func (d *FileDiskManager) WritePage(id PageID, data []byte) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if int(id) >= d.nPages {
+		d.mu.Unlock()
 		return fmt.Errorf("storage: write of unallocated page %d (have %d)", id, d.nPages)
 	}
+	d.stats.Writes++
+	lat := d.latency
+	if lat > 0 {
+		d.stats.WriteDelay += lat
+	}
+	d.mu.Unlock()
 	if _, err := d.f.WriteAt(data[:PageSize], int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", id, err)
 	}
-	d.stats.Writes++
-	if d.latency > 0 {
-		d.stats.WriteDelay += d.latency
-		time.Sleep(d.latency)
+	if lat > 0 {
+		time.Sleep(lat)
 	}
 	return nil
 }
@@ -138,18 +158,25 @@ func NewMemDiskManager(latency time.Duration) *MemDiskManager {
 	return &MemDiskManager{latency: latency}
 }
 
-// ReadPage implements DiskManager.
+// ReadPage implements DiskManager. The copy stays under the mutex (page
+// slices are shared state) but the simulated latency is charged after
+// unlocking, so concurrent simulated reads overlap their sleeps exactly the
+// way positional file reads overlap real transfers.
 func (d *MemDiskManager) ReadPage(id PageID, data []byte) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if int(id) >= len(d.pages) {
+		d.mu.Unlock()
 		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, len(d.pages))
 	}
 	copy(data[:PageSize], d.pages[id])
 	d.stats.Reads++
-	if d.latency > 0 {
-		d.stats.ReadDelay += d.latency
-		time.Sleep(d.latency)
+	lat := d.latency
+	if lat > 0 {
+		d.stats.ReadDelay += lat
+	}
+	d.mu.Unlock()
+	if lat > 0 {
+		time.Sleep(lat)
 	}
 	return nil
 }
@@ -157,15 +184,19 @@ func (d *MemDiskManager) ReadPage(id PageID, data []byte) error {
 // WritePage implements DiskManager.
 func (d *MemDiskManager) WritePage(id PageID, data []byte) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if int(id) >= len(d.pages) {
+		d.mu.Unlock()
 		return fmt.Errorf("storage: write of unallocated page %d (have %d)", id, len(d.pages))
 	}
 	copy(d.pages[id], data[:PageSize])
 	d.stats.Writes++
-	if d.latency > 0 {
-		d.stats.WriteDelay += d.latency
-		time.Sleep(d.latency)
+	lat := d.latency
+	if lat > 0 {
+		d.stats.WriteDelay += lat
+	}
+	d.mu.Unlock()
+	if lat > 0 {
+		time.Sleep(lat)
 	}
 	return nil
 }

@@ -8,10 +8,12 @@
 // bounded cache — so this layer is a real page store, not a map.
 //
 // Concurrency: the buffer pool is sharded by page id, one latch per shard,
-// so concurrent read sessions fetching disjoint pages proceed in parallel.
-// Page contents carry no latch of their own — the layers above guarantee
-// that writers are exclusive (the rdb facade's RW statement latch) while
-// any number of readers share pinned pages.
+// and physical I/O (disk reads, victim flushes, simulated latency) happens
+// outside the latch behind a per-frame loading fence, so concurrent read
+// sessions fetching disjoint pages overlap their misses as well as their
+// hits. Page contents carry no latch of their own — the layers above
+// guarantee that writers to a table are exclusive (the rdb facade's
+// per-table RW locks) while any number of readers share pinned pages.
 package storage
 
 import (
@@ -41,6 +43,15 @@ type Page struct {
 	dirty    bool
 	pinCount int
 	refbit   bool // clock reference bit
+
+	// loading fences a frame whose content is still being read from disk:
+	// the loader installs the frame (pinned) under the shard latch, performs
+	// the physical read outside it, then closes the channel. Fetchers that
+	// find a non-nil loading channel wait on it instead of the latch, then
+	// consult loadErr. Both fields are written under the shard latch; the
+	// channel close publishes Data to waiters.
+	loading chan struct{}
+	loadErr error
 }
 
 // ID returns the page's identifier.

@@ -3,6 +3,7 @@ package table
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/record"
 	"repro/internal/storage"
@@ -13,8 +14,14 @@ import (
 // paper's harness loads each dataset before measuring, so catalog
 // persistence is out of scope (data pages themselves live on disk through
 // the buffer pool).
+//
+// The catalog is safe for concurrent use: readers resolving table names
+// race with DDL (per-query scratch tables are created and dropped while
+// other queries run), so the map is guarded here rather than relying on
+// the caller's statement-level locking.
 type Catalog struct {
 	pool   *storage.BufferPool
+	mu     sync.RWMutex
 	tables map[string]*Table
 }
 
@@ -29,6 +36,8 @@ func (c *Catalog) Pool() *storage.BufferPool { return c.pool }
 // Create registers a new table.
 func (c *Catalog) Create(name string, schema *record.Schema, opts Options) (*Table, error) {
 	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, exists := c.tables[key]; exists {
 		return nil, fmt.Errorf("table: %q already exists", name)
 	}
@@ -42,6 +51,8 @@ func (c *Catalog) Create(name string, schema *record.Schema, opts Options) (*Tab
 
 // Get looks a table up by case-insensitive name.
 func (c *Catalog) Get(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	t, ok := c.tables[strings.ToLower(name)]
 	return t, ok
 }
@@ -51,6 +62,8 @@ func (c *Catalog) Get(name string) (*Table, bool) {
 // benchmark databases that are rebuilt per run.
 func (c *Catalog) Drop(name string) error {
 	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.tables[key]; !ok {
 		return fmt.Errorf("table: %q does not exist", name)
 	}
@@ -60,6 +73,8 @@ func (c *Catalog) Drop(name string) error {
 
 // Names lists the catalog's tables (unordered).
 func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.tables))
 	for k := range c.tables {
 		out = append(out, k)
