@@ -231,10 +231,13 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (QueryResult, erro
 func (e *Engine) queryAttempt(ctx context.Context, req QueryRequest, pl *queryPlan, exclusive bool) (QueryResult, bool, error) {
 	s, t := req.Source, req.Target
 	if exclusive {
-		e.degraded.Add(1)
 		if err := e.gate.lockExclusive(ctx); err != nil {
 			return QueryResult{}, false, err
 		}
+		// Counted only once admission succeeds: a degraded attempt cancelled
+		// while still queued ran no exclusive search and must not inflate
+		// the stat.
+		e.degraded.Add(1)
 		defer e.gate.unlockExclusive()
 	} else {
 		if err := e.lockShared(ctx); err != nil {

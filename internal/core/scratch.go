@@ -173,10 +173,15 @@ func (p *scratchPool) release(sc *scratchSet) {
 		p.mu.Unlock()
 		return
 	}
-	p.freeIDs = append(p.freeIDs, sc.id)
 	p.dropped++
 	p.mu.Unlock()
+	// Drop before recycling the id: the moment the id is on freeIDs a
+	// concurrent acquire may mint tables under the same names, and a drop
+	// issued after that would destroy the new lease's live tables.
 	p.e.dropScratchTables(sc)
+	p.mu.Lock()
+	p.freeIDs = append(p.freeIDs, sc.id)
+	p.mu.Unlock()
 }
 
 // stats snapshots the pool.

@@ -99,6 +99,53 @@ func TestCancellationLeavesNoScratchTables(t *testing.T) {
 	}
 }
 
+// TestScratchReleaseDropsBeforeRecycle hammers the retain<0 path, where
+// every release drops its tables: an id must only become reusable once its
+// tables are gone. If release parks the id on freeIDs before dropping, a
+// concurrent acquire can recycle it and mint fresh tables that the
+// releaser's delayed DROP then destroys, failing the new lease mid-search
+// with "table does not exist".
+func TestScratchReleaseDropsBeforeRecycle(t *testing.T) {
+	g := graph.Power(64, 3, 5)
+	e := newTestEngine(t, g, rdb.Options{}, Options{ScratchRetain: -1})
+	const workers = 8
+	const iters = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				sc, err := e.scratch.acquire()
+				if err != nil {
+					errs <- fmt.Errorf("acquire: %w", err)
+					return
+				}
+				// Touch every table in the leased set: if a stale drop from a
+				// previous holder of this id lands after our create, these
+				// statements fail.
+				for _, q := range sc.resets {
+					if _, err := e.sess.Exec(q); err != nil {
+						errs <- fmt.Errorf("leased scratch table vanished: %w", err)
+						e.scratch.release(sc)
+						return
+					}
+				}
+				e.scratch.release(sc)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := e.scratch.stats(); st.Live != 0 {
+		t.Fatalf("scratch pool reports %d live sets after drain", st.Live)
+	}
+}
+
 // TestPlanCacheBoundedUnderScratchChurn is the regression test for the
 // name-poisoning hazard: per-query table names flowing into statement texts
 // could mint an unbounded population of plan-cache (and prepared-handle)

@@ -46,6 +46,15 @@ type poolShard struct {
 	table  map[PageID]int // pageID -> frame index
 	hand   int            // clock hand
 	stats  PoolStats
+
+	// flushing fences dirty victims whose write-back is still in flight:
+	// victimLocked registers the victim's id here (under the latch, before
+	// the page leaves the table) and the evicting goroutine closes the
+	// channel once the WritePage lands. A Fetch of that id must wait on the
+	// fence instead of treating the lookup as a miss — reading the page from
+	// disk while its flush is in flight could return the stale pre-flush
+	// bytes and silently lose the victim's updates.
+	flushing map[PageID]chan struct{}
 }
 
 // NewBufferPool creates a pool of capacity pages (at least 8) over disk.
@@ -68,9 +77,10 @@ func NewBufferPool(disk DiskManager, capacity int) *BufferPool {
 			n++
 		}
 		bp.shards[i] = &poolShard{
-			disk:   disk,
-			frames: make([]*Page, n),
-			table:  make(map[PageID]int, n),
+			disk:     disk,
+			frames:   make([]*Page, n),
+			table:    make(map[PageID]int, n),
+			flushing: make(map[PageID]chan struct{}),
 		}
 	}
 	return bp
@@ -142,9 +152,21 @@ func (bp *BufferPool) NewPage() (*Page, error) {
 	sh.mu.Unlock()
 	if victim != nil {
 		if err := sh.disk.WritePage(victim.id, victim.Data[:]); err != nil {
-			sh.unmap(pg, idx)
+			// The victim's in-memory copy is the only one holding its
+			// updates; undo the allocation's frame grab and keep the victim
+			// resident (still dirty) instead of silently dropping it.
+			sh.mu.Lock()
+			sh.flushDoneLocked(victim.id)
+			delete(sh.table, pg.id)
+			victim.refbit = true
+			sh.frames[idx] = victim
+			sh.table[victim.id] = idx
+			sh.mu.Unlock()
 			return nil, err
 		}
+		sh.mu.Lock()
+		sh.flushDoneLocked(victim.id)
+		sh.mu.Unlock()
 	}
 	return pg, nil
 }
@@ -161,28 +183,42 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	}
 	sh := bp.shardFor(id)
 	sh.mu.Lock()
-	if idx, ok := sh.table[id]; ok {
-		pg := sh.frames[idx]
-		pg.pinCount++
-		pg.refbit = true
-		sh.stats.Hits++
-		if ch := pg.loading; ch != nil {
-			// Another session is reading this page in right now; the pin
-			// taken above keeps the frame from being victimized while we
-			// wait for its content to become valid.
-			sh.mu.Unlock()
-			<-ch
-			sh.mu.Lock()
-			if err := pg.loadErr; err != nil {
-				pg.pinCount--
+	for {
+		if idx, ok := sh.table[id]; ok {
+			pg := sh.frames[idx]
+			pg.pinCount++
+			pg.refbit = true
+			sh.stats.Hits++
+			if ch := pg.loading; ch != nil {
+				// Another session is reading this page in right now; the pin
+				// taken above keeps the frame from being victimized while we
+				// wait for its content to become valid.
 				sh.mu.Unlock()
-				return nil, err
+				<-ch
+				sh.mu.Lock()
+				if err := pg.loadErr; err != nil {
+					pg.pinCount--
+					sh.mu.Unlock()
+					return nil, err
+				}
+				sh.mu.Unlock()
+				return pg, nil
 			}
 			sh.mu.Unlock()
 			return pg, nil
 		}
+		ch, inFlight := sh.flushing[id]
+		if !inFlight {
+			break
+		}
+		// The page was just evicted and its dirty write-back is still in
+		// flight: a disk read issued now races the write and can observe the
+		// stale pre-flush bytes. Wait for the flush fence, then re-check —
+		// on flush success the read below sees the flushed bytes; on flush
+		// failure the victim is reinstalled and the lookup becomes a hit.
 		sh.mu.Unlock()
-		return pg, nil
+		<-ch
+		sh.mu.Lock()
 	}
 	sh.stats.Misses++
 	idx, victim, err := sh.victimLocked()
@@ -196,14 +232,32 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	sh.mu.Unlock()
 
 	// Physical I/O outside the latch. The victim (if dirty) was detached
-	// with zero pins under the latch, so this goroutine owns it exclusively.
-	ioErr := error(nil)
+	// with zero pins under the latch and its id fenced in sh.flushing, so
+	// this goroutine owns the flush exclusively while concurrent fetchers of
+	// the victim's id wait on the fence instead of racing the write-back.
 	if victim != nil {
-		ioErr = sh.disk.WritePage(victim.id, victim.Data[:])
+		if werr := sh.disk.WritePage(victim.id, victim.Data[:]); werr != nil {
+			// The victim's in-memory copy is the only one holding its
+			// updates; reinstall it (still dirty) in the frame we took and
+			// fail this fetch instead of silently dropping the writes.
+			sh.mu.Lock()
+			sh.flushDoneLocked(victim.id)
+			delete(sh.table, id)
+			victim.refbit = true
+			sh.frames[idx] = victim
+			sh.table[victim.id] = idx
+			pg.loadErr = werr
+			ch := pg.loading
+			pg.loading = nil
+			close(ch)
+			sh.mu.Unlock()
+			return nil, werr
+		}
+		sh.mu.Lock()
+		sh.flushDoneLocked(victim.id)
+		sh.mu.Unlock()
 	}
-	if ioErr == nil {
-		ioErr = sh.disk.ReadPage(id, pg.Data[:])
-	}
+	ioErr := sh.disk.ReadPage(id, pg.Data[:])
 
 	sh.mu.Lock()
 	if ioErr != nil {
@@ -224,12 +278,14 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	return pg, nil
 }
 
-// unmap removes a just-installed frame after a failed victim flush.
-func (sh *poolShard) unmap(pg *Page, idx int) {
-	sh.mu.Lock()
-	delete(sh.table, pg.id)
-	sh.frames[idx] = nil
-	sh.mu.Unlock()
+// flushDoneLocked closes and clears the write-back fence for page id,
+// releasing fetchers parked in Fetch's flushing check. Called with the shard
+// latch held, whether the flush succeeded or failed.
+func (sh *poolShard) flushDoneLocked(id PageID) {
+	if ch, ok := sh.flushing[id]; ok {
+		delete(sh.flushing, id)
+		close(ch)
+	}
 }
 
 // Unpin releases one pin on page id; dirty marks the content modified.
@@ -247,7 +303,9 @@ func (bp *BufferPool) Unpin(pg *Page, dirty bool) {
 
 // victimLocked finds a free or evictable frame. A dirty victim is detached
 // (unmapped, unpinned, so this caller owns it exclusively) and returned for
-// the caller to flush outside the shard latch; clean victims are simply
+// the caller to flush outside the shard latch, with its id registered in
+// sh.flushing so fetchers of that page wait for the write-back (the caller
+// must close the fence via flushDoneLocked); clean victims are simply
 // dropped. Frames mid-load are never selected: their loaders hold a pin.
 func (sh *poolShard) victimLocked() (idx int, victim *Page, err error) {
 	n := len(sh.frames)
@@ -271,6 +329,7 @@ func (sh *poolShard) victimLocked() (idx int, victim *Page, err error) {
 		if pg.dirty {
 			victim = pg
 			sh.stats.Flushes++
+			sh.flushing[pg.id] = make(chan struct{})
 		}
 		delete(sh.table, pg.id)
 		sh.frames[idx] = nil

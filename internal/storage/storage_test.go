@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"math/rand"
 	"path/filepath"
 	"testing"
@@ -245,6 +246,165 @@ func TestQuickPoolPersistence(t *testing.T) {
 	}
 	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// gatedDisk blocks WritePage of one page id until the gate channel is
+// closed, holding a victim write-back in flight so tests can race fetches
+// against it deterministically.
+type gatedDisk struct {
+	DiskManager
+	gateID  PageID
+	gate    chan struct{} // closed to release the blocked write
+	entered chan struct{} // signaled when a write reaches the gate
+}
+
+func (d *gatedDisk) WritePage(id PageID, data []byte) error {
+	if id == d.gateID {
+		d.entered <- struct{}{}
+		<-d.gate
+	}
+	return d.DiskManager.WritePage(id, data)
+}
+
+// TestBufferPoolFetchWaitsForVictimFlush: a fetch of a page whose dirty
+// eviction write-back is still in flight must park on the flush fence, not
+// race the write with a disk read — the racy read returns the stale
+// pre-flush bytes and silently loses the victim's updates.
+func TestBufferPoolFetchWaitsForVictimFlush(t *testing.T) {
+	gd := &gatedDisk{
+		DiskManager: NewMemDiskManager(0),
+		gateID:      InvalidPageID,
+		gate:        make(chan struct{}),
+		entered:     make(chan struct{}, 4),
+	}
+	bp := NewBufferPool(gd, 8)
+	var ids []PageID
+	for i := 0; i < 8; i++ {
+		pg, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Data[0] = 0xAB
+		ids = append(ids, pg.ID())
+		bp.Unpin(pg, true)
+	}
+	victimID := ids[0]
+	gd.gateID = victimID
+
+	// Trigger an eviction: the clock picks frame 0 (the victim), detaches it
+	// dirty, and its write-back parks on the gate with the latch released.
+	newDone := make(chan error, 1)
+	go func() {
+		pg, err := bp.NewPage()
+		if err == nil {
+			bp.Unpin(pg, false)
+		}
+		newDone <- err
+	}()
+	<-gd.entered
+
+	got := make(chan byte, 1)
+	fetchErr := make(chan error, 1)
+	go func() {
+		pg, err := bp.Fetch(victimID)
+		if err != nil {
+			fetchErr <- err
+			return
+		}
+		b := pg.Data[0]
+		bp.Unpin(pg, false)
+		got <- b
+	}()
+	// The fetch must not complete while the flush is in flight; without the
+	// fence it reads the zeroed disk copy and publishes it as valid.
+	select {
+	case b := <-got:
+		t.Fatalf("fetch completed mid-flush with content %#x", b)
+	case err := <-fetchErr:
+		t.Fatalf("fetch failed mid-flush: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(gd.gate)
+	select {
+	case b := <-got:
+		if b != 0xAB {
+			t.Fatalf("victim updates lost: fetched %#x, want 0xab", b)
+		}
+	case err := <-fetchErr:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("fetch never completed after flush release")
+	}
+	if err := <-newDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flakyDisk fails writes of one page id.
+type flakyDisk struct {
+	DiskManager
+	failID PageID
+}
+
+var errInjectedWrite = errors.New("injected write failure")
+
+func (d *flakyDisk) WritePage(id PageID, data []byte) error {
+	if id == d.failID {
+		return errInjectedWrite
+	}
+	return d.DiskManager.WritePage(id, data)
+}
+
+// TestBufferPoolVictimFlushFailureKeepsPage: when a detached victim's
+// write-back fails, the victim must be reinstalled (still dirty) rather
+// than dropped — the frame copy is the only one holding its updates.
+func TestBufferPoolVictimFlushFailureKeepsPage(t *testing.T) {
+	for _, mode := range []string{"fetch", "newpage"} {
+		t.Run(mode, func(t *testing.T) {
+			fd := &flakyDisk{DiskManager: NewMemDiskManager(0), failID: InvalidPageID}
+			bp := NewBufferPool(fd, 8)
+			var ids []PageID
+			for i := 0; i < 8; i++ {
+				pg, err := bp.NewPage()
+				if err != nil {
+					t.Fatal(err)
+				}
+				pg.Data[0] = 0xCD
+				ids = append(ids, pg.ID())
+				bp.Unpin(pg, true)
+			}
+			fd.failID = ids[0]
+
+			var evictErr error
+			if mode == "fetch" {
+				extra, err := fd.DiskManager.AllocatePage()
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, evictErr = bp.Fetch(extra)
+			} else {
+				_, evictErr = bp.NewPage()
+			}
+			if !errors.Is(evictErr, errInjectedWrite) {
+				t.Fatalf("eviction over failing flush: err=%v, want injected failure", evictErr)
+			}
+			fd.failID = InvalidPageID
+
+			// The victim must still be resident with its content intact; a
+			// dropped victim would re-read the zeroed disk copy here.
+			pg, err := bp.Fetch(ids[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pg.Data[0] != 0xCD {
+				t.Fatalf("victim content lost after failed flush: %#x", pg.Data[0])
+			}
+			bp.Unpin(pg, false)
+			if bp.PinnedPages() != 0 {
+				t.Fatalf("pin leak after failed eviction: %d", bp.PinnedPages())
+			}
+		})
 	}
 }
 
