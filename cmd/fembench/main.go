@@ -10,12 +10,16 @@
 //	fembench -exp mutation-throughput -json bench-results   # BENCH_mutations.json
 //	fembench -loadgen -clients 16 -lgalg BSEG -lgqueries 50 -repeat 5
 //	fembench -loadgen -parallel 1,2,4 -json .          # BENCH_parallel.json
+//	fembench -soak -duration 30s -window 5s -json .    # BENCH_soak.json
 //
 // Each experiment prints a table whose rows mirror the corresponding
 // artefact in the paper (see EXPERIMENTS.md for the mapping and the
 // paper-vs-measured discussion). The -loadgen mode replays a query set from
 // a pool of concurrent clients against one shared engine, once with a cold
-// path cache and once hot, and reports queries/sec for each round.
+// path cache and once hot, and reports queries/sec for each round. The
+// -soak mode drives sustained mixed read/mutation load for a fixed wall
+// clock and reports windowed p50/p95/p99/max latency plus the gate-wait
+// share per window — the serving-hygiene view the one-shot modes miss.
 //
 // With -json <dir>, every run additionally writes machine-readable
 // BENCH_<name>.json files (table rows plus run config and wall time;
@@ -53,8 +57,20 @@ func main() {
 		lgQueries = flag.Int("lgqueries", 20, "loadgen: distinct query pairs")
 		repeat    = flag.Int("repeat", 5, "loadgen: replays of each pair per round")
 		lthd      = flag.Int64("lthd", 20, "loadgen: SegTable threshold for BSEG")
+
+		soak     = flag.Bool("soak", false, "run the sustained-load soak benchmark instead of experiments")
+		soakDur  = flag.Duration("duration", 10*time.Second, "soak: measured wall-clock span")
+		soakWin  = flag.Duration("window", 2*time.Second, "soak: percentile window width")
+		soakMut  = flag.Duration("mutate-every", 500*time.Millisecond, "soak: mutation batch cadence (0 = pure reads)")
+		soakPair = flag.Int("pairs", 64, "soak: distinct query pairs cycled by readers")
 	)
 	flag.Parse()
+
+	if *soak {
+		runSoak(*lgAlg, *lgNodes, *soakDur, *soakWin, *soakMut, *soakPair,
+			*clients, *lthd, *seed, *verbose, *jsonDir)
+		return
+	}
 
 	if *loadgen {
 		if *parallel != "" {
@@ -171,6 +187,47 @@ func runLoadGen(algName string, nodes int64, queries, repeat, clients int, lthd,
 	}
 	if res.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: %d queries failed\n", res.Errors)
+		os.Exit(1)
+	}
+}
+
+func runSoak(algName string, nodes int64, dur, window, mutEvery time.Duration, pairs, clients int, lthd, seed int64, verbose bool, jsonDir string) {
+	alg, err := core.ParseAlgorithm(algName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := bench.DefaultSoakConfig()
+	cfg.Alg = alg
+	cfg.Nodes = nodes
+	cfg.Duration = dur
+	cfg.Window = window
+	cfg.MutateEvery = mutEvery
+	cfg.Pairs = pairs
+	cfg.Clients = clients
+	cfg.Lthd = lthd
+	cfg.Seed = seed
+	logf := func(string, ...any) {}
+	if verbose {
+		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	res, err := bench.RunSoak(cfg, logf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+		os.Exit(1)
+	}
+	bench.SoakTable(cfg, res).Fprint(os.Stdout)
+	if jsonDir != "" {
+		path, err := bench.WriteSoakJSON(jsonDir, cfg, res)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soak: writing JSON: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("   wrote %s\n", path)
+	}
+	if res.Overall.Errors > 0 || res.MutationErrors > 0 {
+		fmt.Fprintf(os.Stderr, "soak: %d query errors, %d mutation errors\n",
+			res.Overall.Errors, res.MutationErrors)
 		os.Exit(1)
 	}
 }

@@ -16,7 +16,11 @@
 //	                                              {"op":"delete","from":4,"to":5},
 //	                                              {"op":"update","from":6,"to":7,"weight":9}]}
 //	GET  /stats                                  engine, cache, DB, mutation and server counters
-//	GET  /healthz                                liveness (200 once the graph is served)
+//	GET  /metrics                                Prometheus text exposition (all layers)
+//	GET  /healthz                                liveness (200 while the process serves)
+//	GET  /readyz                                 readiness (503 until the graph is loaded
+//	                                             and no index build is in flight)
+//	GET  /debug/slowlog                          recent queries over the -slow-query threshold
 //
 // POST /query is the context-aware entry point the other query endpoints
 // adapt to. A request names the endpoints and, optionally, an algorithm
@@ -33,6 +37,11 @@
 // one frontier iteration (504 on timeout) instead of holding the query
 // latch. /stats reports planner_decisions (what "auto" chose) and
 // queries_cancelled (how often deadlines or disconnects fired).
+//
+// POST /query?debug=trace additionally attaches a stage-timing trace to
+// each answer — gate wait, planning, SQL execution, frontier loop — the
+// same decomposition the per-algorithm latency histograms on /metrics and
+// the -slow-query ring use (docs/ARCHITECTURE.md §Observability).
 //
 // POST /edges applies the whole batch atomically with respect to queries:
 // one query-latch acquisition, one version bump, one cache purge. Deleted
@@ -77,6 +86,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/rdb"
 )
@@ -113,6 +123,14 @@ type server struct {
 	// mutations counts applied edge mutations (the engine keeps the
 	// detailed per-op and repair counters).
 	mutations atomic.Uint64
+	// inflight gauges queries currently executing (batch items count
+	// individually); /metrics exports it as spdb_queries_in_flight.
+	inflight atomic.Int64
+
+	// reg is the /metrics registry (engine + database + this server);
+	// slowlog is the -slow-query ring, nil when the flag is off.
+	reg     *obs.Registry
+	slowlog *obs.SlowLog
 }
 
 // notePlanner records one planner decision (auto traffic only: explicit
@@ -204,6 +222,8 @@ type pathResponse struct {
 	Iterations int    `json:"iterations,omitempty"`
 	DurationUS int64  `json:"duration_us"`
 	Error      string `json:"error,omitempty"`
+	// Trace is the ?debug=trace stage-timing timeline (nil otherwise).
+	Trace *queryTrace `json:"trace,omitempty"`
 }
 
 // distanceResponse is the JSON answer for an approximate-distance query:
@@ -267,21 +287,27 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // answer runs one declarative query under ctx and renders the response,
 // maintaining the serving counters. status is the HTTP code the caller
-// should write (200, 422, or 504 for a deadline/disconnect).
-func (sv *server) answer(ctx context.Context, req core.QueryRequest) (pathResponse, int) {
+// should write (200, 422, or 504 for a deadline/disconnect). trace attaches
+// the ?debug=trace stage timeline to the answer.
+func (sv *server) answer(ctx context.Context, req core.QueryRequest, trace bool) (pathResponse, int) {
+	sv.inflight.Add(1)
+	defer sv.inflight.Add(-1)
 	t0 := time.Now()
 	res, err := sv.eng.Query(ctx, req)
+	wall := time.Since(t0)
 	if err != nil {
+		sv.noteSlow(req, res.Stats, wall, err.Error())
 		return pathResponse{
 			Source:     req.Source,
 			Target:     req.Target,
 			Algo:       req.Alg.String(),
-			DurationUS: time.Since(t0).Microseconds(),
+			DurationUS: wall.Microseconds(),
 			Error:      err.Error(),
 		}, sv.noteQueryError(err)
 	}
-	resp := sv.renderResult(req, res)
-	resp.DurationUS = time.Since(t0).Microseconds()
+	sv.noteSlow(req, res.Stats, wall, "")
+	resp := sv.renderResult(req, res, trace)
+	resp.DurationUS = wall.Microseconds()
 	return resp, http.StatusOK
 }
 
@@ -436,8 +462,11 @@ func (sv *server) handleEdges(w http.ResponseWriter, r *http.Request) {
 }
 
 // runBatch answers a request set through the engine's worker pool under
-// ctx and renders the shared batch response shape.
-func (sv *server) runBatch(ctx context.Context, reqs []core.QueryRequest, workers int) map[string]any {
+// ctx and renders the shared batch response shape. trace attaches the
+// ?debug=trace stage timeline to every item.
+func (sv *server) runBatch(ctx context.Context, reqs []core.QueryRequest, workers int, trace bool) map[string]any {
+	sv.inflight.Add(int64(len(reqs)))
+	defer sv.inflight.Add(-int64(len(reqs)))
 	t0 := time.Now()
 	results := sv.eng.QueryBatch(ctx, reqs, workers)
 	out := make([]pathResponse, len(results))
@@ -451,9 +480,13 @@ func (sv *server) runBatch(ctx context.Context, reqs []core.QueryRequest, worker
 			}
 			sv.errors.Add(1)
 			sv.noteQueryError(res.Err)
+			sv.noteSlow(res.Request, res.Result.Stats, 0, res.Err.Error())
 			continue
 		}
-		out[i] = sv.renderResult(res.Request, res.Result)
+		out[i] = sv.renderResult(res.Request, res.Result, trace)
+		// Batch items carry no individual wall measurement; noteSlow falls
+		// back to the stats-derived gate+plan+search sum.
+		sv.noteSlow(res.Request, res.Result.Stats, 0, "")
 	}
 	return map[string]any{
 		"results":     out,
@@ -463,7 +496,8 @@ func (sv *server) runBatch(ctx context.Context, reqs []core.QueryRequest, worker
 
 // renderResult converts one successful QueryResult, maintaining counters
 // (the single-query path goes through answer, which also measures latency).
-func (sv *server) renderResult(req core.QueryRequest, res core.QueryResult) pathResponse {
+// trace attaches the stage-timing timeline.
+func (sv *server) renderResult(req core.QueryRequest, res core.QueryResult, trace bool) pathResponse {
 	resp := pathResponse{
 		Source:      req.Source,
 		Target:      req.Target,
@@ -486,6 +520,9 @@ func (sv *server) renderResult(req core.QueryRequest, res core.QueryResult) path
 		resp.Iterations = qs.Iterations
 		if req.Alg == core.AlgAuto {
 			sv.notePlanner(qs.Planner)
+		}
+		if trace {
+			resp.Trace = traceFromStats(qs)
 		}
 	}
 	sv.served.Add(1)
@@ -562,6 +599,7 @@ func (sv *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(body.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
+	trace := r.URL.Query().Get("debug") == "trace"
 	if len(body.Queries) == 0 {
 		req, err := sv.toRequest(body.queryItem, core.AlgAuto)
 		if err != nil {
@@ -569,7 +607,7 @@ func (sv *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 			return
 		}
-		resp, status := sv.answer(ctx, req)
+		resp, status := sv.answer(ctx, req, trace)
 		if status != http.StatusOK {
 			sv.errors.Add(1)
 		}
@@ -587,7 +625,7 @@ func (sv *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		reqs[i] = req
 	}
-	writeJSON(w, http.StatusOK, sv.runBatch(ctx, reqs, body.Workers))
+	writeJSON(w, http.StatusOK, sv.runBatch(ctx, reqs, body.Workers, trace))
 }
 
 // handleShortestPath serves GET (single query) and POST (batch) — thin
@@ -630,7 +668,7 @@ func (sv *server) handleShortestPath(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		resp, status := sv.answer(r.Context(), core.QueryRequest{Source: s, Target: t, Alg: alg})
+		resp, status := sv.answer(r.Context(), core.QueryRequest{Source: s, Target: t, Alg: alg}, false)
 		if status != http.StatusOK {
 			sv.errors.Add(1)
 		}
@@ -661,7 +699,7 @@ func (sv *server) handleShortestPath(w http.ResponseWriter, r *http.Request) {
 		for i, q := range req.Queries {
 			reqs[i] = core.QueryRequest{Source: q.S, Target: q.T, Alg: alg}
 		}
-		writeJSON(w, http.StatusOK, sv.runBatch(r.Context(), reqs, req.Workers))
+		writeJSON(w, http.StatusOK, sv.runBatch(r.Context(), reqs, req.Workers, false))
 
 	default:
 		sv.errors.Add(1)
@@ -760,12 +798,11 @@ func (sv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleHealthz is the liveness probe.
+// handleHealthz is the liveness probe: 200 while the process can answer
+// HTTP at all. Whether a graph is loaded or an index build is in flight is
+// a readiness question — /readyz — not a liveness one: restarting a replica
+// because it is mid-rebuild would only make it rebuild again.
 func (sv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if sv.eng.Nodes() == 0 {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no graph loaded"})
-		return
-	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -782,6 +819,8 @@ func main() {
 		poolSz   = flag.Int("pool", 0, "buffer pool pages (0 = default)")
 		seed     = flag.Int64("seed", 42, "generator seed")
 		drainDur = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		slowThd  = flag.Duration("slow-query", 0, "log queries slower than this to /debug/slowlog (0 disables)")
+		slowCap  = flag.Int("slow-query-log", obs.DefaultSlowLogSize, "slow-query ring capacity")
 	)
 	flag.Parse()
 
@@ -844,13 +883,23 @@ func main() {
 	}
 
 	sv := &server{eng: eng, defaultAlg: alg, start: time.Now()}
+	if *slowThd > 0 {
+		sv.slowlog = obs.NewSlowLog(*slowThd, *slowCap)
+	}
+	sv.reg = obs.NewRegistry()
+	sv.reg.Register(eng)
+	sv.reg.Register(db)
+	sv.reg.Register(sv)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", sv.handleQuery)
 	mux.HandleFunc("/shortest-path", sv.handleShortestPath)
 	mux.HandleFunc("/distance", sv.handleDistance)
 	mux.HandleFunc("/edges", sv.handleEdges)
 	mux.HandleFunc("/stats", sv.handleStats)
+	mux.HandleFunc("/metrics", sv.handleMetrics)
 	mux.HandleFunc("/healthz", sv.handleHealthz)
+	mux.HandleFunc("/readyz", sv.handleReadyz)
+	mux.HandleFunc("/debug/slowlog", sv.handleSlowlog)
 	srv := &http.Server{Addr: *addr, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -49,17 +49,21 @@ func WriteTableJSON(dir string, tab *Table, cfg Config, dur time.Duration) (stri
 // LoadGenJSON is the serialized load-generator run: the cold/hot QPS split
 // the serving tier is judged by.
 type LoadGenJSON struct {
-	ID        string         `json:"id"`
-	Config    map[string]any `json:"config"`
-	ColdQPS   float64        `json:"cold_qps"`
-	ColdMS    int64          `json:"cold_ms"`
-	HotQPS    float64        `json:"hot_qps"`
-	HotMS     int64          `json:"hot_ms"`
-	Speedup   float64        `json:"speedup"`
-	CacheHits uint64         `json:"cache_hits"`
-	CacheMiss uint64         `json:"cache_misses"`
-	Errors    int            `json:"errors"`
-	UnixTime  int64          `json:"unix_time"`
+	ID             string         `json:"id"`
+	Config         map[string]any `json:"config"`
+	ColdQPS        float64        `json:"cold_qps"`
+	ColdMS         int64          `json:"cold_ms"`
+	ColdErrors     int            `json:"cold_errors"`
+	ColdGateWaitUS int64          `json:"cold_gate_wait_us"`
+	HotQPS         float64        `json:"hot_qps"`
+	HotMS          int64          `json:"hot_ms"`
+	HotErrors      int            `json:"hot_errors"`
+	HotGateWaitUS  int64          `json:"hot_gate_wait_us"`
+	Speedup        float64        `json:"speedup"`
+	CacheHits      uint64         `json:"cache_hits"`
+	CacheMiss      uint64         `json:"cache_misses"`
+	Errors         int            `json:"errors"`
+	UnixTime       int64          `json:"unix_time"`
 }
 
 // WriteLoadGenJSON writes a load-generator result as BENCH_loadgen.json
@@ -79,15 +83,19 @@ func WriteLoadGenJSON(dir string, cfg LoadGenConfig, r *LoadGenResult) (string, 
 			"clients": cfg.Clients,
 			"seed":    cfg.Seed,
 		},
-		ColdQPS:   r.ColdQPS,
-		ColdMS:    r.ColdDur.Milliseconds(),
-		HotQPS:    r.HotQPS,
-		HotMS:     r.HotDur.Milliseconds(),
-		Speedup:   speedup,
-		CacheHits: r.Cache.Hits,
-		CacheMiss: r.Cache.Misses,
-		Errors:    r.Errors,
-		UnixTime:  time.Now().Unix(),
+		ColdQPS:        r.ColdQPS,
+		ColdMS:         r.ColdDur.Milliseconds(),
+		ColdErrors:     r.ColdErrors,
+		ColdGateWaitUS: r.ColdGateWait.Microseconds(),
+		HotQPS:         r.HotQPS,
+		HotMS:          r.HotDur.Milliseconds(),
+		HotErrors:      r.HotErrors,
+		HotGateWaitUS:  r.HotGateWait.Microseconds(),
+		Speedup:        speedup,
+		CacheHits:      r.Cache.Hits,
+		CacheMiss:      r.Cache.Misses,
+		Errors:         r.Errors,
+		UnixTime:       time.Now().Unix(),
 	}
 	return writeJSONFile(dir, "loadgen", res)
 }

@@ -48,16 +48,23 @@ func DefaultLoadGenConfig() LoadGenConfig {
 	}
 }
 
-// LoadGenResult reports one cold-vs-hot load run.
+// LoadGenResult reports one cold-vs-hot load run. Per-round error counts
+// and cumulative gate wait ride along with the QPS numbers: a throughput
+// figure with hidden failures or admission queueing is not a throughput
+// figure.
 type LoadGenResult struct {
-	ColdQueries int
-	ColdQPS     float64
-	ColdDur     time.Duration
-	HotQueries  int
-	HotQPS      float64
-	HotDur      time.Duration
-	Cache       core.CacheStats
-	Errors      int
+	ColdQueries  int
+	ColdQPS      float64
+	ColdDur      time.Duration
+	ColdErrors   int
+	ColdGateWait time.Duration
+	HotQueries   int
+	HotQPS       float64
+	HotDur       time.Duration
+	HotErrors    int
+	HotGateWait  time.Duration
+	Cache        core.CacheStats
+	Errors       int
 }
 
 // RunLoadGen executes the load profile and returns cold/hot throughput.
@@ -99,27 +106,33 @@ func RunLoadGen(cfg LoadGenConfig, logf func(format string, args ...any)) (*Load
 	}
 
 	res := &LoadGenResult{}
-	run := func(tag string, workload []core.QueryRequest) (int, float64, time.Duration) {
+	run := func(tag string, workload []core.QueryRequest) (int, float64, time.Duration, int, time.Duration) {
 		t0 := time.Now()
 		results := eng.QueryBatch(context.Background(), workload, cfg.Clients)
 		dur := time.Since(t0)
-		n := 0
+		n, errs := 0, 0
+		var gate time.Duration
 		for _, r := range results {
+			if qs := r.Result.Stats; qs != nil {
+				gate += qs.GateWait
+			}
 			if r.Err != nil {
-				res.Errors++
+				errs++
 				continue
 			}
 			n++
 		}
+		res.Errors += errs
 		qps := float64(n) / dur.Seconds()
-		logf("loadgen: %s round: %d queries in %v (%.0f queries/sec)", tag, n, dur.Round(time.Millisecond), qps)
-		return n, qps, dur
+		logf("loadgen: %s round: %d queries in %v (%.0f queries/sec, %d errors, %v gate wait)",
+			tag, n, dur.Round(time.Millisecond), qps, errs, gate.Round(time.Millisecond))
+		return n, qps, dur, errs, gate
 	}
 
 	// Cold round: empty cache, distinct pairs only — pure search cost.
-	res.ColdQueries, res.ColdQPS, res.ColdDur = run("cold", cold)
+	res.ColdQueries, res.ColdQPS, res.ColdDur, res.ColdErrors, res.ColdGateWait = run("cold", cold)
 	// Hot round: the full repeated set against the warm cache.
-	res.HotQueries, res.HotQPS, res.HotDur = run("hot", hot)
+	res.HotQueries, res.HotQPS, res.HotDur, res.HotErrors, res.HotGateWait = run("hot", hot)
 	res.Cache = eng.CacheStats()
 	return res, nil
 }
@@ -133,10 +146,12 @@ func LoadGenTable(cfg LoadGenConfig, r *LoadGenResult) *Table {
 	return &Table{
 		ID:     "loadgen",
 		Title:  fmt.Sprintf("Serving throughput, %s over power(%d,%d), %d clients, %d distinct pairs x%d", cfg.Alg, cfg.Nodes, cfg.AvgDegree, cfg.Clients, cfg.Queries, cfg.Repeat),
-		Header: []string{"round", "queries", "time", "queries/sec", "cache hits", "speedup"},
+		Header: []string{"round", "queries", "errors", "time", "queries/sec", "gate wait", "cache hits", "speedup"},
 		Rows: [][]string{
-			{"cold", fmt.Sprint(r.ColdQueries), ms(r.ColdDur), fmt.Sprintf("%.0f", r.ColdQPS), "-", "1.0x"},
-			{"hot (cached)", fmt.Sprint(r.HotQueries), ms(r.HotDur), fmt.Sprintf("%.0f", r.HotQPS), fmt.Sprint(r.Cache.Hits), speedup},
+			{"cold", fmt.Sprint(r.ColdQueries), fmt.Sprint(r.ColdErrors), ms(r.ColdDur),
+				fmt.Sprintf("%.0f", r.ColdQPS), ms(r.ColdGateWait), "-", "1.0x"},
+			{"hot (cached)", fmt.Sprint(r.HotQueries), fmt.Sprint(r.HotErrors), ms(r.HotDur),
+				fmt.Sprintf("%.0f", r.HotQPS), ms(r.HotGateWait), fmt.Sprint(r.Cache.Hits), speedup},
 		},
 	}
 }

@@ -1,0 +1,364 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rdb"
+)
+
+// The soak benchmark: sustained mixed read/mutation load against one shared
+// engine for a fixed wall-clock duration, reporting latency percentiles per
+// time window rather than one end-of-run number. A single aggregate hides
+// exactly what sustained load exists to find — tail drift as caches churn,
+// latency spikes when a mutation batch drains the gate, throughput sag
+// after an index repair — so the unit of output is the window. Gate-wait
+// share (total admission wait over total latency) rides along per window:
+// it separates "queries got slower" from "queries waited longer to start".
+
+// SoakConfig configures one sustained-load run.
+type SoakConfig struct {
+	// Graph spec (power-law, like the serving load generator).
+	Nodes     int64
+	AvgDegree int
+	Seed      int64
+	// Duration is the measured wall-clock span; Window the percentile
+	// bucket width (the run reports ceil(Duration/Window) windows).
+	Duration time.Duration
+	Window   time.Duration
+	// Clients is the reader worker-pool width.
+	Clients int
+	// Alg is the read workload's algorithm (BSEG builds its index first).
+	Alg  core.Algorithm
+	Lthd int64
+	// Pairs is the distinct query-pair pool readers cycle through; small
+	// pools exercise the path cache, mutations keep invalidating it.
+	Pairs int
+	// MutateEvery paces the mutation loop: one batch per interval
+	// (0 disables mutations — a pure-read soak). Each batch applies
+	// MutateBatch weight updates on existing edges plus an insert/delete
+	// churn pair, so the SegTable repair path runs under read load.
+	MutateEvery time.Duration
+	MutateBatch int
+	// CacheSize for the engine (0 = default).
+	CacheSize int
+}
+
+// DefaultSoakConfig sizes a run that finishes in seconds; CI's smoke run
+// shrinks Duration further.
+func DefaultSoakConfig() SoakConfig {
+	return SoakConfig{
+		Nodes:       3000,
+		AvgDegree:   3,
+		Seed:        42,
+		Duration:    10 * time.Second,
+		Window:      2 * time.Second,
+		Clients:     8,
+		Alg:         core.AlgBSDJ,
+		Lthd:        20,
+		Pairs:       64,
+		MutateEvery: 500 * time.Millisecond,
+		MutateBatch: 4,
+	}
+}
+
+// SoakWindow is one time window's aggregate (the Overall summary reuses the
+// shape with Index -1 spanning the whole run).
+type SoakWindow struct {
+	Index   int     `json:"index"`
+	StartMS int64   `json:"start_ms"`
+	EndMS   int64   `json:"end_ms"`
+	Queries int     `json:"queries"`
+	Errors  int     `json:"errors"`
+	QPS     float64 `json:"qps"`
+	P50US   int64   `json:"p50_us"`
+	P95US   int64   `json:"p95_us"`
+	P99US   int64   `json:"p99_us"`
+	MaxUS   int64   `json:"max_us"`
+	// GateShare is total admission wait / total query latency in the
+	// window: the fraction of observed latency spent queued, not searching.
+	GateShare float64 `json:"gate_share"`
+}
+
+// SoakResult is the full run.
+type SoakResult struct {
+	Windows []SoakWindow
+	Overall SoakWindow
+	// Mutations counts applied edge mutations; MutationErrors failed
+	// batches (a failed batch may still have applied a prefix).
+	Mutations      int
+	MutationErrors int
+	Elapsed        time.Duration
+	Cache          core.CacheStats
+}
+
+// soakSample is one finished read query.
+type soakSample struct {
+	offset time.Duration // since run start
+	lat    time.Duration
+	gate   time.Duration
+	err    bool
+}
+
+// RunSoak executes the sustained-load profile.
+func RunSoak(cfg SoakConfig, logf func(format string, args ...any)) (*SoakResult, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cfg.Duration <= 0 || cfg.Window <= 0 || cfg.Window > cfg.Duration {
+		return nil, fmt.Errorf("bench: soak needs 0 < window <= duration (got %v / %v)", cfg.Window, cfg.Duration)
+	}
+	if cfg.Clients < 1 || cfg.Pairs < 1 {
+		return nil, fmt.Errorf("bench: soak needs at least one client and one pair")
+	}
+	g := graph.Power(cfg.Nodes, cfg.AvgDegree, cfg.Seed)
+	db, err := rdb.Open(rdb.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	eng := core.NewEngine(db, core.Options{CacheSize: cfg.CacheSize})
+	defer eng.Close()
+	logf("soak: loading power graph (%d nodes, %d edges)", g.N, g.M())
+	if err := eng.LoadGraph(g); err != nil {
+		return nil, err
+	}
+	if cfg.Alg == core.AlgBSEG {
+		logf("soak: building SegTable (lthd=%d)", cfg.Lthd)
+		if _, err := eng.BuildSegTable(cfg.Lthd); err != nil {
+			return nil, err
+		}
+	}
+	pairs := graph.RandomQueries(g, cfg.Pairs, cfg.Seed+1)
+
+	res := &SoakResult{}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+	var (
+		mu      sync.Mutex
+		samples []soakSample
+		wg      sync.WaitGroup
+	)
+	t0 := time.Now()
+
+	// Readers: each cycles the pair pool in its own deterministic order
+	// until the deadline. Queries cut off by the deadline itself are
+	// discarded — a half-measured latency is not a latency.
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			local := make([]soakSample, 0, 1024)
+			for ctx.Err() == nil {
+				p := pairs[rng.Intn(len(pairs))]
+				q0 := time.Now()
+				qres, qerr := eng.Query(ctx, core.QueryRequest{Source: p[0], Target: p[1], Alg: cfg.Alg})
+				lat := time.Since(q0)
+				if qerr != nil && (errors.Is(qerr, context.Canceled) || errors.Is(qerr, context.DeadlineExceeded)) {
+					break
+				}
+				s := soakSample{offset: time.Since(t0) - lat, lat: lat, err: qerr != nil}
+				if qs := qres.Stats; qs != nil {
+					s.gate = qs.GateWait
+				}
+				local = append(local, s)
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+
+	// Mutator: one batch per tick — weight updates on existing edges plus
+	// an insert/delete churn pair, so cache invalidation and SegTable
+	// repair both run under the read load.
+	if cfg.MutateEvery > 0 && cfg.MutateBatch > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + 104729))
+			tick := time.NewTicker(cfg.MutateEvery)
+			defer tick.Stop()
+			var churn [][2]int64 // inserted chords awaiting deletion
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				muts := make([]core.Mutation, 0, cfg.MutateBatch+2)
+				for i := 0; i < cfg.MutateBatch; i++ {
+					ed := g.Edges[rng.Intn(len(g.Edges))]
+					muts = append(muts, core.Mutation{
+						Op: core.MutUpdate, From: ed.From, To: ed.To,
+						Weight: 1 + rng.Int63n(10),
+					})
+				}
+				from, to := rng.Int63n(g.N), rng.Int63n(g.N)
+				if from != to {
+					muts = append(muts, core.Mutation{
+						Op: core.MutInsert, From: from, To: to, Weight: 1 + rng.Int63n(10)})
+					churn = append(churn, [2]int64{from, to})
+				}
+				if len(churn) > 8 {
+					old := churn[0]
+					churn = churn[1:]
+					muts = append(muts, core.Mutation{Op: core.MutDelete, From: old[0], To: old[1]})
+				}
+				st, merr := eng.ApplyMutations(muts)
+				mu.Lock()
+				if st != nil {
+					res.Mutations += st.Applied
+				}
+				if merr != nil && !errors.Is(merr, context.Canceled) {
+					res.MutationErrors++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	wg.Wait()
+	res.Elapsed = time.Since(t0)
+	res.Cache = eng.CacheStats()
+
+	// Window the samples by arrival offset and aggregate.
+	n := int((cfg.Duration + cfg.Window - 1) / cfg.Window)
+	byWin := make([][]soakSample, n)
+	for _, s := range samples {
+		w := int(s.offset / cfg.Window)
+		if w < 0 {
+			w = 0
+		}
+		if w >= n {
+			w = n - 1
+		}
+		byWin[w] = append(byWin[w], s)
+	}
+	for w, ws := range byWin {
+		sw := aggregateWindow(ws, cfg.Window)
+		sw.Index = w
+		sw.StartMS = (time.Duration(w) * cfg.Window).Milliseconds()
+		sw.EndMS = (time.Duration(w+1) * cfg.Window).Milliseconds()
+		if sw.EndMS > cfg.Duration.Milliseconds() {
+			sw.EndMS = cfg.Duration.Milliseconds()
+		}
+		res.Windows = append(res.Windows, sw)
+		logf("soak: window %d [%d-%dms]: %d queries (%.0f/sec), p50 %dus p95 %dus p99 %dus, gate %.1f%%, %d errors",
+			w, sw.StartMS, sw.EndMS, sw.Queries, sw.QPS, sw.P50US, sw.P95US, sw.P99US, 100*sw.GateShare, sw.Errors)
+	}
+	res.Overall = aggregateWindow(samples, res.Elapsed)
+	res.Overall.Index = -1
+	res.Overall.EndMS = res.Elapsed.Milliseconds()
+	return res, nil
+}
+
+// aggregateWindow computes one window's percentiles over its samples. span
+// is the window's wall-clock width (for QPS).
+func aggregateWindow(ws []soakSample, span time.Duration) SoakWindow {
+	sw := SoakWindow{}
+	lats := make([]time.Duration, 0, len(ws))
+	var latSum, gateSum time.Duration
+	for _, s := range ws {
+		if s.err {
+			sw.Errors++
+			continue
+		}
+		lats = append(lats, s.lat)
+		latSum += s.lat
+		gateSum += s.gate
+	}
+	sw.Queries = len(lats)
+	if span > 0 {
+		sw.QPS = float64(len(lats)) / span.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		sw.P50US = lats[len(lats)/2].Microseconds()
+		sw.P95US = lats[min(len(lats)-1, len(lats)*95/100)].Microseconds()
+		sw.P99US = lats[min(len(lats)-1, len(lats)*99/100)].Microseconds()
+		sw.MaxUS = lats[len(lats)-1].Microseconds()
+		if latSum > 0 {
+			sw.GateShare = float64(gateSum) / float64(latSum)
+		}
+	}
+	return sw
+}
+
+// SoakTable formats the run in the harness table style: one row per window,
+// then the whole-run summary.
+func SoakTable(cfg SoakConfig, r *SoakResult) *Table {
+	tab := &Table{
+		ID: "soak",
+		Title: fmt.Sprintf("Sustained load, %s over power(%d,%d), %d clients, %v in %v windows, mutations every %v",
+			cfg.Alg, cfg.Nodes, cfg.AvgDegree, cfg.Clients, cfg.Duration, cfg.Window, cfg.MutateEvery),
+		Header: []string{"window", "queries", "errors", "queries/sec", "p50", "p95", "p99", "max", "gate share"},
+	}
+	row := func(name string, w SoakWindow) []string {
+		return []string{
+			name, fmt.Sprint(w.Queries), fmt.Sprint(w.Errors), fmt.Sprintf("%.0f", w.QPS),
+			us(w.P50US), us(w.P95US), us(w.P99US), us(w.MaxUS),
+			fmt.Sprintf("%.1f%%", 100*w.GateShare),
+		}
+	}
+	for _, w := range r.Windows {
+		tab.Rows = append(tab.Rows, row(fmt.Sprintf("[%d-%dms]", w.StartMS, w.EndMS), w))
+	}
+	tab.Rows = append(tab.Rows, row("overall", r.Overall))
+	return tab
+}
+
+// us renders a microsecond figure as a duration string.
+func us(v int64) string {
+	return (time.Duration(v) * time.Microsecond).Round(10 * time.Microsecond).String()
+}
+
+// SoakJSON is the serialized run: the windowed percentile series the perf
+// trajectory is judged by, plus the whole-run summary.
+type SoakJSON struct {
+	ID             string         `json:"id"`
+	Config         map[string]any `json:"config"`
+	Windows        []SoakWindow   `json:"windows"`
+	Overall        SoakWindow     `json:"overall"`
+	Mutations      int            `json:"mutations"`
+	MutationErrors int            `json:"mutation_errors"`
+	CacheHits      uint64         `json:"cache_hits"`
+	CacheMisses    uint64         `json:"cache_misses"`
+	ElapsedMS      int64          `json:"elapsed_ms"`
+	UnixTime       int64          `json:"unix_time"`
+}
+
+// WriteSoakJSON writes the run as BENCH_soak.json under dir.
+func WriteSoakJSON(dir string, cfg SoakConfig, r *SoakResult) (string, error) {
+	res := SoakJSON{
+		ID: "soak",
+		Config: map[string]any{
+			"alg":          cfg.Alg.String(),
+			"nodes":        cfg.Nodes,
+			"clients":      cfg.Clients,
+			"duration":     cfg.Duration.String(),
+			"window":       cfg.Window.String(),
+			"pairs":        cfg.Pairs,
+			"mutate_every": cfg.MutateEvery.String(),
+			"mutate_batch": cfg.MutateBatch,
+			"seed":         cfg.Seed,
+		},
+		Windows:        r.Windows,
+		Overall:        r.Overall,
+		Mutations:      r.Mutations,
+		MutationErrors: r.MutationErrors,
+		CacheHits:      r.Cache.Hits,
+		CacheMisses:    r.Cache.Misses,
+		ElapsedMS:      r.Elapsed.Milliseconds(),
+		UnixTime:       time.Now().Unix(),
+	}
+	return writeJSONFile(dir, "soak", res)
+}

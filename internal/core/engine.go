@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/rdb"
 )
@@ -43,6 +44,10 @@ const (
 	// pruning over the landmark oracle (requires BuildOracle).
 	AlgALT
 )
+
+// numAlgs bounds per-algorithm arrays (AlgALT is the highest id; AlgAuto,
+// the zero value, indexes oracle-only and trivial answers).
+const numAlgs = int(AlgALT) + 1
 
 func (a Algorithm) String() string {
 	switch a {
@@ -238,6 +243,17 @@ type Engine struct {
 	hookSearchStart func()
 	cache           *pathCache
 
+	// Observability instruments (metrics.go). Always on: recording one
+	// query costs a handful of atomic adds. queryDur is indexed by the
+	// Algorithm that answered (AlgAuto for oracle-only and trivial
+	// answers); gateWaitDur captures admission queueing across all
+	// queries. building counts index builds and graph loads in flight —
+	// the readiness signal /readyz serves 503 on.
+	queryDur    [numAlgs]*obs.Histogram
+	gateWaitDur *obs.Histogram
+	queryErrs   atomic.Uint64
+	building    atomic.Int32
+
 	// stmts caches the engine's prepared statements by SQL text: every
 	// statement shape the algorithms issue is prepared once per engine and
 	// re-executed with fresh bound parameters. Statement texts are stable
@@ -259,6 +275,10 @@ func NewEngine(db *rdb.DB, opts Options) *Engine {
 		scratchGlobal: newScratchSet(-1),
 		stmtCache:     make(map[string]*rdb.Stmt)}
 	e.scratch.e = e
+	for i := range e.queryDur {
+		e.queryDur[i] = obs.NewHistogram(obs.DefLatencyBuckets...)
+	}
+	e.gateWaitDur = obs.NewHistogram(obs.DefLatencyBuckets...)
 	if opts.MaxIters < 0 {
 		e.optErr = fmt.Errorf("core: Options.MaxIters must be non-negative, got %d", opts.MaxIters)
 	}

@@ -30,6 +30,9 @@ func (e *Engine) LoadGraph(g *graph.Graph) error {
 	if e.optErr != nil {
 		return e.optErr
 	}
+	// A load in flight means the replica is not ready to serve: /readyz
+	// reports 503 until it completes.
+	defer e.trackBuild()()
 	// Loading excludes searches and starts a fresh graph version: every
 	// cached answer is invalidated. Loads are not cancellable — a partial
 	// load would leave the engine with no graph at all.

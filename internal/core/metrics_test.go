@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/rdb"
+)
+
+// TestQueryStageTimings: Engine.Query populates the serving-path stage
+// decomposition — gate wait, planning, SQL share — without disturbing the
+// search-time semantics of Total.
+func TestQueryStageTimings(t *testing.T) {
+	e := newTestEngine(t, graph.Power(400, 3, 7), rdb.Options{}, Options{})
+	res, err := e.Query(context.Background(), QueryRequest{Source: 1, Target: 200, Alg: AlgAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := res.Stats
+	if qs == nil {
+		t.Fatal("no stats")
+	}
+	// An auto query always runs the planner, and a real search always
+	// issues SQL; both must show up in the decomposition.
+	if qs.PlanDur <= 0 {
+		t.Errorf("PlanDur %v: auto query must record planner time", qs.PlanDur)
+	}
+	if qs.CacheHit {
+		t.Fatal("first query must miss the cache")
+	}
+	if qs.SQLDur() <= 0 {
+		t.Errorf("SQLDur %v: a real search must record statement time", qs.SQLDur())
+	}
+	if qs.SQLDur() > qs.Total {
+		t.Errorf("SQLDur %v exceeds Total %v", qs.SQLDur(), qs.Total)
+	}
+	if qs.GateWait < 0 {
+		t.Errorf("GateWait %v negative", qs.GateWait)
+	}
+
+	// The answered query lands in the histogram of the algorithm that ran.
+	alg, err := ParseAlgorithm(qs.Algorithm)
+	if err != nil {
+		t.Fatalf("stats algorithm %q: %v", qs.Algorithm, err)
+	}
+	if got := e.QueryLatency(alg).Snapshot().Count; got != 1 {
+		t.Errorf("latency histogram count %d, want 1", got)
+	}
+
+	// A failed query counts in QueryErrors and stays out of the histograms.
+	hist0 := histTotal(e)
+	if _, err := e.Query(context.Background(), QueryRequest{Source: 1, Target: 1 << 40}); err == nil {
+		t.Fatal("out-of-range query succeeded")
+	}
+	if e.QueryErrors() != 1 {
+		t.Errorf("QueryErrors %d, want 1", e.QueryErrors())
+	}
+	if got := histTotal(e); got != hist0 {
+		t.Errorf("failed query leaked into latency histograms (%d -> %d)", hist0, got)
+	}
+}
+
+func histTotal(e *Engine) uint64 {
+	var n uint64
+	for a := 0; a < numAlgs; a++ {
+		n += e.QueryLatency(Algorithm(a)).Snapshot().Count
+	}
+	return n
+}
+
+// TestTrackBuild: the readiness count nests and clears (white-box — the
+// serving tier's /readyz polls BuildsInFlight).
+func TestTrackBuild(t *testing.T) {
+	e := newTestEngine(t, graph.Power(50, 3, 7), rdb.Options{}, Options{})
+	if n := e.BuildsInFlight(); n != 0 {
+		t.Fatalf("idle engine reports %d builds", n)
+	}
+	done1 := e.trackBuild()
+	done2 := e.trackBuild()
+	if n := e.BuildsInFlight(); n != 2 {
+		t.Fatalf("two tracked builds report %d", n)
+	}
+	done1()
+	done2()
+	if n := e.BuildsInFlight(); n != 0 {
+		t.Fatalf("cleared builds report %d", n)
+	}
+}
+
+// TestEngineCollectMetrics: the engine's exposition is scraper-valid and
+// carries the families the acceptance criteria name — gate admissions,
+// per-algorithm latency, path cache, scratch pool, graph gauges.
+func TestEngineCollectMetrics(t *testing.T) {
+	e := newTestEngine(t, graph.Power(400, 3, 7), rdb.Options{}, Options{})
+	if _, err := e.Query(context.Background(), QueryRequest{Source: 1, Target: 200, Alg: AlgBSDJ}); err != nil {
+		t.Fatal(err)
+	}
+	r := obs.NewRegistry()
+	r.Register(e)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	page := b.String()
+	if err := obs.CheckExposition(page); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, page)
+	}
+	for _, want := range []string{
+		`spdb_query_duration_seconds_bucket{algorithm="BSDJ",le="+Inf"} 1`,
+		`spdb_gate_admissions_total{mode="shared"} 1`,
+		`spdb_gate_admissions_total{mode="exclusive"}`,
+		`spdb_path_cache_misses_total 1`,
+		`spdb_scratch_live 0`,
+		`spdb_graph_nodes 400`,
+		`spdb_index_builds_in_flight 0`,
+		`spdb_mutations_total{op="insert"} 0`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -507,7 +507,12 @@ func (e *Engine) repairTouchedLocked(ctx context.Context, qs *QueryStats, st *Ma
 		e.mu.Lock()
 		e.muts.SegRebuilds++
 		e.mu.Unlock()
+		// A mutation-triggered rebuild makes the replica momentarily cold
+		// for BSEG traffic; surface it through the readiness probe like any
+		// other build.
+		done := e.trackBuild()
 		_, err := e.buildSegTableLocked(ctx, e.segLthd, false)
+		done()
 		return err
 	}
 

@@ -31,6 +31,9 @@ func (e *Engine) BuildOracleContext(ctx context.Context, cfg oracle.Config) (*or
 	if e.optErr != nil {
 		return nil, e.optErr
 	}
+	// In flight (queued on the gate included) means not ready: /readyz
+	// routes traffic away while the oracle is cold.
+	defer e.trackBuild()()
 	if err := e.lockQuery(ctx); err != nil {
 		return nil, err
 	}

@@ -142,6 +142,16 @@ type queryPlan struct {
 // optimistic rounds before the guaranteed-progress fallback is plenty.
 const snapshotRetryLimit = 2
 
+// stageRec accumulates the per-query stage timings Engine.Query threads
+// through admission and planning: the serving-path decomposition the
+// latency histograms and the slow-query log report. One recorder lives on
+// Query's stack per call — recording costs two duration adds, no
+// allocation, no locking.
+type stageRec struct {
+	gate time.Duration // queued on the admission gate (all attempts)
+	plan time.Duration // planQuery wall time (initial plan + replans)
+}
+
 // Query answers one declarative shortest-path request. It is the single
 // context-aware entry point the serving tier builds on:
 //
@@ -155,7 +165,25 @@ const snapshotRetryLimit = 2
 // Safe for any number of concurrent callers: read-only searches enter the
 // shared side of the query gate and run in parallel, each over a private
 // scratch-table set, while mutations take the exclusive side.
+//
+// Every call — success, error or cancellation — is recorded in the
+// engine's observability instruments: the per-algorithm latency histogram,
+// the gate-wait histogram, and the stage timings attached to
+// QueryResult.Stats (GateWait, PlanDur).
 func (e *Engine) Query(ctx context.Context, req QueryRequest) (QueryResult, error) {
+	t0 := time.Now()
+	var rec stageRec
+	res, err := e.runQuery(ctx, req, &rec)
+	if res.Stats != nil {
+		res.Stats.GateWait = rec.gate
+		res.Stats.PlanDur = rec.plan
+	}
+	e.observeQuery(req, res, err, rec, time.Since(t0))
+	return res, err
+}
+
+// runQuery is Query's body; the wrapper owns timing and observation.
+func (e *Engine) runQuery(ctx context.Context, req QueryRequest, rec *stageRec) (QueryResult, error) {
 	if e.optErr != nil {
 		return QueryResult{}, e.optErr
 	}
@@ -194,7 +222,9 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (QueryResult, erro
 		}
 	}
 
+	tp := time.Now()
 	pl, err := e.planQuery(ctx, req, snap)
+	rec.plan += time.Since(tp)
 	if err != nil {
 		return QueryResult{}, err
 	}
@@ -216,7 +246,7 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (QueryResult, erro
 	// retries, the DistanceInterval optimistic pattern, degrading to an
 	// exclusive admission on the final attempt so progress is guaranteed.
 	for attempt := 0; ; attempt++ {
-		res, retry, aerr := e.queryAttempt(ctx, req, &pl, attempt >= snapshotRetryLimit)
+		res, retry, aerr := e.queryAttempt(ctx, req, &pl, attempt >= snapshotRetryLimit, rec)
 		if aerr != nil || !retry {
 			return res, aerr
 		}
@@ -228,10 +258,13 @@ func (e *Engine) Query(ctx context.Context, req QueryRequest) (QueryResult, erro
 // retry=true when commit-time validation found the graph version moved
 // under the search (the answer is discarded). exclusive requests the
 // writer side of the gate — the degraded, guaranteed-stable mode.
-func (e *Engine) queryAttempt(ctx context.Context, req QueryRequest, pl *queryPlan, exclusive bool) (QueryResult, bool, error) {
+func (e *Engine) queryAttempt(ctx context.Context, req QueryRequest, pl *queryPlan, exclusive bool, rec *stageRec) (QueryResult, bool, error) {
 	s, t := req.Source, req.Target
+	tg := time.Now()
 	if exclusive {
-		if err := e.gate.lockExclusive(ctx); err != nil {
+		err := e.gate.lockExclusive(ctx)
+		rec.gate += time.Since(tg)
+		if err != nil {
 			return QueryResult{}, false, err
 		}
 		// Counted only once admission succeeds: a degraded attempt cancelled
@@ -240,7 +273,9 @@ func (e *Engine) queryAttempt(ctx context.Context, req QueryRequest, pl *queryPl
 		e.degraded.Add(1)
 		defer e.gate.unlockExclusive()
 	} else {
-		if err := e.lockShared(ctx); err != nil {
+		err := e.lockShared(ctx)
+		rec.gate += time.Since(tg)
+		if err != nil {
 			return QueryResult{}, false, err
 		}
 		defer e.unlockShared()
@@ -259,7 +294,9 @@ func (e *Engine) queryAttempt(ctx context.Context, req QueryRequest, pl *queryPl
 		return QueryResult{}, false, fmt.Errorf("core: node out of range (n=%d)", snap.nodes)
 	}
 	if snap != pl.snap {
+		tp := time.Now()
 		npl, err := e.planQuery(ctx, req, snap)
+		rec.plan += time.Since(tp)
 		if err != nil {
 			return QueryResult{}, false, err
 		}

@@ -104,6 +104,9 @@ func (e *Engine) BuildSegTableContext(ctx context.Context, lthd int64) (*SegTabl
 	if e.optErr != nil {
 		return nil, e.optErr
 	}
+	// In flight (queued on the gate included) means not ready: /readyz
+	// routes traffic away while the index is cold.
+	defer e.trackBuild()()
 	// Building excludes searches (shared working tables) and invalidates
 	// every cached answer: BSEG results depend on the index.
 	if err := e.lockQuery(ctx); err != nil {

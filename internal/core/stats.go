@@ -57,6 +57,15 @@ type QueryStats struct {
 	FOp, EOp, MOp time.Duration
 	// Total wall time of the query.
 	Total time.Duration
+	// Stage timings of the serving path around the search itself (the
+	// observability decomposition; see docs/ARCHITECTURE.md §Observability).
+	// GateWait is the time spent queued on the admission gate (summed over
+	// snapshot retries and the degraded exclusive fallback); PlanDur the
+	// planner's wall time including its landmark-bound reads (summed over
+	// replans). Both are zero for engine-internal work that bypasses
+	// Engine.Query.
+	GateWait time.Duration
+	PlanDur  time.Duration
 	// CacheHit reports that the answer came from the path cache: no SQL
 	// ran, and every other counter is zero.
 	CacheHit bool
@@ -65,6 +74,12 @@ type QueryStats struct {
 	// exec/queryInt enforce it. 0 = unlimited.
 	budget int64
 }
+
+// SQLDur is the time the query spent executing SQL statements: the sum of
+// the three phase accumulators (every statement charges exactly one). The
+// remainder of Total is the Go-side frontier loop — scalar bookkeeping,
+// direction choice, termination tests.
+func (q *QueryStats) SQLDur() time.Duration { return q.PE + q.SC + q.FPR }
 
 func (q *QueryStats) String() string {
 	if q.CacheHit {

@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the exact text a small registry renders:
+// header placement, label quoting, histogram series layout, float
+// formatting. A scraper-visible format change must show up here.
+func TestExpositionGolden(t *testing.T) {
+	h := NewHistogram(0.1, 1)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r := NewRegistry()
+	r.Register(CollectorFunc(func(x *Exporter) {
+		x.Counter("spdb_requests_total", "Requests served.", 42)
+		x.Counter("spdb_admissions_total", "Gate admissions.", 3, L("mode", "shared"))
+		x.Counter("spdb_admissions_total", "Gate admissions.", 1, L("mode", "exclusive"))
+		x.Gauge("spdb_inflight_queries", "Queries in flight.", 2)
+		x.Histogram("spdb_query_duration_seconds", "Query latency.", h, L("algorithm", "BSDJ"))
+	}))
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP spdb_requests_total Requests served.
+# TYPE spdb_requests_total counter
+spdb_requests_total 42
+# HELP spdb_admissions_total Gate admissions.
+# TYPE spdb_admissions_total counter
+spdb_admissions_total{mode="shared"} 3
+spdb_admissions_total{mode="exclusive"} 1
+# HELP spdb_inflight_queries Queries in flight.
+# TYPE spdb_inflight_queries gauge
+spdb_inflight_queries 2
+# HELP spdb_query_duration_seconds Query latency.
+# TYPE spdb_query_duration_seconds histogram
+spdb_query_duration_seconds_bucket{algorithm="BSDJ",le="0.1"} 1
+spdb_query_duration_seconds_bucket{algorithm="BSDJ",le="1"} 2
+spdb_query_duration_seconds_bucket{algorithm="BSDJ",le="+Inf"} 3
+spdb_query_duration_seconds_sum{algorithm="BSDJ"} 5.55
+spdb_query_duration_seconds_count{algorithm="BSDJ"} 3
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// ValidateExposition asserts the rendered page passes CheckExposition (the
+// package's own scraper-compatibility validator, shared with the spdbd
+// /metrics test via the exported function).
+func ValidateExposition(t *testing.T, page string) {
+	t.Helper()
+	if err := CheckExposition(page); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpositionValidates(t *testing.T) {
+	h := NewHistogram(DefLatencyBuckets...)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) / 50)
+	}
+	r := NewRegistry()
+	r.Register(CollectorFunc(func(x *Exporter) {
+		x.Counter("a_total", "a", 1)
+		x.Gauge("b_level", `with "quotes" and back\slash`, -3.5, L("k", `v"quoted\`))
+		x.Histogram("c_seconds", "c", h)
+	}))
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	ValidateExposition(t, b.String())
+}
+
+// TestCheckExpositionRejects proves the validator is not a rubber stamp:
+// hand-built invalid pages must fail it.
+func TestCheckExpositionRejects(t *testing.T) {
+	for name, page := range map[string]string{
+		"sample without TYPE": "a_total 1\n",
+		"malformed sample":    "# TYPE a counter\na{ 1\n",
+		"split family":        "# TYPE a counter\na 1\n# TYPE b counter\nb 1\na 2\n",
+		"bad type keyword":    "# TYPE a summary\na 1\n",
+	} {
+		if err := CheckExposition(page); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestExpositionErrors(t *testing.T) {
+	for name, emit := range map[string]func(x *Exporter){
+		"bad metric name":   func(x *Exporter) { x.Counter("1bad", "h", 1) },
+		"bad label name":    func(x *Exporter) { x.Counter("ok_total", "h", 1, L("9x", "v")) },
+		"split family":      func(x *Exporter) { x.Counter("a", "h", 1); x.Counter("b", "h", 1); x.Counter("a", "h", 2) },
+		"colon label name":  func(x *Exporter) { x.Counter("ok_total", "h", 1, L("a:b", "v")) },
+		"empty metric name": func(x *Exporter) { x.Gauge("", "h", 1) },
+	} {
+		r := NewRegistry()
+		r.Register(CollectorFunc(emit))
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err == nil {
+			t.Errorf("%s: expected error, rendered:\n%s", name, b.String())
+		}
+	}
+}
+
+func TestHistogramCorrectness(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Upper-inclusive buckets: le=1 gets {0.5, 1}, le=2 gets {1.5, 2},
+	// le=4 gets {3, 4}, +Inf gets {5, 100}.
+	want := []uint64{2, 2, 2, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d: got %d want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Fatalf("count %d want 8", s.Count)
+	}
+	if math.Abs(s.Sum-117) > 1e-9 {
+		t.Fatalf("sum %v want 117", s.Sum)
+	}
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Fatalf("p50 %v outside [1,2]", q)
+	}
+	if q := h.Quantile(1); q != 4 {
+		t.Fatalf("p100 %v: tail must clamp to the last finite bound", q)
+	}
+	empty := NewHistogram(1)
+	if q := empty.Quantile(0.99); q != 0 {
+		t.Fatalf("empty histogram quantile %v want 0", q)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":      {},
+		"descending": {2, 1},
+		"duplicate":  {1, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewHistogram(%v) did not panic", name, bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines and
+// checks no observation is lost and the sum converges exactly (every
+// observed value is representable, so the CAS loop must account for all of
+// them). Run under -race this also proves Observe/Snapshot are safe.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(0.25, 0.5, 0.75, 1)
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// A concurrent reader exercises Snapshot against in-flight Observes.
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(i%4) * 0.25)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("lost observations: count %d want %d", s.Count, workers*perWorker)
+	}
+	total := uint64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+	// Each worker observes 0, .25, .5, .75 cyclically: per full cycle 1.5.
+	want := float64(workers) * float64(perWorker) / 4 * 1.5
+	if math.Abs(s.Sum-want) > 1e-6 {
+		t.Fatalf("sum %v want %v", s.Sum, want)
+	}
+}
+
+func TestSlowLogRingBounds(t *testing.T) {
+	l := NewSlowLog(10*time.Millisecond, 4)
+	if l.Cap() != 4 {
+		t.Fatalf("cap %d want 4", l.Cap())
+	}
+	// Below threshold: rejected.
+	if l.Note(SlowQueryEntry{Duration: 9 * time.Millisecond}) {
+		t.Fatal("entry under threshold admitted")
+	}
+	for i := 0; i < 10; i++ {
+		ok := l.Note(SlowQueryEntry{Source: int64(i), Duration: time.Duration(10+i) * time.Millisecond})
+		if !ok {
+			t.Fatalf("entry %d rejected", i)
+		}
+	}
+	got := l.Entries()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d entries, want 4", len(got))
+	}
+	// Newest first: sources 9, 8, 7, 6 survive.
+	for i, want := range []int64{9, 8, 7, 6} {
+		if got[i].Source != want {
+			t.Fatalf("entry %d: source %d want %d", i, got[i].Source, want)
+		}
+		if got[i].DurationUS != got[i].Duration.Microseconds() {
+			t.Fatalf("entry %d: DurationUS not derived", i)
+		}
+	}
+	if l.Total() != 10 {
+		t.Fatalf("total %d want 10", l.Total())
+	}
+}
+
+func TestSlowLogDisabled(t *testing.T) {
+	l := NewSlowLog(0, 8)
+	if l.Note(SlowQueryEntry{Duration: time.Hour}) {
+		t.Fatal("disabled log admitted an entry")
+	}
+	if len(l.Entries()) != 0 || l.Total() != 0 {
+		t.Fatal("disabled log not empty")
+	}
+}
+
+func TestSlowLogPartialRing(t *testing.T) {
+	l := NewSlowLog(time.Millisecond, 0) // default capacity
+	if l.Cap() != DefaultSlowLogSize {
+		t.Fatalf("default cap %d want %d", l.Cap(), DefaultSlowLogSize)
+	}
+	l.Note(SlowQueryEntry{Source: 1, Duration: time.Second})
+	l.Note(SlowQueryEntry{Source: 2, Duration: time.Second})
+	got := l.Entries()
+	if len(got) != 2 || got[0].Source != 2 || got[1].Source != 1 {
+		t.Fatalf("partial ring wrong: %+v", got)
+	}
+}
+
+// TestSlowLogConcurrent proves Note/Entries are race-safe and the ring
+// never exceeds its bound.
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(time.Nanosecond, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Note(SlowQueryEntry{Source: int64(w), Duration: time.Millisecond})
+				if n := len(l.Entries()); n > 16 {
+					t.Errorf("ring grew to %d", n)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Total() != 8000 {
+		t.Fatalf("total %d want 8000", l.Total())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for v, want := range map[float64]string{
+		0:            "0",
+		42:           "42",
+		-3:           "-3",
+		1024:         "1024",
+		0.5:          "0.5",
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		1e15:         "1e+15",
+	} {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q want %q", v, got, want)
+		}
+	}
+	// Round-trip: every rendered value parses back to itself.
+	for _, v := range []float64{0.1, 123456.789, 1e-9, 3} {
+		got := formatFloat(v)
+		back, err := strconv.ParseFloat(got, 64)
+		if err != nil || back != v {
+			t.Errorf("formatFloat(%v) = %q does not round-trip (%v, %v)", v, got, back, err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowQueryEntry is one logged query: enough context to reproduce it (the
+// endpoints and algorithm) and enough decomposition to see where the time
+// went (the stage-timing model of QueryStats: admission wait, planning, SQL
+// execution, total).
+type SlowQueryEntry struct {
+	Time      time.Time     `json:"time"`
+	Source    int64         `json:"source"`
+	Target    int64         `json:"target"`
+	Algorithm string        `json:"algorithm"`
+	Planner   string        `json:"planner,omitempty"`
+	Duration  time.Duration `json:"-"`
+	// Stage decomposition (microseconds in JSON to match the serving tier's
+	// duration_us convention).
+	DurationUS int64  `json:"duration_us"`
+	GateWaitUS int64  `json:"gate_wait_us"`
+	PlanUS     int64  `json:"plan_us"`
+	SQLUS      int64  `json:"sql_us"`
+	Statements int    `json:"statements"`
+	Iterations int    `json:"iterations,omitempty"`
+	Cached     bool   `json:"cached,omitempty"`
+	Err        string `json:"error,omitempty"`
+}
+
+// SlowLog is a bounded ring of the most recent queries slower than a
+// threshold. Overwrites are by arrival order: the ring always holds the
+// newest Cap entries, and Total counts every entry ever admitted so
+// operators can tell "quiet fleet" from "ring turning over fast".
+type SlowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	ring      []SlowQueryEntry
+	next      int // ring index the next entry lands in
+	size      int // live entries (== len(ring) once wrapped)
+	total     uint64
+}
+
+// DefaultSlowLogSize bounds the ring when NewSlowLog gets capacity <= 0.
+const DefaultSlowLogSize = 128
+
+// NewSlowLog creates a ring of at most capacity entries admitting queries
+// with Duration >= threshold. A zero or negative threshold disables
+// admission entirely (Note becomes a cheap no-op) — the log still serves,
+// empty.
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = DefaultSlowLogSize
+	}
+	return &SlowLog{threshold: threshold, ring: make([]SlowQueryEntry, capacity)}
+}
+
+// Threshold returns the admission threshold (0 = disabled).
+func (l *SlowLog) Threshold() time.Duration { return l.threshold }
+
+// Note admits e if it crosses the threshold, overwriting the oldest entry
+// when the ring is full. It reports whether the entry was admitted.
+func (l *SlowLog) Note(e SlowQueryEntry) bool {
+	if l.threshold <= 0 || e.Duration < l.threshold {
+		return false
+	}
+	e.DurationUS = e.Duration.Microseconds()
+	l.mu.Lock()
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % len(l.ring)
+	if l.size < len(l.ring) {
+		l.size++
+	}
+	l.total++
+	l.mu.Unlock()
+	return true
+}
+
+// Entries returns the logged queries, newest first.
+func (l *SlowLog) Entries() []SlowQueryEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQueryEntry, 0, l.size)
+	for i := 1; i <= l.size; i++ {
+		out = append(out, l.ring[(l.next-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}
+
+// Total counts entries ever admitted (including those overwritten).
+func (l *SlowLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Cap returns the ring capacity.
+func (l *SlowLog) Cap() int { return len(l.ring) }

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// CheckExposition validates a rendered text-exposition page: every line must
+// be a HELP/TYPE comment or a well-formed sample, every sample must sit
+// under its family's TYPE header, and each family's series must be
+// consecutive. It exists so endpoint tests (the serving tier's /metrics)
+// can assert scraper-compatibility without depending on a real Prometheus
+// parser; the Exporter already enforces these rules at build time, so a
+// failure here means a bug in the Exporter itself, not in a collector.
+func CheckExposition(page string) error {
+	typed := map[string]string{}
+	lastFamily := ""
+	closed := map[string]bool{}
+	for ln, line := range strings.Split(strings.TrimRight(page, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			name, typ := parts[2], parts[3]
+			if _, dup := typed[name]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				return fmt.Errorf("line %d: unknown type %q", ln+1, typ)
+			}
+			typed[name] = typ
+			if lastFamily != "" {
+				closed[lastFamily] = true
+			}
+			lastFamily = name
+			continue
+		}
+		if !expositionSample.MatchString(line) {
+			return fmt.Errorf("line %d: malformed sample: %q", ln+1, line)
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "histogram" {
+				family = base
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			return fmt.Errorf("line %d: sample %s has no TYPE header", ln+1, name)
+		}
+		if closed[family] {
+			return fmt.Errorf("line %d: family %s series are not consecutive", ln+1, family)
+		}
+		if family != lastFamily {
+			return fmt.Errorf("line %d: sample %s under family %s header", ln+1, name, lastFamily)
+		}
+	}
+	return nil
+}
+
+// expositionSample matches one valid sample line of the text format.
+var expositionSample = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)

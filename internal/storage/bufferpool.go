@@ -6,12 +6,16 @@ import (
 )
 
 // PoolStats counts buffer-pool activity. Hits+Misses equals the number of
-// Fetch calls; Misses drive physical reads on the disk manager.
+// Fetch calls; Misses drive physical reads on the disk manager. FenceWaits
+// counts fetches that parked on a write-back fence — a victim's dirty flush
+// still in flight when its page was wanted back — which is the pool-level
+// signal that the working set is thrashing across eviction.
 type PoolStats struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-	Flushes   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Flushes    uint64
+	FenceWaits uint64
 }
 
 // maxShards bounds how far a pool fans out; 16 latches is plenty for the
@@ -115,9 +119,24 @@ func (bp *BufferPool) Stats() PoolStats {
 		s.Misses += sh.stats.Misses
 		s.Evictions += sh.stats.Evictions
 		s.Flushes += sh.stats.Flushes
+		s.FenceWaits += sh.stats.FenceWaits
 		sh.mu.Unlock()
 	}
 	return s
+}
+
+// ShardStats returns each latch domain's counters separately, in shard
+// order. A hot shard (one page-id residue class absorbing most traffic)
+// shows up here while the pool-wide sums still look healthy; /metrics
+// exports one labeled series per shard from this.
+func (bp *BufferPool) ShardStats() []PoolStats {
+	out := make([]PoolStats, len(bp.shards))
+	for i, sh := range bp.shards {
+		sh.mu.Lock()
+		out[i] = sh.stats
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // ResetStats zeroes the counters (used between benchmark phases).
@@ -216,6 +235,7 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 		// stale pre-flush bytes. Wait for the flush fence, then re-check —
 		// on flush success the read below sees the flushed bytes; on flush
 		// failure the victim is reinstalled and the lookup becomes a hit.
+		sh.stats.FenceWaits++
 		sh.mu.Unlock()
 		<-ch
 		sh.mu.Lock()
