@@ -49,7 +49,15 @@
 // a rebuild past the engine's repair threshold), so BSEG keeps answering
 // exactly without a manual rebuild. Any mutation invalidates the landmark
 // oracle; /stats reports oracle_invalidated until the operator rebuilds
-// (restart with -landmarks, or accept exact-only service).
+// (restart with -landmarks, or accept exact-only service). The hub-label
+// index (-labels) is hardier: a per-mutation keep-analysis proves most
+// redundant changes harmless and keeps the index live, and only changes it
+// cannot absorb send it cold (/stats labels_invalidated).
+//
+// The hub-label (2-hop) index (-labels) answers exact distances with one
+// merge-join over two label scans — microseconds instead of a frontier
+// loop — and the cost-based planner prefers it for every exact query while
+// it is valid.
 //
 // Approximate answers come from the landmark oracle (-landmarks): they
 // bracket the distance by landmark triangulation without touching the edge
@@ -57,7 +65,7 @@
 //
 // Examples:
 //
-//	spdbd -gen power:20000:3 -lthd 20 -landmarks 16 -addr :8080
+//	spdbd -gen power:20000:3 -lthd 20 -landmarks 16 -labels -addr :8080
 //	curl -X POST localhost:8080/query -d '{"source":17,"target":4711,"timeout_ms":250}'
 //	curl -X POST localhost:8080/query -d '{"source":17,"target":4711,"max_rel_error":0.1}'
 //	curl 'localhost:8080/shortest-path?s=17&t=4711'
@@ -169,9 +177,9 @@ func (sv *server) noteQueryError(err error) int {
 	return http.StatusUnprocessableEntity
 }
 
-// algSlots bounds the per-algorithm counter array; core.AlgALT is the
+// algSlots bounds the per-algorithm counter array; core.AlgLabel is the
 // highest algorithm id.
-const algSlots = int(core.AlgALT) + 1
+const algSlots = int(core.AlgLabel) + 1
 
 func (sv *server) countAlg(alg core.Algorithm) {
 	if int(alg) < algSlots {
@@ -393,7 +401,11 @@ type mutationResponse struct {
 	Rebuilt bool `json:"rebuilt"`
 	// OracleInvalidated warns that this batch killed the landmark oracle:
 	// approx/ALT answers refuse until it is rebuilt.
-	OracleInvalidated bool   `json:"oracle_invalidated"`
+	OracleInvalidated bool `json:"oracle_invalidated"`
+	// LabelsInvalidated warns that this batch failed the hub-label
+	// keep-analysis: LABEL answers (and the planner's labels preference)
+	// refuse until the index is rebuilt.
+	LabelsInvalidated bool   `json:"labels_invalidated"`
 	Version           uint64 `json:"version"`
 	Statements        int    `json:"statements"`
 	DurationUS        int64  `json:"duration_us"`
@@ -443,6 +455,7 @@ func (sv *server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		resp.Repaired = st.Repaired
 		resp.Rebuilt = st.Rebuilt
 		resp.OracleInvalidated = st.OracleInvalidated
+		resp.LabelsInvalidated = st.LabelsInvalidated
 		resp.Statements = st.Statements
 		// The version this batch committed as, snapshotted under the
 		// query latch — GraphVersion() here could already belong to a
@@ -728,6 +741,9 @@ func (sv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// oracle_invalidated warns operators that a mutation killed the
 		// landmark oracle: approx/ALT traffic refuses until a rebuild.
 		"oracle_invalidated": sv.eng.OracleInvalidated(),
+		// labels_invalidated is the hub-label twin: a mutation the
+		// keep-analysis could not absorb sent the 2-hop index cold.
+		"labels_invalidated": sv.eng.LabelsInvalidated(),
 	}
 	if orc := sv.eng.Oracle(); orc != nil {
 		graphStats["oracle"] = map[string]any{
@@ -735,6 +751,13 @@ func (sv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"k":         orc.K,
 			"strategy":  orc.Strategy.String(),
 			"rows":      orc.Rows,
+		}
+	}
+	if lbl := sv.eng.Labels(); lbl != nil {
+		graphStats["labels"] = map[string]any{
+			"hubs":     lbl.Hubs,
+			"rows_out": lbl.RowsOut,
+			"rows_in":  lbl.RowsIn,
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -763,6 +786,8 @@ func (sv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 				"seg_rebuilds":         ms.SegRebuilds,
 				"rows_repaired":        ms.RowsRepaired,
 				"oracle_invalidations": ms.OracleInvalidations,
+				"label_keeps":          ms.LabelKeeps,
+				"label_invalidations":  ms.LabelInvalidations,
 			}
 		}(),
 		// concurrency reports the query gate (parallel shared admissions
@@ -811,9 +836,10 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		gen      = flag.String("gen", "", "generate a graph: power:N:D | random:N:M | dblp:PCT | web:PCT | lj:PERMILLE")
 		load     = flag.String("load", "", "load a CSV graph (fid,tid,cost)")
-		algName  = flag.String("alg", "BSDJ", "default algorithm: AUTO|DJ|BDJ|BSDJ|BBFS|BSEG|ALT (AUTO = cost-based planner)")
+		algName  = flag.String("alg", "BSDJ", "default algorithm: AUTO|DJ|BDJ|BSDJ|BBFS|BSEG|ALT|LABEL (AUTO = cost-based planner)")
 		lthd     = flag.Int64("lthd", 0, "build SegTable with this threshold (required for BSEG)")
 		lmk      = flag.Int("landmarks", 0, "build a landmark oracle with this many landmarks (required for ALT and /distance)")
+		lbls     = flag.Bool("labels", false, "build the hub-label (2-hop) index at startup (required for LABEL; AUTO prefers it while valid)")
 		lmkStrat = flag.String("landmark-strategy", "degree", "landmark placement: degree|farthest")
 		cacheSz  = flag.Int("cache", 0, "path cache entries (0 = default, negative disables)")
 		poolSz   = flag.Int("pool", 0, "buffer pool pages (0 = default)")
@@ -878,6 +904,14 @@ func main() {
 		st, err := eng.BuildOracle(oracle.Config{K: k, Strategy: strat})
 		if err != nil {
 			fail("oracle: %v", err)
+		}
+		fmt.Printf("spdbd: %s\n", st)
+	}
+	if *lbls || alg == core.AlgLabel {
+		fmt.Println("spdbd: building hub-label index...")
+		st, err := eng.BuildLabels()
+		if err != nil {
+			fail("labels: %v", err)
 		}
 		fmt.Printf("spdbd: %s\n", st)
 	}

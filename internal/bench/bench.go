@@ -275,6 +275,7 @@ func Experiments() []struct {
 		{"oracle-build", RunOracleBuild, "Oracle: landmark oracle construction vs k and strategy"},
 		{"oracle-alt", RunOracleALT, "Oracle: ALT vs BSDJ tuples affected / statements / time"},
 		{"oracle-approx", RunOracleApprox, "Oracle: approximate-answer quality and latency"},
+		{"labels", RunLabels, "Hub labels: 2-hop index query latency vs ALT and BSDJ"},
 		{"mutation-throughput", RunMutationThroughput, "Mutations: insert/delete/update repair + batch throughput"},
 		{"planner", RunPlanner, "Planner: AlgAuto vs hand-picked algorithm latency + decision mix"},
 		{"prepared", RunPrepared, "Prepared statements: plan-cache execution vs statement-at-a-time re-parse"},

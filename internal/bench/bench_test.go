@@ -14,8 +14,8 @@ func tinyConfig() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 30 {
-		t.Fatalf("expected 30 experiments, got %d", len(exps))
+	if len(exps) != 31 {
+		t.Fatalf("expected 31 experiments, got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -114,6 +114,8 @@ func TestRunOracleALT(t *testing.T) {
 }
 
 func TestRunOracleApprox(t *testing.T) { runAndCheck(t, "oracle-approx", 6) }
+
+func TestRunLabels(t *testing.T) { runAndCheck(t, "labels", 5) }
 
 // TestRunPlanner smoke-tests the auto-vs-manual experiment: four rows
 // (BSDJ, BSEG, ALT, Auto), and the Auto row carries a planner decision mix

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/rdb"
+)
+
+// RunLabels is the acceptance experiment for the hub-label tentpole: the
+// same query set answered from the 2-hop label index (AlgLabel), the
+// landmark-guided frontier search (ALT, k=8) and the plain bidirectional
+// set-Dijkstra (BSDJ) on the benchmark power-law graph. The label index
+// replaces the frontier loop with one merge-join per distance, so its
+// per-query column is the headline: it should sit an order of magnitude
+// under ALT's. The build row prices that speed — label construction is the
+// expensive end of the trade. Caches are off so every column measures the
+// relational work itself.
+func RunLabels(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "labels",
+		Title:  "Hub labels: AlgLabel vs ALT vs BSDJ exact queries, Power graph",
+		Header: []string{"phase", "affected", "stmts", "total (ms)", "per-query"},
+	}
+	n := cfg.scale(2000)
+	g := graph.Power(n, 3, cfg.Seed)
+	cfg.logf("labels: |V|=%d", n)
+	setup, err := makeEngine(g, rdb.Options{}, core.Options{CacheSize: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer setup.close()
+	st, err := setup.eng.BuildLabels()
+	if err != nil {
+		return nil, err
+	}
+	cfg.logf("labels: %s", st)
+	if _, err := setup.eng.BuildOracle(oracle.Config{K: 8, Strategy: oracle.Degree}); err != nil {
+		return nil, err
+	}
+	lbl := setup.eng.Labels()
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("build (hubs=%d rows=%d)", st.Hubs, lbl.Rows()),
+		fmt.Sprintf("%d", st.Pruned), fmt.Sprintf("%d", st.Statements),
+		ms(st.BuildTime), "-"})
+
+	queries := graph.RandomQueries(g, cfg.queries(), cfg.Seed)
+	for _, alg := range []core.Algorithm{core.AlgLabel, core.AlgALT, core.AlgBSDJ} {
+		a, err := runQueries(setup.eng, alg, queries)
+		if err != nil {
+			return nil, err
+		}
+		perQuery := (a.Time / time.Duration(len(queries))).Round(time.Microsecond)
+		t.Rows = append(t.Rows, []string{
+			alg.String(), f1(a.Affected), f1(a.Stmts), ms(a.Time), perQuery.String()})
+	}
+	return t, nil
+}

@@ -188,6 +188,16 @@ func RunSoak(cfg SoakConfig, logf func(format string, args ...any)) (*SoakResult
 			tick := time.NewTicker(cfg.MutateEvery)
 			defer tick.Stop()
 			var churn [][2]int64 // inserted chords awaiting deletion
+			// occupied tracks every (from, to) pair with a live edge: the
+			// initial graph plus chords not yet deleted. Churn chords must
+			// avoid these pairs — MutDelete removes every parallel (from, to)
+			// edge, so deleting a chord that collided with a graph edge would
+			// silently drift the graph away from the configured profile for
+			// the rest of the run.
+			occupied := make(map[[2]int64]bool, len(g.Edges))
+			for _, ed := range g.Edges {
+				occupied[[2]int64{ed.From, ed.To}] = true
+			}
 			for {
 				select {
 				case <-ctx.Done():
@@ -202,16 +212,17 @@ func RunSoak(cfg SoakConfig, logf func(format string, args ...any)) (*SoakResult
 						Weight: 1 + rng.Int63n(10),
 					})
 				}
-				from, to := rng.Int63n(g.N), rng.Int63n(g.N)
-				if from != to {
+				if chord, ok := pickChord(rng, g.N, occupied); ok {
 					muts = append(muts, core.Mutation{
-						Op: core.MutInsert, From: from, To: to, Weight: 1 + rng.Int63n(10)})
-					churn = append(churn, [2]int64{from, to})
+						Op: core.MutInsert, From: chord[0], To: chord[1], Weight: 1 + rng.Int63n(10)})
+					occupied[chord] = true
+					churn = append(churn, chord)
 				}
 				if len(churn) > 8 {
 					old := churn[0]
 					churn = churn[1:]
 					muts = append(muts, core.Mutation{Op: core.MutDelete, From: old[0], To: old[1]})
+					delete(occupied, old)
 				}
 				st, merr := eng.ApplyMutations(muts)
 				mu.Lock()
@@ -244,13 +255,17 @@ func RunSoak(cfg SoakConfig, logf func(format string, args ...any)) (*SoakResult
 		byWin[w] = append(byWin[w], s)
 	}
 	for w, ws := range byWin {
-		sw := aggregateWindow(ws, cfg.Window)
-		sw.Index = w
-		sw.StartMS = (time.Duration(w) * cfg.Window).Milliseconds()
-		sw.EndMS = (time.Duration(w+1) * cfg.Window).Milliseconds()
-		if sw.EndMS > cfg.Duration.Milliseconds() {
-			sw.EndMS = cfg.Duration.Milliseconds()
+		// The final window may be truncated by the deadline; QPS must divide
+		// by the span it actually covers, not the nominal window width.
+		start := time.Duration(w) * cfg.Window
+		end := start + cfg.Window
+		if end > cfg.Duration {
+			end = cfg.Duration
 		}
+		sw := aggregateWindow(ws, end-start)
+		sw.Index = w
+		sw.StartMS = start.Milliseconds()
+		sw.EndMS = end.Milliseconds()
 		res.Windows = append(res.Windows, sw)
 		logf("soak: window %d [%d-%dms]: %d queries (%.0f/sec), p50 %dus p95 %dus p99 %dus, gate %.1f%%, %d errors",
 			w, sw.StartMS, sw.EndMS, sw.Queries, sw.QPS, sw.P50US, sw.P95US, sw.P99US, 100*sw.GateShare, sw.Errors)
@@ -259,6 +274,21 @@ func RunSoak(cfg SoakConfig, logf func(format string, args ...any)) (*SoakResult
 	res.Overall.Index = -1
 	res.Overall.EndMS = res.Elapsed.Milliseconds()
 	return res, nil
+}
+
+// pickChord draws a churn chord (from, to) colliding with no live edge:
+// self-loops and occupied pairs are redrawn, up to a bounded number of
+// attempts (a dense graph may simply have no free pair — the caller then
+// skips this tick's churn rather than risking a collision).
+func pickChord(rng *rand.Rand, n int64, occupied map[[2]int64]bool) ([2]int64, bool) {
+	for attempt := 0; attempt < 64; attempt++ {
+		c := [2]int64{rng.Int63n(n), rng.Int63n(n)}
+		if c[0] == c[1] || occupied[c] {
+			continue
+		}
+		return c, true
+	}
+	return [2]int64{}, false
 }
 
 // aggregateWindow computes one window's percentiles over its samples. span

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Regression tests for the two soak measurement bugs: churn chords that
+// collide with live edges (the delayed MutDelete then strips every
+// parallel edge and drifts the graph), and the truncated final window
+// reporting QPS against the full nominal window width.
+
+func TestPickChordAvoidsCollisions(t *testing.T) {
+	// n = 2 with (0, 1) occupied leaves exactly one legal pair; every seed
+	// must land on it — a single collision here means a run would have
+	// deleted a pre-existing graph edge.
+	occupied := map[[2]int64]bool{{0, 1}: true}
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c, ok := pickChord(rng, 2, occupied)
+		if !ok {
+			t.Fatalf("seed %d: gave up with a free pair available", seed)
+		}
+		if c != [2]int64{1, 0} {
+			t.Fatalf("seed %d: chord %v is occupied or a self-loop", seed, c)
+		}
+	}
+	// With every pair occupied the picker must give up, not collide.
+	occupied[[2]int64{1, 0}] = true
+	if c, ok := pickChord(rand.New(rand.NewSource(1)), 2, occupied); ok {
+		t.Fatalf("returned %v with no free pair left", c)
+	}
+	// n = 1 only offers self-loops.
+	if c, ok := pickChord(rand.New(rand.NewSource(1)), 1, map[[2]int64]bool{}); ok {
+		t.Fatalf("returned self-loop %v", c)
+	}
+}
+
+func TestAggregateWindowTruncatedSpan(t *testing.T) {
+	ws := make([]soakSample, 0, 10)
+	for i := 0; i < 10; i++ {
+		ws = append(ws, soakSample{lat: time.Millisecond})
+	}
+	if got := aggregateWindow(ws, 2*time.Second).QPS; got != 5 {
+		t.Errorf("full window: QPS = %v, want 5", got)
+	}
+	// A deadline-truncated 500ms window with the same samples carries 4x
+	// the rate; dividing by the nominal 2s width under-reported it 4x.
+	if got := aggregateWindow(ws, 500*time.Millisecond).QPS; got != 20 {
+		t.Errorf("truncated window: QPS = %v, want 20", got)
+	}
+}
+
+// TestRunSoakTruncatedWindow runs a soak whose duration is not a multiple
+// of the window width: the final window must cover only the leftover span
+// and report QPS against it.
+func TestRunSoakTruncatedWindow(t *testing.T) {
+	cfg := SoakConfig{
+		Nodes:       200,
+		AvgDegree:   3,
+		Seed:        42,
+		Duration:    300 * time.Millisecond,
+		Window:      200 * time.Millisecond,
+		Clients:     2,
+		Alg:         core.AlgBSDJ,
+		Pairs:       8,
+		MutateEvery: 50 * time.Millisecond,
+		MutateBatch: 2,
+	}
+	res, err := RunSoak(cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 2 {
+		t.Fatalf("expected 2 windows, got %d", len(res.Windows))
+	}
+	last := res.Windows[1]
+	if last.StartMS != 200 || last.EndMS != 300 {
+		t.Fatalf("last window spans [%d-%dms], want [200-300ms]", last.StartMS, last.EndMS)
+	}
+	for _, w := range res.Windows {
+		span := float64(w.EndMS-w.StartMS) / 1000
+		if want := float64(w.Queries) / span; math.Abs(w.QPS-want) > 1e-9*want {
+			t.Errorf("window %d: QPS %v != queries/span %v (%d queries over %dms)",
+				w.Index, w.QPS, want, w.Queries, w.EndMS-w.StartMS)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/labels"
 	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/rdb"
@@ -43,11 +44,15 @@ const (
 	// AlgALT is the bi-directional set Dijkstra with ALT goal-directed
 	// pruning over the landmark oracle (requires BuildOracle).
 	AlgALT
+	// AlgLabel answers from the pruned 2-hop label index: the distance is
+	// one merge-join over the label scans, the route a greedy certified
+	// walk — no frontier loop at all (requires BuildLabels).
+	AlgLabel
 )
 
-// numAlgs bounds per-algorithm arrays (AlgALT is the highest id; AlgAuto,
+// numAlgs bounds per-algorithm arrays (AlgLabel is the highest id; AlgAuto,
 // the zero value, indexes oracle-only and trivial answers).
-const numAlgs = int(AlgALT) + 1
+const numAlgs = int(AlgLabel) + 1
 
 func (a Algorithm) String() string {
 	switch a {
@@ -65,12 +70,15 @@ func (a Algorithm) String() string {
 		return "BSEG"
 	case AlgALT:
 		return "ALT"
+	case AlgLabel:
+		return "Label"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
 // ParseAlgorithm maps a case-insensitive algorithm name (AUTO, DJ, BDJ,
-// BSDJ, BBFS, BSEG, ALT) to its Algorithm; the commands share this parser.
+// BSDJ, BBFS, BSEG, ALT, LABEL) to its Algorithm; the commands share this
+// parser.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	switch strings.ToUpper(s) {
 	case "AUTO":
@@ -87,8 +95,10 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return AlgBSEG, nil
 	case "ALT":
 		return AlgALT, nil
+	case "LABEL":
+		return AlgLabel, nil
 	}
-	return 0, fmt.Errorf("unknown algorithm %q (AUTO|DJ|BDJ|BSDJ|BBFS|BSEG|ALT)", s)
+	return 0, fmt.Errorf("unknown algorithm %q (AUTO|DJ|BDJ|BSDJ|BBFS|BSEG|ALT|LABEL)", s)
 }
 
 // IndexStrategy is the physical design axis of Fig 8(c).
@@ -212,6 +222,14 @@ type Engine struct {
 	// operators (spdbd /stats) can tell "approx/ALT went cold, rebuild" from
 	// "never built". Cleared by BuildOracle and LoadGraph.
 	orcStale bool
+	// lbl is the hub-label index metadata (nil until BuildLabels; reset to
+	// nil when a mutation fails the keep-analysis of labels.go — unlike
+	// the oracle, a label index can survive mutations the labels
+	// themselves prove distance-preserving).
+	lbl *labels.Labels
+	// lblStale records that a mutation killed a previously built label
+	// index. Cleared by BuildLabels and LoadGraph.
+	lblStale bool
 	// muts counts the mutation subsystem's activity for the serving tier.
 	muts MutationCounters
 	// version stamps the (graph, index) generation; bumped by LoadGraph,
@@ -550,6 +568,14 @@ func (e *Engine) search(ctx context.Context, sc *scratchSet, alg Algorithm, s, t
 			return Path{}, nil, fmt.Errorf("core: ALT requires BuildOracle first (rebuild after graph changes)")
 		}
 		return e.bidirectional(ctx, sc, specALT(sc, s, t), s, t, budget)
+	case AlgLabel:
+		e.mu.RLock()
+		built := e.lbl != nil
+		e.mu.RUnlock()
+		if !built {
+			return Path{}, nil, fmt.Errorf("core: Label requires BuildLabels first (rebuild after graph changes)")
+		}
+		return e.labelSearch(ctx, s, t, budget)
 	}
 	return Path{}, nil, fmt.Errorf("core: unknown algorithm %v", alg)
 }

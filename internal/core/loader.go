@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/labels"
 	"repro/internal/oracle"
 )
 
@@ -50,15 +51,19 @@ func (e *Engine) LoadGraph(g *graph.Graph) error {
 	e.wmin = 0
 	e.segBuilt = false
 	e.orc = nil
-	// A fresh graph starts with a clean oracle slate (the mutation
-	// counters are engine-lifetime and survive reloads).
+	// A fresh graph starts with a clean oracle and label slate (the
+	// mutation counters are engine-lifetime and survive reloads).
 	e.orcStale = false
+	e.lbl = nil
+	e.lblStale = false
 	e.bumpVersionLocked()
 	e.mu.Unlock()
 	// Reloading replaces any previously loaded graph (and its index):
 	// drop the old tables so a serving engine can swap graphs in place.
-	for _, tbl := range append([]string{TblNodes, TblEdges, TblVisited, TblExpand,
-		TblExpCost, TblOutSegs, TblInSegs, TblSeg}, oracle.Tables()...) {
+	dropList := append([]string{TblNodes, TblEdges, TblVisited, TblExpand,
+		TblExpCost, TblOutSegs, TblInSegs, TblSeg}, oracle.Tables()...)
+	dropList = append(dropList, labels.Tables()...)
+	for _, tbl := range dropList {
 		if _, ok := e.db.Catalog().Get(tbl); ok {
 			if _, err := db.Exec("DROP TABLE " + tbl); err != nil {
 				return err

@@ -143,10 +143,19 @@ func (e *Engine) CollectMetrics(x *obs.Exporter) {
 		"SegTable rows re-materialized by scoped repairs.", float64(ms.RowsRepaired))
 	x.Counter("spdb_oracle_invalidations_total",
 		"Mutations or batches that killed a built landmark oracle.", float64(ms.OracleInvalidations))
+	x.Counter("spdb_label_keeps_total",
+		"Mutations the hub-label keep-analysis absorbed (index survived).", float64(ms.LabelKeeps))
+	x.Counter("spdb_label_invalidations_total",
+		"Mutations that sent a built hub-label index cold.", float64(ms.LabelInvalidations))
 
 	e.mu.RLock()
 	nodes, edges, version := e.nodes, e.edges, e.version
 	segBuilt, orcValid, orcStale := e.segBuilt, e.orc != nil, e.orcStale
+	lblValid, lblStale := e.lbl != nil, e.lblStale
+	lblRows := 0
+	if e.lbl != nil {
+		lblRows = e.lbl.Rows()
+	}
 	e.mu.RUnlock()
 	x.Gauge("spdb_graph_nodes", "Loaded node count.", float64(nodes))
 	x.Gauge("spdb_graph_edges", "Loaded edge count.", float64(edges))
@@ -155,6 +164,10 @@ func (e *Engine) CollectMetrics(x *obs.Exporter) {
 	x.Gauge("spdb_oracle_valid", "1 while a landmark oracle is valid.", b2f(orcValid))
 	x.Gauge("spdb_oracle_stale",
 		"1 while a previously built oracle is invalidated and not rebuilt.", b2f(orcStale))
+	x.Gauge("spdb_labels_valid", "1 while a hub-label index is valid.", b2f(lblValid))
+	x.Gauge("spdb_labels_stale",
+		"1 while a previously built hub-label index is invalidated and not rebuilt.", b2f(lblStale))
+	x.Gauge("spdb_label_rows", "Hub-label entries (TLabelOut + TLabelIn).", float64(lblRows))
 	x.Gauge("spdb_index_builds_in_flight",
 		"Index builds or graph loads running or queued (readiness gate).",
 		float64(e.building.Load()))

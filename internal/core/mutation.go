@@ -102,6 +102,11 @@ type MutationCounters struct {
 	// OracleInvalidations counts mutations (or batches) that killed a
 	// built landmark oracle.
 	OracleInvalidations uint64
+	// LabelKeeps counts mutations the label keep-analysis proved
+	// distance-preserving (the hub-label index survived them);
+	// LabelInvalidations counts mutations that sent a built index cold.
+	LabelKeeps         uint64
+	LabelInvalidations uint64
 }
 
 // Mutation scratch relations (created lazily, cleared per use):
@@ -213,9 +218,12 @@ func (e *Engine) applyMutations(muts []Mutation, batch bool) (*MaintStats, error
 	// Invalidate before touching TEdges: the single version bump makes
 	// every cached answer unreachable, and a built oracle goes cold (any
 	// mutation can move landmark distances in either direction, so neither
-	// bound survives).
+	// bound survives). The hub-label index is NOT invalidated up front:
+	// each mutation runs the keep-analysis of labels.go, and the index
+	// survives changes the labels themselves prove distance-preserving.
 	e.mu.Lock()
 	prevOrc, prevStale := e.orc, e.orcStale
+	prevLbl, prevLblStale := e.lbl, e.lblStale
 	if e.orc != nil {
 		e.orc = nil
 		e.orcStale = true
@@ -232,21 +240,34 @@ func (e *Engine) applyMutations(muts []Mutation, batch bool) (*MaintStats, error
 			if !wrote {
 				// No mutation reached TEdges (existence checks fail
 				// before the first write), so the graph is unchanged and
-				// the pre-batch oracle is still sound — restore it rather
-				// than leaving approximate service cold over a no-op
-				// request. The version bump stands; it only cost a cache
-				// purge.
+				// the pre-batch oracle and label index are still sound —
+				// restore them rather than leaving fast answers cold over
+				// a no-op request. The version bump stands; it only cost
+				// a cache purge.
 				e.orc, e.orcStale = prevOrc, prevStale
 				if st.OracleInvalidated {
 					e.muts.OracleInvalidations--
 				}
 				st.OracleInvalidated = false
+				e.lbl, e.lblStale = prevLbl, prevLblStale
+				if st.LabelsInvalidated {
+					e.muts.LabelInvalidations--
+				}
+				st.LabelsInvalidated = false
 			} else {
 				// The graph changed but a maintenance step failed, so the
 				// SegTable can be missing improvements or mid-repair:
 				// mark it cold — BSEG refuses until BuildSegTable —
-				// rather than silently serving a half-repaired index.
+				// rather than silently serving a half-repaired index. The
+				// same goes for the label index: a keep-check that
+				// errored out proved nothing, so it must not keep serving.
 				e.segBuilt = false
+				if e.lbl != nil {
+					e.lbl = nil
+					e.lblStale = true
+					e.muts.LabelInvalidations++
+					st.LabelsInvalidated = true
+				}
 			}
 			if batch && st.Applied > 0 {
 				e.muts.Batches++
@@ -301,6 +322,11 @@ func (e *Engine) insertLocked(ctx context.Context, qs *QueryStats, st *MaintStat
 	e.muts.Inserts++
 	segBuilt := e.segBuilt
 	e.mu.Unlock()
+	// The label keep-check reads only the label relations, which the
+	// TEdges insert did not touch, so it still sees pre-mutation distances.
+	if err := e.labelKeepUpsert(ctx, qs, st, from, to, weight); err != nil {
+		return err
+	}
 	if !segBuilt {
 		return nil
 	}
@@ -358,6 +384,12 @@ func (e *Engine) deleteLocked(ctx context.Context, qs *QueryStats, st *MaintStat
 			return err
 		}
 	}
+	// The labels still realize the pre-delete distances; the keep-check
+	// against the old effective weight decides whether any of them routed
+	// through the removed edge.
+	if err := e.labelKeepDecrement(ctx, qs, st, from, to, oldW); err != nil {
+		return err
+	}
 	if !segBuilt {
 		return nil
 	}
@@ -398,6 +430,19 @@ func (e *Engine) updateLocked(ctx context.Context, qs *QueryStats, st *MaintStat
 	e.mu.Unlock()
 	if weight > oldW && oldW <= wmin {
 		if err := e.refreshWMin(ctx, qs); err != nil {
+			return err
+		}
+	}
+	// Label keep-analysis: a decrease is the incremental case (the new
+	// weight must already be covered by the old label distance), an
+	// increase the decremental one (no label entry may have routed through
+	// the edge at its old weight). An unchanged weight moves nothing.
+	if weight < oldW {
+		if err := e.labelKeepUpsert(ctx, qs, st, from, to, weight); err != nil {
+			return err
+		}
+	} else if weight > oldW {
+		if err := e.labelKeepDecrement(ctx, qs, st, from, to, oldW); err != nil {
 			return err
 		}
 	}

@@ -56,6 +56,11 @@ const (
 	DecisionCached = "cache"
 	// DecisionTrivial: s == t, answered without touching the database.
 	DecisionTrivial = "trivial"
+	// DecisionLabels: a valid hub-label index answers exactly with no
+	// frontier loop — it beats every other row, so a valid index
+	// short-circuits the rest of the table (landmark interval reads
+	// included: labels answer unreachable and tolerant queries exactly).
+	DecisionLabels = "labels"
 	// DecisionUnreachable: the landmark oracle proved no s–t path exists.
 	DecisionUnreachable = "oracle-unreachable"
 	// DecisionApprox: the oracle interval met MaxRelError; no search ran.
@@ -361,6 +366,7 @@ type statSnapshot struct {
 	segBuilt bool
 	segLthd  int64
 	oracle   bool
+	labels   bool
 	version  uint64
 }
 
@@ -373,6 +379,7 @@ func (e *Engine) snapshotStats() statSnapshot {
 		segBuilt: e.segBuilt,
 		segLthd:  e.segLthd,
 		oracle:   e.orc != nil,
+		labels:   e.lbl != nil,
 		version:  e.version,
 	}
 }
@@ -382,6 +389,7 @@ func (e *Engine) snapshotStats() statSnapshot {
 // in docs/ARCHITECTURE.md §Query planning & cancellation):
 //
 //	hint             Alg != AlgAuto                       run the hint
+//	labels           hub-label index valid                Label (exact, no loop)
 //	oracle-unreachable  landmark bounds prove no path     answer, no search
 //	oracle-approx    interval within MaxRelError          answer, no search
 //	bsdj-tiny        nodes <= PlannerTinyNodes            BSDJ
@@ -396,6 +404,12 @@ func (e *Engine) snapshotStats() statSnapshot {
 func (e *Engine) planQuery(ctx context.Context, req QueryRequest, snap statSnapshot) (queryPlan, error) {
 	if req.Alg != AlgAuto {
 		return queryPlan{alg: req.Alg, decision: DecisionHint, snap: snap}, nil
+	}
+	// A valid hub-label index dominates: exact answers (unreachability and
+	// tolerant requests included) in a constant number of statements, so
+	// planning skips even the landmark interval reads.
+	if snap.labels {
+		return queryPlan{alg: AlgLabel, decision: DecisionLabels, snap: snap}, nil
 	}
 	s, t := req.Source, req.Target
 	var iv Interval
@@ -462,7 +476,7 @@ func (e *Engine) planQuery(ctx context.Context, req QueryRequest, snap statSnaps
 // this is an opportunistic pre-planning probe, and the planner's own
 // lookup accounts for the query's single miss.
 func (e *Engine) cacheProbeAuto(version uint64, s, t int64) (Path, Algorithm, bool) {
-	for _, alg := range []Algorithm{AlgBSEG, AlgALT, AlgBSDJ, AlgBBFS, AlgBDJ, AlgDJ} {
+	for _, alg := range []Algorithm{AlgLabel, AlgBSEG, AlgALT, AlgBSDJ, AlgBBFS, AlgBDJ, AlgDJ} {
 		if p, ok := e.cache.recheck(cacheKey{version: version, alg: alg, s: s, t: t}); ok {
 			return p, alg, true
 		}

@@ -42,6 +42,11 @@ type MaintStats struct {
 	// OracleInvalidated reports that this mutation killed a built landmark
 	// oracle: ALT and ApproxDistance refuse until BuildOracle runs again.
 	OracleInvalidated bool
+	// LabelsInvalidated reports that this mutation (or batch) failed the
+	// hub-label keep-analysis and sent the label index cold: AlgLabel
+	// refuses until BuildLabels runs again. A mutation the analysis
+	// absorbed leaves it false and counts in MutationCounters.LabelKeeps.
+	LabelsInvalidated bool
 	// Version is the graph generation the mutation committed as, read
 	// while the batch still holds the query latch (GraphVersion read
 	// afterwards could already belong to a later batch).

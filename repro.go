@@ -52,6 +52,7 @@ package repro
 import (
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/labels"
 	"repro/internal/oracle"
 	"repro/internal/rdb"
 )
@@ -169,6 +170,9 @@ const (
 	// AlgALT is bi-directional set Dijkstra with ALT goal-directed pruning
 	// over the landmark oracle (requires Engine.BuildOracle).
 	AlgALT = core.AlgALT
+	// AlgLabel answers from the pruned 2-hop hub-label index with a single
+	// merge-join per distance (requires Engine.BuildLabels).
+	AlgLabel = core.AlgLabel
 )
 
 // Re-exported landmark-oracle types (Engine.BuildOracle,
@@ -183,6 +187,15 @@ type (
 	// Interval is an approximate-distance answer bracketing the exact
 	// distance: Lower <= dist(s,t) <= Upper.
 	Interval = core.Interval
+)
+
+// Re-exported hub-label types (Engine.BuildLabels, AlgLabel).
+type (
+	// LabelStats reports one hub-label (2-hop) index construction.
+	LabelStats = labels.BuildStats
+	// LabelIndex is the built label index's metadata (Engine.Labels; nil
+	// while no valid index exists).
+	LabelIndex = labels.Labels
 )
 
 // Landmark placement strategies.
