@@ -68,7 +68,7 @@ func main() {
 
 	if *soak {
 		runSoak(*lgAlg, *lgNodes, *soakDur, *soakWin, *soakMut, *soakPair,
-			*clients, *lthd, *seed, *verbose, *jsonDir)
+			*clients, *lthd, *seed, *verbose, *jsonDir, *dataDir)
 		return
 	}
 
@@ -191,7 +191,7 @@ func runLoadGen(algName string, nodes int64, queries, repeat, clients int, lthd,
 	}
 }
 
-func runSoak(algName string, nodes int64, dur, window, mutEvery time.Duration, pairs, clients int, lthd, seed int64, verbose bool, jsonDir string) {
+func runSoak(algName string, nodes int64, dur, window, mutEvery time.Duration, pairs, clients int, lthd, seed int64, verbose bool, jsonDir, dataDir string) {
 	alg, err := core.ParseAlgorithm(algName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -207,6 +207,17 @@ func runSoak(algName string, nodes int64, dur, window, mutEvery time.Duration, p
 	cfg.Clients = clients
 	cfg.Lthd = lthd
 	cfg.Seed = seed
+	if dataDir != "" {
+		// -datadir doubles as the soak durability directory: mutations are
+		// WAL-fsynced and each window reports the fsync share.
+		d, err := os.MkdirTemp(dataDir, "soak_durable_")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(d)
+		cfg.DataDir = d
+	}
 	logf := func(string, ...any) {}
 	if verbose {
 		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }

@@ -15,6 +15,7 @@
 //	POST /edges                                  {"mutations":[{"op":"insert","from":1,"to":2,"weight":3},
 //	                                              {"op":"delete","from":4,"to":5},
 //	                                              {"op":"update","from":6,"to":7,"weight":9}]}
+//	POST /admin/snapshot                         write a versioned snapshot now (-data-dir only)
 //	GET  /stats                                  engine, cache, DB, mutation and server counters
 //	GET  /metrics                                Prometheus text exposition (all layers)
 //	GET  /healthz                                liveness (200 while the process serves)
@@ -63,9 +64,17 @@
 // bracket the distance by landmark triangulation without touching the edge
 // relation, so they stay microsecond-fast while exact searches run.
 //
+// With -data-dir the server is durable: every mutation batch is logged to
+// a write-ahead log (fsynced before it applies), POST /admin/snapshot and
+// the -snapshot-every ticker write versioned snapshots of the graph and
+// every built index, and startup hydrates from the newest snapshot plus
+// the WAL suffix — skipping CSV ingest and every index rebuild — falling
+// back to -gen/-load only when the directory holds no snapshot yet.
+//
 // Examples:
 //
 //	spdbd -gen power:20000:3 -lthd 20 -landmarks 16 -labels -addr :8080
+//	spdbd -gen power:20000:3 -lthd 20 -data-dir /var/lib/spdb -snapshot-every 5m
 //	curl -X POST localhost:8080/query -d '{"source":17,"target":4711,"timeout_ms":250}'
 //	curl -X POST localhost:8080/query -d '{"source":17,"target":4711,"max_rel_error":0.1}'
 //	curl 'localhost:8080/shortest-path?s=17&t=4711'
@@ -474,6 +483,27 @@ func (sv *server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleSnapshot serves POST /admin/snapshot: write a versioned snapshot
+// of the graph and every built index right now. 409 when the server runs
+// without -data-dir. A snapshot of an unmoved graph version reports
+// skipped=true and costs nothing.
+func (sv *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sv.requests.Add(1)
+	if r.Method != http.MethodPost {
+		sv.errors.Add(1)
+		w.Header().Set("Allow", "POST")
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use POST"})
+		return
+	}
+	st, err := sv.eng.Snapshot(r.Context())
+	if err != nil {
+		sv.errors.Add(1)
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
 // runBatch answers a request set through the engine's worker pool under
 // ctx and renders the shared batch response shape. trace attaches the
 // ?debug=trace stage timeline to every item.
@@ -794,6 +824,9 @@ func (sv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// vs exclusive drains), the scratch-table pool, and the optimistic
 		// snapshot machinery's retry/degrade counters.
 		"concurrency": sv.eng.ConcurrencyStats(),
+		// durability reports the WAL and snapshot counters (zero-valued
+		// without -data-dir).
+		"durability": sv.eng.DurabilityStats(),
 		"cache": map[string]any{
 			"hits":          cacheStats.Hits,
 			"misses":        cacheStats.Misses,
@@ -847,6 +880,9 @@ func main() {
 		drainDur = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 		slowThd  = flag.Duration("slow-query", 0, "log queries slower than this to /debug/slowlog (0 disables)")
 		slowCap  = flag.Int("slow-query-log", obs.DefaultSlowLogSize, "slow-query ring capacity")
+		dataDir  = flag.String("data-dir", "", "durability directory: WAL every mutation, hydrate from snapshots at startup")
+		snapEvry = flag.Duration("snapshot-every", 0, "write a snapshot at this interval (-data-dir only, 0 disables)")
+		snapExit = flag.Bool("snapshot-on-exit", true, "write a final snapshot during graceful shutdown (-data-dir only)")
 	)
 	flag.Parse()
 
@@ -858,7 +894,9 @@ func main() {
 	case *load != "":
 		g, err = graph.LoadFile(*load)
 	default:
-		fail("need -gen or -load (try -gen power:10000:3)")
+		if *dataDir == "" {
+			fail("need -gen or -load (try -gen power:10000:3), or -data-dir with a snapshot")
+		}
 	}
 	if err != nil {
 		fail("%v", err)
@@ -873,13 +911,44 @@ func main() {
 		fail("%v", err)
 	}
 	defer db.Close()
-	eng := core.NewEngine(db, core.Options{CacheSize: *cacheSz})
-	defer eng.Close()
-	fmt.Printf("spdbd: loading graph (%d nodes, %d edges)...\n", g.N, g.M())
-	if err := eng.LoadGraph(g); err != nil {
-		fail("load: %v", err)
+	engOpts := core.Options{CacheSize: *cacheSz, DataDir: *dataDir}
+
+	// Startup prefers hydration: the newest snapshot plus the WAL suffix
+	// restores the graph AND every index recorded in the manifest without
+	// re-ingesting CSV or rebuilding anything. Only when the data
+	// directory holds no snapshot yet does the server fall back to
+	// -gen/-load, and then it writes the first snapshot itself (below) so
+	// the next start hydrates.
+	var eng *core.Engine
+	if *dataDir != "" {
+		e, err := core.OpenFromSnapshot(db, engOpts)
+		switch {
+		case err == nil:
+			eng = e
+			ds := eng.DurabilityStats()
+			fmt.Printf("spdbd: hydrated %d nodes / %d edges from snapshot v%d (+%d WAL records replayed)\n",
+				eng.Nodes(), eng.Edges(), ds.LastSnapshotVersion, ds.ReplayedRecords)
+		case errors.Is(err, core.ErrNoSnapshot):
+			if g == nil {
+				fail("%v (and no -gen/-load to fall back to)", err)
+			}
+			fmt.Printf("spdbd: no snapshot in %s, loading from scratch\n", *dataDir)
+		default:
+			fail("hydrate: %v", err)
+		}
 	}
-	if *lthd > 0 || alg == core.AlgBSEG {
+	if eng == nil {
+		eng = core.NewEngine(db, engOpts)
+		fmt.Printf("spdbd: loading graph (%d nodes, %d edges)...\n", g.N, g.M())
+		if err := eng.LoadGraph(g); err != nil {
+			fail("load: %v", err)
+		}
+	}
+	defer eng.Close()
+
+	// Index builds run only when requested AND missing: a hydrated engine
+	// already carries every index its snapshot recorded.
+	if (*lthd > 0 || alg == core.AlgBSEG) && eng.SegLthd() == 0 {
 		th := *lthd
 		if th <= 0 {
 			th = 20
@@ -891,7 +960,7 @@ func main() {
 		}
 		fmt.Printf("spdbd: %s\n", st)
 	}
-	if *lmk > 0 || alg == core.AlgALT {
+	if (*lmk > 0 || alg == core.AlgALT) && eng.Oracle() == nil {
 		strat, err := oracle.ParseStrategy(*lmkStrat)
 		if err != nil {
 			fail("%v", err)
@@ -907,13 +976,24 @@ func main() {
 		}
 		fmt.Printf("spdbd: %s\n", st)
 	}
-	if *lbls || alg == core.AlgLabel {
+	if (*lbls || alg == core.AlgLabel) && eng.Labels() == nil {
 		fmt.Println("spdbd: building hub-label index...")
 		st, err := eng.BuildLabels()
 		if err != nil {
 			fail("labels: %v", err)
 		}
 		fmt.Printf("spdbd: %s\n", st)
+	}
+	if *dataDir != "" {
+		// Persist the startup state (fresh load, or hydration plus any
+		// just-built indexes); skipped for free when nothing moved. A
+		// failure here is a warning, not fatal: the WAL still guards every
+		// mutation, only hydration speed is lost.
+		if st, err := eng.Snapshot(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "spdbd: warning: startup snapshot failed: %v\n", err)
+		} else if !st.Skipped {
+			fmt.Printf("spdbd: snapshot v%d written (%d tables, %d bytes)\n", st.Version, st.Tables, st.Bytes)
+		}
 	}
 
 	sv := &server{eng: eng, defaultAlg: alg, start: time.Now()}
@@ -929,6 +1009,7 @@ func main() {
 	mux.HandleFunc("/shortest-path", sv.handleShortestPath)
 	mux.HandleFunc("/distance", sv.handleDistance)
 	mux.HandleFunc("/edges", sv.handleEdges)
+	mux.HandleFunc("/admin/snapshot", sv.handleSnapshot)
 	mux.HandleFunc("/stats", sv.handleStats)
 	mux.HandleFunc("/metrics", sv.handleMetrics)
 	mux.HandleFunc("/healthz", sv.handleHealthz)
@@ -938,9 +1019,37 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Periodic snapshots run until shutdown begins; the Snapshot skip
+	// logic makes idle ticks free.
+	snapCtx, stopSnaps := context.WithCancel(ctx)
+	var snapWG sync.WaitGroup
+	if *dataDir != "" && *snapEvry > 0 {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			tick := time.NewTicker(*snapEvry)
+			defer tick.Stop()
+			for {
+				select {
+				case <-snapCtx.Done():
+					return
+				case <-tick.C:
+					if st, err := sv.eng.Snapshot(snapCtx); err != nil {
+						fmt.Fprintf(os.Stderr, "spdbd: warning: periodic snapshot failed: %v\n", err)
+					} else if !st.Skipped {
+						fmt.Printf("spdbd: snapshot v%d written (%d tables, %d bytes)\n",
+							st.Version, st.Tables, st.Bytes)
+					}
+				}
+			}
+		}()
+	}
+
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
-	fmt.Printf("spdbd: serving %s on %s (default algorithm %s)\n", describeGraph(g), *addr, alg)
+	fmt.Printf("spdbd: serving graph with %d nodes / %d edges on %s (default algorithm %s)\n",
+		eng.Nodes(), eng.Edges(), *addr, alg)
 
 	select {
 	case err := <-done:
@@ -948,17 +1057,33 @@ func main() {
 			fail("%v", err)
 		}
 	case <-ctx.Done():
+		// Graceful shutdown, in order:
+		//  1. srv.Shutdown drains in-flight requests (bounded by -drain) —
+		//     every accepted mutation is already WAL-fsynced when its
+		//     handler responds, so nothing accepted can be lost after this.
+		//  2. The periodic snapshot ticker stops (and is awaited), so no
+		//     snapshot races the exit snapshot.
+		//  3. An optional exit snapshot persists everything since the last
+		//     one — the next start hydrates instead of replaying the WAL.
+		//  4. The deferred eng.Close runs last: final WAL fsync+close, then
+		//     session and database teardown (buffer-pool flush).
 		fmt.Println("spdbd: shutting down...")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainDur)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			fail("shutdown: %v", err)
 		}
+		stopSnaps()
+		snapWG.Wait()
+		if *dataDir != "" && *snapExit {
+			if st, err := sv.eng.Snapshot(context.Background()); err != nil {
+				fmt.Fprintf(os.Stderr, "spdbd: warning: exit snapshot failed: %v\n", err)
+			} else if !st.Skipped {
+				fmt.Printf("spdbd: exit snapshot v%d written\n", st.Version)
+			}
+		}
 		fmt.Printf("spdbd: served %d queries in %d requests (%d errors)\n",
 			sv.served.Load(), sv.requests.Load(), sv.errors.Load())
 	}
-}
-
-func describeGraph(g *graph.Graph) string {
-	return fmt.Sprintf("graph with %d nodes / %d edges", g.N, g.M())
+	stopSnaps()
 }

@@ -279,6 +279,7 @@ func Experiments() []struct {
 		{"mutation-throughput", RunMutationThroughput, "Mutations: insert/delete/update repair + batch throughput"},
 		{"planner", RunPlanner, "Planner: AlgAuto vs hand-picked algorithm latency + decision mix"},
 		{"prepared", RunPrepared, "Prepared statements: plan-cache execution vs statement-at-a-time re-parse"},
+		{"recovery", RunRecovery, "Durability: cold CSV re-ingest + rebuild vs snapshot hydrate + WAL replay"},
 	}
 }
 

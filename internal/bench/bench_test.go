@@ -14,8 +14,8 @@ func tinyConfig() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 31 {
-		t.Fatalf("expected 31 experiments, got %d", len(exps))
+	if len(exps) != 32 {
+		t.Fatalf("expected 32 experiments, got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -116,6 +116,16 @@ func TestRunOracleALT(t *testing.T) {
 func TestRunOracleApprox(t *testing.T) { runAndCheck(t, "oracle-approx", 6) }
 
 func TestRunLabels(t *testing.T) { runAndCheck(t, "labels", 5) }
+
+func TestRunRecovery(t *testing.T) {
+	tab := runAndCheck(t, "recovery", 4)
+	// The last row is the cold-total / hydrate-total speedup.
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[1] != "speedup" {
+		t.Fatalf("expected a speedup row, got %v", last)
+	}
+	t.Logf("recovery speedup: %s", last[2])
+}
 
 // TestRunPlanner smoke-tests the auto-vs-manual experiment: four rows
 // (BSDJ, BSEG, ALT, Auto), and the Auto row carries a planner decision mix

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/rdb"
+)
+
+// The hydration benchmark: how fast does a replica come up from a
+// snapshot + WAL suffix versus the cold path (CSV re-ingest plus a full
+// SegTable and oracle rebuild)? This is the number the fleet-hydration
+// design is judged by — BENCH_recovery.json records it per commit.
+
+// RunRecovery measures cold replica startup against snapshot hydration
+// over the same durable state.
+func RunRecovery(c Config) (*Table, error) {
+	n := c.scale(4000)
+	lthd := int64(20)
+	k := 4
+	g := graph.Power(n, 3, c.Seed)
+
+	work, err := os.MkdirTemp(c.dataDir(), "fem_recovery_")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(work)
+	csvPath := filepath.Join(work, "graph.csv")
+	if err := g.SaveFile(csvPath); err != nil {
+		return nil, err
+	}
+	dataDir := filepath.Join(work, "data")
+
+	// Phase 0 (untimed): a durable primary builds the state both startup
+	// paths will restore — load, SegTable, oracle, snapshot, then a few
+	// post-snapshot mutation batches so hydration also replays a WAL
+	// suffix, exactly like a crashed or rolling-restarted replica.
+	c.logf("recovery: building durable state (n=%d, lthd=%d, k=%d)", n, lthd, k)
+	primary, err := makeEngine(g, rdb.Options{}, core.Options{DataDir: dataDir})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := primary.eng.BuildSegTable(lthd); err != nil {
+		primary.close()
+		return nil, err
+	}
+	if _, err := primary.eng.BuildOracle(oracle.Config{K: k}); err != nil {
+		primary.close()
+		return nil, err
+	}
+	if _, err := primary.eng.Snapshot(context.Background()); err != nil {
+		primary.close()
+		return nil, err
+	}
+	for i := int64(0); i < 4; i++ {
+		m := core.Mutation{Op: core.MutInsert, From: i, To: (i*37 + 11) % n, Weight: 3 + i}
+		if _, err := primary.eng.ApplyMutations([]core.Mutation{m}); err != nil {
+			primary.close()
+			return nil, err
+		}
+	}
+	primary.close()
+
+	// Cold path, timed phase by phase: parse the CSV, bulk-load the
+	// relations, rebuild both indexes from scratch.
+	c.logf("recovery: cold path (CSV + rebuild)")
+	t0 := time.Now()
+	g2, err := graph.LoadFile(csvPath)
+	if err != nil {
+		return nil, err
+	}
+	parseDur := time.Since(t0)
+	t1 := time.Now()
+	cold, err := makeEngine(g2, rdb.Options{}, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer cold.close()
+	loadDur := time.Since(t1)
+	t2 := time.Now()
+	if _, err := cold.eng.BuildSegTable(lthd); err != nil {
+		return nil, err
+	}
+	segDur := time.Since(t2)
+	t3 := time.Now()
+	if _, err := cold.eng.BuildOracle(oracle.Config{K: k}); err != nil {
+		return nil, err
+	}
+	orcDur := time.Since(t3)
+	coldTotal := time.Since(t0)
+
+	// Hydrate path, timed as one unit: open a fresh database and restore
+	// snapshot + WAL suffix. Indexes come back from the manifest.
+	c.logf("recovery: hydrate path (snapshot + WAL replay)")
+	t4 := time.Now()
+	hdb, err := rdb.Open(rdb.Options{})
+	if err != nil {
+		return nil, err
+	}
+	heng, err := core.OpenFromSnapshot(hdb, core.Options{DataDir: dataDir})
+	if err != nil {
+		hdb.Close()
+		return nil, fmt.Errorf("hydrate: %w", err)
+	}
+	hydrateDur := time.Since(t4)
+	defer heng.Close()
+	ds := heng.DurabilityStats()
+	// The SegTable must come back from the manifest (replayed batches
+	// repair it in place); the oracle was restored too, then went cold
+	// during replay exactly as it did on the primary — the mutation path
+	// invalidates it, and a faithful replay must re-enact that.
+	if heng.SegLthd() != lthd || !heng.OracleInvalidated() {
+		return nil, fmt.Errorf("hydrated replica state off (lthd=%d, oracle invalidated=%v)",
+			heng.SegLthd(), heng.OracleInvalidated())
+	}
+
+	speedup := float64(coldTotal) / float64(hydrateDur)
+	tab := &Table{
+		ID:     "recovery",
+		Title:  fmt.Sprintf("replica startup, Power n=%d: CSV re-ingest + rebuild vs snapshot hydrate", n),
+		Header: []string{"path", "phase", "time ms", "notes"},
+		Rows: [][]string{
+			{"cold", "csv parse", ms(parseDur), fmt.Sprintf("%d edges", g2.M())},
+			{"cold", "bulk load", ms(loadDur), ""},
+			{"cold", "build segtable", ms(segDur), fmt.Sprintf("lthd=%d", lthd)},
+			{"cold", "build oracle", ms(orcDur), fmt.Sprintf("k=%d", k)},
+			{"cold", "total", ms(coldTotal), ""},
+			{"hydrate", "total", ms(hydrateDur),
+				fmt.Sprintf("snapshot v%d + %d WAL records", ds.LastSnapshotVersion, ds.ReplayedRecords)},
+			{"", "speedup", fmt.Sprintf("%.1fx", speedup), "cold total / hydrate total"},
+		},
+	}
+	return tab, nil
+}

@@ -49,6 +49,11 @@ type SoakConfig struct {
 	MutateBatch int
 	// CacheSize for the engine (0 = default).
 	CacheSize int
+	// DataDir arms the durability subsystem: mutations are WAL-fsynced
+	// before applying, an initial snapshot is taken after load, and each
+	// window reports the share of mutation wall time spent in WAL fsync
+	// (empty = no durability, WAL share reads 0).
+	DataDir string
 }
 
 // DefaultSoakConfig sizes a run that finishes in seconds; CI's smoke run
@@ -85,6 +90,11 @@ type SoakWindow struct {
 	// GateShare is total admission wait / total query latency in the
 	// window: the fraction of observed latency spent queued, not searching.
 	GateShare float64 `json:"gate_share"`
+	// WALShare is total WAL fsync time / total mutation wall time in the
+	// window (0 without SoakConfig.DataDir): how much of the write path
+	// durability costs, reported alongside gate wait so operators can tell
+	// "mutations got slower" apart from "fsync got slower".
+	WALShare float64 `json:"wal_share"`
 }
 
 // SoakResult is the full run.
@@ -107,6 +117,14 @@ type soakSample struct {
 	err    bool
 }
 
+// soakMutSample is one applied mutation batch: wall time and the WAL
+// fsync time inside it (0 without durability).
+type soakMutSample struct {
+	offset  time.Duration
+	wall    time.Duration
+	walSync time.Duration
+}
+
 // RunSoak executes the sustained-load profile.
 func RunSoak(cfg SoakConfig, logf func(format string, args ...any)) (*SoakResult, error) {
 	if logf == nil {
@@ -124,7 +142,7 @@ func RunSoak(cfg SoakConfig, logf func(format string, args ...any)) (*SoakResult
 		return nil, err
 	}
 	defer db.Close()
-	eng := core.NewEngine(db, core.Options{CacheSize: cfg.CacheSize})
+	eng := core.NewEngine(db, core.Options{CacheSize: cfg.CacheSize, DataDir: cfg.DataDir})
 	defer eng.Close()
 	logf("soak: loading power graph (%d nodes, %d edges)", g.N, g.M())
 	if err := eng.LoadGraph(g); err != nil {
@@ -136,15 +154,24 @@ func RunSoak(cfg SoakConfig, logf func(format string, args ...any)) (*SoakResult
 			return nil, err
 		}
 	}
+	if cfg.DataDir != "" {
+		// Snapshot the loaded state so the run measures steady-state WAL
+		// appends, not a log growing over an uncaptured base.
+		logf("soak: durability armed (%s), writing initial snapshot", cfg.DataDir)
+		if _, err := eng.Snapshot(context.Background()); err != nil {
+			return nil, err
+		}
+	}
 	pairs := graph.RandomQueries(g, cfg.Pairs, cfg.Seed+1)
 
 	res := &SoakResult{}
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
 	defer cancel()
 	var (
-		mu      sync.Mutex
-		samples []soakSample
-		wg      sync.WaitGroup
+		mu         sync.Mutex
+		samples    []soakSample
+		mutSamples []soakMutSample
+		wg         sync.WaitGroup
 	)
 	t0 := time.Now()
 
@@ -187,6 +214,9 @@ func RunSoak(cfg SoakConfig, logf func(format string, args ...any)) (*SoakResult
 			rng := rand.New(rand.NewSource(cfg.Seed + 104729))
 			tick := time.NewTicker(cfg.MutateEvery)
 			defer tick.Stop()
+			// The single mutator is the only WAL appender, so the fsync-time
+			// delta across one batch is exactly that batch's fsync cost.
+			prevSync := eng.DurabilityStats().WAL.SyncTime
 			var churn [][2]int64 // inserted chords awaiting deletion
 			// occupied tracks every (from, to) pair with a live edge: the
 			// initial graph plus chords not yet deleted. Churn chords must
@@ -224,8 +254,14 @@ func RunSoak(cfg SoakConfig, logf func(format string, args ...any)) (*SoakResult
 					muts = append(muts, core.Mutation{Op: core.MutDelete, From: old[0], To: old[1]})
 					delete(occupied, old)
 				}
+				b0 := time.Now()
 				st, merr := eng.ApplyMutations(muts)
+				wall := time.Since(b0)
+				syncNow := eng.DurabilityStats().WAL.SyncTime
+				msamp := soakMutSample{offset: time.Since(t0) - wall, wall: wall, walSync: syncNow - prevSync}
+				prevSync = syncNow
 				mu.Lock()
+				mutSamples = append(mutSamples, msamp)
 				if st != nil {
 					res.Mutations += st.Applied
 				}
@@ -254,6 +290,17 @@ func RunSoak(cfg SoakConfig, logf func(format string, args ...any)) (*SoakResult
 		}
 		byWin[w] = append(byWin[w], s)
 	}
+	byMutWin := make([][]soakMutSample, n)
+	for _, s := range mutSamples {
+		w := int(s.offset / cfg.Window)
+		if w < 0 {
+			w = 0
+		}
+		if w >= n {
+			w = n - 1
+		}
+		byMutWin[w] = append(byMutWin[w], s)
+	}
 	for w, ws := range byWin {
 		// The final window may be truncated by the deadline; QPS must divide
 		// by the span it actually covers, not the nominal window width.
@@ -266,14 +313,30 @@ func RunSoak(cfg SoakConfig, logf func(format string, args ...any)) (*SoakResult
 		sw.Index = w
 		sw.StartMS = start.Milliseconds()
 		sw.EndMS = end.Milliseconds()
+		sw.WALShare = walShare(byMutWin[w])
 		res.Windows = append(res.Windows, sw)
-		logf("soak: window %d [%d-%dms]: %d queries (%.0f/sec), p50 %dus p95 %dus p99 %dus, gate %.1f%%, %d errors",
-			w, sw.StartMS, sw.EndMS, sw.Queries, sw.QPS, sw.P50US, sw.P95US, sw.P99US, 100*sw.GateShare, sw.Errors)
+		logf("soak: window %d [%d-%dms]: %d queries (%.0f/sec), p50 %dus p95 %dus p99 %dus, gate %.1f%%, wal %.1f%%, %d errors",
+			w, sw.StartMS, sw.EndMS, sw.Queries, sw.QPS, sw.P50US, sw.P95US, sw.P99US, 100*sw.GateShare, 100*sw.WALShare, sw.Errors)
 	}
 	res.Overall = aggregateWindow(samples, res.Elapsed)
 	res.Overall.Index = -1
 	res.Overall.EndMS = res.Elapsed.Milliseconds()
+	res.Overall.WALShare = walShare(mutSamples)
 	return res, nil
+}
+
+// walShare is total WAL fsync time over total mutation wall time for a
+// sample set (0 with no mutations or no durability).
+func walShare(samples []soakMutSample) float64 {
+	var wall, fsync time.Duration
+	for _, s := range samples {
+		wall += s.wall
+		fsync += s.walSync
+	}
+	if wall <= 0 {
+		return 0
+	}
+	return float64(fsync) / float64(wall)
 }
 
 // pickChord draws a churn chord (from, to) colliding with no live edge:
@@ -330,13 +393,19 @@ func SoakTable(cfg SoakConfig, r *SoakResult) *Table {
 		ID: "soak",
 		Title: fmt.Sprintf("Sustained load, %s over power(%d,%d), %d clients, %v in %v windows, mutations every %v",
 			cfg.Alg, cfg.Nodes, cfg.AvgDegree, cfg.Clients, cfg.Duration, cfg.Window, cfg.MutateEvery),
-		Header: []string{"window", "queries", "errors", "queries/sec", "p50", "p95", "p99", "max", "gate share"},
+		Header: []string{"window", "queries", "errors", "queries/sec", "p50", "p95", "p99", "max", "gate share", "wal share"},
+	}
+	wal := func(w SoakWindow) string {
+		if cfg.DataDir == "" {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*w.WALShare)
 	}
 	row := func(name string, w SoakWindow) []string {
 		return []string{
 			name, fmt.Sprint(w.Queries), fmt.Sprint(w.Errors), fmt.Sprintf("%.0f", w.QPS),
 			us(w.P50US), us(w.P95US), us(w.P99US), us(w.MaxUS),
-			fmt.Sprintf("%.1f%%", 100*w.GateShare),
+			fmt.Sprintf("%.1f%%", 100*w.GateShare), wal(w),
 		}
 	}
 	for _, w := range r.Windows {
@@ -380,6 +449,7 @@ func WriteSoakJSON(dir string, cfg SoakConfig, r *SoakResult) (string, error) {
 			"mutate_every": cfg.MutateEvery.String(),
 			"mutate_batch": cfg.MutateBatch,
 			"seed":         cfg.Seed,
+			"durable":      cfg.DataDir != "",
 		},
 		Windows:        r.Windows,
 		Overall:        r.Overall,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -169,6 +170,14 @@ type Options struct {
 	// dropping every set on release (exercises the drop path; the
 	// cancellation-leak tests run in this mode).
 	ScratchRetain int
+	// DataDir arms the durability subsystem (durability.go): every
+	// ApplyMutations batch appends to an fsynced write-ahead log under this
+	// directory before touching TEdges, Engine.Snapshot writes versioned
+	// manifest-led snapshots of the graph and built indexes there, and
+	// OpenFromSnapshot hydrates a fresh engine from the newest snapshot
+	// plus the WAL suffix instead of LoadGraph + Build*. Empty disables
+	// durability (the pre-existing in-memory-only behavior).
+	DataDir string
 }
 
 // DefaultCacheSize is the path-cache capacity when Options.CacheSize is 0.
@@ -272,6 +281,10 @@ type Engine struct {
 	queryErrs   atomic.Uint64
 	building    atomic.Int32
 
+	// dur carries the durability subsystem's state (WAL, snapshot store,
+	// counters); nil unless Options.DataDir is set. See durability.go.
+	dur *durability
+
 	// stmts caches the engine's prepared statements by SQL text: every
 	// statement shape the algorithms issue is prepared once per engine and
 	// re-executed with fresh bound parameters. Statement texts are stable
@@ -299,6 +312,9 @@ func NewEngine(db *rdb.DB, opts Options) *Engine {
 	e.gateWaitDur = obs.NewHistogram(obs.DefLatencyBuckets...)
 	if opts.MaxIters < 0 {
 		e.optErr = fmt.Errorf("core: Options.MaxIters must be non-negative, got %d", opts.MaxIters)
+	}
+	if opts.DataDir != "" {
+		e.dur = &durability{dir: opts.DataDir}
 	}
 	if opts.CacheSize > 0 {
 		e.cache = newPathCache(opts.CacheSize)
@@ -331,9 +347,30 @@ func (e *Engine) unlockShared() { e.gate.unlockShared() }
 // DB exposes the underlying database.
 func (e *Engine) DB() *rdb.DB { return e.db }
 
-// Close releases the engine's own DB session so ActiveSessions accounting
-// stays meaningful. It does not close the underlying database.
-func (e *Engine) Close() error { return e.sess.Close() }
+// Close shuts the engine down durably: the WAL (when armed) takes a final
+// fsync and releases its file, the engine's DB session closes so
+// ActiveSessions accounting stays meaningful, and the underlying database
+// closes — flushing every dirty buffer-pool page and releasing the disk
+// manager — so a clean shutdown leaves recoverable on-disk state.
+// DB.Close is idempotent, so callers that also close the database
+// themselves keep working.
+func (e *Engine) Close() error {
+	var errs []error
+	if e.dur != nil {
+		if log := e.dur.walLog(); log != nil {
+			if err := log.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	if err := e.sess.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := e.db.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
 
 // Options returns the engine configuration.
 func (e *Engine) Options() Options {

@@ -44,22 +44,13 @@ func (e *Engine) BuildLabelsContext(ctx context.Context) (*labels.BuildStats, er
 	if e.Nodes() == 0 {
 		return nil, fmt.Errorf("core: no graph loaded")
 	}
-	var mode labels.IndexMode
-	switch e.opts.Strategy {
-	case ClusteredIndex:
-		mode = labels.IndexClustered
-	case SecondaryIndex:
-		mode = labels.IndexSecondary
-	case NoIndex:
-		mode = labels.IndexNone
-	}
 	params := labels.Params{
 		NodesTable: TblNodes,
 		EdgesTable: TblEdges,
 		WMin:       e.WMin(),
 		MaxIters:   e.maxIters(),
 		UseMerge:   e.db.Profile().SupportsMerge && !e.opts.TraditionalSQL,
-		Index:      mode,
+		Index:      e.labelIndexMode(),
 	}
 	// Invalidate before touching the label relations: a rebuild over a
 	// live index must make concurrent planning refuse cleanly rather than

@@ -60,38 +60,11 @@ func (e *Engine) LoadGraph(g *graph.Graph) error {
 	e.mu.Unlock()
 	// Reloading replaces any previously loaded graph (and its index):
 	// drop the old tables so a serving engine can swap graphs in place.
-	dropList := append([]string{TblNodes, TblEdges, TblVisited, TblExpand,
-		TblExpCost, TblOutSegs, TblInSegs, TblSeg}, oracle.Tables()...)
-	dropList = append(dropList, labels.Tables()...)
-	for _, tbl := range dropList {
-		if _, ok := e.db.Catalog().Get(tbl); ok {
-			if _, err := db.Exec("DROP TABLE " + tbl); err != nil {
-				return err
-			}
-		}
+	if err := e.dropAllTables(); err != nil {
+		return err
 	}
-	stmts := []string{
-		"CREATE TABLE " + TblNodes + " (nid INT PRIMARY KEY)",
-		"CREATE TABLE " + TblEdges + " (fid INT, tid INT, cost INT)",
-	}
-	switch e.opts.Strategy {
-	case ClusteredIndex:
-		stmts = append(stmts,
-			"CREATE CLUSTERED INDEX tedges_fid ON "+TblEdges+" (fid)",
-			"CREATE INDEX tedges_tid ON "+TblEdges+" (tid)",
-		)
-	case SecondaryIndex:
-		stmts = append(stmts,
-			"CREATE INDEX tedges_fid ON "+TblEdges+" (fid)",
-			"CREATE INDEX tedges_tid ON "+TblEdges+" (tid)",
-		)
-	case NoIndex:
-		// bare heap
-	}
-	for _, s := range stmts {
-		if _, err := db.Exec(s); err != nil {
-			return err
-		}
+	if err := e.createGraphTables(); err != nil {
+		return err
 	}
 	if err := e.createVisitedTables(); err != nil {
 		return err
@@ -166,6 +139,55 @@ func (e *Engine) LoadGraph(g *graph.Graph) error {
 	e.nodes = int(g.N)
 	e.edges = g.M()
 	e.mu.Unlock()
+	// Arm (or re-arm) durability for the fresh graph. The WAL resets: its
+	// old records describe mutations over a different base and must never
+	// replay on top of this one.
+	return e.armDurabilityLocked(true)
+}
+
+// dropAllTables drops every engine-owned relation that exists — graph,
+// working set, SegTable, oracle, labels — so a reload or snapshot
+// hydration starts from a clean catalog.
+func (e *Engine) dropAllTables() error {
+	dropList := append([]string{TblNodes, TblEdges, TblVisited, TblExpand,
+		TblExpCost, TblOutSegs, TblInSegs, TblSeg}, oracle.Tables()...)
+	dropList = append(dropList, labels.Tables()...)
+	for _, tbl := range dropList {
+		if _, ok := e.db.Catalog().Get(tbl); ok {
+			if _, err := e.sess.Exec("DROP TABLE " + tbl); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// createGraphTables creates TNodes and TEdges under the engine's index
+// strategy (Fig 8(c)'s physical-design axis).
+func (e *Engine) createGraphTables() error {
+	stmts := []string{
+		"CREATE TABLE " + TblNodes + " (nid INT PRIMARY KEY)",
+		"CREATE TABLE " + TblEdges + " (fid INT, tid INT, cost INT)",
+	}
+	switch e.opts.Strategy {
+	case ClusteredIndex:
+		stmts = append(stmts,
+			"CREATE CLUSTERED INDEX tedges_fid ON "+TblEdges+" (fid)",
+			"CREATE INDEX tedges_tid ON "+TblEdges+" (tid)",
+		)
+	case SecondaryIndex:
+		stmts = append(stmts,
+			"CREATE INDEX tedges_fid ON "+TblEdges+" (fid)",
+			"CREATE INDEX tedges_tid ON "+TblEdges+" (tid)",
+		)
+	case NoIndex:
+		// bare heap
+	}
+	for _, s := range stmts {
+		if _, err := e.sess.Exec(s); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -148,6 +148,36 @@ func (e *Engine) CollectMetrics(x *obs.Exporter) {
 	x.Counter("spdb_label_invalidations_total",
 		"Mutations that sent a built hub-label index cold.", float64(ms.LabelInvalidations))
 
+	ds := e.DurabilityStats()
+	x.Gauge("spdb_wal_armed",
+		"1 while a mutation WAL is armed (Options.DataDir set and a graph loaded).", b2f(ds.Armed))
+	x.Counter("spdb_wal_records_total",
+		"Mutation batches appended to the write-ahead log.", float64(ds.WAL.Appends))
+	x.Counter("spdb_wal_bytes_total", "Framed bytes appended to the WAL.", float64(ds.WAL.Bytes))
+	x.Counter("spdb_wal_fsyncs_total",
+		"WAL fsyncs issued (group commit keeps this at or below records).", float64(ds.WAL.Syncs))
+	x.Counter("spdb_wal_fsync_seconds_total",
+		"Total time spent in WAL fsync.", ds.WAL.SyncTime.Seconds())
+	x.Gauge("spdb_wal_size_bytes", "Current WAL length.", float64(ds.WAL.Size))
+	x.Counter("spdb_wal_resets_total",
+		"WAL truncations to empty (one per committed snapshot).", float64(ds.WAL.Resets))
+	x.Counter("spdb_snapshot_writes_total", "Committed snapshot writes.", float64(ds.Snapshots))
+	x.Counter("spdb_snapshot_skips_total",
+		"Snapshot calls skipped because the graph version had not moved.", float64(ds.SnapshotSkips))
+	x.Counter("spdb_snapshot_bytes_total",
+		"Chunk bytes written by committed snapshots.", float64(ds.SnapshotBytes))
+	x.Counter("spdb_snapshot_seconds_total",
+		"Wall time spent writing snapshots.", ds.SnapshotTime.Seconds())
+	x.Gauge("spdb_snapshot_last_version",
+		"Graph version of the newest committed (or hydrated-from) snapshot.",
+		float64(ds.LastSnapshotVersion))
+	x.Counter("spdb_snapshot_gc_removed_total",
+		"Superseded snapshot versions reclaimed by GC.", float64(ds.GCRemoved))
+	x.Counter("spdb_snapshot_hydrations_total",
+		"Engine hydrations from a snapshot.", float64(ds.Hydrations))
+	x.Counter("spdb_snapshot_replayed_records_total",
+		"WAL records replayed on top of hydrated snapshots.", float64(ds.ReplayedRecords))
+
 	e.mu.RLock()
 	nodes, edges, version := e.nodes, e.edges, e.version
 	segBuilt, orcValid, orcStale := e.segBuilt, e.orc != nil, e.orcStale

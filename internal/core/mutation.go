@@ -192,6 +192,14 @@ func (e *Engine) applyMutations(muts []Mutation, batch bool) (*MaintStats, error
 		return nil, err
 	}
 	defer e.unlockQuery()
+	return e.applyMutationsLocked(ctx, muts, batch)
+}
+
+// applyMutationsLocked is the batch body; callers hold the exclusive gate.
+// Split out so WAL replay (durability.go) — which already holds the gate
+// across the whole hydration — can re-apply logged batches without a
+// deadlocking second acquisition.
+func (e *Engine) applyMutationsLocked(ctx context.Context, muts []Mutation, batch bool) (*MaintStats, error) {
 	nodes := e.Nodes()
 	if nodes == 0 {
 		return nil, fmt.Errorf("core: no graph loaded")
@@ -209,6 +217,17 @@ func (e *Engine) applyMutations(muts []Mutation, batch bool) (*MaintStats, error
 		default:
 			return nil, fmt.Errorf("core: mutation %d: unknown op %v", i, m.Op)
 		}
+	}
+	// Write-ahead: the whole validated batch is logged and fsynced before
+	// the first statement touches TEdges, so a crash at any later point
+	// replays to the same state — including the applied prefix of a batch
+	// that fails mid-way, since re-applying the logged batch reproduces the
+	// same failure at the same mutation. An append failure applies nothing.
+	// The record's version is what the batch will commit as: bumps happen
+	// only under the exclusive gate, which we hold, so e.version + 1 is
+	// stable here.
+	if err := e.walAppendLocked(muts); err != nil {
+		return nil, err
 	}
 
 	st := &MaintStats{}

@@ -44,15 +44,6 @@ func (e *Engine) BuildOracleContext(ctx context.Context, cfg oracle.Config) (*or
 	if cfg.K < 0 {
 		return nil, fmt.Errorf("core: landmark count must be non-negative, got %d (0 selects the default of %d)", cfg.K, oracle.DefaultK)
 	}
-	var mode oracle.IndexMode
-	switch e.opts.Strategy {
-	case ClusteredIndex:
-		mode = oracle.IndexClustered
-	case SecondaryIndex:
-		mode = oracle.IndexSecondary
-	case NoIndex:
-		mode = oracle.IndexNone
-	}
 	params := oracle.Params{
 		Config:     cfg,
 		NodesTable: TblNodes,
@@ -60,7 +51,7 @@ func (e *Engine) BuildOracleContext(ctx context.Context, cfg oracle.Config) (*or
 		WMin:       e.WMin(),
 		MaxIters:   e.maxIters(),
 		UseMerge:   e.db.Profile().SupportsMerge && !e.opts.TraditionalSQL,
-		Index:      mode,
+		Index:      e.oracleIndexMode(),
 	}
 	// Invalidate before touching TLandmark: ApproxDistance runs off the
 	// query latch, and a rebuild over a live oracle must make concurrent

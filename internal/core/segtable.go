@@ -142,45 +142,10 @@ func (e *Engine) buildSegTableLocked(ctx context.Context, lthd int64, bump bool)
 	e.segBuilt = false
 	e.mu.Unlock()
 	// (Re)create the index tables under the engine's strategy.
-	for _, tbl := range []string{TblOutSegs, TblInSegs, TblSeg} {
-		if _, ok := e.db.Catalog().Get(tbl); ok {
-			if _, err := db.Exec("DROP TABLE " + tbl); err != nil {
-				return nil, err
-			}
-			qs.Statements++
-		}
-	}
-	stmts := []string{
-		"CREATE TABLE " + TblOutSegs + " (fid INT, tid INT, pid INT, cost INT)",
-		"CREATE TABLE " + TblInSegs + " (fid INT, tid INT, pid INT, cost INT)",
-	}
-	switch e.opts.Strategy {
-	case ClusteredIndex:
-		stmts = append(stmts,
-			"CREATE CLUSTERED INDEX toutsegs_fid ON "+TblOutSegs+" (fid)",
-			"CREATE CLUSTERED INDEX tinsegs_tid ON "+TblInSegs+" (tid)",
-		)
-	case SecondaryIndex:
-		stmts = append(stmts,
-			"CREATE INDEX toutsegs_fid ON "+TblOutSegs+" (fid)",
-			"CREATE INDEX tinsegs_tid ON "+TblInSegs+" (tid)",
-		)
-	case NoIndex:
-		// bare heaps; probes degrade to scans, as Fig 8(c) measures.
-	}
-	// The construction working set always gets a clustered (src, nid) key:
-	// the paper's construction assumes the intermediate results are
-	// indexed ("we build indices over the relational tables for ...
-	// intermediate results").
-	stmts = append(stmts,
-		"CREATE TABLE "+TblSeg+" (src INT, nid INT, dist INT, par INT, f INT)",
-		"CREATE UNIQUE CLUSTERED INDEX tseg_key ON "+TblSeg+" (src, nid)",
-	)
-	for _, q := range stmts {
-		if _, err := db.Exec(q); err != nil {
-			return nil, err
-		}
-		qs.Statements++
+	n, err := e.createSegTables()
+	qs.Statements += n
+	if err != nil {
+		return nil, err
 	}
 
 	// Forward pass: shortest segments in the outgoing direction. par holds
@@ -220,6 +185,56 @@ func (e *Engine) buildSegTableLocked(ctx context.Context, lthd int64, bump bool)
 	}
 	e.mu.Unlock()
 	return st, nil
+}
+
+// createSegTables (re)creates TOutSegs/TInSegs and the TSeg working set
+// under the engine's strategy, returning the number of statements issued.
+// Shared by the construction path and snapshot hydration (durability.go),
+// which bulk-loads the segment rows instead of sweeping.
+func (e *Engine) createSegTables() (int, error) {
+	db := e.sess
+	n := 0
+	for _, tbl := range []string{TblOutSegs, TblInSegs, TblSeg} {
+		if _, ok := e.db.Catalog().Get(tbl); ok {
+			if _, err := db.Exec("DROP TABLE " + tbl); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	stmts := []string{
+		"CREATE TABLE " + TblOutSegs + " (fid INT, tid INT, pid INT, cost INT)",
+		"CREATE TABLE " + TblInSegs + " (fid INT, tid INT, pid INT, cost INT)",
+	}
+	switch e.opts.Strategy {
+	case ClusteredIndex:
+		stmts = append(stmts,
+			"CREATE CLUSTERED INDEX toutsegs_fid ON "+TblOutSegs+" (fid)",
+			"CREATE CLUSTERED INDEX tinsegs_tid ON "+TblInSegs+" (tid)",
+		)
+	case SecondaryIndex:
+		stmts = append(stmts,
+			"CREATE INDEX toutsegs_fid ON "+TblOutSegs+" (fid)",
+			"CREATE INDEX tinsegs_tid ON "+TblInSegs+" (tid)",
+		)
+	case NoIndex:
+		// bare heaps; probes degrade to scans, as Fig 8(c) measures.
+	}
+	// The construction working set always gets a clustered (src, nid) key:
+	// the paper's construction assumes the intermediate results are
+	// indexed ("we build indices over the relational tables for ...
+	// intermediate results").
+	stmts = append(stmts,
+		"CREATE TABLE "+TblSeg+" (src INT, nid INT, dist INT, par INT, f INT)",
+		"CREATE UNIQUE CLUSTERED INDEX tseg_key ON "+TblSeg+" (src, nid)",
+	)
+	for _, q := range stmts {
+		if _, err := db.Exec(q); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
 }
 
 // segPass runs one direction of the construction and materializes the

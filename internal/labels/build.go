@@ -118,11 +118,30 @@ func (b *builder) queryIntNull(q string, args ...any) (int64, bool, error) {
 // are created here so the engine can rely on their existence whenever a
 // label index is live.
 func (b *builder) createTables() error {
-	cat := b.sess.DB().Catalog()
+	n, err := CreateTables(b.ctx, b.sess, b.p.Index)
+	b.st.Statements += n
+	return err
+}
+
+// CreateTables (re)creates every label relation under the given index
+// mode, returning the number of statements issued. Exported so snapshot
+// hydration can restore the DDL and bulk-load the label sets without
+// running a build.
+func CreateTables(ctx context.Context, sess *rdb.Session, index IndexMode) (int, error) {
+	n := 0
+	exec := func(q string) error {
+		_, err := sess.ExecContext(ctx, q)
+		n++
+		if err != nil {
+			return fmt.Errorf("labels: %w", err)
+		}
+		return nil
+	}
+	cat := sess.DB().Catalog()
 	for _, tbl := range Tables() {
 		if _, ok := cat.Get(tbl); ok {
-			if _, err := b.exec("DROP TABLE " + tbl); err != nil {
-				return err
+			if err := exec("DROP TABLE " + tbl); err != nil {
+				return n, err
 			}
 		}
 	}
@@ -130,7 +149,7 @@ func (b *builder) createTables() error {
 		fmt.Sprintf("CREATE TABLE %s (nid INT, hub INT, dist INT)", TblOut),
 		fmt.Sprintf("CREATE TABLE %s (nid INT, hub INT, dist INT)", TblIn),
 	}
-	switch b.p.Index {
+	switch index {
 	case IndexClustered:
 		stmts = append(stmts,
 			fmt.Sprintf("CREATE UNIQUE CLUSTERED INDEX tlabelout_key ON %s (nid, hub)", TblOut),
@@ -157,11 +176,11 @@ func (b *builder) createTables() error {
 		fmt.Sprintf("CREATE UNIQUE CLUSTERED INDEX tlblfrom_nid ON %s (nid)", TblScrFrom),
 	)
 	for _, q := range stmts {
-		if _, err := b.exec(q); err != nil {
-			return err
+		if err := exec(q); err != nil {
+			return n, err
 		}
 	}
-	return nil
+	return n, nil
 }
 
 // rankDegrees materializes total degree (in + out) per node into TLblDeg —

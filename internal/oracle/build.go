@@ -135,18 +135,37 @@ func (b *builder) queryIntNull(q string, args ...any) (int64, bool, error) {
 // engine's physical design; the working tables are always clustered, like
 // the SegTable construction's TSeg.
 func (b *builder) createTables() error {
-	cat := b.sess.DB().Catalog()
+	n, err := CreateTables(b.ctx, b.sess, b.p.Index)
+	b.st.Statements += n
+	return err
+}
+
+// CreateTables (re)creates every oracle relation under the given index
+// mode, returning the number of statements issued. Exported so snapshot
+// hydration can restore the DDL and bulk-load TLandmark rows without
+// running a build.
+func CreateTables(ctx context.Context, sess *rdb.Session, index IndexMode) (int, error) {
+	n := 0
+	exec := func(q string) error {
+		_, err := sess.ExecContext(ctx, q)
+		n++
+		if err != nil {
+			return fmt.Errorf("oracle: %w", err)
+		}
+		return nil
+	}
+	cat := sess.DB().Catalog()
 	for _, tbl := range Tables() {
 		if _, ok := cat.Get(tbl); ok {
-			if _, err := b.exec("DROP TABLE " + tbl); err != nil {
-				return err
+			if err := exec("DROP TABLE " + tbl); err != nil {
+				return n, err
 			}
 		}
 	}
 	stmts := []string{
 		fmt.Sprintf("CREATE TABLE %s (lid INT, nid INT, dout INT, din INT)", TblLandmark),
 	}
-	switch b.p.Index {
+	switch index {
 	case IndexClustered:
 		stmts = append(stmts,
 			fmt.Sprintf("CREATE UNIQUE CLUSTERED INDEX tlandmark_key ON %s (nid, lid)", TblLandmark))
@@ -169,11 +188,11 @@ func (b *builder) createTables() error {
 		fmt.Sprintf("CREATE UNIQUE CLUSTERED INDEX tlmkfar_nid ON %s (nid)", TblFar),
 	)
 	for _, q := range stmts {
-		if _, err := b.exec(q); err != nil {
-			return err
+		if err := exec(q); err != nil {
+			return n, err
 		}
 	}
-	return nil
+	return n, nil
 }
 
 // rankDegrees materializes total degree (in + out) per node into TLmkDeg,

@@ -1,0 +1,298 @@
+package snapshot
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testRows(n int) [][]int64 {
+	rows := make([][]int64, n)
+	for i := range rows {
+		rows[i] = []int64{int64(i), int64(i * 2), int64(-i)}
+	}
+	return rows
+}
+
+func writeSnapshot(t *testing.T, store ChunkStore, version uint64, rows [][]int64) *Manifest {
+	t.Helper()
+	w := NewWriter(store, version, 1700000000000)
+	m := w.Manifest()
+	m.Nodes = 10
+	m.Edges = int64(len(rows))
+	m.WMin = 1
+	m.Strategy = "clustered"
+	if err := w.AddTable("TEdges", 3, rows); err != nil {
+		t.Fatalf("AddTable: %v", err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	return m
+}
+
+// TestRoundtrip: write a snapshot, read it back through Latest+ReadTable,
+// rows and metadata survive intact.
+func TestRoundtrip(t *testing.T) {
+	store, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := testRows(100)
+	writeSnapshot(t, store, 5, rows)
+
+	m, err := Latest(store)
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if m.Version != 5 || m.Edges != 100 || m.Nodes != 10 {
+		t.Fatalf("manifest %+v", m)
+	}
+	tm := m.Table("TEdges")
+	if tm == nil {
+		t.Fatal("TEdges missing from manifest")
+	}
+	got, err := ReadTable(store, tm)
+	if err != nil {
+		t.Fatalf("ReadTable: %v", err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("rows %d, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if got[i][j] != rows[i][j] {
+				t.Fatalf("row %d col %d: %d != %d", i, j, got[i][j], rows[i][j])
+			}
+		}
+	}
+}
+
+// TestEmptyTable: a zero-row table still roundtrips (one empty chunk).
+func TestEmptyTable(t *testing.T) {
+	store, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSnapshot(t, store, 1, nil)
+	m, err := Latest(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable(store, m.Table("TEdges"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d rows", len(got))
+	}
+}
+
+// TestMultiChunk: a table larger than chunkRows splits and reassembles.
+func TestMultiChunk(t *testing.T) {
+	store, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := testRows(chunkRows + 37)
+	writeSnapshot(t, store, 2, rows)
+	m, err := Latest(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := m.Table("TEdges")
+	if len(tm.Chunks) != 2 {
+		t.Fatalf("chunks %d, want 2", len(tm.Chunks))
+	}
+	got, err := ReadTable(store, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) || got[chunkRows][0] != int64(chunkRows) {
+		t.Fatalf("reassembly wrong: %d rows", len(got))
+	}
+}
+
+// TestLatestPicksHighest: Latest returns the highest complete version and
+// ignores a higher manifest-less (in-flight/failed) directory.
+func TestLatestPicksHighest(t *testing.T) {
+	store, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSnapshot(t, store, 3, testRows(5))
+	writeSnapshot(t, store, 12, testRows(8))
+
+	// Partial v20: chunks but no manifest — must be invisible.
+	w := NewWriter(store, 20, 0)
+	if err := w.AddTable("TEdges", 3, testRows(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := Latest(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 12 {
+		t.Fatalf("Latest picked v%d, want v12", m.Version)
+	}
+}
+
+// TestLatestEmpty: an empty store yields ErrNoManifest.
+func TestLatestEmpty(t *testing.T) {
+	store, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Latest(store); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("err %v, want ErrNoManifest", err)
+	}
+}
+
+// TestChunkCorruption: a flipped byte in a stored chunk fails ReadTable's
+// CRC check instead of yielding bad rows.
+func TestChunkCorruption(t *testing.T) {
+	root := t.TempDir()
+	store, err := NewDiskStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSnapshot(t, store, 1, testRows(10))
+	m, err := Latest(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := m.Table("TEdges")
+	p := filepath.Join(root, filepath.FromSlash(tm.Chunks[0].Name))
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTable(store, tm); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupted chunk read: err=%v", err)
+	}
+}
+
+// TestGC: keeps the newest `keep` complete versions, removes older ones
+// and stale partials, and never touches a partial at or above the latest
+// complete version (it could be an in-flight snapshot).
+func TestGC(t *testing.T) {
+	store, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []uint64{1, 2, 3, 4} {
+		writeSnapshot(t, store, v, testRows(3))
+	}
+	// Stale partial below latest complete (crashed attempt): removable.
+	wCrash := NewWriter(store, 0, 0)
+	if err := wCrash.AddTable("TEdges", 3, testRows(2)); err != nil {
+		t.Fatal(err)
+	}
+	// In-flight partial above latest complete: must survive.
+	wLive := NewWriter(store, 9, 0)
+	if err := wLive.AddTable("TEdges", 3, testRows(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := GC(store, 2)
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	// Expect gone: complete v1, v2 and partial v0. Kept: v3, v4, partial v9.
+	if removed != 3 {
+		t.Fatalf("removed %d, want 3", removed)
+	}
+	vis, err := Versions(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []uint64
+	for _, vi := range vis {
+		kept = append(kept, vi.Version)
+	}
+	want := []uint64{3, 4, 9}
+	if len(kept) != len(want) {
+		t.Fatalf("kept %v, want %v", kept, want)
+	}
+	for i := range want {
+		if kept[i] != want[i] {
+			t.Fatalf("kept %v, want %v", kept, want)
+		}
+	}
+	if m, err := Latest(store); err != nil || m.Version != 4 {
+		t.Fatalf("Latest after GC: %+v, %v", m, err)
+	}
+}
+
+// TestGCKeepsAllWhenFew: GC with keep larger than the population removes
+// nothing.
+func TestGCKeepsAllWhenFew(t *testing.T) {
+	store, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSnapshot(t, store, 1, testRows(3))
+	removed, err := GC(store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Fatalf("removed %d, want 0", removed)
+	}
+}
+
+// TestDiskStoreAtomicity: temp files from an interrupted Put are invisible
+// to List and Get.
+func TestDiskStoreAtomicity(t *testing.T) {
+	root := t.TempDir()
+	store, err := NewDiskStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("v0000000000000001/a.chunk", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-Put: a leftover temp file in the version dir.
+	tmp := filepath.Join(root, "v0000000000000001", ".put-leftover")
+	if err := os.WriteFile(tmp, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	names, err := store.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "v0000000000000001/a.chunk" {
+		t.Fatalf("List sees temp files: %v", names)
+	}
+	if _, err := store.Get("missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Get missing: %v", err)
+	}
+	if err := store.Delete("missing"); err != nil {
+		t.Fatalf("Delete missing: %v", err)
+	}
+	if err := store.Put("../escape", nil); err == nil {
+		t.Fatal("path escape accepted")
+	}
+}
+
+// TestChunkEncoding: decodeChunk rejects malformed data.
+func TestChunkEncoding(t *testing.T) {
+	data := encodeChunk(2, [][]int64{{1, -2}, {3, 4}})
+	cols, rows, err := decodeChunk(data)
+	if err != nil || cols != 2 || len(rows) != 2 || rows[0][1] != -2 {
+		t.Fatalf("roundtrip: cols=%d rows=%v err=%v", cols, rows, err)
+	}
+	if _, _, err := decodeChunk(data[:len(data)-1]); err == nil {
+		t.Fatal("truncated chunk accepted")
+	}
+	if _, _, err := decodeChunk([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
