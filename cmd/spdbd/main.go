@@ -106,6 +106,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/rdb"
+	"repro/internal/shard"
 )
 
 func fail(format string, args ...any) {
@@ -117,7 +118,12 @@ func fail(format string, args ...any) {
 // request counters, and the default algorithm for queries that don't name
 // one.
 type server struct {
-	eng        *core.Engine
+	eng *core.Engine
+	// shard is the partition-parallel coordinator when the server runs with
+	// -shards; eng is nil then, and the query paths route through it. The
+	// single-engine-only surfaces (mutations, snapshots, landmark intervals)
+	// answer 409 in that mode.
+	shard      *shard.ShardedEngine
 	defaultAlg core.Algorithm
 	start      time.Time
 
@@ -302,6 +308,35 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// query routes one request to whichever engine this server runs: the
+// sharded coordinator under -shards, the single engine otherwise.
+func (sv *server) query(ctx context.Context, req core.QueryRequest) (core.QueryResult, error) {
+	if sv.shard != nil {
+		return sv.shard.Query(ctx, req)
+	}
+	return sv.eng.Query(ctx, req)
+}
+
+// queryBatch is the batch twin of query.
+func (sv *server) queryBatch(ctx context.Context, reqs []core.QueryRequest, workers int) []core.QueryResponse {
+	if sv.shard != nil {
+		return sv.shard.QueryBatch(ctx, reqs, workers)
+	}
+	return sv.eng.QueryBatch(ctx, reqs, workers)
+}
+
+// rejectSharded answers 409 for endpoints the sharded mode does not carry
+// (mutations, snapshots, landmark intervals) and reports whether it did.
+func (sv *server) rejectSharded(w http.ResponseWriter, what string) bool {
+	if sv.shard == nil {
+		return false
+	}
+	sv.errors.Add(1)
+	writeJSON(w, http.StatusConflict, map[string]string{
+		"error": what + " is not available in sharded mode (-shards)"})
+	return true
+}
+
 // answer runs one declarative query under ctx and renders the response,
 // maintaining the serving counters. status is the HTTP code the caller
 // should write (200, 422, or 504 for a deadline/disconnect). trace attaches
@@ -310,7 +345,7 @@ func (sv *server) answer(ctx context.Context, req core.QueryRequest, trace bool)
 	sv.inflight.Add(1)
 	defer sv.inflight.Add(-1)
 	t0 := time.Now()
-	res, err := sv.eng.Query(ctx, req)
+	res, err := sv.query(ctx, req)
 	wall := time.Since(t0)
 	if err != nil {
 		sv.noteSlow(req, res.Stats, wall, err.Error())
@@ -367,6 +402,9 @@ func (sv *server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		sv.errors.Add(1)
 		w.Header().Set("Allow", "GET")
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use GET"})
+		return
+	}
+	if sv.rejectSharded(w, "the landmark distance interval") {
 		return
 	}
 	q := r.URL.Query()
@@ -429,6 +467,9 @@ func (sv *server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		sv.errors.Add(1)
 		w.Header().Set("Allow", "POST")
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use POST"})
+		return
+	}
+	if sv.rejectSharded(w, "edge mutation") {
 		return
 	}
 	var req mutationRequest
@@ -495,6 +536,9 @@ func (sv *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use POST"})
 		return
 	}
+	if sv.rejectSharded(w, "snapshot") {
+		return
+	}
 	st, err := sv.eng.Snapshot(r.Context())
 	if err != nil {
 		sv.errors.Add(1)
@@ -511,7 +555,7 @@ func (sv *server) runBatch(ctx context.Context, reqs []core.QueryRequest, worker
 	sv.inflight.Add(int64(len(reqs)))
 	defer sv.inflight.Add(-int64(len(reqs)))
 	t0 := time.Now()
-	results := sv.eng.QueryBatch(ctx, reqs, workers)
+	results := sv.queryBatch(ctx, reqs, workers)
 	out := make([]pathResponse, len(results))
 	for i, res := range results {
 		if res.Err != nil {
@@ -751,9 +795,39 @@ func (sv *server) handleShortestPath(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// serverStatsBlock is the serving-tier section of /stats, shared by the
+// single-engine and sharded documents.
+func (sv *server) serverStatsBlock() map[string]any {
+	return map[string]any{
+		"uptime_s":             int64(time.Since(sv.start).Seconds()),
+		"requests":             sv.requests.Load(),
+		"errors":               sv.errors.Load(),
+		"queries_served":       sv.served.Load(),
+		"queries_by_algorithm": sv.queriesByAlgorithm(),
+		// planner_decisions shows what alg=auto actually chose
+		// (engine Decision* labels); queries_cancelled how often
+		// deadlines, timeouts or client disconnects killed a query.
+		"planner_decisions": sv.plannerDecisions(),
+		"queries_cancelled": sv.cancelled.Load(),
+	}
+}
+
 // handleStats reports every layer's counters in one JSON document.
 func (sv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sv.requests.Add(1)
+	if sv.shard != nil {
+		st := sv.shard.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"server": sv.serverStatsBlock(),
+			"graph": map[string]any{
+				"nodes":     st.Nodes,
+				"edges":     st.Edges,
+				"seg_built": st.SegBuilt,
+			},
+			"shard": st,
+		})
+		return
+	}
 	dbStats := sv.eng.DB().Stats()
 	cacheStats := sv.eng.CacheStats()
 	// Hit ratio over the lookups that could have hit (hits + misses);
@@ -791,19 +865,8 @@ func (sv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"server": map[string]any{
-			"uptime_s":             int64(time.Since(sv.start).Seconds()),
-			"requests":             sv.requests.Load(),
-			"errors":               sv.errors.Load(),
-			"queries_served":       sv.served.Load(),
-			"queries_by_algorithm": sv.queriesByAlgorithm(),
-			// planner_decisions shows what alg=auto actually chose
-			// (engine Decision* labels); queries_cancelled how often
-			// deadlines, timeouts or client disconnects killed a query.
-			"planner_decisions": sv.plannerDecisions(),
-			"queries_cancelled": sv.cancelled.Load(),
-		},
-		"graph": graphStats,
+		"server": sv.serverStatsBlock(),
+		"graph":  graphStats,
 		"mutations": func() map[string]any {
 			ms := sv.eng.MutationStats()
 			return map[string]any{
@@ -883,6 +946,9 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "durability directory: WAL every mutation, hydrate from snapshots at startup")
 		snapEvry = flag.Duration("snapshot-every", 0, "write a snapshot at this interval (-data-dir only, 0 disables)")
 		snapExit = flag.Bool("snapshot-on-exit", true, "write a final snapshot during graceful shutdown (-data-dir only)")
+		shards   = flag.Int("shards", 0, "serve with this many partition-parallel shard engines (0 = single engine)")
+		partStr  = flag.String("partition", "hash", "shard partition strategy: hash|range (-shards only)")
+		portals  = flag.Int("portals", 0, "cut-vertex sketch portals for superstep pruning (-shards only, 0 disables)")
 	)
 	flag.Parse()
 
@@ -906,11 +972,63 @@ func main() {
 		fail("%v", err)
 	}
 
-	db, err := rdb.Open(rdb.Options{BufferPoolPages: *poolSz})
-	if err != nil {
-		fail("%v", err)
+	// Sharded mode replaces the single engine with the partition-parallel
+	// coordinator. The single-engine-only machinery (durability, landmark
+	// oracle, hub labels, mutations) stays off: the shards would each need
+	// their own WAL/index story, and the coordinator only speaks the
+	// superstep algorithms.
+	var (
+		eng      *core.Engine
+		db       *rdb.DB
+		shardEng *shard.ShardedEngine
+	)
+	if *shards > 0 {
+		if g == nil {
+			fail("-shards needs -gen or -load")
+		}
+		if *dataDir != "" {
+			fail("-shards does not support -data-dir (durability is single-engine only)")
+		}
+		if *lmk > 0 || *lbls {
+			fail("-shards supports neither -landmarks nor -labels")
+		}
+		switch alg {
+		case core.AlgAuto, core.AlgBSDJ, core.AlgBBFS, core.AlgBSEG:
+		default:
+			fail("-alg %s is not available with -shards (use AUTO, BSDJ, BBFS or BSEG)", alg)
+		}
+		strat, err := shard.ParseStrategy(*partStr)
+		if err != nil {
+			fail("%v", err)
+		}
+		lt := *lthd
+		if lt <= 0 && alg == core.AlgBSEG {
+			lt = 20 // same default the single-engine BSEG startup uses
+		}
+		fmt.Printf("spdbd: opening %d shard engines (%s partitioning, %d nodes / %d edges)...\n",
+			*shards, strat, g.N, g.M())
+		shardEng, err = shard.Open(g, shard.Options{
+			Shards:          *shards,
+			Strategy:        strat,
+			Lthd:            lt,
+			Portals:         *portals,
+			BufferPoolPages: *poolSz,
+		})
+		if err != nil {
+			fail("shard: %v", err)
+		}
+		defer shardEng.Close()
+		st := shardEng.Stats()
+		fmt.Printf("spdbd: sharded: %d cut edges, seg_built=%v, portals=%d\n",
+			st.CutEdges, st.SegBuilt, st.Portals)
 	}
-	defer db.Close()
+	if shardEng == nil {
+		db, err = rdb.Open(rdb.Options{BufferPoolPages: *poolSz})
+		if err != nil {
+			fail("%v", err)
+		}
+		defer db.Close()
+	}
 	engOpts := core.Options{CacheSize: *cacheSz, DataDir: *dataDir}
 
 	// Startup prefers hydration: the newest snapshot plus the WAL suffix
@@ -919,7 +1037,6 @@ func main() {
 	// directory holds no snapshot yet does the server fall back to
 	// -gen/-load, and then it writes the first snapshot itself (below) so
 	// the next start hydrates.
-	var eng *core.Engine
 	if *dataDir != "" {
 		e, err := core.OpenFromSnapshot(db, engOpts)
 		switch {
@@ -937,18 +1054,21 @@ func main() {
 			fail("hydrate: %v", err)
 		}
 	}
-	if eng == nil {
+	if eng == nil && shardEng == nil {
 		eng = core.NewEngine(db, engOpts)
 		fmt.Printf("spdbd: loading graph (%d nodes, %d edges)...\n", g.N, g.M())
 		if err := eng.LoadGraph(g); err != nil {
 			fail("load: %v", err)
 		}
 	}
-	defer eng.Close()
+	if eng != nil {
+		defer eng.Close()
+	}
 
 	// Index builds run only when requested AND missing: a hydrated engine
-	// already carries every index its snapshot recorded.
-	if (*lthd > 0 || alg == core.AlgBSEG) && eng.SegLthd() == 0 {
+	// already carries every index its snapshot recorded. (The sharded
+	// coordinator built its per-shard SegTables during Open.)
+	if eng != nil && (*lthd > 0 || alg == core.AlgBSEG) && eng.SegLthd() == 0 {
 		th := *lthd
 		if th <= 0 {
 			th = 20
@@ -960,7 +1080,7 @@ func main() {
 		}
 		fmt.Printf("spdbd: %s\n", st)
 	}
-	if (*lmk > 0 || alg == core.AlgALT) && eng.Oracle() == nil {
+	if eng != nil && (*lmk > 0 || alg == core.AlgALT) && eng.Oracle() == nil {
 		strat, err := oracle.ParseStrategy(*lmkStrat)
 		if err != nil {
 			fail("%v", err)
@@ -976,7 +1096,7 @@ func main() {
 		}
 		fmt.Printf("spdbd: %s\n", st)
 	}
-	if (*lbls || alg == core.AlgLabel) && eng.Labels() == nil {
+	if eng != nil && (*lbls || alg == core.AlgLabel) && eng.Labels() == nil {
 		fmt.Println("spdbd: building hub-label index...")
 		st, err := eng.BuildLabels()
 		if err != nil {
@@ -996,13 +1116,17 @@ func main() {
 		}
 	}
 
-	sv := &server{eng: eng, defaultAlg: alg, start: time.Now()}
+	sv := &server{eng: eng, shard: shardEng, defaultAlg: alg, start: time.Now()}
 	if *slowThd > 0 {
 		sv.slowlog = obs.NewSlowLog(*slowThd, *slowCap)
 	}
 	sv.reg = obs.NewRegistry()
-	sv.reg.Register(eng)
-	sv.reg.Register(db)
+	if shardEng != nil {
+		sv.reg.Register(shardEng)
+	} else {
+		sv.reg.Register(eng)
+		sv.reg.Register(db)
+	}
 	sv.reg.Register(sv)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", sv.handleQuery)
@@ -1048,8 +1172,13 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
-	fmt.Printf("spdbd: serving graph with %d nodes / %d edges on %s (default algorithm %s)\n",
-		eng.Nodes(), eng.Edges(), *addr, alg)
+	if shardEng != nil {
+		fmt.Printf("spdbd: serving graph with %d nodes / %d edges on %s (%d shards, default algorithm %s)\n",
+			shardEng.Nodes(), shardEng.Edges(), *addr, shardEng.Partition().K, alg)
+	} else {
+		fmt.Printf("spdbd: serving graph with %d nodes / %d edges on %s (default algorithm %s)\n",
+			eng.Nodes(), eng.Edges(), *addr, alg)
+	}
 
 	select {
 	case err := <-done:

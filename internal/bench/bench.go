@@ -280,6 +280,7 @@ func Experiments() []struct {
 		{"planner", RunPlanner, "Planner: AlgAuto vs hand-picked algorithm latency + decision mix"},
 		{"prepared", RunPrepared, "Prepared statements: plan-cache execution vs statement-at-a-time re-parse"},
 		{"recovery", RunRecovery, "Durability: cold CSV re-ingest + rebuild vs snapshot hydrate + WAL replay"},
+		{"shard", RunShard, "Sharding: partition-parallel FEM cold QPS vs single engine"},
 	}
 }
 

@@ -14,8 +14,8 @@ func tinyConfig() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 32 {
-		t.Fatalf("expected 32 experiments, got %d", len(exps))
+	if len(exps) != 33 {
+		t.Fatalf("expected 33 experiments, got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -53,9 +53,10 @@ const MaxEntrySize = (storage.PageSize - offSlots) / 4
 // BTree is a handle to one tree. It is not safe for concurrent use; the
 // engine serializes statements, as the paper's client does.
 type BTree struct {
-	pool *storage.BufferPool
-	root storage.PageID
-	n    int // entry count
+	pool  *storage.BufferPool
+	root  storage.PageID
+	pages []storage.PageID // every node page, in allocation order
+	n     int              // entry count
 }
 
 // New allocates an empty tree (a single empty leaf as root).
@@ -67,7 +68,31 @@ func New(pool *storage.BufferPool) (*BTree, error) {
 	initNode(pg, nodeLeaf)
 	id := pg.ID()
 	pool.Unpin(pg, true)
-	return &BTree{pool: pool, root: id}, nil
+	return &BTree{pool: pool, root: id, pages: []storage.PageID{id}}, nil
+}
+
+// Reset truncates the tree in place: its first-allocated page is
+// re-initialized as an empty leaf root and every other node page is
+// discarded from the buffer pool without write-back — a truncated table's
+// nodes are dead, and flushing them on eviction would charge I/O for
+// content nothing will read. Hot truncate-refill cycles (the FEM scratch
+// tables, cleared every expansion round) reuse one page instead of leaking
+// the whole tree per cycle.
+func (t *BTree) Reset() error {
+	first := t.pages[0]
+	pg, err := t.pool.Fetch(first)
+	if err != nil {
+		return err
+	}
+	initNode(pg, nodeLeaf)
+	t.pool.Unpin(pg, true)
+	for _, id := range t.pages[1:] {
+		t.pool.Discard(id)
+	}
+	t.pages = t.pages[:1]
+	t.root = first
+	t.n = 0
+	return nil
 }
 
 // RootID returns the current root page (it changes as the tree grows).
@@ -309,6 +334,7 @@ func (t *BTree) put(key, val []byte, overwrite bool) error {
 		pg.PutU32(offNext, uint32(t.root))
 		insertCellAt(pg, 0, makeInternalCell(res.sep, res.right))
 		t.root = pg.ID()
+		t.pages = append(t.pages, pg.ID())
 		t.pool.Unpin(pg, true)
 	}
 	if inserted {
@@ -445,6 +471,7 @@ func (t *BTree) splitInsert(pg *storage.Page, i int, cell []byte) (splitResult, 
 	if err != nil {
 		return splitResult{}, err
 	}
+	t.pages = append(t.pages, rpg.ID())
 	typ := pg.Data[offType]
 	initNode(rpg, typ)
 

@@ -209,7 +209,7 @@ func (e *Engine) snapshotLocked() (*SnapshotStats, error) {
 	strategy := e.opts.Strategy
 	e.mu.RUnlock()
 	if nodes == 0 {
-		return nil, fmt.Errorf("core: no graph loaded")
+		return nil, ErrNoGraph
 	}
 	if version == e.dur.lastVersion.Load() {
 		e.dur.snapshotSkips.Add(1)

@@ -247,7 +247,7 @@ func (e *Engine) bidirectional(ctx context.Context, sc *scratchSet, spec femSpec
 			minCost = mc
 		}
 		pathFound := minCost < MaxDist
-		if spec.trackL && pathFound && lf+lb >= minCost {
+		if spec.trackL && StopCondition(lf, lb, minCost) {
 			break
 		}
 		if !candF && !candB {

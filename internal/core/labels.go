@@ -42,7 +42,7 @@ func (e *Engine) BuildLabelsContext(ctx context.Context) (*labels.BuildStats, er
 	}
 	defer e.unlockQuery()
 	if e.Nodes() == 0 {
-		return nil, fmt.Errorf("core: no graph loaded")
+		return nil, ErrNoGraph
 	}
 	params := labels.Params{
 		NodesTable: TblNodes,

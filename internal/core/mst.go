@@ -48,7 +48,7 @@ func (e *Engine) MinimumSpanningForest() (*MSTResult, error) {
 	}
 	defer e.unlockQuery()
 	if e.Nodes() == 0 {
-		return nil, fmt.Errorf("core: no graph loaded")
+		return nil, ErrNoGraph
 	}
 	qs := &QueryStats{Algorithm: "MST"}
 	start := time.Now()

@@ -202,7 +202,7 @@ func (e *Engine) applyMutations(muts []Mutation, batch bool) (*MaintStats, error
 func (e *Engine) applyMutationsLocked(ctx context.Context, muts []Mutation, batch bool) (*MaintStats, error) {
 	nodes := e.Nodes()
 	if nodes == 0 {
-		return nil, fmt.Errorf("core: no graph loaded")
+		return nil, ErrNoGraph
 	}
 	for i, m := range muts {
 		if m.From < 0 || m.To < 0 || int(m.From) >= nodes || int(m.To) >= nodes {

@@ -39,7 +39,7 @@ func (e *Engine) BuildOracleContext(ctx context.Context, cfg oracle.Config) (*or
 	}
 	defer e.unlockQuery()
 	if e.Nodes() == 0 {
-		return nil, fmt.Errorf("core: no graph loaded")
+		return nil, ErrNoGraph
 	}
 	if cfg.K < 0 {
 		return nil, fmt.Errorf("core: landmark count must be non-negative, got %d (0 selects the default of %d)", cfg.K, oracle.DefaultK)
@@ -127,7 +127,7 @@ func (e *Engine) distanceIntervalStats(ctx context.Context, s, t int64) (Interva
 		nodes, version, orc := e.nodes, e.version, e.orc
 		e.mu.RUnlock()
 		if nodes == 0 {
-			return Interval{}, stmts, fmt.Errorf("core: no graph loaded")
+			return Interval{}, stmts, ErrNoGraph
 		}
 		if s < 0 || t < 0 || int(s) >= nodes || int(t) >= nodes {
 			return Interval{}, stmts, fmt.Errorf("core: node out of range (n=%d)", nodes)

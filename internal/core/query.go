@@ -26,6 +26,11 @@ import (
 // budget before finishing. Identify it with errors.Is.
 var ErrBudgetExceeded = errors.New("core: statement budget exceeded")
 
+// ErrNoGraph reports an operation against an engine with no loaded graph.
+// Callers (the shard coordinator, spdbd readiness) branch on it with
+// errors.Is instead of matching the message text.
+var ErrNoGraph = errors.New("core: no graph loaded")
+
 // Planner thresholds. They are deliberately coarse: the planner's inputs
 // are cheap scalars, and the differential suite pins every choice to exact
 // answers, so a misprediction costs latency, never correctness.
@@ -204,7 +209,7 @@ func (e *Engine) runQuery(ctx context.Context, req QueryRequest, rec *stageRec) 
 	s, t := req.Source, req.Target
 	snap := e.snapshotStats()
 	if snap.nodes == 0 {
-		return QueryResult{}, fmt.Errorf("core: no graph loaded")
+		return QueryResult{}, ErrNoGraph
 	}
 	if s < 0 || t < 0 || int(s) >= snap.nodes || int(t) >= snap.nodes {
 		return QueryResult{}, fmt.Errorf("core: node out of range (n=%d)", snap.nodes)
@@ -293,7 +298,7 @@ func (e *Engine) queryAttempt(ctx context.Context, req QueryRequest, pl *queryPl
 	// stable: every mutator needs the exclusive side of the gate.
 	snap := e.snapshotStats()
 	if snap.nodes == 0 {
-		return QueryResult{}, false, fmt.Errorf("core: no graph loaded")
+		return QueryResult{}, false, ErrNoGraph
 	}
 	if int(s) >= snap.nodes || int(t) >= snap.nodes {
 		return QueryResult{}, false, fmt.Errorf("core: node out of range (n=%d)", snap.nodes)

@@ -34,7 +34,7 @@ func (e *Engine) Reachable(s, t int64) (*ReachResult, error) {
 	defer e.unlockQuery()
 	nodes := e.Nodes()
 	if nodes == 0 {
-		return nil, fmt.Errorf("core: no graph loaded")
+		return nil, ErrNoGraph
 	}
 	if s < 0 || t < 0 || int(s) >= nodes || int(t) >= nodes {
 		return nil, fmt.Errorf("core: node out of range (n=%d)", nodes)

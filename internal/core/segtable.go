@@ -123,7 +123,7 @@ func (e *Engine) BuildSegTableContext(ctx context.Context, lthd int64) (*SegTabl
 // the stats.
 func (e *Engine) buildSegTableLocked(ctx context.Context, lthd int64, bump bool) (*SegTableStats, error) {
 	if e.Nodes() == 0 {
-		return nil, fmt.Errorf("core: no graph loaded")
+		return nil, ErrNoGraph
 	}
 	if lthd < 1 {
 		return nil, fmt.Errorf("core: lthd must be positive, got %d", lthd)

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/rdb"
+)
+
+// TestNoGraphSentinel: an engine with nothing loaded refuses queries and
+// superstep admissions with the typed ErrNoGraph, so coordinators branch
+// with errors.Is instead of matching message text.
+func TestNoGraphSentinel(t *testing.T) {
+	db, err := rdb.Open(rdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	e := NewEngine(db, Options{})
+	_, err = e.Query(context.Background(), QueryRequest{Source: 0, Target: 1})
+	if !errors.Is(err, ErrNoGraph) {
+		t.Fatalf("Query on empty engine: err = %v, want ErrNoGraph", err)
+	}
+	_, err = e.BeginSuperstep(context.Background(), AlgBSDJ, 0)
+	if !errors.Is(err, ErrNoGraph) {
+		t.Fatalf("BeginSuperstep on empty engine: err = %v, want ErrNoGraph", err)
+	}
+}
+
+// TestSuperstepUnsupportedAlg: the superstep surface rejects algorithms
+// whose machinery cannot fan out across shards, with its own sentinel.
+func TestSuperstepUnsupportedAlg(t *testing.T) {
+	e := newLineEngine(t, 4)
+	for _, alg := range []Algorithm{AlgDJ, AlgBDJ, AlgALT, AlgLabel, AlgAuto} {
+		_, err := e.BeginSuperstep(context.Background(), alg, 0)
+		if !errors.Is(err, ErrUnsupportedSuperstep) {
+			t.Fatalf("BeginSuperstep(%v): err = %v, want ErrUnsupportedSuperstep", alg, err)
+		}
+	}
+	// A rejected Begin must not leak its gate admission: an exclusive
+	// operation (a mutation batch) has to get through afterwards.
+	if _, err := e.ApplyMutations([]Mutation{{Op: MutInsert, From: 0, To: 2, Weight: 5}}); err != nil {
+		t.Fatalf("mutation after rejected BeginSuperstep: %v", err)
+	}
+}
+
+// TestSuperstepSeedMatchesQuery drives one full coordinator-style search on
+// a single engine through the superstep surface — seed injection, frontier
+// select, expand+harvest with self-routing, stats collection, stop
+// condition — and checks it reproduces Engine.Query exactly. This is the
+// k=1 degenerate case of the shard coordinator, pinned here so the core
+// surface stays sufficient on its own.
+func TestSuperstepSeedMatchesQuery(t *testing.T) {
+	e := newLineEngine(t, 24)
+	ctx := context.Background()
+
+	want, err := e.Query(ctx, QueryRequest{Source: 2, Target: 19, Alg: AlgBSDJ})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ss, err := e.BeginSuperstep(ctx, AlgBSDJ, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if _, err := ss.Inject(ctx, true, []FrontierCand{{Nid: 2, Par: 2, Cost: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.Inject(ctx, false, []FrontierCand{{Nid: 19, Par: 19, Cost: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	var lf, lb int64
+	nf, nb := int64(1), int64(1)
+	candF, candB := true, true
+	var kf, kb int64
+	minCost := int64(4 * MaxDist)
+	for iter := 0; ; iter++ {
+		if iter > 1000 {
+			t.Fatal("superstep loop did not terminate")
+		}
+		m, err := ss.Mins(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.HasSum && m.Sum < minCost {
+			minCost = m.Sum
+		}
+		candF, candB = m.HasMinF, m.HasMinB
+		if candF {
+			lf = m.MinF
+		}
+		if candB {
+			lb = m.MinB
+		}
+		if StopCondition(lf, lb, minCost) {
+			break
+		}
+		if !candF && !candB {
+			break
+		}
+		forward := candF && (!candB || nf <= nb)
+		var k int64
+		if forward {
+			kf++
+			k = kf
+		} else {
+			kb++
+			k = kb
+		}
+		cnt, err := ss.SelectFrontier(ctx, forward, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lOther := lb
+		if !forward {
+			lOther = lf
+		}
+		if _, err := ss.ExpandHarvest(ctx, forward, lOther, minCost); err != nil {
+			t.Fatal(err)
+		}
+		if forward {
+			nf = cnt
+		} else {
+			nb = cnt
+		}
+	}
+	if minCost != want.Distance {
+		t.Fatalf("superstep distance %d, want %d", minCost, want.Distance)
+	}
+	meet, ok, err := ss.MeetNode(ctx, minCost)
+	if err != nil || !ok {
+		t.Fatalf("MeetNode: ok=%v err=%v", ok, err)
+	}
+	if d, ok, err := ss.Dist(ctx, true, meet); err != nil || !ok || d > minCost {
+		t.Fatalf("meet d2s = %d (ok=%v err=%v), want <= %d", d, ok, err, minCost)
+	}
+}
+
+// newLineEngine loads a directed weighted line 0->1->...->n-1 (weight 3).
+func newLineEngine(t *testing.T, n int64) *Engine {
+	t.Helper()
+	db, err := rdb.Open(rdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	e := NewEngine(db, Options{})
+	if err := e.LoadGraph(lineGraph(t, n, 3)); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

@@ -43,6 +43,7 @@ type HeapFile struct {
 	pool  *storage.BufferPool
 	first storage.PageID
 	last  storage.PageID
+	pages []storage.PageID // every chained page, in allocation order
 	n     int
 }
 
@@ -55,7 +56,7 @@ func New(pool *storage.BufferPool) (*HeapFile, error) {
 	initPage(pg)
 	id := pg.ID()
 	pool.Unpin(pg, true)
-	return &HeapFile{pool: pool, first: id, last: id}, nil
+	return &HeapFile{pool: pool, first: id, last: id, pages: []storage.PageID{id}}, nil
 }
 
 func initPage(pg *storage.Page) {
@@ -98,6 +99,7 @@ func (h *HeapFile) Insert(data []byte) (RID, error) {
 		pg.PutU32(offNext, uint32(npg.ID()))
 		h.pool.Unpin(pg, true)
 		h.last = npg.ID()
+		h.pages = append(h.pages, npg.ID())
 		pg = npg
 	}
 	slot := pg.U16(offNSlots)
@@ -112,6 +114,28 @@ func (h *HeapFile) Insert(data []byte) (RID, error) {
 	h.pool.Unpin(pg, true)
 	h.n++
 	return rid, nil
+}
+
+// Reset truncates the heap in place: the first page is re-initialized and
+// becomes the whole file again, and every other chained page is discarded
+// from the buffer pool without write-back — a truncated table's pages are
+// dead, and flushing them on eviction would charge I/O for content nothing
+// will read. Hot truncate-refill cycles (the FEM scratch tables) reuse one
+// page instead of leaking a page per cycle.
+func (h *HeapFile) Reset() error {
+	pg, err := h.pool.Fetch(h.first)
+	if err != nil {
+		return err
+	}
+	initPage(pg)
+	h.pool.Unpin(pg, true)
+	for _, id := range h.pages[1:] {
+		h.pool.Discard(id)
+	}
+	h.pages = h.pages[:1]
+	h.last = h.first
+	h.n = 0
+	return nil
 }
 
 // Get returns a copy of the tuple at rid, or ok=false if it was deleted.

@@ -192,6 +192,11 @@ func (db *DB) Close() error {
 	return db.disk.Close()
 }
 
+// SetSimulatedIOLatency changes the per-page-transfer simulated latency at
+// runtime. Benchmarks open with zero latency for the load/index phase and
+// arm the seek cost only for the measured phase.
+func (db *DB) SetSimulatedIOLatency(lat time.Duration) { db.disk.SetLatency(lat) }
+
 // Profile returns the engine's feature profile.
 func (db *DB) Profile() Profile { return db.profile }
 

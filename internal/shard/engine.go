@@ -1,0 +1,293 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/rdb"
+)
+
+// Options configures a ShardedEngine.
+type Options struct {
+	// Shards is the partition count k (>= 1).
+	Shards int
+	// Strategy maps node ids to shards (Hash default).
+	Strategy Strategy
+	// Lthd, when > 0, builds each shard's SegTable at that threshold so the
+	// coordinator can run BSEG.
+	Lthd int64
+	// Portals, when > 0, builds the cut-vertex sketch with up to that many
+	// portals (0 = no sketch).
+	Portals int
+	// BufferPoolPages is the TOTAL page budget, split evenly across the
+	// shard databases (0 = each shard gets the rdb default).
+	BufferPoolPages int
+	// SimulatedIOLatency is forwarded to every shard database.
+	SimulatedIOLatency time.Duration
+	// MaxIters caps each shard's superstep participation (0 = default).
+	MaxIters int
+	// PrefetchWorkers is the per-shard concurrency used to warm the
+	// adjacency pages of each superstep's selected frontier before the
+	// expansion statement scans them serially (0 = default of 8,
+	// negative = disabled). See core.Superstep.PrefetchFrontier.
+	PrefetchWorkers int
+}
+
+// defaultPrefetchWorkers resolves Options.PrefetchWorkers.
+func (o Options) prefetchWorkers() int {
+	if o.PrefetchWorkers < 0 {
+		return 0
+	}
+	if o.PrefetchWorkers == 0 {
+		return 8
+	}
+	return o.PrefetchWorkers
+}
+
+// ShardedEngine owns k core.Engine instances, each loaded with its
+// partition's edges (owned plus mirrored cut edges) over the full node-id
+// space, and answers the same Query surface by coordinating supersteps
+// across them.
+type ShardedEngine struct {
+	opts   Options
+	part   Partition
+	shards []*shardInstance
+	sk     *sketch
+
+	nodes    int64
+	edges    int // original edge count (mirrors not double-counted)
+	cutEdges int
+	segBuilt bool
+
+	queries    atomic.Uint64
+	errors     atomic.Uint64
+	supersteps atomic.Uint64
+	exchanged  atomic.Uint64 // candidates routed across shard boundaries
+	sketchWins atomic.Uint64 // queries answered at the sketch bound
+	queryDur   *obs.Histogram
+}
+
+// shardInstance is one partition's database + engine pair.
+type shardInstance struct {
+	db    *rdb.DB
+	eng   *core.Engine
+	edges int // rows in this shard's edge table, mirrors included
+}
+
+// Open partitions g and brings up the shard engines in parallel. Lthd > 0
+// additionally builds each shard's SegTable (over the shard subgraph — the
+// fold covers every local edge, so relaxations along any original edge
+// remain available in the owning shard).
+func Open(g *graph.Graph, opts Options) (*ShardedEngine, error) {
+	part, err := NewPartition(g.N, opts.Shards, opts.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	split := part.SplitEdges(g)
+
+	se := &ShardedEngine{
+		opts:     opts,
+		part:     part,
+		shards:   make([]*shardInstance, part.K),
+		nodes:    g.N,
+		edges:    g.M(),
+		cutEdges: split.CutEdges,
+		segBuilt: opts.Lthd > 0,
+		queryDur: obs.NewHistogram(obs.DefLatencyBuckets...),
+	}
+	pagesPer := 0
+	if opts.BufferPoolPages > 0 {
+		pagesPer = opts.BufferPoolPages / part.K
+		if pagesPer < 1 {
+			pagesPer = 1
+		}
+	}
+	err = se.fanout(func(i int, _ *shardInstance) error {
+		db, err := rdb.Open(rdb.Options{
+			BufferPoolPages:    pagesPer,
+			SimulatedIOLatency: opts.SimulatedIOLatency,
+		})
+		if err != nil {
+			return err
+		}
+		eng := core.NewEngine(db, core.Options{
+			CacheSize: -1, // answers are cached (if at all) above the shards
+			MaxIters:  opts.MaxIters,
+		})
+		sub, err := graph.New(g.N, split.Edges[i])
+		if err != nil {
+			db.Close()
+			return err
+		}
+		if err := eng.LoadGraph(sub); err != nil {
+			db.Close()
+			return err
+		}
+		if opts.Lthd > 0 {
+			if _, err := eng.BuildSegTable(opts.Lthd); err != nil {
+				eng.Close()
+				return err
+			}
+		}
+		se.shards[i] = &shardInstance{db: db, eng: eng, edges: sub.M()}
+		return nil
+	})
+	if err != nil {
+		se.Close()
+		return nil, err
+	}
+	if opts.Portals > 0 {
+		se.sk = buildSketch(g, split.CutVertices, opts.Portals)
+	}
+	return se, nil
+}
+
+// Close shuts every shard engine down. Safe on a partially opened engine.
+func (se *ShardedEngine) Close() error {
+	var errs []error
+	for _, sh := range se.shards {
+		if sh == nil {
+			continue
+		}
+		if err := sh.eng.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Partition exposes the node-to-shard map.
+func (se *ShardedEngine) Partition() Partition { return se.part }
+
+// Nodes returns the full node-id space size.
+func (se *ShardedEngine) Nodes() int64 { return se.nodes }
+
+// Edges returns the original (unmirrored) edge count.
+func (se *ShardedEngine) Edges() int { return se.edges }
+
+// SegBuilt reports whether the shard SegTables exist (BSEG availability).
+func (se *ShardedEngine) SegBuilt() bool { return se.segBuilt }
+
+// Engine exposes shard i's underlying engine (tests and stats plumbing).
+func (se *ShardedEngine) Engine(i int) *core.Engine { return se.shards[i].eng }
+
+// EvictAll drops every shard's buffer pool, forcing the next queries cold.
+// Benchmarks use it to measure disk-resident behaviour after the load
+// phase warmed the pools.
+func (se *ShardedEngine) EvictAll() error {
+	return se.fanout(func(_ int, sh *shardInstance) error {
+		return sh.db.Pool().EvictAll()
+	})
+}
+
+// SetSimulatedIOLatency arms or disarms the simulated per-page seek cost
+// on every shard's database; benchmarks open at memory speed and charge
+// the seek only in the measured phase.
+func (se *ShardedEngine) SetSimulatedIOLatency(lat time.Duration) {
+	for _, sh := range se.shards {
+		sh.db.SetSimulatedIOLatency(lat)
+	}
+}
+
+// fanout runs fn for every shard concurrently and joins the errors — the
+// superstep primitive (the repo carries no dependencies, so this replaces
+// an errgroup).
+func (se *ShardedEngine) fanout(fn func(i int, sh *shardInstance) error) error {
+	errs := make([]error, len(se.shards))
+	var wg sync.WaitGroup
+	for i := range se.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i, se.shards[i])
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ShardStats is one shard's slice of the Stats block.
+type ShardStats struct {
+	Edges       int    `json:"edges"` // including mirrored cut edges
+	Statements  uint64 `json:"statements"`
+	PeakReaders int    `json:"peak_readers"`
+}
+
+// Stats snapshots the sharded serving state for /stats.
+type Stats struct {
+	Shards     int          `json:"shards"`
+	Strategy   string       `json:"strategy"`
+	Nodes      int64        `json:"nodes"`
+	Edges      int          `json:"edges"`
+	CutEdges   int          `json:"cut_edges"`
+	Portals    int          `json:"portals"`
+	SegBuilt   bool         `json:"seg_built"`
+	Queries    uint64       `json:"queries"`
+	Errors     uint64       `json:"errors"`
+	Supersteps uint64       `json:"supersteps"`
+	Exchanged  uint64       `json:"exchanged_candidates"`
+	SketchWins uint64       `json:"sketch_wins"`
+	PerShard   []ShardStats `json:"per_shard"`
+}
+
+// Stats snapshots the coordinator counters and per-shard engine state.
+func (se *ShardedEngine) Stats() Stats {
+	st := Stats{
+		Shards:     se.part.K,
+		Strategy:   se.part.Strategy.String(),
+		Nodes:      se.nodes,
+		Edges:      se.edges,
+		CutEdges:   se.cutEdges,
+		SegBuilt:   se.segBuilt,
+		Queries:    se.queries.Load(),
+		Errors:     se.errors.Load(),
+		Supersteps: se.supersteps.Load(),
+		Exchanged:  se.exchanged.Load(),
+		SketchWins: se.sketchWins.Load(),
+	}
+	if se.sk != nil {
+		st.Portals = len(se.sk.portals)
+	}
+	for _, sh := range se.shards {
+		if sh == nil {
+			continue
+		}
+		st.PerShard = append(st.PerShard, ShardStats{
+			Edges:       sh.edges,
+			Statements:  sh.db.Stats().Statements,
+			PeakReaders: sh.eng.ConcurrencyStats().Gate.PeakReaders,
+		})
+	}
+	return st
+}
+
+// CollectMetrics exports the shard block for /metrics.
+func (se *ShardedEngine) CollectMetrics(x *obs.Exporter) {
+	st := se.Stats()
+	x.Gauge("spdb_shard_count", "Configured shard count.", float64(st.Shards))
+	x.Gauge("spdb_shard_cut_edges", "Edges crossing shard boundaries.", float64(st.CutEdges))
+	x.Gauge("spdb_shard_sketch_portals", "Cut-vertex sketch portal count.", float64(st.Portals))
+	x.Counter("spdb_shard_queries_total", "Queries answered by the shard coordinator.", float64(st.Queries))
+	x.Counter("spdb_shard_query_errors_total", "Shard-coordinator queries that failed.", float64(st.Errors))
+	x.Counter("spdb_shard_supersteps_total", "Coordinator supersteps executed.", float64(st.Supersteps))
+	x.Counter("spdb_shard_exchanged_candidates_total", "Frontier candidates routed across shard boundaries.", float64(st.Exchanged))
+	x.Counter("spdb_shard_sketch_wins_total", "Queries answered at the cut-vertex sketch bound.", float64(st.SketchWins))
+	x.Histogram("spdb_shard_query_seconds", "Shard-coordinator query latency.", se.queryDur)
+	// The exporter requires each family's samples to be consecutive, so
+	// iterate shards once per family rather than families once per shard.
+	for i, ps := range st.PerShard {
+		x.Gauge("spdb_shard_edges", "Edge rows loaded per shard (mirrors included).", float64(ps.Edges), obs.L("shard", fmt.Sprintf("%d", i)))
+	}
+	for i, ps := range st.PerShard {
+		x.Counter("spdb_shard_statements_total", "Statements executed per shard database.", float64(ps.Statements), obs.L("shard", fmt.Sprintf("%d", i)))
+	}
+	for i, ps := range st.PerShard {
+		x.Gauge("spdb_shard_gate_peak_readers", "Peak concurrent readers admitted per shard.", float64(ps.PeakReaders), obs.L("shard", fmt.Sprintf("%d", i)))
+	}
+}

@@ -1,0 +1,126 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Cross-shard path recovery. Every visited-table row consulted here lives
+// in the node's OWNER shard: owner rows receive every routed candidate, so
+// at termination they hold the exact global distances and the parent links
+// that produced them — walking the chains at owners is therefore walking
+// one global shortest-path tree, even when consecutive hops were
+// discovered by different shards.
+
+// stitchPath locates a meeting node achieving minCost and concatenates the
+// two half-paths, unfolding BSEG segments in whichever shard recorded them
+// at the exact distance difference.
+func (se *ShardedEngine) stitchPath(ctx context.Context, sts []*core.Superstep, s, t, minCost int64, segs bool) ([]int64, error) {
+	meet := int64(-1)
+	for _, ss := range sts {
+		m, ok, err := ss.MeetNode(ctx, minCost)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			meet = m
+			break
+		}
+	}
+	if meet < 0 {
+		return nil, fmt.Errorf("shard: no meeting node for minCost=%d", minCost)
+	}
+	fwd, err := se.walkChain(ctx, sts, s, meet, true, segs)
+	if err != nil {
+		return nil, err
+	}
+	bwd, err := se.walkChain(ctx, sts, t, meet, false, segs)
+	if err != nil {
+		return nil, err
+	}
+	// fwd is meet..s (reverse discovery order), bwd is meet..t; reverse the
+	// forward half and drop bwd's duplicate meet entry.
+	nodes := make([]int64, 0, len(fwd)+len(bwd)-1)
+	for i := len(fwd) - 1; i >= 0; i-- {
+		nodes = append(nodes, fwd[i])
+	}
+	nodes = append(nodes, bwd[1:]...)
+	return nodes, nil
+}
+
+// walkChain follows the parent links from meet toward end (s forward,
+// t backward), reading each node's link at its owner shard. The returned
+// sequence starts at meet and ends at end; under BSEG the segment
+// interiors are spliced between each node and its parent with the
+// orientation the walk consumes — reversed (closest-to-cur first) from
+// TOutSegs on the meet->s walk, path order from TInSegs on the meet->t
+// walk — mirroring recoverForward/recoverBackward in core.
+func (se *ShardedEngine) walkChain(ctx context.Context, sts []*core.Superstep, end, meet int64, forward bool, segs bool) ([]int64, error) {
+	out := []int64{meet}
+	cur := meet
+	guard := se.nodes + 2
+	for step := int64(0); cur != end; step++ {
+		if step > guard {
+			return nil, fmt.Errorf("shard: parent chain longer than node count (cycle?)")
+		}
+		own := se.part.Owner(cur)
+		p, ok, err := sts[own].Parent(ctx, forward, cur)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("shard: broken parent chain at node %d", cur)
+		}
+		if segs && p != cur {
+			interior, err := se.unfoldAcrossShards(ctx, sts, forward, p, cur)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, interior...)
+		}
+		out = append(out, p)
+		cur = p
+	}
+	return out, nil
+}
+
+// unfoldAcrossShards expands the segment behind hop parent->cur. The
+// recorded parent tells us a shard relaxed a segment between the two nodes
+// whose cost equals the exact distance difference; several shards may
+// record a (parent, cur) segment over their different subgraphs, so we
+// probe for one at exactly that cost — such a segment is a globally
+// shortest parent->cur path, hence shortest in that shard's subgraph too,
+// so the shard's pid chain (which requires the prefix/suffix property)
+// unfolds it soundly. Interiors keep the orientation the walk expects:
+// forward (TOutSegs) reversed, backward (TInSegs) from cur toward parent.
+func (se *ShardedEngine) unfoldAcrossShards(ctx context.Context, sts []*core.Superstep, forward bool, parent, cur int64) ([]int64, error) {
+	dc, ok, err := sts[se.part.Owner(cur)].Dist(ctx, forward, cur)
+	if err != nil || !ok {
+		return nil, fmt.Errorf("shard: no distance for chain node %d: %w", cur, err)
+	}
+	dp, ok, err := sts[se.part.Owner(parent)].Dist(ctx, forward, parent)
+	if err != nil || !ok {
+		return nil, fmt.Errorf("shard: no distance for chain parent %d: %w", parent, err)
+	}
+	want := dc - dp
+	// Segment probe columns: TOutSegs records parent->cur (fid=parent),
+	// TInSegs records cur->parent's reverse orientation (fid=cur, tid=parent
+	// in the walk's terms — the backward chain hop runs cur->p toward t).
+	u, v := parent, cur
+	if !forward {
+		u, v = cur, parent
+	}
+	for _, ss := range sts {
+		c, ok, err := ss.SegCost(ctx, forward, u, v)
+		if err != nil {
+			return nil, err
+		}
+		if !ok || c != want {
+			continue
+		}
+		return ss.UnfoldSegment(ctx, forward, u, v)
+	}
+	return nil, fmt.Errorf("shard: no shard records segment (%d,%d) at cost %d", u, v, want)
+}

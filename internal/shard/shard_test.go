@@ -1,0 +1,262 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rdb"
+)
+
+// islandsGraph builds two disconnected weighted ring-with-chords islands
+// so random pairs include reachable, unreachable (cross-island) and
+// asymmetric (directed ring) cases.
+func islandsGraph(t *testing.T, island int64) *graph.Graph {
+	t.Helper()
+	n := 2 * island
+	var edges []graph.Edge
+	for _, base := range []int64{0, island} {
+		for i := int64(0); i < island; i++ {
+			at := func(off int64) int64 { return base + (i+off)%island }
+			edges = append(edges, graph.Edge{From: base + i, To: at(1), Weight: 1 + i%3})
+			edges = append(edges, graph.Edge{From: base + i, To: at(5), Weight: 4 + i%4})
+			if i%3 == 0 {
+				edges = append(edges, graph.Edge{From: base + i, To: at(17), Weight: 11 + i%5})
+			}
+		}
+	}
+	g, err := graph.New(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// refEngine is the unsharded oracle: one engine over the full graph.
+func refEngine(t *testing.T, g *graph.Graph, lthd int64) *core.Engine {
+	t.Helper()
+	db, err := rdb.Open(rdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	e := core.NewEngine(db, core.Options{CacheSize: -1})
+	if err := e.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if lthd > 0 {
+		if _, err := e.BuildSegTable(lthd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// mixedPairs draws count (s, t) pairs: mostly random (some of which cross
+// islands and are unreachable), plus guaranteed s==t and cross-island
+// entries up front.
+func mixedPairs(rng *rand.Rand, n int64, count int) [][2]int64 {
+	pairs := make([][2]int64, 0, count)
+	half := n / 2
+	pairs = append(pairs,
+		[2]int64{7 % n, 7 % n},       // s == t
+		[2]int64{0, 0},               // s == t at the boundary
+		[2]int64{1, half + 1},        // unreachable: island 0 -> 1
+		[2]int64{half + 2, 2},        // unreachable: island 1 -> 0
+		[2]int64{half - 1, half % n}, // unreachable across the cut
+	)
+	for len(pairs) < count {
+		pairs = append(pairs, [2]int64{rng.Int63n(n), rng.Int63n(n)})
+	}
+	return pairs
+}
+
+// runDifferential compares the sharded coordinator against the unsharded
+// engine on every pair: identical Found and Distance, and every sharded
+// path must be a real path of exactly that length.
+func runDifferential(t *testing.T, g *graph.Graph, ref *core.Engine, se *ShardedEngine,
+	alg core.Algorithm, pairs [][2]int64) {
+	t.Helper()
+	ctx := context.Background()
+	for _, pr := range pairs {
+		s, tt := pr[0], pr[1]
+		want, err := ref.Query(ctx, core.QueryRequest{Source: s, Target: tt, Alg: alg})
+		if err != nil {
+			t.Fatalf("%v ref (%d,%d): %v", alg, s, tt, err)
+		}
+		got, err := se.Query(ctx, core.QueryRequest{Source: s, Target: tt, Alg: alg})
+		if err != nil {
+			t.Fatalf("%v sharded (%d,%d): %v", alg, s, tt, err)
+		}
+		if got.Found != want.Found {
+			t.Fatalf("%v (%d,%d): sharded Found=%v, unsharded %v", alg, s, tt, got.Found, want.Found)
+		}
+		if got.Distance != want.Distance {
+			t.Fatalf("%v (%d,%d): sharded distance %d, unsharded %d", alg, s, tt, got.Distance, want.Distance)
+		}
+		if !got.Found {
+			continue
+		}
+		nodes := got.Path.Nodes
+		if len(nodes) == 0 || nodes[0] != s || nodes[len(nodes)-1] != tt {
+			t.Fatalf("%v (%d,%d): bad path endpoints %v", alg, s, tt, nodes)
+		}
+		if l, ok := g.PathLength(nodes); !ok || l != got.Distance {
+			t.Fatalf("%v (%d,%d): path length %d (valid=%v), want %d", alg, s, tt, l, ok, got.Distance)
+		}
+	}
+}
+
+// TestShardedDifferential: >= 200 mixed pairs across every coordinator
+// algorithm, shard counts and both partition strategies, against the
+// unsharded engine. Runs under -race in CI.
+func TestShardedDifferential(t *testing.T) {
+	const lthd = 8
+	g := islandsGraph(t, 100)
+	ref := refEngine(t, g, lthd)
+	rng := rand.New(rand.NewSource(7))
+
+	cases := []struct {
+		name  string
+		alg   core.Algorithm
+		opts  Options
+		pairs int
+	}{
+		{"BSDJ/k3/hash", core.AlgBSDJ, Options{Shards: 3}, 60},
+		{"BBFS/k3/hash", core.AlgBBFS, Options{Shards: 3}, 40},
+		{"BSEG/k3/hash", core.AlgBSEG, Options{Shards: 3, Lthd: lthd}, 60},
+		{"BSDJ/k2/range", core.AlgBSDJ, Options{Shards: 2, Strategy: Range}, 20},
+		{"BSEG/k4/range", core.AlgBSEG, Options{Shards: 4, Strategy: Range, Lthd: lthd}, 20},
+		// Sketch on: the portal bound may answer some pairs outright; the
+		// answers must stay exact.
+		{"AUTO/k4/hash/sketch", core.AlgAuto, Options{Shards: 4, Lthd: lthd, Portals: 12}, 24},
+	}
+	total := 0
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			se, err := Open(g, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer se.Close()
+			refAlg := tc.alg
+			if refAlg == core.AlgAuto {
+				refAlg = core.AlgBSEG // what the shard planner resolves to here
+			}
+			runDifferential(t, g, ref, se, refAlg, mixedPairs(rng, g.N, tc.pairs))
+		})
+		total += tc.pairs
+	}
+	if total < 200 {
+		t.Fatalf("differential covered %d pairs, want >= 200", total)
+	}
+}
+
+// TestShardedAuto pins the coordinator's planner: AlgAuto resolves to BSEG
+// when the shard SegTables exist and BSDJ otherwise, recorded in
+// Stats.Planner.
+func TestShardedAuto(t *testing.T) {
+	g := islandsGraph(t, 60)
+	for _, tc := range []struct {
+		lthd int64
+		want string
+	}{{8, "shard-bseg"}, {0, "shard-bsdj"}} {
+		se, err := Open(g, Options{Shards: 2, Lthd: tc.lthd})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := se.Query(context.Background(), core.QueryRequest{Source: 3, Target: 41})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Planner != tc.want {
+			t.Fatalf("lthd=%d: planner %q, want %q", tc.lthd, res.Stats.Planner, tc.want)
+		}
+		se.Close()
+	}
+}
+
+// TestShardedRejections: unsupported algorithms fail with the typed
+// sentinel, out-of-range endpoints fail, BSEG without SegTables fails.
+func TestShardedRejections(t *testing.T) {
+	g := islandsGraph(t, 40)
+	se, err := Open(g, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+	ctx := context.Background()
+	for _, alg := range []core.Algorithm{core.AlgDJ, core.AlgBDJ, core.AlgALT, core.AlgLabel} {
+		_, err := se.Query(ctx, core.QueryRequest{Source: 0, Target: 1, Alg: alg})
+		if !errors.Is(err, ErrUnsupportedAlgorithm) {
+			t.Fatalf("%v: err = %v, want ErrUnsupportedAlgorithm", alg, err)
+		}
+	}
+	if _, err := se.Query(ctx, core.QueryRequest{Source: 0, Target: 1, Alg: core.AlgBSEG}); err == nil {
+		t.Fatal("BSEG without SegTables must fail")
+	}
+	if _, err := se.Query(ctx, core.QueryRequest{Source: -1, Target: 1}); err == nil {
+		t.Fatal("negative source must fail")
+	}
+	if _, err := se.Query(ctx, core.QueryRequest{Source: 0, Target: g.N}); err == nil {
+		t.Fatal("out-of-range target must fail")
+	}
+}
+
+// TestShardedCancellation: a cancelled context kills the coordinator
+// within a superstep and releases every shard's gate (a follow-up query
+// succeeds).
+func TestShardedCancellation(t *testing.T) {
+	g := islandsGraph(t, 80)
+	se, err := Open(g, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := se.Query(ctx, core.QueryRequest{Source: 0, Target: 50}); err == nil {
+		t.Fatal("cancelled query must fail")
+	}
+	if _, err := se.Query(context.Background(), core.QueryRequest{Source: 0, Target: 50}); err != nil {
+		t.Fatalf("query after cancellation: %v", err)
+	}
+}
+
+// TestShardedBatchAndStats: the batch surface answers in order and the
+// stats counters move.
+func TestShardedBatchAndStats(t *testing.T) {
+	g := islandsGraph(t, 60)
+	se, err := Open(g, Options{Shards: 2, Lthd: 8, Portals: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+	reqs := []core.QueryRequest{
+		{Source: 0, Target: 30},
+		{Source: 5, Target: 5},
+		{Source: 2, Target: 90}, // unreachable
+	}
+	out := se.QueryBatch(context.Background(), reqs, 2)
+	if len(out) != 3 {
+		t.Fatalf("batch returned %d results", len(out))
+	}
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("batch[%d]: %v", i, r.Err)
+		}
+	}
+	if !out[0].Result.Found || !out[1].Result.Found || out[2].Result.Found {
+		t.Fatalf("batch found flags: %v %v %v", out[0].Result.Found, out[1].Result.Found, out[2].Result.Found)
+	}
+	st := se.Stats()
+	if st.Queries < 3 || st.Supersteps == 0 || st.Shards != 2 {
+		t.Fatalf("stats did not move: %+v", st)
+	}
+	if st.CutEdges == 0 || len(st.PerShard) != 2 {
+		t.Fatalf("partition stats missing: %+v", st)
+	}
+}

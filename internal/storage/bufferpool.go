@@ -359,6 +359,30 @@ func (sh *poolShard) victimLocked() (idx int, victim *Page, err error) {
 	return 0, nil, fmt.Errorf("storage: buffer pool shard exhausted (%d frames, all pinned)", n)
 }
 
+// Discard drops page id from the pool without writing it back. The caller
+// asserts nothing references the page anymore — a truncated table's
+// abandoned chain — so its content, dirty or not, is dead; flushing it
+// would charge eviction I/O for bytes nothing will ever read. Pinned
+// frames and frames mid-load are left alone (their holders still expect
+// valid content), and absent pages are a no-op: the disk copy may keep
+// stale bytes, but page ids are allocated monotonically and an
+// unreferenced id is never fetched again.
+func (bp *BufferPool) Discard(id PageID) {
+	sh := bp.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	idx, ok := sh.table[id]
+	if !ok {
+		return
+	}
+	pg := sh.frames[idx]
+	if pg.pinCount > 0 || pg.loading != nil {
+		return
+	}
+	delete(sh.table, id)
+	sh.frames[idx] = nil
+}
+
 // FlushAll writes every dirty page back to disk (pages stay cached). Frames
 // mid-load are skipped: their content is not valid yet and cannot be dirty.
 func (bp *BufferPool) FlushAll() error {

@@ -37,6 +37,10 @@ type DiskManager interface {
 	NumPages() int
 	// Stats returns cumulative I/O counters.
 	Stats() IOStats
+	// SetLatency changes the simulated per-transfer latency. Benchmarks
+	// use it to load and index at memory speed, then arm the seek cost for
+	// the measured phase only.
+	SetLatency(lat time.Duration)
 	// Close releases the underlying resources.
 	Close() error
 }
@@ -140,6 +144,14 @@ func (d *FileDiskManager) Stats() IOStats {
 	return d.stats
 }
 
+// SetLatency implements DiskManager. In-flight transfers keep the latency
+// they read at admission; the next transfer sees the new value.
+func (d *FileDiskManager) SetLatency(lat time.Duration) {
+	d.mu.Lock()
+	d.latency = lat
+	d.mu.Unlock()
+}
+
 // Close implements DiskManager.
 func (d *FileDiskManager) Close() error { return d.f.Close() }
 
@@ -223,6 +235,13 @@ func (d *MemDiskManager) Stats() IOStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.stats
+}
+
+// SetLatency implements DiskManager.
+func (d *MemDiskManager) SetLatency(lat time.Duration) {
+	d.mu.Lock()
+	d.latency = lat
+	d.mu.Unlock()
 }
 
 // Close implements DiskManager.

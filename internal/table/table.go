@@ -351,27 +351,23 @@ func (t *Table) CreateIndex(name string, cols []int, unique bool) (*Index, error
 	return ix, nil
 }
 
-// Truncate discards every row, resetting storage and all indexes.
+// Truncate discards every row, resetting storage and all indexes in place:
+// each structure keeps its first page and discards the rest from the pool
+// without write-back, so truncate-heavy scratch traffic (the FEM expansion
+// table, cleared every round) neither allocates a page per cycle nor fills
+// the pool with dead dirty pages awaiting eviction I/O.
 func (t *Table) Truncate() error {
 	if t.clustered != nil {
-		tr, err := btree.New(t.pool)
-		if err != nil {
+		if err := t.clustered.tree.Reset(); err != nil {
 			return err
 		}
-		t.clustered.tree = tr
-	} else {
-		h, err := heapfile.New(t.pool)
-		if err != nil {
-			return err
-		}
-		t.heap = h
+	} else if err := t.heap.Reset(); err != nil {
+		return err
 	}
 	for _, ix := range t.Secondary {
-		tr, err := btree.New(t.pool)
-		if err != nil {
+		if err := ix.tree.Reset(); err != nil {
 			return err
 		}
-		ix.tree = tr
 	}
 	t.rows = 0
 	t.uniquifier = 0
